@@ -1,0 +1,136 @@
+//! Ablations of the design choices the paper analyses (DESIGN.md §6).
+//!
+//! * `ordering` — CFL's path-based order vs GraphQL's join-based order on
+//!   the same (CFL) candidate sets: the CFQL claim of §IV-B3.
+//! * `refinement` — CFL with and without its bottom-up / top-down
+//!   refinement passes.
+//! * `pseudo_iso` — GraphQL with 0–3 bigraph-pruning sweeps.
+//! * `verifier` — a Grapes-filtered query verified by VF2 vs by CFQL: the
+//!   §IV-D claim that slow verification over-estimates the gain of
+//!   filtering.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sqp_index::{BuildBudget, GraphIndex, GrapesConfig, PathTrieIndex};
+use sqp_matching::cfl::{Cfl, CflConfig};
+use sqp_matching::cfql::Cfql;
+use sqp_matching::graphql::GraphQl;
+use sqp_matching::vf2::Vf2;
+use sqp_matching::{Deadline, FilterResult, Matcher};
+
+fn bench_ordering(c: &mut Criterion) {
+    let g = common::single_graph(300, 10, 8.0);
+    let db = sqp_graph::GraphDb::from_graphs(vec![g.clone()]);
+    let q = common::query_from(&db, 12, true, 41);
+    let d = Deadline::none();
+    let cfl = Cfl::new();
+    let cfql = Cfql::new();
+
+    let space = match cfl.filter(&q, &g, d).unwrap() {
+        FilterResult::Space(s) => s,
+        FilterResult::Pruned => return,
+    };
+    let mut group = c.benchmark_group("ablation_ordering");
+    group.bench_function("path_based(CFL)", |b| {
+        b.iter(|| black_box(cfl.find_first(&q, &g, &space, d).unwrap().is_some()))
+    });
+    group.bench_function("join_based(CFQL)", |b| {
+        b.iter(|| black_box(cfql.find_first(&q, &g, &space, d).unwrap().is_some()))
+    });
+    group.finish();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let db = common::dense_db();
+    let q = common::query_from(&db, 8, false, 42);
+    let d = Deadline::none();
+    let configs = [
+        ("none", CflConfig { bottom_up: false, top_down: false }),
+        ("bottom_up", CflConfig { bottom_up: true, top_down: false }),
+        ("both", CflConfig { bottom_up: true, top_down: true }),
+    ];
+    let mut group = c.benchmark_group("ablation_refinement");
+    for (name, cfg) in configs {
+        let cfl = Cfl::with_config(cfg);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for g in db.graphs() {
+                    if let FilterResult::Space(s) = cfl.filter(&q, g, d).unwrap() {
+                        total += s.total_candidates();
+                    }
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pseudo_iso(c: &mut Criterion) {
+    let db = common::dense_db();
+    let q = common::query_from(&db, 8, true, 43);
+    let d = Deadline::none();
+    let mut group = c.benchmark_group("ablation_pseudo_iso");
+    for rounds in [0usize, 1, 2, 3] {
+        let gql = GraphQl::with_refine_rounds(rounds);
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, _| {
+            b.iter(|| {
+                let mut pass = 0usize;
+                for g in db.graphs() {
+                    if !gql.filter(&q, g, d).unwrap().is_pruned() {
+                        pass += 1;
+                    }
+                }
+                black_box(pass)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let db = common::dense_db();
+    let q = common::query_from(&db, 8, true, 44);
+    let d = Deadline::none();
+    let index =
+        PathTrieIndex::build(&db, GrapesConfig::default(), &BuildBudget::unlimited()).unwrap();
+    let candidates = index.candidates(&q).into_ids(db.len());
+    let vf2 = Vf2::new();
+    let cfql = Cfql::new();
+
+    let mut group = c.benchmark_group("ablation_verifier");
+    group.bench_function("grapes+vf2", |b| {
+        b.iter(|| {
+            let mut answers = 0usize;
+            for &gid in &candidates {
+                if vf2.is_subgraph(&q, db.graph(gid), d).unwrap() {
+                    answers += 1;
+                }
+            }
+            black_box(answers)
+        })
+    });
+    group.bench_function("grapes+cfql", |b| {
+        b.iter(|| {
+            let mut answers = 0usize;
+            for &gid in &candidates {
+                if cfql.is_subgraph(&q, db.graph(gid), d).unwrap() {
+                    answers += 1;
+                }
+            }
+            black_box(answers)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench_ordering, bench_refinement, bench_pseudo_iso, bench_verifier
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Shared workload construction for the criterion benches.
+//!
+//! All benches use deterministic, bench-sized workloads (hundreds of small
+//! graphs) so that `cargo bench --workspace` completes in minutes; the
+//! paper-scale runs live in the `repro` binary.
+
+#![allow(dead_code)] // each bench binary uses a subset of these helpers
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqp_datagen::graphgen;
+use sqp_datagen::query::{generate_query, QueryGenMethod};
+use sqp_graph::{Graph, GraphDb};
+
+/// A small AIDS-flavoured database: many small sparse graphs.
+pub fn small_db() -> GraphDb {
+    graphgen::generate(100, 30, 8, 2.4, 42)
+}
+
+/// A denser, PCM-flavoured database.
+pub fn dense_db() -> GraphDb {
+    graphgen::generate(20, 60, 10, 10.0, 43)
+}
+
+/// One medium data graph (for per-SI-test benches).
+pub fn single_graph(vertices: usize, labels: usize, degree: f64) -> Graph {
+    let db = graphgen::generate(1, vertices, labels, degree, 44);
+    db.graphs()[0].clone()
+}
+
+/// A deterministic query with `edges` edges carved from `db`.
+pub fn query_from(db: &GraphDb, edges: usize, dense: bool, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let method = if dense { QueryGenMethod::Bfs } else { QueryGenMethod::RandomWalk };
+    generate_query(db, method, edges, &mut rng).expect("query generation")
+}
+
+/// Criterion tuned for a fast full-workspace bench run.
+pub fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .configure_from_args()
+}

@@ -1,0 +1,61 @@
+//! Figure 3 analogue: filtering cost per strategy.
+//!
+//! Measures one query's filtering pass over the whole database for each
+//! filter family: index lookups (Grapes, GGSX), vertex-connectivity filters
+//! (CFL, GraphQL, Ullmann refinement), on sparse and dense queries.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sqp_index::{BuildBudget, GgsxIndex, GraphIndex, GrapesConfig, PathTrieIndex};
+use sqp_matching::cfl::Cfl;
+use sqp_matching::graphql::GraphQl;
+use sqp_matching::ullmann::Ullmann;
+use sqp_matching::{Deadline, Matcher};
+
+fn bench_filtering(c: &mut Criterion) {
+    let db = common::small_db();
+    let budget = BuildBudget::unlimited();
+    let grapes = PathTrieIndex::build(&db, GrapesConfig::default(), &budget).unwrap();
+    let ggsx = GgsxIndex::build(&db, 4, &budget).unwrap();
+    let cfl = Cfl::new();
+    let gql = GraphQl::new();
+    let ull = Ullmann::new();
+    let d = Deadline::none();
+
+    for (tag, dense) in [("Q8S", false), ("Q8D", true)] {
+        let q = common::query_from(&db, 8, dense, 7);
+        let mut g = c.benchmark_group(format!("fig3_filtering_time/{tag}"));
+        g.bench_function("grapes_index", |b| {
+            b.iter(|| black_box(grapes.candidates(&q).len(db.len())))
+        });
+        g.bench_function("ggsx_index", |b| {
+            b.iter(|| black_box(ggsx.candidates(&q).len(db.len())))
+        });
+        for (name, matcher) in
+            [("cfl", &cfl as &dyn Matcher), ("graphql", &gql), ("ullmann", &ull)]
+        {
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    let mut candidates = 0usize;
+                    for graph in db.graphs() {
+                        if !matcher.filter(&q, graph, d).unwrap().is_pruned() {
+                            candidates += 1;
+                        }
+                    }
+                    black_box(candidates)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench_filtering
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figures 4–5 analogue: per-SI-test verification cost per algorithm.
+//!
+//! Measures a single subgraph isomorphism test (find-first) on one
+//! medium data graph for VF2 (the IFV verifier) against the
+//! preprocessing-enumeration matchers — the gap behind the paper's
+//! "up to four orders of magnitude" per-SI-test claim (§IV-B3).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sqp_matching::cfl::Cfl;
+use sqp_matching::cfql::Cfql;
+use sqp_matching::graphql::GraphQl;
+use sqp_matching::vf2::Vf2;
+use sqp_matching::{Deadline, Matcher};
+
+fn bench_verification(c: &mut Criterion) {
+    let g = common::single_graph(400, 12, 8.0);
+    let db = sqp_graph::GraphDb::from_graphs(vec![g.clone()]);
+    let d = Deadline::none();
+    let vf2 = Vf2::new();
+    let cfl = Cfl::new();
+    let gql = GraphQl::new();
+    let cfql = Cfql::new();
+
+    for (tag, dense, edges) in [("Q8S", false, 8), ("Q16D", true, 16)] {
+        let q = common::query_from(&db, edges, dense, 11);
+        let mut group = c.benchmark_group(format!("fig4_per_si_test/{tag}"));
+        group.bench_function("vf2", |b| {
+            b.iter(|| black_box(vf2.is_subgraph(&q, &g, d).unwrap()))
+        });
+        for (name, m) in
+            [("cfl", &cfl as &dyn Matcher), ("graphql", &gql), ("cfql", &cfql)]
+        {
+            group.bench_function(name, |b| {
+                b.iter(|| black_box(m.is_subgraph(&q, &g, d).unwrap()))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench_verification
+}
+criterion_main!(benches);

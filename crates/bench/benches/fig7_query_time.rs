@@ -1,0 +1,40 @@
+//! Figures 2–7 analogue: end-to-end query time for every engine.
+//!
+//! Runs a full subgraph query (filter + verify over the whole database)
+//! through each of the eight competing engines on sparse and dense queries.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use sqp_core::engines::paper_engines;
+
+fn bench_query_time(c: &mut Criterion) {
+    let db = Arc::new(common::small_db());
+    let q_sparse = common::query_from(&db, 8, false, 21);
+    let q_dense = common::query_from(&db, 8, true, 22);
+
+    let mut engines = paper_engines();
+    for e in engines.iter_mut() {
+        e.build(&db).expect("bench-sized builds cannot fail");
+    }
+
+    for (tag, q) in [("Q8S", &q_sparse), ("Q8D", &q_dense)] {
+        let mut group = c.benchmark_group(format!("fig7_query_time/{tag}"));
+        for engine in &engines {
+            group.bench_function(engine.name(), |b| {
+                b.iter(|| black_box(engine.query(q).answers.len()))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench_query_time
+}
+criterion_main!(benches);

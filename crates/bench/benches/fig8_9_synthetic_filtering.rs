@@ -1,0 +1,62 @@
+//! Figures 8–9 analogue: filtering cost as synthetic parameters grow.
+//!
+//! Sweeps data-graph degree and label count, measuring the CFL (CFQL)
+//! filter — whose time the paper shows to be roughly linear in `d(G)`,
+//! `|V(G)|` and `|D|`, and decreasing in `|Σ|`.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sqp_datagen::graphgen;
+use sqp_matching::cfl::Cfl;
+use sqp_matching::{Deadline, Matcher};
+
+fn bench_synthetic_filtering(c: &mut Criterion) {
+    let cfl = Cfl::new();
+    let d = Deadline::none();
+
+    let mut group = c.benchmark_group("fig9_filter_vs_degree");
+    for degree in [4u32, 8, 16] {
+        let db = graphgen::generate(20, 60, 20, degree as f64, 50 + degree as u64);
+        let q = common::query_from(&db, 8, false, 31);
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, _| {
+            b.iter(|| {
+                let mut pass = 0usize;
+                for g in db.graphs() {
+                    if !cfl.filter(&q, g, d).unwrap().is_pruned() {
+                        pass += 1;
+                    }
+                }
+                black_box(pass)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig9_filter_vs_labels");
+    for labels in [1usize, 10, 40] {
+        let db = graphgen::generate(20, 60, labels, 8.0, 90 + labels as u64);
+        let q = common::query_from(&db, 8, false, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(labels), &labels, |b, _| {
+            b.iter(|| {
+                let mut pass = 0usize;
+                for g in db.graphs() {
+                    if !cfl.filter(&q, g, d).unwrap().is_pruned() {
+                        pass += 1;
+                    }
+                }
+                black_box(pass)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench_synthetic_filtering
+}
+criterion_main!(benches);

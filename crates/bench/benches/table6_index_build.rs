@@ -1,0 +1,55 @@
+//! Table VI / Table VIII analogue: index construction cost per structure.
+//!
+//! Benchmarks the three IFV index builds (Grapes parallel trie, GGSX sorted
+//! dictionary, CT-Index fingerprints) on a bench-sized database, plus the
+//! Grapes build at 1 vs 6 threads (the paper's Grapes is 6-threaded).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sqp_index::{
+    BuildBudget, CtIndexConfig, FingerprintIndex, GgsxIndex, GraphIndex, GrapesConfig,
+    PathTrieIndex,
+};
+
+fn bench_index_build(c: &mut Criterion) {
+    let db = common::small_db();
+    let budget = BuildBudget::unlimited();
+    let mut g = c.benchmark_group("table6_indexing_time");
+
+    g.bench_function("grapes_6_threads", |b| {
+        b.iter(|| {
+            black_box(
+                PathTrieIndex::build(&db, GrapesConfig::default(), &budget).unwrap().node_count(),
+            )
+        })
+    });
+    g.bench_function("grapes_1_thread", |b| {
+        b.iter(|| {
+            let cfg = GrapesConfig { threads: 1, ..GrapesConfig::default() };
+            black_box(PathTrieIndex::build(&db, cfg, &budget).unwrap().node_count())
+        })
+    });
+    g.bench_function("ggsx", |b| {
+        b.iter(|| black_box(GgsxIndex::build(&db, 4, &budget).unwrap().feature_count()))
+    });
+    g.bench_function("ct_index", |b| {
+        b.iter(|| {
+            black_box(
+                FingerprintIndex::build(&db, CtIndexConfig::default(), &budget)
+                    .unwrap()
+                    .heap_bytes(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench_index_build
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--experiment <id>] [--scale smoke|small|full] [--out <dir>]
+//!
+//! ids: table4 table5 table6 table7 table8 table9
+//!      fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!      realworld (tables IV-VII + figures 2-7, shared computation)
+//!      synthetic (tables VIII-IX + figures 8-9, shared computation)
+//!      all (default)
+//! ```
+//!
+//! Tables are printed to stdout and written as TSV under `--out`
+//! (default `results/`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sqp_bench::experiments::{realworld, synthetic};
+use sqp_bench::{Scale, TextTable};
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = "all".to_string();
+    let mut scale = Scale::Small;
+    let mut out = PathBuf::from("results");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                experiment = it.next().ok_or("--experiment needs a value")?;
+            }
+            "--scale" | "-s" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
+            }
+            "--out" | "-o" => {
+                out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args { experiment, scale, out })
+}
+
+const HELP: &str = "repro --experiment <id> --scale <smoke|small|full> --out <dir>
+ids: table4 table5 table6 table7 table8 table9 fig2..fig9 figs89 realworld synthetic all";
+
+fn emit(tables: &[TextTable], out: &Path) {
+    for t in tables {
+        println!("{}", t.render());
+        if let Err(e) = t.write_tsv(out) {
+            eprintln!("[repro] warning: failed to write TSV: {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = args.scale.params();
+    let id = args.experiment.as_str();
+
+    let wants_real = matches!(
+        id,
+        "all" | "realworld" | "table4" | "table5" | "table6" | "table7" | "fig2" | "fig3"
+            | "fig4" | "fig5" | "fig6" | "fig7"
+    );
+    let wants_syn = matches!(id, "all" | "synthetic" | "table8" | "table9" | "fig8" | "fig9" | "figs89");
+    if !wants_real && !wants_syn {
+        eprintln!("error: unknown experiment '{id}'\n{HELP}");
+        return ExitCode::FAILURE;
+    }
+
+    if wants_real {
+        eprintln!("[repro] generating real-world-like datasets and query sets...");
+        let data = realworld::prepare(&params);
+        if matches!(id, "all" | "realworld" | "table4") {
+            emit(&[realworld::table4(&data)], &args.out);
+        }
+        if matches!(id, "all" | "realworld" | "table5") {
+            emit(&realworld::table5(&data), &args.out);
+        }
+        if matches!(
+            id,
+            "all" | "realworld" | "table6" | "table7" | "fig2" | "fig3" | "fig4" | "fig5"
+                | "fig6" | "fig7"
+        ) {
+            let matrix = realworld::run(&params, &data);
+            if matches!(id, "all" | "realworld" | "table6") {
+                emit(&[realworld::table6(&matrix)], &args.out);
+            }
+            if matches!(id, "all" | "realworld" | "table7") {
+                emit(&[realworld::table7(&matrix)], &args.out);
+            }
+            if matches!(id, "all" | "realworld" | "fig2") {
+                emit(&realworld::fig2(&matrix), &args.out);
+            }
+            if matches!(id, "all" | "realworld" | "fig3") {
+                emit(&realworld::fig3(&matrix), &args.out);
+            }
+            if matches!(id, "all" | "realworld" | "fig4") {
+                emit(&realworld::fig4(&matrix), &args.out);
+            }
+            if matches!(id, "all" | "realworld" | "fig5") {
+                emit(&realworld::fig5(&matrix), &args.out);
+            }
+            if matches!(id, "all" | "realworld" | "fig6") {
+                emit(&realworld::fig6(&matrix), &args.out);
+            }
+            if matches!(id, "all" | "realworld" | "fig7") {
+                emit(&realworld::fig7(&matrix), &args.out);
+            }
+        }
+    }
+
+    if wants_syn {
+        eprintln!("[repro] generating synthetic sweeps...");
+        let sweeps = synthetic::prepare(&params);
+        if matches!(id, "all" | "synthetic" | "table8") {
+            emit(&synthetic::table8(&params, &sweeps), &args.out);
+        }
+        if matches!(id, "all" | "synthetic" | "table9") {
+            emit(&synthetic::table9(&params, &sweeps), &args.out);
+        }
+        match id {
+            "all" | "synthetic" | "figs89" => {
+                let (f8, f9) = synthetic::figs8_and_9(&params, &sweeps);
+                emit(&f8, &args.out);
+                emit(&f9, &args.out);
+            }
+            "fig8" => emit(&synthetic::fig8(&params, &sweeps), &args.out),
+            "fig9" => emit(&synthetic::fig9(&params, &sweeps), &args.out),
+            _ => {}
+        }
+    }
+
+    eprintln!("[repro] done; TSVs under {}", args.out.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,70 @@
+//! One function per table/figure of the paper's evaluation (§IV).
+//!
+//! | Paper artifact | Function |
+//! |----------------|----------|
+//! | Table IV (dataset statistics)   | [`realworld::table4`] |
+//! | Table V (query-set statistics)  | [`realworld::table5`] |
+//! | Table VI (indexing time)        | [`realworld::table6`] |
+//! | Figure 2 (filtering precision)  | [`realworld::fig2`] |
+//! | Figure 3 (filtering time)       | [`realworld::fig3`] |
+//! | Figure 4 (verification time)    | [`realworld::fig4`] |
+//! | Figure 5 (per-SI-test time)     | [`realworld::fig5`] |
+//! | Figure 6 (candidate counts)     | [`realworld::fig6`] |
+//! | Figure 7 (query time)           | [`realworld::fig7`] |
+//! | Table VII (memory, real)        | [`realworld::table7`] |
+//! | Table VIII (indexing, synthetic)| [`synthetic::table8`] |
+//! | Figure 8 (precision, synthetic) | [`synthetic::fig8`] |
+//! | Figure 9 (filter time, synth.)  | [`synthetic::fig9`] |
+//! | Table IX (memory, synthetic)    | [`synthetic::table9`] |
+
+pub mod realworld;
+pub mod synthetic;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sqp_graph::database::GraphId;
+use sqp_graph::{Graph, GraphDb};
+use sqp_matching::cfql::Cfql;
+use sqp_matching::{Deadline, FilterResult, Matcher};
+
+/// Computes the reference answer set `A(q)` with CFQL (answers are
+/// engine-independent, so figures that only evaluate *filters* reuse this
+/// instead of paying VF2's verification cost).
+pub fn reference_answers(db: &GraphDb, q: &Graph, deadline: Deadline) -> Vec<GraphId> {
+    let cfql = Cfql::new();
+    let mut out = Vec::new();
+    for (gid, g) in db.iter() {
+        if let Ok(true) = cfql.is_subgraph(q, g, deadline) {
+            out.push(gid);
+        }
+    }
+    out
+}
+
+/// Measures a vertex-connectivity filter over a set of data graphs:
+/// returns `(candidate count, elapsed)`.
+pub fn vc_filter_metrics(
+    matcher: &dyn Matcher,
+    db: &GraphDb,
+    graphs: &[GraphId],
+    q: &Graph,
+    deadline: Deadline,
+) -> (usize, std::time::Duration) {
+    let t0 = Instant::now();
+    let mut candidates = 0usize;
+    for &gid in graphs {
+        if let Ok(FilterResult::Space(_)) = matcher.filter(q, db.graph(gid), deadline) {
+            candidates += 1;
+        }
+    }
+    (candidates, t0.elapsed())
+}
+
+/// All graph ids of a database.
+pub fn all_ids(db: &GraphDb) -> Vec<GraphId> {
+    (0..db.len() as u32).map(GraphId).collect()
+}
+
+/// Shared handle type for databases passed between experiments.
+pub type Db = Arc<GraphDb>;

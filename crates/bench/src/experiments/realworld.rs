@@ -1,0 +1,336 @@
+//! Real-world-dataset experiments: Tables IV–VII and Figures 2–7.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sqp_core::engine::{BuildReport, QueryEngine};
+use sqp_core::engines::paper_engines;
+use sqp_core::metrics::QuerySetReport;
+use sqp_core::runner::{run_query_set, RunnerConfig};
+use sqp_datagen::query::{generate_query_set, QuerySetSpec};
+use sqp_graph::heap_size::format_mb;
+use sqp_graph::stats::QuerySetStats;
+use sqp_graph::{Graph, HeapSize};
+use sqp_index::{BuildBudget, BuildError};
+
+use crate::scale::ScaleParams;
+use crate::table::{fmt_ms, TextTable};
+
+use super::Db;
+
+/// The generated datasets and query sets for the real-world experiments.
+pub struct RealWorldData {
+    /// `(name, database)` in paper order: AIDS, PDBS, PCM, PPI.
+    pub datasets: Vec<(String, Db)>,
+    /// Per dataset, the 8 query sets (specs aligned with queries).
+    pub query_sets: Vec<Vec<(QuerySetSpec, Vec<Graph>)>>,
+}
+
+/// Generates datasets and query sets for `params`.
+pub fn prepare(params: &ScaleParams) -> RealWorldData {
+    let mut datasets = Vec::new();
+    let mut query_sets = Vec::new();
+    for (i, profile) in params.real_world().into_iter().enumerate() {
+        let db = Arc::new(profile.generate(1000 + i as u64));
+        let mut sets = Vec::new();
+        for spec in suite(params) {
+            let queries = generate_query_set(&db, spec, 7_000 + i as u64 * 101);
+            sets.push((spec, queries));
+        }
+        datasets.push((profile.name.to_string(), db));
+        query_sets.push(sets);
+    }
+    RealWorldData { datasets, query_sets }
+}
+
+fn suite(params: &ScaleParams) -> Vec<QuerySetSpec> {
+    use sqp_datagen::query::QueryGenMethod;
+    let mut v = Vec::new();
+    for method in [QueryGenMethod::RandomWalk, QueryGenMethod::Bfs] {
+        for &edges in &params.query_edge_sizes {
+            v.push(QuerySetSpec { edges, method, count: params.queries_per_set });
+        }
+    }
+    v
+}
+
+/// One engine's results on one dataset.
+pub struct EngineRun {
+    /// Engine name.
+    pub name: String,
+    /// Successful build report, if any.
+    pub build: Option<BuildReport>,
+    /// OOT/OOM, if the build failed.
+    pub build_err: Option<BuildError>,
+    /// One report per query set (empty if the build failed).
+    pub reports: Vec<QuerySetReport>,
+}
+
+/// All engines' results on one dataset.
+pub struct DatasetRun {
+    /// Dataset name.
+    pub name: String,
+    /// Heap bytes of the CSR graphs (the "Datasets" row of Table VII).
+    pub db_bytes: usize,
+    /// Per-engine runs, in Table III order.
+    pub engines: Vec<EngineRun>,
+}
+
+/// The full real-world engine × dataset × query-set matrix.
+pub struct Matrix {
+    /// Per-dataset runs.
+    pub datasets: Vec<DatasetRun>,
+}
+
+/// Runs all eight engines over all datasets and query sets.
+pub fn run(params: &ScaleParams, data: &RealWorldData) -> Matrix {
+    let mut datasets = Vec::new();
+    for ((name, db), sets) in data.datasets.iter().zip(&data.query_sets) {
+        eprintln!("[repro] dataset {name}: building engines and running queries");
+        let mut engines = Vec::new();
+        for mut engine in paper_engines() {
+            apply_build_budget(engine.as_mut(), params);
+            let build = engine.build(db);
+            let mut run = EngineRun {
+                name: engine.name().to_string(),
+                build: build.as_ref().ok().copied(),
+                build_err: build.as_ref().err().copied(),
+                reports: Vec::new(),
+            };
+            if build.is_ok() {
+                let config = RunnerConfig {
+                    query_budget: Some(params.query_budget),
+                    abort_after_timeouts: Some(
+                        (params.queries_per_set * 2 / 5).max(2), // the 40% rule
+                    ),
+                };
+                for (spec, queries) in sets {
+                    run.reports.push(run_query_set(
+                        engine.as_mut(),
+                        &spec.name(),
+                        queries,
+                        config,
+                    ));
+                }
+            }
+            engines.push(run);
+        }
+        datasets.push(DatasetRun { name: name.clone(), db_bytes: db.heap_size(), engines });
+    }
+    Matrix { datasets }
+}
+
+fn apply_build_budget(engine: &mut dyn QueryEngine, params: &ScaleParams) {
+    engine.set_build_budget(
+        BuildBudget::unlimited()
+            .with_time(params.index_time_budget)
+            .with_memory(params.index_mem_budget),
+    );
+}
+
+/// Table IV: dataset statistics.
+pub fn table4(data: &RealWorldData) -> TextTable {
+    let mut t = TextTable::new(
+        "Table IV: Statistics of the real-world-like datasets",
+        &["", "AIDS", "PDBS", "PCM", "PPI"],
+    );
+    let stats: Vec<_> = data.datasets.iter().map(|(_, db)| db.stats()).collect();
+    let row = |label: &str, f: &dyn Fn(usize) -> String| {
+        let mut cells = vec![label.to_string()];
+        cells.extend((0..stats.len()).map(f));
+        cells
+    };
+    t.row(row("#graphs", &|i| stats[i].graphs.to_string()));
+    t.row(row("#labels", &|i| stats[i].labels.to_string()));
+    t.row(row("#vertices per graph", &|i| format!("{:.0}", stats[i].avg_vertices)));
+    t.row(row("#edges per graph", &|i| format!("{:.2}", stats[i].avg_edges)));
+    t.row(row("degree per graph", &|i| format!("{:.2}", stats[i].avg_degree)));
+    t.row(row("#labels per graph", &|i| format!("{:.1}", stats[i].avg_labels)));
+    t
+}
+
+/// Table V: query-set statistics (one table per dataset).
+pub fn table5(data: &RealWorldData) -> Vec<TextTable> {
+    let mut out = Vec::new();
+    for ((name, _), sets) in data.datasets.iter().zip(&data.query_sets) {
+        let mut header: Vec<&str> = vec![""];
+        let names: Vec<String> = sets.iter().map(|(s, _)| s.name()).collect();
+        header.extend(names.iter().map(String::as_str));
+        let mut t = TextTable::new(format!("Table V: Query sets on {name}"), &header);
+        let stats: Vec<QuerySetStats> =
+            sets.iter().map(|(_, qs)| QuerySetStats::compute(qs.iter())).collect();
+        let row = |label: &str, f: &dyn Fn(&QuerySetStats) -> String| {
+            let mut cells = vec![label.to_string()];
+            cells.extend(stats.iter().map(f));
+            cells
+        };
+        t.row(row("|V| per q", &|s| format!("{:.2}", s.avg_vertices)));
+        t.row(row("|Σ| per q", &|s| format!("{:.2}", s.avg_labels)));
+        t.row(row("d per q", &|s| format!("{:.2}", s.avg_degree)));
+        t.row(row("% of trees", &|s| format!("{:.2}", s.tree_fraction)));
+        out.push(t);
+    }
+    out
+}
+
+/// Table VI: indexing time on the real-world datasets (seconds).
+pub fn table6(matrix: &Matrix) -> TextTable {
+    let mut header: Vec<&str> = vec![""];
+    let names: Vec<String> = matrix.datasets.iter().map(|d| d.name.clone()).collect();
+    header.extend(names.iter().map(String::as_str));
+    let mut t = TextTable::new("Table VI: Indexing time (seconds)", &header);
+    for engine_name in ["CT-Index", "GGSX", "Grapes"] {
+        let mut cells = vec![engine_name.to_string()];
+        for d in &matrix.datasets {
+            let run = d.engines.iter().find(|e| e.name == engine_name);
+            cells.push(build_cell(run));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+fn build_cell(run: Option<&EngineRun>) -> String {
+    match run {
+        Some(r) => match (&r.build, &r.build_err) {
+            (Some(b), _) => format!("{:.1}", b.build_time.as_secs_f64()),
+            (None, Some(BuildError::OutOfTime)) => "OOT".into(),
+            (None, Some(BuildError::OutOfMemory)) => "OOM".into(),
+            _ => "N/A".into(),
+        },
+        None => "N/A".into(),
+    }
+}
+
+/// Table VII: memory cost on the real-world datasets (MB).
+pub fn table7(matrix: &Matrix) -> TextTable {
+    let mut header: Vec<&str> = vec![""];
+    let names: Vec<String> = matrix.datasets.iter().map(|d| d.name.clone()).collect();
+    header.extend(names.iter().map(String::as_str));
+    let mut t = TextTable::new("Table VII: Memory cost (MB)", &header);
+
+    let mut cells = vec!["Datasets".to_string()];
+    cells.extend(matrix.datasets.iter().map(|d| format_mb(d.db_bytes)));
+    t.row(cells);
+
+    // CFQL: peak per-query auxiliary bytes across all query sets.
+    let mut cells = vec!["CFQL".to_string()];
+    for d in &matrix.datasets {
+        let bytes = d
+            .engines
+            .iter()
+            .find(|e| e.name == "CFQL")
+            .map(|e| e.reports.iter().map(|r| r.max_aux_bytes()).max().unwrap_or(0))
+            .unwrap_or(0);
+        cells.push(format_mb(bytes));
+    }
+    t.row(cells);
+
+    for engine_name in ["CT-Index", "GGSX", "Grapes"] {
+        let mut cells = vec![engine_name.to_string()];
+        for d in &matrix.datasets {
+            let run = d.engines.iter().find(|e| e.name == engine_name);
+            cells.push(match run.and_then(|r| r.build.as_ref()) {
+                Some(b) => format_mb(b.index_bytes),
+                None => "N/A".into(),
+            });
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// The per-figure metric extracted from a query-set report.
+type Metric = fn(&QuerySetReport) -> Option<String>;
+
+fn figure(matrix: &Matrix, title: &str, engines: &[&str], metric: Metric) -> Vec<TextTable> {
+    let mut out = Vec::new();
+    for d in &matrix.datasets {
+        let set_names: Vec<String> = d
+            .engines
+            .iter()
+            .find(|e| !e.reports.is_empty())
+            .map(|e| e.reports.iter().map(|r| r.query_set.clone()).collect())
+            .unwrap_or_default();
+        let mut header: Vec<&str> = vec![""];
+        header.extend(set_names.iter().map(String::as_str));
+        let mut t = TextTable::new(format!("{title} — {}", d.name), &header);
+        for &engine_name in engines {
+            let Some(run) = d.engines.iter().find(|e| e.name == engine_name) else {
+                continue;
+            };
+            let mut cells = vec![engine_name.to_string()];
+            if run.build_err.is_some() {
+                // Index construction failed: no query results (like
+                // CT-Index on PCM/PPI in the paper).
+                cells.extend(set_names.iter().map(|_| "N/A".to_string()));
+            } else {
+                for name in &set_names {
+                    let cell = run
+                        .reports
+                        .iter()
+                        .find(|r| &r.query_set == name)
+                        .and_then(|r| if r.should_omit() { None } else { metric(r) })
+                        .unwrap_or_else(|| "-".to_string());
+                    cells.push(cell);
+                }
+            }
+            t.row(cells);
+        }
+        out.push(t);
+    }
+    out
+}
+
+const ALL_EIGHT: [&str; 8] =
+    ["CT-Index", "Grapes", "GGSX", "CFL", "GraphQL", "CFQL", "vcGrapes", "vcGGSX"];
+
+/// Figure 2: filtering precision.
+pub fn fig2(matrix: &Matrix) -> Vec<TextTable> {
+    figure(matrix, "Figure 2: Filtering precision", &ALL_EIGHT, |r| {
+        Some(format!("{:.3}", r.filtering_precision()))
+    })
+}
+
+/// Figure 3: filtering time (ms).
+pub fn fig3(matrix: &Matrix) -> Vec<TextTable> {
+    figure(matrix, "Figure 3: Filtering time (ms)", &ALL_EIGHT, |r| {
+        Some(fmt_ms(r.avg_filter_ms()))
+    })
+}
+
+/// Figure 4: verification time (ms).
+pub fn fig4(matrix: &Matrix) -> Vec<TextTable> {
+    figure(matrix, "Figure 4: Verification time (ms)", &ALL_EIGHT, |r| {
+        Some(fmt_ms(r.avg_verify_ms()))
+    })
+}
+
+/// Figure 5: per-SI-test time (ms).
+pub fn fig5(matrix: &Matrix) -> Vec<TextTable> {
+    figure(matrix, "Figure 5: Per SI test time (ms)", &ALL_EIGHT, |r| {
+        Some(fmt_ms(r.per_si_test_ms()))
+    })
+}
+
+/// Figure 6: number of candidate graphs.
+pub fn fig6(matrix: &Matrix) -> Vec<TextTable> {
+    figure(matrix, "Figure 6: Candidate graphs |C(q)|", &ALL_EIGHT, |r| {
+        Some(format!("{:.1}", r.avg_candidates()))
+    })
+}
+
+/// Figure 7: query time (ms) — CFQL representing vcFV, per the paper.
+pub fn fig7(matrix: &Matrix) -> Vec<TextTable> {
+    figure(
+        matrix,
+        "Figure 7: Query time (ms)",
+        &["CT-Index", "Grapes", "GGSX", "CFQL", "vcGrapes", "vcGGSX"],
+        |r| Some(fmt_ms(r.avg_query_ms())),
+    )
+}
+
+/// Per-query budget helper used by synthetic experiments too.
+pub fn query_deadline(params: &ScaleParams) -> Duration {
+    params.query_budget
+}

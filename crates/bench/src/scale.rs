@@ -1,0 +1,180 @@
+//! Experiment scales: paper-faithful parameters and scaled-down variants.
+
+use std::time::Duration;
+
+use sqp_datagen::profiles::{aids_like, pcm_like, pdbs_like, ppi_like, DatasetProfile};
+
+/// How large to run the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds — used by the harness's own tests.
+    Smoke,
+    /// Minutes on one machine (default).
+    Small,
+    /// The paper's parameters (hours; reproduces the OOT/OOM entries).
+    Full,
+}
+
+impl Scale {
+    /// Parses `smoke` / `small` / `full`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The concrete parameter set for this scale.
+    pub fn params(self) -> ScaleParams {
+        match self {
+            Scale::Smoke => ScaleParams {
+                scale: self,
+                queries_per_set: 3,
+                query_edge_sizes: vec![4, 8],
+                query_budget: Duration::from_millis(500),
+                index_time_budget: Duration::from_secs(5),
+                index_mem_budget: 512 << 20,
+                aids: resize(aids_like(), 60, 20),
+                pdbs: resize(pdbs_like(), 10, 120),
+                pcm: resize(pcm_like(), 6, 60),
+                ppi: resize(ppi_like(), 3, 120),
+                syn_graphs: 30,
+                syn_vertices: 40,
+                syn_labels: 20,
+                syn_degree: 8.0,
+                sweep_labels: vec![1, 10, 20],
+                sweep_degree: vec![4, 8],
+                sweep_vertices: vec![20, 40],
+                sweep_graphs: vec![10, 30],
+            },
+            Scale::Small => ScaleParams {
+                scale: self,
+                queries_per_set: 20,
+                query_edge_sizes: vec![4, 8, 16, 32],
+                query_budget: Duration::from_secs(2),
+                index_time_budget: Duration::from_secs(45),
+                index_mem_budget: 4 << 30,
+                aids: resize(aids_like(), 2_000, 45),
+                pdbs: resize(pdbs_like(), 60, 600),
+                pcm: resize(pcm_like(), 40, 150),
+                ppi: resize(ppi_like(), 5, 800),
+                syn_graphs: 300,
+                syn_vertices: 100,
+                syn_labels: 20,
+                syn_degree: 8.0,
+                sweep_labels: vec![1, 10, 20, 40, 80],
+                sweep_degree: vec![4, 8, 16, 32],
+                sweep_vertices: vec![50, 200, 800, 3200],
+                sweep_graphs: vec![100, 1_000, 10_000],
+            },
+            Scale::Full => ScaleParams {
+                scale: self,
+                queries_per_set: 100,
+                query_edge_sizes: vec![4, 8, 16, 32],
+                query_budget: Duration::from_secs(600),
+                index_time_budget: Duration::from_secs(24 * 3600),
+                index_mem_budget: 64 << 30,
+                aids: aids_like(),
+                pdbs: pdbs_like(),
+                pcm: pcm_like(),
+                ppi: ppi_like(),
+                syn_graphs: 1_000,
+                syn_vertices: 200,
+                syn_labels: 20,
+                syn_degree: 8.0,
+                sweep_labels: vec![1, 10, 20, 40, 80],
+                sweep_degree: vec![4, 8, 16, 32, 64],
+                sweep_vertices: vec![50, 200, 800, 3200, 12_800],
+                sweep_graphs: vec![100, 1_000, 10_000, 100_000, 1_000_000],
+            },
+        }
+    }
+}
+
+fn resize(mut p: DatasetProfile, graphs: usize, avg_vertices: usize) -> DatasetProfile {
+    p.graphs = graphs;
+    p.avg_vertices = avg_vertices;
+    p
+}
+
+/// Concrete parameters of one scale.
+#[derive(Clone, Debug)]
+pub struct ScaleParams {
+    /// The scale these parameters belong to.
+    pub scale: Scale,
+    /// Queries per query set (paper: 100).
+    pub queries_per_set: usize,
+    /// Edge counts of the query sets (paper: 4, 8, 16, 32).
+    pub query_edge_sizes: Vec<usize>,
+    /// Per-query time budget (paper: 10 min).
+    pub query_budget: Duration,
+    /// Index-construction time budget (paper: 24 h).
+    pub index_time_budget: Duration,
+    /// Index-construction memory budget (paper: 64 GB machine).
+    pub index_mem_budget: usize,
+    /// AIDS-like dataset profile.
+    pub aids: DatasetProfile,
+    /// PDBS-like dataset profile.
+    pub pdbs: DatasetProfile,
+    /// PCM-like dataset profile.
+    pub pcm: DatasetProfile,
+    /// PPI-like dataset profile.
+    pub ppi: DatasetProfile,
+    /// Synthetic default `|D|`.
+    pub syn_graphs: usize,
+    /// Synthetic default `|V(G)|`.
+    pub syn_vertices: usize,
+    /// Synthetic default `|Σ|`.
+    pub syn_labels: usize,
+    /// Synthetic default `d(G)`.
+    pub syn_degree: f64,
+    /// Values of `|Σ|` for the label sweep.
+    pub sweep_labels: Vec<usize>,
+    /// Values of `d(G)` for the degree sweep.
+    pub sweep_degree: Vec<usize>,
+    /// Values of `|V(G)|` for the size sweep.
+    pub sweep_vertices: Vec<usize>,
+    /// Values of `|D|` for the database-size sweep.
+    pub sweep_graphs: Vec<usize>,
+}
+
+impl ScaleParams {
+    /// The four real-world-like profiles in paper order.
+    pub fn real_world(&self) -> Vec<&DatasetProfile> {
+        vec![&self.aids, &self.pdbs, &self.pcm, &self.ppi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let p = Scale::Full.params();
+        assert_eq!(p.queries_per_set, 100);
+        assert_eq!(p.query_budget, Duration::from_secs(600));
+        assert_eq!(p.aids.graphs, 40_000);
+        assert_eq!(p.syn_graphs, 1_000);
+        assert_eq!(p.sweep_graphs.last(), Some(&1_000_000));
+    }
+
+    #[test]
+    fn smaller_scales_shrink() {
+        let small = Scale::Small.params();
+        let full = Scale::Full.params();
+        assert!(small.aids.graphs < full.aids.graphs);
+        assert!(small.query_budget < full.query_budget);
+        assert_eq!(small.real_world().len(), 4);
+    }
+}

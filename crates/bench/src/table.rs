@@ -1,0 +1,145 @@
+//! Plain-text table rendering for the `repro` harness, plus TSV dumps.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned text table with a title, a header row and data rows.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate().take(cols) {
+                let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+            }
+            let _ = writeln!(out);
+        };
+        line(&self.header, &mut out);
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the table as TSV under `dir`, named from the title.
+    pub fn write_tsv(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let mut body = self.header.join("\t");
+        body.push('\n');
+        for row in &self.rows {
+            body.push_str(&row.join("\t"));
+            body.push('\n');
+        }
+        fs::write(dir.join(format!("{slug}.tsv")), body)
+    }
+}
+
+/// Formats a duration in the paper's style: milliseconds with adaptive
+/// precision, or seconds for large values.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms < 0.01 {
+        format!("{ms:.4}")
+    } else if ms < 10.0 {
+        format!("{ms:.3}")
+    } else if ms < 10_000.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{:.1}s", ms / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("long-name"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new("X", &["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().lines().count() >= 4);
+    }
+
+    #[test]
+    fn tsv_written() {
+        let dir = std::env::temp_dir().join("sqp_table_test");
+        let mut t = TextTable::new("Table VI: Indexing", &["ds", "t"]);
+        t.row(vec!["AIDS".into(), "5".into()]);
+        t.write_tsv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("table_vi_indexing.tsv")).unwrap();
+        assert!(content.starts_with("ds\tt\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fmt_ms_ranges() {
+        assert_eq!(fmt_ms(0.001), "0.0010");
+        assert_eq!(fmt_ms(1.5), "1.500");
+        assert_eq!(fmt_ms(123.45), "123.5");
+        assert_eq!(fmt_ms(20_000.0), "20.0s");
+    }
+}

@@ -1,0 +1,110 @@
+//! Smoke tests of the `repro` experiment harness: every table/figure
+//! function must produce well-formed output on a miniature configuration.
+//!
+//! These use a configuration even smaller than `Scale::Smoke` so the whole
+//! file runs in seconds.
+
+use std::time::Duration;
+
+use sqp_bench::experiments::{realworld, synthetic};
+use sqp_bench::scale::{Scale, ScaleParams};
+use sqp_datagen::profiles::aids_like;
+
+/// A micro configuration for harness self-tests.
+fn micro_params() -> ScaleParams {
+    let mut p = Scale::Smoke.params();
+    p.queries_per_set = 2;
+    p.query_edge_sizes = vec![4];
+    p.query_budget = Duration::from_millis(500);
+    p.index_time_budget = Duration::from_secs(3);
+    p.aids = {
+        let mut a = aids_like();
+        a.graphs = 20;
+        a.avg_vertices = 12;
+        a
+    };
+    p.pdbs = p.aids.clone();
+    p.pcm = p.aids.clone();
+    p.ppi = p.aids.clone();
+    p.syn_graphs = 8;
+    p.syn_vertices = 15;
+    p.sweep_labels = vec![2, 4];
+    p.sweep_degree = vec![3];
+    p.sweep_vertices = vec![10];
+    p.sweep_graphs = vec![6];
+    p
+}
+
+#[test]
+fn real_world_tables_and_figures() {
+    let params = micro_params();
+    let data = realworld::prepare(&params);
+    assert_eq!(data.datasets.len(), 4);
+    assert_eq!(data.query_sets[0].len(), 2); // 1 size × 2 methods
+
+    let t4 = realworld::table4(&data);
+    assert_eq!(t4.len(), 6); // six statistic rows
+
+    let t5 = realworld::table5(&data);
+    assert_eq!(t5.len(), 4); // one table per dataset
+    assert_eq!(t5[0].len(), 4); // four statistic rows
+
+    let matrix = realworld::run(&params, &data);
+    assert_eq!(matrix.datasets.len(), 4);
+    for d in &matrix.datasets {
+        assert_eq!(d.engines.len(), 8, "eight paper engines per dataset");
+        assert!(d.db_bytes > 0);
+    }
+
+    let t6 = realworld::table6(&matrix);
+    assert_eq!(t6.len(), 3); // CT-Index, GGSX, Grapes rows
+    let t7 = realworld::table7(&matrix);
+    assert_eq!(t7.len(), 5); // Datasets, CFQL, CT-Index, GGSX, Grapes
+
+    for figs in [
+        realworld::fig2(&matrix),
+        realworld::fig3(&matrix),
+        realworld::fig4(&matrix),
+        realworld::fig5(&matrix),
+        realworld::fig6(&matrix),
+    ] {
+        assert_eq!(figs.len(), 4, "one table per dataset");
+        assert!(figs[0].len() >= 6, "most engines present");
+    }
+    let f7 = realworld::fig7(&matrix);
+    assert_eq!(f7.len(), 4);
+    assert_eq!(f7[0].len(), 6, "six engines in the query-time figure");
+}
+
+#[test]
+fn synthetic_tables_and_figures() {
+    let params = micro_params();
+    let sweeps = synthetic::prepare(&params);
+    assert_eq!(sweeps.len(), 4, "four parameter sweeps");
+    assert_eq!(sweeps[0].points.len(), 2); // |Σ| sweep
+
+    let t8 = synthetic::table8(&params, &sweeps);
+    assert_eq!(t8.len(), 4);
+    assert_eq!(t8[0].len(), 3); // three index rows
+
+    let t9 = synthetic::table9(&params, &sweeps);
+    assert_eq!(t9.len(), 4);
+    assert_eq!(t9[0].len(), 4); // Datasets, CFQL, GGSX, Grapes
+
+    let (f8, f9) = synthetic::figs8_and_9(&params, &sweeps);
+    assert_eq!(f8.len(), 4);
+    assert_eq!(f9.len(), 4);
+    assert_eq!(f8[0].len(), 4, "four filter engines");
+    // Precision cells parse as probabilities.
+    let rendered = f8[0].render();
+    for token in rendered.split_whitespace() {
+        if let Ok(v) = token.parse::<f64>() {
+            if (0.0..=1.0).contains(&v) {
+                continue;
+            }
+            // sweep values like "2"/"4" also parse; only reject impossible
+            // precision-looking values.
+            assert!(v >= 1.0, "negative precision {v}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Query-result caching — the GraphCache idea of Wang, Ntarmos &
+//! Triantafillou (EDBT 2016/2017), discussed in the paper's related work
+//! (§II-B1, "Other Approaches").
+//!
+//! A cache of previously answered queries accelerates new ones three ways:
+//!
+//! * **exact hit** — the new query is isomorphic to a cached one: return the
+//!   cached answer set outright;
+//! * **subgraph hit** — a cached query `q'` is a subgraph of the new `q`:
+//!   every graph containing `q` contains `q'`, so verification can be
+//!   restricted to `A(q')`;
+//! * **supergraph hit** — the new `q` is a subgraph of a cached `q'`: every
+//!   graph in `A(q')` already contains `q`, so those answers are free and
+//!   only `D \ A(q')` needs processing.
+//!
+//! Query-to-query containment checks use the workspace's own matchers, so
+//! the cache needs no extra machinery; checks are capped by a small deadline
+//! to keep lookup cost bounded.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sqp_graph::database::GraphId;
+use sqp_graph::{Graph, GraphDb};
+use sqp_matching::cfql::Cfql;
+use sqp_matching::{Deadline, Matcher};
+
+use crate::engine::{QueryEngine, QueryOutcome};
+
+/// How a lookup was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheHit {
+    /// Isomorphic cached query: answers returned directly.
+    Exact,
+    /// A cached subgraph of the query narrowed the candidate graphs.
+    Subgraph,
+    /// A cached supergraph of the query seeded guaranteed answers.
+    Supergraph,
+    /// No usable cached entry.
+    Miss,
+}
+
+struct CacheEntry {
+    query: Graph,
+    answers: Vec<GraphId>,
+}
+
+/// An LRU-bounded query-result cache wrapped around any [`QueryEngine`].
+pub struct CachedEngine {
+    inner: Box<dyn QueryEngine>,
+    db: Option<Arc<GraphDb>>,
+    entries: VecDeque<CacheEntry>,
+    capacity: usize,
+    check_budget: Duration,
+    /// Lookup statistics `(exact, subgraph, supergraph, miss)`.
+    pub stats: (u64, u64, u64, u64),
+}
+
+impl CachedEngine {
+    /// Wraps `inner` with a cache of `capacity` entries.
+    pub fn new(inner: Box<dyn QueryEngine>, capacity: usize) -> Self {
+        Self {
+            inner,
+            db: None,
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            check_budget: Duration::from_millis(5),
+            stats: (0, 0, 0, 0),
+        }
+    }
+
+    /// Builds the wrapped engine.
+    pub fn build(&mut self, db: &Arc<GraphDb>) -> Result<(), sqp_index::BuildError> {
+        self.inner.build(db)?;
+        self.db = Some(Arc::clone(db));
+        Ok(())
+    }
+
+    /// Containment test between query graphs, budget-capped; `None` when the
+    /// check cannot finish in time (treated as "no relation").
+    fn contains(&self, small: &Graph, big: &Graph) -> Option<bool> {
+        if small.vertex_count() > big.vertex_count() || small.edge_count() > big.edge_count() {
+            return Some(false);
+        }
+        Cfql::new().is_subgraph(small, big, Deadline::after(self.check_budget)).ok()
+    }
+
+    fn classify(&self, q: &Graph) -> (CacheHit, Option<usize>) {
+        for (i, e) in self.entries.iter().enumerate() {
+            let same_size = e.query.vertex_count() == q.vertex_count()
+                && e.query.edge_count() == q.edge_count();
+            if same_size
+                && self.contains(&e.query, q) == Some(true)
+                && self.contains(q, &e.query) == Some(true)
+            {
+                return (CacheHit::Exact, Some(i));
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.contains(&e.query, q) == Some(true) {
+                return (CacheHit::Subgraph, Some(i));
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.contains(q, &e.query) == Some(true) {
+                return (CacheHit::Supergraph, Some(i));
+            }
+        }
+        (CacheHit::Miss, None)
+    }
+
+    /// Answers `q`, consulting the cache first. Returns the outcome and how
+    /// the cache contributed.
+    pub fn query(&mut self, q: &Graph) -> (QueryOutcome, CacheHit) {
+        let db = Arc::clone(self.db.as_ref().expect("query before build"));
+        let (hit, idx) = self.classify(q);
+        let outcome = match (hit, idx) {
+            (CacheHit::Exact, Some(i)) => {
+                self.stats.0 += 1;
+                let answers = self.entries[i].answers.clone();
+                self.touch(i);
+                QueryOutcome { answers, ..Default::default() }
+            }
+            (CacheHit::Subgraph, Some(i)) => {
+                self.stats.1 += 1;
+                // Verify only the graphs known to contain the cached
+                // subquery.
+                let candidates = self.entries[i].answers.clone();
+                self.touch(i);
+                let mut out = QueryOutcome { candidates: candidates.len(), ..Default::default() };
+                let cfql = Cfql::new();
+                let t0 = std::time::Instant::now();
+                for gid in candidates {
+                    if let Ok(true) = cfql.is_subgraph(q, db.graph(gid), Deadline::none()) {
+                        out.answers.push(gid);
+                    }
+                }
+                out.verify_time = t0.elapsed();
+                self.insert(q.clone(), out.answers.clone());
+                out
+            }
+            (CacheHit::Supergraph, Some(i)) => {
+                self.stats.2 += 1;
+                // Answers of the cached superquery are free; only the rest
+                // of the database needs the engine.
+                let free: Vec<GraphId> = self.entries[i].answers.clone();
+                self.touch(i);
+                let mut out = self.inner.query(q);
+                for gid in free {
+                    if !out.answers.contains(&gid) {
+                        out.answers.push(gid);
+                    }
+                }
+                out.answers.sort_unstable();
+                self.insert(q.clone(), out.answers.clone());
+                out
+            }
+            _ => {
+                self.stats.3 += 1;
+                let out = self.inner.query(q);
+                self.insert(q.clone(), out.answers.clone());
+                out
+            }
+        };
+        (outcome, hit)
+    }
+
+    fn touch(&mut self, i: usize) {
+        if let Some(e) = self.entries.remove(i) {
+            self.entries.push_front(e);
+        }
+    }
+
+    fn insert(&mut self, query: Graph, answers: Vec<GraphId>) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_back();
+        }
+        self.entries.push_front(CacheEntry { query, answers });
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::CfqlEngine;
+    use sqp_graph::{GraphBuilder, Label, VertexId};
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    fn db() -> Arc<GraphDb> {
+        Arc::new(GraphDb::from_graphs(vec![
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]),
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            labeled(&[0, 1], &[(0, 1)]),
+        ]))
+    }
+
+    fn cached() -> CachedEngine {
+        let mut c = CachedEngine::new(Box::new(CfqlEngine::new()), 8);
+        c.build(&db()).unwrap();
+        c
+    }
+
+    #[test]
+    fn exact_hit_returns_cached_answers() {
+        let mut c = cached();
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let (first, h1) = c.query(&q);
+        assert_eq!(h1, CacheHit::Miss);
+        // Isomorphic restatement of the same query (vertex order flipped).
+        let q2 = labeled(&[1, 0], &[(0, 1)]);
+        let (second, h2) = c.query(&q2);
+        assert_eq!(h2, CacheHit::Exact);
+        assert_eq!(first.answers, second.answers);
+    }
+
+    #[test]
+    fn subgraph_hit_narrows_candidates() {
+        let mut c = cached();
+        let edge = labeled(&[0, 1], &[(0, 1)]);
+        let (_, _) = c.query(&edge); // cache: edge → all 3 graphs
+        let path = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let (out, hit) = c.query(&path);
+        assert_eq!(hit, CacheHit::Subgraph);
+        assert_eq!(out.answers, vec![GraphId(0), GraphId(1)]);
+        // Candidates were restricted to the cached answers (3, not |D|).
+        assert_eq!(out.candidates, 3);
+    }
+
+    #[test]
+    fn supergraph_hit_seeds_answers() {
+        let mut c = cached();
+        let triangle = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let (tri_out, _) = c.query(&triangle);
+        assert_eq!(tri_out.answers, vec![GraphId(0)]);
+        let edge = labeled(&[0, 1], &[(0, 1)]);
+        let (out, hit) = c.query(&edge);
+        assert_eq!(hit, CacheHit::Supergraph);
+        assert_eq!(out.answers, vec![GraphId(0), GraphId(1), GraphId(2)]);
+    }
+
+    #[test]
+    fn answers_always_match_uncached_engine() {
+        let mut c = cached();
+        let mut plain = CfqlEngine::new();
+        plain.build(&db()).unwrap();
+        let queries = [
+            labeled(&[0, 1], &[(0, 1)]),
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            labeled(&[0, 1], &[(0, 1)]),
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]),
+            labeled(&[2, 1], &[(0, 1)]),
+        ];
+        for q in &queries {
+            let (out, _) = c.query(q);
+            assert_eq!(out.answers, plain.query(q).answers);
+        }
+        let (e, s, sup, m) = c.stats;
+        assert_eq!(e + s + sup + m, queries.len() as u64);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut c = CachedEngine::new(Box::new(CfqlEngine::new()), 2);
+        c.build(&db()).unwrap();
+        let q1 = labeled(&[0, 1], &[(0, 1)]);
+        let q2 = labeled(&[1, 2], &[(0, 1)]);
+        let q3 = labeled(&[0, 2], &[(0, 1)]);
+        c.query(&q1);
+        c.query(&q2);
+        assert_eq!(c.len(), 2);
+        c.query(&q3);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! The [`QueryEngine`] abstraction shared by all eight competing algorithms.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sqp_graph::database::GraphId;
+use sqp_graph::{Graph, GraphDb};
+use sqp_index::{BuildBudget, BuildError};
+
+/// The paper's three algorithm categories (Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineCategory {
+    /// Indexing-filtering-verification (Algorithm 1).
+    Ifv,
+    /// Vertex-connectivity-based filtering-verification (Algorithm 2).
+    VcFv,
+    /// Index + vertex-connectivity filtering (two-level).
+    IvcFv,
+}
+
+impl std::fmt::Display for EngineCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineCategory::Ifv => write!(f, "IFV"),
+            EngineCategory::VcFv => write!(f, "vcFV"),
+            EngineCategory::IvcFv => write!(f, "IvcFV"),
+        }
+    }
+}
+
+/// Result of the indexing step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildReport {
+    /// Wall time of index construction (zero for index-free engines).
+    pub build_time: Duration,
+    /// Heap bytes held by the index (zero for index-free engines).
+    pub index_bytes: usize,
+}
+
+/// Result of processing one query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOutcome {
+    /// The answer set `A(q)`: ids of data graphs containing `q`.
+    pub answers: Vec<GraphId>,
+    /// `|C(q)|`: data graphs that survived filtering (and were therefore
+    /// subjected to a subgraph isomorphism test).
+    pub candidates: usize,
+    /// Time in the filtering step. For vcFV/IvcFV this includes candidate
+    /// vertex set construction (§IV-A, *Filtering Time*).
+    pub filter_time: Duration,
+    /// Time in the verification step.
+    pub verify_time: Duration,
+    /// Whether the per-query budget expired (recorded at the limit, as in
+    /// the paper).
+    pub timed_out: bool,
+    /// Peak heap bytes of per-query auxiliary structures (candidate vertex
+    /// sets / CPI) — the vcFV column of Tables VII and IX.
+    pub aux_bytes: usize,
+}
+
+impl QueryOutcome {
+    /// Total query time (filtering + verification).
+    pub fn query_time(&self) -> Duration {
+        self.filter_time + self.verify_time
+    }
+}
+
+/// A subgraph query processing engine.
+///
+/// Lifecycle: construct with algorithm-specific configuration, [`build`]
+/// once per database, then [`query`] any number of times.
+///
+/// [`build`]: QueryEngine::build
+/// [`query`]: QueryEngine::query
+pub trait QueryEngine: Send {
+    /// Engine name as used in the paper's figures (e.g. `"CFQL"`).
+    fn name(&self) -> &'static str;
+
+    /// Which of the three categories the engine belongs to.
+    fn category(&self) -> EngineCategory;
+
+    /// Indexing step. Index-free (vcFV) engines only record the database.
+    /// Errors surface the paper's OOT/OOM outcomes.
+    fn build(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, BuildError>;
+
+    /// Processes one query within the configured per-query budget.
+    ///
+    /// # Panics
+    /// Panics if called before a successful [`build`](QueryEngine::build).
+    fn query(&self, q: &Graph) -> QueryOutcome;
+
+    /// Sets the per-query time budget (default: none).
+    fn set_query_budget(&mut self, budget: Option<Duration>);
+
+    /// Sets the index-construction budget (the paper's 24 h / 64 GB limits).
+    /// No-op for index-free (vcFV) engines.
+    fn set_build_budget(&mut self, budget: BuildBudget) {
+        let _ = budget;
+    }
+
+    /// Heap bytes held by the index (0 for vcFV engines).
+    fn index_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_display() {
+        assert_eq!(EngineCategory::Ifv.to_string(), "IFV");
+        assert_eq!(EngineCategory::VcFv.to_string(), "vcFV");
+        assert_eq!(EngineCategory::IvcFv.to_string(), "IvcFV");
+    }
+
+    #[test]
+    fn outcome_query_time_sums() {
+        let o = QueryOutcome {
+            filter_time: Duration::from_millis(3),
+            verify_time: Duration::from_millis(4),
+            ..Default::default()
+        };
+        assert_eq!(o.query_time(), Duration::from_millis(7));
+    }
+}

@@ -1,0 +1,825 @@
+//! The eight competing engines (plus an Ullmann-based baseline).
+//!
+//! Concrete, ready-to-run instantiations of the paper's Table III. Every
+//! engine is a thin wrapper over one of three generic frames:
+//! [`IfvFrame`] (Algorithm 1), [`VcfvFrame`] (Algorithm 2) and
+//! [`IvcfvFrame`] (two-level filtering).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sqp_graph::database::GraphId;
+use sqp_graph::{Graph, GraphDb, HeapSize};
+use sqp_index::{
+    BuildBudget, BuildError, CtIndexConfig, FingerprintIndex, GgsxIndex, GraphGrepConfig,
+    GraphGrepIndex, GraphIndex, GrapesConfig, PathTrieIndex,
+};
+use sqp_matching::cfl::Cfl;
+use sqp_matching::cfql::Cfql;
+use sqp_matching::graphql::GraphQl;
+use sqp_matching::quicksi::QuickSi;
+use sqp_matching::spath::SPath;
+use sqp_matching::turboiso::TurboIso;
+use sqp_matching::ullmann::Ullmann;
+use sqp_matching::{Deadline, FilterResult, Matcher};
+
+use crate::engine::{BuildReport, EngineCategory, QueryEngine, QueryOutcome};
+use crate::verifier::Vf2Verifier;
+
+/// Which index structure an IFV/IvcFV engine builds.
+#[derive(Clone, Copy, Debug)]
+pub enum IndexKind {
+    /// Grapes path trie.
+    Grapes(GrapesConfig),
+    /// GGSX sorted path dictionary.
+    Ggsx {
+        /// Maximum vertices per path feature.
+        max_path_vertices: usize,
+    },
+    /// CT-Index fingerprints.
+    CtIndex(CtIndexConfig),
+    /// GraphGrep hashed path fingerprints.
+    GraphGrep(GraphGrepConfig),
+}
+
+impl IndexKind {
+    fn build(self, db: &GraphDb, budget: &BuildBudget) -> Result<Box<dyn GraphIndex>, BuildError> {
+        Ok(match self {
+            IndexKind::Grapes(cfg) => Box::new(PathTrieIndex::build(db, cfg, budget)?),
+            IndexKind::Ggsx { max_path_vertices } => {
+                Box::new(GgsxIndex::build(db, max_path_vertices, budget)?)
+            }
+            IndexKind::CtIndex(cfg) => Box::new(FingerprintIndex::build(db, cfg, budget)?),
+            IndexKind::GraphGrep(cfg) => Box::new(GraphGrepIndex::build(db, cfg, budget)?),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IFV frame (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// Generic IFV engine: index-based filtering + VF2 verification.
+pub struct IfvFrame {
+    name: &'static str,
+    kind: IndexKind,
+    verifier: Vf2Verifier,
+    build_budget: BuildBudget,
+    query_budget: Option<Duration>,
+    db: Option<Arc<GraphDb>>,
+    index: Option<Box<dyn GraphIndex>>,
+}
+
+impl IfvFrame {
+    /// Creates an unbuilt IFV engine.
+    pub fn new(name: &'static str, kind: IndexKind, verifier: Vf2Verifier) -> Self {
+        Self {
+            name,
+            kind,
+            verifier,
+            build_budget: BuildBudget::unlimited(),
+            query_budget: None,
+            db: None,
+            index: None,
+        }
+    }
+
+    /// Sets the index-construction budget (the paper's 24 h / RAM limits).
+    pub fn set_build_budget(&mut self, budget: BuildBudget) {
+        self.build_budget = budget;
+    }
+
+    fn build_impl(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, BuildError> {
+        let t0 = Instant::now();
+        let index = self.kind.build(db, &self.build_budget)?;
+        let build_time = t0.elapsed();
+        let index_bytes = index.heap_bytes();
+        self.db = Some(Arc::clone(db));
+        self.index = Some(index);
+        Ok(BuildReport { build_time, index_bytes })
+    }
+
+    fn query_impl(&self, q: &Graph) -> QueryOutcome {
+        let db = self.db.as_ref().expect("query before build");
+        let index = self.index.as_ref().expect("query before build");
+        let deadline = self.query_budget.map_or(Deadline::none(), Deadline::after);
+
+        let t0 = Instant::now();
+        let candidates = index.candidates(q).into_ids(db.len());
+        let filter_time = t0.elapsed();
+
+        let mut out = QueryOutcome {
+            candidates: candidates.len(),
+            filter_time,
+            ..Default::default()
+        };
+        let t1 = Instant::now();
+        for gid in candidates {
+            match self.verifier.verify(q, db.graph(gid), deadline) {
+                Ok(true) => out.answers.push(gid),
+                Ok(false) => {}
+                Err(_) => {
+                    out.timed_out = true;
+                    break;
+                }
+            }
+        }
+        out.verify_time = t1.elapsed();
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// vcFV frame (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+/// Generic vcFV engine: per-graph matcher preprocessing as the filter,
+/// first-match enumeration as the verifier. Index-free.
+pub struct VcfvFrame {
+    name: &'static str,
+    matcher: Box<dyn Matcher>,
+    query_budget: Option<Duration>,
+    db: Option<Arc<GraphDb>>,
+}
+
+impl VcfvFrame {
+    /// Creates an unbuilt vcFV engine.
+    pub fn new(name: &'static str, matcher: Box<dyn Matcher>) -> Self {
+        Self { name, matcher, query_budget: None, db: None }
+    }
+
+    fn query_over(&self, q: &Graph, graphs: &[GraphId]) -> QueryOutcome {
+        let db = self.db.as_ref().expect("query before build");
+        let deadline = self.query_budget.map_or(Deadline::none(), Deadline::after);
+        let mut out = QueryOutcome::default();
+        'graphs: for &gid in graphs {
+            let g = db.graph(gid);
+            let t0 = Instant::now();
+            let filtered = self.matcher.filter(q, g, deadline);
+            out.filter_time += t0.elapsed();
+            match filtered {
+                Err(_) => {
+                    out.timed_out = true;
+                    break 'graphs;
+                }
+                Ok(FilterResult::Pruned) => {}
+                Ok(FilterResult::Space(space)) => {
+                    out.candidates += 1;
+                    out.aux_bytes = out.aux_bytes.max(space.heap_size());
+                    let t1 = Instant::now();
+                    let verdict = self.matcher.find_first(q, g, &space, deadline);
+                    out.verify_time += t1.elapsed();
+                    match verdict {
+                        Ok(Some(_)) => out.answers.push(gid),
+                        Ok(None) => {}
+                        Err(_) => {
+                            out.timed_out = true;
+                            break 'graphs;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn query_impl(&self, q: &Graph) -> QueryOutcome {
+        let n = self.db.as_ref().expect("query before build").len();
+        let all: Vec<GraphId> = (0..n as u32).map(GraphId).collect();
+        self.query_over(q, &all)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IvcFV frame (two-level filtering)
+// ---------------------------------------------------------------------------
+
+/// Generic IvcFV engine: index filtering, then vertex-connectivity filtering,
+/// then first-match enumeration (the paper's vcGrapes / vcGGSX).
+pub struct IvcfvFrame {
+    name: &'static str,
+    kind: IndexKind,
+    inner: VcfvFrame,
+    build_budget: BuildBudget,
+    index: Option<Box<dyn GraphIndex>>,
+}
+
+impl IvcfvFrame {
+    /// Creates an unbuilt IvcFV engine.
+    pub fn new(name: &'static str, kind: IndexKind, matcher: Box<dyn Matcher>) -> Self {
+        Self {
+            name,
+            kind,
+            inner: VcfvFrame::new(name, matcher),
+            build_budget: BuildBudget::unlimited(),
+            index: None,
+        }
+    }
+
+    /// Sets the index-construction budget.
+    pub fn set_build_budget(&mut self, budget: BuildBudget) {
+        self.build_budget = budget;
+    }
+
+    fn build_impl(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, BuildError> {
+        let t0 = Instant::now();
+        let index = self.kind.build(db, &self.build_budget)?;
+        let build_time = t0.elapsed();
+        let index_bytes = index.heap_bytes();
+        self.index = Some(index);
+        self.inner.db = Some(Arc::clone(db));
+        Ok(BuildReport { build_time, index_bytes })
+    }
+
+    fn query_impl(&self, q: &Graph) -> QueryOutcome {
+        let db = self.inner.db.as_ref().expect("query before build");
+        let index = self.index.as_ref().expect("query before build");
+        let t0 = Instant::now();
+        let level1 = index.candidates(q).into_ids(db.len());
+        let index_time = t0.elapsed();
+        let mut out = self.inner.query_over(q, &level1);
+        out.filter_time += index_time;
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concrete engines
+// ---------------------------------------------------------------------------
+
+macro_rules! delegate_query_engine {
+    ($ty:ty, $cat:expr, $frame:ident) => {
+        impl QueryEngine for $ty {
+            fn name(&self) -> &'static str {
+                self.$frame.name
+            }
+            fn category(&self) -> EngineCategory {
+                $cat
+            }
+            fn build(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, BuildError> {
+                self.$frame.build_impl(db)
+            }
+            fn query(&self, q: &Graph) -> QueryOutcome {
+                self.$frame.query_impl(q)
+            }
+            fn set_query_budget(&mut self, budget: Option<Duration>) {
+                self.$frame.query_budget = budget;
+            }
+            fn set_build_budget(&mut self, budget: BuildBudget) {
+                self.$frame.build_budget = budget;
+            }
+            fn index_bytes(&self) -> usize {
+                self.$frame.index.as_ref().map_or(0, |i| i.heap_bytes())
+            }
+        }
+    };
+}
+
+macro_rules! delegate_vcfv_engine {
+    ($ty:ty) => {
+        impl QueryEngine for $ty {
+            fn name(&self) -> &'static str {
+                self.frame.name
+            }
+            fn category(&self) -> EngineCategory {
+                EngineCategory::VcFv
+            }
+            fn build(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, BuildError> {
+                self.frame.db = Some(Arc::clone(db));
+                Ok(BuildReport::default())
+            }
+            fn query(&self, q: &Graph) -> QueryOutcome {
+                self.frame.query_impl(q)
+            }
+            fn set_query_budget(&mut self, budget: Option<Duration>) {
+                self.frame.query_budget = budget;
+            }
+            fn index_bytes(&self) -> usize {
+                0
+            }
+        }
+    };
+}
+
+macro_rules! delegate_ivcfv_engine {
+    ($ty:ty) => {
+        impl QueryEngine for $ty {
+            fn name(&self) -> &'static str {
+                self.frame.name
+            }
+            fn category(&self) -> EngineCategory {
+                EngineCategory::IvcFv
+            }
+            fn build(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, BuildError> {
+                self.frame.build_impl(db)
+            }
+            fn query(&self, q: &Graph) -> QueryOutcome {
+                self.frame.query_impl(q)
+            }
+            fn set_query_budget(&mut self, budget: Option<Duration>) {
+                self.frame.inner.query_budget = budget;
+            }
+            fn set_build_budget(&mut self, budget: BuildBudget) {
+                self.frame.build_budget = budget;
+            }
+            fn index_bytes(&self) -> usize {
+                self.frame.index.as_ref().map_or(0, |i| i.heap_bytes())
+            }
+        }
+    };
+}
+
+/// Grapes: parallel path-trie index + VF2 (IFV).
+pub struct GrapesEngine {
+    frame: IfvFrame,
+}
+
+impl GrapesEngine {
+    /// Grapes with the paper's configuration (paths ≤ 4 vertices, 6 threads).
+    pub fn new() -> Self {
+        Self::with_config(GrapesConfig::default())
+    }
+
+    /// Grapes with a custom configuration.
+    pub fn with_config(config: GrapesConfig) -> Self {
+        Self {
+            frame: IfvFrame::new("Grapes", IndexKind::Grapes(config), Vf2Verifier::classic()),
+        }
+    }
+
+    /// Sets the index-construction budget.
+    pub fn set_build_budget(&mut self, budget: BuildBudget) {
+        self.frame.set_build_budget(budget);
+    }
+}
+
+impl Default for GrapesEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_query_engine!(GrapesEngine, EngineCategory::Ifv, frame);
+
+/// GGSX: sorted path dictionary + VF2 (IFV).
+pub struct GgsxEngine {
+    frame: IfvFrame,
+}
+
+impl GgsxEngine {
+    /// GGSX with the paper's configuration (paths ≤ 4 vertices).
+    pub fn new() -> Self {
+        Self::with_max_path_vertices(4)
+    }
+
+    /// GGSX with a custom maximum path length.
+    pub fn with_max_path_vertices(max_path_vertices: usize) -> Self {
+        Self {
+            frame: IfvFrame::new(
+                "GGSX",
+                IndexKind::Ggsx { max_path_vertices },
+                Vf2Verifier::classic(),
+            ),
+        }
+    }
+
+    /// Sets the index-construction budget.
+    pub fn set_build_budget(&mut self, budget: BuildBudget) {
+        self.frame.set_build_budget(budget);
+    }
+}
+
+impl Default for GgsxEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_query_engine!(GgsxEngine, EngineCategory::Ifv, frame);
+
+/// CT-Index: tree/cycle fingerprints + modified VF2 (IFV).
+pub struct CtIndexEngine {
+    frame: IfvFrame,
+}
+
+impl CtIndexEngine {
+    /// CT-Index with the paper's configuration (4096-bit fingerprints,
+    /// features ≤ size 4).
+    pub fn new() -> Self {
+        Self::with_config(CtIndexConfig::default())
+    }
+
+    /// CT-Index with a custom configuration.
+    pub fn with_config(config: CtIndexConfig) -> Self {
+        Self {
+            frame: IfvFrame::new("CT-Index", IndexKind::CtIndex(config), Vf2Verifier::ct_index()),
+        }
+    }
+
+    /// Sets the index-construction budget.
+    pub fn set_build_budget(&mut self, budget: BuildBudget) {
+        self.frame.set_build_budget(budget);
+    }
+}
+
+impl Default for CtIndexEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_query_engine!(CtIndexEngine, EngineCategory::Ifv, frame);
+
+/// GraphGrep: hashed path fingerprints + VF2 (IFV) — the oldest
+/// enumeration-based index of the paper's Table II, implemented as a
+/// related-work extension.
+pub struct GraphGrepEngine {
+    frame: IfvFrame,
+}
+
+impl GraphGrepEngine {
+    /// GraphGrep with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(GraphGrepConfig::default())
+    }
+
+    /// GraphGrep with a custom configuration.
+    pub fn with_config(config: GraphGrepConfig) -> Self {
+        Self {
+            frame: IfvFrame::new(
+                "GraphGrep",
+                IndexKind::GraphGrep(config),
+                Vf2Verifier::classic(),
+            ),
+        }
+    }
+
+    /// Sets the index-construction budget.
+    pub fn set_build_budget(&mut self, budget: BuildBudget) {
+        self.frame.set_build_budget(budget);
+    }
+}
+
+impl Default for GraphGrepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_query_engine!(GraphGrepEngine, EngineCategory::Ifv, frame);
+
+/// CFL as a vcFV subgraph-query engine.
+pub struct CflEngine {
+    frame: VcfvFrame,
+}
+
+impl CflEngine {
+    /// CFL with both refinement passes.
+    pub fn new() -> Self {
+        Self { frame: VcfvFrame::new("CFL", Box::new(Cfl::new())) }
+    }
+}
+
+impl Default for CflEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_vcfv_engine!(CflEngine);
+
+/// GraphQL as a vcFV subgraph-query engine.
+pub struct GraphQlEngine {
+    frame: VcfvFrame,
+}
+
+impl GraphQlEngine {
+    /// GraphQL with the default pruning depth.
+    pub fn new() -> Self {
+        Self { frame: VcfvFrame::new("GraphQL", Box::new(GraphQl::new())) }
+    }
+}
+
+impl Default for GraphQlEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_vcfv_engine!(GraphQlEngine);
+
+/// CFQL (CFL filter + GraphQL enumeration) as a vcFV engine — the paper's
+/// headline index-free algorithm.
+pub struct CfqlEngine {
+    frame: VcfvFrame,
+}
+
+impl CfqlEngine {
+    /// The default CFQL engine.
+    pub fn new() -> Self {
+        Self { frame: VcfvFrame::new("CFQL", Box::new(Cfql::new())) }
+    }
+}
+
+impl Default for CfqlEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_vcfv_engine!(CfqlEngine);
+
+/// Ullmann as a vcFV engine — a direct-enumeration baseline beyond the
+/// paper's lineup (related-work coverage).
+pub struct UllmannEngine {
+    frame: VcfvFrame,
+}
+
+impl UllmannEngine {
+    /// The default Ullmann engine.
+    pub fn new() -> Self {
+        Self { frame: VcfvFrame::new("Ullmann", Box::new(Ullmann::new())) }
+    }
+}
+
+impl Default for UllmannEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_vcfv_engine!(UllmannEngine);
+
+/// TurboIso as a vcFV engine — candidate-region based filtering and
+/// enumeration (related-work extension beyond the paper's lineup).
+pub struct TurboIsoEngine {
+    frame: VcfvFrame,
+}
+
+impl TurboIsoEngine {
+    /// The default TurboIso engine.
+    pub fn new() -> Self {
+        Self { frame: VcfvFrame::new("TurboIso", Box::new(TurboIso::new())) }
+    }
+}
+
+impl Default for TurboIsoEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_vcfv_engine!(TurboIsoEngine);
+
+/// QuickSI as a vcFV engine — the QI-sequence direct-enumeration baseline
+/// (related-work extension beyond the paper's lineup).
+pub struct QuickSiEngine {
+    frame: VcfvFrame,
+}
+
+impl QuickSiEngine {
+    /// The default QuickSI engine.
+    pub fn new() -> Self {
+        Self { frame: VcfvFrame::new("QuickSI", Box::new(QuickSi::new())) }
+    }
+}
+
+impl Default for QuickSiEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_vcfv_engine!(QuickSiEngine);
+
+/// SPath as a vcFV engine — neighborhood-signature filtering
+/// (related-work extension beyond the paper's lineup).
+pub struct SPathEngine {
+    frame: VcfvFrame,
+}
+
+impl SPathEngine {
+    /// The default SPath engine (signature radius 2).
+    pub fn new() -> Self {
+        Self { frame: VcfvFrame::new("SPath", Box::new(SPath::new())) }
+    }
+}
+
+impl Default for SPathEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_vcfv_engine!(SPathEngine);
+
+/// vcGrapes: Grapes index filtering + CFQL filtering and enumeration (IvcFV).
+pub struct VcGrapesEngine {
+    frame: IvcfvFrame,
+}
+
+impl VcGrapesEngine {
+    /// vcGrapes with the paper's Grapes configuration.
+    pub fn new() -> Self {
+        Self::with_config(GrapesConfig::default())
+    }
+
+    /// vcGrapes with a custom Grapes configuration.
+    pub fn with_config(config: GrapesConfig) -> Self {
+        Self {
+            frame: IvcfvFrame::new("vcGrapes", IndexKind::Grapes(config), Box::new(Cfql::new())),
+        }
+    }
+
+    /// Sets the index-construction budget.
+    pub fn set_build_budget(&mut self, budget: BuildBudget) {
+        self.frame.set_build_budget(budget);
+    }
+}
+
+impl Default for VcGrapesEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_ivcfv_engine!(VcGrapesEngine);
+
+/// vcGGSX: GGSX index filtering + CFQL filtering and enumeration (IvcFV).
+pub struct VcGgsxEngine {
+    frame: IvcfvFrame,
+}
+
+impl VcGgsxEngine {
+    /// vcGGSX with the paper's GGSX configuration.
+    pub fn new() -> Self {
+        Self {
+            frame: IvcfvFrame::new(
+                "vcGGSX",
+                IndexKind::Ggsx { max_path_vertices: 4 },
+                Box::new(Cfql::new()),
+            ),
+        }
+    }
+
+    /// Sets the index-construction budget.
+    pub fn set_build_budget(&mut self, budget: BuildBudget) {
+        self.frame.set_build_budget(budget);
+    }
+}
+
+impl Default for VcGgsxEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+delegate_ivcfv_engine!(VcGgsxEngine);
+
+/// All eight paper engines with default configurations, in Table III order.
+pub fn paper_engines() -> Vec<Box<dyn QueryEngine>> {
+    vec![
+        Box::new(CtIndexEngine::new()),
+        Box::new(GrapesEngine::new()),
+        Box::new(GgsxEngine::new()),
+        Box::new(CflEngine::new()),
+        Box::new(GraphQlEngine::new()),
+        Box::new(CfqlEngine::new()),
+        Box::new(VcGrapesEngine::new()),
+        Box::new(VcGgsxEngine::new()),
+    ]
+}
+
+/// The paper engines plus the related-work baselines implemented beyond the
+/// paper's lineup (Ullmann, QuickSI, TurboIso).
+pub fn all_engines() -> Vec<Box<dyn QueryEngine>> {
+    let mut v = paper_engines();
+    v.push(Box::new(UllmannEngine::new()));
+    v.push(Box::new(QuickSiEngine::new()));
+    v.push(Box::new(TurboIsoEngine::new()));
+    v.push(Box::new(SPathEngine::new()));
+    v.push(Box::new(GraphGrepEngine::new()));
+    v
+}
+
+/// Looks an engine up by its (case-insensitive) paper name, e.g. `"cfql"`,
+/// `"vcgrapes"`, `"ct-index"`.
+pub fn engine_by_name(name: &str) -> Option<Box<dyn QueryEngine>> {
+    let lower = name.to_ascii_lowercase();
+    all_engines().into_iter().find(|e| e.name().to_ascii_lowercase() == lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_graph::{GraphBuilder, Label, VertexId};
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    fn small_db() -> Arc<GraphDb> {
+        Arc::new(GraphDb::from_graphs(vec![
+            // G0: triangle 0-1-2.
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]),
+            // G1: path 0-1-2.
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            // G2: unrelated.
+            labeled(&[3, 3], &[(0, 1)]),
+        ]))
+    }
+
+    #[test]
+    fn all_engines_agree_on_answers() {
+        let db = small_db();
+        let q_edge = labeled(&[0, 1], &[(0, 1)]);
+        let q_tri = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let mut engines = paper_engines();
+        engines.push(Box::new(UllmannEngine::new()));
+        for e in engines.iter_mut() {
+            e.build(&db).unwrap();
+            let a = e.query(&q_edge).answers;
+            assert_eq!(a, vec![GraphId(0), GraphId(1)], "engine {}", e.name());
+            let a = e.query(&q_tri).answers;
+            assert_eq!(a, vec![GraphId(0)], "engine {}", e.name());
+        }
+    }
+
+    #[test]
+    fn vcfv_reports_aux_bytes_and_no_index() {
+        let db = small_db();
+        let mut e = CfqlEngine::new();
+        e.build(&db).unwrap();
+        assert_eq!(e.index_bytes(), 0);
+        let out = e.query(&labeled(&[0, 1], &[(0, 1)]));
+        assert!(out.aux_bytes > 0);
+        assert_eq!(out.candidates, 2);
+    }
+
+    #[test]
+    fn ifv_reports_index_bytes() {
+        let db = small_db();
+        let mut e = GrapesEngine::new();
+        let report = e.build(&db).unwrap();
+        assert!(report.index_bytes > 0);
+        assert_eq!(e.index_bytes(), report.index_bytes);
+    }
+
+    #[test]
+    fn ivcfv_candidates_no_larger_than_ifv() {
+        let db = small_db();
+        let mut grapes = GrapesEngine::new();
+        let mut vc = VcGrapesEngine::new();
+        grapes.build(&db).unwrap();
+        vc.build(&db).unwrap();
+        let q = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let a = grapes.query(&q);
+        let b = vc.query(&q);
+        assert!(b.candidates <= a.candidates);
+        assert_eq!(a.answers, b.answers);
+    }
+
+    #[test]
+    fn build_budget_propagates_oot() {
+        let db = small_db();
+        let mut e = CtIndexEngine::new();
+        e.set_build_budget(BuildBudget::unlimited().with_memory(1));
+        assert!(e.build(&db).is_err());
+    }
+
+    #[test]
+    fn registry_finds_every_engine() {
+        for e in all_engines() {
+            let found = engine_by_name(e.name()).expect("registered");
+            assert_eq!(found.name(), e.name());
+            // Case-insensitive lookup.
+            let found = engine_by_name(&e.name().to_ascii_uppercase()).expect("case-insensitive");
+            assert_eq!(found.name(), e.name());
+        }
+        assert!(engine_by_name("no-such-engine").is_none());
+    }
+
+    #[test]
+    fn paper_engines_are_table_iii() {
+        let names: Vec<&str> = paper_engines().iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            ["CT-Index", "Grapes", "GGSX", "CFL", "GraphQL", "CFQL", "vcGrapes", "vcGGSX"]
+        );
+        assert_eq!(all_engines().len(), 13);
+    }
+
+    #[test]
+    fn categories_are_correct() {
+        assert_eq!(GrapesEngine::new().category(), EngineCategory::Ifv);
+        assert_eq!(CfqlEngine::new().category(), EngineCategory::VcFv);
+        assert_eq!(VcGgsxEngine::new().category(), EngineCategory::IvcFv);
+    }
+}

@@ -1,0 +1,43 @@
+//! The subgraph query processing framework.
+//!
+//! A *subgraph query* (Definition II.2) retrieves every data graph in a
+//! database `D` that contains a connected query graph `q`. This crate wires
+//! the substrates — [`sqp_index`] feature indices and [`sqp_matching`]
+//! matching algorithms — into the paper's three engine categories:
+//!
+//! | Category | Engines | Filtering | Verification |
+//! |----------|---------|-----------|--------------|
+//! | IFV (Algorithm 1)   | [`engines::CtIndexEngine`], [`engines::GrapesEngine`], [`engines::GgsxEngine`] | feature index | VF2 |
+//! | vcFV (Algorithm 2)  | [`engines::CflEngine`], [`engines::GraphQlEngine`], [`engines::CfqlEngine`] | matcher preprocessing | first-match enumeration |
+//! | IvcFV               | [`engines::VcGrapesEngine`], [`engines::VcGgsxEngine`] | index + preprocessing | CFQL enumeration |
+//!
+//! All engines implement [`QueryEngine`], report the same timing breakdown
+//! (filtering vs verification, the paper's §IV metrics), and enforce a
+//! per-query time budget (10 minutes in the paper, configurable here).
+
+pub mod cache;
+pub mod collection;
+pub mod engine;
+pub mod engines;
+pub mod metrics;
+pub mod parallel;
+pub mod runner;
+pub mod verifier;
+
+pub use engine::{BuildReport, EngineCategory, QueryEngine, QueryOutcome};
+pub use metrics::{QueryRecord, QuerySetReport};
+pub use runner::{run_query_set, RunnerConfig};
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::cache::{CacheHit, CachedEngine};
+    pub use crate::collection::{CollectionMatcher, GraphMatches};
+    pub use crate::engine::{BuildReport, EngineCategory, QueryEngine, QueryOutcome};
+    pub use crate::engines::{
+        CflEngine, CfqlEngine, CtIndexEngine, GgsxEngine, GraphGrepEngine, GraphQlEngine, GrapesEngine,
+        QuickSiEngine, SPathEngine, TurboIsoEngine, UllmannEngine, VcGgsxEngine, VcGrapesEngine,
+    };
+    pub use crate::metrics::{QueryRecord, QuerySetReport};
+    pub use crate::parallel::{parallel_query, ParallelOutcome};
+    pub use crate::runner::{run_query_set, RunnerConfig};
+}

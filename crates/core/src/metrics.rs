@@ -1,0 +1,239 @@
+//! Query and query-set metrics (§IV-A of the paper).
+
+use std::time::Duration;
+
+use crate::engine::QueryOutcome;
+
+/// One query's measurements.
+#[derive(Clone, Debug)]
+pub struct QueryRecord {
+    /// Time in the filtering step.
+    pub filter_time: Duration,
+    /// Time in the verification step.
+    pub verify_time: Duration,
+    /// `|C(q)|`.
+    pub candidates: usize,
+    /// `|A(q)|`.
+    pub answers: usize,
+    /// Whether the query exceeded its budget (recorded at the limit).
+    pub timed_out: bool,
+    /// Peak auxiliary-structure bytes.
+    pub aux_bytes: usize,
+}
+
+impl QueryRecord {
+    /// Builds a record from an engine outcome, clamping a timed-out query's
+    /// total to `budget` (the paper records timeouts at the 10-minute limit).
+    pub fn from_outcome(outcome: &QueryOutcome, budget: Option<Duration>) -> Self {
+        let mut filter_time = outcome.filter_time;
+        let mut verify_time = outcome.verify_time;
+        if outcome.timed_out {
+            if let Some(b) = budget {
+                // Clamp: keep the split but cap the total at the limit.
+                let total = filter_time + verify_time;
+                if total > b && !total.is_zero() {
+                    let scale = b.as_secs_f64() / total.as_secs_f64();
+                    filter_time = filter_time.mul_f64(scale);
+                    verify_time = verify_time.mul_f64(scale);
+                }
+            }
+        }
+        Self {
+            filter_time,
+            verify_time,
+            candidates: outcome.candidates,
+            answers: outcome.answers.len(),
+            timed_out: outcome.timed_out,
+            aux_bytes: outcome.aux_bytes,
+        }
+    }
+
+    /// Total query time.
+    pub fn query_time(&self) -> Duration {
+        self.filter_time + self.verify_time
+    }
+}
+
+/// Aggregated measurements of one engine on one query set.
+#[derive(Clone, Debug, Default)]
+pub struct QuerySetReport {
+    /// Engine name (e.g. `"CFQL"`).
+    pub engine: String,
+    /// Query-set name (e.g. `"Q8S"`).
+    pub query_set: String,
+    /// Per-query records, in query order.
+    pub records: Vec<QueryRecord>,
+}
+
+impl QuerySetReport {
+    /// Creates an empty report.
+    pub fn new(engine: impl Into<String>, query_set: impl Into<String>) -> Self {
+        Self { engine: engine.into(), query_set: query_set.into(), records: Vec::new() }
+    }
+
+    fn mean(&self, f: impl Fn(&QueryRecord) -> f64) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(f).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Average query time in milliseconds.
+    pub fn avg_query_ms(&self) -> f64 {
+        self.mean(|r| r.query_time().as_secs_f64() * 1e3)
+    }
+
+    /// Average filtering time in milliseconds.
+    pub fn avg_filter_ms(&self) -> f64 {
+        self.mean(|r| r.filter_time.as_secs_f64() * 1e3)
+    }
+
+    /// Average verification time in milliseconds.
+    pub fn avg_verify_ms(&self) -> f64 {
+        self.mean(|r| r.verify_time.as_secs_f64() * 1e3)
+    }
+
+    /// Filtering precision (Eq. 1): mean over queries of `|A(q)| / |C(q)|`.
+    /// Queries with an empty candidate set count as precision 1 (the filter
+    /// was perfect: nothing to verify, nothing missed).
+    pub fn filtering_precision(&self) -> f64 {
+        self.mean(|r| {
+            if r.candidates == 0 {
+                1.0
+            } else {
+                r.answers as f64 / r.candidates as f64
+            }
+        })
+    }
+
+    /// Average `|C(q)|` (Figure 6).
+    pub fn avg_candidates(&self) -> f64 {
+        self.mean(|r| r.candidates as f64)
+    }
+
+    /// Average `|A(q)|`.
+    pub fn avg_answers(&self) -> f64 {
+        self.mean(|r| r.answers as f64)
+    }
+
+    /// Per-SI-test time in milliseconds (Eq. 3): mean over queries of
+    /// `verification time / |C(q)|`; queries with no candidates contribute 0.
+    pub fn per_si_test_ms(&self) -> f64 {
+        self.mean(|r| {
+            if r.candidates == 0 {
+                0.0
+            } else {
+                r.verify_time.as_secs_f64() * 1e3 / r.candidates as f64
+            }
+        })
+    }
+
+    /// Number of queries that exceeded the budget.
+    pub fn timeout_count(&self) -> usize {
+        self.records.iter().filter(|r| r.timed_out).count()
+    }
+
+    /// Fraction of queries completed within the budget.
+    pub fn completion_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.timeout_count() as f64 / self.records.len() as f64
+    }
+
+    /// Peak auxiliary bytes across the set.
+    pub fn max_aux_bytes(&self) -> usize {
+        self.records.iter().map(|r| r.aux_bytes).max().unwrap_or(0)
+    }
+
+    /// The paper omits an algorithm's results on a query set when it fails
+    /// more than 40% of the queries; this implements that cutoff.
+    pub fn should_omit(&self) -> bool {
+        self.completion_rate() < 0.6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_graph::database::GraphId;
+
+    fn record(filter_ms: u64, verify_ms: u64, cands: usize, answers: usize) -> QueryRecord {
+        QueryRecord {
+            filter_time: Duration::from_millis(filter_ms),
+            verify_time: Duration::from_millis(verify_ms),
+            candidates: cands,
+            answers,
+            timed_out: false,
+            aux_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn precision_matches_eq1() {
+        let mut r = QuerySetReport::new("CFQL", "Q4S");
+        r.records.push(record(1, 1, 4, 2)); // 0.5
+        r.records.push(record(1, 1, 2, 2)); // 1.0
+        assert!((r.filtering_precision() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_candidate_set_counts_as_perfect() {
+        let mut r = QuerySetReport::new("CFQL", "Q4S");
+        r.records.push(record(1, 0, 0, 0));
+        assert_eq!(r.filtering_precision(), 1.0);
+        assert_eq!(r.per_si_test_ms(), 0.0);
+    }
+
+    #[test]
+    fn per_si_test_matches_eq3() {
+        let mut r = QuerySetReport::new("VF2", "Q4S");
+        r.records.push(record(0, 10, 5, 1)); // 2 ms per test
+        r.records.push(record(0, 12, 3, 0)); // 4 ms per test
+        assert!((r.per_si_test_ms() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averages() {
+        let mut r = QuerySetReport::new("X", "Q");
+        r.records.push(record(2, 4, 10, 5));
+        r.records.push(record(4, 8, 20, 5));
+        assert!((r.avg_filter_ms() - 3.0).abs() < 1e-9);
+        assert!((r.avg_verify_ms() - 6.0).abs() < 1e-9);
+        assert!((r.avg_query_ms() - 9.0).abs() < 1e-9);
+        assert!((r.avg_candidates() - 15.0).abs() < 1e-9);
+        assert!((r.avg_answers() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_clamping_and_omission() {
+        let outcome = QueryOutcome {
+            answers: vec![GraphId(0)],
+            candidates: 3,
+            filter_time: Duration::from_millis(400),
+            verify_time: Duration::from_millis(1600),
+            timed_out: true,
+            aux_bytes: 0,
+        };
+        let r = QueryRecord::from_outcome(&outcome, Some(Duration::from_millis(1000)));
+        assert!(r.timed_out);
+        assert!((r.query_time().as_secs_f64() - 1.0).abs() < 1e-6);
+        // Split preserved 1:4.
+        assert!((r.filter_time.as_secs_f64() - 0.2).abs() < 1e-6);
+
+        let mut rep = QuerySetReport::new("X", "Q");
+        for _ in 0..5 {
+            rep.records.push(r.clone());
+        }
+        assert_eq!(rep.timeout_count(), 5);
+        assert!(rep.should_omit());
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let r = QuerySetReport::new("X", "Q");
+        assert_eq!(r.avg_query_ms(), 0.0);
+        assert_eq!(r.completion_rate(), 1.0);
+        assert!(!r.should_omit());
+    }
+}

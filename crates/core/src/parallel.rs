@@ -1,0 +1,168 @@
+//! Parallel vcFV query processing.
+//!
+//! Grapes exploits multi-core machines during both indexing and querying
+//! (§III-A); the vcFV framework parallelizes even more naturally, since each
+//! data graph's filter+verify is independent. This module fans a query out
+//! over worker threads, each processing a contiguous slice of the database.
+//!
+//! Timing semantics: per-phase times are summed across workers (CPU time),
+//! while [`ParallelOutcome::wall_time`] reports the end-to-end latency — the
+//! number a user of a multi-core deployment cares about.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use sqp_graph::database::GraphId;
+use sqp_graph::{Graph, GraphDb, HeapSize};
+use sqp_matching::{Deadline, FilterResult, Matcher};
+
+use crate::engine::QueryOutcome;
+
+/// Outcome of a parallel query.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelOutcome {
+    /// The sequential-equivalent outcome (answers sorted by graph id; times
+    /// are summed worker CPU times).
+    pub outcome: QueryOutcome,
+    /// End-to-end latency of the parallel pass.
+    pub wall_time: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Runs `matcher` as a vcFV query over the whole database using `threads`
+/// workers. Results are identical to the sequential engine's (answers are
+/// sorted by graph id); only timing differs.
+pub fn parallel_query(
+    matcher: &dyn Matcher,
+    db: &Arc<GraphDb>,
+    q: &Graph,
+    threads: usize,
+    deadline: Deadline,
+) -> ParallelOutcome {
+    let threads = threads.clamp(1, db.len().max(1));
+    let t0 = Instant::now();
+    let chunk = db.len().div_ceil(threads);
+    let results: Mutex<Vec<QueryOutcome>> = Mutex::new(Vec::with_capacity(threads));
+
+    thread::scope(|s| {
+        for w in 0..threads {
+            let results = &results;
+            let db = Arc::clone(db);
+            s.spawn(move |_| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(db.len());
+                let mut part = QueryOutcome::default();
+                for gid in (lo as u32..hi as u32).map(GraphId) {
+                    let g = db.graph(gid);
+                    let tf = Instant::now();
+                    let filtered = matcher.filter(q, g, deadline);
+                    part.filter_time += tf.elapsed();
+                    match filtered {
+                        Err(_) => {
+                            part.timed_out = true;
+                            break;
+                        }
+                        Ok(FilterResult::Pruned) => {}
+                        Ok(FilterResult::Space(space)) => {
+                            part.candidates += 1;
+                            part.aux_bytes = part.aux_bytes.max(space.heap_size());
+                            let tv = Instant::now();
+                            let verdict = matcher.find_first(q, g, &space, deadline);
+                            part.verify_time += tv.elapsed();
+                            match verdict {
+                                Ok(Some(_)) => part.answers.push(gid),
+                                Ok(None) => {}
+                                Err(_) => {
+                                    part.timed_out = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                results.lock().push(part);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let mut merged = QueryOutcome::default();
+    for part in results.into_inner() {
+        merged.answers.extend(part.answers);
+        merged.candidates += part.candidates;
+        merged.filter_time += part.filter_time;
+        merged.verify_time += part.verify_time;
+        merged.timed_out |= part.timed_out;
+        merged.aux_bytes = merged.aux_bytes.max(part.aux_bytes);
+    }
+    merged.answers.sort_unstable();
+    ParallelOutcome { outcome: merged, wall_time: t0.elapsed(), threads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_graph::{GraphBuilder, Label, VertexId};
+    use sqp_matching::cfql::Cfql;
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    fn db(n: usize) -> Arc<GraphDb> {
+        let graphs = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)])
+                } else {
+                    labeled(&[0, 1], &[(0, 1)])
+                }
+            })
+            .collect();
+        Arc::new(GraphDb::from_graphs(graphs))
+    }
+
+    #[test]
+    fn matches_sequential_results() {
+        let db = db(25);
+        let q = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let cfql = Cfql::new();
+        for threads in [1, 2, 4, 8] {
+            let r = parallel_query(&cfql, &db, &q, threads, Deadline::none());
+            let expected: Vec<GraphId> =
+                (0..25u32).filter(|i| i % 3 == 0).map(GraphId).collect();
+            assert_eq!(r.outcome.answers, expected, "{threads} threads");
+            assert_eq!(r.outcome.candidates, 9);
+            assert!(r.threads <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn single_graph_database() {
+        let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)])]));
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let r = parallel_query(&Cfql::new(), &db, &q, 16, Deadline::none());
+        assert_eq!(r.outcome.answers.len(), 1);
+        assert_eq!(r.threads, 1);
+    }
+
+    #[test]
+    fn timeout_propagates_from_workers() {
+        let db = db(20);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let d = Deadline::at(std::time::Instant::now() - Duration::from_millis(1));
+        let r = parallel_query(&Cfql::new(), &db, &q, 4, d);
+        assert!(r.outcome.timed_out);
+    }
+}

@@ -1,0 +1,110 @@
+//! Running query sets against engines.
+
+use std::time::Duration;
+
+use sqp_graph::Graph;
+
+use crate::engine::QueryEngine;
+use crate::metrics::{QueryRecord, QuerySetReport};
+
+/// Configuration of a query-set run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerConfig {
+    /// Per-query time budget (the paper: 10 minutes). `None` = unlimited.
+    pub query_budget: Option<Duration>,
+    /// Stop early once this many queries timed out — the paper omits a
+    /// query set after 40% failures, so burning the full budget on every
+    /// remaining query is pointless. `None` = never stop early.
+    pub abort_after_timeouts: Option<usize>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self { query_budget: Some(Duration::from_secs(600)), abort_after_timeouts: None }
+    }
+}
+
+impl RunnerConfig {
+    /// A configuration with the given per-query budget.
+    pub fn with_budget(budget: Duration) -> Self {
+        Self { query_budget: Some(budget), ..Self::default() }
+    }
+}
+
+/// Runs `queries` against a built engine, producing a [`QuerySetReport`].
+///
+/// The engine must already have been [`build`](QueryEngine::build)-ed.
+pub fn run_query_set(
+    engine: &mut dyn QueryEngine,
+    query_set_name: &str,
+    queries: &[Graph],
+    config: RunnerConfig,
+) -> QuerySetReport {
+    engine.set_query_budget(config.query_budget);
+    let mut report = QuerySetReport::new(engine.name(), query_set_name);
+    for q in queries {
+        let outcome = engine.query(q);
+        report.records.push(QueryRecord::from_outcome(&outcome, config.query_budget));
+        if let Some(max) = config.abort_after_timeouts {
+            if report.timeout_count() >= max {
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::CfqlEngine;
+    use std::sync::Arc;
+
+    use sqp_graph::{GraphBuilder, GraphDb, Label, VertexId};
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn runs_all_queries() {
+        let db = Arc::new(GraphDb::from_graphs(vec![
+            labeled(&[0, 1], &[(0, 1)]),
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2)]),
+        ]));
+        let mut engine = CfqlEngine::new();
+        engine.build(&db).unwrap();
+        let queries = vec![labeled(&[0, 1], &[(0, 1)]), labeled(&[1, 2], &[(0, 1)])];
+        let report =
+            run_query_set(&mut engine, "Q1S", &queries, RunnerConfig::default());
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.engine, "CFQL");
+        assert_eq!(report.query_set, "Q1S");
+        assert_eq!(report.records[0].answers, 2);
+        assert_eq!(report.records[1].answers, 1);
+        assert_eq!(report.timeout_count(), 0);
+    }
+
+    #[test]
+    fn abort_after_timeouts_stops_early() {
+        let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0], &[])]));
+        let mut engine = CfqlEngine::new();
+        engine.build(&db).unwrap();
+        // Zero budget: every query times out immediately (deadline checked
+        // at filter entry).
+        let config = RunnerConfig {
+            query_budget: Some(Duration::from_nanos(0)),
+            abort_after_timeouts: Some(1),
+        };
+        let queries = vec![labeled(&[0], &[]); 10];
+        let report = run_query_set(&mut engine, "Q", &queries, config);
+        assert!(report.records.len() < 10);
+    }
+}

@@ -1,0 +1,58 @@
+//! Verification strategies shared by the engines.
+
+use sqp_graph::Graph;
+use sqp_matching::vf2::{Vf2, Vf2Ordering};
+use sqp_matching::{Deadline, Timeout};
+
+/// A subgraph-isomorphism-test verifier for IFV engines (the paper: VF2,
+/// optionally with CT-Index's ordering heuristics).
+#[derive(Clone, Copy, Debug)]
+pub struct Vf2Verifier {
+    vf2: Vf2,
+}
+
+impl Vf2Verifier {
+    /// Classic VF2 (used by Grapes and GGSX).
+    pub fn classic() -> Self {
+        Self { vf2: Vf2::new() }
+    }
+
+    /// CT-Index's modified VF2 with rare-label-first ordering.
+    pub fn ct_index() -> Self {
+        Self { vf2: Vf2::with_ordering(Vf2Ordering::RareLabelFirst) }
+    }
+
+    /// Whether `q ⊆ g`, within the deadline.
+    pub fn verify(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<bool, Timeout> {
+        self.vf2.is_subgraph(q, g, deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_graph::{GraphBuilder, Label, VertexId};
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn both_variants_agree() {
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let g = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let d = Deadline::none();
+        assert!(Vf2Verifier::classic().verify(&q, &g, d).unwrap());
+        assert!(Vf2Verifier::ct_index().verify(&q, &g, d).unwrap());
+        let q2 = labeled(&[0, 2], &[(0, 1)]);
+        assert!(!Vf2Verifier::classic().verify(&q2, &g, d).unwrap());
+        assert!(!Vf2Verifier::ct_index().verify(&q2, &g, d).unwrap());
+    }
+}

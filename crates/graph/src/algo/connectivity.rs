@@ -1,0 +1,88 @@
+//! Connectivity.
+//!
+//! Query graphs in the paper are connected (Definition II.2 context); the
+//! generators and validators use these helpers to enforce that.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+use crate::vertex::VertexId;
+
+/// Assigns each vertex a component id in `0..k` and returns `(ids, k)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.vertex_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut k = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = k;
+        queue.push_back(VertexId(s as u32));
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v.index()] == u32::MAX {
+                    comp[v.index()] = k;
+                    queue.push_back(v);
+                }
+            }
+        }
+        k += 1;
+    }
+    (comp, k as usize)
+}
+
+/// Whether `g` is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.vertex_count() == 0 || connected_components(g).1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::label::Label;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_vertex(Label(0));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_component() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components() {
+        let g = graph(4, &[(0, 1), (2, 3)]);
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = graph(3, &[]);
+        assert_eq!(connected_components(&g).1, 3);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&graph(0, &[])));
+    }
+}

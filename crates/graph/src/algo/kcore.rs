@@ -1,0 +1,185 @@
+//! k-core decomposition.
+//!
+//! CFL's matching order prioritizes query vertices in the *core structure*,
+//! defined as the 2-core of the query graph: the maximal subgraph in which
+//! every vertex has degree ≥ 2. The remaining vertices form a forest hanging
+//! off the core.
+
+use crate::graph::Graph;
+use crate::vertex::VertexId;
+
+/// Computes the core number of every vertex (the largest `k` such that the
+/// vertex belongs to the k-core), via the classic peeling algorithm in
+/// `O(|V| + |E|)` using bucket sort by degree.
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_deg = g.max_degree();
+    let mut degree: Vec<u32> = (0..n).map(|v| g.degree(VertexId::from(v)) as u32).collect();
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0u32; max_deg + 2];
+    for &d in &degree {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0u32;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0u32; n];
+    let mut vert = vec![0u32; n];
+    for v in 0..n {
+        let d = degree[v] as usize;
+        pos[v] = bin[d];
+        vert[bin[d] as usize] = v as u32;
+        bin[d] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..bin.len()).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i] as usize;
+        core[v] = degree[v];
+        for &w in g.neighbors(VertexId(v as u32)) {
+            let w = w.index();
+            if degree[w] > degree[v] {
+                // Move w one bucket down.
+                let dw = degree[w] as usize;
+                let pw = pos[w];
+                let ps = bin[dw];
+                let s = vert[ps as usize] as usize;
+                if s != w {
+                    vert.swap(pw as usize, ps as usize);
+                    pos[w] = ps;
+                    pos[s] = pw;
+                }
+                bin[dw] += 1;
+                degree[w] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Returns the vertices of the 2-core of `g` (empty if `g` is a forest).
+pub fn two_core(g: &Graph) -> Vec<VertexId> {
+    core_numbers(g)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= 2)
+        .map(|(v, _)| VertexId::from(v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::label::Label;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_vertex(Label(0));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    /// Naive iterative peeling for cross-checking.
+    fn naive_two_core(g: &Graph) -> Vec<VertexId> {
+        let n = g.vertex_count();
+        let mut alive = vec![true; n];
+        let mut deg: Vec<usize> = (0..n).map(|v| g.degree(VertexId::from(v))).collect();
+        loop {
+            let mut changed = false;
+            for v in 0..n {
+                if alive[v] && deg[v] < 2 {
+                    alive[v] = false;
+                    changed = true;
+                    for &w in g.neighbors(VertexId(v as u32)) {
+                        if alive[w.index()] {
+                            deg[w.index()] -= 1;
+                        }
+                    }
+                    deg[v] = 0;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (0..n).filter(|&v| alive[v]).map(VertexId::from).collect()
+    }
+
+    #[test]
+    fn tree_has_empty_two_core() {
+        let g = graph(4, &[(0, 1), (1, 2), (1, 3)]);
+        assert!(two_core(&g).is_empty());
+        assert!(core_numbers(&g).iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn cycle_is_its_own_two_core() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(two_core(&g).len(), 4);
+    }
+
+    #[test]
+    fn cycle_with_tail() {
+        // Triangle 0-1-2 plus tail 2-3-4.
+        let g = graph(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let core = two_core(&g);
+        assert_eq!(core, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        let cn = core_numbers(&g);
+        assert_eq!(cn[0], 2);
+        assert_eq!(cn[4], 1);
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        let g = graph(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!(core_numbers(&g).iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        // Deterministic pseudo-random edge sets.
+        let mut seed = 0x12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for n in [5usize, 9, 15] {
+            let mut edges = Vec::new();
+            for _ in 0..(n * 2) {
+                let u = next() % n as u32;
+                let v = next() % n as u32;
+                if u != v {
+                    edges.push((u.min(v), u.max(v)));
+                }
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            let g = graph(n, &edges);
+            assert_eq!(two_core(&g), naive_two_core(&g), "n={n} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(0, &[]);
+        assert!(core_numbers(&g).is_empty());
+        assert!(two_core(&g).is_empty());
+    }
+}

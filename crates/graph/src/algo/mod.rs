@@ -1,0 +1,9 @@
+//! Graph algorithms used by the matching and generation layers.
+
+pub mod bfs;
+pub mod connectivity;
+pub mod kcore;
+
+pub use bfs::BfsTree;
+pub use connectivity::{connected_components, is_connected};
+pub use kcore::{core_numbers, two_core};

@@ -1,0 +1,192 @@
+//! Compact binary serialization of graph databases.
+//!
+//! The text format of [`crate::io`] is the interchange format of the
+//! literature, but parsing it dominates load time for large databases. This
+//! module provides a length-prefixed little-endian binary encoding that
+//! round-trips a [`GraphDb`] (graphs + label interner) byte-exactly.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "SQPG" | version u32 | #interned u32 | {len u32, utf8 bytes}*
+//! | #graphs u32 | per graph: |V| u32, labels u32*, |E| u32, (u32, u32)*
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::builder::GraphBuilder;
+use crate::database::GraphDb;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::label::{Label, LabelInterner};
+use crate::vertex::VertexId;
+
+const MAGIC: &[u8; 4] = b"SQPG";
+const VERSION: u32 = 1;
+
+/// Serializes a database into a byte buffer.
+pub fn to_bytes(db: &GraphDb) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + db.graphs().iter().map(est_size).sum::<usize>());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+
+    // Interner: names in dense-id order.
+    let interner = db.interner();
+    buf.put_u32_le(interner.len() as u32);
+    for id in 0..interner.len() as u32 {
+        let name = interner.name(Label(id)).expect("dense interner ids");
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+    }
+
+    buf.put_u32_le(db.len() as u32);
+    for g in db.graphs() {
+        buf.put_u32_le(g.vertex_count() as u32);
+        for v in g.vertices() {
+            buf.put_u32_le(g.label(v).id());
+        }
+        buf.put_u32_le(g.edge_count() as u32);
+        for u in g.vertices() {
+            for &w in g.neighbors(u) {
+                if u < w {
+                    buf.put_u32_le(u.id());
+                    buf.put_u32_le(w.id());
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn est_size(g: &Graph) -> usize {
+    8 + 4 * g.vertex_count() + 8 * g.edge_count()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(GraphError::Parse { line: 0, message: "truncated binary database".into() });
+    }
+    Ok(())
+}
+
+/// Deserializes a database from bytes produced by [`to_bytes`].
+pub fn from_bytes(mut buf: impl Buf) -> Result<GraphDb> {
+    let bad = |message: &str| GraphError::Parse { line: 0, message: message.into() };
+    need(&buf, 8)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic; not a binary graph database"));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(bad(&format!("unsupported version {version}")));
+    }
+
+    need(&buf, 4)?;
+    let interned = buf.get_u32_le() as usize;
+    let mut interner = LabelInterner::new();
+    for _ in 0..interned {
+        need(&buf, 4)?;
+        let len = buf.get_u32_le() as usize;
+        need(&buf, len)?;
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        let name = String::from_utf8(bytes).map_err(|_| bad("invalid utf8 label name"))?;
+        interner.intern(&name);
+    }
+
+    need(&buf, 4)?;
+    let graph_count = buf.get_u32_le() as usize;
+    let mut graphs = Vec::with_capacity(graph_count);
+    for _ in 0..graph_count {
+        need(&buf, 4)?;
+        let n = buf.get_u32_le() as usize;
+        let mut b = GraphBuilder::with_capacity(n);
+        need(&buf, 4 * n)?;
+        for _ in 0..n {
+            b.add_vertex(Label(buf.get_u32_le()));
+        }
+        need(&buf, 4)?;
+        let m = buf.get_u32_le() as usize;
+        need(&buf, 8 * m)?;
+        for _ in 0..m {
+            let u = VertexId(buf.get_u32_le());
+            let v = VertexId(buf.get_u32_le());
+            b.add_edge(u, v)?;
+        }
+        graphs.push(b.build());
+    }
+    Ok(GraphDb::with_interner(graphs, interner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> GraphDb {
+        let mut interner = LabelInterner::new();
+        let c = interner.intern("C");
+        let n = interner.intern("N");
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(c);
+        let v1 = b.add_vertex(n);
+        let v2 = b.add_vertex(c);
+        b.add_edge(v0, v1).unwrap();
+        b.add_edge(v1, v2).unwrap();
+        let g0 = b.build();
+        let mut b = GraphBuilder::new();
+        b.add_vertex(n);
+        let g1 = b.build();
+        GraphDb::with_interner(vec![g0, g1], interner)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let db = sample_db();
+        let bytes = to_bytes(&db);
+        let db2 = from_bytes(bytes).unwrap();
+        assert_eq!(db.len(), db2.len());
+        assert_eq!(db.interner().len(), db2.interner().len());
+        assert_eq!(db2.interner().name(Label(0)), Some("C"));
+        for (a, b) in db.graphs().iter().zip(db2.graphs()) {
+            assert_eq!(a.vertex_count(), b.vertex_count());
+            assert_eq!(a.edge_count(), b.edge_count());
+            for v in a.vertices() {
+                assert_eq!(a.label(v), b.label(v));
+                assert_eq!(a.neighbors(v), b.neighbors(v));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = from_bytes(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(99);
+        let err = from_bytes(buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = to_bytes(&sample_db());
+        for cut in 0..bytes.len() {
+            let slice = bytes.slice(..cut);
+            assert!(from_bytes(slice).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let db = GraphDb::new();
+        let db2 = from_bytes(to_bytes(&db)).unwrap();
+        assert!(db2.is_empty());
+    }
+}

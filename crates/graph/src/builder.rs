@@ -1,0 +1,176 @@
+//! Mutable graph construction.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::label::Label;
+use crate::vertex::VertexId;
+
+/// Builds an immutable [`Graph`] from vertices and edges.
+///
+/// The builder accepts edges in any order, ignores duplicate edges (including
+/// the reversed duplicate of an undirected edge) and rejects self-loops: the
+/// paper works on simple, undirected, vertex-labeled graphs.
+///
+/// # Example
+///
+/// ```
+/// use sqp_graph::{GraphBuilder, Label};
+///
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_vertex(Label(0));
+/// let v = b.add_vertex(Label(1));
+/// b.add_edge(u, v).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.vertex_count(), 2);
+/// assert_eq!(g.edge_count(), 1);
+/// assert!(g.has_edge(u, v) && g.has_edge(v, u));
+/// ```
+#[derive(Default, Clone)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    adjacency: Vec<Vec<VertexId>>,
+    edge_count: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `vertices` vertices.
+    pub fn with_capacity(vertices: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(vertices),
+            adjacency: Vec::with_capacity(vertices),
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a vertex with `label`, returning its id.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        let id = VertexId::from(self.labels.len());
+        self.labels.push(label);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` vertices labeled by `f(i)`, returning the first new id.
+    pub fn add_vertices(&mut self, n: usize, mut f: impl FnMut(usize) -> Label) -> VertexId {
+        let first = VertexId::from(self.labels.len());
+        for i in 0..n {
+            self.add_vertex(f(i));
+        }
+        first
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct undirected edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Label of a previously added vertex.
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// Current degree of a previously added vertex.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// Whether the undirected edge `e(u, v)` has been added.
+    ///
+    /// Linear in `d(u)`; intended for construction-time dedup, not queries.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u.index() < self.adjacency.len() && self.adjacency[u.index()].contains(&v)
+    }
+
+    /// Adds the undirected edge `e(u, v)`.
+    ///
+    /// Returns `Ok(true)` if the edge is new, `Ok(false)` if it was already
+    /// present, and an error for self-loops or undeclared endpoints.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool> {
+        let n = self.labels.len();
+        for w in [u, v] {
+            if w.index() >= n {
+                return Err(GraphError::UnknownVertex { vertex: w.id(), vertex_count: n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u.id() });
+        }
+        if self.adjacency[u.index()].contains(&v) {
+            return Ok(false);
+        }
+        self.adjacency[u.index()].push(v);
+        self.adjacency[v.index()].push(u);
+        self.edge_count += 1;
+        Ok(true)
+    }
+
+    /// Finalizes the builder into an immutable CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph::from_parts(self.labels, self.adjacency, self.edge_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(Label(0));
+        assert!(matches!(b.add_edge(u, u), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_vertex() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(Label(0));
+        let bad = VertexId(5);
+        assert!(matches!(
+            b.add_edge(u, bad),
+            Err(GraphError::UnknownVertex { vertex: 5, vertex_count: 1 })
+        ));
+    }
+
+    #[test]
+    fn deduplicates_edges_both_directions() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(Label(0));
+        let v = b.add_vertex(Label(0));
+        assert!(b.add_edge(u, v).unwrap());
+        assert!(!b.add_edge(u, v).unwrap());
+        assert!(!b.add_edge(v, u).unwrap());
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn add_vertices_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_vertices(3, |i| Label(i as u32));
+        assert_eq!(first, VertexId(0));
+        assert_eq!(b.vertex_count(), 3);
+        assert_eq!(b.label(VertexId(2)), Label(2));
+    }
+
+    #[test]
+    fn degree_tracks_edges() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(Label(0));
+        let v = b.add_vertex(Label(1));
+        let w = b.add_vertex(Label(2));
+        b.add_edge(u, v).unwrap();
+        b.add_edge(u, w).unwrap();
+        assert_eq!(b.degree(u), 2);
+        assert_eq!(b.degree(v), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! The graph database `D = {G_1, ..., G_n}`.
+
+use crate::graph::Graph;
+use crate::heap_size::HeapSize;
+use crate::label::LabelInterner;
+use crate::stats::DatabaseStats;
+
+/// Identifier of a data graph within a [`GraphDb`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GraphId(pub u32);
+
+impl GraphId {
+    /// The raw id.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A collection of data graphs sharing one label space.
+///
+/// Per the paper (§II-B), the database itself is small compared to the
+/// indices built over it, so it is kept fully in memory (each graph in CSR
+/// form).
+#[derive(Default, Debug)]
+pub struct GraphDb {
+    graphs: Vec<Graph>,
+    interner: LabelInterner,
+}
+
+impl GraphDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database from graphs that already share a label space.
+    pub fn from_graphs(graphs: Vec<Graph>) -> Self {
+        Self { graphs, interner: LabelInterner::new() }
+    }
+
+    /// Builds a database with an interner mapping external label names.
+    pub fn with_interner(graphs: Vec<Graph>, interner: LabelInterner) -> Self {
+        Self { graphs, interner }
+    }
+
+    /// Appends a data graph, returning its id.
+    pub fn push(&mut self, g: Graph) -> GraphId {
+        let id = GraphId(self.graphs.len() as u32);
+        self.graphs.push(g);
+        id
+    }
+
+    /// Number of data graphs `|D|`.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the database has no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The data graph with id `id`.
+    pub fn graph(&self, id: GraphId) -> &Graph {
+        &self.graphs[id.index()]
+    }
+
+    /// All data graphs in id order.
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// Iterator over `(id, graph)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (GraphId, &Graph)> {
+        self.graphs.iter().enumerate().map(|(i, g)| (GraphId(i as u32), g))
+    }
+
+    /// The shared label interner (empty if labels were numeric).
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Size of the label space across all graphs (max label id + 1).
+    pub fn label_space(&self) -> usize {
+        self.graphs.iter().map(|g| g.label_space()).max().unwrap_or(0)
+    }
+
+    /// Database-level statistics (the columns of the paper's Table IV).
+    pub fn stats(&self) -> DatabaseStats {
+        DatabaseStats::compute(self)
+    }
+
+    /// Appends every graph of `other` (which must share this database's
+    /// label space), returning the id of the first appended graph. The
+    /// ingestion path of the dynamic-database scenario (§I of the paper).
+    pub fn extend_from(&mut self, other: GraphDb) -> GraphId {
+        let first = GraphId(self.graphs.len() as u32);
+        self.graphs.extend(other.graphs);
+        first
+    }
+
+    /// A new database keeping only the graphs selected by `keep`, preserving
+    /// order (ids are renumbered densely). Deletion side of updates.
+    pub fn retain(&self, mut keep: impl FnMut(GraphId, &Graph) -> bool) -> GraphDb {
+        let graphs = self
+            .iter()
+            .filter(|(id, g)| keep(*id, g))
+            .map(|(_, g)| g.clone())
+            .collect();
+        GraphDb { graphs, interner: self.interner.clone() }
+    }
+}
+
+impl HeapSize for GraphDb {
+    fn heap_size(&self) -> usize {
+        self.graphs.iter().map(|g| g.heap_size() + std::mem::size_of::<Graph>()).sum::<usize>()
+            + self.interner.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::label::Label;
+
+    fn tiny(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(u.into(), v.into()).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut db = GraphDb::new();
+        let id0 = db.push(tiny(&[0, 1], &[(0, 1)]));
+        let id1 = db.push(tiny(&[2], &[]));
+        assert_eq!(db.len(), 2);
+        assert_eq!(id0, GraphId(0));
+        assert_eq!(db.graph(id1).vertex_count(), 1);
+        assert_eq!(db.iter().count(), 2);
+    }
+
+    #[test]
+    fn label_space_is_max_over_graphs() {
+        let db = GraphDb::from_graphs(vec![tiny(&[0, 5], &[(0, 1)]), tiny(&[2], &[])]);
+        assert_eq!(db.label_space(), 6);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = GraphDb::new();
+        assert!(db.is_empty());
+        assert_eq!(db.label_space(), 0);
+    }
+
+    #[test]
+    fn extend_from_appends_in_order() {
+        let mut a = GraphDb::from_graphs(vec![tiny(&[0], &[])]);
+        let b = GraphDb::from_graphs(vec![tiny(&[1], &[]), tiny(&[2], &[])]);
+        let first = a.extend_from(b);
+        assert_eq!(first, GraphId(1));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.graph(GraphId(2)).label(crate::vertex::VertexId(0)), Label(2));
+    }
+
+    #[test]
+    fn retain_filters_and_renumbers() {
+        let db = GraphDb::from_graphs(vec![
+            tiny(&[0], &[]),
+            tiny(&[1, 1], &[(0, 1)]),
+            tiny(&[2], &[]),
+        ]);
+        let kept = db.retain(|_, g| g.vertex_count() == 1);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept.graph(GraphId(1)).label(crate::vertex::VertexId(0)), Label(2));
+    }
+}

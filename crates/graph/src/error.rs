@@ -1,0 +1,91 @@
+//! Error types for graph construction and IO.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced while building, loading or storing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a vertex id that was never declared.
+    UnknownVertex {
+        /// The offending vertex id.
+        vertex: u32,
+        /// Number of declared vertices.
+        vertex_count: usize,
+    },
+    /// A self-loop `e(u, u)` was declared; the paper's graphs are simple.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: u32,
+    },
+    /// The graph exceeds `u32` vertex capacity.
+    TooManyVertices(usize),
+    /// A parse error in the `t/v/e` text format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// Underlying IO failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex { vertex, vertex_count } => write!(
+                f,
+                "edge references vertex {vertex} but only {vertex_count} vertices are declared"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex}; graphs must be simple")
+            }
+            GraphError::TooManyVertices(n) => {
+                write!(f, "{n} vertices exceed the u32 vertex-id capacity")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::UnknownVertex { vertex: 7, vertex_count: 3 };
+        assert!(e.to_string().contains("vertex 7"));
+        let e = GraphError::SelfLoop { vertex: 1 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::Parse { line: 4, message: "bad token".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

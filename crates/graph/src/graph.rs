@@ -1,0 +1,384 @@
+//! The immutable CSR graph.
+
+use crate::heap_size::HeapSize;
+use crate::label::Label;
+use crate::vertex::VertexId;
+
+/// An immutable, undirected, vertex-labeled graph in CSR form.
+///
+/// Two layout decisions serve the filtering algorithms of the paper:
+///
+/// * Each vertex's adjacency list is **sorted by `(neighbor label, neighbor
+///   id)`**. Label-restricted neighborhood access
+///   ([`neighbors_with_label`](Graph::neighbors_with_label)) — the inner loop
+///   of both the CFL and GraphQL filters — is two binary searches, and the
+///   neighbor-label sequence read off the adjacency list is already sorted,
+///   which makes the GraphQL profile test a linear merge.
+/// * A **label → vertices** CSR index supports starting candidate generation
+///   (`Φ(u) ⊆ vertices_with_label(L(u))`) without scanning all vertices.
+#[derive(Clone)]
+pub struct Graph {
+    labels: Box<[Label]>,
+    offsets: Box<[u32]>,
+    neighbors: Box<[VertexId]>,
+    label_offsets: Box<[u32]>,
+    label_vertices: Box<[VertexId]>,
+    edge_count: usize,
+    max_degree: u32,
+    distinct_labels: u32,
+}
+
+impl Graph {
+    /// Builds a graph from per-vertex labels and adjacency lists.
+    ///
+    /// Intended to be called by [`GraphBuilder::build`](crate::GraphBuilder::build),
+    /// which guarantees a simple symmetric adjacency; this function sorts the
+    /// lists and derives the CSR arrays.
+    pub(crate) fn from_parts(
+        labels: Vec<Label>,
+        mut adjacency: Vec<Vec<VertexId>>,
+        edge_count: usize,
+    ) -> Self {
+        let n = labels.len();
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut flat = Vec::with_capacity(2 * edge_count);
+        let mut max_degree = 0u32;
+        offsets.push(0u32);
+        for adj in adjacency.iter_mut() {
+            adj.sort_unstable_by_key(|&v| (labels[v.index()], v));
+            max_degree = max_degree.max(adj.len() as u32);
+            flat.extend_from_slice(adj);
+            offsets.push(flat.len() as u32);
+        }
+
+        // Label → vertices CSR.
+        let label_count = labels.iter().map(|l| l.index() + 1).max().unwrap_or(0);
+        let mut label_offsets = vec![0u32; label_count + 1];
+        for l in &labels {
+            label_offsets[l.index() + 1] += 1;
+        }
+        for i in 1..=label_count {
+            label_offsets[i] += label_offsets[i - 1];
+        }
+        let mut cursor = label_offsets.clone();
+        let mut label_vertices = vec![VertexId(0); n];
+        for (v, l) in labels.iter().enumerate() {
+            let c = &mut cursor[l.index()];
+            label_vertices[*c as usize] = VertexId::from(v);
+            *c += 1;
+        }
+        let distinct_labels =
+            (0..label_count).filter(|&l| label_offsets[l + 1] > label_offsets[l]).count() as u32;
+
+        Self {
+            labels: labels.into_boxed_slice(),
+            offsets: offsets.into_boxed_slice(),
+            neighbors: flat.into_boxed_slice(),
+            label_offsets: label_offsets.into_boxed_slice(),
+            label_vertices: label_vertices.into_boxed_slice(),
+            edge_count,
+            max_degree,
+            distinct_labels,
+        }
+    }
+
+    /// Number of vertices `|V(G)|`.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges `|E(G)|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of distinct labels that occur in this graph.
+    #[inline]
+    pub fn distinct_label_count(&self) -> usize {
+        self.distinct_labels as usize
+    }
+
+    /// One past the largest label id occurring in this graph (size for
+    /// per-label arrays).
+    #[inline]
+    pub fn label_space(&self) -> usize {
+        self.label_offsets.len() - 1
+    }
+
+    /// Maximum vertex degree.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree as usize
+    }
+
+    /// Average vertex degree `2|E| / |V|` (0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> + Clone + '_ {
+        (0..self.labels.len() as u32).map(VertexId)
+    }
+
+    /// Neighbors of `v`, sorted by `(label, id)`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let s = self.offsets[v.index()] as usize;
+        let e = self.offsets[v.index() + 1] as usize;
+        &self.neighbors[s..e]
+    }
+
+    /// Neighbors of `v` whose label is `l` (a contiguous, sorted slice).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sqp_graph::{GraphBuilder, Label, VertexId};
+    ///
+    /// let mut b = GraphBuilder::new();
+    /// let hub = b.add_vertex(Label(0));
+    /// let a = b.add_vertex(Label(1));
+    /// let b2 = b.add_vertex(Label(1));
+    /// let c = b.add_vertex(Label(2));
+    /// for leaf in [a, b2, c] {
+    ///     b.add_edge(hub, leaf).unwrap();
+    /// }
+    /// let g = b.build();
+    /// assert_eq!(g.neighbors_with_label(hub, Label(1)), &[a, b2]);
+    /// assert!(g.neighbors_with_label(hub, Label(9)).is_empty());
+    /// ```
+    pub fn neighbors_with_label(&self, v: VertexId, l: Label) -> &[VertexId] {
+        let adj = self.neighbors(v);
+        let start = adj.partition_point(|&w| self.labels[w.index()] < l);
+        let end = start + adj[start..].partition_point(|&w| self.labels[w.index()] == l);
+        &adj[start..end]
+    }
+
+    /// Whether the undirected edge `e(u, v)` exists. `O(log d(u))`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        // Search the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors_with_label(a, self.labels[b.index()]).binary_search(&b).is_ok()
+    }
+
+    /// All vertices carrying label `l`, sorted by id.
+    pub fn vertices_with_label(&self, l: Label) -> &[VertexId] {
+        if l.index() + 1 >= self.label_offsets.len() {
+            return &[];
+        }
+        let s = self.label_offsets[l.index()] as usize;
+        let e = self.label_offsets[l.index() + 1] as usize;
+        &self.label_vertices[s..e]
+    }
+
+    /// Number of vertices carrying label `l`.
+    #[inline]
+    pub fn label_frequency(&self, l: Label) -> usize {
+        self.vertices_with_label(l).len()
+    }
+
+    /// The sorted sequence of neighbor labels of `v` (with multiplicity).
+    ///
+    /// Because adjacency lists are label-sorted, this is a simple projection.
+    pub fn neighbor_labels(&self, v: VertexId) -> impl ExactSizeIterator<Item = Label> + Clone + '_ {
+        self.neighbors(v).iter().map(move |&w| self.labels[w.index()])
+    }
+
+    /// The subgraph induced by `vertices`, with vertices densely renumbered
+    /// in the order given. Duplicate input vertices are ignored after their
+    /// first occurrence.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sqp_graph::{GraphBuilder, Label, VertexId};
+    ///
+    /// let mut b = GraphBuilder::new();
+    /// for l in [0u32, 1, 2, 3] {
+    ///     b.add_vertex(Label(l));
+    /// }
+    /// for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+    ///     b.add_edge(VertexId(u), VertexId(v)).unwrap();
+    /// }
+    /// let square = b.build();
+    /// let path = square.induced_subgraph(&[VertexId(0), VertexId(1), VertexId(2)]);
+    /// assert_eq!(path.vertex_count(), 3);
+    /// assert_eq!(path.edge_count(), 2); // 0-1 and 1-2; 0-2 is not an edge
+    /// assert_eq!(path.label(VertexId(2)), Label(2));
+    /// ```
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> Graph {
+        let mut map = vec![u32::MAX; self.vertex_count()];
+        let mut b = crate::builder::GraphBuilder::with_capacity(vertices.len());
+        for &v in vertices {
+            if map[v.index()] == u32::MAX {
+                map[v.index()] = b.add_vertex(self.label(v)).id();
+            }
+        }
+        for &v in vertices {
+            for &w in self.neighbors(v) {
+                if map[w.index()] != u32::MAX && v < w {
+                    let _ = b.add_edge(VertexId(map[v.index()]), VertexId(map[w.index()]));
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+impl HeapSize for Graph {
+    fn heap_size(&self) -> usize {
+        self.labels.heap_size()
+            + self.offsets.heap_size()
+            + self.neighbors.heap_size()
+            + self.label_offsets.heap_size()
+            + self.label_vertices.heap_size()
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("vertices", &self.vertex_count())
+            .field("edges", &self.edge_count())
+            .field("labels", &self.distinct_label_count())
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Path v0(L0) - v1(L1) - v2(L0) - v3(L2), plus edge v0-v3.
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Label(0));
+        let v1 = b.add_vertex(Label(1));
+        let v2 = b.add_vertex(Label(0));
+        let v3 = b.add_vertex(Label(2));
+        b.add_edge(v0, v1).unwrap();
+        b.add_edge(v1, v2).unwrap();
+        b.add_edge(v2, v3).unwrap();
+        b.add_edge(v0, v3).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = sample();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.distinct_label_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.average_degree() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacency_sorted_by_label_then_id() {
+        let g = sample();
+        for v in g.vertices() {
+            let adj = g.neighbors(v);
+            for w in adj.windows(2) {
+                let ka = (g.label(w[0]), w[0]);
+                let kb = (g.label(w[1]), w[1]);
+                assert!(ka < kb, "adjacency of {v:?} not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_with_label_selects_run() {
+        let g = sample();
+        // v1 neighbors: v0(L0), v2(L0)
+        assert_eq!(g.neighbors_with_label(VertexId(1), Label(0)), &[VertexId(0), VertexId(2)]);
+        assert!(g.neighbors_with_label(VertexId(1), Label(2)).is_empty());
+        assert!(g.neighbors_with_label(VertexId(1), Label(9)).is_empty());
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = sample();
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert!(!g.has_edge(VertexId(0), VertexId(2)));
+    }
+
+    #[test]
+    fn label_index() {
+        let g = sample();
+        assert_eq!(g.vertices_with_label(Label(0)), &[VertexId(0), VertexId(2)]);
+        assert_eq!(g.vertices_with_label(Label(2)), &[VertexId(3)]);
+        assert!(g.vertices_with_label(Label(7)).is_empty());
+        assert_eq!(g.label_frequency(Label(0)), 2);
+    }
+
+    #[test]
+    fn neighbor_labels_sorted() {
+        let g = sample();
+        let ls: Vec<Label> = g.neighbor_labels(VertexId(0)).collect();
+        assert_eq!(ls, vec![Label(1), Label(2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_respects_duplicates_and_isolation() {
+        let g = sample();
+        // Duplicate input and an isolated selection.
+        let sub = g.induced_subgraph(&[VertexId(1), VertexId(1), VertexId(3)]);
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(sub.edge_count(), 0); // v1 and v3 are not adjacent
+        assert_eq!(sub.label(VertexId(0)), Label(1));
+        assert_eq!(sub.label(VertexId(1)), Label(2));
+    }
+
+    #[test]
+    fn induced_subgraph_of_all_vertices_is_identity() {
+        let g = sample();
+        let all: Vec<VertexId> = g.vertices().collect();
+        let sub = g.induced_subgraph(&all);
+        assert_eq!(sub.vertex_count(), g.vertex_count());
+        assert_eq!(sub.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn heap_size_positive() {
+        let g = sample();
+        assert!(g.heap_size() > 0);
+    }
+}

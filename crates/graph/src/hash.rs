@@ -1,0 +1,118 @@
+//! Fast, non-cryptographic hashing for hot-path maps.
+//!
+//! The standard library's SipHash is collision-resistant but slow for the
+//! short integer keys that dominate this workspace (vertex ids, label ids,
+//! small feature keys). The offline dependency policy (see DESIGN.md §7) does
+//! not include `rustc-hash`, so we vendor the same multiply-xor construction
+//! (FxHash) here. HashDoS is not a concern: all keys come from graph data we
+//! generate or load ourselves.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (the `FxHasher` construction used by rustc).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(42u32), hash_of(42u32));
+        assert_eq!(hash_of("abc"), hash_of("abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(1u64), hash_of(2u64));
+        assert_ne!(hash_of([1u32, 2]), hash_of([2u32, 1]));
+    }
+
+    #[test]
+    fn map_works_as_std() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+    }
+
+    #[test]
+    fn partial_chunk_write() {
+        // Byte-slice path with a non-multiple-of-8 tail.
+        assert_ne!(hash_of(b"abcdefghi".as_slice()), hash_of(b"abcdefgh".as_slice()));
+    }
+}

@@ -1,0 +1,81 @@
+//! Exact heap accounting.
+//!
+//! The paper measures the memory cost of each index / auxiliary structure by
+//! sampling `/proc/<pid>` (C++) or JProfiler (Java). Those probes measure the
+//! whole process; we replace them with exact per-structure accounting: every
+//! structure whose size Tables VII and IX report implements [`HeapSize`].
+
+/// Types that can report the number of heap bytes they own.
+///
+/// `heap_size` counts bytes *outside* `size_of::<Self>()` — the convention of
+/// the `heapsize`/`malloc_size_of` crates — so a container's total footprint
+/// is `size_of::<T>() + value.heap_size()`.
+pub trait HeapSize {
+    /// Number of heap-allocated bytes owned by `self`.
+    fn heap_size(&self) -> usize;
+
+    /// Total footprint: inline size plus owned heap bytes.
+    fn total_size(&self) -> usize
+    where
+        Self: Sized,
+    {
+        std::mem::size_of::<Self>() + self.heap_size()
+    }
+}
+
+impl<T: Copy> HeapSize for Vec<T> {
+    fn heap_size(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Copy> HeapSize for Box<[T]> {
+    fn heap_size(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl HeapSize for String {
+    fn heap_size(&self) -> usize {
+        self.capacity()
+    }
+}
+
+/// Formats a byte count the way the paper's tables do (MB with 4 significant
+/// decimals below 1 MB, otherwise whole MB-ish figures).
+pub fn format_mb(bytes: usize) -> String {
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+    if mb < 0.01 {
+        format!("{mb:.4}")
+    } else if mb < 10.0 {
+        format!("{mb:.3}")
+    } else {
+        format!("{mb:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_counts_capacity() {
+        let mut v: Vec<u32> = Vec::with_capacity(10);
+        v.push(1);
+        assert_eq!(v.heap_size(), 40);
+        assert_eq!(v.total_size(), 40 + std::mem::size_of::<Vec<u32>>());
+    }
+
+    #[test]
+    fn boxed_slice_counts_len() {
+        let b: Box<[u64]> = vec![1u64, 2, 3].into_boxed_slice();
+        assert_eq!(b.heap_size(), 24);
+    }
+
+    #[test]
+    fn format_mb_scales() {
+        assert_eq!(format_mb(1024), "0.0010");
+        assert!(format_mb(5 * 1024 * 1024).starts_with("5.0"));
+        assert!(format_mb(100 * 1024 * 1024).starts_with("100"));
+    }
+}

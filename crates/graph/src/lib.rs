@@ -1,0 +1,44 @@
+//! Graph substrate for subgraph query processing.
+//!
+//! This crate provides the data-graph foundation shared by every other crate
+//! in the workspace:
+//!
+//! * [`Graph`] — an immutable, vertex-labeled, undirected graph in CSR form
+//!   whose adjacency lists are sorted by `(neighbor label, neighbor id)`, so
+//!   that label-restricted neighborhood scans (the hot operation of every
+//!   filtering algorithm in the paper) are binary searches.
+//! * [`GraphBuilder`] — mutable construction, deduplication and validation.
+//! * [`GraphDb`] — a graph database `D = {G_1, ..., G_n}` with a shared label
+//!   interner and database-level statistics.
+//! * [`io`] — the `t # id / v id label / e u v` text format used by the
+//!   subgraph-query literature.
+//! * [`algo`] — BFS trees (with tree/non-tree edge classification), k-core
+//!   decomposition, and connectivity, the building blocks of CFL.
+//! * [`nlf`] — neighborhood label frequency signatures used by the GraphQL
+//!   and CFL candidate filters.
+//! * [`HeapSize`] — exact heap accounting used to reproduce the paper's
+//!   memory-cost tables.
+
+pub mod algo;
+pub mod binio;
+pub mod builder;
+pub mod database;
+pub mod error;
+pub mod graph;
+pub mod hash;
+pub mod heap_size;
+pub mod io;
+pub mod label;
+pub mod nlf;
+pub mod stats;
+pub mod vertex;
+
+pub use builder::GraphBuilder;
+pub use database::GraphDb;
+pub use error::{GraphError, Result};
+pub use graph::Graph;
+pub use heap_size::HeapSize;
+pub use label::{Label, LabelInterner};
+pub use nlf::NeighborhoodLabelFrequency;
+pub use stats::{DatabaseStats, GraphStats};
+pub use vertex::VertexId;

@@ -1,0 +1,160 @@
+//! Neighborhood label frequency (NLF) signatures.
+//!
+//! The NLF of a vertex `v` maps each label `l` to the number of neighbors of
+//! `v` carrying `l`. A data vertex `v` can only match a query vertex `u` if
+//! `NLF(u) ⊑ NLF(v)` (component-wise `≤`): every embedding must map `u`'s
+//! neighbors injectively onto distinct, label-preserving neighbors of `v`.
+//! Both the GraphQL profile filter and the CFL initial candidate filter are
+//! instances of this test.
+//!
+//! Because adjacency lists are label-sorted, a vertex's neighbor-label
+//! sequence is already sorted; the dominance test is a linear merge with no
+//! allocation.
+
+use crate::graph::Graph;
+use crate::label::Label;
+use crate::vertex::VertexId;
+
+/// A sorted neighbor-label multiset, stored as `(label, count)` runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeighborhoodLabelFrequency {
+    runs: Vec<(Label, u32)>,
+}
+
+impl NeighborhoodLabelFrequency {
+    /// Computes the NLF of vertex `v` in `g`.
+    pub fn of(g: &Graph, v: VertexId) -> Self {
+        let mut runs: Vec<(Label, u32)> = Vec::new();
+        for l in g.neighbor_labels(v) {
+            match runs.last_mut() {
+                Some((last, c)) if *last == l => *c += 1,
+                _ => runs.push((l, 1)),
+            }
+        }
+        Self { runs }
+    }
+
+    /// `(label, count)` runs, sorted by label.
+    pub fn runs(&self) -> &[(Label, u32)] {
+        &self.runs
+    }
+
+    /// Whether `self ⊑ other` component-wise (every label count of `self` is
+    /// available in `other`).
+    pub fn dominated_by(&self, other: &Self) -> bool {
+        let mut oi = other.runs.iter();
+        'outer: for &(l, c) in &self.runs {
+            for &(ol, oc) in oi.by_ref() {
+                if ol == l {
+                    if oc < c {
+                        return false;
+                    }
+                    continue 'outer;
+                }
+                if ol > l {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// Streaming NLF dominance test directly on graphs, avoiding the `Vec`s.
+///
+/// Returns true iff `NLF(u in q) ⊑ NLF(v in g)`.
+pub fn nlf_dominated(q: &Graph, u: VertexId, g: &Graph, v: VertexId) -> bool {
+    if q.degree(u) > g.degree(v) {
+        return false;
+    }
+    let qn = q.neighbors(u);
+    let gn = g.neighbors(v);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < qn.len() {
+        let ql = q.label(qn[i]);
+        // Count the run of ql in q.
+        let mut qc = 0usize;
+        while i < qn.len() && q.label(qn[i]) == ql {
+            qc += 1;
+            i += 1;
+        }
+        // Advance g's pointer to the run of ql.
+        while j < gn.len() && g.label(gn[j]) < ql {
+            j += 1;
+        }
+        let mut gc = 0usize;
+        while j < gn.len() && g.label(gn[j]) == ql {
+            gc += 1;
+            j += 1;
+        }
+        if gc < qc {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn star(center_label: u32, leaf_labels: &[u32]) -> Graph {
+        let mut b = GraphBuilder::new();
+        let c = b.add_vertex(Label(center_label));
+        for &l in leaf_labels {
+            let v = b.add_vertex(Label(l));
+            b.add_edge(c, v).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn nlf_runs_sorted_with_counts() {
+        let g = star(9, &[1, 0, 1, 2]);
+        let nlf = NeighborhoodLabelFrequency::of(&g, VertexId(0));
+        assert_eq!(nlf.runs(), &[(Label(0), 1), (Label(1), 2), (Label(2), 1)]);
+    }
+
+    #[test]
+    fn dominance_basic() {
+        let small = star(9, &[0, 1]);
+        let big = star(9, &[0, 1, 1, 2]);
+        let a = NeighborhoodLabelFrequency::of(&small, VertexId(0));
+        let b = NeighborhoodLabelFrequency::of(&big, VertexId(0));
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        assert!(a.dominated_by(&a));
+    }
+
+    #[test]
+    fn dominance_fails_on_missing_label() {
+        let a = NeighborhoodLabelFrequency::of(&star(9, &[3]), VertexId(0));
+        let b = NeighborhoodLabelFrequency::of(&star(9, &[0, 1, 2]), VertexId(0));
+        assert!(!a.dominated_by(&b));
+    }
+
+    #[test]
+    fn streaming_matches_materialized() {
+        let q = star(9, &[0, 1, 1]);
+        let g = star(9, &[0, 0, 1, 1, 2]);
+        assert!(nlf_dominated(&q, VertexId(0), &g, VertexId(0)));
+        assert!(!nlf_dominated(&g, VertexId(0), &q, VertexId(0)));
+    }
+
+    #[test]
+    fn streaming_respects_degree() {
+        let q = star(9, &[0, 0]);
+        let g = star(9, &[0]);
+        assert!(!nlf_dominated(&q, VertexId(0), &g, VertexId(0)));
+    }
+
+    #[test]
+    fn leaf_vertices_trivially_dominated() {
+        let q = star(9, &[0]);
+        let g = star(9, &[0, 1]);
+        // Leaf u=1 (label 0, one neighbor of label 9).
+        assert!(nlf_dominated(&q, VertexId(1), &g, VertexId(1)));
+    }
+}

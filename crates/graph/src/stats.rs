@@ -1,0 +1,185 @@
+//! Graph and database statistics (the paper's Tables IV and V).
+
+use crate::database::GraphDb;
+use crate::graph::Graph;
+
+/// Statistics of a single graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V(g)|`.
+    pub vertices: usize,
+    /// `|E(g)|`.
+    pub edges: usize,
+    /// Average degree `2|E|/|V|`.
+    pub degree: f64,
+    /// Number of distinct labels occurring in the graph.
+    pub labels: usize,
+    /// Whether the graph is a tree (connected with `|E| = |V| - 1` is not
+    /// checked here; this field reports the weaker acyclicity test
+    /// `|E| < |V|` used by the paper's "% of trees" only for connected query
+    /// graphs, where the two coincide).
+    pub is_tree: bool,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `g`.
+    pub fn compute(g: &Graph) -> Self {
+        Self {
+            vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            degree: g.average_degree(),
+            labels: g.distinct_label_count(),
+            is_tree: g.edge_count() + 1 == g.vertex_count() || g.vertex_count() == 0,
+        }
+    }
+}
+
+/// Aggregate statistics of a graph database — the columns of Table IV.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatabaseStats {
+    /// `#graphs`.
+    pub graphs: usize,
+    /// Distinct labels across the database.
+    pub labels: usize,
+    /// Average `|V(G)|` per graph.
+    pub avg_vertices: f64,
+    /// Average `|E(G)|` per graph.
+    pub avg_edges: f64,
+    /// Average degree per graph.
+    pub avg_degree: f64,
+    /// Average number of distinct labels per graph.
+    pub avg_labels: f64,
+}
+
+impl DatabaseStats {
+    /// Computes the aggregate statistics of `db`.
+    pub fn compute(db: &GraphDb) -> Self {
+        let n = db.len();
+        if n == 0 {
+            return Self {
+                graphs: 0,
+                labels: 0,
+                avg_vertices: 0.0,
+                avg_edges: 0.0,
+                avg_degree: 0.0,
+                avg_labels: 0.0,
+            };
+        }
+        let mut labels_seen = vec![false; db.label_space()];
+        let (mut sv, mut se, mut sd, mut sl) = (0.0, 0.0, 0.0, 0.0);
+        for g in db.graphs() {
+            sv += g.vertex_count() as f64;
+            se += g.edge_count() as f64;
+            sd += g.average_degree();
+            sl += g.distinct_label_count() as f64;
+            for v in g.vertices() {
+                labels_seen[g.label(v).index()] = true;
+            }
+        }
+        Self {
+            graphs: n,
+            labels: labels_seen.iter().filter(|&&b| b).count(),
+            avg_vertices: sv / n as f64,
+            avg_edges: se / n as f64,
+            avg_degree: sd / n as f64,
+            avg_labels: sl / n as f64,
+        }
+    }
+}
+
+/// Aggregate statistics of a query set — the rows of Table V.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuerySetStats {
+    /// Average `|V|` per query.
+    pub avg_vertices: f64,
+    /// Average distinct labels per query.
+    pub avg_labels: f64,
+    /// Average degree per query.
+    pub avg_degree: f64,
+    /// Fraction of queries that are trees.
+    pub tree_fraction: f64,
+}
+
+impl QuerySetStats {
+    /// Computes the aggregate statistics of the query graphs `qs`.
+    pub fn compute<'a>(qs: impl IntoIterator<Item = &'a Graph>) -> Self {
+        let (mut n, mut sv, mut sl, mut sd, mut trees) = (0usize, 0.0, 0.0, 0.0, 0usize);
+        for q in qs {
+            n += 1;
+            let s = GraphStats::compute(q);
+            sv += s.vertices as f64;
+            sl += s.labels as f64;
+            sd += s.degree;
+            trees += s.is_tree as usize;
+        }
+        if n == 0 {
+            return Self { avg_vertices: 0.0, avg_labels: 0.0, avg_degree: 0.0, tree_fraction: 0.0 };
+        }
+        Self {
+            avg_vertices: sv / n as f64,
+            avg_labels: sl / n as f64,
+            avg_degree: sd / n as f64,
+            tree_fraction: trees as f64 / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::label::Label;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_vertex(Label((i % 2) as u32));
+        }
+        for i in 1..n {
+            b.add_edge(((i - 1) as u32).into(), (i as u32).into()).unwrap();
+        }
+        b.build()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_vertex(Label(i as u32));
+        }
+        for i in 0..n {
+            b.add_edge((i as u32).into(), (((i + 1) % n) as u32).into()).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn graph_stats_tree_detection() {
+        assert!(GraphStats::compute(&path(4)).is_tree);
+        assert!(!GraphStats::compute(&cycle(4)).is_tree);
+    }
+
+    #[test]
+    fn database_stats_averages() {
+        let db = GraphDb::from_graphs(vec![path(3), path(5)]);
+        let s = db.stats();
+        assert_eq!(s.graphs, 2);
+        assert_eq!(s.labels, 2);
+        assert!((s.avg_vertices - 4.0).abs() < 1e-9);
+        assert!((s.avg_edges - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_set_stats_tree_fraction() {
+        let qs = [path(3), cycle(3)];
+        let s = QuerySetStats::compute(qs.iter());
+        assert!((s.tree_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = DatabaseStats::compute(&GraphDb::new());
+        assert_eq!(s.graphs, 0);
+        let s = QuerySetStats::compute(std::iter::empty());
+        assert_eq!(s.avg_vertices, 0.0);
+    }
+}

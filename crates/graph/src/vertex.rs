@@ -1,0 +1,67 @@
+//! Vertex identifiers.
+
+use std::fmt;
+
+/// A vertex id, dense within a single [`Graph`](crate::Graph) (`0..vertex_count`).
+///
+/// Stored as `u32`: the paper's largest graphs have tens of thousands of
+/// vertices, and half-width ids keep CSR arrays and candidate sets compact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The raw integer id.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        VertexId(v as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let v = VertexId::from(5usize);
+        assert_eq!(v.id(), 5);
+        assert_eq!(v.index(), 5);
+        assert_eq!(VertexId::from(3u32), VertexId(3));
+    }
+
+    #[test]
+    fn ordering_is_by_id() {
+        assert!(VertexId(0) < VertexId(1));
+    }
+}

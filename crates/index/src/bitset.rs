@@ -1,0 +1,124 @@
+//! Fixed-width bitsets for fingerprint indices.
+
+use sqp_graph::HeapSize;
+
+/// A heap-allocated fixed-width bitset.
+///
+/// # Examples
+///
+/// ```
+/// use sqp_index::Bitset;
+///
+/// let mut query = Bitset::new(4096);
+/// let mut graph = Bitset::new(4096);
+/// query.set(7);
+/// graph.set(7);
+/// graph.set(1000);
+/// // The CT-Index filtering test: query features ⊆ graph features.
+/// assert!(query.is_subset_of(&graph));
+/// assert!(!graph.is_subset_of(&query));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitset {
+    words: Box<[u64]>,
+    bits: usize,
+}
+
+impl Bitset {
+    /// An all-zero bitset of `bits` bits.
+    pub fn new(bits: usize) -> Self {
+        Self { words: vec![0u64; bits.div_ceil(64)].into_boxed_slice(), bits }
+    }
+
+    /// Width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether bit `i` is set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every set bit of `self` is also set in `other`
+    /// (`self ⊆ other`). The CT-Index filtering test.
+    pub fn is_subset_of(&self, other: &Bitset) -> bool {
+        debug_assert_eq!(self.bits, other.bits);
+        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Ors `other` into `self`.
+    pub fn union_with(&mut self, other: &Bitset) {
+        debug_assert_eq!(self.bits, other.bits);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+}
+
+impl HeapSize for Bitset {
+    fn heap_size(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitset::new(100);
+        assert!(!b.get(63));
+        b.set(63);
+        b.set(64);
+        b.set(99);
+        assert!(b.get(63) && b.get(64) && b.get(99));
+        assert!(!b.get(0));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn subset_test() {
+        let mut a = Bitset::new(128);
+        let mut b = Bitset::new(128);
+        a.set(1);
+        a.set(70);
+        b.set(1);
+        b.set(70);
+        b.set(100);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    fn union() {
+        let mut a = Bitset::new(64);
+        let mut b = Bitset::new(64);
+        a.set(0);
+        b.set(1);
+        a.union_with(&b);
+        assert!(a.get(0) && a.get(1));
+    }
+
+    #[test]
+    fn heap_size() {
+        let b = Bitset::new(4096);
+        assert_eq!(b.heap_size(), 4096 / 8);
+    }
+}

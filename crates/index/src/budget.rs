@@ -1,0 +1,99 @@
+//! Index-construction budgets.
+//!
+//! The paper gives index construction 24 hours and 64 GB; structures that
+//! exceed either are reported as OOT / OOM (Tables VI and VIII). A
+//! [`BuildBudget`] reproduces those limits at harness-chosen scales.
+
+use std::time::{Duration, Instant};
+
+/// Why an index build was aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// Exceeded the time budget (the paper's "OOT").
+    OutOfTime,
+    /// Exceeded the memory budget (the paper's "OOM").
+    OutOfMemory,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::OutOfTime => write!(f, "index construction exceeded the time budget (OOT)"),
+            BuildError::OutOfMemory => {
+                write!(f, "index construction exceeded the memory budget (OOM)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Time and memory limits for one index build.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildBudget {
+    deadline: Option<Instant>,
+    max_bytes: Option<usize>,
+}
+
+impl BuildBudget {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Limits construction to `d` from now.
+    pub fn with_time(mut self, d: Duration) -> Self {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+
+    /// Limits the index (and its construction intermediates) to `bytes`.
+    pub fn with_memory(mut self, bytes: usize) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Errors with OOT if the deadline has passed.
+    #[inline]
+    pub fn check_time(&self) -> Result<(), BuildError> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(BuildError::OutOfTime),
+            _ => Ok(()),
+        }
+    }
+
+    /// Errors with OOM if `bytes` exceeds the memory budget.
+    #[inline]
+    pub fn check_memory(&self, bytes: usize) -> Result<(), BuildError> {
+        match self.max_bytes {
+            Some(max) if bytes > max => Err(BuildError::OutOfMemory),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_errors() {
+        let b = BuildBudget::unlimited();
+        assert!(b.check_time().is_ok());
+        assert!(b.check_memory(usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn time_budget_expires() {
+        let b = BuildBudget::unlimited().with_time(Duration::from_nanos(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(b.check_time(), Err(BuildError::OutOfTime));
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let b = BuildBudget::unlimited().with_memory(100);
+        assert!(b.check_memory(100).is_ok());
+        assert_eq!(b.check_memory(101), Err(BuildError::OutOfMemory));
+    }
+}

@@ -1,0 +1,477 @@
+//! The CT-Index: tree and cycle features hashed into per-graph fingerprints.
+//!
+//! CT-Index (Klein, Kriege & Mutzel, ICDE 2011) enumerates subtrees and
+//! simple cycles up to a size bound from every data graph, canonicalizes
+//! them, and hashes each canonical form into a fixed-width bit fingerprint
+//! (the paper's configuration: 4096 bits, features up to size 4). A data
+//! graph is a candidate iff the query's fingerprint is a bitwise subset of
+//! the graph's.
+//!
+//! Subtree enumeration is exponential in density — this is precisely why
+//! CT-Index runs out of its 24-hour budget on PCM/PPI and most synthetic
+//! datasets in the paper (Tables VI and VIII). Builds therefore take a
+//! [`BuildBudget`] and abort with OOT/OOM like the original.
+//!
+//! Canonical forms: trees use AHU encoding rooted at the tree center(s);
+//! cycles use the lexicographically minimal rotation/reflection of their
+//! label sequence.
+
+use std::hash::{Hash, Hasher};
+
+use sqp_graph::hash::{FxHashSet, FxHasher};
+use sqp_graph::{Graph, GraphDb, Label, VertexId};
+
+use crate::bitset::Bitset;
+use crate::budget::{BuildBudget, BuildError};
+use crate::{CandidateGraphs, GraphIndex};
+
+/// CT-Index configuration (§IV-A: 4096-bit fingerprints, trees and cycles up
+/// to a length of 4).
+#[derive(Clone, Copy, Debug)]
+pub struct CtIndexConfig {
+    /// Maximum edges per subtree feature.
+    pub max_tree_edges: usize,
+    /// Maximum cycle length (edges).
+    pub max_cycle_len: usize,
+    /// Fingerprint width in bits.
+    pub bits: usize,
+    /// Hash functions per feature (bits set per feature).
+    pub hashes: usize,
+}
+
+impl Default for CtIndexConfig {
+    fn default() -> Self {
+        Self { max_tree_edges: 4, max_cycle_len: 4, bits: 4096, hashes: 2 }
+    }
+}
+
+/// The CT-Index: one fingerprint per data graph.
+#[derive(Debug)]
+pub struct FingerprintIndex {
+    fingerprints: Vec<Bitset>,
+    config: CtIndexConfig,
+}
+
+impl FingerprintIndex {
+    /// Builds the index over `db` within `budget`.
+    pub fn build(db: &GraphDb, config: CtIndexConfig, budget: &BuildBudget) -> Result<Self, BuildError> {
+        let mut fingerprints = Vec::with_capacity(db.len());
+        for g in db.graphs() {
+            fingerprints.push(fingerprint(g, config, budget)?);
+            budget.check_memory(fingerprints.len() * config.bits / 8)?;
+        }
+        Ok(Self { fingerprints, config })
+    }
+
+    /// Builds with defaults and no budget.
+    pub fn build_default(db: &GraphDb) -> Self {
+        Self::build(db, CtIndexConfig::default(), &BuildBudget::unlimited())
+            .expect("unlimited budget cannot fail")
+    }
+
+    /// The configuration used at build time.
+    pub fn config(&self) -> CtIndexConfig {
+        self.config
+    }
+}
+
+impl GraphIndex for FingerprintIndex {
+    fn name(&self) -> &'static str {
+        "CT-Index"
+    }
+
+    fn candidates(&self, q: &Graph) -> CandidateGraphs {
+        let qf = fingerprint(q, self.config, &BuildBudget::unlimited())
+            .expect("unlimited budget");
+        CandidateGraphs::Ids(
+            self.fingerprints
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| qf.is_subset_of(f))
+                .map(|(i, _)| sqp_graph::database::GraphId(i as u32))
+                .collect(),
+        )
+    }
+
+    fn heap_bytes(&self) -> usize {
+        use sqp_graph::HeapSize;
+        self.fingerprints.capacity() * std::mem::size_of::<Bitset>()
+            + self.fingerprints.iter().map(|f| f.heap_size()).sum::<usize>()
+    }
+}
+
+/// Computes the tree+cycle fingerprint of one graph.
+pub fn fingerprint(
+    g: &Graph,
+    config: CtIndexConfig,
+    budget: &BuildBudget,
+) -> Result<Bitset, BuildError> {
+    let mut bits = Bitset::new(config.bits);
+    let mut features: FxHashSet<u64> = FxHashSet::default();
+    enumerate_trees(g, config.max_tree_edges, budget, &mut features)?;
+    enumerate_cycles(g, config.max_cycle_len, budget, &mut features)?;
+    for f in features {
+        set_feature_bits(&mut bits, f, config);
+    }
+    Ok(bits)
+}
+
+fn set_feature_bits(bits: &mut Bitset, feature: u64, config: CtIndexConfig) {
+    let mut h = feature;
+    for _ in 0..config.hashes {
+        // Splitmix-style remix per hash function.
+        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        bits.set((z % config.bits as u64) as usize);
+    }
+}
+
+/// Enumerates all connected subtrees with 0..=`max_edges` edges, inserting
+/// each canonical form into `features`.
+///
+/// Growth-based enumeration with edge-set deduplication: a subtree is
+/// extended by any edge from a tree vertex to a fresh vertex. Every subtree
+/// is reached; duplicates are suppressed by hashing the sorted edge set.
+fn enumerate_trees(
+    g: &Graph,
+    max_edges: usize,
+    budget: &BuildBudget,
+    features: &mut FxHashSet<u64>,
+) -> Result<(), BuildError> {
+    let mut seen: FxHashSet<[u64; 4]> = FxHashSet::default();
+    let mut tree_vertices: Vec<VertexId> = Vec::with_capacity(max_edges + 1);
+    let mut tree_edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(max_edges);
+    let mut in_tree = vec![false; g.vertex_count()];
+
+    for start in g.vertices() {
+        budget.check_time()?;
+        budget.check_memory(seen.len() * 32 + features.len() * 8)?;
+        // Single-vertex tree.
+        features.insert(tree_canonical(g, &[start], &[]));
+        tree_vertices.push(start);
+        in_tree[start.index()] = true;
+        grow_tree(
+            g,
+            max_edges,
+            start,
+            &mut tree_vertices,
+            &mut tree_edges,
+            &mut in_tree,
+            &mut seen,
+            features,
+            budget,
+        )?;
+        in_tree[start.index()] = false;
+        tree_vertices.pop();
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_tree(
+    g: &Graph,
+    max_edges: usize,
+    start: VertexId,
+    tree_vertices: &mut Vec<VertexId>,
+    tree_edges: &mut Vec<(VertexId, VertexId)>,
+    in_tree: &mut [bool],
+    seen: &mut FxHashSet<[u64; 4]>,
+    features: &mut FxHashSet<u64>,
+    budget: &BuildBudget,
+) -> Result<(), BuildError> {
+    if tree_edges.len() == max_edges {
+        return Ok(());
+    }
+    budget.check_time()?;
+    // Candidate extensions: edges from the tree to a fresh vertex with id
+    // ≥ start (each subtree is generated exactly from its min-id vertex,
+    // which cuts duplicates by a factor of the tree size).
+    for i in 0..tree_vertices.len() {
+        let u = tree_vertices[i];
+        for &w in g.neighbors(u) {
+            if in_tree[w.index()] || w < start {
+                continue;
+            }
+            tree_edges.push((u.min(w), u.max(w)));
+            let key = edge_set_key(tree_edges);
+            if seen.insert(key) {
+                tree_vertices.push(w);
+                in_tree[w.index()] = true;
+                features.insert(tree_canonical(g, tree_vertices, tree_edges));
+                grow_tree(
+                    g,
+                    max_edges,
+                    start,
+                    tree_vertices,
+                    tree_edges,
+                    in_tree,
+                    seen,
+                    features,
+                    budget,
+                )?;
+                in_tree[w.index()] = false;
+                tree_vertices.pop();
+            }
+            tree_edges.pop();
+        }
+    }
+    Ok(())
+}
+
+/// Hashable key of a ≤4-edge set (sorted).
+fn edge_set_key(edges: &[(VertexId, VertexId)]) -> [u64; 4] {
+    debug_assert!(edges.len() <= 4);
+    let mut key = [u64::MAX; 4];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        key[i] = ((u.id() as u64) << 32) | v.id() as u64;
+    }
+    key.sort_unstable();
+    key
+}
+
+/// AHU canonical code of a labeled tree, rooted at its center(s).
+fn tree_canonical(g: &Graph, vertices: &[VertexId], edges: &[(VertexId, VertexId)]) -> u64 {
+    // Local adjacency over ≤ 5 vertices.
+    let n = vertices.len();
+    let idx = |v: VertexId| vertices.iter().position(|&x| x == v).expect("tree vertex");
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        let (a, b) = (idx(u), idx(v));
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    // Tree center(s) by iterative leaf stripping.
+    let centers = tree_centers(&adj);
+    let encode_from = |root: usize| -> String {
+        fn enc(adj: &[Vec<usize>], labels: &[Label], v: usize, parent: usize) -> String {
+            let mut kids: Vec<String> = adj[v]
+                .iter()
+                .filter(|&&w| w != parent)
+                .map(|&w| enc(adj, labels, w, v))
+                .collect();
+            kids.sort();
+            format!("({}{})", labels[v].id(), kids.concat())
+        }
+        let labels: Vec<Label> = vertices.iter().map(|&v| g.label(v)).collect();
+        enc(&adj, &labels, root, usize::MAX)
+    };
+    let code = centers.iter().map(|&c| encode_from(c)).min().expect("tree has a center");
+    let mut h = FxHasher::default();
+    // Domain-separate trees from cycles.
+    0u8.hash(&mut h);
+    code.hash(&mut h);
+    h.finish()
+}
+
+fn tree_centers(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut removed = vec![false; n];
+    let mut layer: Vec<usize> = (0..n).filter(|&v| degree[v] <= 1).collect();
+    let mut remaining = n;
+    while remaining > 2 {
+        let mut next = Vec::new();
+        for &v in &layer {
+            removed[v] = true;
+            remaining -= 1;
+            for &w in &adj[v] {
+                if !removed[w] {
+                    degree[w] -= 1;
+                    if degree[w] == 1 {
+                        next.push(w);
+                    }
+                }
+            }
+        }
+        layer = next;
+    }
+    (0..n).filter(|&v| !removed[v]).collect()
+}
+
+/// Enumerates simple cycles of length 3..=`max_len`, inserting each canonical
+/// label sequence into `features`.
+///
+/// Each cycle is generated once from its minimum-id vertex, walking only
+/// through larger-id vertices, with a direction tiebreak.
+fn enumerate_cycles(
+    g: &Graph,
+    max_len: usize,
+    budget: &BuildBudget,
+    features: &mut FxHashSet<u64>,
+) -> Result<(), BuildError> {
+    if max_len < 3 {
+        return Ok(());
+    }
+    let mut path: Vec<VertexId> = Vec::with_capacity(max_len);
+    let mut on_path = vec![false; g.vertex_count()];
+    for start in g.vertices() {
+        budget.check_time()?;
+        path.push(start);
+        on_path[start.index()] = true;
+        cycle_dfs(g, max_len, start, &mut path, &mut on_path, features);
+        on_path[start.index()] = false;
+        path.pop();
+    }
+    Ok(())
+}
+
+fn cycle_dfs(
+    g: &Graph,
+    max_len: usize,
+    start: VertexId,
+    path: &mut Vec<VertexId>,
+    on_path: &mut [bool],
+    features: &mut FxHashSet<u64>,
+) {
+    let cur = *path.last().expect("non-empty path");
+    for &w in g.neighbors(cur) {
+        if w == start && path.len() >= 3 {
+            // Direction dedup: emit only when the second vertex has a
+            // smaller id than the last.
+            if path[1] < path[path.len() - 1] {
+                features.insert(cycle_canonical(g, path));
+            }
+            continue;
+        }
+        if w <= start || on_path[w.index()] || path.len() == max_len {
+            continue;
+        }
+        path.push(w);
+        on_path[w.index()] = true;
+        cycle_dfs(g, max_len, start, path, on_path, features);
+        on_path[w.index()] = false;
+        path.pop();
+    }
+}
+
+/// Minimal rotation/reflection code of a cycle's label sequence.
+fn cycle_canonical(g: &Graph, cycle: &[VertexId]) -> u64 {
+    let labels: Vec<u32> = cycle.iter().map(|&v| g.label(v).id()).collect();
+    let n = labels.len();
+    let mut best: Option<Vec<u32>> = None;
+    for rot in 0..n {
+        for dir in [1usize, 0] {
+            let seq: Vec<u32> = (0..n)
+                .map(|i| {
+                    let j = if dir == 1 { (rot + i) % n } else { (rot + n - i) % n };
+                    labels[j]
+                })
+                .collect();
+            if best.as_ref().is_none_or(|b| seq < *b) {
+                best = Some(seq);
+            }
+        }
+    }
+    let mut h = FxHasher::default();
+    1u8.hash(&mut h); // domain separation from trees
+    best.expect("non-empty cycle").hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_graph::database::GraphId;
+    use sqp_graph::GraphBuilder;
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn subgraph_fingerprint_is_subset() {
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let g = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let cfg = CtIndexConfig::default();
+        let fq = fingerprint(&q, cfg, &BuildBudget::unlimited()).unwrap();
+        let fg = fingerprint(&g, cfg, &BuildBudget::unlimited()).unwrap();
+        assert!(fq.is_subset_of(&fg));
+    }
+
+    #[test]
+    fn cycle_feature_distinguishes() {
+        // Triangle vs path with same labels: the cycle feature only exists
+        // in the triangle, so the path graph is filtered out.
+        let tri = labeled(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        let path = labeled(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let db = GraphDb::from_graphs(vec![path.clone(), tri.clone()]);
+        let index = FingerprintIndex::build_default(&db);
+        let c = index.candidates(&tri).into_ids(db.len());
+        assert_eq!(c, vec![GraphId(1)]);
+    }
+
+    #[test]
+    fn tree_canonical_invariant_under_relabeling() {
+        // The same star enumerated from different vertex orders must agree.
+        let a = labeled(&[1, 0, 2], &[(1, 0), (1, 2)]);
+        let b = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        // a: center label 0 at v1 with leaves 1, 2; b: path 0-1-2 with
+        // center label 1. Different trees → different codes.
+        let fa = tree_canonical(&a, &[VertexId(0), VertexId(1), VertexId(2)], &[(VertexId(1), VertexId(0)), (VertexId(1), VertexId(2))]);
+        let fb = tree_canonical(&b, &[VertexId(0), VertexId(1), VertexId(2)], &[(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))]);
+        assert_ne!(fa, fb);
+        // Same structure listed in a different vertex order → same code.
+        let fa2 = tree_canonical(&a, &[VertexId(2), VertexId(0), VertexId(1)], &[(VertexId(1), VertexId(2)), (VertexId(0), VertexId(1))]);
+        assert_eq!(fa, fa2);
+    }
+
+    #[test]
+    fn cycle_canonical_rotation_invariant() {
+        let g = labeled(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let a = cycle_canonical(&g, &[VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        let b = cycle_canonical(&g, &[VertexId(2), VertexId(3), VertexId(0), VertexId(1)]);
+        let c = cycle_canonical(&g, &[VertexId(3), VertexId(2), VertexId(1), VertexId(0)]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn build_respects_time_budget_on_dense_graph() {
+        // A 20-clique has an enormous number of subtrees.
+        let labels = vec![0u32; 20];
+        let mut edges = Vec::new();
+        for u in 0..20u32 {
+            for v in (u + 1)..20 {
+                edges.push((u, v));
+            }
+        }
+        let db = GraphDb::from_graphs(vec![labeled(&labels, &edges)]);
+        let budget = BuildBudget::unlimited().with_time(std::time::Duration::from_millis(5));
+        let r = FingerprintIndex::build(&db, CtIndexConfig::default(), &budget);
+        assert_eq!(r.err(), Some(BuildError::OutOfTime));
+    }
+
+    #[test]
+    fn candidate_set_is_sound_for_contained_queries() {
+        let g0 = labeled(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g1 = labeled(&[0, 1], &[(0, 1)]);
+        let db = GraphDb::from_graphs(vec![g0.clone(), g1]);
+        let index = FingerprintIndex::build_default(&db);
+        // q = 4-cycle itself: contained in g0 only.
+        let c = index.candidates(&g0).into_ids(db.len());
+        assert!(c.contains(&GraphId(0)));
+    }
+
+    #[test]
+    fn heap_bytes_scale_with_graphs() {
+        let g = labeled(&[0], &[]);
+        let db1 = GraphDb::from_graphs(vec![g.clone()]);
+        let db3 = GraphDb::from_graphs(vec![g.clone(), g.clone(), g]);
+        let i1 = FingerprintIndex::build_default(&db1);
+        let i3 = FingerprintIndex::build_default(&db3);
+        assert!(i3.heap_bytes() > i1.heap_bytes());
+    }
+}

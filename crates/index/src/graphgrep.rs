@@ -1,0 +1,218 @@
+//! GraphGrep (Shasha, Wang & Giugno, PODS 2002).
+//!
+//! The first row of the paper's Table II: an enumeration-based path index
+//! whose structure is a *hashed fingerprint table* rather than a trie — each
+//! graph stores `hash(path label sequence) → occurrence count`, and the
+//! filter compares counts per hash bucket. Hash collisions merge distinct
+//! features into one bucket; this only ever *weakens* filtering (bucket
+//! counts are sums over colliding features), so the candidate set stays
+//! sound while precision sits below Grapes' exact trie.
+//!
+//! Implemented beyond the paper's three IFV contenders for related-work
+//! coverage; useful as the weakest-precision IFV reference point.
+
+use std::hash::{Hash, Hasher};
+
+use sqp_graph::database::GraphId;
+use sqp_graph::hash::{FxHashMap, FxHasher};
+use sqp_graph::{Graph, GraphDb};
+
+use crate::budget::{BuildBudget, BuildError};
+use crate::path_enum;
+use crate::{CandidateGraphs, GraphIndex};
+
+/// GraphGrep configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphGrepConfig {
+    /// Maximum vertices per path feature (`lp`, as for Grapes/GGSX).
+    pub max_path_vertices: usize,
+    /// Number of hash buckets per graph fingerprint.
+    pub buckets: usize,
+}
+
+impl Default for GraphGrepConfig {
+    fn default() -> Self {
+        Self { max_path_vertices: 4, buckets: 1 << 12 }
+    }
+}
+
+/// The GraphGrep hashed path index: one `bucket → count` table per graph.
+#[derive(Debug)]
+pub struct GraphGrepIndex {
+    /// Per graph: sorted `(bucket, count)` pairs.
+    tables: Vec<Vec<(u32, u32)>>,
+    config: GraphGrepConfig,
+}
+
+impl GraphGrepIndex {
+    /// Builds the index over `db` within `budget`.
+    pub fn build(
+        db: &GraphDb,
+        config: GraphGrepConfig,
+        budget: &BuildBudget,
+    ) -> Result<Self, BuildError> {
+        let mut tables = Vec::with_capacity(db.len());
+        for g in db.graphs() {
+            tables.push(Self::fingerprint(g, config, budget)?);
+            let bytes: usize = tables.iter().map(|t| t.capacity() * 8).sum();
+            budget.check_memory(bytes)?;
+        }
+        Ok(Self { tables, config })
+    }
+
+    /// Builds with defaults and no budget.
+    pub fn build_default(db: &GraphDb) -> Self {
+        Self::build(db, GraphGrepConfig::default(), &BuildBudget::unlimited())
+            .expect("unlimited budget cannot fail")
+    }
+
+    fn fingerprint(
+        g: &Graph,
+        config: GraphGrepConfig,
+        budget: &BuildBudget,
+    ) -> Result<Vec<(u32, u32)>, BuildError> {
+        let counts = path_enum::path_counts(g, config.max_path_vertices, budget)?;
+        let mut buckets: FxHashMap<u32, u32> = FxHashMap::default();
+        for (key, count) in counts {
+            *buckets.entry(bucket_of(key, config.buckets)).or_insert(0) += count;
+        }
+        let mut table: Vec<(u32, u32)> = buckets.into_iter().collect();
+        table.sort_unstable_by_key(|&(b, _)| b);
+        Ok(table)
+    }
+
+    fn count_in(table: &[(u32, u32)], bucket: u32) -> u32 {
+        table.binary_search_by_key(&bucket, |&(b, _)| b).map(|i| table[i].1).unwrap_or(0)
+    }
+}
+
+fn bucket_of(feature_key: u64, buckets: usize) -> u32 {
+    let mut h = FxHasher::default();
+    feature_key.hash(&mut h);
+    (h.finish() % buckets as u64) as u32
+}
+
+impl GraphIndex for GraphGrepIndex {
+    fn name(&self) -> &'static str {
+        "GraphGrep"
+    }
+
+    fn candidates(&self, q: &Graph) -> CandidateGraphs {
+        let features =
+            path_enum::path_counts(q, self.config.max_path_vertices, &BuildBudget::unlimited())
+                .expect("unlimited budget");
+        if features.is_empty() {
+            return CandidateGraphs::All;
+        }
+        // Aggregate the query's needs per bucket (colliding features add up,
+        // exactly like the data side, keeping the test sound).
+        let mut needs: FxHashMap<u32, u32> = FxHashMap::default();
+        for (key, count) in features {
+            *needs.entry(bucket_of(key, self.config.buckets)).or_insert(0) += count;
+        }
+        let ids = self
+            .tables
+            .iter()
+            .enumerate()
+            .filter(|(_, table)| {
+                needs.iter().all(|(&bucket, &need)| Self::count_in(table, bucket) >= need)
+            })
+            .map(|(i, _)| GraphId(i as u32))
+            .collect();
+        CandidateGraphs::Ids(ids)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.tables.capacity() * std::mem::size_of::<Vec<(u32, u32)>>()
+            + self
+                .tables
+                .iter()
+                .map(|t| t.capacity() * std::mem::size_of::<(u32, u32)>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::PathTrieIndex;
+    use sqp_graph::{GraphBuilder, Label, VertexId};
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    fn small_db() -> GraphDb {
+        GraphDb::from_graphs(vec![
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            labeled(&[0, 1, 1], &[(0, 1), (0, 2)]),
+            labeled(&[2], &[]),
+        ])
+    }
+
+    #[test]
+    fn candidates_are_sound() {
+        let db = small_db();
+        let index = GraphGrepIndex::build_default(&db);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let c = index.candidates(&q).into_ids(db.len());
+        assert!(c.contains(&GraphId(0)));
+        assert!(c.contains(&GraphId(1)));
+    }
+
+    #[test]
+    fn no_stronger_than_grapes() {
+        // Hash-bucket counting can only be weaker than the exact trie.
+        let db = small_db();
+        let gg = GraphGrepIndex::build_default(&db);
+        let grapes = PathTrieIndex::build_default(&db);
+        for q in [
+            labeled(&[0, 1], &[(0, 1)]),
+            labeled(&[0, 1, 1], &[(0, 1), (0, 2)]),
+            labeled(&[2], &[]),
+        ] {
+            let exact = grapes.candidates(&q).into_ids(db.len());
+            let hashed = gg.candidates(&q).into_ids(db.len());
+            for c in &exact {
+                assert!(hashed.contains(c), "GraphGrep pruned {c:?} that Grapes kept");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_bucket_count_still_sound() {
+        // Force heavy collisions: 4 buckets.
+        let db = small_db();
+        let cfg = GraphGrepConfig { max_path_vertices: 4, buckets: 4 };
+        let index = GraphGrepIndex::build(&db, cfg, &BuildBudget::unlimited()).unwrap();
+        let q = labeled(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        let c = index.candidates(&q).into_ids(db.len());
+        assert!(c.contains(&GraphId(1)));
+    }
+
+    #[test]
+    fn memory_smaller_than_trie() {
+        let db = small_db();
+        let gg = GraphGrepIndex::build_default(&db);
+        let grapes = PathTrieIndex::build_default(&db);
+        assert!(gg.heap_bytes() <= grapes.heap_bytes());
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let db = small_db();
+        let r = GraphGrepIndex::build(
+            &db,
+            GraphGrepConfig::default(),
+            &BuildBudget::unlimited().with_memory(1),
+        );
+        assert_eq!(r.err(), Some(BuildError::OutOfMemory));
+    }
+}

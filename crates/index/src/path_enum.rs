@@ -1,0 +1,205 @@
+//! Labeled-path feature enumeration.
+//!
+//! Both Grapes and GGSX index simple labeled paths of up to a maximum number
+//! of vertices (both default to 4, the `lp = 4` configuration of §IV-A).
+//! A path feature is the label sequence of a simple path; forward and
+//! reverse traversals of the same undirected path are canonicalized to one
+//! key, and each graph stores its occurrence count per feature.
+//!
+//! Features are encoded into a single `u64`: four 16-bit slots holding
+//! `label + 1` (0 = unused slot), which bounds indexable label spaces to
+//! 65,534 labels — far beyond any dataset in the paper.
+
+use sqp_graph::hash::FxHashMap;
+use sqp_graph::{Graph, Label, VertexId};
+
+use crate::budget::{BuildBudget, BuildError};
+
+/// Maximum number of vertices per path feature supported by the encoding.
+pub const MAX_PATH_VERTICES: usize = 4;
+
+/// Encodes a label sequence (≤ 4 labels, each < 65535) into a `u64` key.
+#[inline]
+pub fn encode(seq: &[Label]) -> u64 {
+    debug_assert!(seq.len() <= MAX_PATH_VERTICES);
+    let mut key = 0u64;
+    for (i, l) in seq.iter().enumerate() {
+        debug_assert!(l.id() < u16::MAX as u32);
+        key |= ((l.id() + 1) as u64) << (16 * i);
+    }
+    key
+}
+
+/// Decodes a key back into its label sequence.
+pub fn decode(key: u64) -> Vec<Label> {
+    let mut seq = Vec::with_capacity(MAX_PATH_VERTICES);
+    for i in 0..MAX_PATH_VERTICES {
+        let slot = ((key >> (16 * i)) & 0xffff) as u32;
+        if slot == 0 {
+            break;
+        }
+        seq.push(Label(slot - 1));
+    }
+    seq
+}
+
+/// The canonical key of a path: the minimum of the forward and reverse
+/// label-sequence encodings.
+#[inline]
+pub fn canonical(seq: &[Label]) -> u64 {
+    let fwd = encode(seq);
+    let mut rev = [Label(0); MAX_PATH_VERTICES];
+    for (i, l) in seq.iter().rev().enumerate() {
+        rev[i] = *l;
+    }
+    let rev = encode(&rev[..seq.len()]);
+    fwd.min(rev)
+}
+
+/// Enumerates every simple path of 1..=`max_vertices` vertices in `g` and
+/// returns occurrence counts per canonical feature.
+///
+/// Every directed traversal counts once, so an undirected path contributes 2
+/// to its canonical feature (1 if it is a palindromic single vertex). This is
+/// consistent between data graphs and queries, which is all count-based
+/// filtering needs.
+pub fn path_counts(
+    g: &Graph,
+    max_vertices: usize,
+    budget: &BuildBudget,
+) -> Result<FxHashMap<u64, u32>, BuildError> {
+    assert!((1..=MAX_PATH_VERTICES).contains(&max_vertices));
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut visited = vec![false; g.vertex_count()];
+    let mut seq: Vec<Label> = Vec::with_capacity(max_vertices);
+    let mut stack: Vec<VertexId> = Vec::with_capacity(max_vertices);
+
+    for start in g.vertices() {
+        budget.check_time()?;
+        budget.check_memory(counts.len() * 16)?;
+        stack.push(start);
+        seq.push(g.label(start));
+        visited[start.index()] = true;
+        *counts.entry(canonical(&seq)).or_insert(0) += 1;
+        extend(g, max_vertices, &mut stack, &mut seq, &mut visited, &mut counts);
+        visited[start.index()] = false;
+        stack.pop();
+        seq.pop();
+    }
+    Ok(counts)
+}
+
+fn extend(
+    g: &Graph,
+    max_vertices: usize,
+    stack: &mut Vec<VertexId>,
+    seq: &mut Vec<Label>,
+    visited: &mut [bool],
+    counts: &mut FxHashMap<u64, u32>,
+) {
+    if stack.len() == max_vertices {
+        return;
+    }
+    let cur = *stack.last().expect("non-empty path");
+    for &w in g.neighbors(cur) {
+        if visited[w.index()] {
+            continue;
+        }
+        stack.push(w);
+        seq.push(g.label(w));
+        visited[w.index()] = true;
+        *counts.entry(canonical(seq)).or_insert(0) += 1;
+        extend(g, max_vertices, stack, seq, visited, counts);
+        visited[w.index()] = false;
+        seq.pop();
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_graph::GraphBuilder;
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for seq in [vec![Label(0)], vec![Label(3), Label(0)], vec![Label(1), Label(2), Label(3), Label(65533)]]
+        {
+            assert_eq!(decode(encode(&seq)), seq);
+        }
+    }
+
+    #[test]
+    fn canonical_is_direction_invariant() {
+        let fwd = [Label(1), Label(2), Label(3)];
+        let rev = [Label(3), Label(2), Label(1)];
+        assert_eq!(canonical(&fwd), canonical(&rev));
+    }
+
+    #[test]
+    fn path_counts_on_a_path_graph() {
+        // A(0) - B(1) - C(2)
+        let g = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let counts = path_counts(&g, 4, &BuildBudget::unlimited()).unwrap();
+        // Single vertices: A, B, C each once.
+        assert_eq!(counts[&canonical(&[Label(0)])], 1);
+        // Edge A-B traversed in both directions → count 2.
+        assert_eq!(counts[&canonical(&[Label(0), Label(1)])], 2);
+        // Full path A-B-C: both directions.
+        assert_eq!(counts[&canonical(&[Label(0), Label(1), Label(2)])], 2);
+        // No 4-vertex path exists.
+        assert!(counts
+            .keys()
+            .all(|&k| decode(k).len() <= 3));
+    }
+
+    #[test]
+    fn simple_paths_only() {
+        // Triangle with one label: longest simple path has 3 vertices.
+        let g = labeled(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        let counts = path_counts(&g, 4, &BuildBudget::unlimited()).unwrap();
+        assert!(counts.keys().all(|&k| decode(k).len() <= 3));
+        // 3-vertex paths: 3 (choices of excluded edge) × 2 directions = 6
+        // traversals → canonical count 6.
+        assert_eq!(counts[&canonical(&[Label(0), Label(0), Label(0)])], 6);
+    }
+
+    #[test]
+    fn subgraph_counts_dominated() {
+        // The count-filter invariant: q ⊆ g ⇒ counts_q(f) ≤ counts_g(f).
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let g = labeled(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        let cq = path_counts(&q, 4, &BuildBudget::unlimited()).unwrap();
+        let cg = path_counts(&g, 4, &BuildBudget::unlimited()).unwrap();
+        for (k, &c) in &cq {
+            assert!(cg.get(k).copied().unwrap_or(0) >= c);
+        }
+    }
+
+    #[test]
+    fn respects_time_budget() {
+        let g = labeled(&[0; 20].iter().map(|&l| l as u32).collect::<Vec<_>>(), &{
+            let mut e = Vec::new();
+            for u in 0..20u32 {
+                for v in (u + 1)..20 {
+                    e.push((u, v));
+                }
+            }
+            e
+        });
+        let budget = BuildBudget::unlimited().with_time(std::time::Duration::from_nanos(0));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(path_counts(&g, 4, &budget), Err(BuildError::OutOfTime));
+    }
+}

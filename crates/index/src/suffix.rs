@@ -1,0 +1,201 @@
+//! The GGSX index: path features in a sorted dictionary with
+//! existence-based filtering.
+//!
+//! GraphGrepSX (Bonnici et al., 2010) stores the same labeled-path features
+//! as Grapes in a generalized suffix tree and filters candidates by feature
+//! *containment* (GGSX does not exploit occurrence counts the way Grapes
+//! does — visible in the paper's Figure 8, where Grapes' filtering precision
+//! clearly beats GGSX's on synthetic data).
+//!
+//! The suffix tree is modeled by its array analogue: a single sorted
+//! `(feature key → posting list)` dictionary with binary-search lookup —
+//! the same compressed storage and lookup complexity class, with Rust-friendly
+//! memory behaviour (see DESIGN.md §4). Construction is single-threaded, as
+//! in the original. Relative to Grapes this gives the paper's observed
+//! profile: slower builds on multicore machines, smaller resident index,
+//! weaker precision.
+
+use sqp_graph::database::GraphId;
+use sqp_graph::hash::FxHashMap;
+use sqp_graph::{Graph, GraphDb};
+
+use crate::budget::{BuildBudget, BuildError};
+use crate::path_enum;
+use crate::trie::intersect_feature;
+use crate::{CandidateGraphs, GraphIndex};
+
+/// The GGSX sorted path dictionary.
+#[derive(Debug)]
+pub struct GgsxIndex {
+    /// Sorted by feature key.
+    features: Vec<(u64, Vec<(u32, u32)>)>,
+    max_path_vertices: usize,
+}
+
+impl GgsxIndex {
+    /// Builds the index over `db` within `budget`; `max_path_vertices`
+    /// defaults to 4 in [`GgsxIndex::build_default`] (§IV-A).
+    pub fn build(
+        db: &GraphDb,
+        max_path_vertices: usize,
+        budget: &BuildBudget,
+    ) -> Result<Self, BuildError> {
+        let mut map: FxHashMap<u64, Vec<(u32, u32)>> = FxHashMap::default();
+        // Running size estimate, updated incrementally (a per-graph rescan of
+        // the map would make construction quadratic in |D|).
+        let mut postings = 0usize;
+        for (gid, g) in db.iter() {
+            budget.check_time()?;
+            let counts = path_enum::path_counts(g, max_path_vertices, budget)?;
+            for (key, count) in counts {
+                map.entry(key).or_default().push((gid.id(), count));
+                postings += 1;
+            }
+            budget.check_memory(map.len() * 16 + postings * 8)?;
+        }
+        let mut features: Vec<(u64, Vec<(u32, u32)>)> = map.into_iter().collect();
+        features.sort_unstable_by_key(|&(k, _)| k);
+        // Postings were appended in graph-id order, hence already sorted.
+        Ok(Self { features, max_path_vertices })
+    }
+
+    /// Builds with the paper's configuration and no budget.
+    pub fn build_default(db: &GraphDb) -> Self {
+        Self::build(db, 4, &BuildBudget::unlimited()).expect("unlimited budget cannot fail")
+    }
+
+    fn lookup(&self, key: u64) -> Option<&[(u32, u32)]> {
+        self.features
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.features[i].1.as_slice())
+    }
+
+    /// Number of distinct features (diagnostics).
+    pub fn feature_count(&self) -> usize {
+        self.features.len()
+    }
+}
+
+impl GraphIndex for GgsxIndex {
+    fn name(&self) -> &'static str {
+        "GGSX"
+    }
+
+    fn candidates(&self, q: &Graph) -> CandidateGraphs {
+        let features =
+            path_enum::path_counts(q, self.max_path_vertices, &BuildBudget::unlimited())
+                .expect("unlimited budget");
+        if features.is_empty() {
+            return CandidateGraphs::All;
+        }
+        let mut feats: Vec<&[(u32, u32)]> = Vec::with_capacity(features.len());
+        for key in features.keys() {
+            match self.lookup(*key) {
+                Some(postings) => feats.push(postings),
+                None => return CandidateGraphs::Ids(Vec::new()),
+            }
+        }
+        feats.sort_by_key(|p| p.len());
+        let mut acc: Option<Vec<GraphId>> = None;
+        for postings in feats {
+            // Existence-only filtering (`use_counts = false`): GGSX's test.
+            let next = intersect_feature(acc.take(), postings, 0, false);
+            if next.is_empty() {
+                return CandidateGraphs::Ids(next);
+            }
+            acc = Some(next);
+        }
+        CandidateGraphs::Ids(acc.unwrap_or_default())
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.features.capacity() * std::mem::size_of::<(u64, Vec<(u32, u32)>)>()
+            + self
+                .features
+                .iter()
+                .map(|(_, p)| p.capacity() * std::mem::size_of::<(u32, u32)>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::PathTrieIndex;
+    use sqp_graph::{GraphBuilder, Label, VertexId};
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    fn small_db() -> GraphDb {
+        GraphDb::from_graphs(vec![
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            labeled(&[0, 1, 1], &[(0, 1), (0, 2)]),
+            labeled(&[2], &[]),
+        ])
+    }
+
+    #[test]
+    fn candidates_are_sound() {
+        let db = small_db();
+        let index = GgsxIndex::build_default(&db);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let c = index.candidates(&q).into_ids(db.len());
+        assert_eq!(c, vec![GraphId(0), GraphId(1)]);
+    }
+
+    #[test]
+    fn existence_filtering_is_weaker_than_grapes() {
+        // Query: star — center A with three B leaves. Its B-A-B feature
+        // occurs 6 times (3 leaf pairs × 2 directions).
+        let q = labeled(&[0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]);
+        // G0: B-A-B path with a B tail — contains every query *feature*
+        // (A, B×3, A-B, B-A-B) but with lower multiplicities, and does not
+        // contain the query. G1: the star itself.
+        let db = GraphDb::from_graphs(vec![
+            labeled(&[1, 0, 1, 1], &[(0, 1), (1, 2), (2, 3)]),
+            labeled(&[0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]),
+        ]);
+        let ggsx = GgsxIndex::build_default(&db);
+        let grapes = PathTrieIndex::build_default(&db);
+        let g_c = grapes.candidates(&q).into_ids(db.len());
+        let x_c = ggsx.candidates(&q).into_ids(db.len());
+        // Count-aware Grapes prunes G0 (needs A-B × 6, has × 4).
+        assert_eq!(g_c, vec![GraphId(1)]);
+        // Existence-only GGSX keeps both.
+        assert_eq!(x_c, vec![GraphId(0), GraphId(1)]);
+    }
+
+    #[test]
+    fn ggsx_smaller_than_grapes() {
+        let db = small_db();
+        let ggsx = GgsxIndex::build_default(&db);
+        let grapes = PathTrieIndex::build_default(&db);
+        assert!(ggsx.heap_bytes() <= grapes.heap_bytes());
+    }
+
+    #[test]
+    fn missing_feature_empties() {
+        let db = small_db();
+        let index = GgsxIndex::build_default(&db);
+        let q = labeled(&[9], &[]);
+        assert_eq!(index.candidates(&q), CandidateGraphs::Ids(Vec::new()));
+    }
+
+    #[test]
+    fn time_budget_enforced() {
+        let db = small_db();
+        let budget = BuildBudget::unlimited().with_time(std::time::Duration::from_nanos(0));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(GgsxIndex::build(&db, 4, &budget).err(), Some(BuildError::OutOfTime));
+    }
+}

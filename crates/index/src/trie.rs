@@ -1,0 +1,349 @@
+//! The Grapes index: a path trie with per-graph occurrence counts, built in
+//! parallel.
+//!
+//! Grapes (Giugno et al., 2013) enumerates all simple labeled paths up to
+//! `lp` vertices from every vertex of every data graph, in parallel across
+//! worker threads, and stores them in a trie whose nodes carry
+//! `(graph, occurrence count)` postings. A query is decomposed into the same
+//! features; a data graph is a candidate iff for **every** query feature it
+//! holds at least as many occurrences (count-aware filtering — the source of
+//! Grapes' precision edge over GGSX in the paper's Figure 8).
+//!
+//! The localization information of the original (per-feature vertex
+//! locations, used to restrict VF2 to regions) is not kept: the paper's
+//! harness only exercises the candidate-graph interface.
+
+use crossbeam::thread;
+
+use sqp_graph::database::GraphId;
+use sqp_graph::hash::FxHashMap;
+use sqp_graph::{Graph, GraphDb, Label};
+
+use crate::budget::{BuildBudget, BuildError};
+use crate::path_enum::{self, decode};
+use crate::{CandidateGraphs, GraphIndex};
+
+/// Grapes configuration (§IV-A: paths up to 4 vertices, 6 threads).
+#[derive(Clone, Copy, Debug)]
+pub struct GrapesConfig {
+    /// Maximum vertices per path feature (`lp`).
+    pub max_path_vertices: usize,
+    /// Worker threads for the enumeration phase.
+    pub threads: usize,
+}
+
+impl Default for GrapesConfig {
+    fn default() -> Self {
+        Self { max_path_vertices: 4, threads: 6 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    /// Sorted `(label, child)` pairs.
+    children: Vec<(Label, u32)>,
+    /// Sorted-by-graph postings `(graph, count)`.
+    postings: Vec<(u32, u32)>,
+}
+
+/// The Grapes path-trie index.
+#[derive(Debug)]
+pub struct PathTrieIndex {
+    nodes: Vec<TrieNode>,
+    config: GrapesConfig,
+}
+
+impl PathTrieIndex {
+    /// Builds the index over `db` within `budget`.
+    pub fn build(db: &GraphDb, config: GrapesConfig, budget: &BuildBudget) -> Result<Self, BuildError> {
+        assert!(config.threads >= 1);
+        // Phase 1 (parallel): per-graph feature counts. Keeping all maps
+        // alive before insertion mirrors Grapes' memory behaviour.
+        let maps = parallel_path_counts(db, config, budget)?;
+
+        // Phase 2 (serial): trie insertion in graph-id order, so postings
+        // stay sorted without a final sort.
+        let mut index = Self {
+            nodes: vec![TrieNode::default()],
+            config,
+        };
+        // Running size estimate (len-based): checking the exact
+        // `heap_bytes()` per graph would rescan the whole trie and make
+        // construction quadratic in |D|.
+        let mut approx_bytes = std::mem::size_of::<TrieNode>();
+        for (gid, counts) in maps.into_iter().enumerate() {
+            budget.check_time()?;
+            for (key, count) in counts {
+                let before = index.nodes.len();
+                let node = index.insert_path(&decode(key));
+                let created = index.nodes.len() - before;
+                approx_bytes += created
+                    * (std::mem::size_of::<TrieNode>() + std::mem::size_of::<(Label, u32)>());
+                index.nodes[node as usize].postings.push((gid as u32, count));
+                approx_bytes += std::mem::size_of::<(u32, u32)>();
+            }
+            budget.check_memory(approx_bytes)?;
+        }
+        Ok(index)
+    }
+
+    /// Builds with defaults and no budget.
+    pub fn build_default(db: &GraphDb) -> Self {
+        Self::build(db, GrapesConfig::default(), &BuildBudget::unlimited())
+            .expect("unlimited budget cannot fail")
+    }
+
+    fn insert_path(&mut self, seq: &[Label]) -> u32 {
+        let mut node = 0u32;
+        for &l in seq {
+            let children = &self.nodes[node as usize].children;
+            node = match children.binary_search_by_key(&l, |&(cl, _)| cl) {
+                Ok(i) => children[i].1,
+                Err(i) => {
+                    let new = self.nodes.len() as u32;
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node as usize].children.insert(i, (l, new));
+                    new
+                }
+            };
+        }
+        node
+    }
+
+    fn lookup(&self, seq: &[Label]) -> Option<&TrieNode> {
+        let mut node = 0u32;
+        for &l in seq {
+            let children = &self.nodes[node as usize].children;
+            node = children.binary_search_by_key(&l, |&(cl, _)| cl).ok().map(|i| children[i].1)?;
+        }
+        Some(&self.nodes[node as usize])
+    }
+
+    /// Number of trie nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configuration used at build time.
+    pub fn config(&self) -> GrapesConfig {
+        self.config
+    }
+}
+
+/// Enumerates per-graph path-feature counts, splitting graphs across
+/// `config.threads` workers.
+pub(crate) fn parallel_path_counts(
+    db: &GraphDb,
+    config: GrapesConfig,
+    budget: &BuildBudget,
+) -> Result<Vec<FxHashMap<u64, u32>>, BuildError> {
+    let n = db.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = config.threads.min(n).max(1);
+    let chunk = n.div_ceil(threads);
+    let results = thread::scope(|s| {
+        let handles: Vec<_> = db
+            .graphs()
+            .chunks(chunk)
+            .map(|graphs| {
+                s.spawn(move |_| {
+                    graphs
+                        .iter()
+                        .map(|g| path_enum::path_counts(g, config.max_path_vertices, budget))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })
+    .expect("scope panicked")?;
+    Ok(results.into_iter().flatten().collect())
+}
+
+/// Intersects candidate lists: graphs whose posting count satisfies `need`.
+pub(crate) fn intersect_feature(
+    acc: Option<Vec<GraphId>>,
+    postings: &[(u32, u32)],
+    need: u32,
+    use_counts: bool,
+) -> Vec<GraphId> {
+    match acc {
+        None => postings
+            .iter()
+            .filter(|&&(_, c)| !use_counts || c >= need)
+            .map(|&(g, _)| GraphId(g))
+            .collect(),
+        Some(prev) => {
+            // Both sides sorted by graph id: linear merge.
+            let mut out = Vec::with_capacity(prev.len().min(postings.len()));
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < prev.len() && j < postings.len() {
+                let a = prev[i].id();
+                let (b, c) = postings[j];
+                match a.cmp(&b) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if !use_counts || c >= need {
+                            out.push(prev[i]);
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+impl GraphIndex for PathTrieIndex {
+    fn name(&self) -> &'static str {
+        "Grapes"
+    }
+
+    fn candidates(&self, q: &Graph) -> CandidateGraphs {
+        let features =
+            path_enum::path_counts(q, self.config.max_path_vertices, &BuildBudget::unlimited())
+                .expect("unlimited budget");
+        if features.is_empty() {
+            return CandidateGraphs::All;
+        }
+        // Process rarest features first so the accumulator shrinks fast.
+        let mut feats: Vec<(u64, u32, &TrieNode)> = Vec::with_capacity(features.len());
+        for (key, need) in features {
+            match self.lookup(&decode(key)) {
+                Some(node) => feats.push((key, need, node)),
+                None => return CandidateGraphs::Ids(Vec::new()),
+            }
+        }
+        feats.sort_by_key(|&(_, _, node)| node.postings.len());
+        let mut acc: Option<Vec<GraphId>> = None;
+        for (_, need, node) in feats {
+            let next = intersect_feature(acc.take(), &node.postings, need, true);
+            if next.is_empty() {
+                return CandidateGraphs::Ids(next);
+            }
+            acc = Some(next);
+        }
+        CandidateGraphs::Ids(acc.unwrap_or_default())
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<TrieNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.children.capacity() * std::mem::size_of::<(Label, u32)>()
+                        + n.postings.capacity() * std::mem::size_of::<(u32, u32)>()
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_graph::{GraphBuilder, VertexId};
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    fn small_db() -> GraphDb {
+        GraphDb::from_graphs(vec![
+            // G0: path A-B-C
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            // G1: star A with two B leaves
+            labeled(&[0, 1, 1], &[(0, 1), (0, 2)]),
+            // G2: single C
+            labeled(&[2], &[]),
+        ])
+    }
+
+    #[test]
+    fn candidates_are_sound() {
+        let db = small_db();
+        let index = PathTrieIndex::build_default(&db);
+        // Query: edge A-B. G0 and G1 contain it.
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let c = index.candidates(&q).into_ids(db.len());
+        assert_eq!(c, vec![GraphId(0), GraphId(1)]);
+    }
+
+    #[test]
+    fn count_filtering_prunes() {
+        let db = small_db();
+        let index = PathTrieIndex::build_default(&db);
+        // Query: star A with two B leaves — the B-A-B path occurs in G1 only.
+        let q = labeled(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        let c = index.candidates(&q).into_ids(db.len());
+        assert_eq!(c, vec![GraphId(1)]);
+    }
+
+    #[test]
+    fn missing_feature_empties_candidates() {
+        let db = small_db();
+        let index = PathTrieIndex::build_default(&db);
+        let q = labeled(&[7], &[]);
+        assert_eq!(index.candidates(&q), CandidateGraphs::Ids(Vec::new()));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let db = small_db();
+        let par = PathTrieIndex::build(
+            &db,
+            GrapesConfig { max_path_vertices: 4, threads: 3 },
+            &BuildBudget::unlimited(),
+        )
+        .unwrap();
+        let ser = PathTrieIndex::build(
+            &db,
+            GrapesConfig { max_path_vertices: 4, threads: 1 },
+            &BuildBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(par.node_count(), ser.node_count());
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        assert_eq!(par.candidates(&q), ser.candidates(&q));
+    }
+
+    #[test]
+    fn memory_budget_aborts() {
+        let db = small_db();
+        let r = PathTrieIndex::build(
+            &db,
+            GrapesConfig::default(),
+            &BuildBudget::unlimited().with_memory(16),
+        );
+        assert_eq!(r.err(), Some(BuildError::OutOfMemory));
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        let index = PathTrieIndex::build_default(&small_db());
+        assert!(index.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = GraphDb::new();
+        let index = PathTrieIndex::build_default(&db);
+        let q = labeled(&[0], &[]);
+        assert_eq!(index.candidates(&q).into_ids(0), Vec::<GraphId>::new());
+    }
+}

@@ -1,0 +1,256 @@
+//! Maximum bipartite matching.
+//!
+//! GraphQL's pseudo-subgraph-isomorphism pruning removes `v` from `Φ(u)`
+//! unless the bigraph between `N(u)` and `N(v)` (edge iff `v' ∈ Φ(u')`) has a
+//! *semi-perfect* matching — one covering every vertex of `N(u)`.
+//!
+//! Following the paper (which follows the Duff–Kaya–Uçar study, the paper's reference \[8\]), the
+//! matcher is a breadth-first-search based augmenting-path algorithm:
+//! `O(|V(B)| × |E(B)|)` worst case, simple and fast for the small bigraphs
+//! that arise here (`|N(u)| ≤ d(q)`, `|N(v)| ≤ d(G)`).
+
+/// A bipartite graph with `left` and `right` vertex counts and adjacency from
+/// left vertices to right vertices.
+#[derive(Clone, Debug, Default)]
+pub struct Bigraph {
+    left: usize,
+    right: usize,
+    adj: Vec<Vec<u32>>,
+}
+
+impl Bigraph {
+    /// Creates an empty bigraph with the given partition sizes.
+    pub fn new(left: usize, right: usize) -> Self {
+        Self { left, right, adj: vec![Vec::new(); left] }
+    }
+
+    /// Adds the edge `(l, r)`.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        debug_assert!(l < self.left && r < self.right);
+        self.adj[l].push(r as u32);
+    }
+
+    /// Number of left vertices.
+    pub fn left(&self) -> usize {
+        self.left
+    }
+
+    /// Number of right vertices.
+    pub fn right(&self) -> usize {
+        self.right
+    }
+
+    /// Clears all edges, keeping capacity; optionally resizes the partitions.
+    /// Reusing one `Bigraph` across pruning calls avoids per-call allocation.
+    pub fn reset(&mut self, left: usize, right: usize) {
+        self.left = left;
+        self.right = right;
+        if self.adj.len() < left {
+            self.adj.resize(left, Vec::new());
+        }
+        for l in &mut self.adj[..left] {
+            l.clear();
+        }
+    }
+}
+
+/// Reusable scratch space for [`maximum_matching`].
+#[derive(Clone, Debug, Default)]
+pub struct MatchingScratch {
+    match_left: Vec<i32>,
+    match_right: Vec<i32>,
+    parent: Vec<i32>,
+    queue: Vec<u32>,
+    visited: Vec<u32>,
+    stamp: u32,
+}
+
+/// Computes a maximum matching of `b` via BFS augmenting paths. Returns the
+/// matching size.
+pub fn maximum_matching(b: &Bigraph, scratch: &mut MatchingScratch) -> usize {
+    let (nl, nr) = (b.left, b.right);
+    scratch.match_left.clear();
+    scratch.match_left.resize(nl, -1);
+    scratch.match_right.clear();
+    scratch.match_right.resize(nr, -1);
+    scratch.parent.clear();
+    scratch.parent.resize(nr, -1);
+    if scratch.visited.len() < nr {
+        scratch.visited.resize(nr, 0);
+    }
+
+    let mut size = 0usize;
+    for start in 0..nl {
+        // Greedy first: try a direct free right vertex.
+        let mut matched = false;
+        for &r in &b.adj[start] {
+            if scratch.match_right[r as usize] == -1 {
+                scratch.match_right[r as usize] = start as i32;
+                scratch.match_left[start] = r as i32;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            size += 1;
+            continue;
+        }
+        // BFS augmenting path from `start`.
+        scratch.stamp = scratch.stamp.wrapping_add(1);
+        if scratch.stamp == 0 {
+            scratch.visited.iter_mut().for_each(|v| *v = 0);
+            scratch.stamp = 1;
+        }
+        scratch.queue.clear();
+        scratch.queue.push(start as u32);
+        let mut qi = 0usize;
+        let mut endpoint: i32 = -1;
+        'bfs: while qi < scratch.queue.len() {
+            let l = scratch.queue[qi] as usize;
+            qi += 1;
+            for &r in &b.adj[l] {
+                let r = r as usize;
+                if scratch.visited[r] == scratch.stamp {
+                    continue;
+                }
+                scratch.visited[r] = scratch.stamp;
+                scratch.parent[r] = l as i32;
+                if scratch.match_right[r] == -1 {
+                    endpoint = r as i32;
+                    break 'bfs;
+                }
+                scratch.queue.push(scratch.match_right[r] as u32);
+            }
+        }
+        if endpoint >= 0 {
+            // Flip the augmenting path.
+            let mut r = endpoint as usize;
+            loop {
+                let l = scratch.parent[r] as usize;
+                let prev = scratch.match_left[l];
+                scratch.match_right[r] = l as i32;
+                scratch.match_left[l] = r as i32;
+                if prev == -1 {
+                    break;
+                }
+                r = prev as usize;
+            }
+            size += 1;
+        }
+    }
+    size
+}
+
+/// Whether `b` has a semi-perfect matching (covering every left vertex).
+pub fn has_semi_perfect_matching(b: &Bigraph, scratch: &mut MatchingScratch) -> bool {
+    // Quick necessary condition: every left vertex needs at least one edge.
+    if b.adj[..b.left].iter().any(Vec::is_empty) {
+        return false;
+    }
+    maximum_matching(b, scratch) == b.left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bigraph(left: usize, right: usize, edges: &[(usize, usize)]) -> Bigraph {
+        let mut b = Bigraph::new(left, right);
+        for &(l, r) in edges {
+            b.add_edge(l, r);
+        }
+        b
+    }
+
+    /// Brute-force maximum matching by trying all assignments.
+    fn brute_max(b: &Bigraph) -> usize {
+        fn rec(b: &Bigraph, l: usize, used: &mut Vec<bool>) -> usize {
+            if l == b.left() {
+                return 0;
+            }
+            let skip = rec(b, l + 1, used);
+            let mut best = skip;
+            for &r in &b.adj[l] {
+                let r = r as usize;
+                if !used[r] {
+                    used[r] = true;
+                    best = best.max(1 + rec(b, l + 1, used));
+                    used[r] = false;
+                }
+            }
+            best
+        }
+        rec(b, 0, &mut vec![false; b.right()])
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        let b = bigraph(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        let mut s = MatchingScratch::default();
+        assert_eq!(maximum_matching(&b, &mut s), 2);
+        assert!(has_semi_perfect_matching(&b, &mut s));
+    }
+
+    #[test]
+    fn requires_augmenting_path() {
+        // Greedy would match 0-0, blocking 1 which only reaches 0.
+        let b = bigraph(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        let mut s = MatchingScratch::default();
+        assert_eq!(maximum_matching(&b, &mut s), 2);
+    }
+
+    #[test]
+    fn detects_deficiency() {
+        // Two left vertices competing for one right vertex.
+        let b = bigraph(2, 1, &[(0, 0), (1, 0)]);
+        let mut s = MatchingScratch::default();
+        assert_eq!(maximum_matching(&b, &mut s), 1);
+        assert!(!has_semi_perfect_matching(&b, &mut s));
+    }
+
+    #[test]
+    fn isolated_left_vertex_fails_fast() {
+        let b = bigraph(2, 2, &[(0, 0)]);
+        let mut s = MatchingScratch::default();
+        assert!(!has_semi_perfect_matching(&b, &mut s));
+    }
+
+    #[test]
+    fn empty_bigraph() {
+        let b = Bigraph::new(0, 0);
+        let mut s = MatchingScratch::default();
+        assert_eq!(maximum_matching(&b, &mut s), 0);
+        assert!(has_semi_perfect_matching(&b, &mut s));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_bigraphs() {
+        let mut seed = 0xdeadbeefu64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        let mut s = MatchingScratch::default();
+        for _ in 0..200 {
+            let left = 1 + next() % 5;
+            let right = 1 + next() % 5;
+            let mut b = Bigraph::new(left, right);
+            let m = next() % (left * right + 1);
+            for _ in 0..m {
+                b.add_edge(next() % left, next() % right);
+            }
+            assert_eq!(maximum_matching(&b, &mut s), brute_max(&b));
+        }
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut b = bigraph(3, 3, &[(0, 0), (1, 1), (2, 2)]);
+        let mut s = MatchingScratch::default();
+        assert_eq!(maximum_matching(&b, &mut s), 3);
+        b.reset(2, 2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 1);
+        assert_eq!(maximum_matching(&b, &mut s), 1);
+    }
+}

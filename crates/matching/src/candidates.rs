@@ -1,0 +1,259 @@
+//! Complete candidate vertex sets (Definition III.1) and the CPI auxiliary
+//! structure.
+
+use sqp_graph::{HeapSize, VertexId};
+
+use crate::embedding::Embedding;
+
+/// Result of a vcFV `Filter` invocation (Algorithm 2, lines 4–5).
+#[derive(Debug)]
+pub enum FilterResult {
+    /// Some `Φ(u)` is empty: by Proposition III.1 the data graph cannot
+    /// contain the query; verification is skipped.
+    Pruned,
+    /// All candidate sets are non-empty; `G` is a candidate graph.
+    Space(CandidateSpace),
+}
+
+impl FilterResult {
+    /// The space, if the graph was not pruned.
+    pub fn space(self) -> Option<CandidateSpace> {
+        match self {
+            FilterResult::Pruned => None,
+            FilterResult::Space(s) => Some(s),
+        }
+    }
+
+    /// Whether the filter pruned the data graph.
+    pub fn is_pruned(&self) -> bool {
+        matches!(self, FilterResult::Pruned)
+    }
+}
+
+/// The candidate vertex sets `Φ(u)` for every query vertex, optionally with
+/// CFL's CPI tree adjacency.
+///
+/// Sets are sorted by vertex id, so membership tests are binary searches.
+#[derive(Clone, Debug, Default)]
+pub struct CandidateSpace {
+    sets: Vec<Vec<VertexId>>,
+    cpi: Option<Cpi>,
+}
+
+/// CFL's *compact path index*: for every tree edge `(parent(c), c)` of the
+/// query BFS tree, the data-graph adjacency between the candidates of the
+/// parent and the candidates of `c`.
+///
+/// `adj[c][i]` lists the candidates of `c` adjacent (in `G`) to the `i`-th
+/// candidate of `parent(c)`. The space is `O(|V(q)| × |E(G)|)`, matching the
+/// complexity the paper states for CFL/CFQL.
+#[derive(Clone, Debug)]
+pub struct Cpi {
+    /// Root of the query BFS tree.
+    pub root: VertexId,
+    /// Tree parent per query vertex (`None` for the root).
+    pub parent: Vec<Option<VertexId>>,
+    /// Per query vertex `c`, per parent-candidate index, the adjacent
+    /// candidates of `c`. Empty for the root.
+    pub adj: Vec<Vec<Vec<VertexId>>>,
+}
+
+impl CandidateSpace {
+    /// Wraps per-query-vertex candidate sets (each must be sorted).
+    pub fn new(sets: Vec<Vec<VertexId>>) -> Self {
+        debug_assert!(sets.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
+        Self { sets, cpi: None }
+    }
+
+    /// Attaches a CPI tree.
+    pub fn with_cpi(mut self, cpi: Cpi) -> Self {
+        self.cpi = Some(cpi);
+        self
+    }
+
+    /// Number of query vertices covered.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the space covers no query vertices.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// `Φ(u)`, sorted by id.
+    #[inline]
+    pub fn set(&self, u: VertexId) -> &[VertexId] {
+        &self.sets[u.index()]
+    }
+
+    /// All candidate sets in query-vertex order.
+    pub fn sets(&self) -> &[Vec<VertexId>] {
+        &self.sets
+    }
+
+    /// Whether `v ∈ Φ(u)` (binary search).
+    #[inline]
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.sets[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Whether any `Φ(u)` is empty (the vcFV pruning condition).
+    pub fn any_empty(&self) -> bool {
+        self.sets.iter().any(Vec::is_empty)
+    }
+
+    /// Total number of candidate vertices across all sets.
+    pub fn total_candidates(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// The CPI tree, if the filter built one (CFL/CFQL).
+    pub fn cpi(&self) -> Option<&Cpi> {
+        self.cpi.as_ref()
+    }
+
+    /// Completeness check against an oracle set of embeddings: every mapping
+    /// `(u, v)` of every embedding must be inside `Φ(u)` (Definition III.1).
+    /// Test-support; O(#embeddings × |V(q)| log |Φ|).
+    pub fn is_complete_for(&self, embeddings: &[Embedding]) -> bool {
+        embeddings.iter().all(|e| {
+            (0..self.sets.len()).all(|u| self.contains(VertexId::from(u), e.image(VertexId::from(u))))
+        })
+    }
+}
+
+impl HeapSize for CandidateSpace {
+    fn heap_size(&self) -> usize {
+        let sets: usize = self
+            .sets
+            .iter()
+            .map(|s| s.heap_size() + std::mem::size_of::<Vec<VertexId>>())
+            .sum();
+        let cpi = self.cpi.as_ref().map_or(0, |c| {
+            c.parent.heap_size()
+                + c.adj
+                    .iter()
+                    .map(|per_parent| {
+                        per_parent
+                            .iter()
+                            .map(|l| l.heap_size() + std::mem::size_of::<Vec<VertexId>>())
+                            .sum::<usize>()
+                            + per_parent.capacity() * std::mem::size_of::<Vec<VertexId>>()
+                    })
+                    .sum::<usize>()
+        });
+        sets + self.sets.capacity() * std::mem::size_of::<Vec<VertexId>>() + cpi
+    }
+}
+
+/// A matching order: a permutation of the query vertices along which the
+/// enumerator extends partial embeddings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchingOrder {
+    order: Vec<VertexId>,
+}
+
+impl MatchingOrder {
+    /// Wraps an order; debug-asserts it is a permutation.
+    pub fn new(order: Vec<VertexId>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; order.len()];
+            for v in &order {
+                assert!(v.index() < order.len() && !seen[v.index()], "not a permutation");
+                seen[v.index()] = true;
+            }
+        }
+        Self { order }
+    }
+
+    /// The query vertices in matching order.
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> CandidateSpace {
+        CandidateSpace::new(vec![
+            vec![VertexId(0), VertexId(4)],
+            vec![VertexId(1)],
+            vec![VertexId(2)],
+        ])
+    }
+
+    #[test]
+    fn membership_and_totals() {
+        let s = space();
+        assert!(s.contains(VertexId(0), VertexId(4)));
+        assert!(!s.contains(VertexId(0), VertexId(3)));
+        assert_eq!(s.total_candidates(), 4);
+        assert_eq!(s.len(), 3);
+        assert!(!s.any_empty());
+    }
+
+    #[test]
+    fn empty_set_detected() {
+        let s = CandidateSpace::new(vec![vec![VertexId(0)], vec![]]);
+        assert!(s.any_empty());
+    }
+
+    #[test]
+    fn completeness_check() {
+        let s = space();
+        let good = Embedding::new(vec![VertexId(0), VertexId(1), VertexId(2)]);
+        let bad = Embedding::new(vec![VertexId(3), VertexId(1), VertexId(2)]);
+        assert!(s.is_complete_for(std::slice::from_ref(&good)));
+        assert!(!s.is_complete_for(&[good, bad]));
+    }
+
+    #[test]
+    fn filter_result_accessors() {
+        assert!(FilterResult::Pruned.is_pruned());
+        assert!(FilterResult::Pruned.space().is_none());
+        let r = FilterResult::Space(space());
+        assert!(!r.is_pruned());
+        assert!(r.space().is_some());
+    }
+
+    #[test]
+    fn heap_size_counts_cpi() {
+        let plain = space();
+        let base = plain.heap_size();
+        let cpi = Cpi {
+            root: VertexId(0),
+            parent: vec![None, Some(VertexId(0)), Some(VertexId(1))],
+            adj: vec![vec![], vec![vec![VertexId(1)], vec![VertexId(1)]], vec![vec![VertexId(2)]]],
+        };
+        let with = space().with_cpi(cpi);
+        assert!(with.heap_size() > base);
+    }
+
+    #[test]
+    fn matching_order_permutation() {
+        let o = MatchingOrder::new(vec![VertexId(2), VertexId(0), VertexId(1)]);
+        assert_eq!(o.len(), 3);
+        assert_eq!(o.as_slice()[0], VertexId(2));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn matching_order_rejects_duplicates() {
+        MatchingOrder::new(vec![VertexId(0), VertexId(0)]);
+    }
+}

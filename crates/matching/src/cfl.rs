@@ -1,0 +1,585 @@
+//! CFL (Bi et al., SIGMOD 2016) subgraph matching.
+//!
+//! *Filter* (the preprocessing phase used as the vcFV filter, §III-B):
+//!
+//! 1. pick the BFS root `r = argmin |C_init(u)| / d(u)` (rare, high-degree
+//!    vertices first);
+//! 2. build the query BFS tree `q_t`;
+//! 3. **top-down generation**: `Φ(u)` for each level is gathered from the
+//!    label-restricted data neighborhoods of the parent's candidates, pruned
+//!    by degree, NLF dominance, and *backward pruning* over non-tree edges to
+//!    already-processed query vertices;
+//! 4. **bottom-up refinement** then a second **top-down refinement**: drop
+//!    `v ∈ Φ(u)` whenever a query neighbor `u'` below (resp. above) `u` has
+//!    `N(v) ∩ Φ(u') = ∅`;
+//! 5. materialize the **CPI** — per tree edge, the adjacency between parent
+//!    and child candidates — giving the `O(|V(q)| × |E(G)|)` auxiliary
+//!    structure whose size Table VII reports.
+//!
+//! *Verify* (the enumeration phase): the **path-based order** — decompose
+//! `q_t` into root-to-leaf paths, estimate each path's embedding count by
+//! dynamic programming over the CPI, and order paths ascending by estimate
+//! with paths touching the query's *core* (2-core) first, postponing the
+//! forest and leaves (the "postponed Cartesian products" idea).
+//!
+//! Filter complexity: time `O(|E(q)| × |E(G)|)`, space `O(|V(q)| × |E(G)|)`.
+
+use sqp_graph::algo::{two_core, BfsTree};
+use sqp_graph::nlf::nlf_dominated;
+use sqp_graph::{Graph, VertexId};
+
+use crate::candidates::{CandidateSpace, Cpi, FilterResult, MatchingOrder};
+use crate::deadline::{Deadline, TickChecker, Timeout};
+use crate::embedding::Embedding;
+use crate::enumerate::Enumerator;
+use crate::Matcher;
+
+/// Which refinement passes run after top-down generation. All configurations
+/// are sound; fewer passes mean larger candidate sets. Exposed for the
+/// `ablation_refinement` bench.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CflConfig {
+    /// Run the bottom-up refinement pass.
+    pub bottom_up: bool,
+    /// Run the second top-down refinement pass.
+    pub top_down: bool,
+}
+
+impl Default for CflConfig {
+    fn default() -> Self {
+        Self { bottom_up: true, top_down: true }
+    }
+}
+
+/// The CFL matcher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cfl {
+    config: CflConfig,
+}
+
+impl Cfl {
+    /// CFL with both refinement passes (the published algorithm).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// CFL with a custom refinement configuration (ablations).
+    pub fn with_config(config: CflConfig) -> Self {
+        Self { config }
+    }
+
+    /// Root selection: minimize `|C_init(u)| / d(u)`.
+    fn choose_root(q: &Graph, g: &Graph) -> VertexId {
+        q.vertices()
+            .min_by(|&a, &b| {
+                let ra = g.label_frequency(q.label(a)) as f64 / q.degree(a).max(1) as f64;
+                let rb = g.label_frequency(q.label(b)) as f64 / q.degree(b).max(1) as f64;
+                ra.partial_cmp(&rb).unwrap().then(a.cmp(&b))
+            })
+            .expect("non-empty query")
+    }
+
+    /// Whether `N(v) ∩ Φ(u') ≠ ∅` for the (sorted) candidate set of `u'`.
+    #[inline]
+    fn has_candidate_neighbor(
+        g: &Graph,
+        v: VertexId,
+        label: sqp_graph::Label,
+        phi: &[VertexId],
+    ) -> bool {
+        let nbrs = g.neighbors_with_label(v, label);
+        // Scan the shorter side.
+        if nbrs.len() <= phi.len() {
+            nbrs.iter().any(|n| phi.binary_search(n).is_ok())
+        } else {
+            phi.iter().any(|c| nbrs.binary_search(c).is_ok())
+        }
+    }
+
+    /// The full CFL filter; also returns the BFS tree for CPI/order reuse.
+    fn build_space(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        deadline: Deadline,
+    ) -> Result<Option<(CandidateSpace, BfsTree)>, Timeout> {
+        let mut ticker = TickChecker::new();
+        let root = Self::choose_root(q, g);
+
+        // Root candidates (label + degree + NLF) *before* building the BFS
+        // tree: on non-candidate graphs — the overwhelming majority in a
+        // database scan — the filter exits here without any allocation,
+        // which is what gives CFL's filter its edge over GraphQL's (§IV-B2).
+        let root_set: Vec<VertexId> = g
+            .vertices_with_label(q.label(root))
+            .iter()
+            .copied()
+            .filter(|&v| g.degree(v) >= q.degree(root) && nlf_dominated(q, root, g, v))
+            .collect();
+        if root_set.is_empty() {
+            return Ok(None);
+        }
+
+        let tree = BfsTree::build(q, root);
+        let mut sets: Vec<Vec<VertexId>> = vec![Vec::new(); q.vertex_count()];
+        let mut processed = vec![false; q.vertex_count()];
+        sets[root.index()] = root_set;
+        processed[root.index()] = true;
+
+        // Top-down generation, level by level; stamp array dedups candidates
+        // gathered from multiple parent candidates.
+        let mut stamp = vec![0u32; g.vertex_count()];
+        let mut cur_stamp = 0u32;
+        for level in 1..tree.depth() {
+            for &u in tree.level_vertices(level) {
+                cur_stamp += 1;
+                let parent = tree.parent(u);
+                let lu = q.label(u);
+                let du = q.degree(u);
+                // Backward non-tree neighbors already processed.
+                let backward: Vec<VertexId> = q
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&w| w != parent && processed[w.index()])
+                    .collect();
+                let mut set = Vec::new();
+                // Borrow parent's set by index to keep `sets` mutable later.
+                let parent_set = std::mem::take(&mut sets[parent.index()]);
+                for &vp in &parent_set {
+                    ticker.tick(deadline)?;
+                    for &v in g.neighbors_with_label(vp, lu) {
+                        if stamp[v.index()] == cur_stamp {
+                            continue;
+                        }
+                        stamp[v.index()] = cur_stamp;
+                        if g.degree(v) < du || !nlf_dominated(q, u, g, v) {
+                            continue;
+                        }
+                        if backward.iter().any(|&ub| {
+                            !Self::has_candidate_neighbor(g, v, q.label(ub), &sets[ub.index()])
+                        }) {
+                            continue;
+                        }
+                        set.push(v);
+                    }
+                }
+                sets[parent.index()] = parent_set;
+                if set.is_empty() {
+                    return Ok(None); // early vcFV pruning
+                }
+                set.sort_unstable();
+                sets[u.index()] = set;
+                processed[u.index()] = true;
+            }
+        }
+
+        // Bottom-up refinement: neighbors strictly below.
+        if self.config.bottom_up {
+            for level in (0..tree.depth().saturating_sub(1)).rev() {
+                for &u in tree.level_vertices(level) {
+                    ticker.tick(deadline)?;
+                    let lu = tree.level(u);
+                    let below: Vec<VertexId> = q
+                        .neighbors(u)
+                        .iter()
+                        .copied()
+                        .filter(|&w| tree.level(w) > lu)
+                        .collect();
+                    if below.is_empty() {
+                        continue;
+                    }
+                    let mut set = std::mem::take(&mut sets[u.index()]);
+                    set.retain(|&v| {
+                        below.iter().all(|&w| {
+                            Self::has_candidate_neighbor(g, v, q.label(w), &sets[w.index()])
+                        })
+                    });
+                    if set.is_empty() {
+                        return Ok(None);
+                    }
+                    sets[u.index()] = set;
+                }
+            }
+        }
+
+        // Top-down refinement: neighbors at the same or an upper level.
+        if self.config.top_down {
+            for level in 1..tree.depth() {
+                for &u in tree.level_vertices(level) {
+                    ticker.tick(deadline)?;
+                    let lu = tree.level(u);
+                    let above: Vec<VertexId> = q
+                        .neighbors(u)
+                        .iter()
+                        .copied()
+                        .filter(|&w| tree.level(w) <= lu && w != u)
+                        .collect();
+                    if above.is_empty() {
+                        continue;
+                    }
+                    let mut set = std::mem::take(&mut sets[u.index()]);
+                    set.retain(|&v| {
+                        above.iter().all(|&w| {
+                            Self::has_candidate_neighbor(g, v, q.label(w), &sets[w.index()])
+                        })
+                    });
+                    if set.is_empty() {
+                        return Ok(None);
+                    }
+                    sets[u.index()] = set;
+                }
+            }
+        }
+
+        // CPI materialization along tree edges.
+        let mut parent_of: Vec<Option<VertexId>> = vec![None; q.vertex_count()];
+        let mut adj: Vec<Vec<Vec<VertexId>>> = vec![Vec::new(); q.vertex_count()];
+        for u in q.vertices() {
+            if u == root {
+                continue;
+            }
+            let p = tree.parent(u);
+            parent_of[u.index()] = Some(p);
+            let lu = q.label(u);
+            let child_set = &sets[u.index()];
+            let lists: Vec<Vec<VertexId>> = sets[p.index()]
+                .iter()
+                .map(|&vp| {
+                    g.neighbors_with_label(vp, lu)
+                        .iter()
+                        .copied()
+                        .filter(|v| child_set.binary_search(v).is_ok())
+                        .collect()
+                })
+                .collect();
+            adj[u.index()] = lists;
+        }
+
+        let cpi = Cpi { root, parent: parent_of, adj };
+        Ok(Some((CandidateSpace::new(sets).with_cpi(cpi), tree)))
+    }
+
+    /// The path-based matching order (core paths first, ascending estimated
+    /// cardinality). Rebuilds the BFS tree from the CPI's recorded root.
+    pub fn path_order(q: &Graph, space: &CandidateSpace) -> MatchingOrder {
+        let root = space.cpi().map_or_else(|| VertexId(0), |c| c.root);
+        let tree = BfsTree::build(q, root);
+        Self::path_order_with_tree(q, space, &tree)
+    }
+
+    fn path_order_with_tree(
+        q: &Graph,
+        space: &CandidateSpace,
+        tree: &BfsTree,
+    ) -> MatchingOrder {
+        let root = tree.root();
+        // Root-to-leaf paths in children order.
+        let mut paths: Vec<Vec<VertexId>> = Vec::new();
+        let mut stack = vec![(root, vec![root])];
+        while let Some((u, path)) = stack.pop() {
+            let kids = tree.children(u);
+            if kids.is_empty() {
+                paths.push(path);
+            } else {
+                for &c in kids {
+                    let mut p = path.clone();
+                    p.push(c);
+                    stack.push((c, p));
+                }
+            }
+        }
+
+        // Per-path embedding-count estimate: DP over the CPI restricted to
+        // the path, from its leaf up to the root (CFL §5: number of data
+        // paths matching the query path). Without a CPI, fall back to the
+        // product of candidate-set sizes.
+        let estimate = |path: &[VertexId]| -> f64 {
+            match space.cpi() {
+                Some(cpi) => {
+                    let leaf = *path.last().expect("non-empty path");
+                    let mut cnt: Vec<f64> = vec![1.0; space.set(leaf).len()];
+                    for w in path.windows(2).rev() {
+                        let (u, c) = (w[0], w[1]);
+                        let child_set = space.sets()[c.index()].as_slice();
+                        let lists = &cpi.adj[c.index()];
+                        cnt = lists
+                            .iter()
+                            .map(|list| {
+                                list.iter()
+                                    .map(|v| {
+                                        let j =
+                                            child_set.binary_search(v).expect("CPI ⊆ Φ");
+                                        cnt[j]
+                                    })
+                                    .sum()
+                            })
+                            .collect();
+                        debug_assert_eq!(cnt.len(), space.set(u).len());
+                    }
+                    cnt.iter().sum()
+                }
+                None => path.iter().map(|&v| space.set(v).len() as f64).product(),
+            }
+        };
+
+        // Core paths first (postponing the forest/leaves), ascending by
+        // estimated cardinality.
+        let core = two_core(q);
+        let in_core = {
+            let mut m = vec![false; q.vertex_count()];
+            for &v in &core {
+                m[v.index()] = true;
+            }
+            m
+        };
+        let mut keyed: Vec<(bool, f64, usize, Vec<VertexId>)> = paths
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let touches_core = p.iter().any(|&v| in_core[v.index()]);
+                let est = estimate(&p);
+                (!touches_core, est, i, p)
+            })
+            .collect();
+        keyed.sort_by(|a, b| {
+            a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).unwrap()).then(a.2.cmp(&b.2))
+        });
+
+        // Concatenate paths, skipping vertices already placed.
+        let mut placed = vec![false; q.vertex_count()];
+        let mut order = Vec::with_capacity(q.vertex_count());
+        for (_, _, _, path) in keyed {
+            for v in path {
+                if !placed[v.index()] {
+                    placed[v.index()] = true;
+                    order.push(v);
+                }
+            }
+        }
+        MatchingOrder::new(order)
+    }
+}
+
+impl Matcher for Cfl {
+    fn name(&self) -> &'static str {
+        "CFL"
+    }
+
+    fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
+        deadline.check()?;
+        Ok(match self.build_space(q, g, deadline)? {
+            None => FilterResult::Pruned,
+            Some((space, _)) => FilterResult::Space(space),
+        })
+    }
+
+    fn find_first(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        deadline: Deadline,
+    ) -> Result<Option<Embedding>, Timeout> {
+        let order = Self::path_order(q, space);
+        Enumerator::new(q, g, space, &order).find_first(deadline)
+    }
+
+    fn enumerate(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        limit: u64,
+        deadline: Deadline,
+        on_match: &mut dyn FnMut(&Embedding),
+    ) -> Result<u64, Timeout> {
+        let order = Self::path_order(q, space);
+        Enumerator::new(q, g, space, &order).run(limit, deadline, on_match)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sqp_graph::{GraphBuilder, Label};
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn filter_is_complete() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..40 {
+            let g = brute::random_graph(&mut rng, 9, 15, 3);
+            let q = brute::random_connected_query(&mut rng, &g, 4);
+            let oracle = brute::enumerate_all(&q, &g);
+            match Cfl::new().filter(&q, &g, Deadline::none()).unwrap() {
+                FilterResult::Pruned => {
+                    assert!(oracle.is_empty(), "trial {trial}: pruned with embeddings");
+                }
+                FilterResult::Space(space) => {
+                    assert!(space.is_complete_for(&oracle), "trial {trial}");
+                    assert!(space.cpi().is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let cfl = Cfl::new();
+        for trial in 0..50 {
+            let g = brute::random_graph(&mut rng, 9, 16, 3);
+            let q = brute::random_connected_query(&mut rng, &g, 4);
+            let expected = brute::enumerate_all(&q, &g).len() as u64;
+            let got = cfl.count(&q, &g, u64::MAX, Deadline::none()).unwrap();
+            assert_eq!(got, expected, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn ablation_configs_sound() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let configs = [
+            CflConfig { bottom_up: false, top_down: false },
+            CflConfig { bottom_up: true, top_down: false },
+            CflConfig { bottom_up: false, top_down: true },
+        ];
+        for _ in 0..20 {
+            let g = brute::random_graph(&mut rng, 8, 12, 3);
+            let q = brute::random_connected_query(&mut rng, &g, 3);
+            let expected = brute::is_subgraph(&q, &g);
+            for cfg in configs {
+                assert_eq!(
+                    Cfl::with_config(cfg).is_subgraph(&q, &g, Deadline::none()).unwrap(),
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_shrinks_candidates() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut refined_total = 0usize;
+        let mut raw_total = 0usize;
+        for _ in 0..30 {
+            let g = brute::random_graph(&mut rng, 12, 24, 2);
+            let q = brute::random_connected_query(&mut rng, &g, 4);
+            let raw = Cfl::with_config(CflConfig { bottom_up: false, top_down: false })
+                .filter(&q, &g, Deadline::none())
+                .unwrap();
+            let refined = Cfl::new().filter(&q, &g, Deadline::none()).unwrap();
+            if let (FilterResult::Space(a), FilterResult::Space(b)) = (raw, refined) {
+                raw_total += a.total_candidates();
+                refined_total += b.total_candidates();
+            }
+        }
+        assert!(refined_total <= raw_total);
+    }
+
+    #[test]
+    fn cpi_lists_are_subsets_of_candidates() {
+        let q = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let g = labeled(&[0, 1, 2, 1, 2], &[(0, 1), (1, 2), (0, 3), (3, 4)]);
+        let space = Cfl::new().filter(&q, &g, Deadline::none()).unwrap().space().unwrap();
+        let cpi = space.cpi().unwrap();
+        for u in q.vertices() {
+            for list in &cpi.adj[u.index()] {
+                for v in list {
+                    assert!(space.contains(u, *v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_order_places_connected_prefixes() {
+        let mut rng = StdRng::seed_from_u64(35);
+        for _ in 0..20 {
+            let g = brute::random_graph(&mut rng, 10, 18, 3);
+            let q = brute::random_connected_query(&mut rng, &g, 5);
+            if let FilterResult::Space(space) =
+                Cfl::new().filter(&q, &g, Deadline::none()).unwrap()
+            {
+                let order = Cfl::path_order(&q, &space);
+                let seq = order.as_slice();
+                for (i, &u) in seq.iter().enumerate().skip(1) {
+                    assert!(
+                        q.neighbors(u).iter().any(|w| seq[..i].contains(w)),
+                        "vertex {u:?} disconnected from prefix"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_prefers_rare_high_degree() {
+        // Data graph: many label-0, one label-7. Query: 7 connected to 0s.
+        let g = labeled(&[0, 0, 0, 7, 0], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let q = labeled(&[0, 7, 0], &[(0, 1), (1, 2)]);
+        let root = Cfl::choose_root(&q, &g);
+        assert_eq!(q.label(root), sqp_graph::Label(7));
+    }
+
+    #[test]
+    fn tree_query_has_no_core() {
+        // A star query is a forest: the order must still be connected and
+        // complete (core-first ordering degenerates gracefully).
+        let q = labeled(&[0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]);
+        let g = labeled(&[0, 1, 1, 1, 1], &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let space = Cfl::new().filter(&q, &g, Deadline::none()).unwrap().space().unwrap();
+        let order = Cfl::path_order(&q, &space);
+        assert_eq!(order.len(), 4);
+        // 4 leaves choose 3 ordered slots: 4·3·2 = 24 embeddings.
+        assert_eq!(Cfl::new().count(&q, &g, u64::MAX, Deadline::none()).unwrap(), 24);
+    }
+
+    #[test]
+    fn single_vertex_query() {
+        let q = labeled(&[1], &[]);
+        let g = labeled(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        assert_eq!(Cfl::new().count(&q, &g, u64::MAX, Deadline::none()).unwrap(), 2);
+    }
+
+    #[test]
+    fn cpi_parent_structure_matches_bfs_tree() {
+        let q = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let g = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let space = Cfl::new().filter(&q, &g, Deadline::none()).unwrap().space().unwrap();
+        let cpi = space.cpi().unwrap();
+        // Exactly one root (parent == None) and n-1 child entries.
+        let roots = cpi.parent.iter().filter(|p| p.is_none()).count();
+        assert_eq!(roots, 1);
+        assert!(cpi.parent[cpi.root.index()].is_none());
+        for u in q.vertices() {
+            if u != cpi.root {
+                let p = cpi.parent[u.index()].unwrap();
+                assert!(q.has_edge(u, p));
+                assert_eq!(cpi.adj[u.index()].len(), space.set(p).len());
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_graph_has_no_embedding() {
+        // Query needs a label the data graph lacks in the right shape.
+        let q = labeled(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        let g = labeled(&[0, 1], &[(0, 1)]);
+        assert!(Cfl::new().filter(&q, &g, Deadline::none()).unwrap().is_pruned());
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-query time budgets.
+//!
+//! The paper gives every query a 10-minute limit and records timed-out
+//! queries at the limit. A [`Deadline`] is threaded through every filter and
+//! enumerator; deep recursions amortize the `Instant::now()` cost with
+//! [`TickChecker`].
+
+use std::time::{Duration, Instant};
+
+/// Error signaling that the per-query time budget was exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Timeout;
+
+impl std::fmt::Display for Timeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query time budget exhausted")
+    }
+}
+
+impl std::error::Error for Timeout {}
+
+/// An optional wall-clock deadline.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use sqp_matching::Deadline;
+///
+/// let never = Deadline::none();
+/// assert!(never.check().is_ok());
+///
+/// let soon = Deadline::after(Duration::from_secs(3600));
+/// assert!(!soon.expired());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: operations run to completion.
+    pub const fn none() -> Self {
+        Self { at: None }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Self { at: Some(Instant::now() + budget) }
+    }
+
+    /// A deadline at the given instant.
+    pub fn at(instant: Instant) -> Self {
+        Self { at: Some(instant) }
+    }
+
+    /// Whether the deadline has passed.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Errors with [`Timeout`] if expired.
+    #[inline]
+    pub fn check(&self) -> Result<(), Timeout> {
+        if self.expired() {
+            Err(Timeout)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whether a deadline is set at all.
+    pub fn is_some(&self) -> bool {
+        self.at.is_some()
+    }
+}
+
+/// Amortized deadline checking: consults the clock once every
+/// `2^LOG_INTERVAL` ticks.
+#[derive(Debug)]
+pub struct TickChecker {
+    ticks: u32,
+}
+
+const LOG_INTERVAL: u32 = 12; // check every 4096 ticks
+
+impl TickChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self { ticks: 0 }
+    }
+
+    /// Registers one tick; consults the deadline periodically.
+    #[inline]
+    pub fn tick(&mut self, deadline: Deadline) -> Result<(), Timeout> {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks & ((1 << LOG_INTERVAL) - 1) == 0 {
+            deadline.check()
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for TickChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert!(d.check().is_ok());
+        assert!(!d.is_some());
+    }
+
+    #[test]
+    fn past_deadline_expires() {
+        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(d.expired());
+        assert_eq!(d.check(), Err(Timeout));
+    }
+
+    #[test]
+    fn future_deadline_ok() {
+        let d = Deadline::after(Duration::from_secs(60));
+        assert!(d.check().is_ok());
+        assert!(d.is_some());
+    }
+
+    #[test]
+    fn tick_checker_eventually_reports() {
+        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+        let mut t = TickChecker::new();
+        let mut hit = false;
+        for _ in 0..10_000 {
+            if t.tick(d).is_err() {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit);
+    }
+}

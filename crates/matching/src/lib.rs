@@ -1,0 +1,122 @@
+//! Subgraph matching algorithms.
+//!
+//! This crate implements both generations of subgraph-matching algorithms
+//! that the paper compares:
+//!
+//! * **Direct enumeration** — [`vf2`] (the verifier inside every IFV
+//!   subgraph-query algorithm) and [`ullmann`], which map query vertices to
+//!   data vertices recursively with only local per-vertex filters.
+//! * **Preprocessing enumeration** — [`graphql`] and [`cfl`], which first
+//!   build a *complete candidate vertex set* `Φ(u)` for every query vertex
+//!   (Definition III.1: every mapping that occurs in any subgraph isomorphism
+//!   is inside `Φ`), then enumerate along an optimized matching order; and
+//!   [`cfql`], the paper's combination of CFL's filter with GraphQL's
+//!   join-based ordering.
+//!
+//! The preprocessing/enumeration split is surfaced directly in the
+//! [`Matcher`] trait, because the paper's vcFV subgraph-query framework
+//! (Algorithm 2) uses the preprocessing phase as its *filter* and a
+//! first-match enumeration as its *verifier*.
+
+pub mod bipartite;
+pub mod brute;
+pub mod candidates;
+pub mod cfl;
+pub mod cfql;
+pub mod deadline;
+pub mod embedding;
+pub mod enumerate;
+pub mod graphql;
+pub mod quicksi;
+pub mod spath;
+pub mod stats;
+pub mod turboiso;
+pub mod ullmann;
+pub mod vf2;
+
+pub use candidates::{CandidateSpace, FilterResult};
+pub use deadline::{Deadline, Timeout};
+pub use embedding::Embedding;
+pub use enumerate::Enumerator;
+pub use stats::MatchingStats;
+
+use sqp_graph::Graph;
+
+/// A preprocessing-enumeration subgraph matching algorithm, split into the
+/// two phases the vcFV framework repurposes (Algorithm 2).
+///
+/// # Examples
+///
+/// ```
+/// use sqp_graph::{GraphBuilder, Label};
+/// use sqp_matching::{Deadline, Matcher};
+/// use sqp_matching::cfql::Cfql;
+///
+/// // Data: a labeled triangle; query: one of its edges.
+/// let mut b = GraphBuilder::new();
+/// let v0 = b.add_vertex(Label(0));
+/// let v1 = b.add_vertex(Label(1));
+/// let v2 = b.add_vertex(Label(2));
+/// b.add_edge(v0, v1).unwrap();
+/// b.add_edge(v1, v2).unwrap();
+/// b.add_edge(v2, v0).unwrap();
+/// let g = b.build();
+///
+/// let mut b = GraphBuilder::new();
+/// let u0 = b.add_vertex(Label(0));
+/// let u1 = b.add_vertex(Label(1));
+/// b.add_edge(u0, u1).unwrap();
+/// let q = b.build();
+///
+/// let cfql = Cfql::new();
+/// assert!(cfql.is_subgraph(&q, &g, Deadline::none()).unwrap());
+/// assert_eq!(cfql.count(&q, &g, u64::MAX, Deadline::none()).unwrap(), 1);
+/// ```
+pub trait Matcher: Send + Sync {
+    /// Algorithm name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The preprocessing phase: builds complete candidate vertex sets.
+    ///
+    /// Returns [`FilterResult::Pruned`] as soon as some `Φ(u)` is provably
+    /// empty (Proposition III.1: the data graph cannot contain the query).
+    fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout>;
+
+    /// The enumeration phase restricted to the first embedding (the paper's
+    /// `Verify`): returns `Some(embedding)` iff `q ⊆ g`.
+    fn find_first(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        deadline: Deadline,
+    ) -> Result<Option<Embedding>, Timeout>;
+
+    /// Full enumeration up to `limit` embeddings, invoking `on_match` for
+    /// each; returns the number found (subgraph *matching*, Definition II.3).
+    fn enumerate(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        limit: u64,
+        deadline: Deadline,
+        on_match: &mut dyn FnMut(&Embedding),
+    ) -> Result<u64, Timeout>;
+
+    /// Convenience: full filter + first-match verification.
+    fn is_subgraph(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<bool, Timeout> {
+        match self.filter(q, g, deadline)? {
+            FilterResult::Pruned => Ok(false),
+            FilterResult::Space(space) => Ok(self.find_first(q, g, &space, deadline)?.is_some()),
+        }
+    }
+
+    /// Convenience: count all embeddings (up to `limit`).
+    fn count(&self, q: &Graph, g: &Graph, limit: u64, deadline: Deadline) -> Result<u64, Timeout> {
+        match self.filter(q, g, deadline)? {
+            FilterResult::Pruned => Ok(0),
+            FilterResult::Space(space) => self.enumerate(q, g, &space, limit, deadline, &mut |_| {}),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Counters describing one matching run.
+
+/// Counters accumulated by filters and enumerators.
+///
+/// These feed the paper's analysis quantities: candidate-set sizes explain
+/// filtering precision; recursion counts explain why per-SI-test time differs
+/// by orders of magnitude between VF2 and CFL/GraphQL-based verification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchingStats {
+    /// Total candidates across all `Φ(u)` after filtering.
+    pub candidates: u64,
+    /// Backtracking calls during enumeration.
+    pub recursions: u64,
+    /// Embeddings reported.
+    pub embeddings: u64,
+}
+
+impl MatchingStats {
+    /// Merges another run's counters into this one.
+    pub fn merge(&mut self, other: &MatchingStats) {
+        self.candidates += other.candidates;
+        self.recursions += other.recursions;
+        self.embeddings += other.embeddings;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds() {
+        let mut a = MatchingStats { candidates: 1, recursions: 2, embeddings: 3 };
+        a.merge(&MatchingStats { candidates: 10, recursions: 20, embeddings: 30 });
+        assert_eq!(a, MatchingStats { candidates: 11, recursions: 22, embeddings: 33 });
+    }
+}

@@ -1,0 +1,73 @@
+//! Molecule substructure screening — the AIDS-style workload that motivates
+//! IFV indexing (§I of the paper).
+//!
+//! Generates an AIDS-like database of small, sparse, skew-labeled molecule
+//! graphs, builds the Grapes index once, and screens a batch of fragment
+//! queries with three strategies: Grapes (IFV), CFQL (index-free vcFV) and
+//! vcGrapes (IvcFV). Prints the indexing-cost vs query-cost trade-off the
+//! paper's §IV-B discusses.
+//!
+//! ```text
+//! cargo run --release --example molecule_screening
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use subgraph_query::core::prelude::*;
+use subgraph_query::datagen::profiles::aids_like;
+use subgraph_query::datagen::query::{generate_query_set, QueryGenMethod, QuerySetSpec};
+
+fn main() {
+    // 1/20th-scale AIDS: 2000 molecules of ~45 atoms.
+    let profile = {
+        let mut p = aids_like();
+        p.graphs = 2_000;
+        p
+    };
+    println!("generating {} ({} molecule graphs)...", profile.name, profile.graphs);
+    let db = Arc::new(profile.generate(7));
+    let stats = db.stats();
+    println!(
+        "database: {} graphs, {:.0} vertices/graph, degree {:.2}, {} labels\n",
+        stats.graphs, stats.avg_vertices, stats.avg_degree, stats.labels
+    );
+
+    // A batch of 8-edge fragment queries (sparse, like pharmacophores).
+    let spec = QuerySetSpec { edges: 8, method: QueryGenMethod::RandomWalk, count: 50 };
+    let queries = generate_query_set(&db, spec, 99);
+
+    let mut engines: Vec<Box<dyn QueryEngine>> = vec![
+        Box::new(GrapesEngine::new()),
+        Box::new(CfqlEngine::new()),
+        Box::new(VcGrapesEngine::new()),
+    ];
+
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>11} {:>10}",
+        "engine", "build(s)", "query(ms)", "precision", "|C(q)|", "answers"
+    );
+    for engine in engines.iter_mut() {
+        let report = engine.build(&db).expect("index build");
+        let rep = run_query_set(
+            engine.as_mut(),
+            &spec.name(),
+            &queries,
+            RunnerConfig::with_budget(Duration::from_secs(10)),
+        );
+        println!(
+            "{:<10} {:>10.2} {:>12.3} {:>12.3} {:>11.1} {:>10.1}",
+            rep.engine,
+            report.build_time.as_secs_f64(),
+            rep.avg_query_ms(),
+            rep.filtering_precision(),
+            rep.avg_candidates(),
+            rep.avg_answers(),
+        );
+    }
+
+    println!(
+        "\nNote how CFQL pays zero indexing cost: on sparse molecule data its\n\
+         per-query filtering replaces the index entirely (§IV-B4 of the paper)."
+    );
+}

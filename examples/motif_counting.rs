@@ -1,0 +1,84 @@
+//! Motif counting over a graph collection — subgraph *matching*
+//! (Definition II.3) rather than subgraph *querying*.
+//!
+//! Uses the index-accelerated [`CollectionMatcher`] (the hybrid of Katsarou
+//! et al. 2017 discussed in the paper's related work) to enumerate every
+//! embedding of small labeled motifs across a database, and compares the
+//! plain scan against the index-filtered run.
+//!
+//! ```text
+//! cargo run --release --example motif_counting
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use subgraph_query::core::collection::CollectionMatcher;
+use subgraph_query::datagen::graphgen;
+use subgraph_query::graph::{Graph, GraphBuilder, Label, VertexId};
+use subgraph_query::index::PathTrieIndex;
+use subgraph_query::matching::cfql::Cfql;
+
+fn motif(name: &str, labels: &[u32], edges: &[(u32, u32)]) -> (String, Graph) {
+    let mut b = GraphBuilder::new();
+    for &l in labels {
+        b.add_vertex(Label(l));
+    }
+    for &(u, v) in edges {
+        b.add_edge(VertexId(u), VertexId(v)).unwrap();
+    }
+    (name.to_string(), b.build())
+}
+
+fn main() {
+    let db = Arc::new(graphgen::generate(400, 50, 6, 5.0, 123));
+    println!("database: {} synthetic graphs (50 vertices, degree 5, 6 labels)\n", db.len());
+
+    let motifs = vec![
+        motif("wedge 0-1-0", &[0, 1, 0], &[(0, 1), (1, 2)]),
+        motif("triangle 0-1-2", &[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]),
+        motif("square 0-1-0-1", &[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+        motif("star 2<(1,1,1)", &[2, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]),
+    ];
+
+    // Plain scan vs Grapes-index-accelerated matching.
+    let plain = CollectionMatcher::new(Arc::clone(&db), Box::new(Cfql::new()))
+        .with_per_graph_limit(10_000);
+    let t0 = Instant::now();
+    let index = PathTrieIndex::build_default(&db);
+    println!("Grapes index built in {:.2?}\n", t0.elapsed());
+    let hybrid = CollectionMatcher::new(Arc::clone(&db), Box::new(Cfql::new()))
+        .with_per_graph_limit(10_000)
+        .with_index(Box::new(index));
+
+    println!(
+        "{:<18} {:>12} {:>10} {:>14} {:>14}",
+        "motif", "embeddings", "graphs", "scan(ms)", "indexed(ms)"
+    );
+    for (name, q) in &motifs {
+        let t0 = Instant::now();
+        let scan = plain.match_all(q);
+        let scan_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let fast = hybrid.match_all(q);
+        let fast_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let scan_total: usize = scan.iter().map(|m| m.embeddings.len()).sum();
+        let fast_total: usize = fast.iter().map(|m| m.embeddings.len()).sum();
+        assert_eq!(scan_total, fast_total, "index must not change results");
+        println!(
+            "{:<18} {:>12} {:>10} {:>14.2} {:>14.2}",
+            name,
+            scan_total,
+            scan.len(),
+            scan_ms,
+            fast_ms
+        );
+    }
+
+    println!(
+        "\nThe index-filtered run skips graphs lacking the motif's path features\n\
+         before any matching happens — the related-work hybrid the paper\n\
+         contrasts with its index-free vcFV framework."
+    );
+}

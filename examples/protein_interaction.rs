@@ -1,0 +1,94 @@
+//! Protein-interaction-network querying — the PPI-style workload where
+//! verification, not filtering, dominates (§IV-B3/§IV-D of the paper).
+//!
+//! Generates a PPI-like database (a handful of large, dense networks) and
+//! compares the verification cost of VF2 against the modern matchers on the
+//! same candidates, reproducing the per-SI-test-time gap in miniature.
+//!
+//! ```text
+//! cargo run --release --example protein_interaction
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use subgraph_query::datagen::profiles::ppi_like;
+use subgraph_query::datagen::query::{generate_query_set, QueryGenMethod, QuerySetSpec};
+use subgraph_query::matching::cfl::Cfl;
+use subgraph_query::matching::cfql::Cfql;
+use subgraph_query::matching::graphql::GraphQl;
+use subgraph_query::matching::vf2::Vf2;
+use subgraph_query::matching::{Deadline, Matcher};
+
+fn main() {
+    let profile = {
+        let mut p = ppi_like();
+        p.graphs = 5;
+        p.avg_vertices = 600; // scaled-down networks
+        p
+    };
+    println!("generating {} ({} networks)...", profile.name, profile.graphs);
+    let db = Arc::new(profile.generate(13));
+    let stats = db.stats();
+    println!(
+        "database: {} graphs, {:.0} vertices/graph, degree {:.2}, {} labels\n",
+        stats.graphs, stats.avg_vertices, stats.avg_degree, stats.labels
+    );
+
+    let spec = QuerySetSpec { edges: 8, method: QueryGenMethod::Bfs, count: 15 };
+    let queries = generate_query_set(&db, spec, 5);
+    let budget = Duration::from_secs(5);
+
+    // Per-SI-test time: one subgraph isomorphism test per (query, graph).
+    let vf2 = Vf2::new();
+    let (graphql, cfl, cfql) = (GraphQl::new(), Cfl::new(), Cfql::new());
+    let matchers: Vec<(&str, &dyn Matcher)> =
+        vec![("GraphQL", &graphql), ("CFL", &cfl), ("CFQL", &cfql)];
+
+    println!("{:<10} {:>16} {:>10}", "verifier", "per-SI-test(ms)", "timeouts");
+
+    // VF2 baseline.
+    let mut total = Duration::ZERO;
+    let (mut tests, mut timeouts) = (0u32, 0u32);
+    for q in &queries {
+        for g in db.graphs() {
+            let t = Instant::now();
+            match vf2.is_subgraph(q, g, Deadline::after(budget)) {
+                Ok(_) => {}
+                Err(_) => timeouts += 1,
+            }
+            total += t.elapsed();
+            tests += 1;
+        }
+    }
+    println!("{:<10} {:>16.3} {:>10}", "VF2", total.as_secs_f64() * 1e3 / tests as f64, timeouts);
+
+    for (name, m) in matchers {
+        let mut total = Duration::ZERO;
+        let (mut tests, mut timeouts) = (0u32, 0u32);
+        for q in &queries {
+            for g in db.graphs() {
+                let t = Instant::now();
+                match m.is_subgraph(q, g, Deadline::after(budget)) {
+                    Ok(_) => {}
+                    Err(_) => timeouts += 1,
+                }
+                total += t.elapsed();
+                tests += 1;
+            }
+        }
+        println!(
+            "{:<10} {:>16.3} {:>10}",
+            name,
+            total.as_secs_f64() * 1e3 / tests as f64,
+            timeouts
+        );
+    }
+
+    println!(
+        "\nOn dense networks the preprocessing-enumeration matchers verify each\n\
+         candidate orders of magnitude faster than VF2 — the paper's core\n\
+         observation: slow verification makes filtering look more valuable\n\
+         than it is (§IV-D)."
+    );
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from a `repro --experiment all` log.
+
+Usage: python3 scripts/fill_experiments.py <repro-stdout-log>
+
+Each {{KEY}} placeholder in EXPERIMENTS.md is replaced with the matching
+table block from the log (the `== title ==` sections printed by `repro`).
+"""
+import re
+import sys
+
+SECTIONS = {
+    "TABLE4": "Table IV: Statistics of the real-world-like datasets",
+    "TABLE5": "Table V: Query sets on AIDS-like",
+    "TABLE6": "Table VI: Indexing time (seconds)",
+    "TABLE7": "Table VII: Memory cost (MB)",
+    "FIG2": "Figure 2: Filtering precision — AIDS-like",
+    "FIG3": "Figure 3: Filtering time (ms) — AIDS-like",
+    "FIG4": "Figure 4: Verification time (ms) — PPI-like",
+    "FIG5": "Figure 5: Per SI test time (ms) — PPI-like",
+    "FIG6": "Figure 6: Candidate graphs |C(q)| — AIDS-like",
+    "FIG7": "Figure 7: Query time (ms) — PPI-like",
+}
+
+# Multi-panel (sweep) sections: concatenate all four panels.
+SWEEPS = {
+    "TABLE8": "Table VIII: Indexing time (seconds), vary",
+    "TABLE9": "Table IX: Memory cost (MB), vary",
+    "FIG8": "Figure 8: Filtering precision, vary",
+    "FIG9": "Figure 9: Filtering time (ms), vary",
+}
+
+
+def blocks(log: str):
+    """Yields (title, body) for each `== title ==` block."""
+    parts = re.split(r"^== (.*?) ==$", log, flags=re.M)
+    for i in range(1, len(parts) - 1, 2):
+        yield parts[i], parts[i + 1].strip("\n")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    log = open(sys.argv[1]).read()
+    found = dict(blocks(log))
+
+    md = open("EXPERIMENTS.md").read()
+    for key, title in SECTIONS.items():
+        body = found.get(title)
+        if body is None:
+            print(f"warning: section '{title}' not in log; leaving {{{{{key}}}}}")
+            continue
+        md = md.replace("{{" + key + "}}", f"{title}\n{body}")
+    for key, prefix in SWEEPS.items():
+        panels = [f"{t}\n{b}" for t, b in found.items() if t.startswith(prefix)]
+        if not panels:
+            print(f"warning: no panels for '{prefix}'; leaving {{{{{key}}}}}")
+            continue
+        md = md.replace("{{" + key + "}}", "\n\n".join(panels))
+    open("EXPERIMENTS.md", "w").write(md)
+    leftover = re.findall(r"\{\{\w+\}\}", md)
+    if leftover:
+        print("unfilled placeholders:", leftover)
+        return 1
+    print("EXPERIMENTS.md filled")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,362 @@
+//! `sqp` — command-line front end for the subgraph-query library.
+//!
+//! ```text
+//! sqp stats    --db <file>
+//! sqp generate --kind <synthetic|aids|pdbs|pcm|ppi> [--graphs N] [--vertices N]
+//!              [--labels N] [--degree F] [--seed N] --out <file>
+//! sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
+//! sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
+//! sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
+//! sqp match    --db <file> --queries <file> [--limit N]
+//! sqp index    --db <file> --kind <grapes|ggsx|ct-index>
+//! ```
+//!
+//! Databases and queries use the standard `t # / v / e` text format; paths\n//! ending in `.bin` use the compact binary format of `sqp_graph::binio`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use subgraph_query::core::collection::CollectionMatcher;
+use subgraph_query::core::engines::engine_by_name;
+use subgraph_query::core::prelude::*;
+use subgraph_query::datagen::graphgen::GraphGenConfig;
+use subgraph_query::datagen::profiles;
+use subgraph_query::datagen::query::{generate_query_set, QueryGenMethod, QuerySetSpec};
+use subgraph_query::datagen::GraphGen;
+use subgraph_query::graph::heap_size::format_mb;
+use subgraph_query::graph::{binio, io, GraphDb, HeapSize};
+use subgraph_query::index::{
+    BuildBudget, CtIndexConfig, FingerprintIndex, GgsxIndex, GraphIndex, GrapesConfig,
+    PathTrieIndex,
+};
+use subgraph_query::matching::cfql::Cfql;
+
+const HELP: &str = "\
+sqp — subgraph query processing toolkit
+
+USAGE:
+  sqp stats    --db <file>
+  sqp generate --kind <synthetic|aids|pdbs|pcm|ppi> [--graphs N] [--vertices N]
+               [--labels N] [--degree F] [--seed N] --out <file>
+  sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
+  sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
+  sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
+  sqp match    --db <file> --queries <file> [--limit N]
+  sqp index    --db <file> --kind <grapes|ggsx|ct-index>
+
+Engines: CT-Index Grapes GGSX CFL GraphQL CFQL vcGrapes vcGGSX
+         Ullmann QuickSI TurboIso (default: CFQL)";
+
+struct Opts {
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut switches = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if matches!(name, "dense") {
+                    switches.push(name.to_string());
+                } else {
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.push((name.to_string(), v.clone()));
+                }
+            } else {
+                return Err(format!("unexpected argument '{a}'"));
+            }
+        }
+        Ok(Self { flags, switches })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name} value '{v}'")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn load_db(path: &str) -> Result<GraphDb, String> {
+    if path.ends_with(".bin") {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        return binio::from_bytes(bytes.as_slice())
+            .map_err(|e| format!("cannot parse {path}: {e}"));
+    }
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    io::read_database(BufReader::new(f)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn save_db(db: &GraphDb, path: &str) -> Result<(), String> {
+    if path.ends_with(".bin") {
+        return std::fs::write(path, binio::to_bytes(db))
+            .map_err(|e| format!("cannot write {path}: {e}"));
+    }
+    let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    io::write_database(&mut w, db).map_err(|e| e.to_string())
+}
+
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let db = load_db(opts.require("db")?)?;
+    let s = db.stats();
+    println!("#graphs              {}", s.graphs);
+    println!("#labels              {}", s.labels);
+    println!("#vertices per graph  {:.1}", s.avg_vertices);
+    println!("#edges per graph     {:.2}", s.avg_edges);
+    println!("degree per graph     {:.2}", s.avg_degree);
+    println!("#labels per graph    {:.1}", s.avg_labels);
+    println!("resident size        {} MB", format_mb(db.heap_size()));
+    Ok(())
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let kind = opts.require("kind")?;
+    let seed: u64 = opts.parse_num("seed", 42u64)?;
+    let db = match kind {
+        "synthetic" => {
+            let config = GraphGenConfig {
+                graphs: opts.parse_num("graphs", 1000usize)?,
+                vertices: opts.parse_num("vertices", 200usize)?,
+                labels: opts.parse_num("labels", 20usize)?,
+                degree: opts.parse_num("degree", 8.0f64)?,
+                seed,
+            };
+            GraphGen::new(config).generate()
+        }
+        "aids" | "pdbs" | "pcm" | "ppi" => {
+            let mut p = match kind {
+                "aids" => profiles::aids_like(),
+                "pdbs" => profiles::pdbs_like(),
+                "pcm" => profiles::pcm_like(),
+                _ => profiles::ppi_like(),
+            };
+            if let Some(g) = opts.get("graphs") {
+                p.graphs = g.parse().map_err(|_| "invalid --graphs")?;
+            }
+            if let Some(v) = opts.get("vertices") {
+                p.avg_vertices = v.parse().map_err(|_| "invalid --vertices")?;
+            }
+            p.generate(seed)
+        }
+        other => return Err(format!("unknown --kind '{other}'")),
+    };
+    let out = opts.require("out")?;
+    save_db(&db, out)?;
+    println!("wrote {} graphs to {out}", db.len());
+    Ok(())
+}
+
+fn cmd_queries(opts: &Opts) -> Result<(), String> {
+    let db = load_db(opts.require("db")?)?;
+    let spec = QuerySetSpec {
+        edges: opts.parse_num("edges", 8usize)?,
+        method: if opts.has("dense") { QueryGenMethod::Bfs } else { QueryGenMethod::RandomWalk },
+        count: opts.parse_num("count", 100usize)?,
+    };
+    let queries = generate_query_set(&db, spec, opts.parse_num("seed", 7u64)?);
+    let out = opts.require("out")?;
+    let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    io::write_graphs(&mut w, queries.iter(), db.interner()).map_err(|e| e.to_string())?;
+    println!("wrote query set {} ({} queries) to {out}", spec.name(), queries.len());
+    Ok(())
+}
+
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    let db = Arc::new(load_db(opts.require("db")?)?);
+    let qpath = opts.require("queries")?;
+    let mut interner = db.interner().clone();
+    let f = File::open(qpath).map_err(|e| format!("cannot open {qpath}: {e}"))?;
+    let queries =
+        io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
+
+    let engine_name = opts.get("engine").unwrap_or("CFQL");
+    let mut engine =
+        engine_by_name(engine_name).ok_or_else(|| format!("unknown engine '{engine_name}'"))?;
+    let budget_ms: u64 = opts.parse_num("budget-ms", 600_000u64)?;
+
+    let t0 = Instant::now();
+    engine.build(&db).map_err(|e| format!("index construction failed: {e}"))?;
+    let build = t0.elapsed();
+    eprintln!("engine {} built in {:.2}s", engine.name(), build.as_secs_f64());
+
+    let report = run_query_set(
+        engine.as_mut(),
+        "cli",
+        &queries,
+        RunnerConfig::with_budget(Duration::from_millis(budget_ms)),
+    );
+    for (i, r) in report.records.iter().enumerate() {
+        println!(
+            "query {i}: answers={} candidates={} filter={:.3}ms verify={:.3}ms{}",
+            r.answers,
+            r.candidates,
+            r.filter_time.as_secs_f64() * 1e3,
+            r.verify_time.as_secs_f64() * 1e3,
+            if r.timed_out { " TIMEOUT" } else { "" }
+        );
+    }
+    println!(
+        "-- avg query {:.3} ms | precision {:.3} | |C| {:.1} | per-SI-test {:.4} ms | timeouts {}",
+        report.avg_query_ms(),
+        report.filtering_precision(),
+        report.avg_candidates(),
+        report.per_si_test_ms(),
+        report.timeout_count(),
+    );
+    Ok(())
+}
+
+fn cmd_compare(opts: &Opts) -> Result<(), String> {
+    let db = Arc::new(load_db(opts.require("db")?)?);
+    let qpath = opts.require("queries")?;
+    let mut interner = db.interner().clone();
+    let f = File::open(qpath).map_err(|e| format!("cannot open {qpath}: {e}"))?;
+    let queries =
+        io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
+    let budget_ms: u64 = opts.parse_num("budget-ms", 600_000u64)?;
+    let names: Vec<String> = opts
+        .get("engines")
+        .unwrap_or("Grapes,GGSX,CFQL,vcGrapes")
+        .split(',')
+        .map(str::to_string)
+        .collect();
+
+    println!(
+        "{:<10} {:>10} {:>12} {:>11} {:>12} {:>10} {:>9}",
+        "engine", "build(s)", "query(ms)", "precision", "per-SI(ms)", "|C(q)|", "timeouts"
+    );
+    for name in &names {
+        let mut engine =
+            engine_by_name(name).ok_or_else(|| format!("unknown engine '{name}'"))?;
+        let t0 = Instant::now();
+        let build = match engine.build(&db) {
+            Ok(_) => t0.elapsed(),
+            Err(e) => {
+                println!("{:<10} {e}", engine.name());
+                continue;
+            }
+        };
+        let report = run_query_set(
+            engine.as_mut(),
+            "cli",
+            &queries,
+            RunnerConfig::with_budget(Duration::from_millis(budget_ms)),
+        );
+        println!(
+            "{:<10} {:>10.2} {:>12.3} {:>11.3} {:>12.4} {:>10.1} {:>9}",
+            report.engine,
+            build.as_secs_f64(),
+            report.avg_query_ms(),
+            report.filtering_precision(),
+            report.per_si_test_ms(),
+            report.avg_candidates(),
+            report.timeout_count(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_match(opts: &Opts) -> Result<(), String> {
+    let db = Arc::new(load_db(opts.require("db")?)?);
+    let qpath = opts.require("queries")?;
+    let mut interner = db.interner().clone();
+    let f = File::open(qpath).map_err(|e| format!("cannot open {qpath}: {e}"))?;
+    let queries =
+        io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
+    let limit: u64 = opts.parse_num("limit", 1000u64)?;
+
+    let cm = CollectionMatcher::new(Arc::clone(&db), Box::new(Cfql::new()))
+        .with_per_graph_limit(limit);
+    for (i, q) in queries.iter().enumerate() {
+        let matches = cm.match_all(q);
+        let total: usize = matches.iter().map(|m| m.embeddings.len()).sum();
+        println!("query {i}: {total} embeddings in {} graphs", matches.len());
+        for m in matches.iter().take(3) {
+            println!("  graph {:?}: {} embeddings{}", m.graph, m.embeddings.len(),
+                if m.truncated { " (truncated)" } else { "" });
+        }
+    }
+    Ok(())
+}
+
+fn cmd_index(opts: &Opts) -> Result<(), String> {
+    let db = load_db(opts.require("db")?)?;
+    let kind = opts.get("kind").unwrap_or("grapes");
+    let budget = BuildBudget::unlimited();
+    let t0 = Instant::now();
+    let index: Box<dyn GraphIndex> = match kind {
+        "grapes" => Box::new(
+            PathTrieIndex::build(&db, GrapesConfig::default(), &budget)
+                .map_err(|e| e.to_string())?,
+        ),
+        "ggsx" => Box::new(GgsxIndex::build(&db, 4, &budget).map_err(|e| e.to_string())?),
+        "ct-index" => Box::new(
+            FingerprintIndex::build(&db, CtIndexConfig::default(), &budget)
+                .map_err(|e| e.to_string())?,
+        ),
+        other => return Err(format!("unknown --kind '{other}'")),
+    };
+    println!(
+        "{}: built in {:.2}s, {} MB",
+        index.name(),
+        t0.elapsed().as_secs_f64(),
+        format_mb(index.heap_bytes())
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        println!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "stats" => cmd_stats(&opts),
+        "generate" => cmd_generate(&opts),
+        "queries" => cmd_queries(&opts),
+        "query" => cmd_query(&opts),
+        "compare" => cmd_compare(&opts),
+        "match" => cmd_match(&opts),
+        "index" => cmd_index(&opts),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end smoke tests of the `sqp` command-line tool: generate a
+//! database, derive queries, run every subcommand, and check outputs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sqp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sqp")).args(args).output().expect("spawn sqp")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = PathBuf::from(std::env::temp_dir());
+    p.push(format!("sqp_cli_test_{}_{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn full_cli_workflow() {
+    let db = tmp("db.txt");
+    let dbbin = tmp("db.bin");
+    let queries = tmp("q.txt");
+
+    // generate (text)
+    let out = sqp(&[
+        "generate", "--kind", "synthetic", "--graphs", "30", "--vertices", "25", "--labels",
+        "5", "--degree", "3", "--seed", "9", "--out", &db,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // generate (binary)
+    let out = sqp(&[
+        "generate", "--kind", "synthetic", "--graphs", "30", "--vertices", "25", "--labels",
+        "5", "--degree", "3", "--seed", "9", "--out", &dbbin,
+    ]);
+    assert!(out.status.success());
+
+    // stats agree between formats
+    let s1 = sqp(&["stats", "--db", &db]);
+    let s2 = sqp(&["stats", "--db", &dbbin]);
+    assert!(s1.status.success() && s2.status.success());
+    let strip = |o: &Output| {
+        String::from_utf8_lossy(&o.stdout)
+            .lines()
+            .filter(|l| !l.contains("resident"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&s1), strip(&s2));
+    assert!(strip(&s1).contains("#graphs              30"));
+
+    // queries
+    let out = sqp(&["queries", "--db", &db, "--edges", "4", "--count", "5", "--out", &queries]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // query with two engines: answers per query must agree
+    let answers = |engine: &str| -> Vec<String> {
+        let out = sqp(&["query", "--db", &db, "--queries", &queries, "--engine", engine]);
+        assert!(out.status.success(), "{engine}: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with("query "))
+            .map(|l| l.split("candidates").next().unwrap().trim().to_string())
+            .collect()
+    };
+    assert_eq!(answers("CFQL"), answers("Grapes"));
+    assert_eq!(answers("CFQL"), answers("TurboIso"));
+
+    // compare
+    let out = sqp(&[
+        "compare", "--db", &db, "--queries", &queries, "--engines", "Grapes,CFQL",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("Grapes") && text.contains("CFQL"));
+
+    // match
+    let out = sqp(&["match", "--db", &db, "--queries", &queries, "--limit", "5"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("embeddings"));
+
+    // index
+    let out = sqp(&["index", "--db", &db, "--kind", "grapes"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Grapes"));
+
+    for f in [db, dbbin, queries] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn unknown_arguments_fail_cleanly() {
+    let out = sqp(&["stats"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--db"));
+
+    let out = sqp(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    let out = sqp(&["query", "--db", "/nonexistent", "--queries", "/nonexistent"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = sqp(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("compare"));
+}

@@ -1,0 +1,197 @@
+//! Property-based tests of the graph substrate (invariant I6 and friends):
+//! CSR well-formedness, text/binary IO round-trips, k-core agreement with a
+//! naive peeler, and BFS-tree structural invariants.
+
+use proptest::prelude::*;
+
+use subgraph_query::graph::algo::{connected_components, core_numbers, BfsTree};
+use subgraph_query::graph::{binio, io, Graph, GraphBuilder, GraphDb, Label, VertexId};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..12).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..5, n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..24);
+        (labels, edges).prop_map(|(ls, es)| {
+            let mut b = GraphBuilder::new();
+            for l in ls {
+                b.add_vertex(Label(l));
+            }
+            for (u, v) in es {
+                if u != v {
+                    let _ = b.add_edge(VertexId::from(u), VertexId::from(v));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn arb_db() -> impl Strategy<Value = GraphDb> {
+    proptest::collection::vec(arb_graph(), 0..6).prop_map(GraphDb::from_graphs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// I6: sorted adjacency, symmetry, no loops, degree/edge consistency.
+    #[test]
+    fn csr_well_formed(g in arb_graph()) {
+        let mut directed = 0usize;
+        for v in g.vertices() {
+            let adj = g.neighbors(v);
+            prop_assert_eq!(adj.len(), g.degree(v));
+            directed += adj.len();
+            for w in adj.windows(2) {
+                prop_assert!((g.label(w[0]), w[0]) < (g.label(w[1]), w[1]));
+            }
+            for &w in adj {
+                prop_assert_ne!(w, v, "self loop");
+                prop_assert!(g.neighbors(w).contains(&v), "asymmetric edge");
+                prop_assert!(g.has_edge(v, w) && g.has_edge(w, v));
+            }
+        }
+        prop_assert_eq!(directed, 2 * g.edge_count());
+    }
+
+    /// The label index partitions the vertex set.
+    #[test]
+    fn label_index_partitions(g in arb_graph()) {
+        let mut seen = vec![false; g.vertex_count()];
+        for l in 0..g.label_space() as u32 {
+            for &v in g.vertices_with_label(Label(l)) {
+                prop_assert_eq!(g.label(v), Label(l));
+                prop_assert!(!seen[v.index()]);
+                seen[v.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// `neighbors_with_label` returns exactly the label-filtered adjacency.
+    #[test]
+    fn label_restricted_adjacency(g in arb_graph()) {
+        for v in g.vertices() {
+            for l in 0..g.label_space() as u32 {
+                let fast: Vec<VertexId> = g.neighbors_with_label(v, Label(l)).to_vec();
+                let slow: Vec<VertexId> = g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| g.label(w) == Label(l))
+                    .collect();
+                prop_assert_eq!(fast, slow);
+            }
+        }
+    }
+
+    /// Text IO round-trips any database byte-equivalently at the graph level.
+    #[test]
+    fn text_io_round_trip(db in arb_db()) {
+        let mut buf = Vec::new();
+        io::write_database(&mut buf, &db).unwrap();
+        let db2 = io::read_database(buf.as_slice()).unwrap();
+        prop_assert_eq!(db.len(), db2.len());
+        for (a, b) in db.graphs().iter().zip(db2.graphs()) {
+            prop_assert_eq!(a.vertex_count(), b.vertex_count());
+            prop_assert_eq!(a.edge_count(), b.edge_count());
+            for v in a.vertices() {
+                prop_assert_eq!(a.label(v), b.label(v));
+                prop_assert_eq!(a.neighbors(v), b.neighbors(v));
+            }
+        }
+    }
+
+    /// Binary IO round-trips any database.
+    #[test]
+    fn binary_io_round_trip(db in arb_db()) {
+        let bytes = binio::to_bytes(&db);
+        let db2 = binio::from_bytes(bytes).unwrap();
+        prop_assert_eq!(db.len(), db2.len());
+        for (a, b) in db.graphs().iter().zip(db2.graphs()) {
+            for v in a.vertices() {
+                prop_assert_eq!(a.label(v), b.label(v));
+                prop_assert_eq!(a.neighbors(v), b.neighbors(v));
+            }
+        }
+    }
+
+    /// Core numbers agree with naive iterative peeling at every k.
+    #[test]
+    fn core_numbers_match_naive(g in arb_graph()) {
+        let cores = core_numbers(&g);
+        // Naive: for each k, peel vertices of degree < k repeatedly.
+        let max_k = cores.iter().copied().max().unwrap_or(0);
+        for k in 0..=max_k + 1 {
+            let mut alive = vec![true; g.vertex_count()];
+            loop {
+                let mut changed = false;
+                for v in g.vertices() {
+                    if alive[v.index()] {
+                        let deg = g
+                            .neighbors(v)
+                            .iter()
+                            .filter(|w| alive[w.index()])
+                            .count() as u32;
+                        if deg < k {
+                            alive[v.index()] = false;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in g.vertices() {
+                prop_assert_eq!(
+                    alive[v.index()],
+                    cores[v.index()] >= k,
+                    "vertex {:?} at k={}", v, k
+                );
+            }
+        }
+    }
+
+    /// BFS trees: parent levels, level partition, component coverage.
+    #[test]
+    fn bfs_tree_invariants(g in arb_graph()) {
+        prop_assume!(g.vertex_count() > 0);
+        let (comp, _) = connected_components(&g);
+        // Build the tree on the component of vertex 0 only (BfsTree requires
+        // connected input): restrict via an induced copy.
+        let verts: Vec<VertexId> =
+            g.vertices().filter(|v| comp[v.index()] == comp[0]).collect();
+        let mut b = GraphBuilder::new();
+        let mut map = vec![usize::MAX; g.vertex_count()];
+        for (i, &v) in verts.iter().enumerate() {
+            map[v.index()] = i;
+            b.add_vertex(g.label(v));
+        }
+        for &v in &verts {
+            for &w in g.neighbors(v) {
+                if v < w && map[w.index()] != usize::MAX {
+                    let _ = b.add_edge(
+                        VertexId::from(map[v.index()]),
+                        VertexId::from(map[w.index()]),
+                    );
+                }
+            }
+        }
+        let sub = b.build();
+        let tree = BfsTree::build(&sub, VertexId(0));
+        prop_assert_eq!(tree.order().len(), sub.vertex_count());
+        for v in sub.vertices() {
+            if v != tree.root() {
+                let p = tree.parent(v);
+                prop_assert!(sub.has_edge(v, p));
+                prop_assert_eq!(tree.level(v), tree.level(p) + 1);
+            }
+        }
+        // BFS property: every edge spans at most one level.
+        for v in sub.vertices() {
+            for &w in sub.neighbors(v) {
+                prop_assert!(tree.level(v).abs_diff(tree.level(w)) <= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the index invariants (DESIGN.md §5, I5):
+//!
+//! * index candidate sets are sound: `C(q) ⊇ A(q)` for all three indices;
+//! * Grapes (count-aware) candidates are a subset of GGSX (existence)
+//!   candidates on identical feature sets;
+//! * path-feature counts of a carved query are dominated by its source
+//!   graph's counts.
+
+use proptest::prelude::*;
+
+use subgraph_query::graph::database::GraphId;
+use subgraph_query::graph::{Graph, GraphBuilder, GraphDb, Label, VertexId};
+use subgraph_query::index::path_enum::path_counts;
+use subgraph_query::index::{
+    BuildBudget, CtIndexConfig, FingerprintIndex, GgsxIndex, GraphIndex, GrapesConfig,
+    PathTrieIndex,
+};
+use subgraph_query::matching::brute;
+
+fn arb_db(graphs: usize) -> impl Strategy<Value = GraphDb> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0u32..3, 2..8),
+            proptest::collection::vec((0usize..8, 0usize..8), 0..12),
+        ),
+        1..=graphs,
+    )
+    .prop_map(|specs| {
+        let graphs = specs
+            .into_iter()
+            .map(|(labels, edges)| {
+                let mut b = GraphBuilder::new();
+                let n = labels.len();
+                for l in labels {
+                    b.add_vertex(Label(l));
+                }
+                for (u, v) in edges {
+                    let (u, v) = (u % n, v % n);
+                    if u != v {
+                        let _ = b.add_edge(VertexId::from(u), VertexId::from(v));
+                    }
+                }
+                b.build()
+            })
+            .collect();
+        GraphDb::from_graphs(graphs)
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Graph> {
+    (arb_db(1), any::<u64>()).prop_map(|(db, seed)| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        brute::random_connected_query(&mut rng, &db.graphs()[0], 3)
+    })
+}
+
+fn answer_set(db: &GraphDb, q: &Graph) -> Vec<GraphId> {
+    db.iter().filter(|(_, g)| brute::is_subgraph(q, g)).map(|(id, _)| id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// I5: every index's candidate set contains the answer set.
+    #[test]
+    fn index_candidates_are_sound(db in arb_db(8), q in arb_query()) {
+        let budget = BuildBudget::unlimited();
+        let answers = answer_set(&db, &q);
+
+        let grapes = PathTrieIndex::build(&db, GrapesConfig::default(), &budget).unwrap();
+        let ggsx = GgsxIndex::build(&db, 4, &budget).unwrap();
+        let ct = FingerprintIndex::build(&db, CtIndexConfig::default(), &budget).unwrap();
+
+        for index in [&grapes as &dyn GraphIndex, &ggsx, &ct] {
+            let cands = index.candidates(&q).into_ids(db.len());
+            for a in &answers {
+                prop_assert!(
+                    cands.contains(a),
+                    "{} dropped answer graph {:?}", index.name(), a
+                );
+            }
+        }
+    }
+
+    /// Count-aware Grapes filtering is at least as strong as GGSX's
+    /// existence filtering (same path features).
+    #[test]
+    fn grapes_no_weaker_than_ggsx(db in arb_db(8), q in arb_query()) {
+        let budget = BuildBudget::unlimited();
+        let grapes = PathTrieIndex::build(&db, GrapesConfig::default(), &budget).unwrap();
+        let ggsx = GgsxIndex::build(&db, 4, &budget).unwrap();
+        let gc = grapes.candidates(&q).into_ids(db.len());
+        let xc = ggsx.candidates(&q).into_ids(db.len());
+        for c in &gc {
+            prop_assert!(xc.contains(c), "Grapes kept {c:?} that GGSX pruned");
+        }
+    }
+
+    /// Subgraph path-feature counts are dominated by the source graph's —
+    /// the invariant that makes Grapes' count filtering sound.
+    #[test]
+    fn carved_query_counts_dominated(db in arb_db(1), seed in any::<u64>()) {
+        let g = &db.graphs()[0];
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let carved = brute::random_connected_query(&mut rng, g, 3);
+        let budget = BuildBudget::unlimited();
+        let cq = path_counts(&carved, 4, &budget).unwrap();
+        let cg = path_counts(g, 4, &budget).unwrap();
+        for (k, &c) in &cq {
+            prop_assert!(cg.get(k).copied().unwrap_or(0) >= c);
+        }
+    }
+}
