@@ -14,7 +14,7 @@ mod common;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use sqp_index::{BuildBudget, GraphIndex, GrapesConfig, PathTrieIndex};
+use sqp_index::{BuildBudget, GrapesConfig, GraphIndex, PathTrieIndex};
 use sqp_matching::cfl::{Cfl, CflConfig};
 use sqp_matching::cfql::Cfql;
 use sqp_matching::graphql::GraphQl;

@@ -9,7 +9,7 @@ mod common;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use sqp_index::{BuildBudget, GgsxIndex, GraphIndex, GrapesConfig, PathTrieIndex};
+use sqp_index::{BuildBudget, GgsxIndex, GrapesConfig, GraphIndex, PathTrieIndex};
 use sqp_matching::cfl::Cfl;
 use sqp_matching::graphql::GraphQl;
 use sqp_matching::ullmann::Ullmann;
@@ -31,11 +31,8 @@ fn bench_filtering(c: &mut Criterion) {
         g.bench_function("grapes_index", |b| {
             b.iter(|| black_box(grapes.candidates(&q).len(db.len())))
         });
-        g.bench_function("ggsx_index", |b| {
-            b.iter(|| black_box(ggsx.candidates(&q).len(db.len())))
-        });
-        for (name, matcher) in
-            [("cfl", &cfl as &dyn Matcher), ("graphql", &gql), ("ullmann", &ull)]
+        g.bench_function("ggsx_index", |b| b.iter(|| black_box(ggsx.candidates(&q).len(db.len()))));
+        for (name, matcher) in [("cfl", &cfl as &dyn Matcher), ("graphql", &gql), ("ullmann", &ull)]
         {
             g.bench_function(name, |b| {
                 b.iter(|| {

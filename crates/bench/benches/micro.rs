@@ -46,9 +46,7 @@ fn bench_graph_algos(c: &mut Criterion) {
     c.bench_function("micro/bfs_tree_500v", |b| {
         b.iter(|| black_box(BfsTree::build(&g, VertexId(0)).depth()))
     });
-    c.bench_function("micro/two_core_500v", |b| {
-        b.iter(|| black_box(two_core(&g).len()))
-    });
+    c.bench_function("micro/two_core_500v", |b| b.iter(|| black_box(two_core(&g).len())));
 }
 
 fn bench_adjacency(c: &mut Criterion) {
@@ -107,10 +105,7 @@ fn bench_parallel_query(c: &mut Criterion) {
         g.bench_function(format!("{threads}_threads"), |b| {
             b.iter(|| {
                 black_box(
-                    parallel_query(&cfql, &db, &q, threads, Deadline::none())
-                        .outcome
-                        .answers
-                        .len(),
+                    parallel_query(&cfql, &db, &q, threads, Deadline::none()).outcome.answers.len(),
                 )
             })
         });

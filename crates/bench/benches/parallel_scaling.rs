@@ -1,0 +1,90 @@
+//! Parallel query scaling: persistent work-stealing pool vs static chunks.
+//!
+//! The workload is deliberately *skewed*: most data graphs are small, but a
+//! handful are an order of magnitude larger and are clustered at one end of
+//! the id range. Static contiguous chunking assigns all of the heavy graphs
+//! to the same worker, so the other workers idle behind the straggler; the
+//! [`QueryPool`]'s shared-counter distribution hands each idle worker the
+//! next unclaimed graph and keeps every core busy. The `pool/4` measurement
+//! is expected to beat `static/4` well beyond the 1.5× acceptance bar.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use sqp_core::parallel::{parallel_query, QueryPool};
+use sqp_datagen::graphgen;
+use sqp_graph::{Graph, GraphDb};
+use sqp_matching::cfql::Cfql;
+use sqp_matching::{Deadline, Matcher};
+
+/// Many small graphs followed by a block of large dense ones — the skew
+/// pattern that defeats contiguous partitioning.
+fn skewed_db() -> Arc<GraphDb> {
+    let mut graphs: Vec<Graph> = Vec::new();
+    graphs.extend(graphgen::generate(120, 24, 8, 2.5, 61).graphs().iter().cloned());
+    graphs.extend(graphgen::generate(8, 220, 8, 7.0, 62).graphs().iter().cloned());
+    Arc::new(GraphDb::from_graphs(graphs))
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let db = skewed_db();
+    let q = common::query_from(&db, 8, false, 31);
+    let cfql = Cfql::new();
+    let matcher: Arc<dyn Matcher> = Arc::new(Cfql::new());
+
+    let mut group = c.benchmark_group("parallel_scaling/skewed");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("static", threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(parallel_query(&cfql, &db, &q, t, Deadline::none()).outcome.answers.len())
+            })
+        });
+        let pool = QueryPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("pool", threads), &threads, |b, _| {
+            b.iter(|| {
+                black_box(
+                    pool.query(Arc::clone(&matcher), &db, &q, Deadline::none())
+                        .outcome
+                        .answers
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // Straggler sensitivity: a query that is expensive only on the large
+    // graphs magnifies the imbalance static chunks suffer from.
+    let q_dense = common::query_from(&db, 10, true, 33);
+    let mut group = c.benchmark_group("parallel_scaling/straggler");
+    let threads = 4usize;
+    group.bench_with_input(BenchmarkId::new("static", threads), &threads, |b, &t| {
+        b.iter(|| {
+            black_box(
+                parallel_query(&cfql, &db, &q_dense, t, Deadline::none()).outcome.answers.len(),
+            )
+        })
+    });
+    let pool = QueryPool::new(threads);
+    group.bench_with_input(BenchmarkId::new("pool", threads), &threads, |b, _| {
+        b.iter(|| {
+            black_box(
+                pool.query(Arc::clone(&matcher), &db, &q_dense, Deadline::none())
+                    .outcome
+                    .answers
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench_parallel_scaling
+}
+criterion_main!(benches);

@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use sqp_index::{
-    BuildBudget, CtIndexConfig, FingerprintIndex, GgsxIndex, GraphIndex, GrapesConfig,
+    BuildBudget, CtIndexConfig, FingerprintIndex, GgsxIndex, GrapesConfig, GraphIndex,
     PathTrieIndex,
 };
 

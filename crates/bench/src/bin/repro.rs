@@ -77,10 +77,21 @@ fn main() -> ExitCode {
 
     let wants_real = matches!(
         id,
-        "all" | "realworld" | "table4" | "table5" | "table6" | "table7" | "fig2" | "fig3"
-            | "fig4" | "fig5" | "fig6" | "fig7"
+        "all"
+            | "realworld"
+            | "table4"
+            | "table5"
+            | "table6"
+            | "table7"
+            | "fig2"
+            | "fig3"
+            | "fig4"
+            | "fig5"
+            | "fig6"
+            | "fig7"
     );
-    let wants_syn = matches!(id, "all" | "synthetic" | "table8" | "table9" | "fig8" | "fig9" | "figs89");
+    let wants_syn =
+        matches!(id, "all" | "synthetic" | "table8" | "table9" | "fig8" | "fig9" | "figs89");
     if !wants_real && !wants_syn {
         eprintln!("error: unknown experiment '{id}'\n{HELP}");
         return ExitCode::FAILURE;
@@ -97,8 +108,16 @@ fn main() -> ExitCode {
         }
         if matches!(
             id,
-            "all" | "realworld" | "table6" | "table7" | "fig2" | "fig3" | "fig4" | "fig5"
-                | "fig6" | "fig7"
+            "all"
+                | "realworld"
+                | "table6"
+                | "table7"
+                | "fig2"
+                | "fig3"
+                | "fig4"
+                | "fig5"
+                | "fig6"
+                | "fig7"
         ) {
             let matrix = realworld::run(&params, &data);
             if matches!(id, "all" | "realworld" | "table6") {

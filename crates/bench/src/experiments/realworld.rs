@@ -105,12 +105,7 @@ pub fn run(params: &ScaleParams, data: &RealWorldData) -> Matrix {
                     ),
                 };
                 for (spec, queries) in sets {
-                    run.reports.push(run_query_set(
-                        engine.as_mut(),
-                        &spec.name(),
-                        queries,
-                        config,
-                    ));
+                    run.reports.push(run_query_set(engine.as_mut(), &spec.name(), queries, config));
                 }
             }
             engines.push(run);
@@ -294,9 +289,7 @@ pub fn fig2(matrix: &Matrix) -> Vec<TextTable> {
 
 /// Figure 3: filtering time (ms).
 pub fn fig3(matrix: &Matrix) -> Vec<TextTable> {
-    figure(matrix, "Figure 3: Filtering time (ms)", &ALL_EIGHT, |r| {
-        Some(fmt_ms(r.avg_filter_ms()))
-    })
+    figure(matrix, "Figure 3: Filtering time (ms)", &ALL_EIGHT, |r| Some(fmt_ms(r.avg_filter_ms())))
 }
 
 /// Figure 4: verification time (ms).

@@ -14,8 +14,8 @@ use sqp_datagen::GraphGen;
 use sqp_graph::heap_size::format_mb;
 use sqp_graph::{Graph, HeapSize};
 use sqp_index::{
-    BuildBudget, BuildError, CtIndexConfig, FingerprintIndex, GgsxIndex, GraphIndex,
-    GrapesConfig, PathTrieIndex,
+    BuildBudget, BuildError, CtIndexConfig, FingerprintIndex, GgsxIndex, GrapesConfig, GraphIndex,
+    PathTrieIndex,
 };
 use sqp_matching::cfl::Cfl;
 use sqp_matching::cfql::Cfql;
@@ -78,7 +78,11 @@ pub fn prepare(params: &ScaleParams) -> Vec<Sweep> {
             .sweep_labels
             .iter()
             .map(|&l| {
-                make(GraphGenConfig { labels: l, seed: l as u64, ..base }, l.to_string(), next_seed())
+                make(
+                    GraphGenConfig { labels: l, seed: l as u64, ..base },
+                    l.to_string(),
+                    next_seed(),
+                )
             })
             .collect(),
     });
@@ -102,7 +106,11 @@ pub fn prepare(params: &ScaleParams) -> Vec<Sweep> {
             .sweep_vertices
             .iter()
             .map(|&v| {
-                make(GraphGenConfig { vertices: v, seed: 200 + v as u64, ..base }, v.to_string(), next_seed())
+                make(
+                    GraphGenConfig { vertices: v, seed: 200 + v as u64, ..base },
+                    v.to_string(),
+                    next_seed(),
+                )
             })
             .collect(),
     });
@@ -112,7 +120,11 @@ pub fn prepare(params: &ScaleParams) -> Vec<Sweep> {
             .sweep_graphs
             .iter()
             .map(|&n| {
-                make(GraphGenConfig { graphs: n, seed: 300 + n as u64, ..base }, n.to_string(), next_seed())
+                make(
+                    GraphGenConfig { graphs: n, seed: 300 + n as u64, ..base },
+                    n.to_string(),
+                    next_seed(),
+                )
             })
             .collect(),
     });
@@ -199,10 +211,8 @@ pub fn table9(params: &ScaleParams, sweeps: &[Sweep]) -> Vec<TextTable> {
         let values: Vec<String> = sweep.points.iter().map(|p| p.value.clone()).collect();
         header.extend(values.iter().map(String::as_str));
         eprintln!("[repro] table9: vary {}", sweep.param);
-        let mut t = TextTable::new(
-            format!("Table IX: Memory cost (MB), vary {}", sweep.param),
-            &header,
-        );
+        let mut t =
+            TextTable::new(format!("Table IX: Memory cost (MB), vary {}", sweep.param), &header);
 
         let mut cells = vec!["Datasets".to_string()];
         cells.extend(sweep.points.iter().map(|p| format_mb(p.db.heap_size())));
@@ -355,14 +365,10 @@ pub fn figs8_and_9(params: &ScaleParams, sweeps: &[Sweep]) -> (Vec<TextTable>, V
         let mut header: Vec<&str> = vec![""];
         let values: Vec<String> = sweep.points.iter().map(|p| p.value.clone()).collect();
         header.extend(values.iter().map(String::as_str));
-        let mut t8 = TextTable::new(
-            format!("Figure 8: Filtering precision, vary {}", sweep.param),
-            &header,
-        );
-        let mut t9 = TextTable::new(
-            format!("Figure 9: Filtering time (ms), vary {}", sweep.param),
-            &header,
-        );
+        let mut t8 =
+            TextTable::new(format!("Figure 8: Filtering precision, vary {}", sweep.param), &header);
+        let mut t9 =
+            TextTable::new(format!("Figure 9: Filtering time (ms), vary {}", sweep.param), &header);
         let mut rows8: Vec<Vec<String>> = ENGINES.iter().map(|e| vec![e.to_string()]).collect();
         let mut rows9 = rows8.clone();
         for p in &sweep.points {
@@ -400,8 +406,5 @@ pub fn fig9(params: &ScaleParams, sweeps: &[Sweep]) -> Vec<TextTable> {
 /// Reference-answer helper re-exported for CFQL verification in ablations.
 pub fn cfql_contains(db: &Db, q: &Graph, deadline: Deadline) -> usize {
     let cfql = Cfql::new();
-    db.graphs()
-        .iter()
-        .filter(|g| matches!(cfql.is_subgraph(q, g, deadline), Ok(true)))
-        .count()
+    db.graphs().iter().filter(|g| matches!(cfql.is_subgraph(q, g, deadline), Ok(true))).count()
 }

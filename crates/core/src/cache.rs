@@ -19,7 +19,7 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb};
@@ -53,6 +53,7 @@ pub struct CachedEngine {
     entries: VecDeque<CacheEntry>,
     capacity: usize,
     check_budget: Duration,
+    query_budget: Option<Duration>,
     /// Lookup statistics `(exact, subgraph, supergraph, miss)`.
     pub stats: (u64, u64, u64, u64),
 }
@@ -66,6 +67,7 @@ impl CachedEngine {
             entries: VecDeque::new(),
             capacity: capacity.max(1),
             check_budget: Duration::from_millis(5),
+            query_budget: None,
             stats: (0, 0, 0, 0),
         }
     }
@@ -75,6 +77,13 @@ impl CachedEngine {
         self.inner.build(db)?;
         self.db = Some(Arc::clone(db));
         Ok(())
+    }
+
+    /// Sets the per-query budget, applied to cache-hit verification passes
+    /// exactly as the wrapped engine applies it on a miss.
+    pub fn set_query_budget(&mut self, budget: Option<Duration>) {
+        self.query_budget = budget;
+        self.inner.set_query_budget(budget);
     }
 
     /// Containment test between query graphs, budget-capped; `None` when the
@@ -112,15 +121,24 @@ impl CachedEngine {
 
     /// Answers `q`, consulting the cache first. Returns the outcome and how
     /// the cache contributed.
+    ///
+    /// The classification pass (containment checks against cached queries)
+    /// is the cache's filtering step and is recorded in `filter_time`;
+    /// verification of the narrowed graph set runs under the configured
+    /// [query budget](CachedEngine::set_query_budget), and a timed-out pass
+    /// flags the outcome and leaves the (incomplete) answers uncached.
     pub fn query(&mut self, q: &Graph) -> (QueryOutcome, CacheHit) {
         let db = Arc::clone(self.db.as_ref().expect("query before build"));
+        let deadline = self.query_budget.map_or(Deadline::none(), Deadline::after);
+        let t_classify = Instant::now();
         let (hit, idx) = self.classify(q);
+        let classify_time = t_classify.elapsed();
         let outcome = match (hit, idx) {
             (CacheHit::Exact, Some(i)) => {
                 self.stats.0 += 1;
                 let answers = self.entries[i].answers.clone();
                 self.touch(i);
-                QueryOutcome { answers, ..Default::default() }
+                QueryOutcome { answers, filter_time: classify_time, ..Default::default() }
             }
             (CacheHit::Subgraph, Some(i)) => {
                 self.stats.1 += 1;
@@ -128,42 +146,76 @@ impl CachedEngine {
                 // subquery.
                 let candidates = self.entries[i].answers.clone();
                 self.touch(i);
-                let mut out = QueryOutcome { candidates: candidates.len(), ..Default::default() };
-                let cfql = Cfql::new();
-                let t0 = std::time::Instant::now();
-                for gid in candidates {
-                    if let Ok(true) = cfql.is_subgraph(q, db.graph(gid), Deadline::none()) {
-                        out.answers.push(gid);
-                    }
+                let mut out = QueryOutcome {
+                    candidates: candidates.len(),
+                    filter_time: classify_time,
+                    ..Default::default()
+                };
+                self.verify_direct(q, &db, candidates, deadline, &mut out);
+                if !out.timed_out {
+                    self.insert(q.clone(), out.answers.clone());
                 }
-                out.verify_time = t0.elapsed();
-                self.insert(q.clone(), out.answers.clone());
                 out
             }
             (CacheHit::Supergraph, Some(i)) => {
                 self.stats.2 += 1;
-                // Answers of the cached superquery are free; only the rest
-                // of the database needs the engine.
+                // Answers of the cached superquery already contain `q` for
+                // free; only D \ A(q') needs checking, and with the set
+                // this narrow a direct budget-capped verification pass beats
+                // re-running the full engine over the whole database.
                 let free: Vec<GraphId> = self.entries[i].answers.clone();
                 self.touch(i);
-                let mut out = self.inner.query(q);
-                for gid in free {
-                    if !out.answers.contains(&gid) {
-                        out.answers.push(gid);
-                    }
-                }
+                let rest: Vec<GraphId> =
+                    (0..db.len() as u32).map(GraphId).filter(|gid| !free.contains(gid)).collect();
+                let mut out = QueryOutcome {
+                    candidates: rest.len(),
+                    filter_time: classify_time,
+                    ..Default::default()
+                };
+                self.verify_direct(q, &db, rest, deadline, &mut out);
+                out.answers.extend(free);
                 out.answers.sort_unstable();
-                self.insert(q.clone(), out.answers.clone());
+                if !out.timed_out {
+                    self.insert(q.clone(), out.answers.clone());
+                }
                 out
             }
             _ => {
                 self.stats.3 += 1;
-                let out = self.inner.query(q);
-                self.insert(q.clone(), out.answers.clone());
+                let mut out = self.inner.query(q);
+                out.filter_time += classify_time;
+                if !out.timed_out {
+                    self.insert(q.clone(), out.answers.clone());
+                }
                 out
             }
         };
         (outcome, hit)
+    }
+
+    /// Budget-capped first-match verification of `q` against each graph in
+    /// `graphs`, accumulating into `out` (answers, verify_time, timed_out).
+    fn verify_direct(
+        &self,
+        q: &Graph,
+        db: &GraphDb,
+        graphs: Vec<GraphId>,
+        deadline: Deadline,
+        out: &mut QueryOutcome,
+    ) {
+        let cfql = Cfql::new();
+        let t0 = Instant::now();
+        for gid in graphs {
+            match cfql.is_subgraph(q, db.graph(gid), deadline) {
+                Ok(true) => out.answers.push(gid),
+                Ok(false) => {}
+                Err(_) => {
+                    out.timed_out = true;
+                    break;
+                }
+            }
+        }
+        out.verify_time += t0.elapsed();
     }
 
     fn touch(&mut self, i: usize) {
@@ -173,7 +225,10 @@ impl CachedEngine {
     }
 
     fn insert(&mut self, query: Graph, answers: Vec<GraphId>) {
-        if self.entries.len() == self.capacity {
+        // `>=`, not `==`: never trust the length to land exactly on the
+        // capacity (a future resize or a bug elsewhere would otherwise let
+        // the cache grow without bound).
+        while self.entries.len() >= self.capacity {
             self.entries.pop_back();
         }
         self.entries.push_front(CacheEntry { query, answers });
@@ -193,8 +248,39 @@ impl CachedEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{BuildReport, EngineCategory};
     use crate::engines::CfqlEngine;
     use sqp_graph::{GraphBuilder, Label, VertexId};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Wraps CFQL and counts how many times `query` is called, so tests can
+    /// assert which cache branches consult the inner engine.
+    struct CountingEngine {
+        inner: CfqlEngine,
+        calls: Arc<AtomicUsize>,
+    }
+
+    impl QueryEngine for CountingEngine {
+        fn name(&self) -> &'static str {
+            "Counting"
+        }
+        fn category(&self) -> EngineCategory {
+            self.inner.category()
+        }
+        fn build(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, sqp_index::BuildError> {
+            self.inner.build(db)
+        }
+        fn query(&self, q: &Graph) -> QueryOutcome {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.inner.query(q)
+        }
+        fn set_query_budget(&mut self, budget: Option<Duration>) {
+            self.inner.set_query_budget(budget);
+        }
+        fn index_bytes(&self) -> usize {
+            0
+        }
+    }
 
     fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
         let mut b = GraphBuilder::new();
@@ -277,6 +363,62 @@ mod tests {
         }
         let (e, s, sup, m) = c.stats;
         assert_eq!(e + s + sup + m, queries.len() as u64);
+    }
+
+    #[test]
+    fn supergraph_hit_does_not_consult_inner_engine() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut c = CachedEngine::new(
+            Box::new(CountingEngine { inner: CfqlEngine::new(), calls: Arc::clone(&calls) }),
+            8,
+        );
+        c.build(&db()).unwrap();
+        let triangle = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        c.query(&triangle); // miss: inner consulted once
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+
+        let edge = labeled(&[0, 1], &[(0, 1)]);
+        let (out, hit) = c.query(&edge);
+        assert_eq!(hit, CacheHit::Supergraph);
+        // The restricted set D \ A(triangle) is verified directly — the
+        // inner engine must NOT run over the whole database again.
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(out.answers, vec![GraphId(0), GraphId(1), GraphId(2)]);
+        // |D| = 3, A(triangle) = {G0}: exactly 2 graphs needed verification.
+        assert_eq!(out.candidates, 2);
+    }
+
+    #[test]
+    fn subgraph_hit_respects_query_budget() {
+        let mut c = cached();
+        let edge = labeled(&[0, 1], &[(0, 1)]);
+        c.query(&edge); // prime with unlimited budget
+        let cached_len = c.len();
+
+        // Zero budget: the subgraph-hit verification pass must time out and
+        // the incomplete result must not be cached.
+        c.set_query_budget(Some(Duration::from_nanos(0)));
+        let path = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let (out, hit) = c.query(&path);
+        assert_eq!(hit, CacheHit::Subgraph);
+        assert!(out.timed_out);
+        assert_eq!(c.len(), cached_len, "timed-out answers must not be cached");
+
+        // Restoring the budget completes the same query normally.
+        c.set_query_budget(None);
+        let (out, _) = c.query(&path);
+        assert!(!out.timed_out);
+        assert_eq!(out.answers, vec![GraphId(0), GraphId(1)]);
+    }
+
+    #[test]
+    fn hits_record_classification_as_filter_time() {
+        let mut c = cached();
+        let edge = labeled(&[0, 1], &[(0, 1)]);
+        c.query(&edge);
+        let (out, hit) = c.query(&labeled(&[1, 0], &[(0, 1)]));
+        assert_eq!(hit, CacheHit::Exact);
+        assert!(out.filter_time > Duration::ZERO, "classification pass must be accounted");
     }
 
     #[test]

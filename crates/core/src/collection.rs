@@ -79,14 +79,10 @@ impl CollectionMatcher {
                 Err(_) => break,
             };
             let mut embeddings = Vec::new();
-            let result = self.matcher.enumerate(
-                q,
-                g,
-                &space,
-                self.per_graph_limit,
-                deadline,
-                &mut |e| embeddings.push(e.clone()),
-            );
+            let result =
+                self.matcher.enumerate(q, g, &space, self.per_graph_limit, deadline, &mut |e| {
+                    embeddings.push(e.clone())
+                });
             let truncated = match result {
                 Ok(found) => found >= self.per_graph_limit,
                 Err(_) => true,
@@ -176,8 +172,8 @@ mod tests {
     fn zero_budget_stops_cleanly() {
         let db = db();
         let q = labeled(&[0, 1], &[(0, 1)]);
-        let cm = CollectionMatcher::new(db, Box::new(Cfql::new()))
-            .with_budget(Duration::from_nanos(0));
+        let cm =
+            CollectionMatcher::new(db, Box::new(Cfql::new())).with_budget(Duration::from_nanos(0));
         // Must terminate without panicking; results may be empty.
         let _ = cm.match_all(&q);
     }

@@ -11,8 +11,8 @@ use std::time::{Duration, Instant};
 use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb, HeapSize};
 use sqp_index::{
-    BuildBudget, BuildError, CtIndexConfig, FingerprintIndex, GgsxIndex, GraphGrepConfig,
-    GraphGrepIndex, GraphIndex, GrapesConfig, PathTrieIndex,
+    BuildBudget, BuildError, CtIndexConfig, FingerprintIndex, GgsxIndex, GrapesConfig,
+    GraphGrepConfig, GraphGrepIndex, GraphIndex, PathTrieIndex,
 };
 use sqp_matching::cfl::Cfl;
 use sqp_matching::cfql::Cfql;
@@ -108,11 +108,8 @@ impl IfvFrame {
         let candidates = index.candidates(q).into_ids(db.len());
         let filter_time = t0.elapsed();
 
-        let mut out = QueryOutcome {
-            candidates: candidates.len(),
-            filter_time,
-            ..Default::default()
-        };
+        let mut out =
+            QueryOutcome { candidates: candidates.len(), filter_time, ..Default::default() };
         let t1 = Instant::now();
         for gid in candidates {
             match self.verifier.verify(q, db.graph(gid), deadline) {
@@ -342,9 +339,7 @@ impl GrapesEngine {
 
     /// Grapes with a custom configuration.
     pub fn with_config(config: GrapesConfig) -> Self {
-        Self {
-            frame: IfvFrame::new("Grapes", IndexKind::Grapes(config), Vf2Verifier::classic()),
-        }
+        Self { frame: IfvFrame::new("Grapes", IndexKind::Grapes(config), Vf2Verifier::classic()) }
     }
 
     /// Sets the index-construction budget.
@@ -446,11 +441,7 @@ impl GraphGrepEngine {
     /// GraphGrep with a custom configuration.
     pub fn with_config(config: GraphGrepConfig) -> Self {
         Self {
-            frame: IfvFrame::new(
-                "GraphGrep",
-                IndexKind::GraphGrep(config),
-                Vf2Verifier::classic(),
-            ),
+            frame: IfvFrame::new("GraphGrep", IndexKind::GraphGrep(config), Vf2Verifier::classic()),
         }
     }
 
@@ -676,6 +667,95 @@ impl Default for VcGgsxEngine {
 
 delegate_ivcfv_engine!(VcGgsxEngine);
 
+// ---------------------------------------------------------------------------
+// Parallel vcFV engine
+// ---------------------------------------------------------------------------
+
+/// A vcFV engine that runs its matcher over the database on a persistent
+/// [`QueryPool`](crate::parallel::QueryPool) instead of a single thread.
+///
+/// Answers are identical to the corresponding sequential vcFV engine
+/// (invariant I4); `filter_time`/`verify_time` are summed worker CPU times,
+/// so on a multi-core machine they can exceed the query's wall-clock
+/// latency. See `DESIGN.md` §2.4 for the timing semantics.
+pub struct ParallelEngine {
+    name: &'static str,
+    matcher: Arc<dyn Matcher>,
+    pool: crate::parallel::QueryPool,
+    query_budget: Option<Duration>,
+    db: Option<Arc<GraphDb>>,
+}
+
+impl ParallelEngine {
+    /// Wraps `matcher` in a pool of `threads` persistent workers.
+    pub fn new(name: &'static str, matcher: Arc<dyn Matcher>, threads: usize) -> Self {
+        Self {
+            name,
+            matcher,
+            pool: crate::parallel::QueryPool::new(threads),
+            query_budget: None,
+            db: None,
+        }
+    }
+
+    /// CFQL on a pool of `threads` workers — the parallel flagship.
+    pub fn cfql(threads: usize) -> Self {
+        Self::new("CFQL-par", Arc::new(Cfql::new()), threads)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The parallel outcome (with wall time) for one query; [`query`]
+    /// (QueryEngine::query) is this minus the wall-clock wrapper.
+    pub fn query_parallel(&self, q: &Graph) -> crate::parallel::ParallelOutcome {
+        let db = self.db.as_ref().expect("query before build");
+        let deadline = self.query_budget.map_or(Deadline::none(), Deadline::after);
+        self.pool.query(Arc::clone(&self.matcher), db, q, deadline)
+    }
+}
+
+impl QueryEngine for ParallelEngine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn category(&self) -> EngineCategory {
+        EngineCategory::VcFv
+    }
+    fn build(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, BuildError> {
+        self.db = Some(Arc::clone(db));
+        Ok(BuildReport::default())
+    }
+    fn query(&self, q: &Graph) -> QueryOutcome {
+        self.query_parallel(q).outcome
+    }
+    fn set_query_budget(&mut self, budget: Option<Duration>) {
+        self.query_budget = budget;
+    }
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Looks a bare matcher up by its (case-insensitive) name, e.g. `"cfql"`,
+/// `"graphql"` — the matchers usable inside [`ParallelEngine`] and
+/// [`QueryPool`](crate::parallel::QueryPool).
+pub fn matcher_by_name(name: &str) -> Option<Arc<dyn Matcher>> {
+    let m: Arc<dyn Matcher> = match name.to_ascii_lowercase().as_str() {
+        "cfql" => Arc::new(Cfql::new()),
+        "cfl" => Arc::new(Cfl::new()),
+        "graphql" => Arc::new(GraphQl::new()),
+        "ullmann" => Arc::new(Ullmann::new()),
+        "quicksi" => Arc::new(QuickSi::new()),
+        "turboiso" => Arc::new(TurboIso::new()),
+        "spath" => Arc::new(SPath::new()),
+        _ => return None,
+    };
+    Some(m)
+}
+
 /// All eight paper engines with default configurations, in Table III order.
 pub fn paper_engines() -> Vec<Box<dyn QueryEngine>> {
     vec![
@@ -814,6 +894,35 @@ mod tests {
             ["CT-Index", "Grapes", "GGSX", "CFL", "GraphQL", "CFQL", "vcGrapes", "vcGGSX"]
         );
         assert_eq!(all_engines().len(), 13);
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential() {
+        let db = small_db();
+        let mut seq = CfqlEngine::new();
+        let mut par = ParallelEngine::cfql(4);
+        seq.build(&db).unwrap();
+        par.build(&db).unwrap();
+        for q in [
+            labeled(&[0, 1], &[(0, 1)]),
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]),
+            labeled(&[3, 3], &[(0, 1)]),
+        ] {
+            let a = seq.query(&q);
+            let b = par.query(&q);
+            assert_eq!(a.answers, b.answers);
+            assert_eq!(a.candidates, b.candidates);
+        }
+        let po = par.query_parallel(&labeled(&[0, 1], &[(0, 1)]));
+        assert_eq!(po.threads, 4);
+    }
+
+    #[test]
+    fn matcher_registry_resolves_known_names() {
+        for name in ["CFQL", "cfl", "GraphQL", "ullmann", "quicksi", "turboiso", "spath"] {
+            assert!(matcher_by_name(name).is_some(), "{name}");
+        }
+        assert!(matcher_by_name("vf2-nope").is_none());
     }
 
     #[test]

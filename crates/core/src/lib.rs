@@ -26,7 +26,8 @@ pub mod verifier;
 
 pub use engine::{BuildReport, EngineCategory, QueryEngine, QueryOutcome};
 pub use metrics::{QueryRecord, QuerySetReport};
-pub use runner::{run_query_set, RunnerConfig};
+pub use parallel::{parallel_query, ParallelOutcome, QueryPool};
+pub use runner::{run_query_set, run_query_set_parallel, RunnerConfig};
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -34,10 +35,11 @@ pub mod prelude {
     pub use crate::collection::{CollectionMatcher, GraphMatches};
     pub use crate::engine::{BuildReport, EngineCategory, QueryEngine, QueryOutcome};
     pub use crate::engines::{
-        CflEngine, CfqlEngine, CtIndexEngine, GgsxEngine, GraphGrepEngine, GraphQlEngine, GrapesEngine,
-        QuickSiEngine, SPathEngine, TurboIsoEngine, UllmannEngine, VcGgsxEngine, VcGrapesEngine,
+        matcher_by_name, CflEngine, CfqlEngine, CtIndexEngine, GgsxEngine, GrapesEngine,
+        GraphGrepEngine, GraphQlEngine, ParallelEngine, QuickSiEngine, SPathEngine, TurboIsoEngine,
+        UllmannEngine, VcGgsxEngine, VcGrapesEngine,
     };
     pub use crate::metrics::{QueryRecord, QuerySetReport};
-    pub use crate::parallel::{parallel_query, ParallelOutcome};
-    pub use crate::runner::{run_query_set, RunnerConfig};
+    pub use crate::parallel::{parallel_query, ParallelOutcome, QueryPool};
+    pub use crate::runner::{run_query_set, run_query_set_parallel, RunnerConfig};
 }

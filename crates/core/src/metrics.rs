@@ -22,16 +22,25 @@ pub struct QueryRecord {
 }
 
 impl QueryRecord {
-    /// Builds a record from an engine outcome, clamping a timed-out query's
-    /// total to `budget` (the paper records timeouts at the 10-minute limit).
+    /// Builds a record from an engine outcome, pinning a timed-out query's
+    /// total to exactly `budget` (the paper records timeouts at the
+    /// 10-minute limit). Measured totals can land on either side of the
+    /// budget — over it when the last matcher call overshoots the deadline,
+    /// under it when a parallel worker stops early on cooperative
+    /// cancellation — so the times are rescaled in both directions,
+    /// preserving the filter/verify split.
     pub fn from_outcome(outcome: &QueryOutcome, budget: Option<Duration>) -> Self {
         let mut filter_time = outcome.filter_time;
         let mut verify_time = outcome.verify_time;
         if outcome.timed_out {
             if let Some(b) = budget {
-                // Clamp: keep the split but cap the total at the limit.
                 let total = filter_time + verify_time;
-                if total > b && !total.is_zero() {
+                if total.is_zero() {
+                    // Nothing measured (timed out before the first phase
+                    // tick): attribute the whole budget to filtering.
+                    filter_time = b;
+                    verify_time = Duration::ZERO;
+                } else {
                     let scale = b.as_secs_f64() / total.as_secs_f64();
                     filter_time = filter_time.mul_f64(scale);
                     verify_time = verify_time.mul_f64(scale);
@@ -97,13 +106,7 @@ impl QuerySetReport {
     /// Queries with an empty candidate set count as precision 1 (the filter
     /// was perfect: nothing to verify, nothing missed).
     pub fn filtering_precision(&self) -> f64 {
-        self.mean(|r| {
-            if r.candidates == 0 {
-                1.0
-            } else {
-                r.answers as f64 / r.candidates as f64
-            }
-        })
+        self.mean(|r| if r.candidates == 0 { 1.0 } else { r.answers as f64 / r.candidates as f64 })
     }
 
     /// Average `|C(q)|` (Figure 6).
@@ -227,6 +230,46 @@ mod tests {
         }
         assert_eq!(rep.timeout_count(), 5);
         assert!(rep.should_omit());
+    }
+
+    #[test]
+    fn timeout_under_budget_recorded_at_exactly_budget() {
+        // A cancelled parallel query stops early: measured CPU time is
+        // *below* the budget. The record must still land exactly on the
+        // budget, preserving the 1:3 filter/verify split.
+        let outcome = QueryOutcome {
+            answers: vec![],
+            candidates: 2,
+            filter_time: Duration::from_millis(50),
+            verify_time: Duration::from_millis(150),
+            timed_out: true,
+            aux_bytes: 0,
+        };
+        let r = QueryRecord::from_outcome(&outcome, Some(Duration::from_millis(1000)));
+        assert!((r.query_time().as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((r.filter_time.as_secs_f64() - 0.25).abs() < 1e-6);
+        assert!((r.verify_time.as_secs_f64() - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn timeout_with_zero_measured_time_charges_budget_to_filter() {
+        let outcome = QueryOutcome { timed_out: true, ..Default::default() };
+        let r = QueryRecord::from_outcome(&outcome, Some(Duration::from_millis(700)));
+        assert_eq!(r.filter_time, Duration::from_millis(700));
+        assert_eq!(r.verify_time, Duration::ZERO);
+        assert_eq!(r.query_time(), Duration::from_millis(700));
+    }
+
+    #[test]
+    fn untimed_out_records_are_not_rescaled() {
+        let outcome = QueryOutcome {
+            filter_time: Duration::from_millis(5),
+            verify_time: Duration::from_millis(7),
+            ..Default::default()
+        };
+        let r = QueryRecord::from_outcome(&outcome, Some(Duration::from_millis(1000)));
+        assert_eq!(r.filter_time, Duration::from_millis(5));
+        assert_eq!(r.verify_time, Duration::from_millis(7));
     }
 
     #[test]

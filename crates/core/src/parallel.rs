@@ -2,22 +2,43 @@
 //!
 //! Grapes exploits multi-core machines during both indexing and querying
 //! (§III-A); the vcFV framework parallelizes even more naturally, since each
-//! data graph's filter+verify is independent. This module fans a query out
-//! over worker threads, each processing a contiguous slice of the database.
+//! data graph's filter+verify is independent. This module provides two
+//! strategies:
+//!
+//! * [`QueryPool`] — the production layer: persistent worker threads shared
+//!   across queries (no per-query spawn), dynamic work distribution through
+//!   a shared atomic counter over graph ids (a degenerate but contention-free
+//!   form of work stealing: idle workers "steal" the next unclaimed graph),
+//!   and cooperative cancellation so that when any worker exhausts the
+//!   budget every sibling stops within one [`TickChecker`] interval.
+//! * [`parallel_query`] — the original per-query-spawn, contiguous-chunk
+//!   fan-out, kept as the static-partitioning baseline the benches compare
+//!   against. Under skewed graph-size distributions (the PPI profile) static
+//!   chunks leave straggler threads running alone while the rest idle.
 //!
 //! Timing semantics: per-phase times are summed across workers (CPU time),
 //! while [`ParallelOutcome::wall_time`] reports the end-to-end latency — the
-//! number a user of a multi-core deployment cares about.
+//! number a user of a multi-core deployment cares about. A timed-out
+//! parallel query can therefore record summed CPU time *below* the budget
+//! (workers stop early on cancellation); `QueryRecord::from_outcome` pins
+//! such queries to exactly the budget, as the paper records timeouts at the
+//! limit.
+//!
+//! Invariant I4: for queries that complete within the budget, answers and
+//! candidate counts are identical to the sequential engine's for every
+//! thread count — the only difference is timing.
+//!
+//! [`TickChecker`]: sqp_matching::deadline::TickChecker
 
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-use crossbeam::thread;
-use parking_lot::Mutex;
 
 use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb, HeapSize};
-use sqp_matching::{Deadline, FilterResult, Matcher};
+use sqp_matching::{CancelToken, Deadline, FilterResult, Matcher};
 
 use crate::engine::QueryOutcome;
 
@@ -33,9 +54,310 @@ pub struct ParallelOutcome {
     pub threads: usize,
 }
 
+/// Runs one graph's filter+verify, folding the result into `part`.
+/// Returns `false` when the worker should stop (timeout or cancellation).
+#[inline]
+fn process_graph(
+    matcher: &dyn Matcher,
+    db: &GraphDb,
+    q: &Graph,
+    gid: GraphId,
+    deadline: Deadline,
+    part: &mut QueryOutcome,
+) -> bool {
+    let g = db.graph(gid);
+    let tf = Instant::now();
+    let filtered = matcher.filter(q, g, deadline);
+    part.filter_time += tf.elapsed();
+    match filtered {
+        Err(_) => {
+            part.timed_out = true;
+            false
+        }
+        Ok(FilterResult::Pruned) => true,
+        Ok(FilterResult::Space(space)) => {
+            part.candidates += 1;
+            part.aux_bytes = part.aux_bytes.max(space.heap_size());
+            let tv = Instant::now();
+            let verdict = matcher.find_first(q, g, &space, deadline);
+            part.verify_time += tv.elapsed();
+            match verdict {
+                Ok(Some(_)) => {
+                    part.answers.push(gid);
+                    true
+                }
+                Ok(None) => true,
+                Err(_) => {
+                    part.timed_out = true;
+                    false
+                }
+            }
+        }
+    }
+}
+
+fn merge_parts(parts: Vec<QueryOutcome>) -> QueryOutcome {
+    let mut merged = QueryOutcome::default();
+    for part in parts {
+        merged.answers.extend(part.answers);
+        merged.candidates += part.candidates;
+        merged.filter_time += part.filter_time;
+        merged.verify_time += part.verify_time;
+        merged.timed_out |= part.timed_out;
+        merged.aux_bytes = merged.aux_bytes.max(part.aux_bytes);
+    }
+    merged.answers.sort_unstable();
+    merged
+}
+
+// ---------------------------------------------------------------------------
+// QueryPool: persistent workers + shared-counter distribution + cancellation
+// ---------------------------------------------------------------------------
+
+/// One in-flight parallel query, shared between the submitting thread and
+/// the workers.
+struct Job {
+    matcher: Arc<dyn Matcher>,
+    db: Arc<GraphDb>,
+    q: Graph,
+    deadline: Deadline,
+    /// Next unclaimed graph id — the shared work counter. Claiming one graph
+    /// at a time gives the finest-grained balance under skewed graph sizes;
+    /// one `fetch_add` per graph is noise next to a filter+verify pass.
+    next: AtomicUsize,
+    /// Per-worker partial outcomes.
+    parts: Mutex<Vec<QueryOutcome>>,
+    /// Workers that have not yet finished this job.
+    remaining: AtomicUsize,
+    /// Set when a worker panicked; the submitter re-raises.
+    panicked: AtomicBool,
+}
+
+impl Job {
+    fn run_worker(&self) -> QueryOutcome {
+        let mut part = QueryOutcome::default();
+        let n = self.db.len();
+        loop {
+            // Re-check between graphs so cancellation raised by a sibling is
+            // honored even when this worker's own matcher calls are short.
+            if self.deadline.check().is_err() {
+                part.timed_out = true;
+                break;
+            }
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let gid = GraphId(i as u32);
+            if !process_graph(&*self.matcher, &self.db, &self.q, gid, self.deadline, &mut part) {
+                // This worker hit the budget: tell every sibling to stop.
+                self.deadline.cancel_token().cancel();
+                break;
+            }
+        }
+        part
+    }
+}
+
+struct PoolState {
+    job: Option<Arc<Job>>,
+    /// Bumped once per submitted job so each worker runs each job once.
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    job_done: Condvar,
+}
+
+/// A persistent pool of query workers.
+///
+/// Construct once, submit any number of queries; worker threads are spawned
+/// at construction and live until drop, so per-query overhead is one job
+/// hand-off instead of `threads` thread spawns. Queries are serialized: a
+/// second concurrent [`query`](QueryPool::query) blocks until the first
+/// finishes (per-graph parallelism is where the speedup is; cross-query
+/// parallelism would make budgets and cancellation ambiguous).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use sqp_core::parallel::QueryPool;
+/// use sqp_graph::{GraphBuilder, GraphDb, Label};
+/// use sqp_matching::cfql::Cfql;
+/// use sqp_matching::Deadline;
+///
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_vertex(Label(0));
+/// let v = b.add_vertex(Label(1));
+/// b.add_edge(u, v).unwrap();
+/// let g = b.build();
+/// let db = Arc::new(GraphDb::from_graphs(vec![g.clone()]));
+///
+/// let pool = QueryPool::new(2);
+/// let r = pool.query(Arc::new(Cfql::new()), &db, &g, Deadline::none());
+/// assert_eq!(r.outcome.answers.len(), 1);
+/// ```
+pub struct QueryPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes query submission (workers handle one job at a time).
+    submit: Mutex<()>,
+    cancel: CancelToken,
+}
+
+impl QueryPool {
+    /// Spawns a pool with `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { job: None, epoch: 0, shutdown: false }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sqp-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers, submit: Mutex::new(()), cancel: CancelToken::new() }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Cancels the in-flight query (if any): all workers observe expiry at
+    /// their next deadline check and the outcome is flagged `timed_out`.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Runs `matcher` as a vcFV query over the whole database. Results are
+    /// identical to the sequential engine's for queries that complete within
+    /// the budget (answers sorted by graph id); only timing differs.
+    ///
+    /// The pool attaches its own [`CancelToken`] to `deadline`, so the first
+    /// worker to time out stops all others promptly and the merged outcome
+    /// is flagged `timed_out`.
+    ///
+    /// # Panics
+    /// Re-raises if a worker panicked while processing the query.
+    pub fn query(
+        &self,
+        matcher: Arc<dyn Matcher>,
+        db: &Arc<GraphDb>,
+        q: &Graph,
+        deadline: Deadline,
+    ) -> ParallelOutcome {
+        let _serial = self.submit.lock().unwrap();
+        // Workers are idle here (previous job fully drained), so the flag
+        // can be reused without racing a stale cancellation.
+        self.cancel.reset();
+        let deadline = deadline.with_cancel(self.cancel);
+        let t0 = Instant::now();
+        let threads = self.workers.len();
+        let job = Arc::new(Job {
+            matcher,
+            db: Arc::clone(db),
+            q: q.clone(),
+            deadline,
+            next: AtomicUsize::new(0),
+            parts: Mutex::new(Vec::with_capacity(threads)),
+            remaining: AtomicUsize::new(threads),
+            panicked: AtomicBool::new(false),
+        });
+
+        let mut state = self.shared.state.lock().unwrap();
+        state.job = Some(Arc::clone(&job));
+        state.epoch += 1;
+        self.shared.work_ready.notify_all();
+        while job.remaining.load(Ordering::Acquire) != 0 {
+            state = self.shared.job_done.wait(state).unwrap();
+        }
+        state.job = None;
+        drop(state);
+
+        if job.panicked.load(Ordering::Acquire) {
+            panic!("parallel query worker panicked");
+        }
+        let parts = std::mem::take(&mut *job.parts.lock().unwrap());
+        ParallelOutcome { outcome: merge_parts(parts), wall_time: t0.elapsed(), threads }
+    }
+}
+
+impl Drop for QueryPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    seen_epoch = state.epoch;
+                    break state.job.as_ref().map(Arc::clone).expect("epoch implies job");
+                }
+                state = shared.work_ready.wait(state).unwrap();
+            }
+        };
+        match catch_unwind(AssertUnwindSafe(|| job.run_worker())) {
+            Ok(part) => job.parts.lock().unwrap().push(part),
+            Err(_) => {
+                job.panicked.store(true, Ordering::Release);
+                // Unblock siblings still grinding on their graphs.
+                job.deadline.cancel_token().cancel();
+            }
+        }
+        // Decrement under the state lock so the submitter can't check the
+        // counter and sleep between our decrement and notify (missed wakeup).
+        let _state = shared.state.lock().unwrap();
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.job_done.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy static-partitioning fan-out (baseline)
+// ---------------------------------------------------------------------------
+
 /// Runs `matcher` as a vcFV query over the whole database using `threads`
-/// workers. Results are identical to the sequential engine's (answers are
-/// sorted by graph id); only timing differs.
+/// freshly spawned workers, each taking a fixed contiguous slice of the
+/// database.
+///
+/// This is the original strategy, kept as the baseline the parallel benches
+/// compare [`QueryPool`] against: it spawns threads per query, balances
+/// poorly when graph sizes are skewed, and lets sibling workers keep burning
+/// budget after one worker times out. Prefer [`QueryPool`].
 pub fn parallel_query(
     matcher: &dyn Matcher,
     db: &Arc<GraphDb>,
@@ -46,60 +368,27 @@ pub fn parallel_query(
     let threads = threads.clamp(1, db.len().max(1));
     let t0 = Instant::now();
     let chunk = db.len().div_ceil(threads);
-    let results: Mutex<Vec<QueryOutcome>> = Mutex::new(Vec::with_capacity(threads));
+    let parts: Mutex<Vec<QueryOutcome>> = Mutex::new(Vec::with_capacity(threads));
 
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for w in 0..threads {
-            let results = &results;
+            let parts = &parts;
             let db = Arc::clone(db);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(db.len());
                 let mut part = QueryOutcome::default();
                 for gid in (lo as u32..hi as u32).map(GraphId) {
-                    let g = db.graph(gid);
-                    let tf = Instant::now();
-                    let filtered = matcher.filter(q, g, deadline);
-                    part.filter_time += tf.elapsed();
-                    match filtered {
-                        Err(_) => {
-                            part.timed_out = true;
-                            break;
-                        }
-                        Ok(FilterResult::Pruned) => {}
-                        Ok(FilterResult::Space(space)) => {
-                            part.candidates += 1;
-                            part.aux_bytes = part.aux_bytes.max(space.heap_size());
-                            let tv = Instant::now();
-                            let verdict = matcher.find_first(q, g, &space, deadline);
-                            part.verify_time += tv.elapsed();
-                            match verdict {
-                                Ok(Some(_)) => part.answers.push(gid),
-                                Ok(None) => {}
-                                Err(_) => {
-                                    part.timed_out = true;
-                                    break;
-                                }
-                            }
-                        }
+                    if !process_graph(matcher, &db, q, gid, deadline, &mut part) {
+                        break;
                     }
                 }
-                results.lock().push(part);
+                parts.lock().unwrap().push(part);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
-    let mut merged = QueryOutcome::default();
-    for part in results.into_inner() {
-        merged.answers.extend(part.answers);
-        merged.candidates += part.candidates;
-        merged.filter_time += part.filter_time;
-        merged.verify_time += part.verify_time;
-        merged.timed_out |= part.timed_out;
-        merged.aux_bytes = merged.aux_bytes.max(part.aux_bytes);
-    }
-    merged.answers.sort_unstable();
+    let merged = merge_parts(parts.into_inner().unwrap());
     ParallelOutcome { outcome: merged, wall_time: t0.elapsed(), threads }
 }
 
@@ -134,14 +423,13 @@ mod tests {
     }
 
     #[test]
-    fn matches_sequential_results() {
+    fn legacy_matches_sequential_results() {
         let db = db(25);
         let q = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
         let cfql = Cfql::new();
         for threads in [1, 2, 4, 8] {
             let r = parallel_query(&cfql, &db, &q, threads, Deadline::none());
-            let expected: Vec<GraphId> =
-                (0..25u32).filter(|i| i % 3 == 0).map(GraphId).collect();
+            let expected: Vec<GraphId> = (0..25u32).filter(|i| i % 3 == 0).map(GraphId).collect();
             assert_eq!(r.outcome.answers, expected, "{threads} threads");
             assert_eq!(r.outcome.candidates, 9);
             assert!(r.threads <= threads.max(1));
@@ -149,16 +437,99 @@ mod tests {
     }
 
     #[test]
-    fn single_graph_database() {
-        let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)])]));
-        let q = labeled(&[0, 1], &[(0, 1)]);
-        let r = parallel_query(&Cfql::new(), &db, &q, 16, Deadline::none());
-        assert_eq!(r.outcome.answers.len(), 1);
-        assert_eq!(r.threads, 1);
+    fn pool_matches_sequential_results() {
+        let db = db(25);
+        let q = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let expected: Vec<GraphId> = (0..25u32).filter(|i| i % 3 == 0).map(GraphId).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = QueryPool::new(threads);
+            let matcher: Arc<dyn Matcher> = Arc::new(Cfql::new());
+            let r = pool.query(Arc::clone(&matcher), &db, &q, Deadline::none());
+            assert_eq!(r.outcome.answers, expected, "{threads} threads");
+            assert_eq!(r.outcome.candidates, 9);
+            assert_eq!(r.threads, threads);
+        }
     }
 
     #[test]
-    fn timeout_propagates_from_workers() {
+    fn pool_reuses_workers_across_queries() {
+        let db = db(12);
+        let pool = QueryPool::new(4);
+        let matcher: Arc<dyn Matcher> = Arc::new(Cfql::new());
+        let q_tri = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let q_edge = labeled(&[0, 1], &[(0, 1)]);
+        for _ in 0..5 {
+            let tri = pool.query(Arc::clone(&matcher), &db, &q_tri, Deadline::none());
+            assert_eq!(tri.outcome.answers.len(), 4);
+            let edge = pool.query(Arc::clone(&matcher), &db, &q_edge, Deadline::none());
+            assert_eq!(edge.outcome.answers.len(), 12);
+        }
+    }
+
+    #[test]
+    fn pool_larger_than_database() {
+        let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)])]));
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let pool = QueryPool::new(16);
+        let r = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none());
+        assert_eq!(r.outcome.answers.len(), 1);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Arc::new(GraphDb::from_graphs(vec![]));
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let pool = QueryPool::new(4);
+        let r = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none());
+        assert!(r.outcome.answers.is_empty());
+        assert!(!r.outcome.timed_out);
+    }
+
+    #[test]
+    fn timeout_propagates_and_cancels_siblings() {
+        let db = db(20);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let d = Deadline::at(std::time::Instant::now() - Duration::from_millis(1));
+        let pool = QueryPool::new(4);
+        let r = pool.query(Arc::new(Cfql::new()), &db, &q, d);
+        assert!(r.outcome.timed_out);
+        // And the pool remains usable for the next (unbudgeted) query.
+        let ok = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none());
+        assert!(!ok.outcome.timed_out);
+        assert_eq!(ok.outcome.answers.len(), 20);
+    }
+
+    #[test]
+    fn external_cancel_stops_query() {
+        let db = db(40);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let pool = QueryPool::new(2);
+        // Cancel before submission: the query observes it immediately and
+        // reports a timeout without processing the whole database... unless
+        // workers already drained every graph, which is also acceptable —
+        // the point is prompt return, which the test bounds implicitly.
+        pool.cancel();
+        // reset happens inside query(); cancel *during* the run instead.
+        let matcher: Arc<dyn Matcher> = Arc::new(Cfql::new());
+        let r = pool.query(Arc::clone(&matcher), &db, &q, Deadline::none());
+        assert!(!r.outcome.timed_out, "reset must clear a stale cancel");
+
+        // Now cancel mid-flight from another thread.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(1));
+                pool.cancel();
+            });
+            let _ = pool.query(Arc::clone(&matcher), &db, &q, Deadline::none());
+            // Whether it finished before or after the cancel, the pool must
+            // stay consistent for the next query.
+        });
+        let ok = pool.query(matcher, &db, &q, Deadline::none());
+        assert_eq!(ok.outcome.answers.len(), 40);
+    }
+
+    #[test]
+    fn legacy_timeout_propagates_from_workers() {
         let db = db(20);
         let q = labeled(&[0, 1], &[(0, 1)]);
         let d = Deadline::at(std::time::Instant::now() - Duration::from_millis(1));

@@ -1,11 +1,14 @@
 //! Running query sets against engines.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use sqp_graph::Graph;
+use sqp_graph::{Graph, GraphDb};
+use sqp_matching::{Deadline, Matcher};
 
 use crate::engine::QueryEngine;
 use crate::metrics::{QueryRecord, QuerySetReport};
+use crate::parallel::QueryPool;
 
 /// Configuration of a query-set run.
 #[derive(Clone, Copy, Debug)]
@@ -54,11 +57,42 @@ pub fn run_query_set(
     report
 }
 
+/// Runs `queries` against `matcher` as a vcFV engine on `pool`'s persistent
+/// workers, producing a [`QuerySetReport`].
+///
+/// Answers are identical to the sequential [`run_query_set`] on the
+/// corresponding vcFV engine (invariant I4); the recorded per-phase times are
+/// summed worker CPU times, so a parallel run's `avg_query_ms` measures work,
+/// not latency (see `DESIGN.md` §2.4). Timed-out queries cancel all workers
+/// cooperatively and are recorded at exactly the budget.
+pub fn run_query_set_parallel(
+    pool: &QueryPool,
+    matcher: Arc<dyn Matcher>,
+    db: &Arc<GraphDb>,
+    engine_name: &str,
+    query_set_name: &str,
+    queries: &[Graph],
+    config: RunnerConfig,
+) -> QuerySetReport {
+    let mut report = QuerySetReport::new(engine_name, query_set_name);
+    for q in queries {
+        let deadline = config.query_budget.map_or(Deadline::none(), Deadline::after);
+        let outcome = pool.query(Arc::clone(&matcher), db, q, deadline).outcome;
+        report.records.push(QueryRecord::from_outcome(&outcome, config.query_budget));
+        if let Some(max) = config.abort_after_timeouts {
+            if report.timeout_count() >= max {
+                break;
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engines::CfqlEngine;
-    use std::sync::Arc;
+    use sqp_matching::cfql::Cfql;
 
     use sqp_graph::{GraphBuilder, GraphDb, Label, VertexId};
 
@@ -82,8 +116,7 @@ mod tests {
         let mut engine = CfqlEngine::new();
         engine.build(&db).unwrap();
         let queries = vec![labeled(&[0, 1], &[(0, 1)]), labeled(&[1, 2], &[(0, 1)])];
-        let report =
-            run_query_set(&mut engine, "Q1S", &queries, RunnerConfig::default());
+        let report = run_query_set(&mut engine, "Q1S", &queries, RunnerConfig::default());
         assert_eq!(report.records.len(), 2);
         assert_eq!(report.engine, "CFQL");
         assert_eq!(report.query_set, "Q1S");
@@ -106,5 +139,55 @@ mod tests {
         let queries = vec![labeled(&[0], &[]); 10];
         let report = run_query_set(&mut engine, "Q", &queries, config);
         assert!(report.records.len() < 10);
+    }
+
+    #[test]
+    fn parallel_report_matches_sequential() {
+        let db = Arc::new(GraphDb::from_graphs(vec![
+            labeled(&[0, 1], &[(0, 1)]),
+            labeled(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            labeled(&[2, 2], &[(0, 1)]),
+        ]));
+        let queries = vec![labeled(&[0, 1], &[(0, 1)]), labeled(&[1, 2], &[(0, 1)])];
+
+        let mut engine = CfqlEngine::new();
+        engine.build(&db).unwrap();
+        let seq = run_query_set(&mut engine, "Q", &queries, RunnerConfig::default());
+
+        let pool = QueryPool::new(4);
+        let par = run_query_set_parallel(
+            &pool,
+            Arc::new(Cfql::new()),
+            &db,
+            "CFQL-par",
+            "Q",
+            &queries,
+            RunnerConfig::default(),
+        );
+        assert_eq!(par.engine, "CFQL-par");
+        assert_eq!(par.records.len(), seq.records.len());
+        for (s, p) in seq.records.iter().zip(par.records.iter()) {
+            assert_eq!(s.answers, p.answers);
+            assert_eq!(s.candidates, p.candidates);
+            assert_eq!(s.timed_out, p.timed_out);
+        }
+    }
+
+    #[test]
+    fn parallel_zero_budget_records_timeouts_at_budget() {
+        let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)]); 4]));
+        let pool = QueryPool::new(2);
+        let budget = Duration::from_nanos(0);
+        let report = run_query_set_parallel(
+            &pool,
+            Arc::new(Cfql::new()),
+            &db,
+            "CFQL-par",
+            "Q",
+            &[labeled(&[0, 1], &[(0, 1)])],
+            RunnerConfig::with_budget(budget),
+        );
+        assert_eq!(report.timeout_count(), 1);
+        assert_eq!(report.records[0].query_time(), budget);
     }
 }

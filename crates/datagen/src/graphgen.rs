@@ -157,11 +157,9 @@ mod tests {
             }
         }
         let c = generate(3, 20, 4, 3.0, 100);
-        let differs = a
-            .graphs()
-            .iter()
-            .zip(c.graphs())
-            .any(|(x, y)| x.vertices().any(|v| x.label(v) != y.label(v)) || x.edge_count() != y.edge_count());
+        let differs = a.graphs().iter().zip(c.graphs()).any(|(x, y)| {
+            x.vertices().any(|v| x.label(v) != y.label(v)) || x.edge_count() != y.edge_count()
+        });
         assert!(differs, "different seeds should differ");
     }
 

@@ -113,9 +113,8 @@ pub fn generate_query_set(db: &GraphDb, spec: QuerySetSpec, seed: u64) -> Vec<Gr
     let mut rng = StdRng::seed_from_u64(seed);
     (0..spec.count)
         .map(|i| {
-            generate_query(db, spec.method, spec.edges, &mut rng).unwrap_or_else(|| {
-                panic!("database cannot produce query {} of {}", i, spec.name())
-            })
+            generate_query(db, spec.method, spec.edges, &mut rng)
+                .unwrap_or_else(|| panic!("database cannot produce query {} of {}", i, spec.name()))
         })
         .collect()
 }

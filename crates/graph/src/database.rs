@@ -109,11 +109,7 @@ impl GraphDb {
     /// A new database keeping only the graphs selected by `keep`, preserving
     /// order (ids are renumbered densely). Deletion side of updates.
     pub fn retain(&self, mut keep: impl FnMut(GraphId, &Graph) -> bool) -> GraphDb {
-        let graphs = self
-            .iter()
-            .filter(|(id, g)| keep(*id, g))
-            .map(|(_, g)| g.clone())
-            .collect();
+        let graphs = self.iter().filter(|(id, g)| keep(*id, g)).map(|(_, g)| g.clone()).collect();
         GraphDb { graphs, interner: self.interner.clone() }
     }
 }
@@ -178,11 +174,8 @@ mod tests {
 
     #[test]
     fn retain_filters_and_renumbers() {
-        let db = GraphDb::from_graphs(vec![
-            tiny(&[0], &[]),
-            tiny(&[1, 1], &[(0, 1)]),
-            tiny(&[2], &[]),
-        ]);
+        let db =
+            GraphDb::from_graphs(vec![tiny(&[0], &[]), tiny(&[1, 1], &[(0, 1)]), tiny(&[2], &[])]);
         let kept = db.retain(|_, g| g.vertex_count() == 1);
         assert_eq!(kept.len(), 2);
         assert_eq!(kept.graph(GraphId(1)).label(crate::vertex::VertexId(0)), Label(2));

@@ -47,7 +47,9 @@ impl fmt::Display for GraphError {
             GraphError::TooManyVertices(n) => {
                 write!(f, "{n} vertices exceed the u32 vertex-id capacity")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -206,7 +206,10 @@ impl Graph {
     /// The sorted sequence of neighbor labels of `v` (with multiplicity).
     ///
     /// Because adjacency lists are label-sorted, this is a simple projection.
-    pub fn neighbor_labels(&self, v: VertexId) -> impl ExactSizeIterator<Item = Label> + Clone + '_ {
+    pub fn neighbor_labels(
+        &self,
+        v: VertexId,
+    ) -> impl ExactSizeIterator<Item = Label> + Clone + '_ {
         self.neighbors(v).iter().map(move |&w| self.labels[w.index()])
     }
 

@@ -39,7 +39,8 @@ pub fn read_graphs<R: Read>(reader: R, interner: &mut LabelInterner) -> Result<V
     let mut current: Option<GraphBuilder> = None;
     let mut line_no = 0usize;
 
-    let parse_err = |line: usize, message: &str| GraphError::Parse { line, message: message.into() };
+    let parse_err =
+        |line: usize, message: &str| GraphError::Parse { line, message: message.into() };
 
     for line in buf.lines() {
         line_no += 1;
@@ -64,7 +65,8 @@ pub fn read_graphs<R: Read>(reader: R, interner: &mut LabelInterner) -> Result<V
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(line_no, "expected numeric vertex id"))?;
-                let label = tok.next().ok_or_else(|| parse_err(line_no, "expected vertex label"))?;
+                let label =
+                    tok.next().ok_or_else(|| parse_err(line_no, "expected vertex label"))?;
                 if id != b.vertex_count() {
                     return Err(parse_err(line_no, "vertex ids must be dense and in order"));
                 }

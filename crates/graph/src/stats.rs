@@ -113,7 +113,12 @@ impl QuerySetStats {
             trees += s.is_tree as usize;
         }
         if n == 0 {
-            return Self { avg_vertices: 0.0, avg_labels: 0.0, avg_degree: 0.0, tree_fraction: 0.0 };
+            return Self {
+                avg_vertices: 0.0,
+                avg_labels: 0.0,
+                avg_degree: 0.0,
+                tree_fraction: 0.0,
+            };
         }
         Self {
             avg_vertices: sv / n as f64,

@@ -54,7 +54,11 @@ pub struct FingerprintIndex {
 
 impl FingerprintIndex {
     /// Builds the index over `db` within `budget`.
-    pub fn build(db: &GraphDb, config: CtIndexConfig, budget: &BuildBudget) -> Result<Self, BuildError> {
+    pub fn build(
+        db: &GraphDb,
+        config: CtIndexConfig,
+        budget: &BuildBudget,
+    ) -> Result<Self, BuildError> {
         let mut fingerprints = Vec::with_capacity(db.len());
         for g in db.graphs() {
             fingerprints.push(fingerprint(g, config, budget)?);
@@ -81,8 +85,7 @@ impl GraphIndex for FingerprintIndex {
     }
 
     fn candidates(&self, q: &Graph) -> CandidateGraphs {
-        let qf = fingerprint(q, self.config, &BuildBudget::unlimited())
-            .expect("unlimited budget");
+        let qf = fingerprint(q, self.config, &BuildBudget::unlimited()).expect("unlimited budget");
         CandidateGraphs::Ids(
             self.fingerprints
                 .iter()
@@ -247,11 +250,8 @@ fn tree_canonical(g: &Graph, vertices: &[VertexId], edges: &[(VertexId, VertexId
     let centers = tree_centers(&adj);
     let encode_from = |root: usize| -> String {
         fn enc(adj: &[Vec<usize>], labels: &[Label], v: usize, parent: usize) -> String {
-            let mut kids: Vec<String> = adj[v]
-                .iter()
-                .filter(|&&w| w != parent)
-                .map(|&w| enc(adj, labels, w, v))
-                .collect();
+            let mut kids: Vec<String> =
+                adj[v].iter().filter(|&&w| w != parent).map(|&w| enc(adj, labels, w, v)).collect();
             kids.sort();
             format!("({}{})", labels[v].id(), kids.concat())
         }
@@ -420,11 +420,23 @@ mod tests {
         let b = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
         // a: center label 0 at v1 with leaves 1, 2; b: path 0-1-2 with
         // center label 1. Different trees → different codes.
-        let fa = tree_canonical(&a, &[VertexId(0), VertexId(1), VertexId(2)], &[(VertexId(1), VertexId(0)), (VertexId(1), VertexId(2))]);
-        let fb = tree_canonical(&b, &[VertexId(0), VertexId(1), VertexId(2)], &[(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))]);
+        let fa = tree_canonical(
+            &a,
+            &[VertexId(0), VertexId(1), VertexId(2)],
+            &[(VertexId(1), VertexId(0)), (VertexId(1), VertexId(2))],
+        );
+        let fb = tree_canonical(
+            &b,
+            &[VertexId(0), VertexId(1), VertexId(2)],
+            &[(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))],
+        );
         assert_ne!(fa, fb);
         // Same structure listed in a different vertex order → same code.
-        let fa2 = tree_canonical(&a, &[VertexId(2), VertexId(0), VertexId(1)], &[(VertexId(1), VertexId(2)), (VertexId(0), VertexId(1))]);
+        let fa2 = tree_canonical(
+            &a,
+            &[VertexId(2), VertexId(0), VertexId(1)],
+            &[(VertexId(1), VertexId(2)), (VertexId(0), VertexId(1))],
+        );
         assert_eq!(fa, fa2);
     }
 

@@ -134,8 +134,11 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for seq in [vec![Label(0)], vec![Label(3), Label(0)], vec![Label(1), Label(2), Label(3), Label(65533)]]
-        {
+        for seq in [
+            vec![Label(0)],
+            vec![Label(3), Label(0)],
+            vec![Label(1), Label(2), Label(3), Label(65533)],
+        ] {
             assert_eq!(decode(encode(&seq)), seq);
         }
     }
@@ -159,9 +162,7 @@ mod tests {
         // Full path A-B-C: both directions.
         assert_eq!(counts[&canonical(&[Label(0), Label(1), Label(2)])], 2);
         // No 4-vertex path exists.
-        assert!(counts
-            .keys()
-            .all(|&k| decode(k).len() <= 3));
+        assert!(counts.keys().all(|&k| decode(k).len() <= 3));
     }
 
     #[test]

@@ -83,9 +83,8 @@ impl GraphIndex for GgsxIndex {
     }
 
     fn candidates(&self, q: &Graph) -> CandidateGraphs {
-        let features =
-            path_enum::path_counts(q, self.max_path_vertices, &BuildBudget::unlimited())
-                .expect("unlimited budget");
+        let features = path_enum::path_counts(q, self.max_path_vertices, &BuildBudget::unlimited())
+            .expect("unlimited budget");
         if features.is_empty() {
             return CandidateGraphs::All;
         }

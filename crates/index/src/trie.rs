@@ -13,7 +13,7 @@
 //! locations, used to restrict VF2 to regions) is not kept: the paper's
 //! harness only exercises the candidate-graph interface.
 
-use crossbeam::thread;
+use std::thread;
 
 use sqp_graph::database::GraphId;
 use sqp_graph::hash::FxHashMap;
@@ -55,7 +55,11 @@ pub struct PathTrieIndex {
 
 impl PathTrieIndex {
     /// Builds the index over `db` within `budget`.
-    pub fn build(db: &GraphDb, config: GrapesConfig, budget: &BuildBudget) -> Result<Self, BuildError> {
+    pub fn build(
+        db: &GraphDb,
+        config: GrapesConfig,
+        budget: &BuildBudget,
+    ) -> Result<Self, BuildError> {
         assert!(config.threads >= 1);
         // Phase 1 (parallel): per-graph feature counts. Keeping all maps
         // alive before insertion mirrors Grapes' memory behaviour.
@@ -63,10 +67,7 @@ impl PathTrieIndex {
 
         // Phase 2 (serial): trie insertion in graph-id order, so postings
         // stay sorted without a final sort.
-        let mut index = Self {
-            nodes: vec![TrieNode::default()],
-            config,
-        };
+        let mut index = Self { nodes: vec![TrieNode::default()], config };
         // Running size estimate (len-based): checking the exact
         // `heap_bytes()` per graph would rescan the whole trie and make
         // construction quadratic in |D|.
@@ -148,7 +149,7 @@ pub(crate) fn parallel_path_counts(
             .graphs()
             .chunks(chunk)
             .map(|graphs| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     graphs
                         .iter()
                         .map(|g| path_enum::path_counts(g, config.max_path_vertices, budget))
@@ -160,8 +161,7 @@ pub(crate) fn parallel_path_counts(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Result<Vec<_>, _>>()
-    })
-    .expect("scope panicked")?;
+    })?;
     Ok(results.into_iter().flatten().collect())
 }
 

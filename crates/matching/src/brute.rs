@@ -43,9 +43,10 @@ pub fn is_subgraph(q: &Graph, g: &Graph) -> bool {
             if used[v.index()] {
                 continue;
             }
-            if q.neighbors(u).iter().any(|&w| {
-                w.index() < depth && !g.has_edge(v, mapping[w.index()])
-            }) {
+            if q.neighbors(u)
+                .iter()
+                .any(|&w| w.index() < depth && !g.has_edge(v, mapping[w.index()]))
+            {
                 continue;
             }
             mapping[depth] = v;
@@ -82,10 +83,7 @@ fn descend(
             continue;
         }
         // Edges to already-mapped query neighbors.
-        if q.neighbors(u)
-            .iter()
-            .any(|&w| w.index() < depth && !g.has_edge(v, mapping[w.index()]))
-        {
+        if q.neighbors(u).iter().any(|&w| w.index() < depth && !g.has_edge(v, mapping[w.index()])) {
             continue;
         }
         mapping[depth] = v;

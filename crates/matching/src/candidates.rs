@@ -118,18 +118,16 @@ impl CandidateSpace {
     /// Test-support; O(#embeddings × |V(q)| log |Φ|).
     pub fn is_complete_for(&self, embeddings: &[Embedding]) -> bool {
         embeddings.iter().all(|e| {
-            (0..self.sets.len()).all(|u| self.contains(VertexId::from(u), e.image(VertexId::from(u))))
+            (0..self.sets.len())
+                .all(|u| self.contains(VertexId::from(u), e.image(VertexId::from(u))))
         })
     }
 }
 
 impl HeapSize for CandidateSpace {
     fn heap_size(&self) -> usize {
-        let sets: usize = self
-            .sets
-            .iter()
-            .map(|s| s.heap_size() + std::mem::size_of::<Vec<VertexId>>())
-            .sum();
+        let sets: usize =
+            self.sets.iter().map(|s| s.heap_size() + std::mem::size_of::<Vec<VertexId>>()).sum();
         let cpi = self.cpi.as_ref().map_or(0, |c| {
             c.parent.heap_size()
                 + c.adj

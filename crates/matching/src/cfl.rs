@@ -180,12 +180,8 @@ impl Cfl {
                 for &u in tree.level_vertices(level) {
                     ticker.tick(deadline)?;
                     let lu = tree.level(u);
-                    let below: Vec<VertexId> = q
-                        .neighbors(u)
-                        .iter()
-                        .copied()
-                        .filter(|&w| tree.level(w) > lu)
-                        .collect();
+                    let below: Vec<VertexId> =
+                        q.neighbors(u).iter().copied().filter(|&w| tree.level(w) > lu).collect();
                     if below.is_empty() {
                         continue;
                     }
@@ -268,11 +264,7 @@ impl Cfl {
         Self::path_order_with_tree(q, space, &tree)
     }
 
-    fn path_order_with_tree(
-        q: &Graph,
-        space: &CandidateSpace,
-        tree: &BfsTree,
-    ) -> MatchingOrder {
+    fn path_order_with_tree(q: &Graph, space: &CandidateSpace, tree: &BfsTree) -> MatchingOrder {
         let root = tree.root();
         // Root-to-leaf paths in children order.
         let mut paths: Vec<Vec<VertexId>> = Vec::new();
@@ -308,8 +300,7 @@ impl Cfl {
                             .map(|list| {
                                 list.iter()
                                     .map(|v| {
-                                        let j =
-                                            child_set.binary_search(v).expect("CPI ⊆ Φ");
+                                        let j = child_set.binary_search(v).expect("CPI ⊆ Φ");
                                         cnt[j]
                                     })
                                     .sum()
@@ -342,9 +333,8 @@ impl Cfl {
                 (!touches_core, est, i, p)
             })
             .collect();
-        keyed.sort_by(|a, b| {
-            a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).unwrap()).then(a.2.cmp(&b.2))
-        });
+        keyed
+            .sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).unwrap()).then(a.2.cmp(&b.2)));
 
         // Concatenate paths, skipping vertices already placed.
         let mut placed = vec![false; q.vertex_count()];
@@ -512,8 +502,7 @@ mod tests {
         for _ in 0..20 {
             let g = brute::random_graph(&mut rng, 10, 18, 3);
             let q = brute::random_connected_query(&mut rng, &g, 5);
-            if let FilterResult::Space(space) =
-                Cfl::new().filter(&q, &g, Deadline::none()).unwrap()
+            if let FilterResult::Space(space) = Cfl::new().filter(&q, &g, Deadline::none()).unwrap()
             {
                 let order = Cfl::path_order(&q, &space);
                 let seq = order.as_slice();

@@ -106,9 +106,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let g = brute::random_graph(&mut rng, 10, 18, 2);
         let q = brute::random_connected_query(&mut rng, &g, 3);
-        if let FilterResult::Space(space) =
-            Cfql::new().filter(&q, &g, Deadline::none()).unwrap()
-        {
+        if let FilterResult::Space(space) = Cfql::new().filter(&q, &g, Deadline::none()).unwrap() {
             assert!(space.cpi().is_some());
         }
     }

@@ -1,10 +1,17 @@
-//! Per-query time budgets.
+//! Per-query time budgets and cooperative cancellation.
 //!
 //! The paper gives every query a 10-minute limit and records timed-out
 //! queries at the limit. A [`Deadline`] is threaded through every filter and
 //! enumerator; deep recursions amortize the `Instant::now()` cost with
 //! [`TickChecker`].
+//!
+//! A deadline can additionally carry a [`CancelToken`] — a shared flag that
+//! makes *every* holder of the deadline observe expiry as soon as one of
+//! them raises it. The parallel query layer uses this so that when one
+//! worker exhausts the budget, sibling workers stop within one tick interval
+//! instead of burning CPU to their own independent expiry.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Error signaling that the per-query time budget was exhausted.
@@ -19,7 +26,61 @@ impl std::fmt::Display for Timeout {
 
 impl std::error::Error for Timeout {}
 
-/// An optional wall-clock deadline.
+/// A shared cooperative cancellation flag.
+///
+/// The token is `Copy` so it can ride inside [`Deadline`] through every
+/// matcher signature unchanged. `new()` allocates the underlying flag with a
+/// `'static` lifetime (one leaked `AtomicBool`); tokens are meant to be
+/// created once per long-lived owner — e.g. a worker pool — and reused
+/// across queries via [`reset`](CancelToken::reset), not created per query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CancelToken {
+    flag: Option<&'static AtomicBool>,
+}
+
+impl CancelToken {
+    /// The inert token: never cancelled, `cancel()` is a no-op.
+    pub const fn none() -> Self {
+        Self { flag: None }
+    }
+
+    /// A fresh token. Allocates the flag for the `'static` lifetime — create
+    /// once per pool/owner and [`reset`](CancelToken::reset) between uses.
+    pub fn new() -> Self {
+        Self { flag: Some(Box::leak(Box::new(AtomicBool::new(false)))) }
+    }
+
+    /// Raises the flag: every deadline carrying this token is now expired.
+    #[inline]
+    pub fn cancel(&self) {
+        if let Some(f) = self.flag {
+            f.store(true, Ordering::Release);
+        }
+    }
+
+    /// Lowers the flag so the token can be reused for the next query.
+    pub fn reset(&self) {
+        if let Some(f) = self.flag {
+            f.store(false, Ordering::Release);
+        }
+    }
+
+    /// Whether the flag is raised.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        match self.flag {
+            Some(f) => f.load(Ordering::Acquire),
+            None => false,
+        }
+    }
+
+    /// Whether this token carries a real flag.
+    pub fn is_some(&self) -> bool {
+        self.flag.is_some()
+    }
+}
+
+/// An optional wall-clock deadline, optionally paired with a [`CancelToken`].
 ///
 /// # Examples
 ///
@@ -33,30 +94,47 @@ impl std::error::Error for Timeout {}
 /// let soon = Deadline::after(Duration::from_secs(3600));
 /// assert!(!soon.expired());
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Deadline {
     at: Option<Instant>,
+    cancel: CancelToken,
 }
 
 impl Deadline {
     /// No deadline: operations run to completion.
     pub const fn none() -> Self {
-        Self { at: None }
+        Self { at: None, cancel: CancelToken::none() }
     }
 
-    /// A deadline `budget` from now.
+    /// A deadline `budget` from now. A budget too large to represent as an
+    /// instant (overflow) means "no deadline" rather than a panic.
     pub fn after(budget: Duration) -> Self {
-        Self { at: Some(Instant::now() + budget) }
+        Self { at: Instant::now().checked_add(budget), cancel: CancelToken::none() }
     }
 
     /// A deadline at the given instant.
     pub fn at(instant: Instant) -> Self {
-        Self { at: Some(instant) }
+        Self { at: Some(instant), cancel: CancelToken::none() }
     }
 
-    /// Whether the deadline has passed.
+    /// Attaches a cancellation token: the deadline also expires as soon as
+    /// the token is cancelled.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The attached cancellation token ([`CancelToken::none`] if absent).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel
+    }
+
+    /// Whether the deadline has passed or the token was cancelled.
     #[inline]
     pub fn expired(&self) -> bool {
+        if self.cancel.is_cancelled() {
+            return true;
+        }
         match self.at {
             Some(at) => Instant::now() >= at,
             None => false,
@@ -73,7 +151,7 @@ impl Deadline {
         }
     }
 
-    /// Whether a deadline is set at all.
+    /// Whether a wall-clock deadline is set at all.
     pub fn is_some(&self) -> bool {
         self.at.is_some()
     }
@@ -139,6 +217,39 @@ mod tests {
     }
 
     #[test]
+    fn huge_budget_means_no_deadline_not_panic() {
+        // Instant::now() + Duration::MAX overflows; `after` must degrade to
+        // "no deadline" instead of panicking.
+        let d = Deadline::after(Duration::MAX);
+        assert!(!d.expired());
+        assert!(d.check().is_ok());
+    }
+
+    #[test]
+    fn cancellation_expires_any_deadline() {
+        let token = CancelToken::new();
+        let far = Deadline::after(Duration::from_secs(3600)).with_cancel(token);
+        let never = Deadline::none().with_cancel(token);
+        assert!(!far.expired());
+        assert!(!never.expired());
+        token.cancel();
+        assert!(far.expired());
+        assert!(never.expired());
+        assert_eq!(far.check(), Err(Timeout));
+        token.reset();
+        assert!(!far.expired());
+        assert!(!never.expired());
+    }
+
+    #[test]
+    fn none_token_is_inert() {
+        let t = CancelToken::none();
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(!t.is_some());
+    }
+
+    #[test]
     fn tick_checker_eventually_reports() {
         let d = Deadline::at(Instant::now() - Duration::from_millis(1));
         let mut t = TickChecker::new();
@@ -150,5 +261,24 @@ mod tests {
             }
         }
         assert!(hit);
+    }
+
+    #[test]
+    fn tick_checker_observes_cancellation() {
+        let token = CancelToken::new();
+        let d = Deadline::none().with_cancel(token);
+        let mut t = TickChecker::new();
+        for _ in 0..5000 {
+            assert!(t.tick(d).is_ok());
+        }
+        token.cancel();
+        let mut hit = false;
+        for _ in 0..5000 {
+            if t.tick(d).is_err() {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "cancellation must surface within one tick interval");
     }
 }

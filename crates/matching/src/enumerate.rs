@@ -131,9 +131,7 @@ impl<'a> Enumerator<'a> {
             let pivot = backward
                 .iter()
                 .copied()
-                .min_by_key(|w| {
-                    self.g.neighbors_with_label(state.mapping[w.index()], label).len()
-                })
+                .min_by_key(|w| self.g.neighbors_with_label(state.mapping[w.index()], label).len())
                 .expect("non-empty backward set");
             let pv = state.mapping[pivot.index()];
             // Hoist the label-run bounds: the subslice is re-derived by

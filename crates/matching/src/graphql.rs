@@ -99,8 +99,7 @@ impl GraphQl {
                 bigraph.reset(nu.len(), nv.len());
                 for (i, &qu) in nu.iter().enumerate() {
                     let phi = &sets[qu.index()];
-                    let phi_ref: &[VertexId] =
-                        if qu == u { &current } else { phi.as_slice() };
+                    let phi_ref: &[VertexId] = if qu == u { &current } else { phi.as_slice() };
                     for (j, &gv) in nv.iter().enumerate() {
                         if gv != v && phi_ref.binary_search(&gv).is_ok() {
                             bigraph.add_edge(i, j);
@@ -124,18 +123,14 @@ impl GraphQl {
         let mut selected = vec![false; n];
         let mut order = Vec::with_capacity(n);
         // Start: globally fewest candidates.
-        let start = q
-            .vertices()
-            .min_by_key(|&u| (space.set(u).len(), u))
-            .expect("non-empty query");
+        let start = q.vertices().min_by_key(|&u| (space.set(u).len(), u)).expect("non-empty query");
         selected[start.index()] = true;
         order.push(start);
         while order.len() < n {
             let next = q
                 .vertices()
                 .filter(|&u| {
-                    !selected[u.index()]
-                        && q.neighbors(u).iter().any(|&w| selected[w.index()])
+                    !selected[u.index()] && q.neighbors(u).iter().any(|&w| selected[w.index()])
                 })
                 .min_by_key(|&u| (space.set(u).len(), u));
             match next {
@@ -174,8 +169,15 @@ impl Matcher for GraphQl {
         let mut scratch = MatchingScratch::default();
         let mut ticker = TickChecker::new();
         for _ in 0..self.refine_rounds {
-            let changed = self
-                .pseudo_iso_sweep(q, g, &mut sets, &mut bigraph, &mut scratch, &mut ticker, deadline)?;
+            let changed = self.pseudo_iso_sweep(
+                q,
+                g,
+                &mut sets,
+                &mut bigraph,
+                &mut scratch,
+                &mut ticker,
+                deadline,
+            )?;
             if sets.iter().any(Vec::is_empty) {
                 return Ok(FilterResult::Pruned);
             }
@@ -254,8 +256,7 @@ mod tests {
         // be pruned from Φ(B).
         let q = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
         let g = labeled(&[0, 1, 2, 1, 0], &[(0, 1), (1, 2), (3, 4)]);
-        let space =
-            GraphQl::new().filter(&q, &g, Deadline::none()).unwrap().space().unwrap();
+        let space = GraphQl::new().filter(&q, &g, Deadline::none()).unwrap().space().unwrap();
         // v3 (label 1) has no label-2 neighbor: excluded already by profiles;
         // Φ(1) must be exactly {v1}.
         assert_eq!(space.set(VertexId(1)), &[VertexId(1)]);

@@ -35,7 +35,7 @@ pub mod ullmann;
 pub mod vf2;
 
 pub use candidates::{CandidateSpace, FilterResult};
-pub use deadline::{Deadline, Timeout};
+pub use deadline::{CancelToken, Deadline, Timeout};
 pub use embedding::Embedding;
 pub use enumerate::Enumerator;
 pub use stats::MatchingStats;
@@ -116,7 +116,9 @@ pub trait Matcher: Send + Sync {
     fn count(&self, q: &Graph, g: &Graph, limit: u64, deadline: Deadline) -> Result<u64, Timeout> {
         match self.filter(q, g, deadline)? {
             FilterResult::Pruned => Ok(0),
-            FilterResult::Space(space) => self.enumerate(q, g, &space, limit, deadline, &mut |_| {}),
+            FilterResult::Space(space) => {
+                self.enumerate(q, g, &space, limit, deadline, &mut |_| {})
+            }
         }
     }
 }

@@ -286,10 +286,7 @@ mod tests {
     #[test]
     fn regions_partition_by_start_candidate() {
         // Two disjoint triangles with the same labels: two regions.
-        let g = labeled(
-            &[0, 1, 2, 0, 1, 2],
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = labeled(&[0, 1, 2, 0, 1, 2], &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
         let q = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
         let ti = TurboIso::new();
         let (_, regions) = ti.regions(&q, &g, Deadline::none()).unwrap().unwrap();

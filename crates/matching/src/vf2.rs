@@ -164,9 +164,7 @@ impl<'a> State<'a> {
             self.push(u, v, depth);
             if self.core_q.iter().all(|&c| c != NONE) {
                 self.found += 1;
-                let e = Embedding::new(
-                    self.core_q.iter().map(|&c| VertexId(c)).collect(),
-                );
+                let e = Embedding::new(self.core_q.iter().map(|&c| VertexId(c)).collect());
                 debug_assert!(e.is_valid(self.q, self.g));
                 on_match(&e);
             } else {
@@ -334,9 +332,8 @@ mod tests {
             let q = brute::random_connected_query(&mut rng, &g, 4);
             let expected = brute::enumerate_all(&q, &g).len() as u64;
             for ordering in [Vf2Ordering::MinId, Vf2Ordering::RareLabelFirst] {
-                let got = Vf2::with_ordering(ordering)
-                    .count(&q, &g, u64::MAX, Deadline::none())
-                    .unwrap();
+                let got =
+                    Vf2::with_ordering(ordering).count(&q, &g, u64::MAX, Deadline::none()).unwrap();
                 assert_eq!(got, expected, "trial {trial} ordering {ordering:?}");
             }
         }

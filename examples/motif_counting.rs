@@ -42,8 +42,8 @@ fn main() {
     ];
 
     // Plain scan vs Grapes-index-accelerated matching.
-    let plain = CollectionMatcher::new(Arc::clone(&db), Box::new(Cfql::new()))
-        .with_per_graph_limit(10_000);
+    let plain =
+        CollectionMatcher::new(Arc::clone(&db), Box::new(Cfql::new())).with_per_graph_limit(10_000);
     let t0 = Instant::now();
     let index = PathTrieIndex::build_default(&db);
     println!("Grapes index built in {:.2?}\n", t0.elapsed());

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Run from the repository root:
+#
+#   scripts/ci.sh            # full gate: build, test, fmt, clippy
+#   scripts/ci.sh --fast     # skip clippy (quick pre-commit check)
+#
+# The build environment has no crates.io access; every external dependency is
+# vendored under vendor/, so all steps run with --offline.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+if [[ "$fast" == 0 ]]; then
+  echo "==> cargo clippy (all targets, -D warnings)"
+  cargo clippy --offline --workspace --all-targets -- -D warnings
+fi
+
+echo "CI gate passed."

@@ -6,10 +6,15 @@
 //!              [--labels N] [--degree F] [--seed N] --out <file>
 //! sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
 //! sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
+//!              [--threads N]
 //! sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
 //! sqp match    --db <file> --queries <file> [--limit N]
 //! sqp index    --db <file> --kind <grapes|ggsx|ct-index>
 //! ```
+//!
+//! `--threads N` (N > 1) runs a vcFV engine's matcher on a persistent
+//! [`QueryPool`](subgraph_query::core::parallel::QueryPool): identical
+//! answers, parallel filter+verify across the database.
 //!
 //! Databases and queries use the standard `t # / v / e` text format; paths\n//! ending in `.bin` use the compact binary format of `sqp_graph::binio`.
 
@@ -20,7 +25,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use subgraph_query::core::collection::CollectionMatcher;
-use subgraph_query::core::engines::engine_by_name;
+use subgraph_query::core::engines::{engine_by_name, matcher_by_name};
 use subgraph_query::core::prelude::*;
 use subgraph_query::datagen::graphgen::GraphGenConfig;
 use subgraph_query::datagen::profiles;
@@ -29,7 +34,7 @@ use subgraph_query::datagen::GraphGen;
 use subgraph_query::graph::heap_size::format_mb;
 use subgraph_query::graph::{binio, io, GraphDb, HeapSize};
 use subgraph_query::index::{
-    BuildBudget, CtIndexConfig, FingerprintIndex, GgsxIndex, GraphIndex, GrapesConfig,
+    BuildBudget, CtIndexConfig, FingerprintIndex, GgsxIndex, GrapesConfig, GraphIndex,
     PathTrieIndex,
 };
 use subgraph_query::matching::cfql::Cfql;
@@ -43,12 +48,15 @@ USAGE:
                [--labels N] [--degree F] [--seed N] --out <file>
   sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
   sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
+               [--threads N]
   sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
   sqp match    --db <file> --queries <file> [--limit N]
   sqp index    --db <file> --kind <grapes|ggsx|ct-index>
 
 Engines: CT-Index Grapes GGSX CFL GraphQL CFQL vcGrapes vcGGSX
-         Ullmann QuickSI TurboIso (default: CFQL)";
+         Ullmann QuickSI TurboIso (default: CFQL)
+--threads N > 1 runs the engine's matcher on a persistent worker pool
+(vcFV engines only: CFL GraphQL CFQL Ullmann QuickSI TurboIso SPath)";
 
 struct Opts {
     flags: Vec<(String, String)>,
@@ -186,25 +194,29 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     let qpath = opts.require("queries")?;
     let mut interner = db.interner().clone();
     let f = File::open(qpath).map_err(|e| format!("cannot open {qpath}: {e}"))?;
-    let queries =
-        io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
+    let queries = io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
 
     let engine_name = opts.get("engine").unwrap_or("CFQL");
-    let mut engine =
-        engine_by_name(engine_name).ok_or_else(|| format!("unknown engine '{engine_name}'"))?;
     let budget_ms: u64 = opts.parse_num("budget-ms", 600_000u64)?;
+    let threads: usize = opts.parse_num("threads", 1usize)?;
+    let config = RunnerConfig::with_budget(Duration::from_millis(budget_ms));
 
-    let t0 = Instant::now();
-    engine.build(&db).map_err(|e| format!("index construction failed: {e}"))?;
-    let build = t0.elapsed();
-    eprintln!("engine {} built in {:.2}s", engine.name(), build.as_secs_f64());
-
-    let report = run_query_set(
-        engine.as_mut(),
-        "cli",
-        &queries,
-        RunnerConfig::with_budget(Duration::from_millis(budget_ms)),
-    );
+    let report = if threads > 1 {
+        let matcher = matcher_by_name(engine_name).ok_or_else(|| {
+            format!("--threads requires a vcFV engine (matcher); '{engine_name}' is not one")
+        })?;
+        let pool = QueryPool::new(threads);
+        eprintln!("engine {engine_name} on {} pooled workers", pool.threads());
+        run_query_set_parallel(&pool, matcher, &db, engine_name, "cli", &queries, config)
+    } else {
+        let mut engine =
+            engine_by_name(engine_name).ok_or_else(|| format!("unknown engine '{engine_name}'"))?;
+        let t0 = Instant::now();
+        engine.build(&db).map_err(|e| format!("index construction failed: {e}"))?;
+        let build = t0.elapsed();
+        eprintln!("engine {} built in {:.2}s", engine.name(), build.as_secs_f64());
+        run_query_set(engine.as_mut(), "cli", &queries, config)
+    };
     for (i, r) in report.records.iter().enumerate() {
         println!(
             "query {i}: answers={} candidates={} filter={:.3}ms verify={:.3}ms{}",
@@ -231,8 +243,7 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
     let qpath = opts.require("queries")?;
     let mut interner = db.interner().clone();
     let f = File::open(qpath).map_err(|e| format!("cannot open {qpath}: {e}"))?;
-    let queries =
-        io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
+    let queries = io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
     let budget_ms: u64 = opts.parse_num("budget-ms", 600_000u64)?;
     let names: Vec<String> = opts
         .get("engines")
@@ -246,8 +257,7 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         "engine", "build(s)", "query(ms)", "precision", "per-SI(ms)", "|C(q)|", "timeouts"
     );
     for name in &names {
-        let mut engine =
-            engine_by_name(name).ok_or_else(|| format!("unknown engine '{name}'"))?;
+        let mut engine = engine_by_name(name).ok_or_else(|| format!("unknown engine '{name}'"))?;
         let t0 = Instant::now();
         let build = match engine.build(&db) {
             Ok(_) => t0.elapsed(),
@@ -281,19 +291,22 @@ fn cmd_match(opts: &Opts) -> Result<(), String> {
     let qpath = opts.require("queries")?;
     let mut interner = db.interner().clone();
     let f = File::open(qpath).map_err(|e| format!("cannot open {qpath}: {e}"))?;
-    let queries =
-        io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
+    let queries = io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
     let limit: u64 = opts.parse_num("limit", 1000u64)?;
 
-    let cm = CollectionMatcher::new(Arc::clone(&db), Box::new(Cfql::new()))
-        .with_per_graph_limit(limit);
+    let cm =
+        CollectionMatcher::new(Arc::clone(&db), Box::new(Cfql::new())).with_per_graph_limit(limit);
     for (i, q) in queries.iter().enumerate() {
         let matches = cm.match_all(q);
         let total: usize = matches.iter().map(|m| m.embeddings.len()).sum();
         println!("query {i}: {total} embeddings in {} graphs", matches.len());
         for m in matches.iter().take(3) {
-            println!("  graph {:?}: {} embeddings{}", m.graph, m.embeddings.len(),
-                if m.truncated { " (truncated)" } else { "" });
+            println!(
+                "  graph {:?}: {} embeddings{}",
+                m.graph,
+                m.embeddings.len(),
+                if m.truncated { " (truncated)" } else { "" }
+            );
         }
     }
     Ok(())

@@ -1,7 +1,6 @@
 //! End-to-end smoke tests of the `sqp` command-line tool: generate a
 //! database, derive queries, run every subcommand, and check outputs.
 
-use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn sqp(args: &[&str]) -> Output {
@@ -9,7 +8,7 @@ fn sqp(args: &[&str]) -> Output {
 }
 
 fn tmp(name: &str) -> String {
-    let mut p = PathBuf::from(std::env::temp_dir());
+    let mut p = std::env::temp_dir();
     p.push(format!("sqp_cli_test_{}_{name}", std::process::id()));
     p.to_string_lossy().into_owned()
 }
@@ -22,15 +21,41 @@ fn full_cli_workflow() {
 
     // generate (text)
     let out = sqp(&[
-        "generate", "--kind", "synthetic", "--graphs", "30", "--vertices", "25", "--labels",
-        "5", "--degree", "3", "--seed", "9", "--out", &db,
+        "generate",
+        "--kind",
+        "synthetic",
+        "--graphs",
+        "30",
+        "--vertices",
+        "25",
+        "--labels",
+        "5",
+        "--degree",
+        "3",
+        "--seed",
+        "9",
+        "--out",
+        &db,
     ]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 
     // generate (binary)
     let out = sqp(&[
-        "generate", "--kind", "synthetic", "--graphs", "30", "--vertices", "25", "--labels",
-        "5", "--degree", "3", "--seed", "9", "--out", &dbbin,
+        "generate",
+        "--kind",
+        "synthetic",
+        "--graphs",
+        "30",
+        "--vertices",
+        "25",
+        "--labels",
+        "5",
+        "--degree",
+        "3",
+        "--seed",
+        "9",
+        "--out",
+        &dbbin,
     ]);
     assert!(out.status.success());
 
@@ -66,9 +91,7 @@ fn full_cli_workflow() {
     assert_eq!(answers("CFQL"), answers("TurboIso"));
 
     // compare
-    let out = sqp(&[
-        "compare", "--db", &db, "--queries", &queries, "--engines", "Grapes,CFQL",
-    ]);
+    let out = sqp(&["compare", "--db", &db, "--queries", &queries, "--engines", "Grapes,CFQL"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
     assert!(text.contains("Grapes") && text.contains("CFQL"));

@@ -60,10 +60,7 @@ fn impossible_memory_budget_fails_builds_not_panics() {
 
 #[test]
 fn single_vertex_queries_work() {
-    let db = Arc::new(GraphDb::from_graphs(vec![
-        labeled(&[0, 1], &[(0, 1)]),
-        labeled(&[2], &[]),
-    ]));
+    let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)]), labeled(&[2], &[])]));
     let q = labeled(&[2], &[]);
     for mut engine in all_engines() {
         engine.build(&db).expect("small build");

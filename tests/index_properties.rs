@@ -12,7 +12,7 @@ use subgraph_query::graph::database::GraphId;
 use subgraph_query::graph::{Graph, GraphBuilder, GraphDb, Label, VertexId};
 use subgraph_query::index::path_enum::path_counts;
 use subgraph_query::index::{
-    BuildBudget, CtIndexConfig, FingerprintIndex, GgsxIndex, GraphIndex, GrapesConfig,
+    BuildBudget, CtIndexConfig, FingerprintIndex, GgsxIndex, GrapesConfig, GraphIndex,
     PathTrieIndex,
 };
 use subgraph_query::matching::brute;

@@ -91,9 +91,7 @@ fn io_round_trip_preserves_query_answers() {
 fn query_set_statistics_are_plausible() {
     use subgraph_query::graph::stats::QuerySetStats;
     let db = graphgen::generate(20, 40, 6, 5.0, 17);
-    for (edges, method) in
-        [(8, QueryGenMethod::RandomWalk), (8, QueryGenMethod::Bfs)]
-    {
+    for (edges, method) in [(8, QueryGenMethod::RandomWalk), (8, QueryGenMethod::Bfs)] {
         let spec = QuerySetSpec { edges, method, count: 20 };
         let qs = generate_query_set(&db, spec, 5);
         let stats = QuerySetStats::compute(qs.iter());
