@@ -103,6 +103,7 @@ pub fn run(params: &ScaleParams, data: &RealWorldData) -> Matrix {
                     abort_after_timeouts: Some(
                         (params.queries_per_set * 2 / 5).max(2), // the 40% rule
                     ),
+                    ..RunnerConfig::default()
                 };
                 for (spec, queries) in sets {
                     run.reports.push(run_query_set(engine.as_mut(), &spec.name(), queries, config));

@@ -27,6 +27,7 @@ use sqp_matching::cfql::Cfql;
 use sqp_matching::{Deadline, Matcher};
 
 use crate::engine::{QueryEngine, QueryOutcome};
+use crate::parallel::panic_message;
 
 /// How a lookup was satisfied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,10 +126,17 @@ impl CachedEngine {
     /// The classification pass (containment checks against cached queries)
     /// is the cache's filtering step and is recorded in `filter_time`;
     /// verification of the narrowed graph set runs under the configured
-    /// [query budget](CachedEngine::set_query_budget), and a timed-out pass
-    /// flags the outcome and leaves the (incomplete) answers uncached.
+    /// [query budget](CachedEngine::set_query_budget). Only outcomes with
+    /// status `Completed` are inserted: timed-out, panicked, and
+    /// resource-exhausted results are incomplete and must never seed future
+    /// lookups. A panicking inner engine is caught here and degraded to a
+    /// `Panicked` outcome, leaving the cache usable.
     pub fn query(&mut self, q: &Graph) -> (QueryOutcome, CacheHit) {
-        let db = Arc::clone(self.db.as_ref().expect("query before build"));
+        let db = match &self.db {
+            Some(db) => Arc::clone(db),
+            // Documented precondition: build first.
+            None => panic!("query before build"),
+        };
         let deadline = self.query_budget.map_or(Deadline::none(), Deadline::after);
         let t_classify = Instant::now();
         let (hit, idx) = self.classify(q);
@@ -152,7 +160,7 @@ impl CachedEngine {
                     ..Default::default()
                 };
                 self.verify_direct(q, &db, candidates, deadline, &mut out);
-                if !out.timed_out {
+                if out.status.is_completed() {
                     self.insert(q.clone(), out.answers.clone());
                 }
                 out
@@ -175,16 +183,22 @@ impl CachedEngine {
                 self.verify_direct(q, &db, rest, deadline, &mut out);
                 out.answers.extend(free);
                 out.answers.sort_unstable();
-                if !out.timed_out {
+                if out.status.is_completed() {
                     self.insert(q.clone(), out.answers.clone());
                 }
                 out
             }
             _ => {
                 self.stats.3 += 1;
-                let mut out = self.inner.query(q);
+                let inner = &self.inner;
+                let mut out =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.query(q)))
+                    {
+                        Ok(out) => out,
+                        Err(payload) => QueryOutcome::panicked(panic_message(payload)),
+                    };
                 out.filter_time += classify_time;
-                if !out.timed_out {
+                if out.status.is_completed() {
                     self.insert(q.clone(), out.answers.clone());
                 }
                 out
@@ -194,7 +208,7 @@ impl CachedEngine {
     }
 
     /// Budget-capped first-match verification of `q` against each graph in
-    /// `graphs`, accumulating into `out` (answers, verify_time, timed_out).
+    /// `graphs`, accumulating into `out` (answers, verify_time, status).
     fn verify_direct(
         &self,
         q: &Graph,
@@ -206,16 +220,21 @@ impl CachedEngine {
         let cfql = Cfql::new();
         let t0 = Instant::now();
         for gid in graphs {
-            match cfql.is_subgraph(q, db.graph(gid), deadline) {
-                Ok(true) => out.answers.push(gid),
-                Ok(false) => {}
-                Err(_) => {
-                    out.timed_out = true;
+            let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cfql.is_subgraph(q, db.graph(gid), deadline)
+            }));
+            match verdict {
+                Err(payload) => out.record_panic(gid, panic_message(payload)),
+                Ok(Ok(true)) => out.answers.push(gid),
+                Ok(Ok(false)) => {}
+                Ok(Err(_)) => {
+                    out.record_interrupt(gid, deadline);
                     break;
                 }
             }
         }
         out.verify_time += t0.elapsed();
+        out.finalize();
     }
 
     fn touch(&mut self, i: usize) {
@@ -401,13 +420,13 @@ mod tests {
         let path = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
         let (out, hit) = c.query(&path);
         assert_eq!(hit, CacheHit::Subgraph);
-        assert!(out.timed_out);
+        assert!(out.timed_out());
         assert_eq!(c.len(), cached_len, "timed-out answers must not be cached");
 
         // Restoring the budget completes the same query normally.
         c.set_query_budget(None);
         let (out, _) = c.query(&path);
-        assert!(!out.timed_out);
+        assert!(!out.timed_out());
         assert_eq!(out.answers, vec![GraphId(0), GraphId(1)]);
     }
 
@@ -419,6 +438,58 @@ mod tests {
         let (out, hit) = c.query(&labeled(&[1, 0], &[(0, 1)]));
         assert_eq!(hit, CacheHit::Exact);
         assert!(out.filter_time > Duration::ZERO, "classification pass must be accounted");
+    }
+
+    /// An engine that panics on queries with a marker label, for asserting
+    /// that panicked outcomes never enter the cache.
+    struct PanicEngine {
+        inner: CfqlEngine,
+    }
+
+    impl QueryEngine for PanicEngine {
+        fn name(&self) -> &'static str {
+            "PanicEngine"
+        }
+        fn category(&self) -> EngineCategory {
+            self.inner.category()
+        }
+        fn build(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, sqp_index::BuildError> {
+            self.inner.build(db)
+        }
+        fn query(&self, q: &Graph) -> QueryOutcome {
+            if q.vertex_count() > 0 && q.label(VertexId(0)) == Label(99) {
+                panic!("poisoned query");
+            }
+            self.inner.query(q)
+        }
+        fn set_query_budget(&mut self, budget: Option<Duration>) {
+            self.inner.set_query_budget(budget);
+        }
+        fn index_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn panicked_outcomes_are_never_cached() {
+        let mut c = CachedEngine::new(Box::new(PanicEngine { inner: CfqlEngine::new() }), 8);
+        c.build(&db()).unwrap();
+        let poisoned = labeled(&[99, 1], &[(0, 1)]);
+        let (out, hit) = c.query(&poisoned);
+        assert_eq!(hit, CacheHit::Miss);
+        assert!(out.status.is_panicked());
+        assert_eq!(c.len(), 0, "panicked outcome must not be cached");
+        // The cache stays usable and healthy queries are cached as usual.
+        let edge = labeled(&[0, 1], &[(0, 1)]);
+        let (out, _) = c.query(&edge);
+        assert!(out.status.is_completed());
+        assert_eq!(out.answers, vec![GraphId(0), GraphId(1), GraphId(2)]);
+        assert_eq!(c.len(), 1);
+        // Re-asking the poisoned query panics again (nothing was cached) but
+        // still leaves the cache intact.
+        let (out, _) = c.query(&poisoned);
+        assert!(out.status.is_panicked());
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

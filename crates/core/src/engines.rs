@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sqp_graph::database::GraphId;
-use sqp_graph::{Graph, GraphDb, HeapSize};
+use sqp_graph::{Graph, GraphDb};
 use sqp_index::{
     BuildBudget, BuildError, CtIndexConfig, FingerprintIndex, GgsxIndex, GrapesConfig,
     GraphGrepConfig, GraphGrepIndex, GraphIndex, PathTrieIndex,
@@ -21,9 +21,10 @@ use sqp_matching::quicksi::QuickSi;
 use sqp_matching::spath::SPath;
 use sqp_matching::turboiso::TurboIso;
 use sqp_matching::ullmann::Ullmann;
-use sqp_matching::{Deadline, FilterResult, Matcher};
+use sqp_matching::{Deadline, Matcher, ResourceGuard, ResourceLimits};
 
 use crate::engine::{BuildReport, EngineCategory, QueryEngine, QueryOutcome};
+use crate::parallel::{panic_message, process_graph};
 use crate::verifier::Vf2Verifier;
 
 /// Which index structure an IFV/IvcFV engine builds.
@@ -66,6 +67,8 @@ pub struct IfvFrame {
     verifier: Vf2Verifier,
     build_budget: BuildBudget,
     query_budget: Option<Duration>,
+    limits: ResourceLimits,
+    guard: ResourceGuard,
     db: Option<Arc<GraphDb>>,
     index: Option<Box<dyn GraphIndex>>,
 }
@@ -79,6 +82,8 @@ impl IfvFrame {
             verifier,
             build_budget: BuildBudget::unlimited(),
             query_budget: None,
+            limits: ResourceLimits::unlimited(),
+            guard: ResourceGuard::new(),
             db: None,
             index: None,
         }
@@ -87,6 +92,12 @@ impl IfvFrame {
     /// Sets the index-construction budget (the paper's 24 h / RAM limits).
     pub fn set_build_budget(&mut self, budget: BuildBudget) {
         self.build_budget = budget;
+    }
+
+    /// Re-arms the engine's resource guard and builds the per-query deadline.
+    fn deadline(&self) -> Deadline {
+        self.guard.reset(self.limits);
+        self.query_budget.map_or(Deadline::none(), Deadline::after).with_guard(self.guard)
     }
 
     fn build_impl(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, BuildError> {
@@ -100,9 +111,12 @@ impl IfvFrame {
     }
 
     fn query_impl(&self, q: &Graph) -> QueryOutcome {
-        let db = self.db.as_ref().expect("query before build");
-        let index = self.index.as_ref().expect("query before build");
-        let deadline = self.query_budget.map_or(Deadline::none(), Deadline::after);
+        let (db, index) = match (&self.db, &self.index) {
+            (Some(db), Some(index)) => (db, index),
+            // Documented precondition (QueryEngine::query): build first.
+            _ => panic!("query before build"),
+        };
+        let deadline = self.deadline();
 
         let t0 = Instant::now();
         let candidates = index.candidates(q).into_ids(db.len());
@@ -112,16 +126,21 @@ impl IfvFrame {
             QueryOutcome { candidates: candidates.len(), filter_time, ..Default::default() };
         let t1 = Instant::now();
         for gid in candidates {
-            match self.verifier.verify(q, db.graph(gid), deadline) {
-                Ok(true) => out.answers.push(gid),
-                Ok(false) => {}
-                Err(_) => {
-                    out.timed_out = true;
+            let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.verifier.verify(q, db.graph(gid), deadline)
+            }));
+            match verdict {
+                Err(payload) => out.record_panic(gid, panic_message(payload)),
+                Ok(Ok(true)) => out.answers.push(gid),
+                Ok(Ok(false)) => {}
+                Ok(Err(_)) => {
+                    out.record_interrupt(gid, deadline);
                     break;
                 }
             }
         }
         out.verify_time = t1.elapsed();
+        out.finalize();
         out
     }
 }
@@ -136,52 +155,55 @@ pub struct VcfvFrame {
     name: &'static str,
     matcher: Box<dyn Matcher>,
     query_budget: Option<Duration>,
+    limits: ResourceLimits,
+    guard: ResourceGuard,
     db: Option<Arc<GraphDb>>,
 }
 
 impl VcfvFrame {
     /// Creates an unbuilt vcFV engine.
     pub fn new(name: &'static str, matcher: Box<dyn Matcher>) -> Self {
-        Self { name, matcher, query_budget: None, db: None }
+        Self {
+            name,
+            matcher,
+            query_budget: None,
+            limits: ResourceLimits::unlimited(),
+            guard: ResourceGuard::new(),
+            db: None,
+        }
+    }
+
+    fn built_db(&self) -> &Arc<GraphDb> {
+        match &self.db {
+            Some(db) => db,
+            // Documented precondition (QueryEngine::query): build first.
+            None => panic!("query before build"),
+        }
+    }
+
+    /// Re-arms the engine's resource guard and builds the per-query deadline.
+    fn deadline(&self) -> Deadline {
+        self.guard.reset(self.limits);
+        self.query_budget.map_or(Deadline::none(), Deadline::after).with_guard(self.guard)
     }
 
     fn query_over(&self, q: &Graph, graphs: &[GraphId]) -> QueryOutcome {
-        let db = self.db.as_ref().expect("query before build");
-        let deadline = self.query_budget.map_or(Deadline::none(), Deadline::after);
+        let db = self.built_db();
+        let deadline = self.deadline();
         let mut out = QueryOutcome::default();
-        'graphs: for &gid in graphs {
-            let g = db.graph(gid);
-            let t0 = Instant::now();
-            let filtered = self.matcher.filter(q, g, deadline);
-            out.filter_time += t0.elapsed();
-            match filtered {
-                Err(_) => {
-                    out.timed_out = true;
-                    break 'graphs;
-                }
-                Ok(FilterResult::Pruned) => {}
-                Ok(FilterResult::Space(space)) => {
-                    out.candidates += 1;
-                    out.aux_bytes = out.aux_bytes.max(space.heap_size());
-                    let t1 = Instant::now();
-                    let verdict = self.matcher.find_first(q, g, &space, deadline);
-                    out.verify_time += t1.elapsed();
-                    match verdict {
-                        Ok(Some(_)) => out.answers.push(gid),
-                        Ok(None) => {}
-                        Err(_) => {
-                            out.timed_out = true;
-                            break 'graphs;
-                        }
-                    }
-                }
+        // Same per-graph path as the parallel pool: panics on one (query,
+        // graph) pair are isolated into `failures`, interrupts stop the scan.
+        for &gid in graphs {
+            if !process_graph(&*self.matcher, db, q, gid, deadline, &mut out) {
+                break;
             }
         }
+        out.finalize();
         out
     }
 
     fn query_impl(&self, q: &Graph) -> QueryOutcome {
-        let n = self.db.as_ref().expect("query before build").len();
+        let n = self.built_db().len();
         let all: Vec<GraphId> = (0..n as u32).map(GraphId).collect();
         self.query_over(q, &all)
     }
@@ -229,8 +251,12 @@ impl IvcfvFrame {
     }
 
     fn query_impl(&self, q: &Graph) -> QueryOutcome {
-        let db = self.inner.db.as_ref().expect("query before build");
-        let index = self.index.as_ref().expect("query before build");
+        let db = self.inner.built_db();
+        let index = match &self.index {
+            Some(index) => index,
+            // Documented precondition (QueryEngine::query): build first.
+            None => panic!("query before build"),
+        };
         let t0 = Instant::now();
         let level1 = index.candidates(q).into_ids(db.len());
         let index_time = t0.elapsed();
@@ -262,6 +288,9 @@ macro_rules! delegate_query_engine {
             fn set_query_budget(&mut self, budget: Option<Duration>) {
                 self.$frame.query_budget = budget;
             }
+            fn set_resource_limits(&mut self, limits: ResourceLimits) {
+                self.$frame.limits = limits;
+            }
             fn set_build_budget(&mut self, budget: BuildBudget) {
                 self.$frame.build_budget = budget;
             }
@@ -291,6 +320,9 @@ macro_rules! delegate_vcfv_engine {
             fn set_query_budget(&mut self, budget: Option<Duration>) {
                 self.frame.query_budget = budget;
             }
+            fn set_resource_limits(&mut self, limits: ResourceLimits) {
+                self.frame.limits = limits;
+            }
             fn index_bytes(&self) -> usize {
                 0
             }
@@ -315,6 +347,9 @@ macro_rules! delegate_ivcfv_engine {
             }
             fn set_query_budget(&mut self, budget: Option<Duration>) {
                 self.frame.inner.query_budget = budget;
+            }
+            fn set_resource_limits(&mut self, limits: ResourceLimits) {
+                self.frame.inner.limits = limits;
             }
             fn set_build_budget(&mut self, budget: BuildBudget) {
                 self.frame.build_budget = budget;
@@ -604,6 +639,25 @@ impl Default for SPathEngine {
 
 delegate_vcfv_engine!(SPathEngine);
 
+/// A vcFV engine over an *arbitrary* matcher — the adapter that lets
+/// wrappers like the chaos harness's fault-injecting
+/// [`ChaosMatcher`](crate::chaos::ChaosMatcher) run through the standard
+/// sequential engine path (and therefore through
+/// [`run_query_set`](crate::runner::run_query_set) and
+/// [`CachedEngine`](crate::cache::CachedEngine)).
+pub struct MatcherEngine {
+    frame: VcfvFrame,
+}
+
+impl MatcherEngine {
+    /// Wraps `matcher` as a named vcFV engine.
+    pub fn new(name: &'static str, matcher: Box<dyn Matcher>) -> Self {
+        Self { frame: VcfvFrame::new(name, matcher) }
+    }
+}
+
+delegate_vcfv_engine!(MatcherEngine);
+
 /// vcGrapes: Grapes index filtering + CFQL filtering and enumeration (IvcFV).
 pub struct VcGrapesEngine {
     frame: IvcfvFrame,
@@ -683,6 +737,8 @@ pub struct ParallelEngine {
     matcher: Arc<dyn Matcher>,
     pool: crate::parallel::QueryPool,
     query_budget: Option<Duration>,
+    limits: ResourceLimits,
+    guard: ResourceGuard,
     db: Option<Arc<GraphDb>>,
 }
 
@@ -694,6 +750,8 @@ impl ParallelEngine {
             matcher,
             pool: crate::parallel::QueryPool::new(threads),
             query_budget: None,
+            limits: ResourceLimits::unlimited(),
+            guard: ResourceGuard::new(),
             db: None,
         }
     }
@@ -711,8 +769,14 @@ impl ParallelEngine {
     /// The parallel outcome (with wall time) for one query; [`query`]
     /// (QueryEngine::query) is this minus the wall-clock wrapper.
     pub fn query_parallel(&self, q: &Graph) -> crate::parallel::ParallelOutcome {
-        let db = self.db.as_ref().expect("query before build");
-        let deadline = self.query_budget.map_or(Deadline::none(), Deadline::after);
+        let db = match &self.db {
+            Some(db) => db,
+            // Documented precondition (QueryEngine::query): build first.
+            None => panic!("query before build"),
+        };
+        self.guard.reset(self.limits);
+        let deadline =
+            self.query_budget.map_or(Deadline::none(), Deadline::after).with_guard(self.guard);
         self.pool.query(Arc::clone(&self.matcher), db, q, deadline)
     }
 }
@@ -733,6 +797,9 @@ impl QueryEngine for ParallelEngine {
     }
     fn set_query_budget(&mut self, budget: Option<Duration>) {
         self.query_budget = budget;
+    }
+    fn set_resource_limits(&mut self, limits: ResourceLimits) {
+        self.limits = limits;
     }
     fn index_bytes(&self) -> usize {
         0

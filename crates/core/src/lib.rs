@@ -15,7 +15,11 @@
 //! (filtering vs verification, the paper's §IV metrics), and enforce a
 //! per-query time budget (10 minutes in the paper, configurable here).
 
+// Library code avoids unwrap/expect (CI denies them); tests may use them freely.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
+pub mod chaos;
 pub mod collection;
 pub mod engine;
 pub mod engines;
@@ -24,7 +28,10 @@ pub mod parallel;
 pub mod runner;
 pub mod verifier;
 
-pub use engine::{BuildReport, EngineCategory, QueryEngine, QueryOutcome};
+pub use chaos::{chaos_engine, ChaosConfig, ChaosMatcher, FaultKind};
+pub use engine::{
+    BuildReport, EngineCategory, GraphFailure, QueryEngine, QueryOutcome, QueryStatus,
+};
 pub use metrics::{QueryRecord, QuerySetReport};
 pub use parallel::{parallel_query, ParallelOutcome, QueryPool};
 pub use runner::{run_query_set, run_query_set_parallel, RunnerConfig};
@@ -32,12 +39,15 @@ pub use runner::{run_query_set, run_query_set_parallel, RunnerConfig};
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::cache::{CacheHit, CachedEngine};
+    pub use crate::chaos::{chaos_engine, ChaosConfig, ChaosMatcher, FaultKind};
     pub use crate::collection::{CollectionMatcher, GraphMatches};
-    pub use crate::engine::{BuildReport, EngineCategory, QueryEngine, QueryOutcome};
+    pub use crate::engine::{
+        BuildReport, EngineCategory, GraphFailure, QueryEngine, QueryOutcome, QueryStatus,
+    };
     pub use crate::engines::{
         matcher_by_name, CflEngine, CfqlEngine, CtIndexEngine, GgsxEngine, GrapesEngine,
-        GraphGrepEngine, GraphQlEngine, ParallelEngine, QuickSiEngine, SPathEngine, TurboIsoEngine,
-        UllmannEngine, VcGgsxEngine, VcGrapesEngine,
+        GraphGrepEngine, GraphQlEngine, MatcherEngine, ParallelEngine, QuickSiEngine, SPathEngine,
+        TurboIsoEngine, UllmannEngine, VcGgsxEngine, VcGrapesEngine,
     };
     pub use crate::metrics::{QueryRecord, QuerySetReport};
     pub use crate::parallel::{parallel_query, ParallelOutcome, QueryPool};

@@ -1,8 +1,9 @@
-//! Query and query-set metrics (§IV-A of the paper).
+//! Query and query-set metrics (§IV-A of the paper), with the structured
+//! failure taxonomy rolled up per query set.
 
 use std::time::Duration;
 
-use crate::engine::QueryOutcome;
+use crate::engine::{GraphFailure, QueryOutcome, QueryStatus};
 
 /// One query's measurements.
 #[derive(Clone, Debug)]
@@ -15,10 +16,29 @@ pub struct QueryRecord {
     pub candidates: usize,
     /// `|A(q)|`.
     pub answers: usize,
-    /// Whether the query exceeded its budget (recorded at the limit).
-    pub timed_out: bool,
+    /// How the query ended.
+    pub status: QueryStatus,
+    /// Per-graph failure attribution (sorted by graph id).
+    pub failures: Vec<GraphFailure>,
+    /// How many times the runner retried this query after a panic.
+    pub retries: u32,
     /// Peak auxiliary-structure bytes.
     pub aux_bytes: usize,
+}
+
+impl Default for QueryRecord {
+    fn default() -> Self {
+        Self {
+            filter_time: Duration::ZERO,
+            verify_time: Duration::ZERO,
+            candidates: 0,
+            answers: 0,
+            status: QueryStatus::Completed,
+            failures: Vec::new(),
+            retries: 0,
+            aux_bytes: 0,
+        }
+    }
 }
 
 impl QueryRecord {
@@ -28,11 +48,13 @@ impl QueryRecord {
     /// budget — over it when the last matcher call overshoots the deadline,
     /// under it when a parallel worker stops early on cooperative
     /// cancellation — so the times are rescaled in both directions,
-    /// preserving the filter/verify split.
+    /// preserving the filter/verify split. Only wall-clock timeouts are
+    /// pinned; panicked and resource-exhausted queries keep their measured
+    /// times (they did not run to the limit).
     pub fn from_outcome(outcome: &QueryOutcome, budget: Option<Duration>) -> Self {
         let mut filter_time = outcome.filter_time;
         let mut verify_time = outcome.verify_time;
-        if outcome.timed_out {
+        if outcome.status.is_timed_out() {
             if let Some(b) = budget {
                 let total = filter_time + verify_time;
                 if total.is_zero() {
@@ -52,7 +74,9 @@ impl QueryRecord {
             verify_time,
             candidates: outcome.candidates,
             answers: outcome.answers.len(),
-            timed_out: outcome.timed_out,
+            status: outcome.status.clone(),
+            failures: outcome.failures.clone(),
+            retries: 0,
             aux_bytes: outcome.aux_bytes,
         }
     }
@@ -60,6 +84,11 @@ impl QueryRecord {
     /// Total query time.
     pub fn query_time(&self) -> Duration {
         self.filter_time + self.verify_time
+    }
+
+    /// Whether the wall-clock budget expired (back-compat helper).
+    pub fn timed_out(&self) -> bool {
+        self.status.is_timed_out()
     }
 }
 
@@ -131,17 +160,39 @@ impl QuerySetReport {
         })
     }
 
-    /// Number of queries that exceeded the budget.
+    /// Number of queries that exceeded the wall-clock budget (only; panics
+    /// and resource exhaustion are counted separately).
     pub fn timeout_count(&self) -> usize {
-        self.records.iter().filter(|r| r.timed_out).count()
+        self.records.iter().filter(|r| r.status.is_timed_out()).count()
     }
 
-    /// Fraction of queries completed within the budget.
+    /// Number of queries that panicked (after exhausting any retries).
+    pub fn panic_count(&self) -> usize {
+        self.records.iter().filter(|r| r.status.is_panicked()).count()
+    }
+
+    /// Number of queries that tripped a resource budget.
+    pub fn exhausted_count(&self) -> usize {
+        self.records.iter().filter(|r| r.status.is_exhausted()).count()
+    }
+
+    /// Number of queries that ended in any non-completed state.
+    pub fn failure_count(&self) -> usize {
+        self.records.iter().filter(|r| !r.status.is_completed()).count()
+    }
+
+    /// Total retry attempts spent across the set.
+    pub fn total_retries(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.retries)).sum()
+    }
+
+    /// Fraction of queries that completed (any failure mode counts against
+    /// completion).
     pub fn completion_rate(&self) -> f64 {
         if self.records.is_empty() {
             return 1.0;
         }
-        1.0 - self.timeout_count() as f64 / self.records.len() as f64
+        1.0 - self.failure_count() as f64 / self.records.len() as f64
     }
 
     /// Peak auxiliary bytes across the set.
@@ -160,6 +211,7 @@ impl QuerySetReport {
 mod tests {
     use super::*;
     use sqp_graph::database::GraphId;
+    use sqp_matching::ResourceKind;
 
     fn record(filter_ms: u64, verify_ms: u64, cands: usize, answers: usize) -> QueryRecord {
         QueryRecord {
@@ -167,9 +219,12 @@ mod tests {
             verify_time: Duration::from_millis(verify_ms),
             candidates: cands,
             answers,
-            timed_out: false,
-            aux_bytes: 0,
+            ..Default::default()
         }
+    }
+
+    fn with_status(status: QueryStatus) -> QueryRecord {
+        QueryRecord { status, ..Default::default() }
     }
 
     #[test]
@@ -215,11 +270,11 @@ mod tests {
             candidates: 3,
             filter_time: Duration::from_millis(400),
             verify_time: Duration::from_millis(1600),
-            timed_out: true,
-            aux_bytes: 0,
+            status: QueryStatus::TimedOut,
+            ..Default::default()
         };
         let r = QueryRecord::from_outcome(&outcome, Some(Duration::from_millis(1000)));
-        assert!(r.timed_out);
+        assert!(r.timed_out());
         assert!((r.query_time().as_secs_f64() - 1.0).abs() < 1e-6);
         // Split preserved 1:4.
         assert!((r.filter_time.as_secs_f64() - 0.2).abs() < 1e-6);
@@ -242,8 +297,8 @@ mod tests {
             candidates: 2,
             filter_time: Duration::from_millis(50),
             verify_time: Duration::from_millis(150),
-            timed_out: true,
-            aux_bytes: 0,
+            status: QueryStatus::TimedOut,
+            ..Default::default()
         };
         let r = QueryRecord::from_outcome(&outcome, Some(Duration::from_millis(1000)));
         assert!((r.query_time().as_secs_f64() - 1.0).abs() < 1e-6);
@@ -253,7 +308,7 @@ mod tests {
 
     #[test]
     fn timeout_with_zero_measured_time_charges_budget_to_filter() {
-        let outcome = QueryOutcome { timed_out: true, ..Default::default() };
+        let outcome = QueryOutcome { status: QueryStatus::TimedOut, ..Default::default() };
         let r = QueryRecord::from_outcome(&outcome, Some(Duration::from_millis(700)));
         assert_eq!(r.filter_time, Duration::from_millis(700));
         assert_eq!(r.verify_time, Duration::ZERO);
@@ -273,10 +328,54 @@ mod tests {
     }
 
     #[test]
+    fn panicked_and_exhausted_records_are_not_pinned_to_budget() {
+        // Only wall-clock timeouts are recorded at the limit; a panicked or
+        // resource-exhausted query keeps its measured (partial) time.
+        for status in [
+            QueryStatus::Panicked { message: "boom".into() },
+            QueryStatus::ResourceExhausted { kind: ResourceKind::Steps },
+        ] {
+            let outcome = QueryOutcome {
+                filter_time: Duration::from_millis(10),
+                verify_time: Duration::from_millis(30),
+                status: status.clone(),
+                ..Default::default()
+            };
+            let r = QueryRecord::from_outcome(&outcome, Some(Duration::from_secs(600)));
+            assert_eq!(r.status, status);
+            assert!(!r.timed_out());
+            assert_eq!(r.query_time(), Duration::from_millis(40));
+        }
+    }
+
+    #[test]
+    fn status_rollups_are_disjoint() {
+        let mut rep = QuerySetReport::new("X", "Q");
+        rep.records.push(record(1, 1, 1, 1));
+        rep.records.push(with_status(QueryStatus::TimedOut));
+        rep.records.push(with_status(QueryStatus::TimedOut));
+        rep.records.push(with_status(QueryStatus::Panicked { message: "p".into() }));
+        rep.records
+            .push(with_status(QueryStatus::ResourceExhausted { kind: ResourceKind::Memory }));
+        let mut retried = record(1, 1, 1, 1);
+        retried.retries = 2;
+        rep.records.push(retried);
+
+        assert_eq!(rep.timeout_count(), 2);
+        assert_eq!(rep.panic_count(), 1);
+        assert_eq!(rep.exhausted_count(), 1);
+        assert_eq!(rep.failure_count(), 4);
+        assert_eq!(rep.total_retries(), 2);
+        assert!((rep.completion_rate() - 2.0 / 6.0).abs() < 1e-9);
+        assert!(rep.should_omit());
+    }
+
+    #[test]
     fn empty_report_defaults() {
         let r = QuerySetReport::new("X", "Q");
         assert_eq!(r.avg_query_ms(), 0.0);
         assert_eq!(r.completion_rate(), 1.0);
+        assert_eq!(r.total_retries(), 0);
         assert!(!r.should_omit());
     }
 }

@@ -28,11 +28,19 @@
 //! candidate counts are identical to the sequential engine's for every
 //! thread count — the only difference is timing.
 //!
+//! Fault isolation (invariant I8): matcher calls are wrapped in
+//! `catch_unwind` *per (query, graph) pair*, so a poisoned pair yields one
+//! [`GraphFailure`] in the outcome while every other graph's answer — and
+//! every sibling query — is preserved. The worker-shard `catch_unwind` in
+//! [`worker_loop`] remains only as an infrastructure backstop; it no longer
+//! discards the worker's completed partial results, and the submitter never
+//! re-panics.
+//!
 //! [`TickChecker`]: sqp_matching::deadline::TickChecker
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,7 +48,24 @@ use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb, HeapSize};
 use sqp_matching::{CancelToken, Deadline, FilterResult, Matcher};
 
-use crate::engine::QueryOutcome;
+use crate::engine::{QueryOutcome, QueryStatus};
+
+/// Locks a mutex, tolerating poisoning: a panicking worker must never deny
+/// the submitter (or its siblings) access to the partial results.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a panic payload for a [`QueryStatus::Panicked`] message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Outcome of a parallel query.
 #[derive(Clone, Debug, Default)]
@@ -55,9 +80,15 @@ pub struct ParallelOutcome {
 }
 
 /// Runs one graph's filter+verify, folding the result into `part`.
-/// Returns `false` when the worker should stop (timeout or cancellation).
+/// Returns `false` when the worker should stop (timeout, cancellation, or a
+/// tripped resource budget).
+///
+/// Both matcher calls are individually wrapped in `catch_unwind`: a panic on
+/// this (query, graph) pair becomes one [`GraphFailure`] and processing
+/// *continues* with the next graph, so all non-panicking pairs keep their
+/// exact answers (invariant I8).
 #[inline]
-fn process_graph(
+pub(crate) fn process_graph(
     matcher: &dyn Matcher,
     db: &GraphDb,
     q: &Graph,
@@ -67,28 +98,48 @@ fn process_graph(
 ) -> bool {
     let g = db.graph(gid);
     let tf = Instant::now();
-    let filtered = matcher.filter(q, g, deadline);
+    let filtered = catch_unwind(AssertUnwindSafe(|| matcher.filter(q, g, deadline)));
     part.filter_time += tf.elapsed();
+    let filtered = match filtered {
+        Ok(r) => r,
+        Err(payload) => {
+            part.record_panic(gid, panic_message(payload));
+            return true;
+        }
+    };
     match filtered {
         Err(_) => {
-            part.timed_out = true;
+            part.record_interrupt(gid, deadline);
             false
         }
         Ok(FilterResult::Pruned) => true,
         Ok(FilterResult::Space(space)) => {
             part.candidates += 1;
-            part.aux_bytes = part.aux_bytes.max(space.heap_size());
+            let bytes = space.heap_size();
+            part.aux_bytes = part.aux_bytes.max(bytes);
+            deadline.guard().note_aux_bytes(bytes);
+            if deadline.check().is_err() {
+                // The candidate space itself blew the memory budget (or a
+                // sibling expired the deadline while we built it).
+                part.record_interrupt(gid, deadline);
+                return false;
+            }
             let tv = Instant::now();
-            let verdict = matcher.find_first(q, g, &space, deadline);
+            let verdict =
+                catch_unwind(AssertUnwindSafe(|| matcher.find_first(q, g, &space, deadline)));
             part.verify_time += tv.elapsed();
             match verdict {
-                Ok(Some(_)) => {
+                Err(payload) => {
+                    part.record_panic(gid, panic_message(payload));
+                    true
+                }
+                Ok(Ok(Some(_))) => {
                     part.answers.push(gid);
                     true
                 }
-                Ok(None) => true,
-                Err(_) => {
-                    part.timed_out = true;
+                Ok(Ok(None)) => true,
+                Ok(Err(_)) => {
+                    part.record_interrupt(gid, deadline);
                     false
                 }
             }
@@ -103,10 +154,12 @@ fn merge_parts(parts: Vec<QueryOutcome>) -> QueryOutcome {
         merged.candidates += part.candidates;
         merged.filter_time += part.filter_time;
         merged.verify_time += part.verify_time;
-        merged.timed_out |= part.timed_out;
+        merged.status.absorb(part.status);
+        merged.failures.extend(part.failures);
         merged.aux_bytes = merged.aux_bytes.max(part.aux_bytes);
     }
     merged.answers.sort_unstable();
+    merged.finalize();
     merged
 }
 
@@ -129,8 +182,10 @@ struct Job {
     parts: Mutex<Vec<QueryOutcome>>,
     /// Workers that have not yet finished this job.
     remaining: AtomicUsize,
-    /// Set when a worker panicked; the submitter re-raises.
-    panicked: AtomicBool,
+    /// First infrastructure panic that escaped the per-graph isolation (our
+    /// own pool code, not a matcher); the submitter degrades the outcome
+    /// instead of re-raising, and the worker's `parts` survive.
+    panic_note: Mutex<Option<String>>,
 }
 
 impl Job {
@@ -141,7 +196,7 @@ impl Job {
             // Re-check between graphs so cancellation raised by a sibling is
             // honored even when this worker's own matcher calls are short.
             if self.deadline.check().is_err() {
-                part.timed_out = true;
+                part.status.absorb(QueryStatus::from_interrupt(self.deadline));
                 break;
             }
             let i = self.next.fetch_add(1, Ordering::Relaxed);
@@ -156,6 +211,24 @@ impl Job {
             }
         }
         part
+    }
+
+    /// Runs one worker shard with the infrastructure backstop: a panic that
+    /// escapes per-graph isolation is recorded in `panic_note`, siblings are
+    /// cancelled, and previously pushed parts are left intact.
+    fn run_worker_guarded(&self) {
+        match catch_unwind(AssertUnwindSafe(|| self.run_worker())) {
+            Ok(part) => lock(&self.parts).push(part),
+            Err(payload) => {
+                let mut note = lock(&self.panic_note);
+                if note.is_none() {
+                    *note = Some(panic_message(payload));
+                }
+                drop(note);
+                // Unblock siblings still grinding on their graphs.
+                self.deadline.cancel_token().cancel();
+            }
+        }
     }
 }
 
@@ -210,7 +283,9 @@ pub struct QueryPool {
 }
 
 impl QueryPool {
-    /// Spawns a pool with `threads` persistent workers (at least one).
+    /// Spawns a pool with `threads` persistent workers (at least one
+    /// requested; if the OS refuses to spawn any thread at all, the pool
+    /// degrades to running queries inline on the submitting thread).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
@@ -218,15 +293,18 @@ impl QueryPool {
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
         });
-        let workers = (0..threads)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("sqp-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("sqp-pool-{i}"))
+                .spawn(move || worker_loop(&shared))
+            {
+                Ok(handle) => workers.push(handle),
+                // Out of threads: run with however many we got.
+                Err(_) => break,
+            }
+        }
         Self { shared, workers, submit: Mutex::new(()), cancel: CancelToken::new() }
     }
 
@@ -236,13 +314,14 @@ impl QueryPool {
         Self::new(n)
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (0 means queries run inline on the
+    /// submitter; see [`QueryPool::new`]).
     pub fn threads(&self) -> usize {
         self.workers.len()
     }
 
     /// Cancels the in-flight query (if any): all workers observe expiry at
-    /// their next deadline check and the outcome is flagged `timed_out`.
+    /// their next deadline check and the outcome is flagged timed out.
     pub fn cancel(&self) {
         self.cancel.cancel();
     }
@@ -253,10 +332,13 @@ impl QueryPool {
     ///
     /// The pool attaches its own [`CancelToken`] to `deadline`, so the first
     /// worker to time out stops all others promptly and the merged outcome
-    /// is flagged `timed_out`.
+    /// is flagged timed out.
     ///
-    /// # Panics
-    /// Re-raises if a worker panicked while processing the query.
+    /// This method never panics on matcher failures: a panic on one (query,
+    /// graph) pair degrades that pair to a [`GraphFailure`] (all other
+    /// answers are preserved), and even an infrastructure panic in the pool
+    /// itself is absorbed into [`QueryStatus::Panicked`] with every
+    /// completed worker part intact.
     pub fn query(
         &self,
         matcher: Arc<dyn Matcher>,
@@ -264,7 +346,7 @@ impl QueryPool {
         q: &Graph,
         deadline: Deadline,
     ) -> ParallelOutcome {
-        let _serial = self.submit.lock().unwrap();
+        let _serial = lock(&self.submit);
         // Workers are idle here (previous job fully drained), so the flag
         // can be reused without racing a stale cancellation.
         self.cancel.reset();
@@ -277,33 +359,40 @@ impl QueryPool {
             q: q.clone(),
             deadline,
             next: AtomicUsize::new(0),
-            parts: Mutex::new(Vec::with_capacity(threads)),
+            parts: Mutex::new(Vec::with_capacity(threads.max(1))),
             remaining: AtomicUsize::new(threads),
-            panicked: AtomicBool::new(false),
+            panic_note: Mutex::new(None),
         });
 
-        let mut state = self.shared.state.lock().unwrap();
-        state.job = Some(Arc::clone(&job));
-        state.epoch += 1;
-        self.shared.work_ready.notify_all();
-        while job.remaining.load(Ordering::Acquire) != 0 {
-            state = self.shared.job_done.wait(state).unwrap();
+        if threads == 0 {
+            // Degraded pool (no worker threads spawned): run the single
+            // shard inline on the submitter, with the same backstop.
+            job.run_worker_guarded();
+        } else {
+            let mut state = lock(&self.shared.state);
+            state.job = Some(Arc::clone(&job));
+            state.epoch += 1;
+            self.shared.work_ready.notify_all();
+            while job.remaining.load(Ordering::Acquire) != 0 {
+                state = self.shared.job_done.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+            state.job = None;
+            drop(state);
         }
-        state.job = None;
-        drop(state);
 
-        if job.panicked.load(Ordering::Acquire) {
-            panic!("parallel query worker panicked");
+        let parts = std::mem::take(&mut *lock(&job.parts));
+        let mut outcome = merge_parts(parts);
+        if let Some(message) = lock(&job.panic_note).take() {
+            outcome.status.absorb(QueryStatus::Panicked { message });
         }
-        let parts = std::mem::take(&mut *job.parts.lock().unwrap());
-        ParallelOutcome { outcome: merge_parts(parts), wall_time: t0.elapsed(), threads }
+        ParallelOutcome { outcome, wall_time: t0.elapsed(), threads: threads.max(1) }
     }
 }
 
 impl Drop for QueryPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock(&self.shared.state);
             state.shutdown = true;
             self.shared.work_ready.notify_all();
         }
@@ -317,29 +406,28 @@ fn worker_loop(shared: &PoolShared) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock(&shared.state);
             loop {
                 if state.shutdown {
                     return;
                 }
                 if state.epoch != seen_epoch {
                     seen_epoch = state.epoch;
-                    break state.job.as_ref().map(Arc::clone).expect("epoch implies job");
+                    match state.job.as_ref() {
+                        Some(job) => break Arc::clone(job),
+                        // A new epoch always installs a job first; treat a
+                        // missing one as a spurious wakeup rather than
+                        // poisoning the whole pool.
+                        None => continue,
+                    }
                 }
-                state = shared.work_ready.wait(state).unwrap();
+                state = shared.work_ready.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        match catch_unwind(AssertUnwindSafe(|| job.run_worker())) {
-            Ok(part) => job.parts.lock().unwrap().push(part),
-            Err(_) => {
-                job.panicked.store(true, Ordering::Release);
-                // Unblock siblings still grinding on their graphs.
-                job.deadline.cancel_token().cancel();
-            }
-        }
+        job.run_worker_guarded();
         // Decrement under the state lock so the submitter can't check the
         // counter and sleep between our decrement and notify (missed wakeup).
-        let _state = shared.state.lock().unwrap();
+        let _state = lock(&shared.state);
         if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             shared.job_done.notify_all();
         }
@@ -383,12 +471,12 @@ pub fn parallel_query(
                         break;
                     }
                 }
-                parts.lock().unwrap().push(part);
+                lock(parts).push(part);
             });
         }
     });
 
-    let merged = merge_parts(parts.into_inner().unwrap());
+    let merged = merge_parts(parts.into_inner().unwrap_or_else(PoisonError::into_inner));
     ParallelOutcome { outcome: merged, wall_time: t0.elapsed(), threads }
 }
 
@@ -482,7 +570,7 @@ mod tests {
         let pool = QueryPool::new(4);
         let r = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none());
         assert!(r.outcome.answers.is_empty());
-        assert!(!r.outcome.timed_out);
+        assert!(!r.outcome.timed_out());
     }
 
     #[test]
@@ -492,10 +580,10 @@ mod tests {
         let d = Deadline::at(std::time::Instant::now() - Duration::from_millis(1));
         let pool = QueryPool::new(4);
         let r = pool.query(Arc::new(Cfql::new()), &db, &q, d);
-        assert!(r.outcome.timed_out);
+        assert!(r.outcome.timed_out());
         // And the pool remains usable for the next (unbudgeted) query.
         let ok = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none());
-        assert!(!ok.outcome.timed_out);
+        assert!(!ok.outcome.timed_out());
         assert_eq!(ok.outcome.answers.len(), 20);
     }
 
@@ -512,7 +600,7 @@ mod tests {
         // reset happens inside query(); cancel *during* the run instead.
         let matcher: Arc<dyn Matcher> = Arc::new(Cfql::new());
         let r = pool.query(Arc::clone(&matcher), &db, &q, Deadline::none());
-        assert!(!r.outcome.timed_out, "reset must clear a stale cancel");
+        assert!(!r.outcome.timed_out(), "reset must clear a stale cancel");
 
         // Now cancel mid-flight from another thread.
         std::thread::scope(|s| {
@@ -534,6 +622,132 @@ mod tests {
         let q = labeled(&[0, 1], &[(0, 1)]);
         let d = Deadline::at(std::time::Instant::now() - Duration::from_millis(1));
         let r = parallel_query(&Cfql::new(), &db, &q, 4, d);
-        assert!(r.outcome.timed_out);
+        assert!(r.outcome.timed_out());
+    }
+
+    /// A matcher that panics when filtering any data graph whose vertex 0
+    /// carries `poison_label`; otherwise delegates to CFQL.
+    struct PanicOn {
+        inner: Cfql,
+        poison_label: Label,
+    }
+
+    impl Matcher for PanicOn {
+        fn name(&self) -> &'static str {
+            "panic-on"
+        }
+        fn filter(
+            &self,
+            q: &Graph,
+            g: &Graph,
+            deadline: Deadline,
+        ) -> Result<FilterResult, sqp_matching::Timeout> {
+            if g.vertex_count() > 0 && g.label(sqp_graph::VertexId(0)) == self.poison_label {
+                panic!("injected matcher panic");
+            }
+            self.inner.filter(q, g, deadline)
+        }
+        fn find_first(
+            &self,
+            q: &Graph,
+            g: &Graph,
+            space: &sqp_matching::CandidateSpace,
+            deadline: Deadline,
+        ) -> Result<Option<sqp_matching::Embedding>, sqp_matching::Timeout> {
+            self.inner.find_first(q, g, space, deadline)
+        }
+        fn enumerate(
+            &self,
+            q: &Graph,
+            g: &Graph,
+            space: &sqp_matching::CandidateSpace,
+            limit: u64,
+            deadline: Deadline,
+            on_match: &mut dyn FnMut(&sqp_matching::Embedding),
+        ) -> Result<u64, sqp_matching::Timeout> {
+            self.inner.enumerate(q, g, space, limit, deadline, on_match)
+        }
+    }
+
+    /// A database where graph `poison` has a distinctive first label the
+    /// test matcher panics on; every other graph answers the edge query.
+    fn poisoned_db(n: usize, poison: usize) -> Arc<GraphDb> {
+        let graphs = (0..n)
+            .map(|i| {
+                if i == poison {
+                    labeled(&[9, 1], &[(0, 1)])
+                } else {
+                    labeled(&[0, 1], &[(0, 1)])
+                }
+            })
+            .collect();
+        Arc::new(GraphDb::from_graphs(graphs))
+    }
+
+    #[test]
+    fn panic_on_one_graph_preserves_all_other_answers() {
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        for threads in [1, 2, 4, 8] {
+            let db = poisoned_db(20, 7);
+            let pool = QueryPool::new(threads);
+            let matcher: Arc<dyn Matcher> =
+                Arc::new(PanicOn { inner: Cfql::new(), poison_label: Label(9) });
+            let r = pool.query(Arc::clone(&matcher), &db, &q, Deadline::none());
+            // All 19 healthy graphs answered; the poisoned one is attributed.
+            let expected: Vec<GraphId> = (0..20u32).filter(|&i| i != 7).map(GraphId).collect();
+            assert_eq!(r.outcome.answers, expected, "{threads} threads");
+            assert!(r.outcome.status.is_panicked(), "{threads} threads");
+            assert_eq!(r.outcome.failures.len(), 1);
+            assert_eq!(r.outcome.failures[0].graph, GraphId(7));
+            assert!(r.outcome.failures[0].status.is_panicked());
+            match &r.outcome.status {
+                QueryStatus::Panicked { message } => {
+                    assert!(message.contains("injected matcher panic"), "{message}");
+                }
+                other => panic!("unexpected status {other:?}"),
+            }
+            // The pool stays usable after the panic. (The poisoned graph has
+            // labels [9, 1], so even a healthy matcher rejects it: 19 answers.)
+            let ok = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none());
+            assert_eq!(ok.outcome.answers, expected);
+            assert!(ok.outcome.status.is_completed());
+        }
+    }
+
+    #[test]
+    fn panic_attribution_is_deterministic_across_thread_counts() {
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let mut baseline: Option<QueryOutcome> = None;
+        for threads in [1, 2, 4, 8] {
+            let db = poisoned_db(16, 3);
+            let pool = QueryPool::new(threads);
+            let matcher: Arc<dyn Matcher> =
+                Arc::new(PanicOn { inner: Cfql::new(), poison_label: Label(9) });
+            let r = pool.query(matcher, &db, &q, Deadline::none());
+            match &baseline {
+                None => baseline = Some(r.outcome),
+                Some(b) => {
+                    assert_eq!(b.answers, r.outcome.answers, "{threads} threads");
+                    assert_eq!(b.status, r.outcome.status, "{threads} threads");
+                    assert_eq!(b.failures, r.outcome.failures, "{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resource_exhaustion_classified_not_timed_out() {
+        use sqp_matching::{ResourceGuard, ResourceKind, ResourceLimits};
+        let db = db(30);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let guard = ResourceGuard::new();
+        // A 1-byte aux budget trips on the first candidate space.
+        guard.reset(ResourceLimits::unlimited().with_max_aux_bytes(1));
+        let pool = QueryPool::new(4);
+        let r = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none().with_guard(guard));
+        assert!(r.outcome.status.is_exhausted());
+        assert_eq!(r.outcome.status, QueryStatus::ResourceExhausted { kind: ResourceKind::Memory });
+        assert!(!r.outcome.timed_out());
+        assert!(!r.outcome.failures.is_empty());
     }
 }

@@ -1,14 +1,16 @@
-//! Running query sets against engines.
+//! Running query sets against engines, with per-query fault isolation and a
+//! bounded retry-with-backoff policy for transient panics.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
 use sqp_graph::{Graph, GraphDb};
-use sqp_matching::{Deadline, Matcher};
+use sqp_matching::{Deadline, Matcher, ResourceLimits};
 
-use crate::engine::QueryEngine;
+use crate::engine::{QueryEngine, QueryOutcome};
 use crate::metrics::{QueryRecord, QuerySetReport};
-use crate::parallel::QueryPool;
+use crate::parallel::{panic_message, QueryPool};
 
 /// Configuration of a query-set run.
 #[derive(Clone, Copy, Debug)]
@@ -17,13 +19,29 @@ pub struct RunnerConfig {
     pub query_budget: Option<Duration>,
     /// Stop early once this many queries timed out — the paper omits a
     /// query set after 40% failures, so burning the full budget on every
-    /// remaining query is pointless. `None` = never stop early.
+    /// remaining query is pointless. `None` = never stop early. Only
+    /// wall-clock timeouts count; panics and resource exhaustion do not.
     pub abort_after_timeouts: Option<usize>,
+    /// How many times to re-run a *panicked* query before recording the
+    /// failure (transient faults: a poisoned cache line, an injected chaos
+    /// fault that moves). Timeouts and resource exhaustion are
+    /// deterministic under a fixed budget, so they are never retried.
+    pub max_retries: u32,
+    /// Backoff before the first retry, doubling per attempt.
+    pub retry_backoff: Duration,
+    /// Per-query resource budgets (enumeration steps / auxiliary bytes).
+    pub limits: ResourceLimits,
 }
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        Self { query_budget: Some(Duration::from_secs(600)), abort_after_timeouts: None }
+        Self {
+            query_budget: Some(Duration::from_secs(600)),
+            abort_after_timeouts: None,
+            max_retries: 0,
+            retry_backoff: Duration::from_millis(10),
+            limits: ResourceLimits::unlimited(),
+        }
     }
 }
 
@@ -32,11 +50,40 @@ impl RunnerConfig {
     pub fn with_budget(budget: Duration) -> Self {
         Self { query_budget: Some(budget), ..Self::default() }
     }
+
+    /// A configuration with the given retry policy.
+    pub fn with_retries(max_retries: u32) -> Self {
+        Self { max_retries, ..Self::default() }
+    }
+}
+
+/// Runs one query through `attempt`, retrying panicked outcomes up to
+/// `config.max_retries` times with doubling backoff. Returns the final
+/// outcome and the number of retries spent.
+fn run_with_retries(
+    config: RunnerConfig,
+    mut attempt: impl FnMut() -> QueryOutcome,
+) -> (QueryOutcome, u32) {
+    let mut outcome = attempt();
+    let mut retries = 0;
+    let mut backoff = config.retry_backoff;
+    while outcome.status.is_panicked() && retries < config.max_retries {
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        backoff = backoff.saturating_mul(2);
+        retries += 1;
+        outcome = attempt();
+    }
+    (outcome, retries)
 }
 
 /// Runs `queries` against a built engine, producing a [`QuerySetReport`].
 ///
 /// The engine must already have been [`build`](QueryEngine::build)-ed.
+/// Each query is individually guarded: a panic that escapes the engine is
+/// caught here and recorded as one degraded [`QueryRecord`] — every other
+/// query in the set still runs and keeps its exact answers.
 pub fn run_query_set(
     engine: &mut dyn QueryEngine,
     query_set_name: &str,
@@ -44,10 +91,17 @@ pub fn run_query_set(
     config: RunnerConfig,
 ) -> QuerySetReport {
     engine.set_query_budget(config.query_budget);
+    engine.set_resource_limits(config.limits);
     let mut report = QuerySetReport::new(engine.name(), query_set_name);
     for q in queries {
-        let outcome = engine.query(q);
-        report.records.push(QueryRecord::from_outcome(&outcome, config.query_budget));
+        let (outcome, retries) =
+            run_with_retries(config, || match catch_unwind(AssertUnwindSafe(|| engine.query(q))) {
+                Ok(outcome) => outcome,
+                Err(payload) => QueryOutcome::panicked(panic_message(payload)),
+            });
+        let mut record = QueryRecord::from_outcome(&outcome, config.query_budget);
+        record.retries = retries;
+        report.records.push(record);
         if let Some(max) = config.abort_after_timeouts {
             if report.timeout_count() >= max {
                 break;
@@ -64,7 +118,9 @@ pub fn run_query_set(
 /// corresponding vcFV engine (invariant I4); the recorded per-phase times are
 /// summed worker CPU times, so a parallel run's `avg_query_ms` measures work,
 /// not latency (see `DESIGN.md` §2.4). Timed-out queries cancel all workers
-/// cooperatively and are recorded at exactly the budget.
+/// cooperatively and are recorded at exactly the budget. The pool already
+/// isolates panics per (query, graph) pair; panicked queries are retried per
+/// `config.max_retries`.
 pub fn run_query_set_parallel(
     pool: &QueryPool,
     matcher: Arc<dyn Matcher>,
@@ -75,10 +131,17 @@ pub fn run_query_set_parallel(
     config: RunnerConfig,
 ) -> QuerySetReport {
     let mut report = QuerySetReport::new(engine_name, query_set_name);
+    let guard = sqp_matching::ResourceGuard::new();
     for q in queries {
-        let deadline = config.query_budget.map_or(Deadline::none(), Deadline::after);
-        let outcome = pool.query(Arc::clone(&matcher), db, q, deadline).outcome;
-        report.records.push(QueryRecord::from_outcome(&outcome, config.query_budget));
+        let (outcome, retries) = run_with_retries(config, || {
+            guard.reset(config.limits);
+            let deadline =
+                config.query_budget.map_or(Deadline::none(), Deadline::after).with_guard(guard);
+            pool.query(Arc::clone(&matcher), db, q, deadline).outcome
+        });
+        let mut record = QueryRecord::from_outcome(&outcome, config.query_budget);
+        record.retries = retries;
+        report.records.push(record);
         if let Some(max) = config.abort_after_timeouts {
             if report.timeout_count() >= max {
                 break;
@@ -91,6 +154,7 @@ pub fn run_query_set_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::QueryStatus;
     use crate::engines::CfqlEngine;
     use sqp_matching::cfql::Cfql;
 
@@ -123,6 +187,8 @@ mod tests {
         assert_eq!(report.records[0].answers, 2);
         assert_eq!(report.records[1].answers, 1);
         assert_eq!(report.timeout_count(), 0);
+        assert_eq!(report.panic_count(), 0);
+        assert_eq!(report.total_retries(), 0);
     }
 
     #[test]
@@ -135,6 +201,7 @@ mod tests {
         let config = RunnerConfig {
             query_budget: Some(Duration::from_nanos(0)),
             abort_after_timeouts: Some(1),
+            ..RunnerConfig::default()
         };
         let queries = vec![labeled(&[0], &[]); 10];
         let report = run_query_set(&mut engine, "Q", &queries, config);
@@ -169,7 +236,7 @@ mod tests {
         for (s, p) in seq.records.iter().zip(par.records.iter()) {
             assert_eq!(s.answers, p.answers);
             assert_eq!(s.candidates, p.candidates);
-            assert_eq!(s.timed_out, p.timed_out);
+            assert_eq!(s.status, p.status);
         }
     }
 
@@ -189,5 +256,133 @@ mod tests {
         );
         assert_eq!(report.timeout_count(), 1);
         assert_eq!(report.records[0].query_time(), budget);
+    }
+
+    /// An engine whose `query` panics the first `fail_times` calls, then
+    /// succeeds — exercises the retry-with-backoff path.
+    struct FlakyEngine {
+        inner: CfqlEngine,
+        remaining_failures: std::cell::Cell<u32>,
+    }
+
+    impl QueryEngine for FlakyEngine {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn category(&self) -> crate::engine::EngineCategory {
+            self.inner.category()
+        }
+        fn build(
+            &mut self,
+            db: &Arc<GraphDb>,
+        ) -> Result<crate::engine::BuildReport, sqp_index::BuildError> {
+            self.inner.build(db)
+        }
+        fn query(&self, q: &Graph) -> QueryOutcome {
+            let left = self.remaining_failures.get();
+            if left > 0 {
+                self.remaining_failures.set(left - 1);
+                panic!("transient fault");
+            }
+            self.inner.query(q)
+        }
+        fn set_query_budget(&mut self, budget: Option<Duration>) {
+            self.inner.set_query_budget(budget);
+        }
+        fn index_bytes(&self) -> usize {
+            self.inner.index_bytes()
+        }
+    }
+
+    #[test]
+    fn sequential_runner_survives_engine_panic() {
+        let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)])]));
+        let mut engine =
+            FlakyEngine { inner: CfqlEngine::new(), remaining_failures: std::cell::Cell::new(1) };
+        engine.build(&db).unwrap();
+        let queries = vec![labeled(&[0, 1], &[(0, 1)]); 3];
+        // No retries: the first query records the panic, the rest complete.
+        let report = run_query_set(&mut engine, "Q", &queries, RunnerConfig::default());
+        assert_eq!(report.records.len(), 3);
+        assert!(report.records[0].status.is_panicked());
+        assert_eq!(report.records[0].answers, 0);
+        assert!(report.records[1].status.is_completed());
+        assert_eq!(report.records[1].answers, 1);
+        assert_eq!(report.panic_count(), 1);
+    }
+
+    #[test]
+    fn retry_recovers_transient_panic() {
+        let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)])]));
+        let mut engine =
+            FlakyEngine { inner: CfqlEngine::new(), remaining_failures: std::cell::Cell::new(2) };
+        engine.build(&db).unwrap();
+        let config = RunnerConfig {
+            max_retries: 3,
+            retry_backoff: Duration::ZERO,
+            ..RunnerConfig::default()
+        };
+        let report = run_query_set(&mut engine, "Q", &[labeled(&[0, 1], &[(0, 1)])], config);
+        assert_eq!(report.records.len(), 1);
+        assert!(report.records[0].status.is_completed(), "{:?}", report.records[0].status);
+        assert_eq!(report.records[0].answers, 1);
+        assert_eq!(report.records[0].retries, 2);
+        assert_eq!(report.total_retries(), 2);
+        assert_eq!(report.panic_count(), 0);
+    }
+
+    #[test]
+    fn retries_exhausted_records_panic() {
+        let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)])]));
+        let mut engine = FlakyEngine {
+            inner: CfqlEngine::new(),
+            remaining_failures: std::cell::Cell::new(u32::MAX),
+        };
+        engine.build(&db).unwrap();
+        let config = RunnerConfig {
+            max_retries: 2,
+            retry_backoff: Duration::ZERO,
+            ..RunnerConfig::default()
+        };
+        let report = run_query_set(&mut engine, "Q", &[labeled(&[0, 1], &[(0, 1)])], config);
+        assert!(report.records[0].status.is_panicked());
+        assert_eq!(report.records[0].retries, 2);
+    }
+
+    #[test]
+    fn abort_after_timeouts_ignores_panics() {
+        let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)])]));
+        let mut engine =
+            FlakyEngine { inner: CfqlEngine::new(), remaining_failures: std::cell::Cell::new(2) };
+        engine.build(&db).unwrap();
+        let config = RunnerConfig { abort_after_timeouts: Some(1), ..RunnerConfig::default() };
+        let queries = vec![labeled(&[0, 1], &[(0, 1)]); 4];
+        let report = run_query_set(&mut engine, "Q", &queries, config);
+        // Two panics, zero timeouts: the abort threshold never fires.
+        assert_eq!(report.records.len(), 4);
+        assert_eq!(report.panic_count(), 2);
+        assert_eq!(report.timeout_count(), 0);
+    }
+
+    #[test]
+    fn resource_limits_surface_as_exhausted() {
+        let db = Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)]); 6]));
+        let pool = QueryPool::new(2);
+        let config = RunnerConfig {
+            limits: ResourceLimits::unlimited().with_max_aux_bytes(1),
+            ..RunnerConfig::default()
+        };
+        let report = run_query_set_parallel(
+            &pool,
+            Arc::new(Cfql::new()),
+            &db,
+            "CFQL-par",
+            "Q",
+            &[labeled(&[0, 1], &[(0, 1)])],
+            config,
+        );
+        assert_eq!(report.exhausted_count(), 1);
+        assert_eq!(report.timeout_count(), 0);
+        assert!(matches!(report.records[0].status, QueryStatus::ResourceExhausted { .. }));
     }
 }

@@ -144,7 +144,11 @@ impl BfsTree {
         // order is a permutation; linear scan is fine for query-sized graphs,
         // but keep it O(1) via the level ranges + per-level scan.
         let (s, e) = self.level_ranges[self.level(v) as usize];
-        self.order[s as usize..e as usize].iter().position(|&w| w == v).unwrap() + s as usize
+        let in_level = match self.order[s as usize..e as usize].iter().position(|&w| w == v) {
+            Some(p) => p,
+            None => panic!("vertex {v:?} missing from its BFS level; order is not a permutation"),
+        };
+        in_level + s as usize
     }
 }
 

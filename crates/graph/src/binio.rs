@@ -5,12 +5,20 @@
 //! module provides a length-prefixed little-endian binary encoding that
 //! round-trips a [`GraphDb`] (graphs + label interner) byte-exactly.
 //!
-//! Layout:
+//! Layout (version 2):
 //!
 //! ```text
 //! magic "SQPG" | version u32 | #interned u32 | {len u32, utf8 bytes}*
 //! | #graphs u32 | per graph: |V| u32, labels u32*, |E| u32, (u32, u32)*
+//! | fnv1a-64 checksum u64 over everything before it
 //! ```
+//!
+//! The trailing checksum (new in version 2) makes truncated or corrupted
+//! files fail with [`GraphError::Binary`] instead of decoding to a wrong
+//! database or panicking. Version 1 files (no checksum) are still read.
+//! Every decoding error carries the byte offset where it was detected, and
+//! declared counts are validated against the remaining input *before* any
+//! allocation, so a malformed header cannot trigger an out-of-memory abort.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -22,9 +30,21 @@ use crate::label::{Label, LabelInterner};
 use crate::vertex::VertexId;
 
 const MAGIC: &[u8; 4] = b"SQPG";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version `from_bytes` still accepts (pre-checksum files).
+const MIN_VERSION: u32 = 1;
 
-/// Serializes a database into a byte buffer.
+/// 64-bit FNV-1a over `bytes` — cheap, dependency-free corruption check.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes a database into a byte buffer (current version, checksummed).
 pub fn to_bytes(db: &GraphDb) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + db.graphs().iter().map(est_size).sum::<usize>());
     buf.put_slice(MAGIC);
@@ -34,7 +54,9 @@ pub fn to_bytes(db: &GraphDb) -> Bytes {
     let interner = db.interner();
     buf.put_u32_le(interner.len() as u32);
     for id in 0..interner.len() as u32 {
-        let name = interner.name(Label(id)).expect("dense interner ids");
+        let Some(name) = interner.name(Label(id)) else {
+            panic!("interner ids are dense by construction; {id} missing")
+        };
         buf.put_u32_le(name.len() as u32);
         buf.put_slice(name.as_bytes());
     }
@@ -55,6 +77,8 @@ pub fn to_bytes(db: &GraphDb) -> Bytes {
             }
         }
     }
+    let checksum = fnv1a64(buf.as_ref());
+    buf.put_u64_le(checksum);
     buf.freeze()
 }
 
@@ -62,58 +86,131 @@ fn est_size(g: &Graph) -> usize {
     8 + 4 * g.vertex_count() + 8 * g.edge_count()
 }
 
-fn need(buf: &impl Buf, n: usize) -> Result<()> {
-    if buf.remaining() < n {
-        return Err(GraphError::Parse { line: 0, message: "truncated binary database".into() });
+/// A bounds-checked little-endian reader that knows its byte offset, so
+/// every error can say *where* the file went bad.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, message: impl Into<String>) -> GraphError {
+        GraphError::Binary { offset: self.pos, message: message.into() }
     }
-    Ok(())
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.data.len() - self.pos < n {
+            return Err(self.err(format!(
+                "truncated: need {n} more bytes, have {}",
+                self.data.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.need(n)?;
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
 }
 
 /// Deserializes a database from bytes produced by [`to_bytes`].
+///
+/// Accepts the current checksummed format (version 2) and the original
+/// un-checksummed version 1. Any structural problem — truncation, a count
+/// that exceeds the remaining input, an invalid edge, a checksum mismatch —
+/// returns [`GraphError::Binary`] with the offending byte offset.
 pub fn from_bytes(mut buf: impl Buf) -> Result<GraphDb> {
-    let bad = |message: &str| GraphError::Parse { line: 0, message: message.into() };
-    need(&buf, 8)?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(bad("bad magic; not a binary graph database"));
+    let bytes = buf.copy_to_bytes(buf.remaining());
+    let mut r = Reader { data: &bytes, pos: 0 };
+
+    let magic = r.take(4).map_err(|_| GraphError::Binary {
+        offset: 0,
+        message: "truncated: too short for magic".into(),
+    })?;
+    if magic != MAGIC {
+        return Err(GraphError::Binary {
+            offset: 0,
+            message: "bad magic; not a binary graph database".into(),
+        });
     }
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(bad(&format!("unsupported version {version}")));
+    let version = r.get_u32_le()?;
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(GraphError::Binary {
+            offset: 4,
+            message: format!("unsupported version {version}"),
+        });
     }
 
-    need(&buf, 4)?;
-    let interned = buf.get_u32_le() as usize;
+    // Version 2 carries a trailing fnv1a-64 checksum: verify it up front,
+    // then shrink the reader so the payload loop never touches it.
+    if version >= 2 {
+        if r.remaining() < 8 {
+            return Err(r.err("truncated: missing checksum trailer"));
+        }
+        let body_len = bytes.len() - 8;
+        let mut tail = [0u8; 8];
+        tail.copy_from_slice(&bytes[body_len..]);
+        let stored = u64::from_le_bytes(tail);
+        let actual = fnv1a64(&bytes[..body_len]);
+        if stored != actual {
+            return Err(GraphError::Binary {
+                offset: body_len,
+                message: format!("checksum mismatch: stored {stored:016x}, actual {actual:016x}"),
+            });
+        }
+        r.data = &bytes[..body_len];
+    }
+
+    let interned = r.get_u32_le()? as usize;
     let mut interner = LabelInterner::new();
     for _ in 0..interned {
-        need(&buf, 4)?;
-        let len = buf.get_u32_le() as usize;
-        need(&buf, len)?;
-        let mut bytes = vec![0u8; len];
-        buf.copy_to_slice(&mut bytes);
-        let name = String::from_utf8(bytes).map_err(|_| bad("invalid utf8 label name"))?;
-        interner.intern(&name);
+        let len = r.get_u32_le()? as usize;
+        let at = r.pos;
+        let raw = r.take(len)?;
+        let name = std::str::from_utf8(raw).map_err(|_| GraphError::Binary {
+            offset: at,
+            message: "invalid utf8 label name".into(),
+        })?;
+        interner.intern(name);
     }
 
-    need(&buf, 4)?;
-    let graph_count = buf.get_u32_le() as usize;
+    let graph_count = r.get_u32_le()? as usize;
+    // Each graph is at least 8 bytes (two counts); a count larger than the
+    // remaining input is rejected before `Vec::with_capacity` can OOM.
+    if graph_count.saturating_mul(8) > r.remaining() {
+        return Err(r.err(format!("graph count {graph_count} exceeds remaining input")));
+    }
     let mut graphs = Vec::with_capacity(graph_count);
-    for _ in 0..graph_count {
-        need(&buf, 4)?;
-        let n = buf.get_u32_le() as usize;
+    for gi in 0..graph_count {
+        let n = r.get_u32_le()? as usize;
+        r.need(4 * n)?; // labels must be present before we allocate for them
         let mut b = GraphBuilder::with_capacity(n);
-        need(&buf, 4 * n)?;
         for _ in 0..n {
-            b.add_vertex(Label(buf.get_u32_le()));
+            b.add_vertex(Label(r.get_u32_le()?));
         }
-        need(&buf, 4)?;
-        let m = buf.get_u32_le() as usize;
-        need(&buf, 8 * m)?;
+        let m = r.get_u32_le()? as usize;
+        r.need(8 * m)?;
         for _ in 0..m {
-            let u = VertexId(buf.get_u32_le());
-            let v = VertexId(buf.get_u32_le());
-            b.add_edge(u, v)?;
+            let at = r.pos;
+            let u = VertexId(r.get_u32_le()?);
+            let v = VertexId(r.get_u32_le()?);
+            b.add_edge(u, v).map_err(|e| GraphError::Binary {
+                offset: at,
+                message: format!("graph {gi}: {e}"),
+            })?;
         }
         graphs.push(b.build());
     }
@@ -141,6 +238,15 @@ mod tests {
         GraphDb::with_interner(vec![g0, g1], interner)
     }
 
+    /// Re-encodes `db` in the version-1 layout (no checksum), for
+    /// backwards-compatibility tests.
+    fn to_bytes_v1(db: &GraphDb) -> Bytes {
+        let v2 = to_bytes(db);
+        let mut raw = v2[..v2.len() - 8].to_vec(); // drop checksum
+        raw[4..8].copy_from_slice(&1u32.to_le_bytes());
+        Bytes::from(raw)
+    }
+
     #[test]
     fn round_trip_preserves_everything() {
         let db = sample_db();
@@ -157,6 +263,14 @@ mod tests {
                 assert_eq!(a.neighbors(v), b.neighbors(v));
             }
         }
+    }
+
+    #[test]
+    fn version_1_files_still_load() {
+        let db = sample_db();
+        let db2 = from_bytes(to_bytes_v1(&db)).unwrap();
+        assert_eq!(db.len(), db2.len());
+        assert_eq!(db2.interner().name(Label(1)), Some("N"));
     }
 
     #[test]
@@ -181,6 +295,59 @@ mod tests {
             let slice = bytes.slice(..cut);
             assert!(from_bytes(slice).is_err(), "cut at {cut} should fail");
         }
+    }
+
+    #[test]
+    fn rejects_single_bit_corruption_anywhere() {
+        let bytes = to_bytes(&sample_db());
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.to_vec();
+            flipped[i] ^= 0x01;
+            // Corruption must never decode silently: either an error, or (for
+            // bits in label ids / names that keep the structure valid) a
+            // checksum mismatch — which is also an error. So: always an error.
+            assert!(
+                from_bytes(flipped.as_slice()).is_err(),
+                "bit flip at byte {i} decoded silently"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_counts_fail_before_allocating() {
+        // Header claims 2^31 graphs with 4 trailing bytes of payload: must
+        // fail with a Binary error, not attempt a multi-gigabyte allocation.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(1); // v1: no checksum needed for this probe
+        buf.put_u32_le(0); // no interned labels
+        buf.put_u32_le(0x8000_0000); // graph count
+        buf.put_u32_le(7); // stray payload
+        let err = from_bytes(buf.freeze()).unwrap_err();
+        match err {
+            GraphError::Binary { message, .. } => {
+                assert!(message.contains("exceeds remaining"), "{message}");
+            }
+            other => panic!("expected Binary error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_edge_reports_graph_and_offset() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(1);
+        buf.put_u32_le(0); // labels
+        buf.put_u32_le(1); // one graph
+        buf.put_u32_le(1); // one vertex
+        buf.put_u32_le(0); // its label
+        buf.put_u32_le(1); // one edge
+        buf.put_u32_le(0);
+        buf.put_u32_le(5); // endpoint 5 does not exist
+        let err = from_bytes(buf.freeze()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("graph 0"), "{msg}");
+        assert!(msg.contains("byte"), "{msg}");
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub enum GraphError {
         /// Description of what went wrong.
         message: String,
     },
+    /// A malformed binary database (see `crate::binio`).
+    Binary {
+        /// Byte offset where decoding failed.
+        offset: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
     /// Underlying IO failure.
     Io(io::Error),
 }
@@ -49,6 +56,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Binary { offset, message } => {
+                write!(f, "binary database error at byte {offset}: {message}")
             }
             GraphError::Io(e) => write!(f, "io error: {e}"),
         }
@@ -82,6 +92,9 @@ mod tests {
         assert!(e.to_string().contains("self-loop"));
         let e = GraphError::Parse { line: 4, message: "bad token".into() };
         assert!(e.to_string().contains("line 4"));
+        let e = GraphError::Binary { offset: 12, message: "checksum mismatch".into() };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(e.to_string().contains("checksum"));
     }
 
     #[test]

@@ -92,7 +92,8 @@ pub fn read_graphs<R: Read>(reader: R, interner: &mut LabelInterner) -> Result<V
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(line_no, "expected numeric edge endpoint"))?;
                 // A trailing edge label, if present, is ignored.
-                b.add_edge(VertexId(u), VertexId(v))?;
+                b.add_edge(VertexId(u), VertexId(v))
+                    .map_err(|e| parse_err(line_no, &e.to_string()))?;
             }
             Some(other) => {
                 return Err(parse_err(line_no, &format!("unknown record type '{other}'")));

@@ -1,4 +1,4 @@
-//! Per-query time budgets and cooperative cancellation.
+//! Per-query time budgets, cooperative cancellation, and resource guards.
 //!
 //! The paper gives every query a 10-minute limit and records timed-out
 //! queries at the limit. A [`Deadline`] is threaded through every filter and
@@ -10,8 +10,16 @@
 //! them raises it. The parallel query layer uses this so that when one
 //! worker exhausts the budget, sibling workers stop within one tick interval
 //! instead of burning CPU to their own independent expiry.
+//!
+//! It can further carry a [`ResourceGuard`] — a per-query budget on
+//! enumeration *work* (recursion steps) and auxiliary *memory* (candidate
+//! space bytes). The guard is charged on the same amortized [`TickChecker`]
+//! path the clock uses, so a runaway enumeration is stopped as a structured
+//! [`ResourceKind`] failure instead of grinding to OOM or to the wall-clock
+//! limit. Like the cancel token, a tripped guard expires the deadline for
+//! every holder, so sibling workers of the same query stop promptly.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Error signaling that the per-query time budget was exhausted.
@@ -80,6 +88,181 @@ impl CancelToken {
     }
 }
 
+/// Which per-query resource budget a [`ResourceGuard`] tripped on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// The enumeration-step (recursion) budget was exhausted.
+    Steps,
+    /// The auxiliary-memory (candidate space bytes) budget was exhausted.
+    Memory,
+}
+
+impl std::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceKind::Steps => write!(f, "enumeration steps"),
+            ResourceKind::Memory => write!(f, "auxiliary memory"),
+        }
+    }
+}
+
+/// Per-query resource budgets enforced by a [`ResourceGuard`].
+///
+/// `None` means unlimited. Step budgets are enforced to within one
+/// [`TickChecker`] interval per concurrent worker (the guard is charged in
+/// amortized batches, never per recursion call).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Maximum enumeration (recursion) steps per query, summed over workers.
+    pub max_steps: Option<u64>,
+    /// Maximum auxiliary bytes (peak candidate-space size) per query.
+    pub max_aux_bytes: Option<usize>,
+}
+
+impl ResourceLimits {
+    /// No limits: the guard never trips.
+    pub const fn unlimited() -> Self {
+        Self { max_steps: None, max_aux_bytes: None }
+    }
+
+    /// Limits with the given step budget.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Limits with the given auxiliary-memory budget.
+    pub fn with_max_aux_bytes(mut self, max_aux_bytes: usize) -> Self {
+        self.max_aux_bytes = Some(max_aux_bytes);
+        self
+    }
+
+    /// Whether any budget is set.
+    pub fn is_limited(&self) -> bool {
+        self.max_steps.is_some() || self.max_aux_bytes.is_some()
+    }
+}
+
+const TRIP_NONE: u8 = 0;
+const TRIP_STEPS: u8 = 1;
+const TRIP_MEMORY: u8 = 2;
+
+#[derive(Debug, Default)]
+struct GuardState {
+    max_steps: AtomicU64,
+    max_aux_bytes: AtomicUsize,
+    steps: AtomicU64,
+    /// Which [`ResourceKind`] tripped (`TRIP_*`); 0 when healthy.
+    tripped: AtomicU8,
+}
+
+/// A shared per-query resource budget, carried inside [`Deadline`].
+///
+/// Like [`CancelToken`], the guard is `Copy` so it rides through every
+/// matcher signature unchanged; `new()` leaks one small state block for the
+/// `'static` lifetime, so guards are meant to be created once per long-lived
+/// owner (an engine, a pool, a runner) and re-armed per query via
+/// [`reset`](ResourceGuard::reset).
+///
+/// Once tripped, every deadline carrying the guard reports expiry
+/// ([`Deadline::check`] returns [`Timeout`]); the owner classifies the
+/// outcome afterwards via [`tripped`](ResourceGuard::tripped).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResourceGuard {
+    state: Option<&'static GuardState>,
+}
+
+impl ResourceGuard {
+    /// The inert guard: never trips, charging is a no-op.
+    pub const fn none() -> Self {
+        Self { state: None }
+    }
+
+    /// A fresh, unlimited guard. Leaks its state block for the `'static`
+    /// lifetime — create once per owner, [`reset`](ResourceGuard::reset)
+    /// between queries.
+    pub fn new() -> Self {
+        Self { state: Some(Box::leak(Box::new(GuardState::default()))) }
+    }
+
+    /// Re-arms the guard for the next query: clears the counters and trip
+    /// flag and installs `limits` (0 encodes "unlimited" internally).
+    pub fn reset(&self, limits: ResourceLimits) {
+        if let Some(s) = self.state {
+            s.max_steps.store(limits.max_steps.unwrap_or(0), Ordering::Release);
+            s.max_aux_bytes.store(limits.max_aux_bytes.unwrap_or(0), Ordering::Release);
+            s.steps.store(0, Ordering::Release);
+            s.tripped.store(TRIP_NONE, Ordering::Release);
+        }
+    }
+
+    /// Charges `n` enumeration steps; trips the guard when the budget is
+    /// exceeded. Called by [`TickChecker`] in whole-interval batches.
+    #[inline]
+    pub fn charge_steps(&self, n: u64) {
+        if let Some(s) = self.state {
+            let max = s.max_steps.load(Ordering::Acquire);
+            if max == 0 {
+                return;
+            }
+            let used = s.steps.fetch_add(n, Ordering::AcqRel).saturating_add(n);
+            if used > max {
+                s.tripped
+                    .compare_exchange(TRIP_NONE, TRIP_STEPS, Ordering::AcqRel, Ordering::Relaxed)
+                    .ok();
+            }
+        }
+    }
+
+    /// Notes a per-graph auxiliary allocation of `bytes`; trips the guard
+    /// when it exceeds the memory budget.
+    #[inline]
+    pub fn note_aux_bytes(&self, bytes: usize) {
+        if let Some(s) = self.state {
+            let max = s.max_aux_bytes.load(Ordering::Acquire);
+            if max != 0 && bytes > max {
+                s.tripped
+                    .compare_exchange(TRIP_NONE, TRIP_MEMORY, Ordering::AcqRel, Ordering::Relaxed)
+                    .ok();
+            }
+        }
+    }
+
+    /// Trips the guard directly (used by fault injection).
+    pub fn trip(&self, kind: ResourceKind) {
+        if let Some(s) = self.state {
+            let code = match kind {
+                ResourceKind::Steps => TRIP_STEPS,
+                ResourceKind::Memory => TRIP_MEMORY,
+            };
+            s.tripped.compare_exchange(TRIP_NONE, code, Ordering::AcqRel, Ordering::Relaxed).ok();
+        }
+    }
+
+    /// Which budget tripped, if any.
+    #[inline]
+    pub fn tripped(&self) -> Option<ResourceKind> {
+        match self.state {
+            Some(s) => match s.tripped.load(Ordering::Acquire) {
+                TRIP_STEPS => Some(ResourceKind::Steps),
+                TRIP_MEMORY => Some(ResourceKind::Memory),
+                _ => None,
+            },
+            None => None,
+        }
+    }
+
+    /// Steps charged so far (0 for the inert guard).
+    pub fn steps_used(&self) -> u64 {
+        self.state.map_or(0, |s| s.steps.load(Ordering::Acquire))
+    }
+
+    /// Whether this guard carries real state.
+    pub fn is_some(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
 /// An optional wall-clock deadline, optionally paired with a [`CancelToken`].
 ///
 /// # Examples
@@ -98,23 +281,24 @@ impl CancelToken {
 pub struct Deadline {
     at: Option<Instant>,
     cancel: CancelToken,
+    guard: ResourceGuard,
 }
 
 impl Deadline {
     /// No deadline: operations run to completion.
     pub const fn none() -> Self {
-        Self { at: None, cancel: CancelToken::none() }
+        Self { at: None, cancel: CancelToken::none(), guard: ResourceGuard::none() }
     }
 
     /// A deadline `budget` from now. A budget too large to represent as an
     /// instant (overflow) means "no deadline" rather than a panic.
     pub fn after(budget: Duration) -> Self {
-        Self { at: Instant::now().checked_add(budget), cancel: CancelToken::none() }
+        Self { at: Instant::now().checked_add(budget), ..Self::none() }
     }
 
     /// A deadline at the given instant.
     pub fn at(instant: Instant) -> Self {
-        Self { at: Some(instant), cancel: CancelToken::none() }
+        Self { at: Some(instant), ..Self::none() }
     }
 
     /// Attaches a cancellation token: the deadline also expires as soon as
@@ -129,10 +313,26 @@ impl Deadline {
         self.cancel
     }
 
-    /// Whether the deadline has passed or the token was cancelled.
+    /// Attaches a resource guard: the deadline also expires as soon as the
+    /// guard trips a budget.
+    pub fn with_guard(mut self, guard: ResourceGuard) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// The attached resource guard ([`ResourceGuard::none`] if absent).
+    pub fn guard(&self) -> ResourceGuard {
+        self.guard
+    }
+
+    /// Whether the deadline has passed, the token was cancelled, or the
+    /// resource guard tripped.
     #[inline]
     pub fn expired(&self) -> bool {
         if self.cancel.is_cancelled() {
+            return true;
+        }
+        if self.guard.tripped().is_some() {
             return true;
         }
         match self.at {
@@ -172,11 +372,15 @@ impl TickChecker {
         Self { ticks: 0 }
     }
 
-    /// Registers one tick; consults the deadline periodically.
+    /// Registers one tick; consults the deadline periodically. Each interval
+    /// boundary also charges one whole interval of work to the attached
+    /// [`ResourceGuard`], so step budgets are accurate to within one interval
+    /// per concurrent worker.
     #[inline]
     pub fn tick(&mut self, deadline: Deadline) -> Result<(), Timeout> {
         self.ticks = self.ticks.wrapping_add(1);
         if self.ticks & ((1 << LOG_INTERVAL) - 1) == 0 {
+            deadline.guard().charge_steps(1 << LOG_INTERVAL);
             deadline.check()
         } else {
             Ok(())
@@ -280,5 +484,88 @@ mod tests {
             }
         }
         assert!(hit, "cancellation must surface within one tick interval");
+    }
+
+    #[test]
+    fn guard_trips_on_step_budget() {
+        let guard = ResourceGuard::new();
+        guard.reset(ResourceLimits::unlimited().with_max_steps(100));
+        let d = Deadline::none().with_guard(guard);
+        assert!(!d.expired());
+        guard.charge_steps(50);
+        assert!(d.guard().tripped().is_none());
+        guard.charge_steps(51);
+        assert_eq!(d.guard().tripped(), Some(ResourceKind::Steps));
+        assert!(d.expired());
+        assert_eq!(d.check(), Err(Timeout));
+        assert!(guard.steps_used() >= 101);
+    }
+
+    #[test]
+    fn guard_trips_on_memory_budget() {
+        let guard = ResourceGuard::new();
+        guard.reset(ResourceLimits::unlimited().with_max_aux_bytes(1 << 20));
+        let d = Deadline::after(Duration::from_secs(3600)).with_guard(guard);
+        guard.note_aux_bytes(1 << 19);
+        assert!(d.guard().tripped().is_none());
+        guard.note_aux_bytes((1 << 20) + 1);
+        assert_eq!(d.guard().tripped(), Some(ResourceKind::Memory));
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn guard_reset_rearms() {
+        let guard = ResourceGuard::new();
+        guard.reset(ResourceLimits::unlimited().with_max_steps(10));
+        guard.charge_steps(11);
+        assert_eq!(guard.tripped(), Some(ResourceKind::Steps));
+        guard.reset(ResourceLimits::unlimited().with_max_steps(10));
+        assert!(guard.tripped().is_none());
+        assert_eq!(guard.steps_used(), 0);
+        // Reset to unlimited: nothing trips no matter how much is charged.
+        guard.reset(ResourceLimits::unlimited());
+        guard.charge_steps(u64::MAX / 2);
+        guard.note_aux_bytes(usize::MAX);
+        assert!(guard.tripped().is_none());
+    }
+
+    #[test]
+    fn none_guard_is_inert() {
+        let guard = ResourceGuard::none();
+        assert!(!guard.is_some());
+        guard.charge_steps(u64::MAX / 2);
+        guard.note_aux_bytes(usize::MAX);
+        guard.trip(ResourceKind::Steps);
+        assert!(guard.tripped().is_none());
+        assert_eq!(guard.steps_used(), 0);
+        assert!(!Deadline::none().with_guard(guard).expired());
+    }
+
+    #[test]
+    fn explicit_trip_is_observable() {
+        let guard = ResourceGuard::new();
+        guard.reset(ResourceLimits::unlimited());
+        guard.trip(ResourceKind::Memory);
+        assert_eq!(guard.tripped(), Some(ResourceKind::Memory));
+        // First trip wins.
+        guard.trip(ResourceKind::Steps);
+        assert_eq!(guard.tripped(), Some(ResourceKind::Memory));
+    }
+
+    #[test]
+    fn tick_checker_charges_guard() {
+        let guard = ResourceGuard::new();
+        guard.reset(ResourceLimits::unlimited().with_max_steps(5000));
+        let d = Deadline::none().with_guard(guard);
+        let mut t = TickChecker::new();
+        let mut hit = false;
+        for _ in 0..20_000 {
+            if t.tick(d).is_err() {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "step budget must surface through the tick path");
+        assert_eq!(guard.tripped(), Some(ResourceKind::Steps));
     }
 }

@@ -35,7 +35,7 @@ pub mod ullmann;
 pub mod vf2;
 
 pub use candidates::{CandidateSpace, FilterResult};
-pub use deadline::{CancelToken, Deadline, Timeout};
+pub use deadline::{CancelToken, Deadline, ResourceGuard, ResourceKind, ResourceLimits, Timeout};
 pub use embedding::Embedding;
 pub use enumerate::Enumerator;
 pub use stats::MatchingStats;

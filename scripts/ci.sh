@@ -19,6 +19,11 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+echo "==> chaos suite (fixed seeds, 1/2/4/8 threads)"
+# Deterministic fault injection: seeds pinned in tests/chaos.rs and
+# EXPERIMENTS.md. PROPTEST_CASES bounds the randomized isolation property.
+PROPTEST_CASES=32 cargo test -q --offline --test chaos
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

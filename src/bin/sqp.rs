@@ -6,7 +6,7 @@
 //!              [--labels N] [--degree F] [--seed N] --out <file>
 //! sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
 //! sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
-//!              [--threads N]
+//!              [--threads N] [--retries N] [--max-steps N]
 //! sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
 //! sqp match    --db <file> --queries <file> [--limit N]
 //! sqp index    --db <file> --kind <grapes|ggsx|ct-index>
@@ -48,7 +48,7 @@ USAGE:
                [--labels N] [--degree F] [--seed N] --out <file>
   sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
   sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
-               [--threads N]
+               [--threads N] [--retries N] [--max-steps N]
   sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
   sqp match    --db <file> --queries <file> [--limit N]
   sqp index    --db <file> --kind <grapes|ggsx|ct-index>
@@ -56,7 +56,13 @@ USAGE:
 Engines: CT-Index Grapes GGSX CFL GraphQL CFQL vcGrapes vcGGSX
          Ullmann QuickSI TurboIso (default: CFQL)
 --threads N > 1 runs the engine's matcher on a persistent worker pool
-(vcFV engines only: CFL GraphQL CFQL Ullmann QuickSI TurboIso SPath)";
+(vcFV engines only: CFL GraphQL CFQL Ullmann QuickSI TurboIso SPath)
+--retries N retries queries that panic inside the engine up to N times
+--max-steps N bounds enumeration steps per query (0 = unlimited); a blown
+budget is reported as EXHAUSTED, not as a timeout
+
+Exit codes: 0 success (timeouts included), 2 degraded (a query panicked
+or exhausted its resource budget), 1 usage or I/O error";
 
 struct Opts {
     flags: Vec<(String, String)>,
@@ -189,7 +195,22 @@ fn cmd_queries(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(opts: &Opts) -> Result<(), String> {
+/// The status tag appended to a record line: empty for completed queries.
+fn status_tag(r: &QueryRecord) -> String {
+    let tag = match &r.status {
+        QueryStatus::Completed => return String::new(),
+        QueryStatus::TimedOut => " TIMEOUT".to_string(),
+        QueryStatus::Panicked { .. } => " PANIC".to_string(),
+        QueryStatus::ResourceExhausted { kind } => format!(" EXHAUSTED({kind})"),
+    };
+    if r.retries > 0 {
+        format!("{tag} retries={}", r.retries)
+    } else {
+        tag
+    }
+}
+
+fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
     let db = Arc::new(load_db(opts.require("db")?)?);
     let qpath = opts.require("queries")?;
     let mut interner = db.interner().clone();
@@ -199,7 +220,13 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     let engine_name = opts.get("engine").unwrap_or("CFQL");
     let budget_ms: u64 = opts.parse_num("budget-ms", 600_000u64)?;
     let threads: usize = opts.parse_num("threads", 1usize)?;
-    let config = RunnerConfig::with_budget(Duration::from_millis(budget_ms));
+    let retries: u32 = opts.parse_num("retries", 0u32)?;
+    let max_steps: u64 = opts.parse_num("max-steps", 0u64)?;
+    let mut config = RunnerConfig::with_budget(Duration::from_millis(budget_ms));
+    config.max_retries = retries;
+    if max_steps > 0 {
+        config.limits = config.limits.with_max_steps(max_steps);
+    }
 
     let report = if threads > 1 {
         let matcher = matcher_by_name(engine_name).ok_or_else(|| {
@@ -224,18 +251,28 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             r.candidates,
             r.filter_time.as_secs_f64() * 1e3,
             r.verify_time.as_secs_f64() * 1e3,
-            if r.timed_out { " TIMEOUT" } else { "" }
+            status_tag(r),
         );
     }
     println!(
-        "-- avg query {:.3} ms | precision {:.3} | |C| {:.1} | per-SI-test {:.4} ms | timeouts {}",
+        "-- avg query {:.3} ms | precision {:.3} | |C| {:.1} | per-SI-test {:.4} ms \
+         | timeouts {} | panics {} | exhausted {} | retries {}",
         report.avg_query_ms(),
         report.filtering_precision(),
         report.avg_candidates(),
         report.per_si_test_ms(),
         report.timeout_count(),
+        report.panic_count(),
+        report.exhausted_count(),
+        report.total_retries(),
     );
-    Ok(())
+    // Timeouts alone are an expected outcome of a tight budget; panics and
+    // exhausted budgets mean degraded answers, so signal them to scripts.
+    if report.panic_count() > 0 || report.exhausted_count() > 0 {
+        Ok(ExitCode::from(2))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 fn cmd_compare(opts: &Opts) -> Result<(), String> {
@@ -356,17 +393,17 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd.as_str() {
-        "stats" => cmd_stats(&opts),
-        "generate" => cmd_generate(&opts),
-        "queries" => cmd_queries(&opts),
+        "stats" => cmd_stats(&opts).map(|()| ExitCode::SUCCESS),
+        "generate" => cmd_generate(&opts).map(|()| ExitCode::SUCCESS),
+        "queries" => cmd_queries(&opts).map(|()| ExitCode::SUCCESS),
         "query" => cmd_query(&opts),
-        "compare" => cmd_compare(&opts),
-        "match" => cmd_match(&opts),
-        "index" => cmd_index(&opts),
+        "compare" => cmd_compare(&opts).map(|()| ExitCode::SUCCESS),
+        "match" => cmd_match(&opts).map(|()| ExitCode::SUCCESS),
+        "index" => cmd_index(&opts).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}\n\n{HELP}");
             ExitCode::FAILURE

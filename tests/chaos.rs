@@ -1,0 +1,371 @@
+//! Deterministic chaos suite for the fault-tolerant execution layer
+//! (DESIGN.md "Failure semantics", invariant I8):
+//!
+//! * for any injected fault set, every **non-faulted** query returns answers
+//!   byte-identical to a fault-free run, at every thread count;
+//! * every query with an injected fault carries a non-`Completed`
+//!   [`QueryStatus`] matching the fault kind, and panic faults are attributed
+//!   to the exact (query, graph) pairs they were planned for;
+//! * the run always completes — a panic in one pair never takes down the
+//!   pool, the runner, or sibling queries;
+//! * panics never count toward `abort_after_timeouts`;
+//! * the query cache never stores a faulted outcome.
+//!
+//! All fault decisions are pure functions of `(seed, query, graph)` — see
+//! `ChaosMatcher` — so every assertion here is exact, not statistical.
+//! EXPERIMENTS.md lists the seed matrix this suite pins.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use subgraph_query::core::chaos::graph_fingerprint;
+use subgraph_query::core::prelude::*;
+use subgraph_query::datagen::graphgen;
+use subgraph_query::datagen::query::{generate_query_set, QueryGenMethod, QuerySetSpec};
+use subgraph_query::graph::database::GraphId;
+use subgraph_query::graph::{Graph, GraphDb};
+use subgraph_query::matching::cfql::Cfql;
+use subgraph_query::matching::{
+    Deadline, FilterResult, Matcher, ResourceGuard, ResourceLimits, Timeout,
+};
+
+/// The pinned chaos seed (see EXPERIMENTS.md "Chaos suite").
+const CHAOS_SEED: u64 = 1001;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// 20 data graphs × 10 queries = 200 (query, graph) pairs.
+fn fixture() -> (Arc<GraphDb>, Vec<Graph>) {
+    let db = Arc::new(graphgen::generate(20, 16, 4, 3.0, 7));
+    let spec = QuerySetSpec { edges: 4, method: QueryGenMethod::RandomWalk, count: 10 };
+    let queries = generate_query_set(&db, spec, 11);
+    assert_eq!(queries.len(), 10);
+    // Fault keys are structural fingerprints; the fixture must not collide.
+    let mut fps: Vec<u64> =
+        db.graphs().iter().chain(queries.iter()).map(graph_fingerprint).collect();
+    fps.sort_unstable();
+    fps.dedup();
+    assert_eq!(fps.len(), db.len() + queries.len(), "fingerprint collision in fixture");
+    (db, queries)
+}
+
+/// The standard fault mix: 18% of pairs faulted (panic/timeout/exhaust).
+fn chaos_config() -> ChaosConfig {
+    ChaosConfig::new(CHAOS_SEED).with_panics(80).with_timeouts(40).with_exhaustion(60)
+}
+
+fn chaos_matcher(config: ChaosConfig) -> Arc<dyn Matcher> {
+    Arc::new(ChaosMatcher::new(Arc::new(Cfql::new()), config))
+}
+
+/// Per-query fault plan, derived without running anything.
+fn fault_plan(
+    config: ChaosConfig,
+    db: &GraphDb,
+    queries: &[Graph],
+) -> Vec<Vec<(GraphId, FaultKind)>> {
+    let probe = ChaosMatcher::new(Arc::new(Cfql::new()), config);
+    queries
+        .iter()
+        .map(|q| {
+            db.iter().filter_map(|(id, g)| probe.planned_fault(q, g).map(|k| (id, k))).collect()
+        })
+        .collect()
+}
+
+/// Fault-free reference run: plain CFQL on a single-threaded pool.
+fn baseline(db: &Arc<GraphDb>, queries: &[Graph]) -> Vec<QueryOutcome> {
+    let pool = QueryPool::new(1);
+    let matcher: Arc<dyn Matcher> = Arc::new(Cfql::new());
+    queries
+        .iter()
+        .map(|q| pool.query(Arc::clone(&matcher), db, q, Deadline::none()).outcome)
+        .collect()
+}
+
+#[test]
+fn fault_plan_covers_at_least_ten_percent_of_pairs() {
+    let (db, queries) = fixture();
+    let plan = fault_plan(chaos_config(), &db, &queries);
+    let total = db.len() * queries.len();
+    let faulted: usize = plan.iter().map(Vec::len).sum();
+    assert!(faulted * 10 >= total, "chaos config must fault >=10% of pairs: {faulted}/{total}");
+    assert!(
+        plan.iter().any(Vec::is_empty),
+        "fixture needs fault-free queries for the I8 comparison"
+    );
+    assert!(
+        plan.iter().flatten().any(|(_, k)| *k == FaultKind::Panic),
+        "fixture needs at least one panic fault"
+    );
+}
+
+/// The tentpole invariant. For every thread count:
+/// * fault-free queries are byte-identical to the baseline;
+/// * panic-only queries lose exactly the faulted graphs, keep every other
+///   answer, and attribute each planned pair in `failures`;
+/// * timeout/exhaust queries surface the matching status.
+#[test]
+fn i5_injected_faults_never_perturb_nonfaulted_queries() {
+    let (db, queries) = fixture();
+    let base = baseline(&db, &queries);
+    let config = chaos_config();
+    let plan = fault_plan(config, &db, &queries);
+
+    for threads in THREAD_COUNTS {
+        let pool = QueryPool::new(threads);
+        let matcher = chaos_matcher(config);
+        let guard = ResourceGuard::new();
+        for (i, q) in queries.iter().enumerate() {
+            guard.reset(ResourceLimits::unlimited());
+            let d = Deadline::none().with_guard(guard);
+            let out = pool.query(Arc::clone(&matcher), &db, q, d).outcome;
+            let ctx = format!("query {i} at {threads} threads");
+
+            if plan[i].is_empty() {
+                assert_eq!(out.answers, base[i].answers, "{ctx}: answers must be identical");
+                assert!(out.status.is_completed(), "{ctx}: {:?}", out.status);
+                assert!(out.failures.is_empty(), "{ctx}");
+                assert_eq!(out.candidates, base[i].candidates, "{ctx}");
+                continue;
+            }
+
+            assert!(!out.status.is_completed(), "{ctx}: faulted query cannot complete");
+            let kinds: Vec<FaultKind> = plan[i].iter().map(|(_, k)| *k).collect();
+            if kinds.iter().all(|k| *k == FaultKind::Panic) {
+                // Panic isolation: every sibling graph still answers.
+                let faulted: Vec<GraphId> = plan[i].iter().map(|(g, _)| *g).collect();
+                let expected: Vec<GraphId> =
+                    base[i].answers.iter().copied().filter(|g| !faulted.contains(g)).collect();
+                assert_eq!(out.answers, expected, "{ctx}: sibling answers must survive");
+                assert!(out.status.is_panicked(), "{ctx}: {:?}", out.status);
+                let mut attributed: Vec<GraphId> = out.failures.iter().map(|f| f.graph).collect();
+                attributed.sort_unstable_by_key(|g| g.0);
+                assert_eq!(attributed, faulted, "{ctx}: exact panic attribution");
+                for f in &out.failures {
+                    assert!(f.status.is_panicked(), "{ctx}: {:?}", f.status);
+                }
+            } else if kinds.contains(&FaultKind::Panic) {
+                // Mixed plans still surface the worst severity.
+                assert!(
+                    out.status.is_panicked()
+                        || out.status.is_exhausted()
+                        || out.status.is_timed_out(),
+                    "{ctx}: {:?}",
+                    out.status
+                );
+            } else if kinds.iter().all(|k| *k == FaultKind::Timeout) {
+                assert!(out.status.is_timed_out(), "{ctx}: {:?}", out.status);
+            } else if kinds.iter().all(|k| *k == FaultKind::Exhaust) {
+                assert!(out.status.is_exhausted(), "{ctx}: {:?}", out.status);
+            } else {
+                // Timeout + exhaust mix: whichever interrupt is observed first.
+                assert!(
+                    out.status.is_timed_out() || out.status.is_exhausted(),
+                    "{ctx}: {:?}",
+                    out.status
+                );
+            }
+            // Interrupted enumerations may be partial but never fabricate.
+            for a in &out.answers {
+                assert!(base[i].answers.contains(a), "{ctx}: fabricated answer {a:?}");
+            }
+        }
+    }
+}
+
+/// The runner survives the full chaos mix end to end and its rollups agree
+/// with the fault plan, at every thread count.
+#[test]
+fn runner_completes_chaos_run_with_correct_rollups() {
+    let (db, queries) = fixture();
+    let config = chaos_config();
+    let plan = fault_plan(config, &db, &queries);
+    let expect_failed = plan.iter().filter(|p| !p.is_empty()).count();
+    // A panic pair is always observed (processing continues past it) unless a
+    // timeout/exhaust fault in the same query stopped the shard first — so the
+    // Panicked rollup is exact for pure-panic plans and bounded for mixed ones.
+    let pure_panic = plan
+        .iter()
+        .filter(|p| !p.is_empty() && p.iter().all(|(_, k)| *k == FaultKind::Panic))
+        .count();
+    let any_panic = plan.iter().filter(|p| p.iter().any(|(_, k)| *k == FaultKind::Panic)).count();
+
+    for threads in THREAD_COUNTS {
+        let pool = QueryPool::new(threads);
+        let report = run_query_set_parallel(
+            &pool,
+            chaos_matcher(config),
+            &db,
+            "Chaos",
+            "chaos",
+            &queries,
+            RunnerConfig::default(),
+        );
+        assert_eq!(report.records.len(), queries.len(), "{threads} threads: run must complete");
+        assert_eq!(report.failure_count(), expect_failed, "{threads} threads");
+        assert!(
+            (pure_panic..=any_panic).contains(&report.panic_count()),
+            "{threads} threads: panic_count {} outside [{pure_panic}, {any_panic}]",
+            report.panic_count()
+        );
+        for (i, rec) in report.records.iter().enumerate() {
+            assert_eq!(rec.status.is_completed(), plan[i].is_empty(), "query {i}");
+            if !plan[i].is_empty() {
+                assert!(!rec.failures.is_empty(), "query {i}: faults must be recorded");
+            }
+            if !plan[i].is_empty() && plan[i].iter().all(|(_, k)| *k == FaultKind::Panic) {
+                assert!(rec.status.is_panicked(), "query {i}: {:?}", rec.status);
+            }
+        }
+    }
+}
+
+/// Panics are a distinct failure class: `abort_after_timeouts` must ignore
+/// them, and a timeout-only chaos run must still trip it.
+#[test]
+fn abort_after_timeouts_counts_timeouts_not_panics() {
+    let (db, queries) = fixture();
+    let pool = QueryPool::new(4);
+    let config = RunnerConfig { abort_after_timeouts: Some(1), ..RunnerConfig::default() };
+
+    // Panic-heavy, zero timeouts: the runner must visit every query.
+    let panicky = ChaosConfig::new(CHAOS_SEED).with_panics(400);
+    let report = run_query_set_parallel(
+        &pool,
+        chaos_matcher(panicky),
+        &db,
+        "Chaos",
+        "panics",
+        &queries,
+        config,
+    );
+    assert!(report.panic_count() >= 2, "fixture should panic several queries");
+    assert_eq!(report.records.len(), queries.len(), "panics must not trigger the abort");
+    assert_eq!(report.timeout_count(), 0);
+
+    // Timeout-heavy: the 40%-rule abort still works.
+    let slow = ChaosConfig::new(CHAOS_SEED).with_timeouts(400);
+    let report = run_query_set_parallel(
+        &pool,
+        chaos_matcher(slow),
+        &db,
+        "Chaos",
+        "timeouts",
+        &queries,
+        config,
+    );
+    assert!(report.timeout_count() >= 1);
+    assert!(report.records.len() < queries.len(), "timeouts must trigger the abort");
+}
+
+/// Satellite (c): the cache stores completed outcomes only, before and after
+/// a chaos run, and faulted queries are re-executed rather than served.
+#[test]
+fn cache_never_stores_faulted_outcomes() {
+    let (db, queries) = fixture();
+    let config = ChaosConfig::new(CHAOS_SEED).with_panics(120).with_exhaustion(80);
+    let plan = fault_plan(config, &db, &queries);
+    let expect_completed = plan.iter().filter(|p| p.is_empty()).count();
+    assert!(expect_completed > 0 && expect_completed < queries.len());
+
+    let mut cached = CachedEngine::new(Box::new(chaos_engine(config)), 64);
+    cached.build(&db).expect("build");
+    for (i, q) in queries.iter().enumerate() {
+        let (out, _) = cached.query(q);
+        assert_eq!(out.status.is_completed(), plan[i].is_empty(), "query {i}");
+    }
+    assert_eq!(cached.len(), expect_completed, "cache must hold completed outcomes only");
+
+    // Second pass: completed queries are served from cache; faulted queries
+    // miss, re-execute, and fault deterministically again.
+    for (i, q) in queries.iter().enumerate() {
+        let (out, hit) = cached.query(q);
+        if plan[i].is_empty() {
+            assert_eq!(hit, CacheHit::Exact, "query {i}");
+            assert!(out.status.is_completed());
+        } else {
+            assert_eq!(hit, CacheHit::Miss, "query {i}");
+            assert!(!out.status.is_completed());
+        }
+    }
+    assert_eq!(cached.len(), expect_completed, "faulted reruns must not pollute the cache");
+}
+
+/// A matcher that panics on exactly one (query, graph) pair, identified by
+/// structural fingerprint — the targeted form of `ChaosMatcher`.
+struct PanicPair {
+    inner: Cfql,
+    q_fp: u64,
+    g_fp: u64,
+}
+
+impl Matcher for PanicPair {
+    fn name(&self) -> &'static str {
+        "panic-pair"
+    }
+    fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
+        if graph_fingerprint(q) == self.q_fp && graph_fingerprint(g) == self.g_fp {
+            panic!("targeted injected panic");
+        }
+        self.inner.filter(q, g, deadline)
+    }
+    fn find_first(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &subgraph_query::matching::CandidateSpace,
+        deadline: Deadline,
+    ) -> Result<Option<subgraph_query::matching::Embedding>, Timeout> {
+        self.inner.find_first(q, g, space, deadline)
+    }
+    fn enumerate(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &subgraph_query::matching::CandidateSpace,
+        limit: u64,
+        deadline: Deadline,
+        on_match: &mut dyn FnMut(&subgraph_query::matching::Embedding),
+    ) -> Result<u64, Timeout> {
+        self.inner.enumerate(q, g, space, limit, deadline, on_match)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Satellite (d): a panic injected at a random (query, graph, threads)
+    /// coordinate never changes any other record's answers or status.
+    #[test]
+    fn prop_single_panic_is_isolated(
+        qi in 0usize..10,
+        gi in 0u32..20,
+        threads in 1usize..=8,
+    ) {
+        let (db, queries) = fixture();
+        let base = baseline(&db, &queries);
+        let target = GraphId(gi);
+        let matcher: Arc<dyn Matcher> = Arc::new(PanicPair {
+            inner: Cfql::new(),
+            q_fp: graph_fingerprint(&queries[qi]),
+            g_fp: graph_fingerprint(&db.graphs()[gi as usize]),
+        });
+        let pool = QueryPool::new(threads);
+        for (i, q) in queries.iter().enumerate() {
+            let out = pool.query(Arc::clone(&matcher), &db, q, Deadline::none()).outcome;
+            if i == qi {
+                let expected: Vec<GraphId> =
+                    base[i].answers.iter().copied().filter(|g| *g != target).collect();
+                prop_assert_eq!(&out.answers, &expected);
+                prop_assert!(out.status.is_panicked());
+                prop_assert_eq!(out.failures.len(), 1);
+                prop_assert_eq!(out.failures[0].graph, target);
+            } else {
+                prop_assert_eq!(&out.answers, &base[i].answers);
+                prop_assert!(out.status.is_completed());
+                prop_assert!(out.failures.is_empty());
+            }
+        }
+    }
+}

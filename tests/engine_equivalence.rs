@@ -104,5 +104,5 @@ fn timed_out_queries_are_flagged_not_wrong() {
     engine.build(&db).unwrap();
     engine.set_query_budget(Some(std::time::Duration::from_nanos(0)));
     let out = engine.query(&q);
-    assert!(out.timed_out);
+    assert!(out.timed_out());
 }

@@ -33,7 +33,7 @@ fn zero_query_budget_flags_timeout_everywhere() {
         // Either the engine noticed the expired deadline, or the query was
         // trivially finished before the first check — both are acceptable;
         // partial answers must never exceed the true answer set.
-        if !out.timed_out {
+        if !out.timed_out() {
             continue;
         }
         let mut reference = CfqlEngine::new();

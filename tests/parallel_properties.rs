@@ -72,7 +72,7 @@ proptest! {
             let got = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none());
             prop_assert_eq!(&got.outcome.answers, &expected.answers, "{} threads", threads);
             prop_assert_eq!(got.outcome.candidates, expected.candidates, "{} threads", threads);
-            prop_assert!(!got.outcome.timed_out);
+            prop_assert!(!got.outcome.timed_out());
         }
     }
 
@@ -133,12 +133,12 @@ fn zero_budget_cancels_all_workers_promptly() {
     let t0 = Instant::now();
     let r = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::after(Duration::ZERO));
     let elapsed = t0.elapsed();
-    assert!(r.outcome.timed_out, "zero budget must flag a timeout");
+    assert!(r.outcome.timed_out(), "zero budget must flag a timeout");
     // Workers observe the expired deadline at their next per-graph check;
     // the generous bound only guards against a full uncancelled sweep.
     assert!(elapsed < Duration::from_secs(5), "cancellation took {elapsed:?}");
 
     // The same pool then completes an unbudgeted query correctly.
     let ok = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none());
-    assert!(!ok.outcome.timed_out);
+    assert!(!ok.outcome.timed_out());
 }

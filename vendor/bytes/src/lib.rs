@@ -172,6 +172,17 @@ pub trait Buf {
         dst.copy_from_slice(&self.chunk()[..dst.len()]);
         self.advance(dst.len());
     }
+
+    /// Consumes the next `n` bytes into an owned [`Bytes`].
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bytes remain.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(self.remaining() >= n, "buffer underflow");
+        let out = Bytes::copy_from_slice(&self.chunk()[..n]);
+        self.advance(n);
+        out
+    }
 }
 
 impl Buf for &[u8] {
@@ -218,6 +229,11 @@ pub trait BufMut {
 
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
     }
 
