@@ -1,0 +1,405 @@
+//! Per-graph circuit breakers for the serving layer.
+//!
+//! A data graph that keeps panicking or exhausting resource budgets hurts
+//! every query that touches it: each pass pays the fault again (and, with
+//! retries, several times). Serving-scale systems survive such *sick
+//! shards* by tripping a breaker — after a threshold of consecutive faults
+//! the graph is quarantined, subsequent queries short-circuit it to a
+//! [`QueryStatus::Quarantined`] record without consulting the matcher, and
+//! after a cool-down a single *probe* query is let through to test whether
+//! the fault was transient.
+//!
+//! The registry is deliberately clocked in **admitted queries** (logical
+//! ticks), not wall time: the chaos suite asserts that trip/probe/close
+//! transitions are byte-identical across 1/2/4/8 worker threads (invariant
+//! I8 extended to the serving layer), which a wall-clock cool-down could
+//! never guarantee.
+//!
+//! State machine per graph:
+//!
+//! ```text
+//!            N consecutive faults
+//!   Closed ─────────────────────────▶ Open
+//!     ▲                                │ cool-down (admitted queries)
+//!     │ probe succeeds                 ▼
+//!     └───────────────────────────  HalfOpen
+//!                                      │ probe faults
+//!                                      └──────▶ Open (cool-down restarts)
+//! ```
+//!
+//! Faults that count toward tripping are the ones a graph *causes* —
+//! [`Panicked`](QueryStatus::Panicked) and
+//! [`ResourceExhausted`](QueryStatus::ResourceExhausted) per-graph failure
+//! records. A query-wide timeout interrupts the scan before every graph is
+//! visited, so an interrupted query neither charges nor clears any breaker
+//! it produced no record for.
+
+use sqp_graph::database::GraphId;
+use std::sync::Arc;
+
+use crate::engine::QueryOutcome;
+#[cfg(test)]
+use crate::engine::QueryStatus;
+
+/// Breaker position for one data graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Healthy: queries reach the matcher; consecutive faults are counted.
+    #[default]
+    Closed,
+    /// Quarantined: queries short-circuit to a `Quarantined` record.
+    Open,
+    /// Cool-down elapsed: the next admitted query probes the graph.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Tuning knobs for [`BreakerRegistry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive breaker-relevant faults that trip a closed breaker.
+    /// `0` disables breakers entirely (no masking, no bookkeeping).
+    pub fault_threshold: u32,
+    /// How many admitted queries an open breaker stays quarantined before
+    /// moving to [`BreakerState::HalfOpen`] and letting a probe through.
+    pub cooldown: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { fault_threshold: 3, cooldown: 4 }
+    }
+}
+
+impl BreakerConfig {
+    /// A config with breakers switched off.
+    pub fn disabled() -> Self {
+        Self { fault_threshold: 0, cooldown: 0 }
+    }
+
+    /// Whether breakers are active.
+    pub fn enabled(&self) -> bool {
+        self.fault_threshold > 0
+    }
+}
+
+/// One recorded breaker state change, for deterministic lifecycle asserts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Logical time: the admitted-query count at which the change happened.
+    pub tick: u64,
+    /// Which graph's breaker moved.
+    pub graph: GraphId,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    state: BreakerState,
+    /// Consecutive faults observed while Closed.
+    consecutive: u32,
+    /// Tick at which an Open breaker moves to HalfOpen.
+    reopen_at: u64,
+}
+
+/// Tracks one circuit breaker per data graph.
+///
+/// Driven by the serving layer: [`begin_query`](BreakerRegistry::begin_query)
+/// once per admitted query (advances the logical clock and yields the
+/// quarantine mask), then [`observe`](BreakerRegistry::observe) with the
+/// finalized outcome.
+#[derive(Debug)]
+pub struct BreakerRegistry {
+    config: BreakerConfig,
+    slots: Vec<Slot>,
+    /// Admitted-query count — the registry's logical clock.
+    tick: u64,
+    transitions: Vec<BreakerTransition>,
+    trips: u64,
+    short_circuits: u64,
+}
+
+impl BreakerRegistry {
+    /// A registry for a database of `graphs` data graphs.
+    pub fn new(config: BreakerConfig, graphs: usize) -> Self {
+        let slots = if config.enabled() { vec![Slot::default(); graphs] } else { Vec::new() };
+        Self { config, slots, tick: 0, transitions: Vec::new(), trips: 0, short_circuits: 0 }
+    }
+
+    fn transition(&mut self, idx: usize, to: BreakerState) {
+        let from = self.slots[idx].state;
+        self.slots[idx].state = to;
+        self.transitions.push(BreakerTransition {
+            tick: self.tick,
+            graph: GraphId(idx as u32),
+            from,
+            to,
+        });
+    }
+
+    /// Advances the logical clock for one admitted query: promotes open
+    /// breakers whose cool-down elapsed to [`BreakerState::HalfOpen`]
+    /// (probes pass through) and returns the quarantine mask for the graphs
+    /// still open, or `None` when nothing is masked.
+    pub fn begin_query(&mut self) -> Option<Arc<[bool]>> {
+        self.tick += 1;
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut mask = vec![false; self.slots.len()];
+        let mut any = false;
+        for (i, masked) in mask.iter_mut().enumerate() {
+            if self.slots[i].state == BreakerState::Open && self.tick >= self.slots[i].reopen_at {
+                self.transition(i, BreakerState::HalfOpen);
+            }
+            if self.slots[i].state == BreakerState::Open {
+                *masked = true;
+                any = true;
+                self.short_circuits += 1;
+            }
+        }
+        any.then(|| mask.into())
+    }
+
+    /// Feeds one finalized outcome back: faulting graphs charge their
+    /// breakers (tripping Closed ones at the threshold and re-opening
+    /// half-open probes), while a *complete* scan clears the consecutive
+    /// count of — and closes half-open breakers for — every graph it
+    /// visited without fault. An interrupted scan (timeout / exhaustion)
+    /// proves nothing about unvisited graphs, so absent records there are
+    /// no observation.
+    pub fn observe(&mut self, outcome: &QueryOutcome) {
+        if self.slots.is_empty() {
+            return;
+        }
+        // An interrupted scan stops claiming graphs early: only explicit
+        // failure records carry information. (Panics and quarantine records
+        // never interrupt the scan.)
+        let interrupted = outcome.status.is_timed_out()
+            || outcome.status.is_exhausted()
+            || outcome.failures.iter().any(|f| f.status.is_timed_out() || f.status.is_exhausted());
+        let mut observed = vec![false; self.slots.len()];
+        for f in &outcome.failures {
+            let idx = f.graph.0 as usize;
+            if idx >= self.slots.len() {
+                continue;
+            }
+            observed[idx] = true;
+            if f.status.is_quarantined() {
+                // Masked this query — no probe happened, nothing to learn.
+                continue;
+            }
+            if !f.status.is_breaker_fault() {
+                continue;
+            }
+            match self.slots[idx].state {
+                BreakerState::HalfOpen => {
+                    self.slots[idx].reopen_at = self.tick + self.config.cooldown;
+                    self.trips += 1;
+                    self.transition(idx, BreakerState::Open);
+                }
+                BreakerState::Closed => {
+                    self.slots[idx].consecutive += 1;
+                    if self.slots[idx].consecutive >= self.config.fault_threshold {
+                        self.slots[idx].consecutive = 0;
+                        self.slots[idx].reopen_at = self.tick + self.config.cooldown;
+                        self.trips += 1;
+                        self.transition(idx, BreakerState::Open);
+                    }
+                }
+                BreakerState::Open => {}
+            }
+        }
+        if interrupted {
+            return;
+        }
+        for (i, &seen) in observed.iter().enumerate() {
+            if seen {
+                continue;
+            }
+            match self.slots[i].state {
+                BreakerState::HalfOpen => {
+                    // The probe came back clean: the graph healed.
+                    self.slots[i].consecutive = 0;
+                    self.transition(i, BreakerState::Closed);
+                }
+                BreakerState::Closed => self.slots[i].consecutive = 0,
+                BreakerState::Open => {}
+            }
+        }
+    }
+
+    /// The registry's configuration.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// Current state of one graph's breaker (Closed when disabled).
+    pub fn state(&self, graph: GraphId) -> BreakerState {
+        self.slots.get(graph.0 as usize).map_or(BreakerState::Closed, |s| s.state)
+    }
+
+    /// Number of breakers currently open (quarantining their graph).
+    pub fn open_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.state == BreakerState::Open).count()
+    }
+
+    /// Number of breakers currently half-open (awaiting a probe result).
+    pub fn half_open_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.state == BreakerState::HalfOpen).count()
+    }
+
+    /// Total Closed→Open and HalfOpen→Open transitions so far.
+    pub fn trip_count(&self) -> u64 {
+        self.trips
+    }
+
+    /// Total per-graph short-circuits served from open breakers.
+    pub fn short_circuit_count(&self) -> u64 {
+        self.short_circuits
+    }
+
+    /// Admitted-query count (logical clock).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Every state change so far, in order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault_on(graphs: &[u32]) -> QueryOutcome {
+        let mut o = QueryOutcome::default();
+        for &g in graphs {
+            o.record_panic(GraphId(g), "injected".into());
+        }
+        o.finalize();
+        o
+    }
+
+    fn quarantined_on(graphs: &[u32]) -> QueryOutcome {
+        let mut o = QueryOutcome::default();
+        for &g in graphs {
+            o.record_quarantined(GraphId(g));
+        }
+        o.finalize();
+        o
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_faults() {
+        let mut reg = BreakerRegistry::new(BreakerConfig { fault_threshold: 3, cooldown: 2 }, 4);
+        for i in 0..2 {
+            assert!(reg.begin_query().is_none());
+            reg.observe(&fault_on(&[1]));
+            assert_eq!(reg.state(GraphId(1)), BreakerState::Closed, "after fault {i}");
+        }
+        assert!(reg.begin_query().is_none());
+        reg.observe(&fault_on(&[1]));
+        assert_eq!(reg.state(GraphId(1)), BreakerState::Open);
+        assert_eq!(reg.trip_count(), 1);
+        // The next admitted query masks exactly graph 1.
+        let mask = reg.begin_query().expect("graph 1 masked");
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 1);
+        assert!(mask[1]);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let mut reg = BreakerRegistry::new(BreakerConfig { fault_threshold: 2, cooldown: 2 }, 2);
+        reg.begin_query();
+        reg.observe(&fault_on(&[0]));
+        // A clean complete scan clears the streak...
+        reg.begin_query();
+        reg.observe(&QueryOutcome::default());
+        reg.begin_query();
+        reg.observe(&fault_on(&[0]));
+        assert_eq!(reg.state(GraphId(0)), BreakerState::Closed, "streak was reset");
+        // ...but an interrupted scan does not.
+        reg.begin_query();
+        let interrupted = QueryOutcome { status: QueryStatus::TimedOut, ..Default::default() };
+        reg.observe(&interrupted);
+        reg.begin_query();
+        reg.observe(&fault_on(&[0]));
+        assert_eq!(reg.state(GraphId(0)), BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_fault() {
+        let mut reg = BreakerRegistry::new(BreakerConfig { fault_threshold: 1, cooldown: 2 }, 3);
+        reg.begin_query(); // tick 1
+        reg.observe(&fault_on(&[2]));
+        assert_eq!(reg.state(GraphId(2)), BreakerState::Open);
+        // Cool-down: reopen_at = 1 + 2 = 3, so tick 2 still masks.
+        assert!(reg.begin_query().is_some()); // tick 2
+        reg.observe(&quarantined_on(&[2]));
+        assert_eq!(reg.state(GraphId(2)), BreakerState::Open);
+        // Tick 3: half-open, probe passes through (no mask).
+        assert!(reg.begin_query().is_none()); // tick 3
+        assert_eq!(reg.state(GraphId(2)), BreakerState::HalfOpen);
+        reg.observe(&fault_on(&[2]));
+        assert_eq!(reg.state(GraphId(2)), BreakerState::Open, "probe fault reopens");
+        assert_eq!(reg.trip_count(), 2);
+        // Next cool-down: reopen_at = 3 + 2 = 5.
+        assert!(reg.begin_query().is_some()); // tick 4
+        reg.observe(&quarantined_on(&[2]));
+        assert!(reg.begin_query().is_none()); // tick 5: probe again
+        reg.observe(&QueryOutcome::default());
+        assert_eq!(reg.state(GraphId(2)), BreakerState::Closed, "healed probe closes");
+        // Transition log captures the full lifecycle deterministically.
+        let kinds: Vec<(u64, BreakerState, BreakerState)> =
+            reg.transitions().iter().map(|t| (t.tick, t.from, t.to)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (1, BreakerState::Closed, BreakerState::Open),
+                (3, BreakerState::Open, BreakerState::HalfOpen),
+                (3, BreakerState::HalfOpen, BreakerState::Open),
+                (5, BreakerState::Open, BreakerState::HalfOpen),
+                (5, BreakerState::HalfOpen, BreakerState::Closed),
+            ]
+        );
+    }
+
+    #[test]
+    fn interrupted_scan_leaves_half_open_pending() {
+        let mut reg = BreakerRegistry::new(BreakerConfig { fault_threshold: 1, cooldown: 1 }, 2);
+        reg.begin_query();
+        reg.observe(&fault_on(&[0]));
+        reg.begin_query(); // cool-down elapsed → half-open probe
+        assert_eq!(reg.state(GraphId(0)), BreakerState::HalfOpen);
+        let interrupted = QueryOutcome { status: QueryStatus::TimedOut, ..Default::default() };
+        reg.observe(&interrupted);
+        // No record for graph 0 on an interrupted scan: probe still pending.
+        assert_eq!(reg.state(GraphId(0)), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn disabled_config_never_masks() {
+        let mut reg = BreakerRegistry::new(BreakerConfig::disabled(), 8);
+        for _ in 0..10 {
+            assert!(reg.begin_query().is_none());
+            reg.observe(&fault_on(&[0, 1, 2]));
+        }
+        assert_eq!(reg.trip_count(), 0);
+        assert_eq!(reg.state(GraphId(0)), BreakerState::Closed);
+    }
+}

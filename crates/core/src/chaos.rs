@@ -209,6 +209,178 @@ pub fn chaos_engine(config: ChaosConfig) -> crate::engines::MatcherEngine {
     crate::engines::MatcherEngine::new("Chaos", Box::new(matcher))
 }
 
+// ---------------------------------------------------------------------------
+// Overload / flappy-graph scenario generators for the serving layer
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`FlappyMatcher`] scenario: which graphs flap and for
+/// how long.
+#[derive(Clone, Copy, Debug)]
+pub struct FlappyConfig {
+    /// Seed mixed into the flappy-graph selection.
+    pub seed: u64,
+    /// Fraction of data graphs that flap, in per-mille of the fingerprint
+    /// hash space.
+    pub flappy_per_mille: u32,
+    /// A flappy graph panics on its first this-many matcher probes, then
+    /// heals permanently — the transient-fault shape circuit breakers must
+    /// trip on, probe, and recover from.
+    pub faults_before_heal: u32,
+}
+
+/// The breaker-lifecycle scenario generator: deterministic *flappy* graphs.
+///
+/// A flappy graph (selected by seed + structural fingerprint, like
+/// [`ChaosMatcher`]'s faults) panics on its first
+/// [`faults_before_heal`](FlappyConfig::faults_before_heal) filter probes
+/// and then behaves normally. Because a quarantined graph never reaches the
+/// matcher, the per-graph probe counter advances only on real probes — so
+/// with breakers in front, the counter doubles as a check that open
+/// breakers short-circuit (see [`probes`](FlappyMatcher::probes)).
+///
+/// Intended for single-submitter serving tests with retries disabled; each
+/// admitted query probes each unmasked graph exactly once, keeping the
+/// fault schedule deterministic at every worker thread count (panics never
+/// interrupt the scan).
+pub struct FlappyMatcher {
+    inner: Arc<dyn Matcher>,
+    config: FlappyConfig,
+    probes: std::sync::Mutex<std::collections::HashMap<u64, u32>>,
+}
+
+impl FlappyMatcher {
+    /// Wraps `inner` with the given flap schedule.
+    pub fn new(inner: Arc<dyn Matcher>, config: FlappyConfig) -> Self {
+        assert!(config.flappy_per_mille <= 1000, "flappy rate exceeds 1000 per mille");
+        Self { inner, config, probes: std::sync::Mutex::new(std::collections::HashMap::new()) }
+    }
+
+    fn flap_key(&self, g: &Graph) -> u64 {
+        let mut h = FxHasher::default();
+        self.config.seed.hash(&mut h);
+        graph_fingerprint(g).hash(&mut h);
+        h.finish()
+    }
+
+    /// Whether this data graph is on the flap schedule — a pure function of
+    /// (seed, graph structure), so tests can predict the flappy set.
+    pub fn is_flappy(&self, g: &Graph) -> bool {
+        ((self.flap_key(g) % 1000) as u32) < self.config.flappy_per_mille
+    }
+
+    /// How many times the matcher has actually been probed with this data
+    /// graph (across all queries). Quarantined graphs are short-circuited
+    /// before the matcher, so their count stands still while their breaker
+    /// is open.
+    pub fn probes(&self, g: &Graph) -> u32 {
+        self.probes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&graph_fingerprint(g))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl Matcher for FlappyMatcher {
+    fn name(&self) -> &'static str {
+        "Flappy"
+    }
+
+    fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
+        let n = {
+            let mut probes = self.probes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let n = probes.entry(graph_fingerprint(g)).or_insert(0);
+            *n += 1;
+            *n
+        };
+        if self.is_flappy(g) && n <= self.config.faults_before_heal {
+            panic!("chaos: flappy fault {n}/{}", self.config.faults_before_heal);
+        }
+        self.inner.filter(q, g, deadline)
+    }
+
+    fn find_first(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        deadline: Deadline,
+    ) -> Result<Option<Embedding>, Timeout> {
+        self.inner.find_first(q, g, space, deadline)
+    }
+
+    fn enumerate(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        limit: u64,
+        deadline: Deadline,
+        on_match: &mut dyn FnMut(&Embedding),
+    ) -> Result<u64, Timeout> {
+        self.inner.enumerate(q, g, space, limit, deadline, on_match)
+    }
+}
+
+/// The overload scenario generator: a matcher that sleeps `delay` per
+/// filter call, making each query slow enough for work to pile up in the
+/// admission queue — the load shape behind queue-full shedding and
+/// drain-under-load tests.
+pub struct SlowMatcher {
+    inner: Arc<dyn Matcher>,
+    delay: std::time::Duration,
+}
+
+impl SlowMatcher {
+    /// Wraps `inner`, sleeping `delay` before every filter call.
+    pub fn new(inner: Arc<dyn Matcher>, delay: std::time::Duration) -> Self {
+        Self { inner, delay }
+    }
+}
+
+impl Matcher for SlowMatcher {
+    fn name(&self) -> &'static str {
+        "Slow"
+    }
+
+    fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
+        // Sleep in deadline-check slices so cancellation stays prompt.
+        let mut left = self.delay;
+        let slice = std::time::Duration::from_millis(1);
+        while !left.is_zero() {
+            deadline.check()?;
+            let step = left.min(slice);
+            std::thread::sleep(step);
+            left -= step;
+        }
+        deadline.check()?;
+        self.inner.filter(q, g, deadline)
+    }
+
+    fn find_first(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        deadline: Deadline,
+    ) -> Result<Option<Embedding>, Timeout> {
+        self.inner.find_first(q, g, space, deadline)
+    }
+
+    fn enumerate(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        limit: u64,
+        deadline: Deadline,
+        on_match: &mut dyn FnMut(&Embedding),
+    ) -> Result<u64, Timeout> {
+        self.inner.enumerate(q, g, space, limit, deadline, on_match)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

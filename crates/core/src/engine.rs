@@ -43,7 +43,8 @@ pub struct BuildReport {
 ///
 /// Ordered by severity — [`absorb`](QueryStatus::absorb) keeps the most
 /// severe status when per-graph failures are merged into one outcome:
-/// `Completed < TimedOut < ResourceExhausted < Panicked`.
+/// `Completed < TimedOut < ResourceExhausted < Quarantined < Panicked <
+/// Shed`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum QueryStatus {
     /// The query ran to completion; `answers` is the exact answer set.
@@ -58,6 +59,12 @@ pub enum QueryStatus {
         /// Which budget tripped.
         kind: ResourceKind,
     },
+    /// At least one data graph was skipped because its circuit breaker was
+    /// open (quarantined by the serving layer after repeated faults). As a
+    /// per-graph failure it records the short-circuited graph; as an
+    /// outcome-level status it means every answer from a live graph is
+    /// present but the quarantined graphs were never consulted.
+    Quarantined,
     /// Matching panicked on at least one (query, graph) pair. Answers from
     /// non-panicking graphs are preserved; the panicking pairs are listed in
     /// [`QueryOutcome::failures`].
@@ -65,6 +72,11 @@ pub enum QueryStatus {
         /// The panic payload (downcast to a string where possible).
         message: String,
     },
+    /// The query was rejected by admission control (queue full, predicted
+    /// deadline miss, or service draining) and never executed. A shed query
+    /// produces no answers and no per-graph work at all, but still receives
+    /// this terminal status — shedding is never a silent drop.
+    Shed,
 }
 
 impl QueryStatus {
@@ -74,7 +86,9 @@ impl QueryStatus {
             QueryStatus::Completed => 0,
             QueryStatus::TimedOut => 1,
             QueryStatus::ResourceExhausted { .. } => 2,
-            QueryStatus::Panicked { .. } => 3,
+            QueryStatus::Quarantined => 3,
+            QueryStatus::Panicked { .. } => 4,
+            QueryStatus::Shed => 5,
         }
     }
 
@@ -97,6 +111,23 @@ impl QueryStatus {
     /// Whether a resource budget tripped.
     pub fn is_exhausted(&self) -> bool {
         matches!(self, QueryStatus::ResourceExhausted { .. })
+    }
+
+    /// Whether at least one graph was short-circuited by an open breaker.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, QueryStatus::Quarantined)
+    }
+
+    /// Whether the query was rejected by admission control without running.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, QueryStatus::Shed)
+    }
+
+    /// Whether this per-graph status counts as a breaker-relevant fault
+    /// (panics and resource exhaustion — the failure modes a sick graph
+    /// inflicts on the service, as opposed to a query-wide timeout).
+    pub fn is_breaker_fault(&self) -> bool {
+        self.is_panicked() || self.is_exhausted()
     }
 
     /// Merges `other` in: replaces `self` when `other` is strictly more
@@ -125,7 +156,9 @@ impl std::fmt::Display for QueryStatus {
             QueryStatus::Completed => write!(f, "completed"),
             QueryStatus::TimedOut => write!(f, "timed out"),
             QueryStatus::ResourceExhausted { kind } => write!(f, "exhausted {kind}"),
+            QueryStatus::Quarantined => write!(f, "quarantined"),
             QueryStatus::Panicked { message } => write!(f, "panicked: {message}"),
+            QueryStatus::Shed => write!(f, "shed"),
         }
     }
 }
@@ -170,6 +203,12 @@ impl QueryOutcome {
         Self { status: QueryStatus::Panicked { message }, ..Default::default() }
     }
 
+    /// An outcome for a query rejected by admission control: no answers, no
+    /// per-graph records, terminal status [`QueryStatus::Shed`].
+    pub fn shed() -> Self {
+        Self { status: QueryStatus::Shed, ..Default::default() }
+    }
+
     /// Total query time (filtering + verification).
     pub fn query_time(&self) -> Duration {
         self.filter_time + self.verify_time
@@ -192,6 +231,14 @@ impl QueryOutcome {
     /// order (thread count) cannot influence which message wins.
     pub fn record_panic(&mut self, graph: GraphId, message: String) {
         self.failures.push(GraphFailure { graph, status: QueryStatus::Panicked { message } });
+    }
+
+    /// Records a graph short-circuited by an open circuit breaker: the
+    /// matcher is never consulted for it, and the outcome-level status
+    /// materializes in [`finalize`](QueryOutcome::finalize) like every other
+    /// per-graph failure.
+    pub fn record_quarantined(&mut self, graph: GraphId) {
+        self.failures.push(GraphFailure { graph, status: QueryStatus::Quarantined });
     }
 
     /// Records an interrupted matcher call (timeout or resource exhaustion,

@@ -806,6 +806,111 @@ impl QueryEngine for ParallelEngine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Service-backed vcFV engine
+// ---------------------------------------------------------------------------
+
+/// A vcFV engine whose queries flow through the admission-controlled
+/// [`QueryService`](crate::service::QueryService): every
+/// [`query`](QueryEngine::query) is a submit-and-wait on the serving layer,
+/// so admission control, per-graph circuit breakers, and drain semantics all
+/// apply — a query can come back [`Shed`](crate::engine::QueryStatus::Shed)
+/// or carry [`Quarantined`](crate::engine::QueryStatus::Quarantined) graph
+/// failures where a bare [`ParallelEngine`] would have run it unconditionally.
+///
+/// The service (and its worker threads) is created by
+/// [`build`](QueryEngine::build) and replaced on rebuild; dropping the
+/// engine drains it with a zero deadline.
+pub struct ServiceEngine {
+    name: &'static str,
+    matcher: Arc<dyn Matcher>,
+    config: crate::service::ServiceConfig,
+    service: Option<crate::service::QueryService>,
+}
+
+impl ServiceEngine {
+    /// Wraps `matcher` behind a [`QueryService`](crate::service::QueryService)
+    /// with the given configuration.
+    pub fn new(
+        name: &'static str,
+        matcher: Arc<dyn Matcher>,
+        config: crate::service::ServiceConfig,
+    ) -> Self {
+        Self { name, matcher, config, service: None }
+    }
+
+    /// CFQL behind a service with `threads` pool workers and otherwise
+    /// default serving policy.
+    pub fn cfql(threads: usize) -> Self {
+        let config = crate::service::ServiceConfig { threads, ..Default::default() };
+        Self::new("CFQL-svc", Arc::new(Cfql::new()), config)
+    }
+
+    /// The underlying service, if [`build`](QueryEngine::build) has run.
+    pub fn service(&self) -> Option<&crate::service::QueryService> {
+        self.service.as_ref()
+    }
+
+    /// Drains the service (stops admissions, waits out in-flight work, then
+    /// cancels) and returns the drain report. The engine reverts to its
+    /// pre-`build` state; a later `build` starts a fresh service.
+    pub fn shutdown(&mut self) -> Option<crate::service::DrainReport> {
+        self.service.take().map(crate::service::QueryService::shutdown)
+    }
+
+    /// Current serving health, if built.
+    pub fn health(&self) -> Option<crate::metrics::ServiceHealth> {
+        self.service.as_ref().map(crate::service::QueryService::health)
+    }
+}
+
+impl QueryEngine for ServiceEngine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn category(&self) -> EngineCategory {
+        EngineCategory::VcFv
+    }
+    fn build(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, BuildError> {
+        // Replacing the service drains the old one (Drop drains with a zero
+        // deadline), so rebuilds never leak worker threads.
+        self.service = Some(crate::service::QueryService::new(
+            Arc::clone(&self.matcher),
+            Arc::clone(db),
+            self.config.clone(),
+        ));
+        Ok(BuildReport::default())
+    }
+    fn query(&self, q: &Graph) -> QueryOutcome {
+        let service = match &self.service {
+            Some(s) => s,
+            // Documented precondition (QueryEngine::query): build first.
+            None => panic!("query before build"),
+        };
+        let (ticket, _admission) = service.submit(q);
+        ticket.wait().0
+    }
+    fn set_query_budget(&mut self, budget: Option<Duration>) {
+        self.config.runner.query_budget = budget;
+        if let Some(service) = &self.service {
+            let mut runner = service.runner_config();
+            runner.query_budget = budget;
+            service.set_runner_config(runner);
+        }
+    }
+    fn set_resource_limits(&mut self, limits: ResourceLimits) {
+        self.config.runner.limits = limits;
+        if let Some(service) = &self.service {
+            let mut runner = service.runner_config();
+            runner.limits = limits;
+            service.set_runner_config(runner);
+        }
+    }
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
 /// Looks a bare matcher up by its (case-insensitive) name, e.g. `"cfql"`,
 /// `"graphql"` — the matchers usable inside [`ParallelEngine`] and
 /// [`QueryPool`](crate::parallel::QueryPool).
@@ -897,6 +1002,33 @@ mod tests {
             let a = e.query(&q_tri).answers;
             assert_eq!(a, vec![GraphId(0)], "engine {}", e.name());
         }
+    }
+
+    #[test]
+    fn service_engine_matches_sequential_answers() {
+        let db = small_db();
+        let q_edge = labeled(&[0, 1], &[(0, 1)]);
+        let q_tri = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let mut e = ServiceEngine::cfql(2);
+        e.build(&db).unwrap();
+        assert_eq!(e.query(&q_edge).answers, vec![GraphId(0), GraphId(1)]);
+        assert_eq!(e.query(&q_tri).answers, vec![GraphId(0)]);
+        let health = e.health().unwrap();
+        assert_eq!(health.admitted, 2);
+        assert_eq!(health.finished, 2);
+        let report = e.shutdown().unwrap();
+        assert!(report.drained_within_deadline);
+        assert!(e.service().is_none());
+    }
+
+    #[test]
+    fn service_engine_budget_reaches_the_running_service() {
+        let db = small_db();
+        let mut e = ServiceEngine::cfql(1);
+        e.build(&db).unwrap();
+        e.set_query_budget(Some(Duration::from_secs(7)));
+        let svc = e.service().unwrap();
+        assert_eq!(svc.runner_config().query_budget, Some(Duration::from_secs(7)));
     }
 
     #[test]

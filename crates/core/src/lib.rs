@@ -18,6 +18,7 @@
 // Library code avoids unwrap/expect (CI denies them); tests may use them freely.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod breaker;
 pub mod cache;
 pub mod chaos;
 pub mod collection;
@@ -26,20 +27,31 @@ pub mod engines;
 pub mod metrics;
 pub mod parallel;
 pub mod runner;
+pub mod service;
 pub mod verifier;
 
-pub use chaos::{chaos_engine, ChaosConfig, ChaosMatcher, FaultKind};
+pub use breaker::{BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
+pub use chaos::{
+    chaos_engine, ChaosConfig, ChaosMatcher, FaultKind, FlappyConfig, FlappyMatcher, SlowMatcher,
+};
 pub use engine::{
     BuildReport, EngineCategory, GraphFailure, QueryEngine, QueryOutcome, QueryStatus,
 };
-pub use metrics::{QueryRecord, QuerySetReport};
+pub use metrics::{QueryRecord, QuerySetReport, ServiceHealth};
 pub use parallel::{parallel_query, ParallelOutcome, QueryPool};
 pub use runner::{run_query_set, run_query_set_parallel, RunnerConfig};
+pub use service::{
+    Admission, DrainReport, QueryService, QueryTicket, ServiceConfig, ShedPolicy, ShedReason,
+};
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use crate::breaker::{BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
     pub use crate::cache::{CacheHit, CachedEngine};
-    pub use crate::chaos::{chaos_engine, ChaosConfig, ChaosMatcher, FaultKind};
+    pub use crate::chaos::{
+        chaos_engine, ChaosConfig, ChaosMatcher, FaultKind, FlappyConfig, FlappyMatcher,
+        SlowMatcher,
+    };
     pub use crate::collection::{CollectionMatcher, GraphMatches};
     pub use crate::engine::{
         BuildReport, EngineCategory, GraphFailure, QueryEngine, QueryOutcome, QueryStatus,
@@ -47,9 +59,12 @@ pub mod prelude {
     pub use crate::engines::{
         matcher_by_name, CflEngine, CfqlEngine, CtIndexEngine, GgsxEngine, GrapesEngine,
         GraphGrepEngine, GraphQlEngine, MatcherEngine, ParallelEngine, QuickSiEngine, SPathEngine,
-        TurboIsoEngine, UllmannEngine, VcGgsxEngine, VcGrapesEngine,
+        ServiceEngine, TurboIsoEngine, UllmannEngine, VcGgsxEngine, VcGrapesEngine,
     };
-    pub use crate::metrics::{QueryRecord, QuerySetReport};
+    pub use crate::metrics::{QueryRecord, QuerySetReport, ServiceHealth};
     pub use crate::parallel::{parallel_query, ParallelOutcome, QueryPool};
     pub use crate::runner::{run_query_set, run_query_set_parallel, RunnerConfig};
+    pub use crate::service::{
+        Admission, DrainReport, QueryService, QueryTicket, ServiceConfig, ShedPolicy, ShedReason,
+    };
 }

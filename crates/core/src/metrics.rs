@@ -176,6 +176,17 @@ impl QuerySetReport {
         self.records.iter().filter(|r| r.status.is_exhausted()).count()
     }
 
+    /// Number of queries rejected by admission control (never executed).
+    pub fn shed_count(&self) -> usize {
+        self.records.iter().filter(|r| r.status.is_shed()).count()
+    }
+
+    /// Number of queries whose most severe failure was an open-breaker
+    /// short-circuit (some graphs quarantined, everything else clean).
+    pub fn quarantined_count(&self) -> usize {
+        self.records.iter().filter(|r| r.status.is_quarantined()).count()
+    }
+
     /// Number of queries that ended in any non-completed state.
     pub fn failure_count(&self) -> usize {
         self.records.iter().filter(|r| !r.status.is_completed()).count()
@@ -204,6 +215,46 @@ impl QuerySetReport {
     /// more than 40% of the queries; this implements that cutoff.
     pub fn should_omit(&self) -> bool {
         self.completion_rate() < 0.6
+    }
+}
+
+/// A point-in-time snapshot of a `QueryService`'s serving state: queue and
+/// breaker occupancy plus monotonic degradation counters. Produced by
+/// `QueryService::health`; all counters are totals since service start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceHealth {
+    /// Queries admitted but not yet started.
+    pub queue_depth: usize,
+    /// Queries currently executing (0 or 1 — the pool serializes queries).
+    pub inflight: usize,
+    /// Whether the service has stopped admitting (drain in progress).
+    pub draining: bool,
+    /// Queries admitted since start.
+    pub admitted: u64,
+    /// Admitted queries that reached a terminal status through execution.
+    pub finished: u64,
+    /// Queries shed because the submission queue was full.
+    pub shed_queue_full: u64,
+    /// Queries shed because the predicted wait + service time exceeded the
+    /// query budget.
+    pub shed_deadline: u64,
+    /// Queries shed because the service was draining, plus any backlog
+    /// resolved as shed when the drain deadline expired.
+    pub shed_draining: u64,
+    /// Breakers currently open (graphs quarantined).
+    pub open_breakers: usize,
+    /// Breakers currently half-open (awaiting a probe result).
+    pub half_open_breakers: usize,
+    /// Total breaker trips (Closed→Open and HalfOpen→Open).
+    pub breaker_trips: u64,
+    /// Total per-graph short-circuits served from open breakers.
+    pub quarantined_graph_results: u64,
+}
+
+impl ServiceHealth {
+    /// Total queries shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline + self.shed_draining
     }
 }
 
@@ -368,6 +419,33 @@ mod tests {
         assert_eq!(rep.total_retries(), 2);
         assert!((rep.completion_rate() - 2.0 / 6.0).abs() < 1e-9);
         assert!(rep.should_omit());
+    }
+
+    #[test]
+    fn shed_and_quarantined_rollups() {
+        let mut rep = QuerySetReport::new("X", "Q");
+        rep.records.push(record(1, 1, 1, 1));
+        rep.records.push(with_status(QueryStatus::Shed));
+        rep.records.push(with_status(QueryStatus::Shed));
+        rep.records.push(with_status(QueryStatus::Quarantined));
+        assert_eq!(rep.shed_count(), 2);
+        assert_eq!(rep.quarantined_count(), 1);
+        assert_eq!(rep.failure_count(), 3);
+        // Shed/quarantined records are never pinned to the budget.
+        let shed = QueryRecord::from_outcome(&QueryOutcome::shed(), Some(Duration::from_secs(1)));
+        assert_eq!(shed.query_time(), Duration::ZERO);
+        assert!(shed.status.is_shed());
+    }
+
+    #[test]
+    fn service_health_shed_total() {
+        let h = ServiceHealth {
+            shed_queue_full: 2,
+            shed_deadline: 3,
+            shed_draining: 4,
+            ..Default::default()
+        };
+        assert_eq!(h.shed_total(), 9);
     }
 
     #[test]

@@ -52,7 +52,7 @@ use crate::engine::{QueryOutcome, QueryStatus};
 
 /// Locks a mutex, tolerating poisoning: a panicking worker must never deny
 /// the submitter (or its siblings) access to the partial results.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -178,6 +178,10 @@ struct Job {
     /// at a time gives the finest-grained balance under skewed graph sizes;
     /// one `fetch_add` per graph is noise next to a filter+verify pass.
     next: AtomicUsize,
+    /// Quarantine mask from the serving layer: `mask[i] == true` means graph
+    /// `i`'s circuit breaker is open, so the worker claiming it records a
+    /// [`QueryStatus::Quarantined`] failure instead of calling the matcher.
+    mask: Option<Arc<[bool]>>,
     /// Per-worker partial outcomes.
     parts: Mutex<Vec<QueryOutcome>>,
     /// Workers that have not yet finished this job.
@@ -204,6 +208,13 @@ impl Job {
                 break;
             }
             let gid = GraphId(i as u32);
+            if self.mask.as_ref().is_some_and(|m| m[i]) {
+                // Short-circuit: the quarantined graph never reaches the
+                // matcher; exactly one failure record per masked graph, so
+                // the finalized outcome is thread-count independent.
+                part.record_quarantined(gid);
+                continue;
+            }
             if !process_graph(&*self.matcher, &self.db, &self.q, gid, self.deadline, &mut part) {
                 // This worker hit the budget: tell every sibling to stop.
                 self.deadline.cancel_token().cancel();
@@ -287,6 +298,14 @@ impl QueryPool {
     /// requested; if the OS refuses to spawn any thread at all, the pool
     /// degrades to running queries inline on the submitting thread).
     pub fn new(threads: usize) -> Self {
+        Self::named("sqp-pool", threads)
+    }
+
+    /// Like [`QueryPool::new`] but with a caller-chosen worker-thread name
+    /// prefix (threads are named `{prefix}-{i}`). Distinct prefixes let the
+    /// drain tests verify via `/proc/self/task` that shutdown leaks no
+    /// worker threads even while other pools run concurrently.
+    pub fn named(prefix: &str, threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState { job: None, epoch: 0, shutdown: false }),
@@ -297,7 +316,7 @@ impl QueryPool {
         for i in 0..threads {
             let shared = Arc::clone(&shared);
             match std::thread::Builder::new()
-                .name(format!("sqp-pool-{i}"))
+                .name(format!("{prefix}-{i}"))
                 .spawn(move || worker_loop(&shared))
             {
                 Ok(handle) => workers.push(handle),
@@ -346,6 +365,25 @@ impl QueryPool {
         q: &Graph,
         deadline: Deadline,
     ) -> ParallelOutcome {
+        self.query_masked(matcher, db, q, deadline, None)
+    }
+
+    /// Like [`query`](QueryPool::query), but graphs whose entry in `mask` is
+    /// `true` are short-circuited to a [`QueryStatus::Quarantined`] failure
+    /// record without consulting the matcher — the serving layer's circuit
+    /// breakers use this to quarantine sick graphs. `mask`, when present,
+    /// must have exactly `db.len()` entries.
+    pub fn query_masked(
+        &self,
+        matcher: Arc<dyn Matcher>,
+        db: &Arc<GraphDb>,
+        q: &Graph,
+        deadline: Deadline,
+        mask: Option<Arc<[bool]>>,
+    ) -> ParallelOutcome {
+        if let Some(mask) = &mask {
+            assert_eq!(mask.len(), db.len(), "quarantine mask must cover the whole database");
+        }
         let _serial = lock(&self.submit);
         // Workers are idle here (previous job fully drained), so the flag
         // can be reused without racing a stale cancellation.
@@ -358,6 +396,7 @@ impl QueryPool {
             db: Arc::clone(db),
             q: q.clone(),
             deadline,
+            mask,
             next: AtomicUsize::new(0),
             parts: Mutex::new(Vec::with_capacity(threads.max(1))),
             remaining: AtomicUsize::new(threads),
@@ -732,6 +771,34 @@ mod tests {
                     assert_eq!(b.failures, r.outcome.failures, "{threads} threads");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn masked_graphs_short_circuit_to_quarantined() {
+        let db = db(12);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let mut mask = vec![false; 12];
+        mask[3] = true;
+        mask[7] = true;
+        let mask: Arc<[bool]> = mask.into();
+        for threads in [1, 2, 4, 8] {
+            let pool = QueryPool::new(threads);
+            let r = pool.query_masked(
+                Arc::new(Cfql::new()),
+                &db,
+                &q,
+                Deadline::none(),
+                Some(Arc::clone(&mask)),
+            );
+            let expected: Vec<GraphId> =
+                (0..12u32).filter(|&i| i != 3 && i != 7).map(GraphId).collect();
+            assert_eq!(r.outcome.answers, expected, "{threads} threads");
+            assert!(r.outcome.status.is_quarantined(), "{threads} threads");
+            assert_eq!(r.outcome.failures.len(), 2);
+            assert_eq!(r.outcome.failures[0].graph, GraphId(3));
+            assert_eq!(r.outcome.failures[1].graph, GraphId(7));
+            assert!(r.outcome.failures.iter().all(|f| f.status.is_quarantined()));
         }
     }
 

@@ -3,7 +3,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sqp_graph::{Graph, GraphDb};
 use sqp_matching::{Deadline, Matcher, ResourceLimits};
@@ -60,20 +60,39 @@ impl RunnerConfig {
 /// Runs one query through `attempt`, retrying panicked outcomes up to
 /// `config.max_retries` times with doubling backoff. Returns the final
 /// outcome and the number of retries spent.
-fn run_with_retries(
+///
+/// Every attempt — and every backoff sleep between attempts — is charged
+/// against the *same* per-query budget: `attempt` receives the remaining
+/// slice of `config.query_budget` (`None` = unlimited), backoff sleeps are
+/// clipped to what is left, and retrying stops outright once the budget is
+/// spent. Retries can therefore never extend a query's wall clock past the
+/// configured budget.
+pub(crate) fn run_with_retries(
     config: RunnerConfig,
-    mut attempt: impl FnMut() -> QueryOutcome,
+    mut attempt: impl FnMut(Option<Duration>) -> QueryOutcome,
 ) -> (QueryOutcome, u32) {
-    let mut outcome = attempt();
+    let start = Instant::now();
+    let remaining = |start: Instant| config.query_budget.map(|b| b.saturating_sub(start.elapsed()));
+    let mut outcome = attempt(remaining(start));
     let mut retries = 0;
     let mut backoff = config.retry_backoff;
     while outcome.status.is_panicked() && retries < config.max_retries {
-        if !backoff.is_zero() {
-            std::thread::sleep(backoff);
+        match remaining(start) {
+            Some(left) if left.is_zero() => break,
+            Some(left) => {
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff.min(left));
+                }
+            }
+            None => {
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
         }
         backoff = backoff.saturating_mul(2);
         retries += 1;
-        outcome = attempt();
+        outcome = attempt(remaining(start));
     }
     (outcome, retries)
 }
@@ -90,15 +109,17 @@ pub fn run_query_set(
     queries: &[Graph],
     config: RunnerConfig,
 ) -> QuerySetReport {
-    engine.set_query_budget(config.query_budget);
     engine.set_resource_limits(config.limits);
     let mut report = QuerySetReport::new(engine.name(), query_set_name);
     for q in queries {
-        let (outcome, retries) =
-            run_with_retries(config, || match catch_unwind(AssertUnwindSafe(|| engine.query(q))) {
+        let (outcome, retries) = run_with_retries(config, |remaining| {
+            // Retry attempts see only the budget slice that is left.
+            engine.set_query_budget(remaining);
+            match catch_unwind(AssertUnwindSafe(|| engine.query(q))) {
                 Ok(outcome) => outcome,
                 Err(payload) => QueryOutcome::panicked(panic_message(payload)),
-            });
+            }
+        });
         let mut record = QueryRecord::from_outcome(&outcome, config.query_budget);
         record.retries = retries;
         report.records.push(record);
@@ -133,10 +154,9 @@ pub fn run_query_set_parallel(
     let mut report = QuerySetReport::new(engine_name, query_set_name);
     let guard = sqp_matching::ResourceGuard::new();
     for q in queries {
-        let (outcome, retries) = run_with_retries(config, || {
+        let (outcome, retries) = run_with_retries(config, |remaining| {
             guard.reset(config.limits);
-            let deadline =
-                config.query_budget.map_or(Deadline::none(), Deadline::after).with_guard(guard);
+            let deadline = remaining.map_or(Deadline::none(), Deadline::after).with_guard(guard);
             pool.query(Arc::clone(&matcher), db, q, deadline).outcome
         });
         let mut record = QueryRecord::from_outcome(&outcome, config.query_budget);
@@ -362,6 +382,69 @@ mod tests {
         assert_eq!(report.records.len(), 4);
         assert_eq!(report.panic_count(), 2);
         assert_eq!(report.timeout_count(), 0);
+    }
+
+    #[test]
+    fn retries_are_charged_against_the_query_budget() {
+        // Regression: retry attempts and backoff sleeps used to each get a
+        // fresh budget, so a panicking query with a large retry count could
+        // extend wall-clock far past `query_budget`.
+        let config = RunnerConfig {
+            query_budget: Some(Duration::from_millis(80)),
+            max_retries: 1000,
+            retry_backoff: Duration::from_millis(30),
+            ..RunnerConfig::default()
+        };
+        let t0 = Instant::now();
+        let (outcome, retries) =
+            run_with_retries(config, |_| QueryOutcome::panicked("always".into()));
+        let elapsed = t0.elapsed();
+        assert!(outcome.status.is_panicked());
+        // 30 + 60 = 90ms of backoff alone exceeds the 80ms budget, so at
+        // most two retries fit; with the old per-attempt budget this would
+        // have slept for minutes. Generous bound for slow CI machines.
+        assert!(retries <= 3, "retries not bounded by budget: {retries}");
+        assert!(elapsed < Duration::from_secs(2), "wall clock escaped the budget: {elapsed:?}");
+    }
+
+    #[test]
+    fn retry_attempts_see_a_shrinking_budget() {
+        let config = RunnerConfig {
+            query_budget: Some(Duration::from_millis(200)),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(5),
+            ..RunnerConfig::default()
+        };
+        let seen = std::cell::RefCell::new(Vec::new());
+        let (_, retries) = run_with_retries(config, |remaining| {
+            seen.borrow_mut().push(remaining.expect("budget configured"));
+            QueryOutcome::panicked("always".into())
+        });
+        let seen = seen.into_inner();
+        assert_eq!(retries as usize + 1, seen.len());
+        assert!(seen[0] <= Duration::from_millis(200));
+        for pair in seen.windows(2) {
+            assert!(pair[1] < pair[0], "remaining budget must shrink: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_still_retries() {
+        let config = RunnerConfig {
+            query_budget: None,
+            max_retries: 2,
+            retry_backoff: Duration::ZERO,
+            ..RunnerConfig::default()
+        };
+        let calls = std::cell::Cell::new(0u32);
+        let (outcome, retries) = run_with_retries(config, |remaining| {
+            assert!(remaining.is_none());
+            calls.set(calls.get() + 1);
+            QueryOutcome::panicked("always".into())
+        });
+        assert_eq!(calls.get(), 3);
+        assert_eq!(retries, 2);
+        assert!(outcome.status.is_panicked());
     }
 
     #[test]

@@ -1,0 +1,795 @@
+//! The admission-controlled query service: the serving layer above
+//! [`QueryPool`].
+//!
+//! PR 2 made a *single* query fault-tolerant; this layer protects the
+//! system across *many* queries, the way serving-scale subgraph systems
+//! (STwig on Trinity and friends) survive heavy traffic — by bounding load
+//! and degrading predictably instead of collapsing:
+//!
+//! * **Admission control** — a bounded submission queue. Submissions beyond
+//!   the queue capacity, during a drain, or whose budget predictably cannot
+//!   cover queue wait + service time are rejected *up front* with a
+//!   terminal [`QueryStatus::Shed`] — never silently dropped.
+//! * **Per-graph circuit breakers** ([`BreakerRegistry`]) — graphs that
+//!   keep panicking or exhausting budgets are quarantined and
+//!   short-circuited to [`QueryStatus::Quarantined`] records, with
+//!   half-open probing after a cool-down.
+//! * **Graceful drain** — [`QueryService::shutdown`] stops admissions, lets
+//!   in-flight work finish within a drain deadline, then cancels via the
+//!   pool's [`CancelToken`]; every admitted query is guaranteed a terminal
+//!   status and no worker thread outlives the service.
+//! * **Health snapshots** — [`QueryService::health`] exposes queue depth,
+//!   breaker occupancy, and shed/quarantine counters
+//!   ([`ServiceHealth`]).
+//!
+//! Determinism: breaker transitions and shed decisions are pure functions
+//! of the admitted-query sequence (the registry is clocked in logical
+//! ticks, and [`submit_batch`](QueryService::submit_batch) makes burst
+//! admission decisions under one lock hold), so the chaos suite can assert
+//! byte-identical serving behavior across 1/2/4/8 worker threads.
+//!
+//! [`CancelToken`]: sqp_matching::CancelToken
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sqp_graph::database::GraphId;
+use sqp_graph::{Graph, GraphDb};
+use sqp_matching::{Deadline, Matcher, ResourceGuard};
+
+use crate::breaker::{BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
+use crate::engine::QueryOutcome;
+use crate::metrics::{QueryRecord, QuerySetReport, ServiceHealth};
+use crate::parallel::{lock, QueryPool};
+use crate::runner::{run_with_retries, RunnerConfig};
+
+/// Why a submission was shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded submission queue was at capacity.
+    QueueFull,
+    /// Predicted queue wait + service time exceeded the query budget.
+    DeadlineUnmeetable,
+    /// The service had stopped admitting (drain in progress), or the drain
+    /// deadline expired with the query still queued.
+    Draining,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "queue full"),
+            ShedReason::DeadlineUnmeetable => write!(f, "deadline unmeetable"),
+            ShedReason::Draining => write!(f, "draining"),
+        }
+    }
+}
+
+/// Result of one admission decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The query entered the submission queue.
+    Admitted,
+    /// The query was rejected; its ticket is already resolved with
+    /// [`QueryStatus::Shed`].
+    Shed(ShedReason),
+}
+
+impl Admission {
+    /// Whether the query entered the queue.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted)
+    }
+}
+
+/// Deadline-aware load-shedding policy.
+///
+/// The service predicts a submission's end-to-end latency as
+/// `est_cost_per_graph × live_graphs × (queued + in-flight + 1)` — service
+/// time for the query itself plus the backlog ahead of it, with quarantined
+/// graphs excluded from the per-query cost. When the prediction exceeds the
+/// configured query budget the submission is shed immediately: rejecting at
+/// admission is strictly cheaper than admitting work that is already doomed
+/// to time out. The estimate is a pure function of configuration and queue
+/// state, so shed decisions are deterministic for a deterministic admission
+/// sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Estimated filter+verify cost per live data graph.
+    pub est_cost_per_graph: Duration,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        Self { est_cost_per_graph: Duration::from_micros(100) }
+    }
+}
+
+/// Configuration of a [`QueryService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the underlying [`QueryPool`].
+    pub threads: usize,
+    /// Per-query budget / retry / resource-limit policy. Retries are charged
+    /// against the query budget (see `run_with_retries`).
+    pub runner: RunnerConfig,
+    /// Circuit-breaker thresholds ([`BreakerConfig::disabled`] to turn off).
+    pub breaker: BreakerConfig,
+    /// Bound on queries admitted but not yet started; submissions beyond it
+    /// are shed with [`ShedReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Deadline-aware shedding; `None` disables the predictive check (the
+    /// queue bound still applies).
+    pub shed: Option<ShedPolicy>,
+    /// How long [`shutdown`](QueryService::shutdown) lets in-flight and
+    /// queued work finish before cancelling.
+    pub drain_deadline: Duration,
+    /// Thread-name prefix: the executor is `{prefix}-exec`, pool workers
+    /// `{prefix}-{i}`. Distinct prefixes let tests assert thread cleanup.
+    pub thread_prefix: String,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            runner: RunnerConfig::default(),
+            breaker: BreakerConfig::default(),
+            queue_capacity: 64,
+            shed: None,
+            drain_deadline: Duration::from_secs(5),
+            thread_prefix: "sqp-svc".to_string(),
+        }
+    }
+}
+
+struct TicketInner {
+    slot: Mutex<Option<(QueryOutcome, u32)>>,
+    ready: Condvar,
+}
+
+impl TicketInner {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { slot: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn resolve(&self, outcome: QueryOutcome, retries: u32) {
+        let mut slot = lock(&self.slot);
+        if slot.is_none() {
+            *slot = Some((outcome, retries));
+        }
+        drop(slot);
+        self.ready.notify_all();
+    }
+}
+
+/// A handle to one submitted query; resolves to its terminal
+/// [`QueryOutcome`] (plus the retries spent). Shed queries resolve
+/// immediately.
+#[derive(Clone)]
+pub struct QueryTicket {
+    inner: Arc<TicketInner>,
+}
+
+impl QueryTicket {
+    /// Blocks until the query reaches a terminal status.
+    pub fn wait(&self) -> (QueryOutcome, u32) {
+        let mut slot = lock(&self.inner.slot);
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return r.clone();
+            }
+            slot = self.inner.ready.wait(slot).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Waits up to `timeout` for a terminal status.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<(QueryOutcome, u32)> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock(&self.inner.slot);
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return Some(r.clone());
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (s, _) = self
+                .inner
+                .ready
+                .wait_timeout(slot, left)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot = s;
+        }
+    }
+
+    /// The terminal result, if already available (never blocks).
+    pub fn try_get(&self) -> Option<(QueryOutcome, u32)> {
+        lock(&self.inner.slot).clone()
+    }
+}
+
+/// What [`QueryService::shutdown`] observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Whether all admitted work finished within the drain deadline
+    /// (`false` means the backlog was shed and/or in-flight work cancelled).
+    pub drained_within_deadline: bool,
+    /// Admitted queries that reached a terminal status through execution.
+    pub finished: u64,
+    /// Queued-but-unstarted queries resolved as [`QueryStatus::Shed`] when
+    /// the drain deadline expired.
+    pub shed_at_drain: u64,
+}
+
+struct SvcState {
+    queue: VecDeque<(Graph, Arc<TicketInner>)>,
+    draining: bool,
+    /// Drain deadline expired: the executor sheds the backlog and exits.
+    force_cancel: bool,
+    inflight: usize,
+    admitted: u64,
+    finished: u64,
+    shed_queue_full: u64,
+    shed_deadline: u64,
+    shed_draining: u64,
+}
+
+struct Shared {
+    state: Mutex<SvcState>,
+    /// Signals the executor: new submission or drain flag change.
+    submitted: Condvar,
+    /// Signals waiters: a query finished or the executor exited.
+    progressed: Condvar,
+    breakers: Mutex<BreakerRegistry>,
+    runner: Mutex<RunnerConfig>,
+    pool: QueryPool,
+    db: Arc<GraphDb>,
+}
+
+/// An admission-controlled, breaker-protected query service over one
+/// database. See the module docs for the serving semantics.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use sqp_core::service::{QueryService, ServiceConfig};
+/// use sqp_graph::{GraphBuilder, GraphDb, Label};
+/// use sqp_matching::cfql::Cfql;
+///
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_vertex(Label(0));
+/// let v = b.add_vertex(Label(1));
+/// b.add_edge(u, v).unwrap();
+/// let g = b.build();
+/// let db = Arc::new(GraphDb::from_graphs(vec![g.clone()]));
+///
+/// let service = QueryService::new(Arc::new(Cfql::new()), db, ServiceConfig::default());
+/// let (ticket, admission) = service.submit(&g);
+/// assert!(admission.is_admitted());
+/// let (outcome, _retries) = ticket.wait();
+/// assert_eq!(outcome.answers.len(), 1);
+/// let report = service.shutdown();
+/// assert!(report.drained_within_deadline);
+/// ```
+pub struct QueryService {
+    shared: Arc<Shared>,
+    executor: Option<JoinHandle<()>>,
+    queue_capacity: usize,
+    shed: Option<ShedPolicy>,
+    drain_deadline: Duration,
+}
+
+impl QueryService {
+    /// Starts the service: spawns the pool workers and the executor thread.
+    pub fn new(matcher: Arc<dyn Matcher>, db: Arc<GraphDb>, config: ServiceConfig) -> Self {
+        let ServiceConfig {
+            threads,
+            runner,
+            breaker,
+            queue_capacity,
+            shed,
+            drain_deadline,
+            thread_prefix,
+        } = config;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SvcState {
+                queue: VecDeque::new(),
+                draining: false,
+                force_cancel: false,
+                inflight: 0,
+                admitted: 0,
+                finished: 0,
+                shed_queue_full: 0,
+                shed_deadline: 0,
+                shed_draining: 0,
+            }),
+            submitted: Condvar::new(),
+            progressed: Condvar::new(),
+            breakers: Mutex::new(BreakerRegistry::new(breaker, db.len())),
+            runner: Mutex::new(runner),
+            pool: QueryPool::named(&thread_prefix, threads),
+            db,
+        });
+        let executor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("{thread_prefix}-exec"))
+                .spawn(move || executor_loop(&shared, matcher))
+                .ok()
+        };
+        // If the OS refused the executor thread the service still resolves
+        // every ticket: submissions are shed as draining.
+        if executor.is_none() {
+            lock(&shared.state).draining = true;
+        }
+        Self { shared, executor, queue_capacity, shed, drain_deadline }
+    }
+
+    fn shed_ticket(reason: ShedReason) -> (QueryTicket, Admission) {
+        let inner = TicketInner::new();
+        inner.resolve(QueryOutcome::shed(), 0);
+        (QueryTicket { inner }, Admission::Shed(reason))
+    }
+
+    /// Admission decision for one query under the state lock. Returns the
+    /// shed reason, or `None` to admit.
+    fn admission_decision(&self, st: &SvcState, open_breakers: usize) -> Option<ShedReason> {
+        if st.draining {
+            return Some(ShedReason::Draining);
+        }
+        if st.queue.len() >= self.queue_capacity {
+            return Some(ShedReason::QueueFull);
+        }
+        if let (Some(policy), Some(budget)) = (self.shed, lock(&self.shared.runner).query_budget) {
+            let live = self.shared.db.len().saturating_sub(open_breakers).max(1);
+            let est_service = policy.est_cost_per_graph.saturating_mul(live as u32);
+            let backlog = (st.queue.len() + st.inflight) as u32;
+            let est_total = est_service.saturating_mul(backlog + 1);
+            if est_total > budget {
+                return Some(ShedReason::DeadlineUnmeetable);
+            }
+        }
+        None
+    }
+
+    /// Submits one query. Always returns a ticket that will resolve to a
+    /// terminal status; the [`Admission`] says whether it entered the queue
+    /// or was shed on the spot.
+    pub fn submit(&self, q: &Graph) -> (QueryTicket, Admission) {
+        // Snapshot breaker occupancy before taking the state lock (strict
+        // state→breakers order everywhere else; never hold both).
+        let open = lock(&self.shared.breakers).open_count();
+        let mut st = lock(&self.shared.state);
+        if let Some(reason) = self.admission_decision(&st, open) {
+            match reason {
+                ShedReason::QueueFull => st.shed_queue_full += 1,
+                ShedReason::DeadlineUnmeetable => st.shed_deadline += 1,
+                ShedReason::Draining => st.shed_draining += 1,
+            }
+            drop(st);
+            return Self::shed_ticket(reason);
+        }
+        let inner = TicketInner::new();
+        st.queue.push_back((q.clone(), Arc::clone(&inner)));
+        st.admitted += 1;
+        drop(st);
+        self.shared.submitted.notify_all();
+        (QueryTicket { inner }, Admission::Admitted)
+    }
+
+    /// Submits a burst of queries under **one** state-lock hold, so the
+    /// admission decisions (queue-full bound, predicted-wait shedding) are
+    /// a pure function of the batch order and prior service state — the
+    /// executor cannot race the decisions apart. This is what makes shed
+    /// decisions reproducible across worker thread counts.
+    pub fn submit_batch(&self, queries: &[Graph]) -> Vec<(QueryTicket, Admission)> {
+        let open = lock(&self.shared.breakers).open_count();
+        let mut st = lock(&self.shared.state);
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            match self.admission_decision(&st, open) {
+                Some(reason) => {
+                    match reason {
+                        ShedReason::QueueFull => st.shed_queue_full += 1,
+                        ShedReason::DeadlineUnmeetable => st.shed_deadline += 1,
+                        ShedReason::Draining => st.shed_draining += 1,
+                    }
+                    out.push(Self::shed_ticket(reason));
+                }
+                None => {
+                    let inner = TicketInner::new();
+                    st.queue.push_back((q.clone(), Arc::clone(&inner)));
+                    st.admitted += 1;
+                    out.push((QueryTicket { inner }, Admission::Admitted));
+                }
+            }
+        }
+        drop(st);
+        self.shared.submitted.notify_all();
+        out
+    }
+
+    /// Runs a query set in lockstep (submit one, wait for it, record) and
+    /// reports it like the batch runners do. Lockstep keeps the queue empty
+    /// at every admission, so the resulting report — statuses, failures,
+    /// shed decisions, breaker transitions — is deterministic for a
+    /// deterministic matcher at any worker thread count.
+    pub fn run_query_set(&self, query_set_name: &str, queries: &[Graph]) -> QuerySetReport {
+        let budget = lock(&self.shared.runner).query_budget;
+        let mut report = QuerySetReport::new("service", query_set_name);
+        for q in queries {
+            let (ticket, _) = self.submit(q);
+            let (outcome, retries) = ticket.wait();
+            let mut record = QueryRecord::from_outcome(&outcome, budget);
+            record.retries = retries;
+            report.records.push(record);
+        }
+        report
+    }
+
+    /// Point-in-time serving snapshot.
+    pub fn health(&self) -> ServiceHealth {
+        let (queue_depth, inflight, draining, admitted, finished, qf, dl, dr) = {
+            let st = lock(&self.shared.state);
+            (
+                st.queue.len(),
+                st.inflight,
+                st.draining,
+                st.admitted,
+                st.finished,
+                st.shed_queue_full,
+                st.shed_deadline,
+                st.shed_draining,
+            )
+        };
+        let (open, half_open, trips, short_circuits) = {
+            let br = lock(&self.shared.breakers);
+            (br.open_count(), br.half_open_count(), br.trip_count(), br.short_circuit_count())
+        };
+        ServiceHealth {
+            queue_depth,
+            inflight,
+            draining,
+            admitted,
+            finished,
+            shed_queue_full: qf,
+            shed_deadline: dl,
+            shed_draining: dr,
+            open_breakers: open,
+            half_open_breakers: half_open,
+            breaker_trips: trips,
+            quarantined_graph_results: short_circuits,
+        }
+    }
+
+    /// Current breaker state for one graph.
+    pub fn breaker_state(&self, graph: GraphId) -> BreakerState {
+        lock(&self.shared.breakers).state(graph)
+    }
+
+    /// All breaker transitions so far, in order.
+    pub fn breaker_transitions(&self) -> Vec<BreakerTransition> {
+        lock(&self.shared.breakers).transitions().to_vec()
+    }
+
+    /// The current runner (budget/retry/limits) configuration.
+    pub fn runner_config(&self) -> RunnerConfig {
+        *lock(&self.shared.runner)
+    }
+
+    /// Replaces the runner configuration for subsequently started queries.
+    pub fn set_runner_config(&self, config: RunnerConfig) {
+        *lock(&self.shared.runner) = config;
+    }
+
+    /// Worker threads in the underlying pool.
+    pub fn threads(&self) -> usize {
+        self.shared.pool.threads()
+    }
+
+    /// Gracefully drains and stops the service: admissions stop at once,
+    /// queued and in-flight work gets `drain_deadline` to finish, then the
+    /// backlog is resolved [`QueryStatus::Shed`] and the in-flight query is
+    /// cancelled through the pool's `CancelToken` (surfacing as a terminal
+    /// `TimedOut`/`ResourceExhausted`). Every admitted query is guaranteed
+    /// a terminal status, and all service threads are joined before this
+    /// returns.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> DrainReport {
+        let drain_until = Instant::now() + self.drain_deadline;
+        {
+            let mut st = lock(&self.shared.state);
+            st.draining = true;
+            self.shared.submitted.notify_all();
+            // Give in-flight + queued work the drain window.
+            while (st.inflight > 0 || !st.queue.is_empty()) && Instant::now() < drain_until {
+                let left = drain_until.saturating_duration_since(Instant::now());
+                let (s, _) = self
+                    .shared
+                    .progressed
+                    .wait_timeout(st, left)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = s;
+            }
+            st.force_cancel = true;
+            self.shared.submitted.notify_all();
+        }
+        // Cancel-pump: `QueryPool::query` resets its token at query start,
+        // so a single cancel can race a just-starting attempt. Re-raise
+        // until the executor confirms exit.
+        if let Some(executor) = self.executor.take() {
+            while !executor.is_finished() {
+                self.shared.pool.cancel();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _ = executor.join();
+        }
+        let st = lock(&self.shared.state);
+        DrainReport {
+            drained_within_deadline: st.shed_draining == 0 && Instant::now() <= drain_until,
+            finished: st.finished,
+            shed_at_drain: st.shed_draining,
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        if self.executor.is_some() {
+            // Implicit shutdown without the drain courtesy: resolve
+            // everything and join all threads (no leaks, no lost tickets).
+            self.drain_deadline = Duration::ZERO;
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+fn executor_loop(shared: &Shared, matcher: Arc<dyn Matcher>) {
+    let guard = ResourceGuard::new();
+    loop {
+        let (q, ticket) = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.force_cancel {
+                    // Drain deadline expired: the backlog is shed, never
+                    // silently dropped.
+                    while let Some((_, t)) = st.queue.pop_front() {
+                        t.resolve(QueryOutcome::shed(), 0);
+                        st.shed_draining += 1;
+                    }
+                }
+                if let Some(item) = st.queue.pop_front() {
+                    st.inflight = 1;
+                    break item;
+                }
+                if st.draining {
+                    drop(st);
+                    shared.progressed.notify_all();
+                    return;
+                }
+                st = shared.submitted.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+
+        let runner = *lock(&shared.runner);
+        // One logical tick per admitted query; the mask is fixed across
+        // retry attempts (same tick).
+        let mask = lock(&shared.breakers).begin_query();
+        let (outcome, retries) = run_with_retries(runner, |remaining| {
+            guard.reset(runner.limits);
+            let deadline = remaining.map_or(Deadline::none(), Deadline::after).with_guard(guard);
+            shared
+                .pool
+                .query_masked(Arc::clone(&matcher), &shared.db, &q, deadline, mask.clone())
+                .outcome
+        });
+        lock(&shared.breakers).observe(&outcome);
+        // Account before resolving: a caller returning from
+        // `QueryTicket::wait` must see this query in `health().finished`.
+        let mut st = lock(&shared.state);
+        st.inflight = 0;
+        st.finished += 1;
+        drop(st);
+        ticket.resolve(outcome, retries);
+        shared.progressed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_graph::{GraphBuilder, Label, VertexId};
+    use sqp_matching::cfql::Cfql;
+    use sqp_matching::{FilterResult, Timeout};
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        b.build()
+    }
+
+    fn edge_db(n: usize) -> Arc<GraphDb> {
+        Arc::new(GraphDb::from_graphs(vec![labeled(&[0, 1], &[(0, 1)]); n]))
+    }
+
+    #[test]
+    fn serves_queries_and_reports_health() {
+        let db = edge_db(6);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let service = QueryService::new(
+            Arc::new(Cfql::new()),
+            db,
+            ServiceConfig { threads: 2, ..Default::default() },
+        );
+        for _ in 0..3 {
+            let (ticket, admission) = service.submit(&q);
+            assert!(admission.is_admitted());
+            let (outcome, retries) = ticket.wait();
+            assert!(outcome.status.is_completed());
+            assert_eq!(outcome.answers.len(), 6);
+            assert_eq!(retries, 0);
+        }
+        let h = service.health();
+        assert_eq!(h.admitted, 3);
+        assert_eq!(h.finished, 3);
+        assert_eq!(h.shed_total(), 0);
+        assert_eq!(h.open_breakers, 0);
+        let report = service.shutdown();
+        assert!(report.drained_within_deadline);
+        assert_eq!(report.finished, 3);
+        assert_eq!(report.shed_at_drain, 0);
+    }
+
+    #[test]
+    fn queue_capacity_sheds_excess_batch_submissions() {
+        let db = edge_db(4);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let service = QueryService::new(
+            Arc::new(Cfql::new()),
+            db,
+            ServiceConfig { queue_capacity: 2, ..Default::default() },
+        );
+        let tickets = service.submit_batch(&vec![q; 6]);
+        let shed: Vec<bool> = tickets.iter().map(|(_, a)| !a.is_admitted()).collect();
+        // Under one lock hold the first two are admitted, the rest shed.
+        assert_eq!(shed, vec![false, false, true, true, true, true]);
+        for (ticket, admission) in &tickets {
+            let (outcome, _) = ticket.wait();
+            if admission.is_admitted() {
+                assert!(outcome.status.is_completed());
+            } else {
+                assert!(outcome.status.is_shed());
+                assert!(outcome.answers.is_empty());
+            }
+        }
+        let h = service.health();
+        assert_eq!(h.shed_queue_full, 4);
+        assert_eq!(h.admitted, 2);
+    }
+
+    #[test]
+    fn deadline_unmeetable_sheds_up_front() {
+        let db = edge_db(10);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        // Budget 1ms, predicted service 10 graphs × 1ms = 10ms > 1ms.
+        let service = QueryService::new(
+            Arc::new(Cfql::new()),
+            db,
+            ServiceConfig {
+                runner: RunnerConfig::with_budget(Duration::from_millis(1)),
+                shed: Some(ShedPolicy { est_cost_per_graph: Duration::from_millis(1) }),
+                ..Default::default()
+            },
+        );
+        let (ticket, admission) = service.submit(&q);
+        assert_eq!(admission, Admission::Shed(ShedReason::DeadlineUnmeetable));
+        let (outcome, _) = ticket.wait();
+        assert!(outcome.status.is_shed());
+        assert_eq!(service.health().shed_deadline, 1);
+    }
+
+    #[test]
+    fn draining_service_sheds_new_submissions() {
+        let db = edge_db(2);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let service =
+            QueryService::new(Arc::new(Cfql::new()), Arc::clone(&db), ServiceConfig::default());
+        let (t1, a1) = service.submit(&q);
+        assert!(a1.is_admitted());
+        t1.wait();
+        // Mark draining by hand (shutdown consumes the service).
+        lock(&service.shared.state).draining = true;
+        let (t2, a2) = service.submit(&q);
+        assert_eq!(a2, Admission::Shed(ShedReason::Draining));
+        assert!(t2.wait().0.status.is_shed());
+    }
+
+    /// A matcher that panics on every graph of every query.
+    struct AlwaysPanic;
+    impl Matcher for AlwaysPanic {
+        fn name(&self) -> &'static str {
+            "always-panic"
+        }
+        fn filter(&self, _q: &Graph, _g: &Graph, _d: Deadline) -> Result<FilterResult, Timeout> {
+            panic!("chaos: hard fault");
+        }
+        fn find_first(
+            &self,
+            _q: &Graph,
+            _g: &Graph,
+            _space: &sqp_matching::CandidateSpace,
+            _d: Deadline,
+        ) -> Result<Option<sqp_matching::Embedding>, Timeout> {
+            Ok(None)
+        }
+        fn enumerate(
+            &self,
+            _q: &Graph,
+            _g: &Graph,
+            _space: &sqp_matching::CandidateSpace,
+            _limit: u64,
+            _deadline: Deadline,
+            _on_match: &mut dyn FnMut(&sqp_matching::Embedding),
+        ) -> Result<u64, Timeout> {
+            Ok(0)
+        }
+    }
+
+    #[test]
+    fn breakers_quarantine_a_faulting_database() {
+        let db = edge_db(3);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let service = QueryService::new(
+            Arc::new(AlwaysPanic),
+            db,
+            ServiceConfig {
+                breaker: BreakerConfig { fault_threshold: 1, cooldown: 100 },
+                ..Default::default()
+            },
+        );
+        let (outcome, _) = service.submit(&q).0.wait();
+        assert!(outcome.status.is_panicked());
+        // Every graph faulted once → all breakers open → next query is
+        // fully short-circuited without touching the matcher.
+        let (outcome, _) = service.submit(&q).0.wait();
+        assert!(outcome.status.is_quarantined(), "{:?}", outcome.status);
+        assert_eq!(outcome.failures.len(), 3);
+        assert!(outcome.failures.iter().all(|f| f.status.is_quarantined()));
+        let h = service.health();
+        assert_eq!(h.open_breakers, 3);
+        assert_eq!(h.breaker_trips, 3);
+        assert_eq!(h.quarantined_graph_results, 3);
+    }
+
+    #[test]
+    fn drop_without_shutdown_resolves_everything() {
+        let db = edge_db(3);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let service = QueryService::new(Arc::new(Cfql::new()), db, ServiceConfig::default());
+        let tickets = service.submit_batch(&vec![q; 4]);
+        drop(service);
+        for (ticket, _) in &tickets {
+            let (outcome, _) = ticket.try_get().expect("terminal after drop");
+            assert!(
+                outcome.status.is_completed()
+                    || outcome.status.is_shed()
+                    || outcome.status.is_timed_out(),
+                "{:?}",
+                outcome.status
+            );
+        }
+    }
+}

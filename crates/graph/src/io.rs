@@ -38,9 +38,23 @@ pub fn read_graphs<R: Read>(reader: R, interner: &mut LabelInterner) -> Result<V
     let mut graphs = Vec::new();
     let mut current: Option<GraphBuilder> = None;
     let mut line_no = 0usize;
+    // Line of the current graph's 't' header, for error context when the
+    // graph turns out to be truncated (declared but never given a vertex).
+    let mut t_line = 0usize;
 
     let parse_err =
         |line: usize, message: &str| GraphError::Parse { line, message: message.into() };
+
+    // A 't' header with no following 'v' line is a truncated input, not an
+    // empty graph: a 0-vertex graph has no meaning to the matchers, so it
+    // must never escape the parser.
+    let close = |b: GraphBuilder, t_line: usize, graphs: &mut Vec<Graph>| -> Result<()> {
+        if b.vertex_count() == 0 {
+            return Err(parse_err(t_line, "graph header with no vertices (truncated input?)"));
+        }
+        graphs.push(b.build());
+        Ok(())
+    };
 
     for line in buf.lines() {
         line_no += 1;
@@ -53,8 +67,14 @@ pub fn read_graphs<R: Read>(reader: R, interner: &mut LabelInterner) -> Result<V
         match tok.next() {
             Some("t") => {
                 if let Some(b) = current.take() {
-                    graphs.push(b.build());
+                    close(b, t_line, &mut graphs)?;
                 }
+                // `t # -1` is the literature's end-of-file marker, not the
+                // header of a new (empty) graph.
+                if tok.next() == Some("#") && tok.next() == Some("-1") {
+                    continue;
+                }
+                t_line = line_no;
                 current = Some(GraphBuilder::new());
             }
             Some("v") => {
@@ -102,7 +122,7 @@ pub fn read_graphs<R: Read>(reader: R, interner: &mut LabelInterner) -> Result<V
         }
     }
     if let Some(b) = current.take() {
-        graphs.push(b.build());
+        close(b, t_line, &mut graphs)?;
     }
     Ok(graphs)
 }

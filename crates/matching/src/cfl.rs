@@ -74,7 +74,7 @@ impl Cfl {
             .min_by(|&a, &b| {
                 let ra = g.label_frequency(q.label(a)) as f64 / q.degree(a).max(1) as f64;
                 let rb = g.label_frequency(q.label(b)) as f64 / q.degree(b).max(1) as f64;
-                ra.partial_cmp(&rb).unwrap().then(a.cmp(&b))
+                ra.total_cmp(&rb).then(a.cmp(&b))
             })
             .expect("non-empty query")
     }
@@ -333,8 +333,7 @@ impl Cfl {
                 (!touches_core, est, i, p)
             })
             .collect();
-        keyed
-            .sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).unwrap()).then(a.2.cmp(&b.2)));
+        keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
 
         // Concatenate paths, skipping vertices already placed.
         let mut placed = vec![false; q.vertex_count()];

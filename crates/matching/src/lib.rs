@@ -18,6 +18,9 @@
 //! (Algorithm 2) uses the preprocessing phase as its *filter* and a
 //! first-match enumeration as its *verifier*.
 
+// Library code avoids unwrap (CI denies it); tests may use it freely.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod bipartite;
 pub mod brute;
 pub mod candidates;

@@ -52,7 +52,7 @@ impl TurboIso {
             .min_by(|&a, &b| {
                 let ra = g.label_frequency(q.label(a)) as f64 / q.degree(a).max(1) as f64;
                 let rb = g.label_frequency(q.label(b)) as f64 / q.degree(b).max(1) as f64;
-                ra.partial_cmp(&rb).unwrap().then(a.cmp(&b))
+                ra.total_cmp(&rb).then(a.cmp(&b))
             })
             .expect("non-empty query")
     }

@@ -19,9 +19,13 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
-echo "==> chaos suite (fixed seeds, 1/2/4/8 threads)"
+echo "==> io robustness corpus (malformed t/v/e inputs)"
+cargo test -q --offline --test io_robustness
+
+echo "==> chaos suite (fixed seeds, 1/2/4/8 threads; breaker lifecycle, drain, serving determinism)"
 # Deterministic fault injection: seeds pinned in tests/chaos.rs and
-# EXPERIMENTS.md. PROPTEST_CASES bounds the randomized isolation property.
+# EXPERIMENTS.md. PROPTEST_CASES bounds the randomized isolation property
+# and the serving-determinism property.
 PROPTEST_CASES=32 cargo test -q --offline --test chaos
 
 echo "==> cargo fmt --check"

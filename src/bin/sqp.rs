@@ -7,6 +7,9 @@
 //! sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
 //! sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
 //!              [--threads N] [--retries N] [--max-steps N]
+//!              [--max-inflight N] [--shed] [--breaker-threshold N]
+//!              [--breaker-cooldown N] [--chaos-panics PM] [--chaos-seed N]
+//!              [--drain-after-ms N]
 //! sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
 //! sqp match    --db <file> --queries <file> [--limit N]
 //! sqp index    --db <file> --kind <grapes|ggsx|ct-index>
@@ -61,8 +64,22 @@ Engines: CT-Index Grapes GGSX CFL GraphQL CFQL vcGrapes vcGGSX
 --max-steps N bounds enumeration steps per query (0 = unlimited); a blown
 budget is reported as EXHAUSTED, not as a timeout
 
-Exit codes: 0 success (timeouts included), 2 degraded (a query panicked
-or exhausted its resource budget), 1 usage or I/O error";
+Service mode (any of the flags below turns it on for `query`): the set is
+submitted as one burst to an admission-controlled service with per-graph
+circuit breakers; rejected queries are reported SHED, graphs quarantined
+by a tripped breaker QUARANTINED.
+  --max-inflight N       bound on admitted-but-unfinished queries (default 64)
+  --shed                 shed queries whose predicted wait exceeds the budget
+  --breaker-threshold N  consecutive faults before a graph's breaker trips
+  --breaker-cooldown N   queries to wait before half-open probing (default 4)
+  --chaos-panics PM      inject panics on PM per-mille of (query,graph) pairs
+  --chaos-seed N         seed for fault injection (default 42)
+  --drain-after-ms N     start a graceful drain N ms after submission
+SIGINT (Ctrl-C) also starts a graceful drain instead of killing the run.
+
+Exit codes: 0 success (timeouts included), 2 degraded (a query panicked,
+exhausted its resource budget, was shed, or hit quarantined graphs),
+1 usage or I/O error";
 
 struct Opts {
     flags: Vec<(String, String)>,
@@ -76,7 +93,7 @@ impl Opts {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if matches!(name, "dense") {
+                if matches!(name, "dense" | "shed") {
                     switches.push(name.to_string());
                 } else {
                     let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -200,8 +217,10 @@ fn status_tag(r: &QueryRecord) -> String {
     let tag = match &r.status {
         QueryStatus::Completed => return String::new(),
         QueryStatus::TimedOut => " TIMEOUT".to_string(),
+        QueryStatus::Quarantined => " QUARANTINED".to_string(),
         QueryStatus::Panicked { .. } => " PANIC".to_string(),
         QueryStatus::ResourceExhausted { kind } => format!(" EXHAUSTED({kind})"),
+        QueryStatus::Shed => " SHED".to_string(),
     };
     if r.retries > 0 {
         format!("{tag} retries={}", r.retries)
@@ -228,7 +247,14 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         config.limits = config.limits.with_max_steps(max_steps);
     }
 
-    let report = if threads > 1 {
+    let service_mode = opts.has("shed")
+        || ["max-inflight", "breaker-threshold", "breaker-cooldown", "drain-after-ms"]
+            .iter()
+            .any(|f| opts.get(f).is_some());
+
+    let report = if service_mode {
+        run_service_query(opts, &db, &queries, engine_name, config, threads)?
+    } else if threads > 1 {
         let matcher = matcher_by_name(engine_name).ok_or_else(|| {
             format!("--threads requires a vcFV engine (matcher); '{engine_name}' is not one")
         })?;
@@ -266,13 +292,144 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         report.exhausted_count(),
         report.total_retries(),
     );
-    // Timeouts alone are an expected outcome of a tight budget; panics and
-    // exhausted budgets mean degraded answers, so signal them to scripts.
-    if report.panic_count() > 0 || report.exhausted_count() > 0 {
+    // Timeouts alone are an expected outcome of a tight budget; panics,
+    // exhausted budgets, shed admissions, and quarantined graphs all mean
+    // degraded answers, so signal them to scripts.
+    if report.panic_count() > 0
+        || report.exhausted_count() > 0
+        || report.shed_count() > 0
+        || report.quarantined_count() > 0
+    {
         Ok(ExitCode::from(2))
     } else {
         Ok(ExitCode::SUCCESS)
     }
+}
+
+/// SIGINT-equivalent drain trigger. On Unix the first Ctrl-C starts a
+/// graceful drain instead of killing the process (the second one kills it,
+/// since the handler is reset to default after firing on most setups is not
+/// guaranteed — we simply keep draining). Elsewhere only `--drain-after-ms`
+/// can trigger a drain.
+static DRAIN_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_drain_handler() {
+    extern "C" fn on_sigint(_: i32) {
+        DRAIN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_drain_handler() {}
+
+fn drain_requested() -> bool {
+    DRAIN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Runs the query set through the admission-controlled [`QueryService`]:
+/// the whole set is submitted as one burst (so `--max-inflight` and
+/// `--shed` actually shed), then tickets are awaited with the drain
+/// triggers armed (SIGINT, `--drain-after-ms`).
+fn run_service_query(
+    opts: &Opts,
+    db: &Arc<GraphDb>,
+    queries: &[subgraph_query::graph::Graph],
+    engine_name: &str,
+    runner: RunnerConfig,
+    threads: usize,
+) -> Result<QuerySetReport, String> {
+    let matcher = matcher_by_name(engine_name).ok_or_else(|| {
+        format!("service mode requires a vcFV engine (matcher); '{engine_name}' is not one")
+    })?;
+    let chaos_panics: u32 = opts.parse_num("chaos-panics", 0u32)?;
+    let matcher: Arc<dyn subgraph_query::matching::Matcher> = if chaos_panics > 0 {
+        let seed: u64 = opts.parse_num("chaos-seed", 42u64)?;
+        let chaos = ChaosConfig::new(seed).with_panics(chaos_panics);
+        Arc::new(ChaosMatcher::new(matcher, chaos))
+    } else {
+        matcher
+    };
+
+    let breaker = match opts.get("breaker-threshold") {
+        None => BreakerConfig::default(),
+        Some(_) => BreakerConfig {
+            fault_threshold: opts.parse_num("breaker-threshold", 0u32)?,
+            cooldown: opts.parse_num("breaker-cooldown", BreakerConfig::default().cooldown)?,
+        },
+    };
+    let shed = opts.has("shed").then(ShedPolicy::default);
+    let queue_capacity: usize = opts.parse_num("max-inflight", 64usize)?;
+    let config =
+        ServiceConfig { threads, runner, breaker, queue_capacity, shed, ..Default::default() };
+    let budget = config.runner.query_budget;
+    let drain_after = match opts.get("drain-after-ms") {
+        None => None,
+        Some(_) => Some(Duration::from_millis(opts.parse_num("drain-after-ms", 0u64)?)),
+    };
+
+    install_drain_handler();
+    let service = QueryService::new(matcher, Arc::clone(db), config);
+    eprintln!(
+        "engine {engine_name} behind query service ({} pooled workers, queue {queue_capacity})",
+        service.threads(),
+    );
+    let t0 = Instant::now();
+    let tickets = service.submit_batch(queries);
+
+    let mut service = Some(service);
+    let mut drain: Option<DrainReport> = None;
+    let mut results = Vec::with_capacity(tickets.len());
+    for (ticket, _admission) in &tickets {
+        loop {
+            if let Some(r) = ticket.wait_timeout(Duration::from_millis(20)) {
+                results.push(r);
+                break;
+            }
+            let timer_fired = drain_after.is_some_and(|d| t0.elapsed() >= d);
+            if drain_requested() || timer_fired {
+                if let Some(s) = service.take() {
+                    eprintln!("drain: stopping admissions, waiting out in-flight work");
+                    // Shutdown resolves every admitted ticket (finish, shed,
+                    // or cancel), so the waits below all return promptly.
+                    drain = Some(s.shutdown());
+                }
+            }
+        }
+    }
+
+    let health = service.as_ref().map(QueryService::health);
+    let mut report = QuerySetReport::new(engine_name, "cli-service");
+    for (outcome, retries) in &results {
+        let mut record = QueryRecord::from_outcome(outcome, budget);
+        record.retries = *retries;
+        report.records.push(record);
+    }
+    if let Some(h) = health {
+        eprintln!(
+            "service: admitted {} finished {} shed {} breakers open={} half-open={} trips={}",
+            h.admitted,
+            h.finished,
+            h.shed_total(),
+            h.open_breakers,
+            h.half_open_breakers,
+            h.breaker_trips,
+        );
+    }
+    if let Some(d) = drain {
+        eprintln!(
+            "drain: finished {} shed-at-drain {} within-deadline {}",
+            d.finished, d.shed_at_drain, d.drained_within_deadline
+        );
+    }
+    Ok(report)
 }
 
 fn cmd_compare(opts: &Opts) -> Result<(), String> {

@@ -369,3 +369,289 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Serving layer: breaker lifecycle, drain under load, serving determinism
+// (DESIGN.md "Serving & degradation semantics", invariant I8 extension)
+// ---------------------------------------------------------------------------
+
+use std::time::Duration;
+
+/// Finds a deterministic flap seed whose flappy set is non-empty but a
+/// strict minority of the database (so tests see both degraded and healthy
+/// graphs). Pure function of the fixture, so every run picks the same seed.
+fn flappy_seed(db: &GraphDb, per_mille: u32) -> (u64, Vec<GraphId>) {
+    for seed in 0..1000u64 {
+        let config = FlappyConfig { seed, flappy_per_mille: per_mille, faults_before_heal: 3 };
+        let m = FlappyMatcher::new(Arc::new(Cfql::new()), config);
+        let flappy: Vec<GraphId> =
+            db.iter().filter(|(_, g)| m.is_flappy(g)).map(|(id, _)| id).collect();
+        if !flappy.is_empty() && flappy.len() <= db.len() / 2 {
+            return (seed, flappy);
+        }
+    }
+    panic!("no suitable flappy seed in [0, 1000)");
+}
+
+/// Satellite (c), breaker lifecycle: with `fault_threshold = 2`,
+/// `cooldown = 3`, and graphs that panic on their first 3 probes and then
+/// heal, every flappy graph must walk exactly
+/// `Closed →(2) Open →(5) HalfOpen →(5) Open →(8) HalfOpen →(8) Closed`,
+/// quarantined graphs must never reach the matcher (probe counters stand
+/// still while a breaker is open), and the healed graph is readmitted — at
+/// every worker thread count identically.
+#[test]
+fn breaker_lifecycle_trips_probes_and_readmits() {
+    let (db, queries) = fixture();
+    let q = &queries[0];
+    let (seed, flappy) = flappy_seed(&db, 250);
+    let base = {
+        let pool = QueryPool::new(1);
+        let matcher: Arc<dyn Matcher> = Arc::new(Cfql::new());
+        pool.query(matcher, &db, q, Deadline::none()).outcome
+    };
+
+    for threads in THREAD_COUNTS {
+        let config = FlappyConfig { seed, flappy_per_mille: 250, faults_before_heal: 3 };
+        let matcher = Arc::new(FlappyMatcher::new(Arc::new(Cfql::new()), config));
+        let service = QueryService::new(
+            Arc::clone(&matcher) as Arc<dyn Matcher>,
+            Arc::clone(&db),
+            ServiceConfig {
+                threads,
+                breaker: BreakerConfig { fault_threshold: 2, cooldown: 3 },
+                thread_prefix: format!("flap{threads}"),
+                ..Default::default()
+            },
+        );
+
+        // Lockstep: one admitted query per logical breaker tick.
+        let mut outcomes = Vec::new();
+        for tick in 1..=10u64 {
+            let (ticket, admission) = service.submit(q);
+            assert!(admission.is_admitted(), "tick {tick} at {threads} threads");
+            let (outcome, retries) = ticket.wait();
+            assert_eq!(retries, 0, "tick {tick} at {threads} threads");
+            outcomes.push(outcome);
+        }
+
+        // Status schedule: fault, fault (trip), 2 quarantined ticks,
+        // half-open probe faults (re-trip), 2 quarantined ticks, half-open
+        // probe heals, then clean.
+        let tag = |o: &QueryOutcome| {
+            if o.status.is_completed() {
+                'C'
+            } else if o.status.is_panicked() {
+                'P'
+            } else if o.status.is_quarantined() {
+                'Q'
+            } else {
+                '?'
+            }
+        };
+        let got: String = outcomes.iter().map(tag).collect();
+        assert_eq!(got, "PPQQPQQCCC", "{threads} threads");
+
+        // Healed service returns the exact fault-free answers.
+        assert_eq!(outcomes[9].answers, base.answers, "{threads} threads");
+        // Quarantine degrades only the flappy graphs, with exact records.
+        let degraded: Vec<GraphId> =
+            base.answers.iter().copied().filter(|g| !flappy.contains(g)).collect();
+        assert_eq!(outcomes[2].answers, degraded, "{threads} threads");
+        let quarantined: Vec<GraphId> = outcomes[2].failures.iter().map(|f| f.graph).collect();
+        assert_eq!(quarantined, flappy, "{threads} threads");
+        assert!(outcomes[2].failures.iter().all(|f| f.status.is_quarantined()));
+
+        // Quarantined graphs never reach the matcher: probes stand still on
+        // the 4 open ticks (3, 4, 6, 7), everyone else is probed every tick.
+        for (id, g) in db.iter() {
+            let expect = if flappy.contains(&id) { 6 } else { 10 };
+            assert_eq!(matcher.probes(g), expect, "graph {id:?} at {threads} threads");
+        }
+
+        // Exact state machine, per flappy graph and in total.
+        use BreakerState::{Closed, HalfOpen, Open};
+        let transitions = service.breaker_transitions();
+        for &gid in &flappy {
+            let walk: Vec<(u64, BreakerState, BreakerState)> = transitions
+                .iter()
+                .filter(|t| t.graph == gid)
+                .map(|t| (t.tick, t.from, t.to))
+                .collect();
+            assert_eq!(
+                walk,
+                vec![
+                    (2, Closed, Open),
+                    (5, Open, HalfOpen),
+                    (5, HalfOpen, Open),
+                    (8, Open, HalfOpen),
+                    (8, HalfOpen, Closed),
+                ],
+                "graph {gid:?} at {threads} threads"
+            );
+        }
+        assert_eq!(transitions.len(), flappy.len() * 5, "{threads} threads");
+
+        let health = service.health();
+        assert_eq!(health.admitted, 10);
+        assert_eq!(health.finished, 10);
+        assert_eq!(health.open_breakers, 0, "everything healed");
+        assert_eq!(health.breaker_trips, flappy.len() as u64 * 2);
+        assert_eq!(health.quarantined_graph_results, flappy.len() as u64 * 4);
+
+        let report = service.shutdown();
+        assert!(report.drained_within_deadline, "{threads} threads");
+        assert_eq!(report.finished, 10);
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn threads_with_prefix(prefix: &str) -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("procfs")
+        .filter_map(|e| std::fs::read_to_string(e.ok()?.path().join("comm")).ok())
+        .filter(|comm| comm.trim_end().starts_with(prefix))
+        .count()
+}
+
+/// The drain guarantee under genuine overload: a burst of slow queries is
+/// submitted, the service is shut down mid-flight, and afterwards every
+/// admitted query has a terminal status (finished, cancelled, or shed at
+/// drain) and no service thread is left running.
+#[test]
+fn drain_under_load_resolves_every_admitted_query() {
+    let (db, queries) = fixture();
+    let matcher: Arc<dyn Matcher> =
+        Arc::new(SlowMatcher::new(Arc::new(Cfql::new()), Duration::from_millis(30)));
+    let prefix = "sqpdrn7";
+    let service = QueryService::new(
+        matcher,
+        Arc::clone(&db),
+        ServiceConfig {
+            threads: 4,
+            queue_capacity: 16,
+            drain_deadline: Duration::from_millis(120),
+            thread_prefix: prefix.to_string(),
+            ..Default::default()
+        },
+    );
+    // A spawned thread names itself on startup, so poll briefly before
+    // concluding the service threads are not there.
+    #[cfg(target_os = "linux")]
+    {
+        let t0 = std::time::Instant::now();
+        while threads_with_prefix(prefix) < 5 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(threads_with_prefix(prefix) >= 5, "4 workers + executor should be running");
+    }
+
+    let tickets = service.submit_batch(&queries);
+    assert!(tickets.iter().all(|(_, a)| a.is_admitted()), "capacity 16 admits all 10");
+
+    // Let work pile up in flight, then drain. Each query needs >= 150 ms of
+    // mandatory sleep (20 graphs x 30 ms on 4 workers), so the 120 ms drain
+    // window cannot clear the backlog: the drain path must shed and cancel.
+    std::thread::sleep(Duration::from_millis(50));
+    let report = service.shutdown();
+
+    let mut finished = 0u64;
+    let mut shed = 0u64;
+    for (i, (ticket, _)) in tickets.iter().enumerate() {
+        let (outcome, _) = ticket
+            .try_get()
+            .unwrap_or_else(|| panic!("query {i} has no terminal status after shutdown"));
+        if outcome.status.is_shed() {
+            shed += 1;
+        } else {
+            // Executed: completed, or cancelled into an interrupt status.
+            assert!(
+                outcome.status.is_completed()
+                    || outcome.status.is_timed_out()
+                    || outcome.status.is_exhausted(),
+                "query {i}: non-terminal-looking status {:?}",
+                outcome.status
+            );
+            finished += 1;
+        }
+    }
+    assert_eq!(finished, report.finished, "ticket statuses must match the drain report");
+    assert_eq!(shed, report.shed_at_drain);
+    assert_eq!(finished + shed, queries.len() as u64, "every admitted query is terminal");
+    assert!(report.shed_at_drain > 0, "overload drain must have shed backlog");
+    assert!(!report.drained_within_deadline);
+
+    // No leaked worker threads: pool workers and executor are all joined.
+    #[cfg(target_os = "linux")]
+    assert_eq!(threads_with_prefix(prefix), 0, "service threads must be joined");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// I8 extension (acceptance): the full serving behavior — admission and
+    /// shed decisions, statuses, answers, failure attribution, breaker
+    /// transitions, health counters — is byte-identical across 1/2/4/8
+    /// worker threads, for arbitrary panic-only fault schedules.
+    ///
+    /// Panic-only faults keep per-graph attribution exact (timeout/exhaust
+    /// faults cancel whole scans, which is legitimately thread-dependent);
+    /// the 45 s budget with a 1 s/graph shed estimate makes shedding purely
+    /// predictive — wall-clock never intrudes.
+    #[test]
+    fn prop_serving_decisions_identical_across_thread_counts(
+        seed in 0u64..1000,
+        panics in 150u32..400,
+    ) {
+        let (db, queries) = fixture();
+        let runs: Vec<Vec<String>> = THREAD_COUNTS
+            .iter()
+            .map(|&threads| {
+                let chaos = ChaosConfig::new(seed).with_panics(panics);
+                let matcher: Arc<dyn Matcher> =
+                    Arc::new(ChaosMatcher::new(Arc::new(Cfql::new()), chaos));
+                let runner = RunnerConfig {
+                    query_budget: Some(Duration::from_secs(45)),
+                    ..RunnerConfig::default()
+                };
+                let service = QueryService::new(
+                    matcher,
+                    Arc::clone(&db),
+                    ServiceConfig {
+                        threads,
+                        runner,
+                        breaker: BreakerConfig { fault_threshold: 2, cooldown: 3 },
+                        queue_capacity: 64,
+                        shed: Some(ShedPolicy { est_cost_per_graph: Duration::from_secs(1) }),
+                        thread_prefix: format!("det{threads}"),
+                        ..Default::default()
+                    },
+                );
+                let mut log = Vec::new();
+                for round in 0..3 {
+                    let tickets = service.submit_batch(&queries);
+                    for (i, (ticket, admission)) in tickets.iter().enumerate() {
+                        let (outcome, retries) = ticket.wait();
+                        log.push(format!(
+                            "r{round} q{i} {admission:?} {:?} {:?} {retries} {:?}",
+                            outcome.status, outcome.answers, outcome.failures
+                        ));
+                    }
+                }
+                let h = service.health();
+                log.push(format!(
+                    "admitted={} finished={} shed_qf={} shed_dl={} trips={} open={} quarantined={}",
+                    h.admitted, h.finished, h.shed_queue_full, h.shed_deadline,
+                    h.breaker_trips, h.open_breakers, h.quarantined_graph_results
+                ));
+                for t in service.breaker_transitions() {
+                    log.push(format!("t{} {:?} {:?}->{:?}", t.tick, t.graph, t.from, t.to));
+                }
+                log
+            })
+            .collect();
+        for pair in runs.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1]);
+        }
+    }
+}

@@ -111,6 +111,96 @@ fn full_cli_workflow() {
     }
 }
 
+/// Satellite (f): degraded service runs exit 2 and tag records SHED /
+/// QUARANTINED.
+#[test]
+fn degraded_service_runs_exit_two_with_tags() {
+    let db = tmp("svc_db.txt");
+    let queries = tmp("svc_q.txt");
+    let out = sqp(&[
+        "generate",
+        "--kind",
+        "synthetic",
+        "--graphs",
+        "20",
+        "--vertices",
+        "25",
+        "--labels",
+        "5",
+        "--degree",
+        "3",
+        "--seed",
+        "9",
+        "--out",
+        &db,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = sqp(&["queries", "--db", &db, "--edges", "4", "--count", "5", "--out", &queries]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Run A: every (query, graph) pair panics, breaker trips on the first
+    // fault — query 0 reports the panics, every later query is served from
+    // quarantine. Degraded => exit code 2.
+    let out = sqp(&[
+        "query",
+        "--db",
+        &db,
+        "--queries",
+        &queries,
+        "--engine",
+        "cfql",
+        "--breaker-threshold",
+        "1",
+        "--breaker-cooldown",
+        "100",
+        "--chaos-panics",
+        "1000",
+        "--chaos-seed",
+        "5",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains(" PANIC"), "run A stdout:\n{text}");
+    assert!(text.contains(" QUARANTINED"), "run A stdout:\n{text}");
+    assert!(!text.contains(" SHED"), "run A must not shed:\n{text}");
+
+    // Run B: admission queue of 2 against a burst of 5 — the overflow is
+    // shed up front. Degraded => exit code 2.
+    let out = sqp(&[
+        "query",
+        "--db",
+        &db,
+        "--queries",
+        &queries,
+        "--engine",
+        "cfql",
+        "--max-inflight",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(text.matches(" SHED").count(), 3, "burst of 5 into queue of 2 sheds 3:\n{text}");
+    assert!(!text.contains("QUARANTINED"), "run B must not quarantine:\n{text}");
+
+    // A healthy service run still exits 0.
+    let out = sqp(&[
+        "query",
+        "--db",
+        &db,
+        "--queries",
+        &queries,
+        "--engine",
+        "cfql",
+        "--max-inflight",
+        "64",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    for f in [db, queries] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
 #[test]
 fn unknown_arguments_fail_cleanly() {
     let out = sqp(&["stats"]);

@@ -1,0 +1,138 @@
+//! Robustness corpus for the `t/v/e` text reader (`sqp_graph::io`).
+//!
+//! Every malformed input here must come back as a structured
+//! [`GraphError`] carrying the offending line — never a panic, never a
+//! silently wrong database. The corpus covers the failure classes named in
+//! the serving-layer issue: truncated headers, negative and overflowing
+//! counts, out-of-range vertex ids, and byte-level garbage.
+
+use subgraph_query::graph::database::GraphId;
+use subgraph_query::graph::{io, GraphError, LabelInterner, VertexId};
+
+/// Asserts that `text` is rejected with a parse error on `line`.
+fn rejected_at(text: &str, line: usize) {
+    match io::read_database(text.as_bytes()) {
+        Err(GraphError::Parse { line: l, message }) => {
+            assert_eq!(l, line, "wrong line for {text:?} (message: {message})");
+        }
+        Err(other) => panic!("expected Parse error for {text:?}, got {other:?}"),
+        Ok(db) => panic!("expected rejection for {text:?}, parsed {} graphs", db.len()),
+    }
+}
+
+#[test]
+fn truncated_header_at_eof_is_rejected() {
+    // A 't' line with nothing after it would otherwise build a 0-vertex
+    // graph, which downstream matchers cannot handle.
+    rejected_at("t # 0\n", 1);
+    rejected_at("t # 0\nv 0 A\nt # 1\n", 3);
+}
+
+#[test]
+fn header_followed_only_by_comments_is_rejected() {
+    rejected_at("t # 0\n# nothing here\n\n", 1);
+}
+
+#[test]
+fn eof_marker_is_not_a_truncated_header() {
+    // `t # -1` is the literature's end-of-file marker.
+    let db = io::read_database("t # 0\nv 0 A\nt # -1\n".as_bytes()).unwrap();
+    assert_eq!(db.len(), 1);
+    assert_eq!(db.graph(GraphId(0)).vertex_count(), 1);
+}
+
+#[test]
+fn negative_counts_are_rejected_not_wrapped() {
+    // A negative vertex id must not wrap into a huge unsigned value.
+    rejected_at("t # 0\nv -1 A\n", 2);
+    rejected_at("t # 0\nv 0 A\nv 1 B\ne -1 1\n", 4);
+    rejected_at("t # 0\nv 0 A\nv 1 B\ne 0 -2\n", 4);
+}
+
+#[test]
+fn overflowing_counts_are_rejected() {
+    // Larger than u32/usize: the parse itself must fail cleanly.
+    rejected_at("t # 0\nv 99999999999999999999999999 A\n", 2);
+    rejected_at("t # 0\nv 0 A\nv 1 B\ne 0 99999999999999999999999999\n", 4);
+}
+
+#[test]
+fn out_of_range_edge_endpoints_are_rejected_with_line() {
+    rejected_at("t # 0\nv 0 A\nv 1 B\ne 0 7\n", 4);
+    rejected_at("t # 0\nv 0 A\ne 3 0\n", 3);
+}
+
+#[test]
+fn missing_fields_are_rejected() {
+    rejected_at("t # 0\nv\n", 2); // no id, no label
+    rejected_at("t # 0\nv 0\n", 2); // id but no label
+    rejected_at("t # 0\nv 0 A\nv 1 B\ne\n", 4); // no endpoints
+    rejected_at("t # 0\nv 0 A\nv 1 B\ne 0\n", 4); // one endpoint
+}
+
+#[test]
+fn records_before_any_header_are_rejected() {
+    rejected_at("v 0 A\n", 1);
+    rejected_at("e 0 1\n", 1);
+}
+
+#[test]
+fn non_dense_or_reordered_vertex_ids_are_rejected() {
+    rejected_at("t # 0\nv 1 A\n", 2);
+    rejected_at("t # 0\nv 0 A\nv 0 B\n", 3);
+    rejected_at("t # 0\nv 0 A\nv 2 B\n", 3);
+}
+
+#[test]
+fn self_loops_are_rejected() {
+    rejected_at("t # 0\nv 0 A\ne 0 0\n", 3);
+}
+
+#[test]
+fn unknown_record_types_are_rejected() {
+    rejected_at("q 1 2 3\n", 1);
+    rejected_at("t # 0\nv 0 A\nx y z\n", 3);
+}
+
+#[test]
+fn non_utf8_bytes_surface_as_io_errors() {
+    let bytes: &[u8] = b"t # 0\nv 0 \xff\xfe\n";
+    match io::read_database(bytes) {
+        Err(GraphError::Io(_)) | Err(GraphError::Parse { .. }) => {}
+        Err(other) => panic!("unexpected error kind: {other:?}"),
+        Ok(_) => panic!("non-UTF8 input must not parse"),
+    }
+}
+
+#[test]
+fn valid_input_still_parses_after_hardening() {
+    let text = "# comment\n\nt # 0\nv 0 C\nv 1 N\ne 0 1\nt # 1\nv 0 O\n";
+    let db = io::read_database(text.as_bytes()).unwrap();
+    assert_eq!(db.len(), 2);
+    let g = db.graph(GraphId(0));
+    assert_eq!(g.vertex_count(), 2);
+    assert_eq!(g.edge_count(), 1);
+    assert_eq!(g.neighbors(VertexId(0)), &[VertexId(1)]);
+}
+
+#[test]
+fn whole_corpus_never_panics() {
+    // Sweep a grid of byte-level mutations of a valid file through the
+    // reader; any outcome is fine as long as it is Ok or Err, not a panic.
+    let base = b"t # 0\nv 0 C\nv 1 N\ne 0 1\nt # 1\nv 0 O\n";
+    let mut corpus: Vec<Vec<u8>> = Vec::new();
+    for cut in 0..base.len() {
+        corpus.push(base[..cut].to_vec()); // truncations
+    }
+    for i in 0..base.len() {
+        for b in [0u8, b'-', b'9', 0xff] {
+            let mut m = base.to_vec();
+            m[i] = b; // point mutations
+            corpus.push(m);
+        }
+    }
+    let mut interner = LabelInterner::new();
+    for input in &corpus {
+        let _ = io::read_graphs(input.as_slice(), &mut interner);
+    }
+}
