@@ -7,7 +7,7 @@ use std::time::Duration;
 use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb};
 use sqp_index::{BuildBudget, BuildError};
-use sqp_matching::{Deadline, ResourceKind, ResourceLimits};
+use sqp_matching::{Deadline, KernelStats, ResourceKind, ResourceLimits};
 
 /// The paper's three algorithm categories (Table III).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -194,6 +194,10 @@ pub struct QueryOutcome {
     /// Peak heap bytes of per-query auxiliary structures (candidate vertex
     /// sets / CPI) — the vcFV column of Tables VII and IX.
     pub aux_bytes: usize,
+    /// Enumeration-kernel counters accumulated across every matcher call of
+    /// this query (all zeros for engines that never enter the shared
+    /// enumerator, e.g. the VF2-based IFV engines).
+    pub kernel: KernelStats,
 }
 
 impl QueryOutcome {

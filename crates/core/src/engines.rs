@@ -21,7 +21,7 @@ use sqp_matching::quicksi::QuickSi;
 use sqp_matching::spath::SPath;
 use sqp_matching::turboiso::TurboIso;
 use sqp_matching::ullmann::Ullmann;
-use sqp_matching::{Deadline, Matcher, ResourceGuard, ResourceLimits};
+use sqp_matching::{Deadline, Matcher, MatcherConfig, ResourceGuard, ResourceLimits, StatsSink};
 
 use crate::engine::{BuildReport, EngineCategory, QueryEngine, QueryOutcome};
 use crate::parallel::{panic_message, process_graph};
@@ -157,6 +157,7 @@ pub struct VcfvFrame {
     query_budget: Option<Duration>,
     limits: ResourceLimits,
     guard: ResourceGuard,
+    stats: StatsSink,
     db: Option<Arc<GraphDb>>,
 }
 
@@ -169,6 +170,7 @@ impl VcfvFrame {
             query_budget: None,
             limits: ResourceLimits::unlimited(),
             guard: ResourceGuard::new(),
+            stats: StatsSink::new(),
             db: None,
         }
     }
@@ -181,10 +183,15 @@ impl VcfvFrame {
         }
     }
 
-    /// Re-arms the engine's resource guard and builds the per-query deadline.
+    /// Re-arms the engine's resource guard and kernel-stat sink, and builds
+    /// the per-query deadline.
     fn deadline(&self) -> Deadline {
         self.guard.reset(self.limits);
-        self.query_budget.map_or(Deadline::none(), Deadline::after).with_guard(self.guard)
+        self.stats.reset();
+        self.query_budget
+            .map_or(Deadline::none(), Deadline::after)
+            .with_guard(self.guard)
+            .with_stats(self.stats)
     }
 
     fn query_over(&self, q: &Graph, graphs: &[GraphId]) -> QueryOutcome {
@@ -199,6 +206,7 @@ impl VcfvFrame {
             }
         }
         out.finalize();
+        out.kernel = self.stats.snapshot();
         out
     }
 
@@ -502,7 +510,12 @@ pub struct CflEngine {
 impl CflEngine {
     /// CFL with both refinement passes.
     pub fn new() -> Self {
-        Self { frame: VcfvFrame::new("CFL", Box::new(Cfl::new())) }
+        Self::with_matcher_config(MatcherConfig::default())
+    }
+
+    /// CFL with the given shared matcher configuration.
+    pub fn with_matcher_config(config: MatcherConfig) -> Self {
+        Self { frame: VcfvFrame::new("CFL", Box::new(Cfl::new().with_matcher_config(config))) }
     }
 }
 
@@ -522,7 +535,14 @@ pub struct GraphQlEngine {
 impl GraphQlEngine {
     /// GraphQL with the default pruning depth.
     pub fn new() -> Self {
-        Self { frame: VcfvFrame::new("GraphQL", Box::new(GraphQl::new())) }
+        Self::with_matcher_config(MatcherConfig::default())
+    }
+
+    /// GraphQL with the given shared matcher configuration.
+    pub fn with_matcher_config(config: MatcherConfig) -> Self {
+        Self {
+            frame: VcfvFrame::new("GraphQL", Box::new(GraphQl::new().with_matcher_config(config))),
+        }
     }
 }
 
@@ -543,7 +563,12 @@ pub struct CfqlEngine {
 impl CfqlEngine {
     /// The default CFQL engine.
     pub fn new() -> Self {
-        Self { frame: VcfvFrame::new("CFQL", Box::new(Cfql::new())) }
+        Self::with_matcher_config(MatcherConfig::default())
+    }
+
+    /// CFQL with the given shared matcher configuration.
+    pub fn with_matcher_config(config: MatcherConfig) -> Self {
+        Self { frame: VcfvFrame::new("CFQL", Box::new(Cfql::new().with_matcher_config(config))) }
     }
 }
 
@@ -564,7 +589,14 @@ pub struct UllmannEngine {
 impl UllmannEngine {
     /// The default Ullmann engine.
     pub fn new() -> Self {
-        Self { frame: VcfvFrame::new("Ullmann", Box::new(Ullmann::new())) }
+        Self::with_matcher_config(MatcherConfig::default())
+    }
+
+    /// Ullmann with the given shared matcher configuration.
+    pub fn with_matcher_config(config: MatcherConfig) -> Self {
+        Self {
+            frame: VcfvFrame::new("Ullmann", Box::new(Ullmann::new().with_matcher_config(config))),
+        }
     }
 }
 
@@ -585,7 +617,17 @@ pub struct TurboIsoEngine {
 impl TurboIsoEngine {
     /// The default TurboIso engine.
     pub fn new() -> Self {
-        Self { frame: VcfvFrame::new("TurboIso", Box::new(TurboIso::new())) }
+        Self::with_matcher_config(MatcherConfig::default())
+    }
+
+    /// TurboIso with the given shared matcher configuration.
+    pub fn with_matcher_config(config: MatcherConfig) -> Self {
+        Self {
+            frame: VcfvFrame::new(
+                "TurboIso",
+                Box::new(TurboIso::new().with_matcher_config(config)),
+            ),
+        }
     }
 }
 
@@ -606,7 +648,14 @@ pub struct QuickSiEngine {
 impl QuickSiEngine {
     /// The default QuickSI engine.
     pub fn new() -> Self {
-        Self { frame: VcfvFrame::new("QuickSI", Box::new(QuickSi::new())) }
+        Self::with_matcher_config(MatcherConfig::default())
+    }
+
+    /// QuickSI with the given shared matcher configuration.
+    pub fn with_matcher_config(config: MatcherConfig) -> Self {
+        Self {
+            frame: VcfvFrame::new("QuickSI", Box::new(QuickSi::new().with_matcher_config(config))),
+        }
     }
 }
 
@@ -627,7 +676,12 @@ pub struct SPathEngine {
 impl SPathEngine {
     /// The default SPath engine (signature radius 2).
     pub fn new() -> Self {
-        Self { frame: VcfvFrame::new("SPath", Box::new(SPath::new())) }
+        Self::with_matcher_config(MatcherConfig::default())
+    }
+
+    /// SPath with the given shared matcher configuration.
+    pub fn with_matcher_config(config: MatcherConfig) -> Self {
+        Self { frame: VcfvFrame::new("SPath", Box::new(SPath::new().with_matcher_config(config))) }
     }
 }
 
@@ -676,6 +730,18 @@ impl VcGrapesEngine {
         }
     }
 
+    /// vcGrapes (default index configuration) with the given shared matcher
+    /// configuration for the CFQL stage.
+    pub fn with_matcher_config(config: MatcherConfig) -> Self {
+        Self {
+            frame: IvcfvFrame::new(
+                "vcGrapes",
+                IndexKind::Grapes(GrapesConfig::default()),
+                Box::new(Cfql::new().with_matcher_config(config)),
+            ),
+        }
+    }
+
     /// Sets the index-construction budget.
     pub fn set_build_budget(&mut self, budget: BuildBudget) {
         self.frame.set_build_budget(budget);
@@ -698,11 +764,16 @@ pub struct VcGgsxEngine {
 impl VcGgsxEngine {
     /// vcGGSX with the paper's GGSX configuration.
     pub fn new() -> Self {
+        Self::with_matcher_config(MatcherConfig::default())
+    }
+
+    /// vcGGSX with the given shared matcher configuration for the CFQL stage.
+    pub fn with_matcher_config(config: MatcherConfig) -> Self {
         Self {
             frame: IvcfvFrame::new(
                 "vcGGSX",
                 IndexKind::Ggsx { max_path_vertices: 4 },
-                Box::new(Cfql::new()),
+                Box::new(Cfql::new().with_matcher_config(config)),
             ),
         }
     }
@@ -915,14 +986,20 @@ impl QueryEngine for ServiceEngine {
 /// `"graphql"` — the matchers usable inside [`ParallelEngine`] and
 /// [`QueryPool`](crate::parallel::QueryPool).
 pub fn matcher_by_name(name: &str) -> Option<Arc<dyn Matcher>> {
+    matcher_by_name_with(name, MatcherConfig::default())
+}
+
+/// [`matcher_by_name`] with a shared matcher configuration (enumeration
+/// kernel) applied to the resolved matcher.
+pub fn matcher_by_name_with(name: &str, config: MatcherConfig) -> Option<Arc<dyn Matcher>> {
     let m: Arc<dyn Matcher> = match name.to_ascii_lowercase().as_str() {
-        "cfql" => Arc::new(Cfql::new()),
-        "cfl" => Arc::new(Cfl::new()),
-        "graphql" => Arc::new(GraphQl::new()),
-        "ullmann" => Arc::new(Ullmann::new()),
-        "quicksi" => Arc::new(QuickSi::new()),
-        "turboiso" => Arc::new(TurboIso::new()),
-        "spath" => Arc::new(SPath::new()),
+        "cfql" => Arc::new(Cfql::new().with_matcher_config(config)),
+        "cfl" => Arc::new(Cfl::new().with_matcher_config(config)),
+        "graphql" => Arc::new(GraphQl::new().with_matcher_config(config)),
+        "ullmann" => Arc::new(Ullmann::new().with_matcher_config(config)),
+        "quicksi" => Arc::new(QuickSi::new().with_matcher_config(config)),
+        "turboiso" => Arc::new(TurboIso::new().with_matcher_config(config)),
+        "spath" => Arc::new(SPath::new().with_matcher_config(config)),
         _ => return None,
     };
     Some(m)
@@ -930,26 +1007,39 @@ pub fn matcher_by_name(name: &str) -> Option<Arc<dyn Matcher>> {
 
 /// All eight paper engines with default configurations, in Table III order.
 pub fn paper_engines() -> Vec<Box<dyn QueryEngine>> {
+    paper_engines_with(MatcherConfig::default())
+}
+
+/// [`paper_engines`] with a shared matcher configuration applied to every
+/// engine that enumerates through the shared [`Enumerator`]
+/// (sqp_matching::Enumerator); the VF2-based IFV engines ignore it.
+pub fn paper_engines_with(config: MatcherConfig) -> Vec<Box<dyn QueryEngine>> {
     vec![
         Box::new(CtIndexEngine::new()),
         Box::new(GrapesEngine::new()),
         Box::new(GgsxEngine::new()),
-        Box::new(CflEngine::new()),
-        Box::new(GraphQlEngine::new()),
-        Box::new(CfqlEngine::new()),
-        Box::new(VcGrapesEngine::new()),
-        Box::new(VcGgsxEngine::new()),
+        Box::new(CflEngine::with_matcher_config(config)),
+        Box::new(GraphQlEngine::with_matcher_config(config)),
+        Box::new(CfqlEngine::with_matcher_config(config)),
+        Box::new(VcGrapesEngine::with_matcher_config(config)),
+        Box::new(VcGgsxEngine::with_matcher_config(config)),
     ]
 }
 
 /// The paper engines plus the related-work baselines implemented beyond the
 /// paper's lineup (Ullmann, QuickSI, TurboIso).
 pub fn all_engines() -> Vec<Box<dyn QueryEngine>> {
-    let mut v = paper_engines();
-    v.push(Box::new(UllmannEngine::new()));
-    v.push(Box::new(QuickSiEngine::new()));
-    v.push(Box::new(TurboIsoEngine::new()));
-    v.push(Box::new(SPathEngine::new()));
+    all_engines_with(MatcherConfig::default())
+}
+
+/// [`all_engines`] with a shared matcher configuration (see
+/// [`paper_engines_with`]).
+pub fn all_engines_with(config: MatcherConfig) -> Vec<Box<dyn QueryEngine>> {
+    let mut v = paper_engines_with(config);
+    v.push(Box::new(UllmannEngine::with_matcher_config(config)));
+    v.push(Box::new(QuickSiEngine::with_matcher_config(config)));
+    v.push(Box::new(TurboIsoEngine::with_matcher_config(config)));
+    v.push(Box::new(SPathEngine::with_matcher_config(config)));
     v.push(Box::new(GraphGrepEngine::new()));
     v
 }
@@ -957,8 +1047,14 @@ pub fn all_engines() -> Vec<Box<dyn QueryEngine>> {
 /// Looks an engine up by its (case-insensitive) paper name, e.g. `"cfql"`,
 /// `"vcgrapes"`, `"ct-index"`.
 pub fn engine_by_name(name: &str) -> Option<Box<dyn QueryEngine>> {
+    engine_by_name_with(name, MatcherConfig::default())
+}
+
+/// [`engine_by_name`] with a shared matcher configuration (see
+/// [`paper_engines_with`]).
+pub fn engine_by_name_with(name: &str, config: MatcherConfig) -> Option<Box<dyn QueryEngine>> {
     let lower = name.to_ascii_lowercase();
-    all_engines().into_iter().find(|e| e.name().to_ascii_lowercase() == lower)
+    all_engines_with(config).into_iter().find(|e| e.name().to_ascii_lowercase() == lower)
 }
 
 #[cfg(test)]

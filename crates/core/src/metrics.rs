@@ -3,6 +3,8 @@
 
 use std::time::Duration;
 
+use sqp_matching::KernelStats;
+
 use crate::engine::{GraphFailure, QueryOutcome, QueryStatus};
 
 /// One query's measurements.
@@ -24,6 +26,9 @@ pub struct QueryRecord {
     pub retries: u32,
     /// Peak auxiliary-structure bytes.
     pub aux_bytes: usize,
+    /// Enumeration-kernel counters (intersections, galloping passes, bitmap
+    /// probes) accumulated across the query's matcher calls.
+    pub kernel: KernelStats,
 }
 
 impl Default for QueryRecord {
@@ -37,6 +42,7 @@ impl Default for QueryRecord {
             failures: Vec::new(),
             retries: 0,
             aux_bytes: 0,
+            kernel: KernelStats::default(),
         }
     }
 }
@@ -78,6 +84,7 @@ impl QueryRecord {
             failures: outcome.failures.clone(),
             retries: 0,
             aux_bytes: outcome.aux_bytes,
+            kernel: outcome.kernel,
         }
     }
 
@@ -209,6 +216,15 @@ impl QuerySetReport {
     /// Peak auxiliary bytes across the set.
     pub fn max_aux_bytes(&self) -> usize {
         self.records.iter().map(|r| r.aux_bytes).max().unwrap_or(0)
+    }
+
+    /// Enumeration-kernel counters summed across the set.
+    pub fn kernel_totals(&self) -> KernelStats {
+        let mut total = KernelStats::default();
+        for r in &self.records {
+            total.merge(&r.kernel);
+        }
+        total
     }
 
     /// The paper omits an algorithm's results on a query set when it fails

@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 
 use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb, HeapSize};
-use sqp_matching::{CancelToken, Deadline, FilterResult, Matcher};
+use sqp_matching::{CancelToken, Deadline, FilterResult, Matcher, StatsSink};
 
 use crate::engine::{QueryOutcome, QueryStatus};
 
@@ -291,6 +291,9 @@ pub struct QueryPool {
     /// Serializes query submission (workers handle one job at a time).
     submit: Mutex<()>,
     cancel: CancelToken,
+    /// Kernel-counter sink attached to queries whose deadline has none, so
+    /// every [`ParallelOutcome`] carries enumeration-kernel stats.
+    stats: StatsSink,
 }
 
 impl QueryPool {
@@ -324,7 +327,13 @@ impl QueryPool {
                 Err(_) => break,
             }
         }
-        Self { shared, workers, submit: Mutex::new(()), cancel: CancelToken::new() }
+        Self {
+            shared,
+            workers,
+            submit: Mutex::new(()),
+            cancel: CancelToken::new(),
+            stats: StatsSink::new(),
+        }
     }
 
     /// A pool sized to the machine's available parallelism.
@@ -388,7 +397,13 @@ impl QueryPool {
         // Workers are idle here (previous job fully drained), so the flag
         // can be reused without racing a stale cancellation.
         self.cancel.reset();
-        let deadline = deadline.with_cancel(self.cancel);
+        let mut deadline = deadline.with_cancel(self.cancel);
+        if !deadline.stats().is_some() {
+            // Workers are idle (previous job drained), so resetting the
+            // pool's shared sink cannot race a stale recording.
+            self.stats.reset();
+            deadline = deadline.with_stats(self.stats);
+        }
         let t0 = Instant::now();
         let threads = self.workers.len();
         let job = Arc::new(Job {
@@ -424,6 +439,9 @@ impl QueryPool {
         if let Some(message) = lock(&job.panic_note).take() {
             outcome.status.absorb(QueryStatus::Panicked { message });
         }
+        // Workers recorded into the (shared, atomic) sink; one snapshot
+        // covers every shard regardless of thread count.
+        outcome.kernel = deadline.stats().snapshot();
         ParallelOutcome { outcome, wall_time: t0.elapsed(), threads: threads.max(1) }
     }
 }
@@ -515,7 +533,8 @@ pub fn parallel_query(
         }
     });
 
-    let merged = merge_parts(parts.into_inner().unwrap_or_else(PoisonError::into_inner));
+    let mut merged = merge_parts(parts.into_inner().unwrap_or_else(PoisonError::into_inner));
+    merged.kernel = deadline.stats().snapshot();
     ParallelOutcome { outcome: merged, wall_time: t0.elapsed(), threads }
 }
 

@@ -1,0 +1,169 @@
+//! Per-vertex neighbor bitmaps for high-degree ("hub") vertices.
+//!
+//! `Graph::has_edge` is an `O(log d)` binary search; during enumeration it is
+//! probed once per candidate per mapped backward neighbor, and on hubs the
+//! search walks a long adjacency run. This sidecar materializes the adjacency
+//! of every vertex whose degree is at least a threshold as a `|V(G)|`-bit
+//! bitmap, making hub membership a single word test.
+//!
+//! Memory is bounded: a graph has at most `2|E| / threshold` vertices of
+//! degree ≥ threshold, so the sidecar holds at most
+//! `2|E|/threshold × |V|/8` bytes of bitmap words plus a `4|V|`-byte row
+//! index. With the default threshold of 64 that is `|E| · |V| / 256` bytes in
+//! the worst case — and in practice hubs are few. The sidecar is built lazily
+//! (first hub probe) and is [`HeapSize`]-accounted.
+
+use crate::heap_size::HeapSize;
+use crate::vertex::VertexId;
+
+/// Degree at or above which a vertex gets a bitmap row.
+pub const HUB_DEGREE_THRESHOLD: usize = 64;
+
+const NO_ROW: u32 = u32::MAX;
+
+/// Adjacency bitmaps for every vertex of degree ≥ a build-time threshold.
+#[derive(Clone, Debug, Default)]
+pub struct NeighborBitmaps {
+    /// 64-bit words per row: `ceil(|V| / 64)`.
+    words_per_row: usize,
+    /// Row index per vertex id; [`NO_ROW`] when the vertex has no row.
+    /// Empty when the graph has no hub at all (nothing is allocated then).
+    row_of: Box<[u32]>,
+    /// `hub_count × words_per_row` bitmap words.
+    words: Box<[u64]>,
+}
+
+impl NeighborBitmaps {
+    /// Builds bitmaps for every vertex of `g` with degree ≥ `min_degree`.
+    /// Returns an empty (allocation-free) sidecar when there is no such
+    /// vertex.
+    pub fn build(g: &crate::graph::Graph, min_degree: usize) -> Self {
+        if g.max_degree() < min_degree || min_degree == 0 {
+            return Self::default();
+        }
+        let n = g.vertex_count();
+        let words_per_row = n.div_ceil(64);
+        let mut row_of = vec![NO_ROW; n];
+        let mut rows = 0u32;
+        for v in g.vertices() {
+            if g.degree(v) >= min_degree {
+                row_of[v.index()] = rows;
+                rows += 1;
+            }
+        }
+        let mut words = vec![0u64; rows as usize * words_per_row];
+        for v in g.vertices() {
+            let row = row_of[v.index()];
+            if row == NO_ROW {
+                continue;
+            }
+            let base = row as usize * words_per_row;
+            for &w in g.neighbors(v) {
+                words[base + w.index() / 64] |= 1u64 << (w.index() % 64);
+            }
+        }
+        Self { words_per_row, row_of: row_of.into_boxed_slice(), words: words.into_boxed_slice() }
+    }
+
+    /// Number of vertices that have a bitmap row.
+    pub fn hub_count(&self) -> usize {
+        self.words.len().checked_div(self.words_per_row).unwrap_or(0)
+    }
+
+    /// Whether no vertex has a row (graph below threshold everywhere).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The bitmap row for `v`, if `v` is a hub.
+    #[inline]
+    pub fn row(&self, v: VertexId) -> Option<usize> {
+        match self.row_of.get(v.index()) {
+            Some(&r) if r != NO_ROW => Some(r as usize),
+            _ => None,
+        }
+    }
+
+    /// Whether `v` is set in bitmap `row` (as returned by [`row`](Self::row)).
+    #[inline]
+    pub fn contains(&self, row: usize, v: VertexId) -> bool {
+        self.words[row * self.words_per_row + v.index() / 64] & (1u64 << (v.index() % 64)) != 0
+    }
+}
+
+impl HeapSize for NeighborBitmaps {
+    fn heap_size(&self) -> usize {
+        self.row_of.heap_size() + self.words.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::Graph;
+    use crate::label::Label;
+
+    /// A star with `spokes` leaves around vertex 0, plus one detached edge.
+    fn star(spokes: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex(Label(0));
+        for _ in 0..spokes {
+            let leaf = b.add_vertex(Label(1));
+            b.add_edge(hub, leaf).unwrap();
+        }
+        let x = b.add_vertex(Label(2));
+        let y = b.add_vertex(Label(2));
+        b.add_edge(x, y).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn empty_below_threshold() {
+        let g = star(3);
+        let bm = NeighborBitmaps::build(&g, 64);
+        assert!(bm.is_empty());
+        assert_eq!(bm.hub_count(), 0);
+        assert_eq!(bm.row(VertexId(0)), None);
+        assert_eq!(bm.heap_size(), 0);
+    }
+
+    #[test]
+    fn hub_rows_match_adjacency() {
+        let g = star(100);
+        let bm = NeighborBitmaps::build(&g, 64);
+        assert_eq!(bm.hub_count(), 1);
+        let row = bm.row(VertexId(0)).unwrap();
+        for v in g.vertices() {
+            assert_eq!(bm.contains(row, v), g.has_edge(VertexId(0), v), "vertex {v:?}");
+        }
+        // Leaves (degree 1) have no row.
+        assert_eq!(bm.row(VertexId(1)), None);
+        assert!(bm.heap_size() > 0);
+    }
+
+    #[test]
+    fn low_threshold_covers_all_edges() {
+        let g = star(5);
+        let bm = NeighborBitmaps::build(&g, 1);
+        assert_eq!(bm.hub_count(), g.vertex_count());
+        for u in g.vertices() {
+            let row = bm.row(u).unwrap();
+            for v in g.vertices() {
+                assert_eq!(bm.contains(row, v), g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn word_boundary_vertices() {
+        // > 64 vertices so bitmap rows span multiple words.
+        let g = star(70);
+        let bm = NeighborBitmaps::build(&g, 64);
+        let row = bm.row(VertexId(0)).unwrap();
+        assert!(bm.contains(row, VertexId(63)));
+        assert!(bm.contains(row, VertexId(64)));
+        assert!(bm.contains(row, VertexId(70)));
+        assert!(!bm.contains(row, VertexId(0)));
+    }
+}

@@ -1,5 +1,8 @@
 //! The immutable CSR graph.
 
+use std::sync::OnceLock;
+
+use crate::bitmap::{NeighborBitmaps, HUB_DEGREE_THRESHOLD};
 use crate::heap_size::HeapSize;
 use crate::label::Label;
 use crate::vertex::VertexId;
@@ -26,6 +29,9 @@ pub struct Graph {
     edge_count: usize,
     max_degree: u32,
     distinct_labels: u32,
+    /// Lazily-built adjacency bitmaps for hub vertices (degree ≥
+    /// [`HUB_DEGREE_THRESHOLD`]); see [`Graph::hub_bitmaps`].
+    hub_bitmaps: OnceLock<NeighborBitmaps>,
 }
 
 impl Graph {
@@ -80,6 +86,7 @@ impl Graph {
             edge_count,
             max_degree,
             distinct_labels,
+            hub_bitmaps: OnceLock::new(),
         }
     }
 
@@ -187,6 +194,19 @@ impl Graph {
         self.neighbors_with_label(a, self.labels[b.index()]).binary_search(&b).is_ok()
     }
 
+    /// The hub adjacency-bitmap sidecar, built on first use for every vertex
+    /// of degree ≥ [`HUB_DEGREE_THRESHOLD`]. Empty (and allocation-free) for
+    /// graphs with no hub. Amortized across every query against this graph.
+    pub fn hub_bitmaps(&self) -> &NeighborBitmaps {
+        self.hub_bitmaps.get_or_init(|| NeighborBitmaps::build(self, HUB_DEGREE_THRESHOLD))
+    }
+
+    /// The hub bitmap sidecar if it has been built, without forcing the
+    /// build (for memory accounting).
+    pub fn hub_bitmaps_built(&self) -> Option<&NeighborBitmaps> {
+        self.hub_bitmaps.get()
+    }
+
     /// All vertices carrying label `l`, sorted by id.
     pub fn vertices_with_label(&self, l: Label) -> &[VertexId] {
         if l.index() + 1 >= self.label_offsets.len() {
@@ -261,6 +281,7 @@ impl HeapSize for Graph {
             + self.neighbors.heap_size()
             + self.label_offsets.heap_size()
             + self.label_vertices.heap_size()
+            + self.hub_bitmaps.get().map_or(0, HeapSize::heap_size)
     }
 }
 
@@ -383,5 +404,26 @@ mod tests {
     fn heap_size_positive() {
         let g = sample();
         assert!(g.heap_size() > 0);
+    }
+
+    #[test]
+    fn hub_bitmaps_lazy_and_accounted() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex(Label(0));
+        for _ in 0..HUB_DEGREE_THRESHOLD {
+            let leaf = b.add_vertex(Label(1));
+            b.add_edge(hub, leaf).unwrap();
+        }
+        let g = b.build();
+        assert!(g.hub_bitmaps_built().is_none());
+        let before = g.heap_size();
+        let bm = g.hub_bitmaps();
+        assert_eq!(bm.hub_count(), 1);
+        let row = bm.row(hub).unwrap();
+        assert!(bm.contains(row, VertexId(1)));
+        assert!(!bm.contains(row, hub));
+        // Once built, the sidecar shows up in heap accounting.
+        assert!(g.hub_bitmaps_built().is_some());
+        assert!(g.heap_size() > before);
     }
 }

@@ -1,0 +1,204 @@
+//! Sorted-slice intersection kernels.
+//!
+//! Local-candidate computation during enumeration is a multi-way intersection
+//! of sorted vertex lists (label-restricted adjacencies and candidate sets).
+//! This module provides the two classic kernels for one pairwise step, both
+//! *in place* over an accumulator so chained multi-way intersection never
+//! allocates:
+//!
+//! * [`retain_merge`] — linear two-pointer merge, `O(|buf| + |other|)`.
+//!   Optimal when the inputs are of comparable size.
+//! * [`retain_gallop`] — galloping (exponential) search of `other` for each
+//!   element of `buf`, `O(|buf| · log(|other| / |buf|))`. Wins when `other`
+//!   is much longer than `buf`, the common case once the accumulator has been
+//!   narrowed by earlier intersections.
+//!
+//! [`should_gallop`] encodes the adaptive switch: galloping pays off once the
+//! longer input exceeds the shorter by [`GALLOP_RATIO`]×.
+
+use crate::vertex::VertexId;
+
+/// Size ratio above which galloping beats the linear merge.
+///
+/// Galloping costs ~`2·log₂(gap)` comparisons per probe versus ~`gap` for the
+/// merge to skip the same distance; the crossover is near 8–16× and `32`
+/// leaves margin for the gallop's worse branch predictability.
+pub const GALLOP_RATIO: usize = 32;
+
+/// Whether the adaptive kernel should gallop for one pairwise intersection of
+/// a `small`-element accumulator against a `large`-element sorted slice.
+#[inline]
+pub fn should_gallop(small: usize, large: usize) -> bool {
+    large / small.max(1) >= GALLOP_RATIO
+}
+
+/// Intersects `buf` with the sorted slice `other` in place via a linear
+/// two-pointer merge. Both inputs must be strictly sorted.
+pub fn retain_merge(buf: &mut Vec<VertexId>, other: &[VertexId]) {
+    debug_assert!(buf.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(other.windows(2).all(|w| w[0] < w[1]));
+    let mut w = 0;
+    let mut i = 0;
+    let mut j = 0;
+    while i < buf.len() && j < other.len() {
+        match buf[i].cmp(&other[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                buf[w] = buf[i];
+                w += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    buf.truncate(w);
+}
+
+/// Intersects `buf` with the sorted slice `other` in place, locating each
+/// element of `buf` in `other` by galloping search. Both inputs must be
+/// strictly sorted.
+pub fn retain_gallop(buf: &mut Vec<VertexId>, other: &[VertexId]) {
+    debug_assert!(buf.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(other.windows(2).all(|w| w[0] < w[1]));
+    let mut w = 0;
+    let mut pos = 0;
+    for i in 0..buf.len() {
+        let v = buf[i];
+        pos = gallop_to(other, pos, v);
+        if pos >= other.len() {
+            break;
+        }
+        if other[pos] == v {
+            buf[w] = v;
+            w += 1;
+            pos += 1;
+        }
+    }
+    buf.truncate(w);
+}
+
+/// Intersects `buf` with `other` in place, choosing the kernel by
+/// [`should_gallop`] on the two lengths (the smaller side probes the larger
+/// conceptually; in-place operation means `buf` always holds the probes, so
+/// the switch keys on whichever side is shorter). Returns `true` when the
+/// galloping kernel ran.
+pub fn retain_adaptive(buf: &mut Vec<VertexId>, other: &[VertexId]) -> bool {
+    let (small, large) =
+        if buf.len() <= other.len() { (buf.len(), other.len()) } else { (other.len(), buf.len()) };
+    if should_gallop(small, large) {
+        retain_gallop(buf, other);
+        true
+    } else {
+        retain_merge(buf, other);
+        false
+    }
+}
+
+/// Smallest index `i >= from` with `slice[i] >= v`, found by doubling steps
+/// from `from` followed by a binary search of the bracketed run.
+#[inline]
+fn gallop_to(slice: &[VertexId], from: usize, v: VertexId) -> usize {
+    let mut step = 1;
+    let mut lo = from;
+    let mut idx = from;
+    while idx < slice.len() && slice[idx] < v {
+        lo = idx + 1;
+        idx += step;
+        step <<= 1;
+    }
+    let hi = idx.min(slice.len());
+    lo + slice[lo..hi].partition_point(|&x| x < v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<VertexId> {
+        xs.iter().copied().map(VertexId).collect()
+    }
+
+    fn check_all(a: &[u32], b: &[u32]) {
+        let expected: Vec<VertexId> = ids(a).into_iter().filter(|v| ids(b).contains(v)).collect();
+        for kernel in [retain_merge, retain_gallop] {
+            let mut buf = ids(a);
+            kernel(&mut buf, &ids(b));
+            assert_eq!(buf, expected);
+        }
+        let mut buf = ids(a);
+        retain_adaptive(&mut buf, &ids(b));
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn basic_overlap() {
+        check_all(&[1, 3, 5, 7, 9], &[2, 3, 4, 7, 10]);
+    }
+
+    #[test]
+    fn disjoint_and_empty() {
+        check_all(&[1, 2, 3], &[4, 5, 6]);
+        check_all(&[], &[1, 2]);
+        check_all(&[1, 2], &[]);
+        check_all(&[], &[]);
+    }
+
+    #[test]
+    fn identical_and_subset() {
+        check_all(&[1, 2, 3], &[1, 2, 3]);
+        check_all(&[2], &[1, 2, 3]);
+        check_all(&[1, 2, 3], &[2]);
+    }
+
+    #[test]
+    fn extreme_skew() {
+        let big: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
+        check_all(&[3, 299, 29_997], &big);
+        check_all(&big.clone(), &[3, 299, 29_997]);
+    }
+
+    #[test]
+    fn boundaries() {
+        // Probes beyond the end and before the start of `other`.
+        check_all(&[100], &[1, 2, 3]);
+        check_all(&[0], &[5, 6, 7]);
+        check_all(&[0, 100], &[5, 6, 7]);
+    }
+
+    #[test]
+    fn gallop_to_finds_lower_bound() {
+        let s = ids(&[1, 3, 5, 7, 9, 11]);
+        assert_eq!(gallop_to(&s, 0, VertexId(0)), 0);
+        assert_eq!(gallop_to(&s, 0, VertexId(5)), 2);
+        assert_eq!(gallop_to(&s, 2, VertexId(6)), 3);
+        assert_eq!(gallop_to(&s, 0, VertexId(12)), 6);
+        assert_eq!(gallop_to(&s, 5, VertexId(11)), 5);
+    }
+
+    #[test]
+    fn adaptive_switch_threshold() {
+        assert!(!should_gallop(10, 100));
+        assert!(should_gallop(10, 320));
+        assert!(should_gallop(0, 32)); // empty accumulator counts as one probe
+        assert!(!should_gallop(100, 10));
+    }
+
+    #[test]
+    fn randomized_agreement() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let n = rng.random_range(0u32..60);
+            let m = rng.random_range(0u32..600);
+            let mut a: Vec<u32> = (0..n).map(|_| rng.random_range(0u32..500)).collect();
+            let mut b: Vec<u32> = (0..m).map(|_| rng.random_range(0u32..500)).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            check_all(&a, &b);
+        }
+    }
+}

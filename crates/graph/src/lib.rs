@@ -16,6 +16,11 @@
 //!   decomposition, and connectivity, the building blocks of CFL.
 //! * [`nlf`] — neighborhood label frequency signatures used by the GraphQL
 //!   and CFL candidate filters.
+//! * [`intersect`] — merge-based and galloping sorted-slice intersection
+//!   kernels, the primitive of local-candidate computation in enumeration.
+//! * [`NeighborBitmaps`] — lazily-built adjacency bitmaps for hub vertices,
+//!   turning `has_edge` probes against high-degree vertices into single word
+//!   tests.
 //! * [`HeapSize`] — exact heap accounting used to reproduce the paper's
 //!   memory-cost tables.
 
@@ -24,18 +29,21 @@
 
 pub mod algo;
 pub mod binio;
+pub mod bitmap;
 pub mod builder;
 pub mod database;
 pub mod error;
 pub mod graph;
 pub mod hash;
 pub mod heap_size;
+pub mod intersect;
 pub mod io;
 pub mod label;
 pub mod nlf;
 pub mod stats;
 pub mod vertex;
 
+pub use bitmap::{NeighborBitmaps, HUB_DEGREE_THRESHOLD};
 pub use builder::GraphBuilder;
 pub use database::GraphDb;
 pub use error::{GraphError, Result};

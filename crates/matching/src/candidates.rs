@@ -33,10 +33,20 @@ impl FilterResult {
 /// The candidate vertex sets `Φ(u)` for every query vertex, optionally with
 /// CFL's CPI tree adjacency.
 ///
-/// Sets are sorted by vertex id, so membership tests are binary searches.
+/// Sets are sorted by vertex id. Membership is O(1): construction builds one
+/// bitmap per query vertex over the candidate id universe (a single `Vec<u64>`
+/// block array), which the enumerator probes instead of binary-searching the
+/// sorted sets. The sorted sets remain the iteration/intersection
+/// representation.
 #[derive(Clone, Debug, Default)]
 pub struct CandidateSpace {
     sets: Vec<Vec<VertexId>>,
+    /// `sets.len() × words_per_set` membership words; bit `v` of row `u` is
+    /// set iff `v ∈ Φ(u)`.
+    bits: Vec<u64>,
+    /// Words per bitmap row: `ceil(universe / 64)` where the universe is one
+    /// past the largest candidate id in any set.
+    words_per_set: usize,
     cpi: Option<Cpi>,
 }
 
@@ -59,10 +69,21 @@ pub struct Cpi {
 }
 
 impl CandidateSpace {
-    /// Wraps per-query-vertex candidate sets (each must be sorted).
+    /// Wraps per-query-vertex candidate sets (each must be sorted) and builds
+    /// the O(1) membership bitmaps.
     pub fn new(sets: Vec<Vec<VertexId>>) -> Self {
         debug_assert!(sets.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
-        Self { sets, cpi: None }
+        let universe =
+            sets.iter().filter_map(|s| s.last()).map(|v| v.index() + 1).max().unwrap_or(0);
+        let words_per_set = universe.div_ceil(64);
+        let mut bits = vec![0u64; sets.len() * words_per_set];
+        for (u, set) in sets.iter().enumerate() {
+            let row = &mut bits[u * words_per_set..(u + 1) * words_per_set];
+            for v in set {
+                row[v.index() / 64] |= 1u64 << (v.index() % 64);
+            }
+        }
+        Self { sets, bits, words_per_set, cpi: None }
     }
 
     /// Attaches a CPI tree.
@@ -92,10 +113,27 @@ impl CandidateSpace {
         &self.sets
     }
 
-    /// Whether `v ∈ Φ(u)` (binary search).
+    /// Whether `v ∈ Φ(u)` (O(1) bitmap probe).
     #[inline]
     pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        let word = v.index() / 64;
+        if word >= self.words_per_set {
+            return false;
+        }
+        self.bits[u.index() * self.words_per_set + word] & (1u64 << (v.index() % 64)) != 0
+    }
+
+    /// Whether `v ∈ Φ(u)` by binary search of the sorted set — the
+    /// pre-bitmap membership path, kept for the `baseline` enumeration
+    /// kernel's A/B comparison.
+    #[inline]
+    pub fn contains_search(&self, u: VertexId, v: VertexId) -> bool {
         self.sets[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Heap bytes of the membership bitmaps alone (for accounting tests).
+    pub fn bitmap_bytes(&self) -> usize {
+        self.bits.heap_size()
     }
 
     /// Whether any `Φ(u)` is empty (the vcFV pruning condition).
@@ -141,7 +179,9 @@ impl HeapSize for CandidateSpace {
                     })
                     .sum::<usize>()
         });
-        sets + self.sets.capacity() * std::mem::size_of::<Vec<VertexId>>() + cpi
+        sets + self.sets.capacity() * std::mem::size_of::<Vec<VertexId>>()
+            + self.bits.heap_size()
+            + cpi
     }
 }
 
@@ -202,6 +242,37 @@ mod tests {
         assert_eq!(s.total_candidates(), 4);
         assert_eq!(s.len(), 3);
         assert!(!s.any_empty());
+    }
+
+    #[test]
+    fn bitmap_agrees_with_search() {
+        let s = CandidateSpace::new(vec![
+            vec![VertexId(0), VertexId(63), VertexId(64), VertexId(200)],
+            vec![VertexId(5)],
+            vec![],
+        ]);
+        for u in 0..3u32 {
+            for v in 0..260u32 {
+                assert_eq!(
+                    s.contains(VertexId(u), VertexId(v)),
+                    s.contains_search(VertexId(u), VertexId(v)),
+                    "u={u} v={v}"
+                );
+            }
+        }
+        // Probes past the universe are cleanly false.
+        assert!(!s.contains(VertexId(0), VertexId(100_000)));
+        assert!(s.bitmap_bytes() > 0);
+    }
+
+    #[test]
+    fn heap_size_counts_bitmaps() {
+        let s = space();
+        assert!(s.bitmap_bytes() > 0);
+        assert!(s.heap_size() >= s.bitmap_bytes());
+        // An all-empty space allocates no bitmap words.
+        let empty = CandidateSpace::new(vec![vec![], vec![]]);
+        assert_eq!(empty.bitmap_bytes(), 0);
     }
 
     #[test]

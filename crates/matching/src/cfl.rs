@@ -29,6 +29,7 @@ use sqp_graph::nlf::nlf_dominated;
 use sqp_graph::{Graph, VertexId};
 
 use crate::candidates::{CandidateSpace, Cpi, FilterResult, MatchingOrder};
+use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
@@ -55,6 +56,7 @@ impl Default for CflConfig {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Cfl {
     config: CflConfig,
+    matcher_config: MatcherConfig,
 }
 
 impl Cfl {
@@ -65,7 +67,13 @@ impl Cfl {
 
     /// CFL with a custom refinement configuration (ablations).
     pub fn with_config(config: CflConfig) -> Self {
-        Self { config }
+        Self { config, matcher_config: MatcherConfig::default() }
+    }
+
+    /// This matcher with the given shared configuration.
+    pub fn with_matcher_config(mut self, config: MatcherConfig) -> Self {
+        self.matcher_config = config;
+        self
     }
 
     /// Root selection: minimize `|C_init(u)| / d(u)`.
@@ -371,7 +379,8 @@ impl Matcher for Cfl {
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
         let order = Self::path_order(q, space);
-        Enumerator::new(q, g, space, &order).find_first(deadline)
+        Enumerator::with_kernel(q, g, space, &order, self.matcher_config.kernel)
+            .find_first(deadline)
     }
 
     fn enumerate(
@@ -384,7 +393,8 @@ impl Matcher for Cfl {
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
         let order = Self::path_order(q, space);
-        Enumerator::new(q, g, space, &order).run(limit, deadline, on_match)
+        Enumerator::with_kernel(q, g, space, &order, self.matcher_config.kernel)
+            .run(limit, deadline, on_match)
     }
 }
 

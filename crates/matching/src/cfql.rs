@@ -11,6 +11,7 @@ use sqp_graph::Graph;
 
 use crate::candidates::{CandidateSpace, FilterResult};
 use crate::cfl::Cfl;
+use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
@@ -21,12 +22,19 @@ use crate::Matcher;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Cfql {
     cfl: Cfl,
+    config: MatcherConfig,
 }
 
 impl Cfql {
     /// CFQL with CFL's default refinement configuration.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// This matcher with the given shared configuration.
+    pub fn with_matcher_config(mut self, config: MatcherConfig) -> Self {
+        self.config = config;
+        self
     }
 }
 
@@ -47,7 +55,7 @@ impl Matcher for Cfql {
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
         let order = GraphQl::join_order(q, space);
-        Enumerator::new(q, g, space, &order).find_first(deadline)
+        Enumerator::with_kernel(q, g, space, &order, self.config.kernel).find_first(deadline)
     }
 
     fn enumerate(
@@ -60,7 +68,8 @@ impl Matcher for Cfql {
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
         let order = GraphQl::join_order(q, space);
-        Enumerator::new(q, g, space, &order).run(limit, deadline, on_match)
+        Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .run(limit, deadline, on_match)
     }
 }
 

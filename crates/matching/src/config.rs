@@ -1,0 +1,100 @@
+//! Matcher-level configuration: the enumeration kernel knob.
+
+use std::str::FromStr;
+
+/// Which intersection kernel the enumerator uses for local-candidate
+/// computation.
+///
+/// All kernels produce identical embeddings in identical order (the
+/// kernel-invariance property tested by `tests/kernel_equivalence.rs`); they
+/// differ only in how the intersection of the mapped backward neighbors'
+/// label-restricted adjacencies with `Φ(u)` is computed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelConfig {
+    /// Adaptive: galloping when one side exceeds the other by
+    /// [`sqp_graph::intersect::GALLOP_RATIO`]×, hub adjacency bitmaps when
+    /// the probed vertex has one, linear merge otherwise.
+    #[default]
+    Auto,
+    /// Always the linear two-pointer merge.
+    Merge,
+    /// Always the galloping kernel.
+    Gallop,
+    /// The pre-kernel enumeration path: scan the pivot's label-restricted
+    /// adjacency and test each candidate with a binary search in `Φ(u)` plus
+    /// per-neighbor `has_edge` probes. Kept selectable for A/B comparison.
+    Baseline,
+}
+
+impl KernelConfig {
+    /// All kernel variants, for ablation sweeps.
+    pub const ALL: [KernelConfig; 4] =
+        [KernelConfig::Auto, KernelConfig::Merge, KernelConfig::Gallop, KernelConfig::Baseline];
+
+    /// The CLI name of this kernel.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelConfig::Auto => "auto",
+            KernelConfig::Merge => "merge",
+            KernelConfig::Gallop => "gallop",
+            KernelConfig::Baseline => "baseline",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for KernelConfig {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(KernelConfig::Auto),
+            "merge" => Ok(KernelConfig::Merge),
+            "gallop" => Ok(KernelConfig::Gallop),
+            "baseline" => Ok(KernelConfig::Baseline),
+            other => {
+                Err(format!("unknown kernel '{other}' (expected auto, merge, gallop, or baseline)"))
+            }
+        }
+    }
+}
+
+/// Configuration shared by every matcher in this crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatcherConfig {
+    /// The enumeration intersection kernel.
+    pub kernel: KernelConfig,
+}
+
+impl MatcherConfig {
+    /// A config selecting `kernel`.
+    pub fn with_kernel(kernel: KernelConfig) -> Self {
+        Self { kernel }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for k in KernelConfig::ALL {
+            assert_eq!(k.name().parse::<KernelConfig>().unwrap(), k);
+            assert_eq!(k.to_string(), k.name());
+        }
+        assert!("turbo".parse::<KernelConfig>().is_err());
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(KernelConfig::default(), KernelConfig::Auto);
+        assert_eq!(MatcherConfig::default().kernel, KernelConfig::Auto);
+        assert_eq!(MatcherConfig::with_kernel(KernelConfig::Gallop).kernel, KernelConfig::Gallop);
+    }
+}

@@ -22,6 +22,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::stats::KernelStats;
+
 /// Error signaling that the per-query time budget was exhausted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Timeout;
@@ -263,6 +265,76 @@ impl ResourceGuard {
     }
 }
 
+#[derive(Debug, Default)]
+struct SinkState {
+    intersections: AtomicU64,
+    gallop_hits: AtomicU64,
+    bitmap_probes: AtomicU64,
+}
+
+/// A shared accumulator for enumeration-kernel counters, carried inside
+/// [`Deadline`].
+///
+/// Like [`CancelToken`] and [`ResourceGuard`], the sink is `Copy` so it rides
+/// through every matcher signature unchanged; `new()` leaks one small state
+/// block for the `'static` lifetime, so sinks are meant to be created once
+/// per long-lived owner (an engine, a pool, a runner) and cleared per query
+/// via [`reset`](StatsSink::reset). Enumerators flush their local counters
+/// here once per run, so concurrent workers of the same query sum naturally.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsSink {
+    state: Option<&'static SinkState>,
+}
+
+impl StatsSink {
+    /// The inert sink: recording is a no-op, snapshots are zero.
+    pub const fn none() -> Self {
+        Self { state: None }
+    }
+
+    /// A fresh sink. Leaks its state block for the `'static` lifetime —
+    /// create once per owner, [`reset`](StatsSink::reset) between queries.
+    pub fn new() -> Self {
+        Self { state: Some(Box::leak(Box::new(SinkState::default()))) }
+    }
+
+    /// Clears the counters for the next query.
+    pub fn reset(&self) {
+        if let Some(s) = self.state {
+            s.intersections.store(0, Ordering::Release);
+            s.gallop_hits.store(0, Ordering::Release);
+            s.bitmap_probes.store(0, Ordering::Release);
+        }
+    }
+
+    /// Adds one run's kernel counters.
+    #[inline]
+    pub fn record(&self, k: &KernelStats) {
+        if let Some(s) = self.state {
+            s.intersections.fetch_add(k.intersections, Ordering::Relaxed);
+            s.gallop_hits.fetch_add(k.gallop_hits, Ordering::Relaxed);
+            s.bitmap_probes.fetch_add(k.bitmap_probes, Ordering::Relaxed);
+        }
+    }
+
+    /// The counters accumulated since the last reset.
+    pub fn snapshot(&self) -> KernelStats {
+        match self.state {
+            Some(s) => KernelStats {
+                intersections: s.intersections.load(Ordering::Acquire),
+                gallop_hits: s.gallop_hits.load(Ordering::Acquire),
+                bitmap_probes: s.bitmap_probes.load(Ordering::Acquire),
+            },
+            None => KernelStats::default(),
+        }
+    }
+
+    /// Whether this sink carries real state.
+    pub fn is_some(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
 /// An optional wall-clock deadline, optionally paired with a [`CancelToken`].
 ///
 /// # Examples
@@ -282,12 +354,18 @@ pub struct Deadline {
     at: Option<Instant>,
     cancel: CancelToken,
     guard: ResourceGuard,
+    stats: StatsSink,
 }
 
 impl Deadline {
     /// No deadline: operations run to completion.
     pub const fn none() -> Self {
-        Self { at: None, cancel: CancelToken::none(), guard: ResourceGuard::none() }
+        Self {
+            at: None,
+            cancel: CancelToken::none(),
+            guard: ResourceGuard::none(),
+            stats: StatsSink::none(),
+        }
     }
 
     /// A deadline `budget` from now. A budget too large to represent as an
@@ -323,6 +401,18 @@ impl Deadline {
     /// The attached resource guard ([`ResourceGuard::none`] if absent).
     pub fn guard(&self) -> ResourceGuard {
         self.guard
+    }
+
+    /// Attaches a kernel-counter sink: enumerators flush their intersection
+    /// counters into it.
+    pub fn with_stats(mut self, stats: StatsSink) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// The attached stats sink ([`StatsSink::none`] if absent).
+    pub fn stats(&self) -> StatsSink {
+        self.stats
     }
 
     /// Whether the deadline has passed, the token was cancelled, or the
@@ -550,6 +640,29 @@ mod tests {
         // First trip wins.
         guard.trip(ResourceKind::Steps);
         assert_eq!(guard.tripped(), Some(ResourceKind::Memory));
+    }
+
+    #[test]
+    fn stats_sink_accumulates_and_resets() {
+        let sink = StatsSink::new();
+        let d = Deadline::none().with_stats(sink);
+        assert!(d.stats().snapshot().is_zero());
+        d.stats().record(&KernelStats { intersections: 3, gallop_hits: 1, bitmap_probes: 7 });
+        d.stats().record(&KernelStats { intersections: 1, gallop_hits: 0, bitmap_probes: 2 });
+        assert_eq!(
+            sink.snapshot(),
+            KernelStats { intersections: 4, gallop_hits: 1, bitmap_probes: 9 }
+        );
+        sink.reset();
+        assert!(sink.snapshot().is_zero());
+    }
+
+    #[test]
+    fn none_sink_is_inert() {
+        let sink = StatsSink::none();
+        assert!(!sink.is_some());
+        sink.record(&KernelStats { intersections: 1, gallop_hits: 1, bitmap_probes: 1 });
+        assert!(sink.snapshot().is_zero());
     }
 
     #[test]

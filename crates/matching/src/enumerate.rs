@@ -6,17 +6,29 @@
 //! query vertex `u` only candidates that are (a) in `Φ(u)`, (b) unused, and
 //! (c) adjacent in `G` to the images of all already-mapped neighbors of `u`.
 //!
-//! Candidate generation pivots on an already-mapped neighbor when one exists:
-//! instead of scanning `Φ(u)`, it scans the label-restricted data adjacency
-//! `N(φ(u'), L(u))` of the mapped neighbor `u'` with the smallest such list
-//! and intersects with `Φ(u)` by binary search. This is the standard
-//! "local candidate" computation of GraphQL/CFL-style enumeration.
+//! The local candidate set of a depth is computed in one shot as a multi-way
+//! sorted-set intersection: the label-restricted data adjacencies
+//! `N(φ(w), L(u))` of *all* mapped backward neighbors `w`, smallest list
+//! first with early exit on empty, filtered by the `Φ(u)` membership bitmap.
+//! Pairwise steps run the merge or galloping kernel from
+//! [`sqp_graph::intersect`] (or a hub adjacency-bitmap probe) according to
+//! the configured [`KernelConfig`]. Results land in per-depth scratch buffers
+//! owned by the enumerator, so steady-state candidate generation performs no
+//! allocation — the only allocation on the search path is materializing an
+//! [`Embedding`] when a match is reported.
+//!
+//! [`KernelConfig::Baseline`] preserves the previous per-candidate probing
+//! path (scan the smallest backward adjacency; binary-search `Φ(u)` and
+//! `has_edge`-probe every backward neighbor per candidate) for A/B
+//! comparison; all kernels enumerate identical embeddings in identical order.
 
-use sqp_graph::{Graph, VertexId};
+use sqp_graph::{intersect, Graph, VertexId};
 
 use crate::candidates::{CandidateSpace, MatchingOrder};
+use crate::config::KernelConfig;
 use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
+use crate::stats::MatchingStats;
 
 /// Backtracking enumerator over a [`CandidateSpace`] and [`MatchingOrder`].
 pub struct Enumerator<'a> {
@@ -26,39 +38,66 @@ pub struct Enumerator<'a> {
     order: &'a MatchingOrder,
     /// For each depth, the query neighbors of `order[depth]` mapped earlier.
     backward: Vec<Vec<VertexId>>,
-    /// Backtracking calls performed by the last `run`.
-    recursions: u64,
+    /// Intersection kernel for local-candidate computation.
+    kernel: KernelConfig,
+    /// Per-depth local-candidate buffers, reused across the whole run.
+    scratch: Vec<Vec<VertexId>>,
+    /// Scratch for ordering backward adjacencies by length (smallest first).
+    bw_order: Vec<(usize, usize)>,
+    /// Counters of the last `run`.
+    stats: MatchingStats,
 }
 
 impl<'a> Enumerator<'a> {
-    /// Prepares an enumerator; `order` must be a permutation of `V(q)` such
-    /// that each non-first vertex has at least one earlier neighbor
-    /// (guaranteed by all ordering strategies on connected queries).
+    /// Prepares an enumerator with the default (adaptive) kernel; `order`
+    /// must be a permutation of `V(q)` such that each non-first vertex has at
+    /// least one earlier neighbor (guaranteed by all ordering strategies on
+    /// connected queries).
     pub fn new(
         q: &'a Graph,
         g: &'a Graph,
         space: &'a CandidateSpace,
         order: &'a MatchingOrder,
     ) -> Self {
+        Self::with_kernel(q, g, space, order, KernelConfig::default())
+    }
+
+    /// Prepares an enumerator running the given intersection kernel.
+    pub fn with_kernel(
+        q: &'a Graph,
+        g: &'a Graph,
+        space: &'a CandidateSpace,
+        order: &'a MatchingOrder,
+        kernel: KernelConfig,
+    ) -> Self {
         let seq = order.as_slice();
         let mut pos = vec![usize::MAX; q.vertex_count()];
         for (i, &u) in seq.iter().enumerate() {
             pos[u.index()] = i;
         }
-        let backward = seq
+        let backward: Vec<Vec<VertexId>> = seq
             .iter()
             .enumerate()
             .map(|(i, &u)| {
                 let mut b: Vec<VertexId> =
                     q.neighbors(u).iter().copied().filter(|w| pos[w.index()] < i).collect();
-                // Pivot first: mapped neighbor whose candidates we will scan.
-                // Prefer the one mapped earliest (most constrained images are
-                // equally valid; earliest is deterministic and cheap).
+                // Deterministic order: earliest-mapped first.
                 b.sort_unstable_by_key(|w| pos[w.index()]);
                 b
             })
             .collect();
-        Self { q, g, space, order, backward, recursions: 0 }
+        let scratch = vec![Vec::new(); seq.len()];
+        Self {
+            q,
+            g,
+            space,
+            order,
+            backward,
+            kernel,
+            scratch,
+            bw_order: Vec::new(),
+            stats: MatchingStats::default(),
+        }
     }
 
     /// Finds the first embedding, if any.
@@ -70,12 +109,16 @@ impl<'a> Enumerator<'a> {
 
     /// Enumerates embeddings up to `limit`, invoking `on_match` for each.
     /// Returns the number found.
+    ///
+    /// Kernel counters of the run are flushed into the deadline's
+    /// [`StatsSink`](crate::StatsSink) (if any), even when the run times out.
     pub fn run(
         &mut self,
         limit: u64,
         deadline: Deadline,
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
+        self.stats = MatchingStats::default();
         let n = self.q.vertex_count();
         if n == 0 {
             return Ok(0);
@@ -90,14 +133,21 @@ impl<'a> Enumerator<'a> {
             limit,
             ticker: TickChecker::new(),
         };
-        self.recursions = 0;
-        self.descend(0, &mut state, deadline, on_match)?;
+        let result = self.descend(0, &mut state, deadline, on_match);
+        self.stats.embeddings = state.found;
+        deadline.stats().record(&self.stats.kernel());
+        result?;
         Ok(state.found)
     }
 
     /// Backtracking calls performed by the last `run`/`find_first`.
     pub fn recursions(&self) -> u64 {
-        self.recursions
+        self.stats.recursions
+    }
+
+    /// Counters of the last `run`/`find_first`.
+    pub fn stats(&self) -> MatchingStats {
+        self.stats
     }
 
     fn descend(
@@ -107,85 +157,153 @@ impl<'a> Enumerator<'a> {
         deadline: Deadline,
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<(), Timeout> {
-        self.recursions += 1;
-        state.ticker.tick(deadline)?;
+        self.stats.recursions += 1;
         let u = self.order.as_slice()[depth];
-        let backward = &self.backward[depth];
-
-        // Candidate iteration: pivot on the mapped neighbor with the smallest
-        // label-restricted adjacency when available. Index loops (not
-        // iterators) because `try_extend` needs `&mut self` per candidate;
-        // cloning the slice here would allocate in the hottest path.
-        #[allow(clippy::needless_range_loop)]
-        if backward.is_empty() {
-            let len = self.space.set(u).len();
-            for i in 0..len {
-                let v = self.space.set(u)[i];
-                self.try_extend(depth, u, v, state, deadline, on_match)?;
-                if state.found >= state.limit {
-                    return Ok(());
-                }
-            }
-        } else {
-            let label = self.q.label(u);
-            let pivot = backward
-                .iter()
-                .copied()
-                .min_by_key(|w| self.g.neighbors_with_label(state.mapping[w.index()], label).len())
-                .expect("non-empty backward set");
-            let pv = state.mapping[pivot.index()];
-            // Hoist the label-run bounds: the subslice is re-derived by
-            // offset inside the loop to satisfy the borrow checker without
-            // re-searching.
-            let full = self.g.neighbors(pv);
-            let start = full.partition_point(|&w| self.g.label(w) < label);
-            let len = full[start..].partition_point(|&w| self.g.label(w) == label);
-            for i in 0..len {
-                let v = self.g.neighbors(pv)[start + i];
-                if !self.space.contains(u, v) {
-                    continue;
-                }
-                self.try_extend(depth, u, v, state, deadline, on_match)?;
-                if state.found >= state.limit {
-                    return Ok(());
-                }
-            }
-        }
-        Ok(())
+        // Take this depth's scratch buffer out of `self` so candidate
+        // collection and the extension loop below can borrow `self` freely;
+        // it is returned before unwinding the recursion, so each buffer is
+        // reused (no allocation in the steady state).
+        let mut buf = std::mem::take(&mut self.scratch[depth]);
+        buf.clear();
+        self.collect_candidates(depth, u, &mut buf, &state.mapping);
+        let result = self.extend(depth, u, &buf, state, deadline, on_match);
+        self.scratch[depth] = buf;
+        result
     }
 
-    #[inline]
-    fn try_extend(
+    /// Computes the local candidate set for `order[depth]` into `buf`.
+    ///
+    /// With an intersection kernel the buffer ends up holding exactly the
+    /// feasible candidates (`Φ(u)` ∩ all backward adjacencies); with
+    /// [`KernelConfig::Baseline`] it holds the smallest backward adjacency
+    /// and the per-candidate checks happen in [`extend`](Self::extend).
+    fn collect_candidates(
         &mut self,
         depth: usize,
         u: VertexId,
-        v: VertexId,
+        buf: &mut Vec<VertexId>,
+        mapping: &[VertexId],
+    ) {
+        let g = self.g;
+        let space = self.space;
+        let backward = &self.backward[depth];
+        if backward.is_empty() {
+            // Root of the order (or of a new component): every Φ(u) member.
+            buf.extend_from_slice(space.set(u));
+            return;
+        }
+        let label = self.q.label(u);
+        if self.kernel == KernelConfig::Baseline {
+            let pivot = backward
+                .iter()
+                .copied()
+                .min_by_key(|w| g.neighbors_with_label(mapping[w.index()], label).len())
+                .unwrap_or(backward[0]);
+            buf.extend_from_slice(g.neighbors_with_label(mapping[pivot.index()], label));
+            return;
+        }
+
+        // Order the backward adjacencies by length, smallest first.
+        self.bw_order.clear();
+        for (bi, &w) in backward.iter().enumerate() {
+            self.bw_order.push((g.neighbors_with_label(mapping[w.index()], label).len(), bi));
+        }
+        self.bw_order.sort_unstable();
+
+        // Seed from the smallest adjacency, filtered by the Φ(u) bitmap.
+        let (_, bi0) = self.bw_order[0];
+        let seed = g.neighbors_with_label(mapping[backward[bi0].index()], label);
+        self.stats.bitmap_probes += seed.len() as u64;
+        for &v in seed {
+            if space.contains(u, v) {
+                buf.push(v);
+            }
+        }
+
+        // Intersect the remaining adjacencies, ascending by length, with
+        // early exit once the accumulator empties.
+        let hubs = if self.kernel == KernelConfig::Auto { Some(g.hub_bitmaps()) } else { None };
+        for k in 1..self.bw_order.len() {
+            if buf.is_empty() {
+                return;
+            }
+            let (_, bi) = self.bw_order[k];
+            let w = mapping[backward[bi].index()];
+            let adj = g.neighbors_with_label(w, label);
+            self.stats.intersections += 1;
+            match self.kernel {
+                KernelConfig::Merge => intersect::retain_merge(buf, adj),
+                KernelConfig::Gallop => {
+                    intersect::retain_gallop(buf, adj);
+                    self.stats.gallop_hits += 1;
+                }
+                // Auto (Baseline returned above): hub bitmap when the probed
+                // vertex has a row — every buffered candidate carries label
+                // L(u), so full-adjacency membership equals label-restricted
+                // membership — otherwise adaptive merge/gallop.
+                _ => {
+                    if let Some((h, row)) = hubs.and_then(|h| h.row(w).map(|r| (h, r))) {
+                        self.stats.bitmap_probes += buf.len() as u64;
+                        buf.retain(|&v| h.contains(row, v));
+                    } else if intersect::retain_adaptive(buf, adj) {
+                        self.stats.gallop_hits += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tries every candidate in `buf` at `depth`: exactly one deadline tick
+    /// per extension attempt.
+    fn extend(
+        &mut self,
+        depth: usize,
+        u: VertexId,
+        buf: &[VertexId],
         state: &mut SearchState,
         deadline: Deadline,
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<(), Timeout> {
-        state.ticker.tick(deadline)?;
-        if state.used[v.index()] {
-            return Ok(());
-        }
-        // All earlier-mapped neighbors must be adjacent to v.
-        for &w in &self.backward[depth] {
-            if !self.g.has_edge(v, state.mapping[w.index()]) {
+        // With an intersection kernel the buffer is already feasible; the
+        // baseline path re-checks Φ(u) membership (binary search) and
+        // backward adjacency per candidate, as the pre-kernel code did.
+        let verify = self.kernel == KernelConfig::Baseline && !self.backward[depth].is_empty();
+        for &v in buf {
+            state.ticker.tick(deadline)?;
+            if state.used[v.index()] {
+                continue;
+            }
+            if verify {
+                if !self.space.contains_search(u, v) {
+                    continue;
+                }
+                let mut feasible = true;
+                for &w in &self.backward[depth] {
+                    if !self.g.has_edge(v, state.mapping[w.index()]) {
+                        feasible = false;
+                        break;
+                    }
+                }
+                if !feasible {
+                    continue;
+                }
+            }
+            state.mapping[u.index()] = v;
+            if depth + 1 == self.q.vertex_count() {
+                state.found += 1;
+                let e = Embedding::new(state.mapping.clone());
+                debug_assert!(e.is_valid(self.q, self.g));
+                on_match(&e);
+            } else {
+                state.used[v.index()] = true;
+                self.descend(depth + 1, state, deadline, on_match)?;
+                state.used[v.index()] = false;
+            }
+            state.mapping[u.index()] = VertexId(u32::MAX);
+            if state.found >= state.limit {
                 return Ok(());
             }
         }
-        state.mapping[u.index()] = v;
-        if depth + 1 == self.q.vertex_count() {
-            state.found += 1;
-            let e = Embedding::new(state.mapping.clone());
-            debug_assert!(e.is_valid(self.q, self.g));
-            on_match(&e);
-        } else {
-            state.used[v.index()] = true;
-            self.descend(depth + 1, state, deadline, on_match)?;
-            state.used[v.index()] = false;
-        }
-        state.mapping[u.index()] = VertexId(u32::MAX);
         Ok(())
     }
 }
@@ -202,6 +320,7 @@ struct SearchState {
 mod tests {
     use super::*;
     use crate::brute;
+    use crate::deadline::{ResourceGuard, ResourceLimits, StatsSink};
     use sqp_graph::{GraphBuilder, Label};
 
     fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
@@ -232,10 +351,13 @@ mod tests {
         let g = labeled(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
         let space = full_space(&q, &g);
         let order = id_order(&q);
-        let mut e = Enumerator::new(&q, &g, &space, &order);
-        // 3! = 6 automorphic embeddings.
-        assert_eq!(e.run(u64::MAX, Deadline::none(), &mut |_| {}).unwrap(), 6);
-        assert!(e.recursions() > 0);
+        for kernel in KernelConfig::ALL {
+            let mut e = Enumerator::with_kernel(&q, &g, &space, &order, kernel);
+            // 3! = 6 automorphic embeddings.
+            assert_eq!(e.run(u64::MAX, Deadline::none(), &mut |_| {}).unwrap(), 6, "{kernel}");
+            assert!(e.recursions() > 0);
+            assert_eq!(e.stats().embeddings, 6);
+        }
     }
 
     #[test]
@@ -270,16 +392,68 @@ mod tests {
             let g = brute::random_graph(&mut rng, 8, 12, 3);
             let q = brute::random_connected_query(&mut rng, &g, 3);
             let expected = brute::enumerate_all(&q, &g);
-            let space = full_space(&q, &g);
-            let order = id_order(&q);
-            let mut e = Enumerator::new(&q, &g, &space, &order);
-            let mut got = Vec::new();
-            e.run(u64::MAX, Deadline::none(), &mut |emb| got.push(emb.clone())).unwrap();
-            got.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
             let mut exp = expected.clone();
             exp.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
-            assert_eq!(got, exp);
+            let space = full_space(&q, &g);
+            let order = id_order(&q);
+            for kernel in KernelConfig::ALL {
+                let mut e = Enumerator::with_kernel(&q, &g, &space, &order, kernel);
+                let mut got = Vec::new();
+                e.run(u64::MAX, Deadline::none(), &mut |emb| got.push(emb.clone())).unwrap();
+                got.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
+                assert_eq!(got, exp, "kernel {kernel}");
+            }
         }
+    }
+
+    #[test]
+    fn kernels_agree_on_match_order_and_counters() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..10 {
+            let g = brute::random_graph(&mut rng, 20, 60, 2);
+            let q = brute::random_connected_query(&mut rng, &g, 4);
+            let space = full_space(&q, &g);
+            let order = id_order(&q);
+            // Unsorted outputs: kernels must agree on emission ORDER, not
+            // just the set, so find_first is kernel-invariant too.
+            let mut reference: Option<Vec<Embedding>> = None;
+            for kernel in KernelConfig::ALL {
+                let mut e = Enumerator::with_kernel(&q, &g, &space, &order, kernel);
+                let mut got = Vec::new();
+                e.run(u64::MAX, Deadline::none(), &mut |emb| got.push(emb.clone())).unwrap();
+                match &reference {
+                    None => reference = Some(got),
+                    Some(r) => assert_eq!(&got, r, "kernel {kernel} emission order"),
+                }
+                let stats = e.stats();
+                match kernel {
+                    KernelConfig::Baseline => {
+                        assert_eq!(stats.intersections, 0);
+                        assert_eq!(stats.bitmap_probes, 0);
+                    }
+                    KernelConfig::Gallop => assert_eq!(stats.gallop_hits, stats.intersections),
+                    KernelConfig::Merge => assert_eq!(stats.gallop_hits, 0),
+                    KernelConfig::Auto => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_flush_to_deadline_sink() {
+        let q = labeled(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        let g = labeled(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 3), (2, 3)]);
+        let space = full_space(&q, &g);
+        let order = id_order(&q);
+        let sink = StatsSink::new();
+        let d = Deadline::none().with_stats(sink);
+        let mut e = Enumerator::with_kernel(&q, &g, &space, &order, KernelConfig::Merge);
+        e.run(u64::MAX, d, &mut |_| {}).unwrap();
+        let snap = sink.snapshot();
+        assert_eq!(snap, e.stats().kernel());
+        assert!(snap.intersections > 0, "triangle query must intersect at depth 2");
     }
 
     #[test]
@@ -298,8 +472,77 @@ mod tests {
         };
         let space = full_space(&q, &g);
         let order = id_order(&q);
-        let mut e = Enumerator::new(&q, &g, &space, &order);
-        let d = Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1));
-        assert_eq!(e.run(u64::MAX, d, &mut |_| {}), Err(Timeout));
+        for kernel in KernelConfig::ALL {
+            let mut e = Enumerator::with_kernel(&q, &g, &space, &order, kernel);
+            let d = Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1));
+            assert_eq!(e.run(u64::MAX, d, &mut |_| {}), Err(Timeout), "kernel {kernel}");
+        }
+    }
+
+    #[test]
+    fn single_tick_per_extension() {
+        // Path query P_32 on cycle C_64, one label. Extension attempts:
+        // 64 at depth 0, 128 at depth 1, then 2·64 branches × 2 attempts for
+        // each of the 30 remaining depths = 64 + 128 + 7,680 = 7,872 ticks —
+        // under two tick intervals (8,192), so a max_steps budget of 4,096
+        // (which trips strictly *after* 8,192 charged ticks) completes.
+        // The former double tick added one tick per descend call
+        // (1 + 64 + 128·30 = 3,905 more, 11,777 total) and would have
+        // tripped that budget. One tick per extension attempt is the
+        // contract; this pins it for every kernel.
+        let m: u32 = 64; // cycle length
+        let k: u32 = 32; // query path length
+        let q = {
+            let labels = vec![0u32; k as usize];
+            let edges: Vec<(u32, u32)> = (0..k - 1).map(|i| (i, i + 1)).collect();
+            labeled(&labels, &edges)
+        };
+        let g = {
+            let labels = vec![0u32; m as usize];
+            let edges: Vec<(u32, u32)> = (0..m).map(|i| (i, (i + 1) % m)).collect();
+            labeled(&labels, &edges)
+        };
+        let space = full_space(&q, &g);
+        let order = id_order(&q);
+        for kernel in KernelConfig::ALL {
+            let guard = ResourceGuard::new();
+            guard.reset(ResourceLimits::unlimited().with_max_steps(4096));
+            let d = Deadline::none().with_guard(guard);
+            let mut e = Enumerator::with_kernel(&q, &g, &space, &order, kernel);
+            let found = e.run(u64::MAX, d, &mut |_| {});
+            // 2 directions × 64 starting vertices.
+            assert_eq!(found, Ok(2 * m as u64), "kernel {kernel} must fit the step budget");
+            assert!(guard.tripped().is_none(), "kernel {kernel}");
+        }
+    }
+
+    #[test]
+    fn hub_path_used_on_high_degree_graphs() {
+        // A graph with a >64-degree hub: the Auto kernel must route at least
+        // one intersection through the hub bitmap (probes beyond the seed).
+        let n: u32 = 80;
+        let mut labels = vec![9u32, 9]; // two hubs
+        labels.extend(std::iter::repeat_n(0u32, n as usize));
+        let mut edges = vec![(0u32, 1u32)];
+        for v in 0..n {
+            edges.push((0, v + 2));
+            edges.push((1, v + 2));
+        }
+        let g = labeled(&labels, &edges);
+        // Triangle query: hub, hub, leaf.
+        let q = labeled(&[9, 9, 0], &[(0, 1), (0, 2), (1, 2)]);
+        let space = full_space(&q, &g);
+        let order = id_order(&q);
+        let mut auto = Enumerator::with_kernel(&q, &g, &space, &order, KernelConfig::Auto);
+        let got = auto.run(u64::MAX, Deadline::none(), &mut |_| {}).unwrap();
+        let auto_stats = auto.stats();
+        let mut base = Enumerator::with_kernel(&q, &g, &space, &order, KernelConfig::Baseline);
+        assert_eq!(base.run(u64::MAX, Deadline::none(), &mut |_| {}).unwrap(), got);
+        assert!(got > 0);
+        assert!(
+            auto_stats.bitmap_probes > 0,
+            "hub-heavy graph must exercise bitmap probes: {auto_stats:?}"
+        );
+        assert!(g.hub_bitmaps_built().is_some(), "Auto kernel must have built the sidecar");
     }
 }

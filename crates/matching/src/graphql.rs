@@ -24,6 +24,7 @@ use sqp_graph::{Graph, VertexId};
 
 use crate::bipartite::{has_semi_perfect_matching, Bigraph, MatchingScratch};
 use crate::candidates::{CandidateSpace, FilterResult, MatchingOrder};
+use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
@@ -34,6 +35,8 @@ use crate::Matcher;
 pub struct GraphQl {
     /// Maximum pseudo-iso pruning sweeps (fixpoint may stop earlier).
     refine_rounds: usize,
+    /// Shared matcher configuration (enumeration kernel).
+    config: MatcherConfig,
 }
 
 impl Default for GraphQl {
@@ -41,7 +44,7 @@ impl Default for GraphQl {
         // Two sweeps of the bigraph pruning; matches the refinement level the
         // original evaluation uses and is where additional sweeps stop paying
         // off (see bench `ablation_pseudo_iso`).
-        Self { refine_rounds: 2 }
+        Self { refine_rounds: 2, config: MatcherConfig::default() }
     }
 }
 
@@ -53,7 +56,13 @@ impl GraphQl {
 
     /// GraphQL with a custom number of pruning sweeps (0 = profiles only).
     pub fn with_refine_rounds(refine_rounds: usize) -> Self {
-        Self { refine_rounds }
+        Self { refine_rounds, ..Self::default() }
+    }
+
+    /// This matcher with the given shared configuration.
+    pub fn with_matcher_config(mut self, config: MatcherConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Profile-based initial candidates; `None` once a set comes up empty.
@@ -196,7 +205,7 @@ impl Matcher for GraphQl {
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
         let order = Self::join_order(q, space);
-        Enumerator::new(q, g, space, &order).find_first(deadline)
+        Enumerator::with_kernel(q, g, space, &order, self.config.kernel).find_first(deadline)
     }
 
     fn enumerate(
@@ -209,7 +218,8 @@ impl Matcher for GraphQl {
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
         let order = Self::join_order(q, space);
-        Enumerator::new(q, g, space, &order).run(limit, deadline, on_match)
+        Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .run(limit, deadline, on_match)
     }
 }
 

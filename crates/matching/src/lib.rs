@@ -26,6 +26,7 @@ pub mod brute;
 pub mod candidates;
 pub mod cfl;
 pub mod cfql;
+pub mod config;
 pub mod deadline;
 pub mod embedding;
 pub mod enumerate;
@@ -38,10 +39,13 @@ pub mod ullmann;
 pub mod vf2;
 
 pub use candidates::{CandidateSpace, FilterResult};
-pub use deadline::{CancelToken, Deadline, ResourceGuard, ResourceKind, ResourceLimits, Timeout};
+pub use config::{KernelConfig, MatcherConfig};
+pub use deadline::{
+    CancelToken, Deadline, ResourceGuard, ResourceKind, ResourceLimits, StatsSink, Timeout,
+};
 pub use embedding::Embedding;
 pub use enumerate::Enumerator;
-pub use stats::MatchingStats;
+pub use stats::{KernelStats, MatchingStats};
 
 use sqp_graph::Graph;
 

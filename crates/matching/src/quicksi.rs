@@ -16,6 +16,7 @@ use sqp_graph::hash::FxHashMap;
 use sqp_graph::{Graph, Label, VertexId};
 
 use crate::candidates::{CandidateSpace, FilterResult, MatchingOrder};
+use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
@@ -23,12 +24,21 @@ use crate::Matcher;
 
 /// The QuickSI matcher.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct QuickSi;
+pub struct QuickSi {
+    /// Shared matcher configuration (enumeration kernel).
+    config: MatcherConfig,
+}
 
 impl QuickSi {
     /// A new QuickSI matcher.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// This matcher with the given shared configuration.
+    pub fn with_matcher_config(mut self, config: MatcherConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Frequencies of `(label, label)` edge patterns in `g` (unordered
@@ -120,7 +130,7 @@ impl Matcher for QuickSi {
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
         let order = Self::qi_sequence(q, g);
-        Enumerator::new(q, g, space, &order).find_first(deadline)
+        Enumerator::with_kernel(q, g, space, &order, self.config.kernel).find_first(deadline)
     }
 
     fn enumerate(
@@ -133,7 +143,8 @@ impl Matcher for QuickSi {
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
         let order = Self::qi_sequence(q, g);
-        Enumerator::new(q, g, space, &order).run(limit, deadline, on_match)
+        Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .run(limit, deadline, on_match)
     }
 }
 

@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 use sqp_graph::{Graph, Label, VertexId};
 
 use crate::candidates::{CandidateSpace, FilterResult};
+use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
@@ -29,11 +30,13 @@ use crate::Matcher;
 pub struct SPath {
     /// Signature radius `k` (the original defaults to small radii; 2 here).
     radius: usize,
+    /// Shared matcher configuration (enumeration kernel).
+    config: MatcherConfig,
 }
 
 impl Default for SPath {
     fn default() -> Self {
-        Self { radius: 2 }
+        Self { radius: 2, config: MatcherConfig::default() }
     }
 }
 
@@ -133,7 +136,13 @@ impl SPath {
     /// SPath with a custom signature radius (≥ 1).
     pub fn with_radius(radius: usize) -> Self {
         assert!(radius >= 1);
-        Self { radius }
+        Self { radius, ..Self::default() }
+    }
+
+    /// This matcher with the given shared configuration.
+    pub fn with_matcher_config(mut self, config: MatcherConfig) -> Self {
+        self.config = config;
+        self
     }
 }
 
@@ -176,7 +185,7 @@ impl Matcher for SPath {
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
         let order = GraphQl::join_order(q, space);
-        Enumerator::new(q, g, space, &order).find_first(deadline)
+        Enumerator::with_kernel(q, g, space, &order, self.config.kernel).find_first(deadline)
     }
 
     fn enumerate(
@@ -189,7 +198,8 @@ impl Matcher for SPath {
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
         let order = GraphQl::join_order(q, space);
-        Enumerator::new(q, g, space, &order).run(limit, deadline, on_match)
+        Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .run(limit, deadline, on_match)
     }
 }
 

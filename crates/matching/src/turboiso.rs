@@ -25,6 +25,7 @@ use sqp_graph::nlf::nlf_dominated;
 use sqp_graph::{Graph, VertexId};
 
 use crate::candidates::{CandidateSpace, FilterResult, MatchingOrder};
+use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
@@ -32,7 +33,10 @@ use crate::Matcher;
 
 /// The TurboIso matcher.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct TurboIso;
+pub struct TurboIso {
+    /// Shared matcher configuration (enumeration kernel).
+    config: MatcherConfig,
+}
 
 /// One candidate region: per-query-vertex candidate sets local to the
 /// neighborhood of a single start-vertex candidate.
@@ -43,7 +47,13 @@ struct Region {
 impl TurboIso {
     /// A new TurboIso matcher.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// This matcher with the given shared configuration.
+    pub fn with_matcher_config(mut self, config: MatcherConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Start-vertex selection: minimize `|C_ini(u)| / d(u)`.
@@ -171,7 +181,8 @@ impl TurboIso {
             let space = CandidateSpace::new(region.sets.clone());
             let order = Self::region_order(q, &tree, region);
             let remaining = limit - found;
-            found += Enumerator::new(q, g, &space, &order).run(remaining, deadline, on_match)?;
+            found += Enumerator::with_kernel(q, g, &space, &order, self.config.kernel)
+                .run(remaining, deadline, on_match)?;
             if found >= limit {
                 break;
             }

@@ -10,6 +10,7 @@
 use sqp_graph::{Graph, VertexId};
 
 use crate::candidates::{CandidateSpace, FilterResult, MatchingOrder};
+use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
@@ -17,12 +18,21 @@ use crate::Matcher;
 
 /// The Ullmann matcher.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct Ullmann;
+pub struct Ullmann {
+    /// Shared matcher configuration (enumeration kernel).
+    config: MatcherConfig,
+}
 
 impl Ullmann {
     /// A new Ullmann matcher.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// This matcher with the given shared configuration.
+    pub fn with_matcher_config(mut self, config: MatcherConfig) -> Self {
+        self.config = config;
+        self
     }
 
     fn refine(
@@ -96,7 +106,7 @@ impl Matcher for Ullmann {
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
         let order = MatchingOrder::new(q.vertices().collect());
-        Enumerator::new(q, g, space, &order).find_first(deadline)
+        Enumerator::with_kernel(q, g, space, &order, self.config.kernel).find_first(deadline)
     }
 
     fn enumerate(
@@ -109,7 +119,8 @@ impl Matcher for Ullmann {
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
         let order = MatchingOrder::new(q.vertices().collect());
-        Enumerator::new(q, g, space, &order).run(limit, deadline, on_match)
+        Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .run(limit, deadline, on_match)
     }
 }
 

@@ -28,6 +28,12 @@ echo "==> chaos suite (fixed seeds, 1/2/4/8 threads; breaker lifecycle, drain, s
 # and the serving-determinism property.
 PROPTEST_CASES=32 cargo test -q --offline --test chaos
 
+echo "==> kernel equivalence (all kernels x 1/2/4/8 threads, bitmap memory accounting)"
+PROPTEST_CASES=16 cargo test -q --offline --test kernel_equivalence
+
+echo "==> enumeration-kernel bench smoke (writes results/BENCH_kernels.json)"
+SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench enumeration
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

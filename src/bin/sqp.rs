@@ -7,6 +7,7 @@
 //! sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
 //! sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
 //!              [--threads N] [--retries N] [--max-steps N]
+//!              [--kernel auto|merge|gallop|baseline]
 //!              [--max-inflight N] [--shed] [--breaker-threshold N]
 //!              [--breaker-cooldown N] [--chaos-panics PM] [--chaos-seed N]
 //!              [--drain-after-ms N]
@@ -28,7 +29,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use subgraph_query::core::collection::CollectionMatcher;
-use subgraph_query::core::engines::{engine_by_name, matcher_by_name};
+use subgraph_query::core::engines::{engine_by_name_with, matcher_by_name_with};
 use subgraph_query::core::prelude::*;
 use subgraph_query::datagen::graphgen::GraphGenConfig;
 use subgraph_query::datagen::profiles;
@@ -41,6 +42,7 @@ use subgraph_query::index::{
     PathTrieIndex,
 };
 use subgraph_query::matching::cfql::Cfql;
+use subgraph_query::matching::{KernelConfig, MatcherConfig};
 
 const HELP: &str = "\
 sqp — subgraph query processing toolkit
@@ -52,6 +54,7 @@ USAGE:
   sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
   sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
                [--threads N] [--retries N] [--max-steps N]
+               [--kernel auto|merge|gallop|baseline]
   sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
   sqp match    --db <file> --queries <file> [--limit N]
   sqp index    --db <file> --kind <grapes|ggsx|ct-index>
@@ -63,6 +66,8 @@ Engines: CT-Index Grapes GGSX CFL GraphQL CFQL vcGrapes vcGGSX
 --retries N retries queries that panic inside the engine up to N times
 --max-steps N bounds enumeration steps per query (0 = unlimited); a blown
 budget is reported as EXHAUSTED, not as a timeout
+--kernel picks the enumeration intersection kernel (default auto: adaptive
+merge/gallop with hub bitmaps; baseline = pre-kernel per-candidate probing)
 
 Service mode (any of the flags below turns it on for `query`): the set is
 submitted as one burst to an admission-controlled service with per-graph
@@ -241,6 +246,11 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
     let threads: usize = opts.parse_num("threads", 1usize)?;
     let retries: u32 = opts.parse_num("retries", 0u32)?;
     let max_steps: u64 = opts.parse_num("max-steps", 0u64)?;
+    let kernel = match opts.get("kernel") {
+        None => KernelConfig::default(),
+        Some(v) => v.parse::<KernelConfig>()?,
+    };
+    let matcher_config = MatcherConfig::with_kernel(kernel);
     let mut config = RunnerConfig::with_budget(Duration::from_millis(budget_ms));
     config.max_retries = retries;
     if max_steps > 0 {
@@ -253,17 +263,17 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
             .any(|f| opts.get(f).is_some());
 
     let report = if service_mode {
-        run_service_query(opts, &db, &queries, engine_name, config, threads)?
+        run_service_query(opts, &db, &queries, engine_name, matcher_config, config, threads)?
     } else if threads > 1 {
-        let matcher = matcher_by_name(engine_name).ok_or_else(|| {
+        let matcher = matcher_by_name_with(engine_name, matcher_config).ok_or_else(|| {
             format!("--threads requires a vcFV engine (matcher); '{engine_name}' is not one")
         })?;
         let pool = QueryPool::new(threads);
         eprintln!("engine {engine_name} on {} pooled workers", pool.threads());
         run_query_set_parallel(&pool, matcher, &db, engine_name, "cli", &queries, config)
     } else {
-        let mut engine =
-            engine_by_name(engine_name).ok_or_else(|| format!("unknown engine '{engine_name}'"))?;
+        let mut engine = engine_by_name_with(engine_name, matcher_config)
+            .ok_or_else(|| format!("unknown engine '{engine_name}'"))?;
         let t0 = Instant::now();
         engine.build(&db).map_err(|e| format!("index construction failed: {e}"))?;
         let build = t0.elapsed();
@@ -291,6 +301,11 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         report.panic_count(),
         report.exhausted_count(),
         report.total_retries(),
+    );
+    let k = report.kernel_totals();
+    println!(
+        "-- kernel {kernel} | intersections {} | gallop-hits {} | bitmap-probes {}",
+        k.intersections, k.gallop_hits, k.bitmap_probes,
     );
     // Timeouts alone are an expected outcome of a tight budget; panics,
     // exhausted budgets, shed admissions, and quarantined graphs all mean
@@ -338,15 +353,17 @@ fn drain_requested() -> bool {
 /// the whole set is submitted as one burst (so `--max-inflight` and
 /// `--shed` actually shed), then tickets are awaited with the drain
 /// triggers armed (SIGINT, `--drain-after-ms`).
+#[allow(clippy::too_many_arguments)]
 fn run_service_query(
     opts: &Opts,
     db: &Arc<GraphDb>,
     queries: &[subgraph_query::graph::Graph],
     engine_name: &str,
+    matcher_config: MatcherConfig,
     runner: RunnerConfig,
     threads: usize,
 ) -> Result<QuerySetReport, String> {
-    let matcher = matcher_by_name(engine_name).ok_or_else(|| {
+    let matcher = matcher_by_name_with(engine_name, matcher_config).ok_or_else(|| {
         format!("service mode requires a vcFV engine (matcher); '{engine_name}' is not one")
     })?;
     let chaos_panics: u32 = opts.parse_num("chaos-panics", 0u32)?;
@@ -439,6 +456,11 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
     let f = File::open(qpath).map_err(|e| format!("cannot open {qpath}: {e}"))?;
     let queries = io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
     let budget_ms: u64 = opts.parse_num("budget-ms", 600_000u64)?;
+    let kernel = match opts.get("kernel") {
+        None => KernelConfig::default(),
+        Some(v) => v.parse::<KernelConfig>()?,
+    };
+    let matcher_config = MatcherConfig::with_kernel(kernel);
     let names: Vec<String> = opts
         .get("engines")
         .unwrap_or("Grapes,GGSX,CFQL,vcGrapes")
@@ -451,7 +473,8 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         "engine", "build(s)", "query(ms)", "precision", "per-SI(ms)", "|C(q)|", "timeouts"
     );
     for name in &names {
-        let mut engine = engine_by_name(name).ok_or_else(|| format!("unknown engine '{name}'"))?;
+        let mut engine = engine_by_name_with(name, matcher_config)
+            .ok_or_else(|| format!("unknown engine '{name}'"))?;
         let t0 = Instant::now();
         let build = match engine.build(&db) {
             Ok(_) => t0.elapsed(),

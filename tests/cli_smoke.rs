@@ -90,6 +90,41 @@ fn full_cli_workflow() {
     assert_eq!(answers("CFQL"), answers("Grapes"));
     assert_eq!(answers("CFQL"), answers("TurboIso"));
 
+    // kernel knob: answers are kernel-invariant and the summary line shows
+    // the kernel counters
+    let kernel_run = |kernel: &str| -> (Vec<String>, String) {
+        let out = sqp(&[
+            "query",
+            "--db",
+            &db,
+            "--queries",
+            &queries,
+            "--engine",
+            "CFQL",
+            "--kernel",
+            kernel,
+        ]);
+        assert!(out.status.success(), "kernel {kernel}: {}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        let answers = text
+            .lines()
+            .filter(|l| l.starts_with("query "))
+            .map(|l| l.split("candidates").next().unwrap().trim().to_string())
+            .collect();
+        (answers, text)
+    };
+    let (base_answers, base_text) = kernel_run("baseline");
+    assert!(base_text.contains("kernel baseline"), "{base_text}");
+    for kernel in ["auto", "merge", "gallop"] {
+        let (a, text) = kernel_run(kernel);
+        assert_eq!(a, base_answers, "kernel {kernel} changed answers");
+        assert!(text.contains(&format!("kernel {kernel}")), "{text}");
+        assert!(text.contains("intersections"), "{text}");
+    }
+    let out = sqp(&["query", "--db", &db, "--queries", &queries, "--kernel", "bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown kernel"));
+
     // compare
     let out = sqp(&["compare", "--db", &db, "--queries", &queries, "--engines", "Grapes,CFQL"]);
     assert!(out.status.success());

@@ -1,0 +1,254 @@
+//! Kernel-equivalence properties (DESIGN.md "Enumeration kernels"):
+//!
+//! * every intersection kernel (baseline pivot scan, merge, gallop, and the
+//!   adaptive `auto`) produces the identical sorted embedding set and the
+//!   identical answer set / `QueryStatus` at 1, 2, 4 and 8 threads;
+//! * the adaptive kernel actually takes the hub-bitmap and galloping paths
+//!   on the workloads built to trigger them (the counters prove it);
+//! * the candidate-membership bitmaps are charged to the auxiliary-memory
+//!   budget — a budget between the sets-only footprint and the full
+//!   `heap_size()` trips `ResourceExhausted { kind: Memory }`.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use subgraph_query::core::engines::GraphQlEngine;
+use subgraph_query::core::parallel::QueryPool;
+use subgraph_query::core::{QueryEngine, QueryStatus};
+use subgraph_query::graph::{Graph, GraphBuilder, GraphDb, HeapSize, Label, VertexId};
+use subgraph_query::matching::cfql::Cfql;
+use subgraph_query::matching::graphql::GraphQl;
+use subgraph_query::matching::{
+    brute, Deadline, FilterResult, KernelConfig, Matcher, MatcherConfig, ResourceGuard,
+    ResourceKind, ResourceLimits,
+};
+
+/// Strategy: a random labeled graph with `n` vertices and up to `m` edges.
+fn arb_graph(max_v: usize, max_e: usize, labels: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_v).prop_flat_map(move |n| {
+        let vertex_labels = proptest::collection::vec(0..labels, n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..=max_e);
+        (vertex_labels, edges).prop_map(move |(ls, es)| {
+            let mut b = GraphBuilder::new();
+            for l in ls {
+                b.add_vertex(Label(l));
+            }
+            for (u, v) in es {
+                if u != v {
+                    let _ = b.add_edge(VertexId::from(u), VertexId::from(v));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a `(data graph, connected query carved from it)` pair.
+fn arb_pair() -> impl Strategy<Value = (Graph, Graph)> {
+    (arb_graph(10, 20, 3), any::<u64>()).prop_map(|(g, seed)| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = brute::random_connected_query(&mut rng, &g, 4);
+        (g, q)
+    })
+}
+
+/// Strategy: a database of random graphs plus a query carved from one.
+fn arb_db_and_query() -> impl Strategy<Value = (Arc<GraphDb>, Graph)> {
+    (proptest::collection::vec(arb_graph(8, 14, 3), 1..8), any::<u64>()).prop_map(
+        |(graphs, seed)| {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let host = graphs[(seed % graphs.len() as u64) as usize].clone();
+            let q = brute::random_connected_query(&mut rng, &host, 3);
+            (Arc::new(GraphDb::from_graphs(graphs)), q)
+        },
+    )
+}
+
+/// The sorted embedding set a GraphQL matcher configured with `kernel`
+/// produces on `(q, g)`.
+fn embeddings_with(kernel: KernelConfig, q: &Graph, g: &Graph) -> Vec<Vec<VertexId>> {
+    let m = GraphQl::new().with_matcher_config(MatcherConfig::with_kernel(kernel));
+    let mut out = Vec::new();
+    match m.filter(q, g, Deadline::none()).unwrap() {
+        FilterResult::Pruned => {}
+        FilterResult::Space(space) => {
+            m.enumerate(q, g, &space, u64::MAX, Deadline::none(), &mut |e| {
+                out.push(e.as_slice().to_vec());
+            })
+            .unwrap();
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A hub-heavy single-graph database: one high-degree center over several
+/// label classes, so enumeration crosses the hub-bitmap degree threshold
+/// and produces highly skewed candidate-list sizes (the galloping regime).
+fn hub_db() -> (Arc<GraphDb>, Graph) {
+    let mut b = GraphBuilder::new();
+    b.add_vertex(Label(0)); // hub
+    for v in 1..=160u32 {
+        b.add_vertex(Label(1 + v % 2));
+        let _ = b.add_edge(VertexId(0), VertexId(v));
+    }
+    // A sparse ring among the spokes so queries need real intersections.
+    for v in 1..=160u32 {
+        let w = if v == 160 { 1 } else { v + 1 };
+        let _ = b.add_edge(VertexId(v), VertexId(w));
+    }
+    let g = b.build();
+
+    let mut qb = GraphBuilder::new();
+    qb.add_vertex(Label(0));
+    qb.add_vertex(Label(1));
+    qb.add_vertex(Label(2));
+    let _ = qb.add_edge(VertexId(0), VertexId(1));
+    let _ = qb.add_edge(VertexId(0), VertexId(2));
+    let _ = qb.add_edge(VertexId(1), VertexId(2));
+    (Arc::new(GraphDb::from_graphs(vec![g])), qb.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Embedding-level equivalence: merge, gallop and auto each produce the
+    /// byte-identical sorted embedding set the baseline pivot scan does.
+    #[test]
+    fn kernels_produce_identical_embeddings((g, q) in arb_pair()) {
+        let baseline = embeddings_with(KernelConfig::Baseline, &q, &g);
+        for kernel in [KernelConfig::Merge, KernelConfig::Gallop, KernelConfig::Auto] {
+            let got = embeddings_with(kernel, &q, &g);
+            prop_assert_eq!(&got, &baseline, "kernel {} diverged", kernel);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Database-level equivalence: every kernel returns the identical answer
+    /// set and `QueryStatus` at 1, 2, 4 and 8 threads.
+    #[test]
+    fn kernels_agree_across_thread_counts((db, q) in arb_db_and_query()) {
+        let baseline = {
+            let pool = QueryPool::new(1);
+            let m = Cfql::new().with_matcher_config(
+                MatcherConfig::with_kernel(KernelConfig::Baseline));
+            pool.query(Arc::new(m), &db, &q, Deadline::none()).outcome
+        };
+        prop_assert_eq!(baseline.status, QueryStatus::Completed);
+
+        for kernel in KernelConfig::ALL {
+            for threads in [1usize, 2, 4, 8] {
+                let pool = QueryPool::new(threads);
+                let m = Cfql::new().with_matcher_config(MatcherConfig::with_kernel(kernel));
+                let got = pool.query(Arc::new(m), &db, &q, Deadline::none()).outcome;
+                prop_assert_eq!(
+                    &got.answers, &baseline.answers,
+                    "kernel {} at {} threads: answer mismatch", kernel, threads
+                );
+                prop_assert_eq!(
+                    got.status, baseline.status,
+                    "kernel {} at {} threads: status mismatch", kernel, threads
+                );
+            }
+        }
+    }
+}
+
+/// The adaptive kernel actually exercises its fast paths on a hub-heavy
+/// graph: intersections run, galloping fires on the skewed lists, and the
+/// hub bitmap answers membership probes. Baseline keeps all counters at
+/// zero. Also checks the engine-level sink plumbing end to end.
+#[test]
+fn auto_kernel_reports_fast_path_counters() {
+    let (db, q) = hub_db();
+
+    let mut auto_engine =
+        GraphQlEngine::with_matcher_config(MatcherConfig::with_kernel(KernelConfig::Auto));
+    auto_engine.build(&db).unwrap();
+    let auto_out = auto_engine.query(&q);
+    assert_eq!(auto_out.status, QueryStatus::Completed);
+    assert!(auto_out.kernel.intersections > 0, "auto ran no intersections: {:?}", auto_out.kernel);
+    assert!(auto_out.kernel.bitmap_probes > 0, "auto never probed a hub bitmap");
+
+    // On this workload the hub bitmap absorbs the skewed intersections, so
+    // galloping is demonstrated with the forced kernel instead.
+    let mut gallop_engine =
+        GraphQlEngine::with_matcher_config(MatcherConfig::with_kernel(KernelConfig::Gallop));
+    gallop_engine.build(&db).unwrap();
+    let gallop_out = gallop_engine.query(&q);
+    assert_eq!(gallop_out.status, QueryStatus::Completed);
+    assert!(gallop_out.kernel.gallop_hits > 0, "forced gallop kernel never galloped");
+    assert_eq!(gallop_out.answers, auto_out.answers);
+
+    let mut base_engine =
+        GraphQlEngine::with_matcher_config(MatcherConfig::with_kernel(KernelConfig::Baseline));
+    base_engine.build(&db).unwrap();
+    let base_out = base_engine.query(&q);
+    assert_eq!(base_out.status, QueryStatus::Completed);
+    assert!(base_out.kernel.is_zero(), "baseline touched a kernel: {:?}", base_out.kernel);
+    assert_eq!(auto_out.answers, base_out.answers);
+}
+
+/// The pool's shared stats sink also surfaces kernel counters, at any
+/// thread count, and the totals are thread-count independent.
+#[test]
+fn pool_kernel_counters_are_thread_count_independent() {
+    let (db, q) = hub_db();
+    let mut totals = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let pool = QueryPool::new(threads);
+        let m = GraphQl::new().with_matcher_config(MatcherConfig::with_kernel(KernelConfig::Auto));
+        let out = pool.query(Arc::new(m), &db, &q, Deadline::none()).outcome;
+        assert_eq!(out.status, QueryStatus::Completed);
+        assert!(out.kernel.intersections > 0, "{threads} threads: no intersections");
+        totals.push(out.kernel);
+    }
+    assert_eq!(totals[0], totals[1]);
+    assert_eq!(totals[1], totals[2]);
+}
+
+/// Budget-exhaustion accounting: the candidate-membership bitmap is part of
+/// the candidate space's `heap_size()`, so a memory budget that sits between
+/// the sets-only footprint and the full footprint must trip `Memory` — and a
+/// budget covering the full footprint must not.
+#[test]
+fn bitmap_bytes_count_against_memory_budget() {
+    let (db, q) = hub_db();
+    let g = db.graph(subgraph_query::graph::database::GraphId(0));
+
+    // Reproduce the exact space the pool will build, to size the budget.
+    let matcher = Cfql::new();
+    let space = match matcher.filter(&q, g, Deadline::none()).unwrap() {
+        FilterResult::Space(space) => space,
+        FilterResult::Pruned => panic!("hub query must not prune"),
+    };
+    let full = space.heap_size();
+    let bitmap = space.bitmap_bytes();
+    assert!(bitmap > 0, "hub space must carry a membership bitmap");
+    assert!(full > bitmap, "heap_size must exceed the bitmap alone");
+
+    // One byte short of the full footprint: inside the window that only
+    // trips because bitmap bytes are accounted.
+    let pool = QueryPool::new(2);
+    let guard = ResourceGuard::new();
+    guard.reset(ResourceLimits::unlimited().with_max_aux_bytes(full - 1));
+    let r = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none().with_guard(guard));
+    assert_eq!(
+        r.outcome.status,
+        QueryStatus::ResourceExhausted { kind: ResourceKind::Memory },
+        "a sub-footprint budget must trip on bitmap bytes"
+    );
+
+    // The full footprint fits: no trip.
+    guard.reset(ResourceLimits::unlimited().with_max_aux_bytes(full));
+    let r = pool.query(Arc::new(Cfql::new()), &db, &q, Deadline::none().with_guard(guard));
+    assert_eq!(r.outcome.status, QueryStatus::Completed);
+}
