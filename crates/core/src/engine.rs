@@ -7,7 +7,7 @@ use std::time::Duration;
 use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb};
 use sqp_index::{BuildBudget, BuildError};
-use sqp_matching::{Deadline, KernelStats, ResourceKind, ResourceLimits};
+use sqp_matching::{Deadline, KernelStats, PhaseStats, ResourceKind, ResourceLimits};
 
 /// The paper's three algorithm categories (Table III).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -198,6 +198,11 @@ pub struct QueryOutcome {
     /// this query (all zeros for engines that never enter the shared
     /// enumerator, e.g. the VF2-based IFV engines).
     pub kernel: KernelStats,
+    /// Per-phase span durations and item counts accumulated across every
+    /// graph and worker of this query (see `sqp_matching::obs`). Durations
+    /// are nanoseconds under the production clock; all zeros when no stats
+    /// sink was attached.
+    pub phases: PhaseStats,
 }
 
 impl QueryOutcome {

@@ -17,6 +17,7 @@ use sqp_index::{
 use sqp_matching::cfl::Cfl;
 use sqp_matching::cfql::Cfql;
 use sqp_matching::graphql::GraphQl;
+use sqp_matching::obs::{Phase, Span};
 use sqp_matching::quicksi::QuickSi;
 use sqp_matching::spath::SPath;
 use sqp_matching::turboiso::TurboIso;
@@ -69,6 +70,7 @@ pub struct IfvFrame {
     query_budget: Option<Duration>,
     limits: ResourceLimits,
     guard: ResourceGuard,
+    stats: StatsSink,
     db: Option<Arc<GraphDb>>,
     index: Option<Box<dyn GraphIndex>>,
 }
@@ -84,6 +86,7 @@ impl IfvFrame {
             query_budget: None,
             limits: ResourceLimits::unlimited(),
             guard: ResourceGuard::new(),
+            stats: StatsSink::new(),
             db: None,
             index: None,
         }
@@ -94,10 +97,15 @@ impl IfvFrame {
         self.build_budget = budget;
     }
 
-    /// Re-arms the engine's resource guard and builds the per-query deadline.
+    /// Re-arms the engine's resource guard and phase-span sink, and builds
+    /// the per-query deadline.
     fn deadline(&self) -> Deadline {
         self.guard.reset(self.limits);
-        self.query_budget.map_or(Deadline::none(), Deadline::after).with_guard(self.guard)
+        self.stats.reset();
+        self.query_budget
+            .map_or(Deadline::none(), Deadline::after)
+            .with_guard(self.guard)
+            .with_stats(self.stats)
     }
 
     fn build_impl(&mut self, db: &Arc<GraphDb>) -> Result<BuildReport, BuildError> {
@@ -119,12 +127,21 @@ impl IfvFrame {
         let deadline = self.deadline();
 
         let t0 = Instant::now();
-        let candidates = index.candidates(q).into_ids(db.len());
+        let candidates = {
+            let mut span = Span::enter(Phase::Filter, deadline);
+            let candidates = index.candidates(q).into_ids(db.len());
+            span.add_items(candidates.len() as u64);
+            candidates
+        };
         let filter_time = t0.elapsed();
 
         let mut out =
             QueryOutcome { candidates: candidates.len(), filter_time, ..Default::default() };
         let t1 = Instant::now();
+        // Outer stage span: absorbs the panic-guard and dispatch overhead of
+        // the SI-test loop into the verify phase (the per-call spans inside
+        // `verify` subtract themselves via self-time accounting).
+        let stage_span = Span::enter(Phase::Verify, deadline);
         for gid in candidates {
             let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.verifier.verify(q, db.graph(gid), deadline)
@@ -139,8 +156,11 @@ impl IfvFrame {
                 }
             }
         }
+        drop(stage_span);
         out.verify_time = t1.elapsed();
         out.finalize();
+        out.kernel = self.stats.snapshot();
+        out.phases = self.stats.phase_snapshot();
         out
     }
 }
@@ -207,6 +227,7 @@ impl VcfvFrame {
         }
         out.finalize();
         out.kernel = self.stats.snapshot();
+        out.phases = self.stats.phase_snapshot();
         out
     }
 
@@ -270,6 +291,11 @@ impl IvcfvFrame {
         let index_time = t0.elapsed();
         let mut out = self.inner.query_over(q, &level1);
         out.filter_time += index_time;
+        // The index probe runs before the inner frame resets its sink, so
+        // its time is folded into the filter phase directly.
+        let f = Phase::Filter.index();
+        out.phases.nanos[f] = out.phases.nanos[f].saturating_add(index_time.as_nanos() as u64);
+        out.phases.items[f] = out.phases.items[f].saturating_add(level1.len() as u64);
         out
     }
 }

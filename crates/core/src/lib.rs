@@ -24,6 +24,7 @@ pub mod chaos;
 pub mod collection;
 pub mod engine;
 pub mod engines;
+pub mod exposition;
 pub mod metrics;
 pub mod parallel;
 pub mod runner;
@@ -37,7 +38,7 @@ pub use chaos::{
 pub use engine::{
     BuildReport, EngineCategory, GraphFailure, QueryEngine, QueryOutcome, QueryStatus,
 };
-pub use metrics::{QueryRecord, QuerySetReport, ServiceHealth};
+pub use metrics::{LatencyHistogram, QueryRecord, QuerySetReport, ServiceHealth};
 pub use parallel::{parallel_query, ParallelOutcome, QueryPool};
 pub use runner::{run_query_set, run_query_set_parallel, RunnerConfig};
 pub use service::{
@@ -61,7 +62,8 @@ pub mod prelude {
         GraphGrepEngine, GraphQlEngine, MatcherEngine, ParallelEngine, QuickSiEngine, SPathEngine,
         ServiceEngine, TurboIsoEngine, UllmannEngine, VcGgsxEngine, VcGrapesEngine,
     };
-    pub use crate::metrics::{QueryRecord, QuerySetReport, ServiceHealth};
+    pub use crate::exposition::render as render_prometheus;
+    pub use crate::metrics::{LatencyHistogram, QueryRecord, QuerySetReport, ServiceHealth};
     pub use crate::parallel::{parallel_query, ParallelOutcome, QueryPool};
     pub use crate::runner::{run_query_set, run_query_set_parallel, RunnerConfig};
     pub use crate::service::{

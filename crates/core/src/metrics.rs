@@ -1,11 +1,146 @@
 //! Query and query-set metrics (§IV-A of the paper), with the structured
-//! failure taxonomy rolled up per query set.
+//! failure taxonomy rolled up per query set, per-phase timing breakdowns,
+//! and fixed-bucket latency histograms.
 
 use std::time::Duration;
 
-use sqp_matching::KernelStats;
+use sqp_matching::{KernelStats, Phase, PhaseStats};
 
 use crate::engine::{GraphFailure, QueryOutcome, QueryStatus};
+
+/// Number of buckets in a [`LatencyHistogram`]: one zero bucket plus one per
+/// possible `u64` bit length.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 latency histogram with exact merge semantics.
+///
+/// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]` — i.e. values of bit length `i`. Because bucket
+/// boundaries are fixed (no adaptive resizing), merging two histograms is an
+/// element-wise count addition and loses nothing: `merge(a, b)` has exactly
+/// the bucket counts of the concatenated sample streams, which is what lets
+/// per-worker and per-engine histograms be combined after the fact.
+///
+/// Quantiles are resolved to the *upper edge* of the bucket containing the
+/// requested rank, so an estimate is always an upper bound within one
+/// power of two of the true order statistic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self { counts: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A histogram of every sample in `iter`.
+    pub fn from_samples(iter: impl IntoIterator<Item = u64>) -> Self {
+        let mut h = Self::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+
+    /// The bucket index holding `value` (its bit length).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `i` can hold.
+    pub fn upper_edge(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1..=63 => (1u64 << i) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Adds `other`'s samples into `self` (exact: element-wise bucket-count
+    /// addition).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for i in 0..HISTOGRAM_BUCKETS {
+            self.counts[i] = self.counts[i].saturating_add(other.counts[i]);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The per-bucket counts.
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// The upper bucket edge containing the `q`-quantile sample
+    /// (`0.0 < q <= 1.0`), or `None` for an empty histogram. Never panics:
+    /// out-of-range `q` is clamped.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the requested order statistic, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Some(Self::upper_edge(i));
+            }
+        }
+        // Unreachable while count == Σ counts; stay total anyway.
+        Some(Self::upper_edge(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Median upper bound (`None` when empty).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper bound (`None` when empty).
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper bound (`None` when empty).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+}
 
 /// One query's measurements.
 #[derive(Clone, Debug)]
@@ -29,6 +164,12 @@ pub struct QueryRecord {
     /// Enumeration-kernel counters (intersections, galloping passes, bitmap
     /// probes) accumulated across the query's matcher calls.
     pub kernel: KernelStats,
+    /// Per-phase wall time (nanoseconds) and item counts accumulated by the
+    /// tracing spans. Zeros when the query ran without a stats sink. Unlike
+    /// `filter_time`/`verify_time`, phase nanos are never rescaled on
+    /// timeout — they stay raw so histograms can exclude censored records
+    /// instead of mixing in synthetic values.
+    pub phases: PhaseStats,
 }
 
 impl Default for QueryRecord {
@@ -43,6 +184,7 @@ impl Default for QueryRecord {
             retries: 0,
             aux_bytes: 0,
             kernel: KernelStats::default(),
+            phases: PhaseStats::default(),
         }
     }
 }
@@ -85,6 +227,7 @@ impl QueryRecord {
             retries: 0,
             aux_bytes: outcome.aux_bytes,
             kernel: outcome.kernel,
+            phases: outcome.phases,
         }
     }
 
@@ -231,6 +374,60 @@ impl QuerySetReport {
     /// more than 40% of the queries; this implements that cutoff.
     pub fn should_omit(&self) -> bool {
         self.completion_rate() < 0.6
+    }
+
+    /// Whether a record's timings are censored: timed-out records are pinned
+    /// to exactly the budget by `QueryRecord::from_outcome` and shed records
+    /// never executed, so neither carries a real latency observation.
+    fn is_censored(r: &QueryRecord) -> bool {
+        r.status.is_timed_out() || r.status.is_shed()
+    }
+
+    /// Number of records excluded from the latency/phase histograms because
+    /// their timings are censored (pinned at the budget or never run). The
+    /// mean-based accessors (`avg_query_ms` &c.) still include pinned
+    /// timeouts, matching the paper's convention; the histograms do not.
+    pub fn censored_count(&self) -> usize {
+        self.records.iter().filter(|r| Self::is_censored(r)).count()
+    }
+
+    /// Histogram of end-to-end query latency (nanoseconds) over uncensored
+    /// records.
+    pub fn latency_histogram(&self) -> LatencyHistogram {
+        LatencyHistogram::from_samples(
+            self.records
+                .iter()
+                .filter(|r| !Self::is_censored(r))
+                .map(|r| r.query_time().as_nanos().min(u128::from(u64::MAX)) as u64),
+        )
+    }
+
+    /// Histogram of one phase's per-query time (nanoseconds) over uncensored
+    /// records.
+    pub fn phase_histogram(&self, phase: Phase) -> LatencyHistogram {
+        LatencyHistogram::from_samples(
+            self.records.iter().filter(|r| !Self::is_censored(r)).map(|r| r.phases.nanos_of(phase)),
+        )
+    }
+
+    /// Per-phase nanos and item counts summed over uncensored records (the
+    /// `compare --phases` table rows).
+    pub fn phase_totals(&self) -> PhaseStats {
+        let mut total = PhaseStats::default();
+        for r in self.records.iter().filter(|r| !Self::is_censored(r)) {
+            total.merge(&r.phases);
+        }
+        total
+    }
+
+    /// Total uncensored wall time in nanoseconds (denominator for checking
+    /// that the phase breakdown accounts for the measured wall time).
+    pub fn uncensored_wall_nanos(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| !Self::is_censored(r))
+            .map(|r| r.query_time().as_nanos().min(u128::from(u64::MAX)) as u64)
+            .fold(0u64, u64::saturating_add)
     }
 }
 
@@ -471,5 +668,92 @@ mod tests {
         assert_eq!(r.completion_rate(), 1.0);
         assert_eq!(r.total_retries(), 0);
         assert!(!r.should_omit());
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LatencyHistogram::upper_edge(0), 0);
+        assert_eq!(LatencyHistogram::upper_edge(1), 1);
+        assert_eq!(LatencyHistogram::upper_edge(2), 3);
+        assert_eq!(LatencyHistogram::upper_edge(64), u64::MAX);
+        // Every value lands in a bucket whose edge bounds it from above.
+        for v in [0u64, 1, 7, 8, 1023, 1024, 1 << 40, u64::MAX] {
+            assert!(v <= LatencyHistogram::upper_edge(LatencyHistogram::bucket_of(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = LatencyHistogram::from_samples([1u64, 2, 3, 100, 1000]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        // Median sample is 3 → bucket [2,3] → upper edge 3.
+        assert_eq!(h.p50(), Some(3));
+        // p99 rank = ceil(0.99 * 5) = 5 → the 1000 sample → bucket [512,1023].
+        assert_eq!(h.p99(), Some(1023));
+        assert!(h.quantile(0.0) == Some(1) || h.quantile(0.0) == Some(0));
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_none() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let xs = [0u64, 5, 9, 17, 300];
+        let ys = [2u64, 5, 1 << 20, u64::MAX];
+        let mut a = LatencyHistogram::from_samples(xs);
+        let b = LatencyHistogram::from_samples(ys);
+        a.merge(&b);
+        let both = LatencyHistogram::from_samples(xs.iter().chain(ys.iter()).copied());
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 9);
+    }
+
+    #[test]
+    fn censored_records_are_excluded_from_histograms() {
+        let mut r = QuerySetReport::new("X", "Q");
+        let mut good = record(1, 1, 1, 1);
+        good.phases.nanos[Phase::Filter.index()] = 500;
+        r.records.push(good);
+        let mut timed_out = with_status(QueryStatus::TimedOut);
+        timed_out.filter_time = Duration::from_secs(600); // pinned at budget
+        timed_out.phases.nanos[Phase::Filter.index()] = 9999;
+        r.records.push(timed_out);
+        r.records.push(with_status(QueryStatus::Shed));
+
+        assert_eq!(r.censored_count(), 2);
+        assert_eq!(r.latency_histogram().count(), 1);
+        assert_eq!(r.phase_histogram(Phase::Filter).count(), 1);
+        assert_eq!(r.phase_totals().nanos_of(Phase::Filter), 500);
+        assert_eq!(r.uncensored_wall_nanos(), 2_000_000);
+        // Means keep the paper's pin-at-budget convention.
+        assert!(r.avg_query_ms() > 1000.0);
+    }
+
+    #[test]
+    fn phase_totals_merge_across_records() {
+        let mut r = QuerySetReport::new("X", "Q");
+        for _ in 0..3 {
+            let mut rec = QueryRecord::default();
+            rec.phases.nanos[Phase::Enumerate.index()] = 10;
+            rec.phases.items[Phase::Enumerate.index()] = 2;
+            r.records.push(rec);
+        }
+        let t = r.phase_totals();
+        assert_eq!(t.nanos_of(Phase::Enumerate), 30);
+        assert_eq!(t.items_of(Phase::Enumerate), 6);
+        assert_eq!(t.total_nanos(), 30);
     }
 }

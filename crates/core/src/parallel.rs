@@ -46,6 +46,7 @@ use std::time::{Duration, Instant};
 
 use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb, HeapSize};
+use sqp_matching::obs::{Phase, Span};
 use sqp_matching::{CancelToken, Deadline, FilterResult, Matcher, StatsSink};
 
 use crate::engine::{QueryOutcome, QueryStatus};
@@ -97,9 +98,19 @@ pub(crate) fn process_graph(
     part: &mut QueryOutcome,
 ) -> bool {
     let g = db.graph(gid);
+    // The stage spans wrap the panic guard and dispatch so the per-phase sum
+    // accounts for the harness overhead too; nested matcher spans subtract
+    // their time from these outer spans (self-time accounting), so nothing
+    // is double-counted. When a sink is live the span's own clock reads
+    // double as the stage wall measurement — per pair, timing machinery is
+    // comparable to a pruned filter's work, so paying for a second timer
+    // would make the phase sum and the wall time drift apart.
+    let timed = deadline.stats().is_some();
     let tf = Instant::now();
+    let stage_span = Span::enter(Phase::Filter, deadline);
     let filtered = catch_unwind(AssertUnwindSafe(|| matcher.filter(q, g, deadline)));
-    part.filter_time += tf.elapsed();
+    let spanned = stage_span.finish();
+    part.filter_time += if timed { Duration::from_nanos(spanned) } else { tf.elapsed() };
     let filtered = match filtered {
         Ok(r) => r,
         Err(payload) => {
@@ -125,9 +136,11 @@ pub(crate) fn process_graph(
                 return false;
             }
             let tv = Instant::now();
+            let stage_span = Span::enter(Phase::Enumerate, deadline);
             let verdict =
                 catch_unwind(AssertUnwindSafe(|| matcher.find_first(q, g, &space, deadline)));
-            part.verify_time += tv.elapsed();
+            let spanned = stage_span.finish();
+            part.verify_time += if timed { Duration::from_nanos(spanned) } else { tv.elapsed() };
             match verdict {
                 Err(payload) => {
                     part.record_panic(gid, panic_message(payload));
@@ -442,6 +455,7 @@ impl QueryPool {
         // Workers recorded into the (shared, atomic) sink; one snapshot
         // covers every shard regardless of thread count.
         outcome.kernel = deadline.stats().snapshot();
+        outcome.phases = deadline.stats().phase_snapshot();
         ParallelOutcome { outcome, wall_time: t0.elapsed(), threads: threads.max(1) }
     }
 }
@@ -535,6 +549,7 @@ pub fn parallel_query(
 
     let mut merged = merge_parts(parts.into_inner().unwrap_or_else(PoisonError::into_inner));
     merged.kernel = deadline.stats().snapshot();
+    merged.phases = deadline.stats().phase_snapshot();
     ParallelOutcome { outcome: merged, wall_time: t0.elapsed(), threads }
 }
 

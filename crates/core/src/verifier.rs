@@ -1,6 +1,7 @@
 //! Verification strategies shared by the engines.
 
 use sqp_graph::Graph;
+use sqp_matching::obs::{Phase, Span};
 use sqp_matching::vf2::{Vf2, Vf2Ordering};
 use sqp_matching::{Deadline, Timeout};
 
@@ -24,6 +25,8 @@ impl Vf2Verifier {
 
     /// Whether `q ⊆ g`, within the deadline.
     pub fn verify(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<bool, Timeout> {
+        let mut span = Span::enter(Phase::Verify, deadline);
+        span.add_items(1);
         self.vf2.is_subgraph(q, g, deadline)
     }
 }

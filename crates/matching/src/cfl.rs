@@ -33,6 +33,7 @@ use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
+use crate::obs::{Phase, Span};
 use crate::Matcher;
 
 /// Which refinement passes run after top-down generation. All configurations
@@ -112,6 +113,7 @@ impl Cfl {
         deadline: Deadline,
     ) -> Result<Option<(CandidateSpace, BfsTree)>, Timeout> {
         let mut ticker = TickChecker::new();
+        let mut filter_span = Span::enter(Phase::Filter, deadline);
         let root = Self::choose_root(q, g);
 
         // Root candidates (label + degree + NLF) *before* building the BFS
@@ -236,7 +238,11 @@ impl Cfl {
             }
         }
 
+        filter_span.add_items(sets.iter().map(|s| s.len() as u64).sum());
+        drop(filter_span);
+
         // CPI materialization along tree edges.
+        let _build_span = Span::enter(Phase::BuildCandidates, deadline);
         let mut parent_of: Vec<Option<VertexId>> = vec![None; q.vertex_count()];
         let mut adj: Vec<Vec<Vec<VertexId>>> = vec![Vec::new(); q.vertex_count()];
         for u in q.vertices() {
@@ -378,9 +384,15 @@ impl Matcher for Cfl {
         space: &CandidateSpace,
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
-        let order = Self::path_order(q, space);
-        Enumerator::with_kernel(q, g, space, &order, self.matcher_config.kernel)
-            .find_first(deadline)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            Self::path_order(q, space)
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let first = Enumerator::with_kernel(q, g, space, &order, self.matcher_config.kernel)
+            .find_first(deadline)?;
+        span.add_items(first.is_some() as u64);
+        Ok(first)
     }
 
     fn enumerate(
@@ -392,9 +404,15 @@ impl Matcher for Cfl {
         deadline: Deadline,
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
-        let order = Self::path_order(q, space);
-        Enumerator::with_kernel(q, g, space, &order, self.matcher_config.kernel)
-            .run(limit, deadline, on_match)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            Self::path_order(q, space)
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let found = Enumerator::with_kernel(q, g, space, &order, self.matcher_config.kernel)
+            .run(limit, deadline, on_match)?;
+        span.add_items(found);
+        Ok(found)
     }
 }
 

@@ -16,6 +16,7 @@ use crate::deadline::{Deadline, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
 use crate::graphql::GraphQl;
+use crate::obs::{Phase, Span};
 use crate::Matcher;
 
 /// The CFQL matcher: CFL filter + GraphQL enumeration.
@@ -54,8 +55,15 @@ impl Matcher for Cfql {
         space: &CandidateSpace,
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
-        let order = GraphQl::join_order(q, space);
-        Enumerator::with_kernel(q, g, space, &order, self.config.kernel).find_first(deadline)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            GraphQl::join_order(q, space)
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let first = Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .find_first(deadline)?;
+        span.add_items(first.is_some() as u64);
+        Ok(first)
     }
 
     fn enumerate(
@@ -67,9 +75,15 @@ impl Matcher for Cfql {
         deadline: Deadline,
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
-        let order = GraphQl::join_order(q, space);
-        Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
-            .run(limit, deadline, on_match)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            GraphQl::join_order(q, space)
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let found = Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .run(limit, deadline, on_match)?;
+        span.add_items(found);
+        Ok(found)
     }
 }
 

@@ -22,6 +22,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::obs::{Phase, PhaseStats, PHASE_COUNT};
 use crate::stats::KernelStats;
 
 /// Error signaling that the per-query time budget was exhausted.
@@ -265,11 +266,45 @@ impl ResourceGuard {
     }
 }
 
-#[derive(Debug, Default)]
+/// Monotonic nanoseconds since the first call in this process — the
+/// production span clock.
+fn monotonic_nanos() -> u64 {
+    use std::sync::OnceLock;
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    let base = *BASE.get_or_init(Instant::now);
+    // ~584 years of u64 nanoseconds: the cast cannot truncate in practice.
+    base.elapsed().as_nanos() as u64
+}
+
+#[derive(Debug)]
 struct SinkState {
     intersections: AtomicU64,
     gallop_hits: AtomicU64,
     bitmap_probes: AtomicU64,
+    phase_nanos: [AtomicU64; PHASE_COUNT],
+    phase_items: [AtomicU64; PHASE_COUNT],
+    /// Span clock; immutable after construction so snapshots of the same
+    /// sink are always in one unit.
+    clock: fn() -> u64,
+}
+
+impl Default for SinkState {
+    fn default() -> Self {
+        Self::with_clock(monotonic_nanos)
+    }
+}
+
+impl SinkState {
+    fn with_clock(clock: fn() -> u64) -> Self {
+        Self {
+            intersections: AtomicU64::new(0),
+            gallop_hits: AtomicU64::new(0),
+            bitmap_probes: AtomicU64::new(0),
+            phase_nanos: Default::default(),
+            phase_items: Default::default(),
+            clock,
+        }
+    }
 }
 
 /// A shared accumulator for enumeration-kernel counters, carried inside
@@ -298,12 +333,58 @@ impl StatsSink {
         Self { state: Some(Box::leak(Box::new(SinkState::default()))) }
     }
 
-    /// Clears the counters for the next query.
+    /// A fresh sink whose spans read `clock` instead of the monotonic
+    /// nanosecond counter. Tests install a deterministic counter here so
+    /// phase durations are byte-stable across runs and thread counts.
+    pub fn with_clock(clock: fn() -> u64) -> Self {
+        Self { state: Some(Box::leak(Box::new(SinkState::with_clock(clock)))) }
+    }
+
+    /// Clears the counters for the next query. The clock is part of the
+    /// sink's identity and survives resets.
     pub fn reset(&self) {
         if let Some(s) = self.state {
             s.intersections.store(0, Ordering::Release);
             s.gallop_hits.store(0, Ordering::Release);
             s.bitmap_probes.store(0, Ordering::Release);
+            for p in 0..PHASE_COUNT {
+                s.phase_nanos[p].store(0, Ordering::Release);
+                s.phase_items[p].store(0, Ordering::Release);
+            }
+        }
+    }
+
+    /// The current reading of this sink's span clock (0 for the inert sink,
+    /// without touching any clock).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        match self.state {
+            Some(s) => (s.clock)(),
+            None => 0,
+        }
+    }
+
+    /// Adds one span's duration and item count to `phase`'s accumulators.
+    #[inline]
+    pub fn record_phase(&self, phase: Phase, nanos: u64, items: u64) {
+        if let Some(s) = self.state {
+            s.phase_nanos[phase.index()].fetch_add(nanos, Ordering::Relaxed);
+            s.phase_items[phase.index()].fetch_add(items, Ordering::Relaxed);
+        }
+    }
+
+    /// The per-phase accumulators since the last reset.
+    pub fn phase_snapshot(&self) -> PhaseStats {
+        match self.state {
+            Some(s) => {
+                let mut out = PhaseStats::default();
+                for p in 0..PHASE_COUNT {
+                    out.nanos[p] = s.phase_nanos[p].load(Ordering::Acquire);
+                    out.items[p] = s.phase_items[p].load(Ordering::Acquire);
+                }
+                out
+            }
+            None => PhaseStats::default(),
         }
     }
 
@@ -663,6 +744,28 @@ mod tests {
         assert!(!sink.is_some());
         sink.record(&KernelStats { intersections: 1, gallop_hits: 1, bitmap_probes: 1 });
         assert!(sink.snapshot().is_zero());
+        sink.record_phase(Phase::Filter, 10, 10);
+        assert!(sink.phase_snapshot().is_zero());
+        assert_eq!(sink.now(), 0);
+    }
+
+    #[test]
+    fn phase_counters_accumulate_and_reset() {
+        let sink = StatsSink::new();
+        sink.record_phase(Phase::Filter, 5, 2);
+        sink.record_phase(Phase::Filter, 7, 1);
+        sink.record_phase(Phase::Enumerate, 11, 4);
+        let snap = sink.phase_snapshot();
+        assert_eq!(snap.nanos_of(Phase::Filter), 12);
+        assert_eq!(snap.items_of(Phase::Filter), 3);
+        assert_eq!(snap.nanos_of(Phase::Enumerate), 11);
+        assert_eq!(snap.items_of(Phase::Enumerate), 4);
+        sink.reset();
+        assert!(sink.phase_snapshot().is_zero());
+        // The production clock is monotonic.
+        let a = sink.now();
+        let b = sink.now();
+        assert!(b >= a);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
+use crate::obs::{Phase, Span};
 use crate::Matcher;
 
 /// The GraphQL matcher.
@@ -171,6 +172,7 @@ impl Matcher for GraphQl {
 
     fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
         deadline.check()?;
+        let mut filter_span = Span::enter(Phase::Filter, deadline);
         let Some(mut sets) = self.initial_candidates(q, g) else {
             return Ok(FilterResult::Pruned);
         };
@@ -194,6 +196,9 @@ impl Matcher for GraphQl {
                 break;
             }
         }
+        filter_span.add_items(sets.iter().map(|s| s.len() as u64).sum());
+        drop(filter_span);
+        let _build_span = Span::enter(Phase::BuildCandidates, deadline);
         Ok(FilterResult::Space(CandidateSpace::new(sets)))
     }
 
@@ -204,8 +209,15 @@ impl Matcher for GraphQl {
         space: &CandidateSpace,
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
-        let order = Self::join_order(q, space);
-        Enumerator::with_kernel(q, g, space, &order, self.config.kernel).find_first(deadline)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            Self::join_order(q, space)
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let first = Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .find_first(deadline)?;
+        span.add_items(first.is_some() as u64);
+        Ok(first)
     }
 
     fn enumerate(
@@ -217,9 +229,15 @@ impl Matcher for GraphQl {
         deadline: Deadline,
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
-        let order = Self::join_order(q, space);
-        Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
-            .run(limit, deadline, on_match)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            Self::join_order(q, space)
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let found = Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .run(limit, deadline, on_match)?;
+        span.add_items(found);
+        Ok(found)
     }
 }
 

@@ -31,6 +31,7 @@ pub mod deadline;
 pub mod embedding;
 pub mod enumerate;
 pub mod graphql;
+pub mod obs;
 pub mod quicksi;
 pub mod spath;
 pub mod stats;
@@ -45,6 +46,7 @@ pub use deadline::{
 };
 pub use embedding::Embedding;
 pub use enumerate::Enumerator;
+pub use obs::{Phase, PhaseStats, Span, PHASE_COUNT};
 pub use stats::{KernelStats, MatchingStats};
 
 use sqp_graph::Graph;

@@ -1,0 +1,353 @@
+//! Phase-level observability: allocation-free spans for per-phase timings.
+//!
+//! Matching a query decomposes into the paper's phases — *filter* (candidate
+//! pruning), *build-candidates* (materializing the [`CandidateSpace`]/CPI),
+//! *order* (computing the matching order), *enumerate* (backtracking
+//! search), and *verify* (VF2 verification in the IFV engines). A [`Span`]
+//! measures one phase of one `(query, graph)` pair and flushes its duration
+//! and item count into the [`StatsSink`] riding on [`Deadline`] when it is
+//! dropped, so parallel workers of the same query aggregate lock-free
+//! through the sink's atomics.
+//!
+//! Spans are plain stack values: entering one performs at most a single
+//! clock read, dropping one performs a clock read plus five relaxed atomic
+//! adds, and a span over an inert sink does nothing at all — no allocation
+//! ever happens on the enumeration hot path.
+//!
+//! The clock is injectable per sink ([`StatsSink::with_clock`]): production
+//! sinks read a monotonic nanosecond counter, tests install a deterministic
+//! fake so phase durations are byte-stable across runs and thread counts
+//! (invariant I8 extended to phase timings).
+//!
+//! [`CandidateSpace`]: crate::candidates::CandidateSpace
+
+use crate::deadline::{Deadline, StatsSink};
+
+/// Number of observable phases.
+pub const PHASE_COUNT: usize = 5;
+
+/// One phase of query processing, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Candidate pruning: label/degree/NLF/profile filters, refinement
+    /// passes, region exploration, feature-index probes.
+    Filter,
+    /// Materializing the candidate space: CPI construction, membership
+    /// bitmaps, region-union assembly.
+    BuildCandidates,
+    /// Computing the matching order (join order, path order, QI-sequence).
+    Order,
+    /// Backtracking enumeration over the candidate space.
+    Enumerate,
+    /// Subgraph-isomorphism verification (VF2) in the IFV engines.
+    Verify,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; PHASE_COUNT] =
+        [Phase::Filter, Phase::BuildCandidates, Phase::Order, Phase::Enumerate, Phase::Verify];
+
+    /// This phase's index into [`PhaseStats`] arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The snake_case name used in reports and the Prometheus exposition.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Filter => "filter",
+            Phase::BuildCandidates => "build_candidates",
+            Phase::Order => "order",
+            Phase::Enumerate => "enumerate",
+            Phase::Verify => "verify",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Aggregated per-phase durations and item counts for one query.
+///
+/// `nanos[p]` is the summed wall time spent in phase `p` across every graph
+/// and worker; `items[p]` is the summed item count the spans reported
+/// (candidates surviving a filter, order length, embeddings enumerated,
+/// graphs verified).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Summed span durations per phase, in clock units (nanoseconds under
+    /// the production clock).
+    pub nanos: [u64; PHASE_COUNT],
+    /// Summed span item counts per phase.
+    pub items: [u64; PHASE_COUNT],
+}
+
+impl PhaseStats {
+    /// Adds `other` into `self`, saturating.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        for p in 0..PHASE_COUNT {
+            self.nanos[p] = self.nanos[p].saturating_add(other.nanos[p]);
+            self.items[p] = self.items[p].saturating_add(other.items[p]);
+        }
+    }
+
+    /// Summed duration across every phase.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().fold(0u64, |a, &n| a.saturating_add(n))
+    }
+
+    /// Duration recorded for `phase`.
+    #[inline]
+    pub fn nanos_of(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    /// Item count recorded for `phase`.
+    #[inline]
+    pub fn items_of(&self, phase: Phase) -> u64 {
+        self.items[phase.index()]
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_zero(&self) -> bool {
+        self.nanos.iter().all(|&n| n == 0) && self.items.iter().all(|&n| n == 0)
+    }
+}
+
+/// Maximum tracked span nesting depth per thread. Deeper spans still record
+/// their full elapsed time; they just stop participating in parent/child
+/// self-time accounting (real nesting in this codebase is ≤ 3: harness span
+/// → matcher span → region span).
+const MAX_SPAN_DEPTH: usize = 16;
+
+thread_local! {
+    /// Live-span nesting depth on this thread (0 = no span open).
+    static SPAN_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    /// Per-depth accumulator of child-span elapsed time, so an enclosing
+    /// span can record its *self* time (elapsed minus children) and nested
+    /// spans never double-count a nanosecond.
+    static CHILD_NANOS: [std::cell::Cell<u64>; MAX_SPAN_DEPTH] =
+        const { [const { std::cell::Cell::new(0) }; MAX_SPAN_DEPTH] };
+}
+
+/// A stack guard measuring one phase; records into the deadline's sink on
+/// drop.
+///
+/// Spans may nest (strictly LIFO, as stack values naturally are): an
+/// enclosing span records only its self time — elapsed minus the elapsed
+/// time of spans opened and closed inside it on the same thread. That lets
+/// a harness wrap a whole stage (catching dispatch and panic-guard overhead)
+/// while inner matcher spans keep exact per-phase attribution, and the sum
+/// over phases still counts every nanosecond exactly once.
+///
+/// ```
+/// use sqp_matching::obs::{Phase, Span};
+/// use sqp_matching::{Deadline, StatsSink};
+///
+/// let sink = StatsSink::new();
+/// let deadline = Deadline::none().with_stats(sink);
+/// {
+///     let mut span = Span::enter(Phase::Filter, deadline);
+///     span.add_items(42); // e.g. surviving candidates
+/// } // recorded here
+/// assert_eq!(sink.phase_snapshot().items_of(Phase::Filter), 42);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    sink: StatsSink,
+    phase: Phase,
+    start: u64,
+    items: u64,
+    /// 1-based nesting depth while this span is open; 0 for a span over an
+    /// inert sink (fully inactive).
+    depth: usize,
+}
+
+impl Span {
+    /// Starts a span for `phase` against `deadline`'s sink. Reads the clock
+    /// only when the sink is live.
+    #[inline]
+    pub fn enter(phase: Phase, deadline: Deadline) -> Self {
+        let sink = deadline.stats();
+        if !sink.is_some() {
+            return Self { sink, phase, start: 0, items: 0, depth: 0 };
+        }
+        let depth = SPAN_DEPTH.with(|d| {
+            let v = d.get() + 1;
+            d.set(v);
+            v
+        });
+        if depth <= MAX_SPAN_DEPTH {
+            CHILD_NANOS.with(|c| c[depth - 1].set(0));
+        }
+        let start = sink.now();
+        Self { sink, phase, start, items: 0, depth }
+    }
+
+    /// Adds `n` items (candidates, embeddings, …) to this span's count.
+    #[inline]
+    pub fn add_items(&mut self, n: u64) {
+        self.items = self.items.saturating_add(n);
+    }
+
+    /// Ends the span now (recording it exactly as dropping would) and
+    /// returns its full elapsed time in clock units — self time *plus*
+    /// children, i.e. the span's wall clock. Returns 0 over an inert sink.
+    /// Lets a harness reuse the span's clock reads as its stage wall
+    /// measurement instead of paying for a second timer.
+    #[inline]
+    pub fn finish(mut self) -> u64 {
+        self.end()
+    }
+
+    /// Shared drop/finish path; idempotent (depth 0 marks a closed span).
+    fn end(&mut self) -> u64 {
+        if self.depth == 0 {
+            return 0;
+        }
+        let elapsed = self.sink.now().saturating_sub(self.start);
+        let children = if self.depth <= MAX_SPAN_DEPTH {
+            CHILD_NANOS.with(|c| c[self.depth - 1].get())
+        } else {
+            0
+        };
+        SPAN_DEPTH.with(|d| d.set(self.depth - 1));
+        if self.depth >= 2 && self.depth - 1 <= MAX_SPAN_DEPTH {
+            // Credit the full elapsed time (self + our own children) to the
+            // enclosing span's child accumulator.
+            CHILD_NANOS.with(|c| {
+                let p = &c[self.depth - 2];
+                p.set(p.get().saturating_add(elapsed));
+            });
+        }
+        self.sink.record_phase(self.phase, elapsed.saturating_sub(children), self.items);
+        self.depth = 0;
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        self.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_and_indices_are_stable() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["filter", "build_candidates", "order", "enumerate", "verify"]);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(p.to_string(), p.name());
+        }
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let sink = StatsSink::new();
+        let deadline = Deadline::none().with_stats(sink);
+        {
+            let mut s = Span::enter(Phase::Enumerate, deadline);
+            s.add_items(3);
+        }
+        {
+            let mut s = Span::enter(Phase::Enumerate, deadline);
+            s.add_items(4);
+        }
+        let snap = sink.phase_snapshot();
+        assert_eq!(snap.items_of(Phase::Enumerate), 7);
+        assert_eq!(snap.items_of(Phase::Filter), 0);
+    }
+
+    #[test]
+    fn span_over_inert_sink_is_noop() {
+        let mut s = Span::enter(Phase::Filter, Deadline::none());
+        s.add_items(10);
+        drop(s);
+        // Nothing to observe; the point is it neither panics nor allocates
+        // sink state.
+        assert!(Deadline::none().stats().phase_snapshot().is_zero());
+    }
+
+    #[test]
+    fn merge_is_elementwise_saturating() {
+        let mut a = PhaseStats::default();
+        a.nanos[0] = u64::MAX - 1;
+        a.items[3] = 5;
+        let mut b = PhaseStats::default();
+        b.nanos[0] = 10;
+        b.items[3] = 7;
+        a.merge(&b);
+        assert_eq!(a.nanos[0], u64::MAX);
+        assert_eq!(a.items[3], 12);
+        assert_eq!(a.total_nanos(), u64::MAX);
+        assert!(!a.is_zero());
+        assert!(PhaseStats::default().is_zero());
+    }
+
+    #[test]
+    fn fake_clock_yields_deterministic_durations() {
+        fn fake() -> u64 {
+            use std::cell::Cell;
+            thread_local! { static T: Cell<u64> = const { Cell::new(0) }; }
+            T.with(|t| {
+                let v = t.get();
+                t.set(v + 1);
+                v
+            })
+        }
+        let sink = StatsSink::with_clock(fake);
+        let deadline = Deadline::none().with_stats(sink);
+        for _ in 0..3 {
+            let _s = Span::enter(Phase::Order, deadline);
+        }
+        // Each span makes exactly two clock calls, so each lasts exactly one
+        // fake tick.
+        assert_eq!(sink.phase_snapshot().nanos_of(Phase::Order), 3);
+    }
+
+    #[test]
+    fn nested_spans_record_self_time_only() {
+        fn fake() -> u64 {
+            use std::cell::Cell;
+            thread_local! { static T: Cell<u64> = const { Cell::new(0) }; }
+            T.with(|t| {
+                let v = t.get();
+                t.set(v + 1);
+                v
+            })
+        }
+        let sink = StatsSink::with_clock(fake);
+        let deadline = Deadline::none().with_stats(sink);
+        {
+            let _outer = Span::enter(Phase::Filter, deadline); // clock: start
+            let _inner = Span::enter(Phase::BuildCandidates, deadline);
+            // inner: start + stop = 1 tick; outer spans 3 ticks total.
+        }
+        let snap = sink.phase_snapshot();
+        assert_eq!(snap.nanos_of(Phase::BuildCandidates), 1);
+        // Outer elapsed 3 ticks minus the child's 1 → self time 2; the total
+        // equals the outer wall of 3 with nothing double-counted.
+        assert_eq!(snap.nanos_of(Phase::Filter), 2);
+        assert_eq!(snap.total_nanos(), 3);
+    }
+
+    #[test]
+    fn inert_spans_do_not_touch_the_depth_stack() {
+        {
+            let _s = Span::enter(Phase::Filter, Deadline::none());
+            SPAN_DEPTH.with(|d| assert_eq!(d.get(), 0));
+        }
+        SPAN_DEPTH.with(|d| assert_eq!(d.get(), 0));
+    }
+}

@@ -20,6 +20,7 @@ use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
+use crate::obs::{Phase, Span};
 use crate::Matcher;
 
 /// The QuickSI matcher.
@@ -106,6 +107,7 @@ impl Matcher for QuickSi {
 
     fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
         deadline.check()?;
+        let mut filter_span = Span::enter(Phase::Filter, deadline);
         let mut sets = Vec::with_capacity(q.vertex_count());
         for u in q.vertices() {
             let set: Vec<VertexId> = g
@@ -119,6 +121,9 @@ impl Matcher for QuickSi {
             }
             sets.push(set);
         }
+        filter_span.add_items(sets.iter().map(|s| s.len() as u64).sum());
+        drop(filter_span);
+        let _build_span = Span::enter(Phase::BuildCandidates, deadline);
         Ok(FilterResult::Space(CandidateSpace::new(sets)))
     }
 
@@ -129,8 +134,15 @@ impl Matcher for QuickSi {
         space: &CandidateSpace,
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
-        let order = Self::qi_sequence(q, g);
-        Enumerator::with_kernel(q, g, space, &order, self.config.kernel).find_first(deadline)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            Self::qi_sequence(q, g)
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let first = Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .find_first(deadline)?;
+        span.add_items(first.is_some() as u64);
+        Ok(first)
     }
 
     fn enumerate(
@@ -142,9 +154,15 @@ impl Matcher for QuickSi {
         deadline: Deadline,
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
-        let order = Self::qi_sequence(q, g);
-        Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
-            .run(limit, deadline, on_match)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            Self::qi_sequence(q, g)
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let found = Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .run(limit, deadline, on_match)?;
+        span.add_items(found);
+        Ok(found)
     }
 }
 

@@ -23,6 +23,7 @@ use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
 use crate::graphql::GraphQl;
+use crate::obs::{Phase, Span};
 use crate::Matcher;
 
 /// The SPath matcher.
@@ -153,6 +154,7 @@ impl Matcher for SPath {
 
     fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
         deadline.check()?;
+        let mut filter_span = Span::enter(Phase::Filter, deadline);
         let mut ticker = TickChecker::new();
         // Query signatures once; data signatures lazily per distinct label.
         let mut sets = Vec::with_capacity(q.vertex_count());
@@ -174,6 +176,9 @@ impl Matcher for SPath {
             }
             sets.push(set);
         }
+        filter_span.add_items(sets.iter().map(|s| s.len() as u64).sum());
+        drop(filter_span);
+        let _build_span = Span::enter(Phase::BuildCandidates, deadline);
         Ok(FilterResult::Space(CandidateSpace::new(sets)))
     }
 
@@ -184,8 +189,15 @@ impl Matcher for SPath {
         space: &CandidateSpace,
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
-        let order = GraphQl::join_order(q, space);
-        Enumerator::with_kernel(q, g, space, &order, self.config.kernel).find_first(deadline)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            GraphQl::join_order(q, space)
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let first = Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .find_first(deadline)?;
+        span.add_items(first.is_some() as u64);
+        Ok(first)
     }
 
     fn enumerate(
@@ -197,9 +209,15 @@ impl Matcher for SPath {
         deadline: Deadline,
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
-        let order = GraphQl::join_order(q, space);
-        Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
-            .run(limit, deadline, on_match)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            GraphQl::join_order(q, space)
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let found = Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .run(limit, deadline, on_match)?;
+        span.add_items(found);
+        Ok(found)
     }
 }
 

@@ -29,6 +29,7 @@ use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
+use crate::obs::{Phase, Span};
 use crate::Matcher;
 
 /// The TurboIso matcher.
@@ -173,16 +174,33 @@ impl TurboIso {
         deadline: Deadline,
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
-        let Some((tree, regions)) = self.regions(q, g, deadline)? else {
+        // Region exploration re-runs at enumeration time (the global space
+        // passed to `find_first`/`enumerate` is only the vcFV filtering
+        // view), so this rebuild is charged to the build-candidates phase.
+        let explored = {
+            let _span = Span::enter(Phase::BuildCandidates, deadline);
+            self.regions(q, g, deadline)?
+        };
+        let Some((tree, regions)) = explored else {
             return Ok(0);
         };
         let mut found = 0u64;
         for region in &regions {
-            let space = CandidateSpace::new(region.sets.clone());
-            let order = Self::region_order(q, &tree, region);
+            let space = {
+                let _span = Span::enter(Phase::BuildCandidates, deadline);
+                CandidateSpace::new(region.sets.clone())
+            };
+            let order = {
+                let _span = Span::enter(Phase::Order, deadline);
+                Self::region_order(q, &tree, region)
+            };
+            let mut span = Span::enter(Phase::Enumerate, deadline);
             let remaining = limit - found;
-            found += Enumerator::with_kernel(q, g, &space, &order, self.config.kernel)
+            let got = Enumerator::with_kernel(q, g, &space, &order, self.config.kernel)
                 .run(remaining, deadline, on_match)?;
+            span.add_items(got);
+            drop(span);
+            found += got;
             if found >= limit {
                 break;
             }
@@ -198,9 +216,12 @@ impl Matcher for TurboIso {
 
     fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
         deadline.check()?;
+        let filter_span = Span::enter(Phase::Filter, deadline);
         match self.regions(q, g, deadline)? {
             None => Ok(FilterResult::Pruned),
             Some((_, regions)) => {
+                drop(filter_span);
+                let mut build_span = Span::enter(Phase::BuildCandidates, deadline);
                 // Union the regions into a global complete candidate set.
                 let mut sets: Vec<Vec<VertexId>> = vec![Vec::new(); q.vertex_count()];
                 for r in &regions {
@@ -212,6 +233,7 @@ impl Matcher for TurboIso {
                     s.sort_unstable();
                     s.dedup();
                 }
+                build_span.add_items(sets.iter().map(|s| s.len() as u64).sum());
                 Ok(FilterResult::Space(CandidateSpace::new(sets)))
             }
         }

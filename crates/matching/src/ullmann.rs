@@ -14,6 +14,7 @@ use crate::config::MatcherConfig;
 use crate::deadline::{Deadline, TickChecker, Timeout};
 use crate::embedding::Embedding;
 use crate::enumerate::Enumerator;
+use crate::obs::{Phase, Span};
 use crate::Matcher;
 
 /// The Ullmann matcher.
@@ -79,6 +80,7 @@ impl Matcher for Ullmann {
 
     fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
         deadline.check()?;
+        let mut filter_span = Span::enter(Phase::Filter, deadline);
         let mut sets: Vec<Vec<VertexId>> = Vec::with_capacity(q.vertex_count());
         for u in q.vertices() {
             let set: Vec<VertexId> = g
@@ -95,6 +97,9 @@ impl Matcher for Ullmann {
         if !Self::refine(q, g, &mut sets, deadline)? {
             return Ok(FilterResult::Pruned);
         }
+        filter_span.add_items(sets.iter().map(|s| s.len() as u64).sum());
+        drop(filter_span);
+        let _build_span = Span::enter(Phase::BuildCandidates, deadline);
         Ok(FilterResult::Space(CandidateSpace::new(sets)))
     }
 
@@ -105,8 +110,15 @@ impl Matcher for Ullmann {
         space: &CandidateSpace,
         deadline: Deadline,
     ) -> Result<Option<Embedding>, Timeout> {
-        let order = MatchingOrder::new(q.vertices().collect());
-        Enumerator::with_kernel(q, g, space, &order, self.config.kernel).find_first(deadline)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            MatchingOrder::new(q.vertices().collect())
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let first = Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .find_first(deadline)?;
+        span.add_items(first.is_some() as u64);
+        Ok(first)
     }
 
     fn enumerate(
@@ -118,9 +130,15 @@ impl Matcher for Ullmann {
         deadline: Deadline,
         on_match: &mut dyn FnMut(&Embedding),
     ) -> Result<u64, Timeout> {
-        let order = MatchingOrder::new(q.vertices().collect());
-        Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
-            .run(limit, deadline, on_match)
+        let order = {
+            let _span = Span::enter(Phase::Order, deadline);
+            MatchingOrder::new(q.vertices().collect())
+        };
+        let mut span = Span::enter(Phase::Enumerate, deadline);
+        let found = Enumerator::with_kernel(q, g, space, &order, self.config.kernel)
+            .run(limit, deadline, on_match)?;
+        span.add_items(found);
+        Ok(found)
     }
 }
 

@@ -31,8 +31,17 @@ PROPTEST_CASES=32 cargo test -q --offline --test chaos
 echo "==> kernel equivalence (all kernels x 1/2/4/8 threads, bitmap memory accounting)"
 PROPTEST_CASES=16 cargo test -q --offline --test kernel_equivalence
 
+echo "==> oracle equivalence sweep (all matchers + engines vs brute oracle, pool at 1/2/4/8 threads)"
+PROPTEST_CASES=256 cargo test -q --offline --test oracle_equivalence
+
+echo "==> metrics format (golden exposition file, histogram properties, deterministic phase clocks)"
+cargo test -q --offline --test metrics_format
+
 echo "==> enumeration-kernel bench smoke (writes results/BENCH_kernels.json)"
 SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench enumeration
+
+echo "==> phase-breakdown bench smoke (writes results/BENCH_phases_smoke.json, asserts span sum ~= wall)"
+SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench phases
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -7,11 +7,12 @@
 //! sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
 //! sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
 //!              [--threads N] [--retries N] [--max-steps N]
-//!              [--kernel auto|merge|gallop|baseline]
+//!              [--kernel auto|merge|gallop|baseline] [--metrics-out <file>]
 //!              [--max-inflight N] [--shed] [--breaker-threshold N]
 //!              [--breaker-cooldown N] [--chaos-panics PM] [--chaos-seed N]
 //!              [--drain-after-ms N]
 //! sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
+//!              [--phases]
 //! sqp match    --db <file> --queries <file> [--limit N]
 //! sqp index    --db <file> --kind <grapes|ggsx|ct-index>
 //! ```
@@ -54,8 +55,9 @@ USAGE:
   sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
   sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
                [--threads N] [--retries N] [--max-steps N]
-               [--kernel auto|merge|gallop|baseline]
+               [--kernel auto|merge|gallop|baseline] [--metrics-out <file>]
   sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
+               [--phases]
   sqp match    --db <file> --queries <file> [--limit N]
   sqp index    --db <file> --kind <grapes|ggsx|ct-index>
 
@@ -68,6 +70,13 @@ Engines: CT-Index Grapes GGSX CFL GraphQL CFQL vcGrapes vcGGSX
 budget is reported as EXHAUSTED, not as a timeout
 --kernel picks the enumeration intersection kernel (default auto: adaptive
 merge/gallop with hub bitmaps; baseline = pre-kernel per-candidate probing)
+--metrics-out FILE writes the run's metrics (latency and per-phase
+histograms, status counts, kernel counters, service health when in service
+mode) in the Prometheus text exposition format
+compare --phases appends a per-engine phase breakdown table (filter /
+build-candidates / order / enumerate / verify, plus span sum vs wall time)
+over uncensored queries; timed-out and shed queries are reported in the
+censored column instead of skewing the phase times
 
 Service mode (any of the flags below turns it on for `query`): the set is
 submitted as one burst to an admission-controlled service with per-graph
@@ -98,7 +107,7 @@ impl Opts {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if matches!(name, "dense" | "shed") {
+                if matches!(name, "dense" | "shed" | "phases") {
                     switches.push(name.to_string());
                 } else {
                     let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -262,8 +271,12 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
             .iter()
             .any(|f| opts.get(f).is_some());
 
+    let mut health = None;
     let report = if service_mode {
-        run_service_query(opts, &db, &queries, engine_name, matcher_config, config, threads)?
+        let (report, h) =
+            run_service_query(opts, &db, &queries, engine_name, matcher_config, config, threads)?;
+        health = h;
+        report
     } else if threads > 1 {
         let matcher = matcher_by_name_with(engine_name, matcher_config).ok_or_else(|| {
             format!("--threads requires a vcFV engine (matcher); '{engine_name}' is not one")
@@ -307,6 +320,20 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         "-- kernel {kernel} | intersections {} | gallop-hits {} | bitmap-probes {}",
         k.intersections, k.gallop_hits, k.bitmap_probes,
     );
+    let hist = report.latency_histogram();
+    let ms = |n: Option<u64>| n.map(|v| v as f64 * 1e-6).unwrap_or(f64::NAN);
+    println!(
+        "-- latency p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms | censored {}",
+        ms(hist.p50()),
+        ms(hist.p95()),
+        ms(hist.p99()),
+        report.censored_count(),
+    );
+    if let Some(path) = opts.get("metrics-out") {
+        let text = render_prometheus(std::slice::from_ref(&report), health.as_ref());
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote metrics to {path}");
+    }
     // Timeouts alone are an expected outcome of a tight budget; panics,
     // exhausted budgets, shed admissions, and quarantined graphs all mean
     // degraded answers, so signal them to scripts.
@@ -362,7 +389,7 @@ fn run_service_query(
     matcher_config: MatcherConfig,
     runner: RunnerConfig,
     threads: usize,
-) -> Result<QuerySetReport, String> {
+) -> Result<(QuerySetReport, Option<ServiceHealth>), String> {
     let matcher = matcher_by_name_with(engine_name, matcher_config).ok_or_else(|| {
         format!("service mode requires a vcFV engine (matcher); '{engine_name}' is not one")
     })?;
@@ -429,7 +456,7 @@ fn run_service_query(
         record.retries = *retries;
         report.records.push(record);
     }
-    if let Some(h) = health {
+    if let Some(h) = &health {
         eprintln!(
             "service: admitted {} finished {} shed {} breakers open={} half-open={} trips={}",
             h.admitted,
@@ -446,7 +473,7 @@ fn run_service_query(
             d.finished, d.shed_at_drain, d.drained_within_deadline
         );
     }
-    Ok(report)
+    Ok((report, health))
 }
 
 fn cmd_compare(opts: &Opts) -> Result<(), String> {
@@ -472,6 +499,7 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         "{:<10} {:>10} {:>12} {:>11} {:>12} {:>10} {:>9}",
         "engine", "build(s)", "query(ms)", "precision", "per-SI(ms)", "|C(q)|", "timeouts"
     );
+    let mut reports = Vec::new();
     for name in &names {
         let mut engine = engine_by_name_with(name, matcher_config)
             .ok_or_else(|| format!("unknown engine '{name}'"))?;
@@ -499,8 +527,50 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
             report.avg_candidates(),
             report.timeout_count(),
         );
+        reports.push(report);
+    }
+    if opts.has("phases") {
+        print_phase_table(&reports);
     }
     Ok(())
+}
+
+/// The `compare --phases` per-engine phase breakdown (total milliseconds per
+/// phase over uncensored queries, the paper's decomposition of query time).
+/// `sum(ms)` is the span total and `wall(ms)` the runner-measured wall time
+/// over the same queries; the two should agree closely since the phases are
+/// disjoint and cover the query path.
+fn print_phase_table(reports: &[QuerySetReport]) {
+    use subgraph_query::matching::Phase;
+    println!();
+    println!(
+        "{:<10} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>9}",
+        "engine",
+        "filter(ms)",
+        "build(ms)",
+        "order(ms)",
+        "enum(ms)",
+        "verify(ms)",
+        "sum(ms)",
+        "wall(ms)",
+        "censored"
+    );
+    for report in reports {
+        let t = report.phase_totals();
+        let ms = |p: Phase| t.nanos_of(p) as f64 * 1e-6;
+        println!(
+            "{:<10} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>9}",
+            report.engine,
+            ms(Phase::Filter),
+            ms(Phase::BuildCandidates),
+            ms(Phase::Order),
+            ms(Phase::Enumerate),
+            ms(Phase::Verify),
+            t.total_nanos() as f64 * 1e-6,
+            report.uncensored_wall_nanos() as f64 * 1e-6,
+            report.censored_count(),
+        );
+    }
 }
 
 fn cmd_match(opts: &Opts) -> Result<(), String> {

@@ -1,0 +1,292 @@
+//! Exposition-format and histogram guarantees:
+//!
+//! * the Prometheus text rendering is well-formed — each metric family has
+//!   exactly one `# HELP`/`# TYPE` header emitted before any of its samples,
+//!   no metric name appears under two headers, histogram bucket series are
+//!   cumulative and end with `le="+Inf"` — and a fully deterministic report
+//!   renders byte-identically to the checked-in golden file;
+//! * `LatencyHistogram` merge is exact (merge == histogram of concatenated
+//!   samples) and quantiles are the bucket upper bound of the true order
+//!   statistic (property-tested);
+//! * phase timings are deterministic under an injected fake clock: the
+//!   per-phase totals of a pooled query are byte-identical across runs and
+//!   across 1/2/4/8 worker threads (invariant I8 extended to phase timings).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use subgraph_query::core::engines::matcher_by_name;
+use subgraph_query::core::exposition;
+use subgraph_query::core::metrics::LatencyHistogram;
+use subgraph_query::core::parallel::QueryPool;
+use subgraph_query::core::{QueryRecord, QuerySetReport, QueryStatus, ServiceHealth};
+use subgraph_query::graph::{GraphBuilder, GraphDb, Label, VertexId};
+use subgraph_query::matching::{Deadline, KernelStats, Phase, PhaseStats, StatsSink};
+
+// ---------------------------------------------------------------------------
+// Prometheus text format
+// ---------------------------------------------------------------------------
+
+/// A deterministic report: every field written by hand, no clocks involved.
+fn fixed_report() -> QuerySetReport {
+    let mut r = QuerySetReport::new("CFQL", "Q8S");
+    r.records.push(QueryRecord {
+        filter_time: Duration::from_micros(1500),
+        verify_time: Duration::from_micros(500),
+        candidates: 4,
+        answers: 2,
+        kernel: KernelStats { intersections: 12, gallop_hits: 3, bitmap_probes: 40 },
+        phases: PhaseStats {
+            nanos: [1_200_000, 300_000, 50_000, 400_000, 0],
+            items: [4, 4, 8, 2, 0],
+        },
+        ..QueryRecord::default()
+    });
+    r.records.push(QueryRecord {
+        status: QueryStatus::TimedOut,
+        filter_time: Duration::from_secs(600),
+        ..QueryRecord::default()
+    });
+    r.records.push(QueryRecord { status: QueryStatus::Shed, ..QueryRecord::default() });
+    r
+}
+
+fn fixed_health() -> ServiceHealth {
+    ServiceHealth {
+        queue_depth: 3,
+        inflight: 1,
+        draining: false,
+        admitted: 40,
+        finished: 36,
+        shed_queue_full: 2,
+        shed_deadline: 1,
+        shed_draining: 0,
+        open_breakers: 1,
+        half_open_breakers: 0,
+        breaker_trips: 2,
+        quarantined_graph_results: 17,
+    }
+}
+
+/// The family a sample line belongs to (histogram suffixes stripped).
+fn family_of(sample_name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = sample_name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    sample_name
+}
+
+#[test]
+fn rendering_matches_the_golden_file() {
+    let text = exposition::render(&[fixed_report()], Some(&fixed_health()));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::write(path, &text).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("tests/golden/metrics.prom missing");
+    assert_eq!(
+        text, golden,
+        "exposition drifted from tests/golden/metrics.prom; if the change is \
+         intentional, regenerate with REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn no_metric_name_is_emitted_twice() {
+    let text = exposition::render(&[fixed_report(), fixed_report()], Some(&fixed_health()));
+    let mut seen = HashMap::new();
+    for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let name = line.split_whitespace().nth(2).unwrap();
+        assert!(seen.insert(name, ()).is_none(), "duplicate # TYPE for {name}");
+    }
+    let mut help = HashMap::new();
+    for line in text.lines().filter(|l| l.starts_with("# HELP ")) {
+        let name = line.split_whitespace().nth(2).unwrap();
+        assert!(help.insert(name, ()).is_none(), "duplicate # HELP for {name}");
+    }
+}
+
+#[test]
+fn type_header_precedes_every_sample_of_its_family() {
+    let text = exposition::render(&[fixed_report()], Some(&fixed_health()));
+    let mut typed: HashMap<String, ()> = HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.insert(rest.split_whitespace().next().unwrap().to_string(), ());
+        } else if !line.starts_with('#') && !line.is_empty() {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                typed.contains_key(family_of(name)),
+                "sample {name} appears before its # TYPE header"
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_end_with_inf() {
+    let text = exposition::render(&[fixed_report()], Some(&fixed_health()));
+    // Group bucket samples per (family, label-set-minus-le) in order.
+    let mut series: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+    for line in text.lines().filter(|l| !l.starts_with('#') && l.contains("_bucket{")) {
+        let (name_labels, value) = line.rsplit_once(' ').unwrap();
+        let (name, labels) = name_labels.split_once('{').unwrap();
+        let labels = labels.trim_end_matches('}');
+        let mut le = String::new();
+        let rest: Vec<&str> = labels
+            .split(',')
+            .filter(|kv| {
+                if let Some(v) = kv.strip_prefix("le=") {
+                    le = v.trim_matches('"').to_string();
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        let key = format!("{name}{{{}}}", rest.join(","));
+        series.entry(key).or_default().push((le, value.parse().unwrap()));
+    }
+    assert!(!series.is_empty(), "no histogram bucket series rendered");
+    for (key, buckets) in series {
+        let mut prev = f64::NEG_INFINITY;
+        for (_, count) in &buckets {
+            assert!(*count >= prev, "{key}: bucket counts are not cumulative");
+            prev = *count;
+        }
+        assert_eq!(buckets.last().unwrap().0, "+Inf", "{key}: series must end with +Inf");
+    }
+}
+
+#[test]
+fn censored_records_appear_in_counts_but_not_histograms() {
+    let report = fixed_report();
+    let text = exposition::render(std::slice::from_ref(&report), None);
+    // 1 completed + 1 timed-out + 1 shed in the status counter...
+    assert!(text.contains(r#"status="completed"} 1"#));
+    assert!(text.contains(r#"status="timed_out"} 1"#));
+    assert!(text.contains(r#"status="shed"} 1"#));
+    assert!(text.contains(r#"sqp_censored_queries_total{engine="CFQL",query_set="Q8S"} 2"#));
+    // ...but only the completed one in the latency histogram.
+    assert!(text.contains(r#"sqp_query_seconds_count{engine="CFQL",query_set="Q8S"} 1"#));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fixed buckets make merge exact: merging two histograms equals the
+    /// histogram of the concatenated sample stream.
+    #[test]
+    fn merge_equals_concatenation(
+        xs in proptest::collection::vec(any::<u64>(), 0..40),
+        ys in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let mut merged = LatencyHistogram::from_samples(xs.iter().copied());
+        merged.merge(&LatencyHistogram::from_samples(ys.iter().copied()));
+        let concat = LatencyHistogram::from_samples(xs.iter().chain(ys.iter()).copied());
+        prop_assert_eq!(merged, concat);
+    }
+
+    /// A quantile is exactly the upper edge of the bucket holding the true
+    /// order statistic — an upper bound within one power of two.
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_of_the_order_statistic(
+        mut samples in proptest::collection::vec(any::<u64>(), 1..60),
+        q_pct in 1u32..100,
+    ) {
+        let q = f64::from(q_pct) / 100.0;
+        let h = LatencyHistogram::from_samples(samples.iter().copied());
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let true_stat = samples[rank - 1];
+        let got = h.quantile(q).unwrap();
+        prop_assert_eq!(
+            got,
+            LatencyHistogram::upper_edge(LatencyHistogram::bucket_of(true_stat))
+        );
+        prop_assert!(got >= true_stat);
+    }
+}
+
+#[test]
+fn empty_histogram_is_quantile_safe() {
+    let h = LatencyHistogram::new();
+    assert_eq!(h.p50(), None);
+    assert_eq!(h.p95(), None);
+    assert_eq!(h.p99(), None);
+    assert_eq!(h.quantile(2.0), None);
+    assert_eq!(h.quantile(-1.0), None);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic phase timings (invariant I8, extended)
+// ---------------------------------------------------------------------------
+
+/// A deterministic tick source: each call returns the next integer,
+/// per-thread. Span durations become pure span-nesting counts, independent
+/// of wall time and scheduling.
+fn fake_clock() -> u64 {
+    use std::cell::Cell;
+    thread_local! { static T: Cell<u64> = const { Cell::new(0) }; }
+    T.with(|t| {
+        let v = t.get();
+        t.set(v + 1);
+        v
+    })
+}
+
+/// A small fixed database and query (no randomness).
+fn fixture() -> (Arc<GraphDb>, subgraph_query::graph::Graph) {
+    let mut graphs = Vec::new();
+    for i in 0..12u32 {
+        let mut b = GraphBuilder::new();
+        for v in 0..8u32 {
+            b.add_vertex(Label((v + i) % 3));
+        }
+        for v in 0..8u32 {
+            let _ = b.add_edge(VertexId(v), VertexId((v + 1) % 8));
+            let _ = b.add_edge(VertexId(v), VertexId((v + 3) % 8));
+        }
+        graphs.push(b.build());
+    }
+    let mut qb = GraphBuilder::new();
+    qb.add_vertex(Label(0));
+    qb.add_vertex(Label(1));
+    qb.add_vertex(Label(2));
+    let _ = qb.add_edge(VertexId(0), VertexId(1));
+    let _ = qb.add_edge(VertexId(1), VertexId(2));
+    (Arc::new(GraphDb::from_graphs(graphs)), qb.build())
+}
+
+#[test]
+fn phase_timings_are_byte_stable_across_runs_and_thread_counts() {
+    let (db, q) = fixture();
+    let sink = StatsSink::with_clock(fake_clock);
+    let mut observed: Vec<PhaseStats> = Vec::new();
+    for threads in [1usize, 2, 4, 8, 1] {
+        sink.reset();
+        let pool = QueryPool::new(threads);
+        let matcher = matcher_by_name("CFQL").unwrap();
+        // Injecting our sink keeps the pool from attaching its own.
+        let out = pool.query(matcher, &db, &q, Deadline::none().with_stats(sink)).outcome;
+        assert_eq!(out.status, QueryStatus::Completed);
+        assert!(out.phases.nanos_of(Phase::Filter) > 0, "no filter ticks recorded");
+        observed.push(out.phases);
+    }
+    for pair in observed.windows(2) {
+        assert_eq!(
+            pair[0], pair[1],
+            "phase tick totals must be identical across thread counts and repeat runs"
+        );
+    }
+}
