@@ -1,5 +1,5 @@
-//! Enumeration-kernel ablation: baseline pivot scan vs merge, gallop and
-//! adaptive intersection kernels (DESIGN.md "Enumeration kernels").
+//! Enumeration-kernel ablation: baseline pivot scan vs merge, gallop, SIMD
+//! and adaptive intersection kernels (DESIGN.md "Enumeration kernels").
 //!
 //! Three workload shapes stress the kernels differently:
 //!
@@ -280,6 +280,32 @@ fn write_json(rows: &[(String, Vec<Cell>)], trows: &ThreadRows) {
     println!("kernel ablation matrix written to {path}");
 }
 
+/// The tentpole invariant of the adaptive kernel (ISSUE 6): on the dense
+/// profile `auto` must not regress below plain `merge`. A loud failure here
+/// — in smoke (CI) runs as much as full runs — beats silently recording a
+/// mistuned crossover in the JSON like the 32×-ratio tuning once did. The
+/// 10% margin covers median-of-reps jitter, not a real regression; smoke
+/// runs get 30% because their sub-millisecond workload is noise-dominated,
+/// which still catches the old mistuning (auto trailed merge by ~3× there).
+fn assert_auto_dominates_on_dense(rows: &[(String, Vec<Cell>)]) {
+    let (_, cells) = rows.iter().find(|(n, _)| n == "dense").expect("dense workload present");
+    let ms = |k: KernelConfig| {
+        cells
+            .iter()
+            .find(|c| c.kernel == k)
+            .map(|c| c.time.as_secs_f64() * 1e3)
+            .expect("kernel cell present")
+    };
+    let auto = ms(KernelConfig::Auto);
+    let merge = ms(KernelConfig::Merge);
+    let margin = if smoke() { 1.30 } else { 1.10 };
+    assert!(
+        auto <= merge * margin,
+        "REGRESSION: dense auto ({auto:.2} ms) lost to merge ({merge:.2} ms) — \
+         the adaptive crossover is mistuned again"
+    );
+}
+
 fn bench_enumeration(c: &mut Criterion) {
     let workloads = vec![sparse_workload(), dense_workload(), hub_workload()];
 
@@ -287,22 +313,24 @@ fn bench_enumeration(c: &mut Criterion) {
     // printed speedup table.
     let rows = run_matrix(&workloads);
     println!(
-        "\n{:<12} {:>10} {:>10} {:>10} {:>10}",
-        "workload", "baseline", "merge", "gallop", "auto"
+        "\n{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "baseline", "merge", "gallop", "simd", "auto"
     );
     for (name, cells) in &rows {
         let ms = |k: KernelConfig| {
             cells.iter().find(|c| c.kernel == k).map(|c| c.time.as_secs_f64() * 1e3).unwrap_or(0.0)
         };
         println!(
-            "{:<12} {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>8.2}ms",
+            "{:<12} {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>8.2}ms",
             name,
             ms(KernelConfig::Baseline),
             ms(KernelConfig::Merge),
             ms(KernelConfig::Gallop),
+            ms(KernelConfig::Simd),
             ms(KernelConfig::Auto),
         );
     }
+    assert_auto_dominates_on_dense(&rows);
     let trows = run_threads_matrix(&workloads);
     println!(
         "\n{:<12} {:<10} {:>10} {:>10} {:>10}",

@@ -176,6 +176,11 @@ pub fn render(reports: &[QuerySetReport], health: Option<&ServiceHealth>) -> Str
         "Intersections that took the galloping kernel.",
     );
     w.family(
+        "sqp_kernel_simd_hits_total",
+        "counter",
+        "Intersections that took a vectorized (SSE/AVX2) block kernel.",
+    );
+    w.family(
         "sqp_kernel_bitmap_probes_total",
         "counter",
         "Single-bit membership probes (labels and hub adjacency bitmaps).",
@@ -223,6 +228,7 @@ pub fn render(reports: &[QuerySetReport], health: Option<&ServiceHealth>) -> Str
         let k = report.kernel_totals();
         w.sample("sqp_kernel_intersections_total", "", &base, k.intersections as f64);
         w.sample("sqp_kernel_gallop_hits_total", "", &base, k.gallop_hits as f64);
+        w.sample("sqp_kernel_simd_hits_total", "", &base, k.simd_hits as f64);
         w.sample("sqp_kernel_bitmap_probes_total", "", &base, k.bitmap_probes as f64);
         w.sample("sqp_retries_total", "", &base, report.total_retries() as f64);
     }

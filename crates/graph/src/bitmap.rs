@@ -1,17 +1,35 @@
-//! Per-vertex neighbor bitmaps for high-degree ("hub") vertices.
+//! Compressed per-vertex neighbor bitmaps for high-degree ("hub") vertices.
 //!
 //! `Graph::has_edge` is an `O(log d)` binary search; during enumeration it is
 //! probed once per candidate per mapped backward neighbor, and on hubs the
 //! search walks a long adjacency run. This sidecar materializes the adjacency
-//! of every vertex whose degree is at least a threshold as a `|V(G)|`-bit
-//! bitmap, making hub membership a single word test.
+//! of every vertex whose degree is at least a threshold as a *compressed*
+//! bitmap row, making hub membership a word test or a short cache-resident
+//! search.
 //!
-//! Memory is bounded: a graph has at most `2|E| / threshold` vertices of
-//! degree ≥ threshold, so the sidecar holds at most
-//! `2|E|/threshold × |V|/8` bytes of bitmap words plus a `4|V|`-byte row
-//! index. With the default threshold of 64 that is `|E| · |V| / 256` bytes in
-//! the worst case — and in practice hubs are few. The sidecar is built lazily
-//! (first hub probe) and is [`HeapSize`]-accounted.
+//! # Container layout (roaring-style)
+//!
+//! A dense `|V|/8`-byte row per hub — the previous layout — charges every
+//! mid-degree hub for the whole vertex space: a degree-70 hub in a
+//! 1M-vertex graph paid 125 KiB for 70 set bits. Instead, each row is split
+//! into chunks of 2¹⁶ vertex ids (the roaring partition), and every
+//! non-empty `(row, chunk)` pair stores one of two container kinds, keyed on
+//! its population count:
+//!
+//! * **array** — the chunk's set ids as sorted `u16` offsets (2 bytes per
+//!   neighbor), binary-searched on probe; chosen while the array is no
+//!   larger than the chunk's dense bitmap would be;
+//! * **bitmap** — the dense `u64` words for the chunk (at most 1 KiWords =
+//!   8 KiB, truncated for the final partial chunk), single word test on
+//!   probe; chosen once the population exceeds `8 × words(chunk) / 2` ids —
+//!   the classic 4096-element roaring cutoff for full chunks.
+//!
+//! Containers of all rows live in two shared pools (`u16` array pool, `u64`
+//! word pool) indexed by a flat `rows × chunks` reference table, so the
+//! structure is three allocations regardless of hub count. Memory is
+//! `min(2·popcount, words·8)` bytes per container plus the reference table —
+//! mid-degree hubs now pay O(degree), not O(|V|). The sidecar is built
+//! lazily (first hub probe) and is [`HeapSize`]-accounted.
 
 use crate::heap_size::HeapSize;
 use crate::vertex::VertexId;
@@ -19,17 +37,41 @@ use crate::vertex::VertexId;
 /// Degree at or above which a vertex gets a bitmap row.
 pub const HUB_DEGREE_THRESHOLD: usize = 64;
 
+/// Vertex ids per container chunk (the roaring partition width).
+pub const CHUNK_BITS: u32 = 16;
+
+const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
 const NO_ROW: u32 = u32::MAX;
 
-/// Adjacency bitmaps for every vertex of degree ≥ a build-time threshold.
+/// One `(row, chunk)` container: where the chunk's set ids live.
+#[derive(Clone, Copy, Debug)]
+enum Container {
+    /// No ids set in this chunk.
+    Empty,
+    /// `len` sorted `u16` id offsets at `arrays[start..start + len]`.
+    Array { start: u32, len: u32 },
+    /// Dense chunk words at `words[start..start + words_in_chunk]`.
+    Bitmap { start: u32 },
+}
+
+/// Compressed adjacency bitmaps for every vertex of degree ≥ a build-time
+/// threshold.
 #[derive(Clone, Debug, Default)]
 pub struct NeighborBitmaps {
-    /// 64-bit words per row: `ceil(|V| / 64)`.
-    words_per_row: usize,
+    /// Containers per row: `ceil(|V| / 2^CHUNK_BITS)`.
+    chunks_per_row: usize,
+    /// Vertices in the graph (bounds the final chunk's width).
+    vertex_count: usize,
+    /// Rows in the sidecar (hub count).
+    rows: usize,
     /// Row index per vertex id; [`NO_ROW`] when the vertex has no row.
     /// Empty when the graph has no hub at all (nothing is allocated then).
     row_of: Box<[u32]>,
-    /// `hub_count × words_per_row` bitmap words.
+    /// `rows × chunks_per_row` container references.
+    containers: Box<[Container]>,
+    /// Shared pool of array-container elements (low 16 bits of each id).
+    arrays: Box<[u16]>,
+    /// Shared pool of bitmap-container words.
     words: Box<[u64]>,
 }
 
@@ -42,37 +84,78 @@ impl NeighborBitmaps {
             return Self::default();
         }
         let n = g.vertex_count();
-        let words_per_row = n.div_ceil(64);
+        let chunks_per_row = n.div_ceil(CHUNK_SIZE);
         let mut row_of = vec![NO_ROW; n];
-        let mut rows = 0u32;
+        let mut rows = 0usize;
         for v in g.vertices() {
             if g.degree(v) >= min_degree {
-                row_of[v.index()] = rows;
+                row_of[v.index()] = rows as u32;
                 rows += 1;
             }
         }
-        let mut words = vec![0u64; rows as usize * words_per_row];
+        let mut containers = vec![Container::Empty; rows * chunks_per_row];
+        let mut arrays: Vec<u16> = Vec::new();
+        let mut words: Vec<u64> = Vec::new();
         for v in g.vertices() {
             let row = row_of[v.index()];
             if row == NO_ROW {
                 continue;
             }
-            let base = row as usize * words_per_row;
-            for &w in g.neighbors(v) {
-                words[base + w.index() / 64] |= 1u64 << (w.index() % 64);
+            let base = row as usize * chunks_per_row;
+            // Adjacency sorted by (label, id): collect ids and sort so each
+            // chunk's run is contiguous and array containers stay sorted.
+            let mut adj: Vec<u32> = g.neighbors(v).iter().map(|w| w.id()).collect();
+            adj.sort_unstable();
+            let mut i = 0;
+            while i < adj.len() {
+                let chunk = (adj[i] >> CHUNK_BITS) as usize;
+                let end = adj[i..].partition_point(|&w| (w >> CHUNK_BITS) as usize == chunk) + i;
+                let run = &adj[i..end];
+                let chunk_words = Self::words_in_chunk(n, chunk);
+                // Keyed on the container's popcount: a sorted u16 array while
+                // it is no larger than the chunk's dense words.
+                if run.len() * 2 <= chunk_words * 8 {
+                    let start = arrays.len() as u32;
+                    arrays.extend(run.iter().map(|&w| (w & 0xFFFF) as u16));
+                    containers[base + chunk] = Container::Array { start, len: run.len() as u32 };
+                } else {
+                    let start = words.len() as u32;
+                    words.resize(words.len() + chunk_words, 0);
+                    for &w in run {
+                        let low = (w & 0xFFFF) as usize;
+                        words[start as usize + low / 64] |= 1u64 << (low % 64);
+                    }
+                    containers[base + chunk] = Container::Bitmap { start };
+                }
+                i = end;
             }
         }
-        Self { words_per_row, row_of: row_of.into_boxed_slice(), words: words.into_boxed_slice() }
+        Self {
+            chunks_per_row,
+            vertex_count: n,
+            rows,
+            row_of: row_of.into_boxed_slice(),
+            containers: containers.into_boxed_slice(),
+            arrays: arrays.into_boxed_slice(),
+            words: words.into_boxed_slice(),
+        }
+    }
+
+    /// Dense words needed for `chunk` of an `n`-vertex id space (1024 for
+    /// full chunks, truncated for the final one).
+    fn words_in_chunk(n: usize, chunk: usize) -> usize {
+        let chunk_base = chunk * CHUNK_SIZE;
+        (n - chunk_base).min(CHUNK_SIZE).div_ceil(64)
     }
 
     /// Number of vertices that have a bitmap row.
     pub fn hub_count(&self) -> usize {
-        self.words.len().checked_div(self.words_per_row).unwrap_or(0)
+        self.rows
     }
 
     /// Whether no vertex has a row (graph below threshold everywhere).
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.rows == 0
     }
 
     /// The bitmap row for `v`, if `v` is a hub.
@@ -87,13 +170,50 @@ impl NeighborBitmaps {
     /// Whether `v` is set in bitmap `row` (as returned by [`row`](Self::row)).
     #[inline]
     pub fn contains(&self, row: usize, v: VertexId) -> bool {
-        self.words[row * self.words_per_row + v.index() / 64] & (1u64 << (v.index() % 64)) != 0
+        let chunk = (v.id() >> CHUNK_BITS) as usize;
+        let low = (v.id() & 0xFFFF) as u16;
+        match self.containers[row * self.chunks_per_row + chunk] {
+            Container::Empty => false,
+            Container::Array { start, len } => {
+                let s = &self.arrays[start as usize..(start + len) as usize];
+                s.binary_search(&low).is_ok()
+            }
+            Container::Bitmap { start } => {
+                let w = self.words[start as usize + low as usize / 64];
+                w & (1u64 << (low % 64)) != 0
+            }
+        }
+    }
+
+    /// `(array, bitmap)` container counts across all rows — the compression
+    /// ablation surface (array containers are the memory win for mid-degree
+    /// hubs; bitmap containers keep O(1) probes on the monsters).
+    pub fn container_counts(&self) -> (usize, usize) {
+        let mut array = 0;
+        let mut bitmap = 0;
+        for c in &self.containers {
+            match c {
+                Container::Empty => {}
+                Container::Array { .. } => array += 1,
+                Container::Bitmap { .. } => bitmap += 1,
+            }
+        }
+        (array, bitmap)
+    }
+
+    /// Heap bytes a dense (pre-compression) layout would have used for the
+    /// same rows: `rows × ⌈|V|/64⌉` words plus the row index.
+    pub fn dense_equivalent_bytes(&self) -> usize {
+        self.rows * self.vertex_count.div_ceil(64) * 8 + self.row_of.heap_size()
     }
 }
 
 impl HeapSize for NeighborBitmaps {
     fn heap_size(&self) -> usize {
-        self.row_of.heap_size() + self.words.heap_size()
+        self.row_of.heap_size()
+            + self.containers.len() * std::mem::size_of::<Container>()
+            + self.arrays.heap_size()
+            + self.words.heap_size()
     }
 }
 
@@ -157,7 +277,7 @@ mod tests {
 
     #[test]
     fn word_boundary_vertices() {
-        // > 64 vertices so bitmap rows span multiple words.
+        // > 64 vertices so bitmap chunks span multiple words.
         let g = star(70);
         let bm = NeighborBitmaps::build(&g, 64);
         let row = bm.row(VertexId(0)).unwrap();
@@ -165,5 +285,88 @@ mod tests {
         assert!(bm.contains(row, VertexId(64)));
         assert!(bm.contains(row, VertexId(70)));
         assert!(!bm.contains(row, VertexId(0)));
+    }
+
+    #[test]
+    fn mid_degree_hub_gets_array_container() {
+        // 100 spokes over 104 vertices: the row's chunk holds 100 ids in a
+        // 2-word space? No — 104 vertices → 2 dense words (16 bytes), and
+        // 100 ids × 2 bytes = 200 bytes > 16, so the hub goes dense; the
+        // *leaves* (degree 1–2 under threshold 1) compress to arrays.
+        let g = star(100);
+        let all = NeighborBitmaps::build(&g, 1);
+        let (array, bitmap) = all.container_counts();
+        assert!(array > 0, "degree-1 leaves must take array containers");
+        assert!(bitmap > 0, "the dense hub must take a bitmap container");
+        // Every row still answers membership exactly.
+        for u in g.vertices() {
+            let row = all.row(u).unwrap();
+            for v in g.vertices() {
+                assert_eq!(all.contains(row, v), g.has_edge(u, v), "{u:?}->{v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_beats_dense_rows_on_sparse_hubs() {
+        // A 70-spoke hub in a ~4200-vertex id space: dense rows would pay
+        // ⌈4172/64⌉ words per row; the array container pays 2 bytes per
+        // neighbor.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex(Label(0));
+        for _ in 0..70 {
+            let leaf = b.add_vertex(Label(1));
+            b.add_edge(hub, leaf).unwrap();
+        }
+        for _ in 0..4100 {
+            b.add_vertex(Label(2));
+        }
+        let g = b.build();
+        let bm = NeighborBitmaps::build(&g, 64);
+        assert_eq!(bm.hub_count(), 1);
+        let (array, bitmap) = bm.container_counts();
+        assert_eq!((array, bitmap), (1, 0), "a sparse hub row must compress to an array");
+        assert!(
+            bm.heap_size() < bm.dense_equivalent_bytes(),
+            "compressed {} must undercut dense {}",
+            bm.heap_size(),
+            bm.dense_equivalent_bytes()
+        );
+        let row = bm.row(hub).unwrap();
+        for v in g.vertices() {
+            assert_eq!(bm.contains(row, v), g.has_edge(hub, v));
+        }
+    }
+
+    #[test]
+    fn chunk_boundary_probes() {
+        // A graph spanning two 2^16-id chunks, with a hub adjacent to ids on
+        // both sides of the boundary.
+        let n = CHUNK_SIZE as u32 + 200;
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_vertex(Label(0));
+        }
+        let hub = VertexId(0);
+        let targets =
+            [1u32, 63, 64, CHUNK_SIZE as u32 - 1, CHUNK_SIZE as u32, CHUNK_SIZE as u32 + 1, n - 1];
+        for &t in &targets {
+            b.add_edge(hub, VertexId(t)).unwrap();
+        }
+        // Pad the hub's degree over the threshold within chunk 0.
+        for t in 1000..(1000 + HUB_DEGREE_THRESHOLD as u32) {
+            b.add_edge(hub, VertexId(t)).unwrap();
+        }
+        let g = b.build();
+        let bm = NeighborBitmaps::build(&g, HUB_DEGREE_THRESHOLD);
+        let row = bm.row(hub).unwrap();
+        for &t in &targets {
+            assert!(bm.contains(row, VertexId(t)), "id {t}");
+            assert!(!bm.contains(row, VertexId(t + 1)) || g.has_edge(hub, VertexId(t + 1)));
+        }
+        assert!(!bm.contains(row, VertexId(CHUNK_SIZE as u32 + 150)));
+        // Both chunks produced a container for the hub row.
+        let (array, bitmap) = bm.container_counts();
+        assert_eq!(array + bitmap, 2, "one container per touched chunk");
     }
 }

@@ -12,11 +12,15 @@ use crate::vertex::VertexId;
 /// Two layout decisions serve the filtering algorithms of the paper:
 ///
 /// * Each vertex's adjacency list is **sorted by `(neighbor label, neighbor
-///   id)`**. Label-restricted neighborhood access
+///   id)`**, and a per-vertex **label-run index** records where each label's
+///   run begins. Label-restricted neighborhood access
 ///   ([`neighbors_with_label`](Graph::neighbors_with_label)) — the inner loop
-///   of both the CFL and GraphQL filters — is two binary searches, and the
-///   neighbor-label sequence read off the adjacency list is already sorted,
-///   which makes the GraphQL profile test a linear merge.
+///   of the filters *and* of every enumeration intersection step — is a
+///   binary search over the vertex's few distinct neighbor labels (contiguous
+///   in memory), not over the adjacency list itself with an indirect label
+///   load per comparison. The neighbor-label sequence read off the adjacency
+///   list is already sorted, which makes the GraphQL profile test a linear
+///   merge.
 /// * A **label → vertices** CSR index supports starting candidate generation
 ///   (`Φ(u) ⊆ vertices_with_label(L(u))`) without scanning all vertices.
 #[derive(Clone)]
@@ -24,6 +28,14 @@ pub struct Graph {
     labels: Box<[Label]>,
     offsets: Box<[u32]>,
     neighbors: Box<[VertexId]>,
+    /// Label-run index: vertex `v`'s runs are
+    /// `run_labels[run_offsets[v]..run_offsets[v+1]]` (sorted), each starting
+    /// at the parallel `run_starts` index into `neighbors` and ending at the
+    /// next run's start (or the end of `v`'s adjacency). At most one run per
+    /// distinct neighbor label per vertex, so `≤ 2|E|` entries total.
+    run_offsets: Box<[u32]>,
+    run_labels: Box<[Label]>,
+    run_starts: Box<[u32]>,
     label_offsets: Box<[u32]>,
     label_vertices: Box<[VertexId]>,
     edge_count: usize,
@@ -50,12 +62,27 @@ impl Graph {
         let mut offsets = Vec::with_capacity(n + 1);
         let mut flat = Vec::with_capacity(2 * edge_count);
         let mut max_degree = 0u32;
+        let mut run_offsets = Vec::with_capacity(n + 1);
+        let mut run_labels = Vec::new();
+        let mut run_starts = Vec::new();
         offsets.push(0u32);
+        run_offsets.push(0u32);
         for adj in adjacency.iter_mut() {
             adj.sort_unstable_by_key(|&v| (labels[v.index()], v));
             max_degree = max_degree.max(adj.len() as u32);
+            let base = flat.len() as u32;
+            let mut prev: Option<Label> = None;
+            for (i, &v) in adj.iter().enumerate() {
+                let l = labels[v.index()];
+                if prev != Some(l) {
+                    run_labels.push(l);
+                    run_starts.push(base + i as u32);
+                    prev = Some(l);
+                }
+            }
             flat.extend_from_slice(adj);
             offsets.push(flat.len() as u32);
+            run_offsets.push(run_labels.len() as u32);
         }
 
         // Label → vertices CSR.
@@ -81,6 +108,9 @@ impl Graph {
             labels: labels.into_boxed_slice(),
             offsets: offsets.into_boxed_slice(),
             neighbors: flat.into_boxed_slice(),
+            run_offsets: run_offsets.into_boxed_slice(),
+            run_labels: run_labels.into_boxed_slice(),
+            run_starts: run_starts.into_boxed_slice(),
             label_offsets: label_offsets.into_boxed_slice(),
             label_vertices: label_vertices.into_boxed_slice(),
             edge_count,
@@ -180,11 +210,22 @@ impl Graph {
     /// assert_eq!(g.neighbors_with_label(hub, Label(1)), &[a, b2]);
     /// assert!(g.neighbors_with_label(hub, Label(9)).is_empty());
     /// ```
+    #[inline]
     pub fn neighbors_with_label(&self, v: VertexId, l: Label) -> &[VertexId] {
-        let adj = self.neighbors(v);
-        let start = adj.partition_point(|&w| self.labels[w.index()] < l);
-        let end = start + adj[start..].partition_point(|&w| self.labels[w.index()] == l);
-        &adj[start..end]
+        let rs = self.run_offsets[v.index()] as usize;
+        let re = self.run_offsets[v.index() + 1] as usize;
+        match self.run_labels[rs..re].binary_search(&l) {
+            Ok(i) => {
+                let start = self.run_starts[rs + i] as usize;
+                let end = if rs + i + 1 < re {
+                    self.run_starts[rs + i + 1] as usize
+                } else {
+                    self.offsets[v.index() + 1] as usize
+                };
+                &self.neighbors[start..end]
+            }
+            Err(_) => &[],
+        }
     }
 
     /// Whether the undirected edge `e(u, v)` exists. `O(log d(u))`.
@@ -279,6 +320,9 @@ impl HeapSize for Graph {
         self.labels.heap_size()
             + self.offsets.heap_size()
             + self.neighbors.heap_size()
+            + self.run_offsets.heap_size()
+            + self.run_labels.heap_size()
+            + self.run_starts.heap_size()
             + self.label_offsets.heap_size()
             + self.label_vertices.heap_size()
             + self.hub_bitmaps.get().map_or(0, HeapSize::heap_size)
@@ -345,6 +389,33 @@ mod tests {
         assert_eq!(g.neighbors_with_label(VertexId(1), Label(0)), &[VertexId(0), VertexId(2)]);
         assert!(g.neighbors_with_label(VertexId(1), Label(2)).is_empty());
         assert!(g.neighbors_with_label(VertexId(1), Label(9)).is_empty());
+    }
+
+    #[test]
+    fn label_run_index_matches_partition_point_scan() {
+        // A hub with several neighbors per label and labels interleaved by
+        // id, so runs have length > 1 and the index has > 2 entries.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex(Label(5));
+        for i in 0..12u32 {
+            let leaf = b.add_vertex(Label(i % 4));
+            b.add_edge(hub, leaf).unwrap();
+        }
+        let g = b.build();
+        for v in g.vertices() {
+            for l in (0..6).map(Label) {
+                let adj = g.neighbors(v);
+                let start = adj.partition_point(|&w| g.label(w) < l);
+                let end = start + adj[start..].partition_point(|&w| g.label(w) == l);
+                assert_eq!(
+                    g.neighbors_with_label(v, l),
+                    &adj[start..end],
+                    "run index diverges at {v:?} label {l:?}"
+                );
+            }
+            // Absent labels yield the empty slice.
+            assert!(g.neighbors_with_label(v, Label(99)).is_empty());
+        }
     }
 
     #[test]

@@ -16,11 +16,15 @@
 //!   decomposition, and connectivity, the building blocks of CFL.
 //! * [`nlf`] — neighborhood label frequency signatures used by the GraphQL
 //!   and CFL candidate filters.
-//! * [`intersect`] — merge-based and galloping sorted-slice intersection
-//!   kernels, the primitive of local-candidate computation in enumeration.
-//! * [`NeighborBitmaps`] — lazily-built adjacency bitmaps for hub vertices,
-//!   turning `has_edge` probes against high-degree vertices into single word
-//!   tests.
+//! * [`intersect`] — merge-based, galloping, and SIMD sorted-slice
+//!   intersection kernels, the primitive of local-candidate computation in
+//!   enumeration.
+//! * [`simd`] — runtime-dispatched SSE/AVX2 block intersection with a scalar
+//!   fallback (and a `SQP_FORCE_SCALAR` kill switch for CI).
+//! * [`NeighborBitmaps`] — lazily-built compressed adjacency bitmaps
+//!   (roaring-style array/bitmap containers) for hub vertices, turning
+//!   `has_edge` probes against high-degree vertices into word tests or short
+//!   cache-resident searches.
 //! * [`HeapSize`] — exact heap accounting used to reproduce the paper's
 //!   memory-cost tables.
 
@@ -40,6 +44,7 @@ pub mod intersect;
 pub mod io;
 pub mod label;
 pub mod nlf;
+pub mod simd;
 pub mod stats;
 pub mod vertex;
 

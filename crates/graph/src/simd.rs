@@ -1,0 +1,375 @@
+//! Explicit SIMD intersection of sorted vertex-id slices.
+//!
+//! The scalar kernels in [`intersect`](crate::intersect) compare one pair of
+//! elements per step. On x86-64 this module intersects in 4-wide (SSE/SSSE3)
+//! or 8-wide (AVX2) blocks instead, using the classic block-compare scheme
+//! (Schlegel et al., Lemire's `SIMDCompressionAndIntersection`): load one
+//! block from each input, compare every pairing via lane rotations, compact
+//! the matching lanes with a shuffle table, and advance whichever block has
+//! the smaller maximum. Both inputs must be strictly sorted (no duplicates),
+//! which every adjacency list and candidate set in this workspace guarantees.
+//!
+//! The implementation is selected once per process:
+//!
+//! * `avx2` when the CPU reports AVX2 — 8-wide main loop, 4-wide cleanup;
+//! * `ssse3` when the CPU reports SSSE3 (`_mm_shuffle_epi8`) — 4-wide loop;
+//! * `scalar` otherwise, or when the environment variable
+//!   [`FORCE_SCALAR_ENV`]`=1` is set (the CI fallback job uses this to keep
+//!   the non-SIMD path exercised on SIMD-capable hardware).
+//!
+//! The output is written to a caller-provided buffer rather than in place:
+//! compacted stores write a full vector register, so an in-place retain could
+//! clobber not-yet-read elements of the accumulator. Callers that need
+//! in-place semantics swap the buffers afterwards (see
+//! [`intersect::retain_simd`](crate::intersect::retain_simd)).
+
+use crate::vertex::VertexId;
+use std::sync::OnceLock;
+
+/// Environment variable that forces the scalar fallback when set to `1`.
+pub const FORCE_SCALAR_ENV: &str = "SQP_FORCE_SCALAR";
+
+/// Which intersection implementation this process selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Impl {
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Ssse3,
+    Scalar,
+}
+
+fn implementation() -> Impl {
+    static IMPL: OnceLock<Impl> = OnceLock::new();
+    *IMPL.get_or_init(|| {
+        if std::env::var(FORCE_SCALAR_ENV).is_ok_and(|v| v == "1") {
+            return Impl::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Impl::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("ssse3") {
+                return Impl::Ssse3;
+            }
+        }
+        Impl::Scalar
+    })
+}
+
+/// Whether a vector (non-scalar) implementation is active.
+pub fn available() -> bool {
+    implementation() != Impl::Scalar
+}
+
+/// The name of the selected implementation: `"avx2"`, `"ssse3"` or
+/// `"scalar"`.
+pub fn implementation_name() -> &'static str {
+    match implementation() {
+        #[cfg(target_arch = "x86_64")]
+        Impl::Avx2 => "avx2",
+        #[cfg(target_arch = "x86_64")]
+        Impl::Ssse3 => "ssse3",
+        Impl::Scalar => "scalar",
+    }
+}
+
+/// Computes `a ∩ b` into `out` (cleared first), using the selected SIMD
+/// implementation. Returns `true` when a vector path ran, `false` on the
+/// scalar fallback. Both inputs must be strictly sorted ascending.
+pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) -> bool {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]));
+    out.clear();
+    match implementation() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: feature presence was verified by `implementation()`.
+        Impl::Avx2 => unsafe {
+            x86::intersect_avx2(a, b, out);
+            true
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: feature presence was verified by `implementation()`.
+        Impl::Ssse3 => unsafe {
+            x86::intersect_ssse3(a, b, out);
+            true
+        },
+        Impl::Scalar => {
+            scalar_merge_into(a, b, out);
+            false
+        }
+    }
+}
+
+/// Scalar two-pointer merge of the intersection into `out` (appending).
+fn scalar_merge_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{scalar_merge_into, VertexId};
+    use std::arch::x86_64::*;
+
+    /// Byte-shuffle control for compacting the matched 32-bit lanes of a
+    /// 4-lane vector to the front; one entry per 4-bit match mask. Unmatched
+    /// trailing lanes shuffle from 0xFF (zeroed) and are not counted.
+    static SHUFFLE4: [[u8; 16]; 16] = shuffle4_table();
+
+    const fn shuffle4_table() -> [[u8; 16]; 16] {
+        let mut t = [[0xFFu8; 16]; 16];
+        let mut m = 0;
+        while m < 16 {
+            let mut out = 0;
+            let mut lane = 0;
+            while lane < 4 {
+                if m & (1 << lane) != 0 {
+                    let mut byte = 0;
+                    while byte < 4 {
+                        t[m][out * 4 + byte] = (lane * 4 + byte) as u8;
+                        byte += 1;
+                    }
+                    out += 1;
+                }
+                lane += 1;
+            }
+            m += 1;
+        }
+        t
+    }
+
+    /// Lane-permute control for compacting the matched 32-bit lanes of an
+    /// 8-lane vector to the front; one entry per 8-bit match mask.
+    static PERMUTE8: [[u32; 8]; 256] = permute8_table();
+
+    const fn permute8_table() -> [[u32; 8]; 256] {
+        let mut t = [[0u32; 8]; 256];
+        let mut m = 0;
+        while m < 256 {
+            let mut out = 0;
+            let mut lane = 0;
+            while lane < 8 {
+                if m & (1 << lane) != 0 {
+                    t[m][out] = lane as u32;
+                    out += 1;
+                }
+                lane += 1;
+            }
+            m += 1;
+        }
+        t
+    }
+
+    /// 4-wide block intersection step over `a[i..]` × `b[j..]`, appending
+    /// matches at `out[k..]`. Returns the updated `(i, j, k)`.
+    ///
+    /// # Safety
+    /// Requires SSSE3. `out` must have capacity for `k + matches + 4`
+    /// elements (each compacted store writes a full 16-byte register).
+    #[target_feature(enable = "ssse3")]
+    unsafe fn blocks4(
+        a: &[VertexId],
+        b: &[VertexId],
+        out: &mut Vec<VertexId>,
+        mut i: usize,
+        mut j: usize,
+        mut k: usize,
+    ) -> (usize, usize, usize) {
+        let pa = a.as_ptr() as *const u32;
+        let pb = b.as_ptr() as *const u32;
+        let po = out.as_mut_ptr() as *mut u32;
+        while i + 4 <= a.len() && j + 4 <= b.len() {
+            let va = _mm_loadu_si128(pa.add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(pb.add(j) as *const __m128i);
+            // Compare va against every rotation of vb: each lane of va meets
+            // each lane of vb exactly once.
+            let cmp = _mm_or_si128(
+                _mm_or_si128(
+                    _mm_cmpeq_epi32(va, vb),
+                    _mm_cmpeq_epi32(va, _mm_shuffle_epi32::<0b00_11_10_01>(vb)),
+                ),
+                _mm_or_si128(
+                    _mm_cmpeq_epi32(va, _mm_shuffle_epi32::<0b01_00_11_10>(vb)),
+                    _mm_cmpeq_epi32(va, _mm_shuffle_epi32::<0b10_01_00_11>(vb)),
+                ),
+            );
+            let mask = _mm_movemask_ps(_mm_castsi128_ps(cmp)) as usize;
+            let shuf = _mm_loadu_si128(SHUFFLE4[mask].as_ptr() as *const __m128i);
+            _mm_storeu_si128(po.add(k) as *mut __m128i, _mm_shuffle_epi8(va, shuf));
+            k += mask.count_ones() as usize;
+            let a_max = *pa.add(i + 3);
+            let b_max = *pb.add(j + 3);
+            if a_max <= b_max {
+                i += 4;
+            }
+            if b_max <= a_max {
+                j += 4;
+            }
+        }
+        (i, j, k)
+    }
+
+    /// SSSE3 intersection: 4-wide blocks plus a scalar tail.
+    ///
+    /// # Safety
+    /// Requires SSSE3 (runtime-detected by the caller).
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn intersect_ssse3(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+        out.reserve(a.len().min(b.len()) + 4);
+        let (i, j, k) = blocks4(a, b, out, 0, 0, 0);
+        out.set_len(k);
+        scalar_merge_into(&a[i..], &b[j..], out);
+    }
+
+    /// AVX2 intersection: 8-wide blocks, then 4-wide, then a scalar tail.
+    ///
+    /// # Safety
+    /// Requires AVX2 (runtime-detected by the caller).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn intersect_avx2(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+        out.reserve(a.len().min(b.len()) + 8);
+        let pa = a.as_ptr() as *const u32;
+        let pb = b.as_ptr() as *const u32;
+        let po = out.as_mut_ptr() as *mut u32;
+        let mut i = 0;
+        let mut j = 0;
+        let mut k = 0;
+        // Rotation controls: ROT[r] rotates lanes left by r+1.
+        let rot: [__m256i; 7] = [
+            _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0),
+            _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1),
+            _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2),
+            _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3),
+            _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4),
+            _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5),
+            _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6),
+        ];
+        while i + 8 <= a.len() && j + 8 <= b.len() {
+            let va = _mm256_loadu_si256(pa.add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(pb.add(j) as *const __m256i);
+            let mut cmp = _mm256_cmpeq_epi32(va, vb);
+            for r in &rot {
+                let rotated = _mm256_permutevar8x32_epi32(vb, *r);
+                cmp = _mm256_or_si256(cmp, _mm256_cmpeq_epi32(va, rotated));
+            }
+            let mask = _mm256_movemask_ps(_mm256_castsi256_ps(cmp)) as usize;
+            let perm = _mm256_loadu_si256(PERMUTE8[mask].as_ptr() as *const __m256i);
+            let packed = _mm256_permutevar8x32_epi32(va, perm);
+            _mm256_storeu_si256(po.add(k) as *mut __m256i, packed);
+            k += mask.count_ones() as usize;
+            let a_max = *pa.add(i + 7);
+            let b_max = *pb.add(j + 7);
+            if a_max <= b_max {
+                i += 8;
+            }
+            if b_max <= a_max {
+                j += 8;
+            }
+        }
+        let (i, j, k) = blocks4(a, b, out, i, j, k);
+        out.set_len(k);
+        scalar_merge_into(&a[i..], &b[j..], out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<VertexId> {
+        xs.iter().copied().map(VertexId).collect()
+    }
+
+    fn oracle(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        scalar_merge_into(a, b, &mut out);
+        out
+    }
+
+    fn check(a: &[u32], b: &[u32]) {
+        let (a, b) = (ids(a), ids(b));
+        let expected = oracle(&a, &b);
+        let mut out = Vec::new();
+        intersect_into(&a, &b, &mut out);
+        assert_eq!(out, expected, "a={a:?} b={b:?} impl={}", implementation_name());
+        // Symmetric.
+        intersect_into(&b, &a, &mut out);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        check(&[], &[]);
+        check(&[], &[1, 2, 3]);
+        check(&[5], &[]);
+        check(&[5], &[5]);
+        check(&[5], &[4]);
+        check(&[1, 2], &[2, 3]);
+    }
+
+    #[test]
+    fn block_boundaries() {
+        // Exact multiples of the 4- and 8-lane block sizes, and one off.
+        for n in [4usize, 5, 7, 8, 9, 12, 15, 16, 17, 31, 32, 33] {
+            let a: Vec<u32> = (0..n as u32).map(|i| i * 2).collect();
+            let b: Vec<u32> = (0..n as u32).map(|i| i * 3).collect();
+            check(&a, &b);
+        }
+    }
+
+    #[test]
+    fn identical_disjoint_and_skewed() {
+        let big: Vec<u32> = (0..1000).map(|i| i * 5).collect();
+        check(&big, &big);
+        let shifted: Vec<u32> = big.iter().map(|v| v + 1).collect();
+        check(&big, &shifted);
+        check(&[10, 500, 4995], &big);
+        check(&big, &[0, 4995]);
+    }
+
+    #[test]
+    fn duplicate_lane_values_across_blocks() {
+        // Matches that straddle block boundaries in both inputs.
+        let a: Vec<u32> = (0..64).collect();
+        let b: Vec<u32> = (0..64).filter(|v| v % 7 == 3).collect();
+        check(&a, &b);
+    }
+
+    #[test]
+    fn randomized_agreement_with_scalar() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..300 {
+            let n = rng.random_range(0usize..120);
+            let m = rng.random_range(0usize..120);
+            let mut a: Vec<u32> = (0..n).map(|_| rng.random_range(0u32..300)).collect();
+            let mut b: Vec<u32> = (0..m).map(|_| rng.random_range(0u32..300)).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            check(&a, &b);
+        }
+    }
+
+    #[test]
+    fn implementation_is_reported() {
+        let name = implementation_name();
+        assert!(["avx2", "ssse3", "scalar"].contains(&name));
+        assert_eq!(available(), name != "scalar");
+    }
+}

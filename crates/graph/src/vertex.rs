@@ -6,7 +6,11 @@ use std::fmt;
 ///
 /// Stored as `u32`: the paper's largest graphs have tens of thousands of
 /// vertices, and half-width ids keep CSR arrays and candidate sets compact.
+/// `repr(transparent)` guarantees the `u32` layout the SIMD intersection
+/// kernels ([`crate::simd`]) rely on when loading id slices into vector
+/// registers.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct VertexId(pub u32);
 
 impl VertexId {

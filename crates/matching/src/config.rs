@@ -11,15 +11,21 @@ use std::str::FromStr;
 /// label-restricted adjacencies with `Φ(u)` is computed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum KernelConfig {
-    /// Adaptive: galloping when one side exceeds the other by
-    /// [`sqp_graph::intersect::GALLOP_RATIO`]×, hub adjacency bitmaps when
-    /// the probed vertex has one, linear merge otherwise.
+    /// Adaptive: hub adjacency bitmaps when the probed vertex has one,
+    /// galloping when the haystack exceeds the probe side by
+    /// [`sqp_graph::intersect::GALLOP_RATIO`]× (in either direction), SIMD
+    /// block intersection on balanced inputs of at least
+    /// [`sqp_graph::intersect::SIMD_MIN_LEN`] when the CPU supports it,
+    /// linear merge otherwise.
     #[default]
     Auto,
     /// Always the linear two-pointer merge.
     Merge,
     /// Always the galloping kernel.
     Gallop,
+    /// Always the SIMD block-intersection kernel (SSE/AVX2 when the CPU has
+    /// them, its scalar merge fallback otherwise — see `sqp_graph::simd`).
+    Simd,
     /// The pre-kernel enumeration path: scan the pivot's label-restricted
     /// adjacency and test each candidate with a binary search in `Φ(u)` plus
     /// per-neighbor `has_edge` probes. Kept selectable for A/B comparison.
@@ -28,8 +34,13 @@ pub enum KernelConfig {
 
 impl KernelConfig {
     /// All kernel variants, for ablation sweeps.
-    pub const ALL: [KernelConfig; 4] =
-        [KernelConfig::Auto, KernelConfig::Merge, KernelConfig::Gallop, KernelConfig::Baseline];
+    pub const ALL: [KernelConfig; 5] = [
+        KernelConfig::Auto,
+        KernelConfig::Merge,
+        KernelConfig::Gallop,
+        KernelConfig::Simd,
+        KernelConfig::Baseline,
+    ];
 
     /// The CLI name of this kernel.
     pub fn name(&self) -> &'static str {
@@ -37,6 +48,7 @@ impl KernelConfig {
             KernelConfig::Auto => "auto",
             KernelConfig::Merge => "merge",
             KernelConfig::Gallop => "gallop",
+            KernelConfig::Simd => "simd",
             KernelConfig::Baseline => "baseline",
         }
     }
@@ -56,10 +68,11 @@ impl FromStr for KernelConfig {
             "auto" => Ok(KernelConfig::Auto),
             "merge" => Ok(KernelConfig::Merge),
             "gallop" => Ok(KernelConfig::Gallop),
+            "simd" => Ok(KernelConfig::Simd),
             "baseline" => Ok(KernelConfig::Baseline),
-            other => {
-                Err(format!("unknown kernel '{other}' (expected auto, merge, gallop, or baseline)"))
-            }
+            other => Err(format!(
+                "unknown kernel '{other}' (expected auto, merge, gallop, simd, or baseline)"
+            )),
         }
     }
 }

@@ -280,6 +280,7 @@ fn monotonic_nanos() -> u64 {
 struct SinkState {
     intersections: AtomicU64,
     gallop_hits: AtomicU64,
+    simd_hits: AtomicU64,
     bitmap_probes: AtomicU64,
     phase_nanos: [AtomicU64; PHASE_COUNT],
     phase_items: [AtomicU64; PHASE_COUNT],
@@ -299,6 +300,7 @@ impl SinkState {
         Self {
             intersections: AtomicU64::new(0),
             gallop_hits: AtomicU64::new(0),
+            simd_hits: AtomicU64::new(0),
             bitmap_probes: AtomicU64::new(0),
             phase_nanos: Default::default(),
             phase_items: Default::default(),
@@ -346,6 +348,7 @@ impl StatsSink {
         if let Some(s) = self.state {
             s.intersections.store(0, Ordering::Release);
             s.gallop_hits.store(0, Ordering::Release);
+            s.simd_hits.store(0, Ordering::Release);
             s.bitmap_probes.store(0, Ordering::Release);
             for p in 0..PHASE_COUNT {
                 s.phase_nanos[p].store(0, Ordering::Release);
@@ -394,6 +397,7 @@ impl StatsSink {
         if let Some(s) = self.state {
             s.intersections.fetch_add(k.intersections, Ordering::Relaxed);
             s.gallop_hits.fetch_add(k.gallop_hits, Ordering::Relaxed);
+            s.simd_hits.fetch_add(k.simd_hits, Ordering::Relaxed);
             s.bitmap_probes.fetch_add(k.bitmap_probes, Ordering::Relaxed);
         }
     }
@@ -404,6 +408,7 @@ impl StatsSink {
             Some(s) => KernelStats {
                 intersections: s.intersections.load(Ordering::Acquire),
                 gallop_hits: s.gallop_hits.load(Ordering::Acquire),
+                simd_hits: s.simd_hits.load(Ordering::Acquire),
                 bitmap_probes: s.bitmap_probes.load(Ordering::Acquire),
             },
             None => KernelStats::default(),
@@ -728,11 +733,21 @@ mod tests {
         let sink = StatsSink::new();
         let d = Deadline::none().with_stats(sink);
         assert!(d.stats().snapshot().is_zero());
-        d.stats().record(&KernelStats { intersections: 3, gallop_hits: 1, bitmap_probes: 7 });
-        d.stats().record(&KernelStats { intersections: 1, gallop_hits: 0, bitmap_probes: 2 });
+        d.stats().record(&KernelStats {
+            intersections: 3,
+            gallop_hits: 1,
+            simd_hits: 2,
+            bitmap_probes: 7,
+        });
+        d.stats().record(&KernelStats {
+            intersections: 1,
+            gallop_hits: 0,
+            simd_hits: 1,
+            bitmap_probes: 2,
+        });
         assert_eq!(
             sink.snapshot(),
-            KernelStats { intersections: 4, gallop_hits: 1, bitmap_probes: 9 }
+            KernelStats { intersections: 4, gallop_hits: 1, simd_hits: 3, bitmap_probes: 9 }
         );
         sink.reset();
         assert!(sink.snapshot().is_zero());
@@ -742,7 +757,12 @@ mod tests {
     fn none_sink_is_inert() {
         let sink = StatsSink::none();
         assert!(!sink.is_some());
-        sink.record(&KernelStats { intersections: 1, gallop_hits: 1, bitmap_probes: 1 });
+        sink.record(&KernelStats {
+            intersections: 1,
+            gallop_hits: 1,
+            simd_hits: 1,
+            bitmap_probes: 1,
+        });
         assert!(sink.snapshot().is_zero());
         sink.record_phase(Phase::Filter, 10, 10);
         assert!(sink.phase_snapshot().is_zero());

@@ -21,6 +21,16 @@ impl Embedding {
         self.map[u.index()]
     }
 
+    /// Overwrites this embedding with `mapping`, reusing the allocation.
+    /// Enumerators report matches through one recycled `Embedding`, so a
+    /// million-match run allocates once, not a million times; callbacks that
+    /// keep an embedding clone it, as [`Clone`] semantics already demand.
+    #[inline]
+    pub(crate) fn copy_from(&mut self, mapping: &[VertexId]) {
+        self.map.clear();
+        self.map.extend_from_slice(mapping);
+    }
+
     /// The full mapping in query-vertex order.
     pub fn as_slice(&self) -> &[VertexId] {
         &self.map

@@ -10,7 +10,7 @@
 //! sorted-set intersection: the label-restricted data adjacencies
 //! `N(φ(w), L(u))` of *all* mapped backward neighbors `w`, smallest list
 //! first with early exit on empty, filtered by the `Φ(u)` membership bitmap.
-//! Pairwise steps run the merge or galloping kernel from
+//! Pairwise steps run the merge, galloping, or SIMD kernel from
 //! [`sqp_graph::intersect`] (or a hub adjacency-bitmap probe) according to
 //! the configured [`KernelConfig`]. Results land in per-depth scratch buffers
 //! owned by the enumerator, so steady-state candidate generation performs no
@@ -42,8 +42,14 @@ pub struct Enumerator<'a> {
     kernel: KernelConfig,
     /// Per-depth local-candidate buffers, reused across the whole run.
     scratch: Vec<Vec<VertexId>>,
+    /// Output buffer for SIMD intersection steps (their stores are not
+    /// in-place); swapped with the accumulator after each step, so it is one
+    /// allocation for the whole run.
+    simd_scratch: Vec<VertexId>,
     /// Scratch for ordering backward adjacencies by length (smallest first).
-    bw_order: Vec<(usize, usize)>,
+    /// Caches the label-restricted slices so each is fetched once per
+    /// recursion, not once for ordering and again for intersecting.
+    bw_order: Vec<(&'a [VertexId], usize)>,
     /// Counters of the last `run`.
     stats: MatchingStats,
 }
@@ -95,6 +101,7 @@ impl<'a> Enumerator<'a> {
             backward,
             kernel,
             scratch,
+            simd_scratch: Vec::new(),
             bw_order: Vec::new(),
             stats: MatchingStats::default(),
         }
@@ -129,6 +136,7 @@ impl<'a> Enumerator<'a> {
         let mut state = SearchState {
             mapping: vec![VertexId(u32::MAX); n],
             used: vec![false; self.g.vertex_count()],
+            report: Embedding::new(Vec::with_capacity(n)),
             found: 0,
             limit,
             ticker: TickChecker::new(),
@@ -203,16 +211,16 @@ impl<'a> Enumerator<'a> {
             return;
         }
 
-        // Order the backward adjacencies by length, smallest first.
+        // Order the backward adjacencies by length, smallest first, caching
+        // the slices (one label-run lookup per backward neighbor).
         self.bw_order.clear();
         for (bi, &w) in backward.iter().enumerate() {
-            self.bw_order.push((g.neighbors_with_label(mapping[w.index()], label).len(), bi));
+            self.bw_order.push((g.neighbors_with_label(mapping[w.index()], label), bi));
         }
-        self.bw_order.sort_unstable();
+        self.bw_order.sort_unstable_by_key(|&(s, bi)| (s.len(), bi));
 
         // Seed from the smallest adjacency, filtered by the Φ(u) bitmap.
-        let (_, bi0) = self.bw_order[0];
-        let seed = g.neighbors_with_label(mapping[backward[bi0].index()], label);
+        let (seed, _) = self.bw_order[0];
         self.stats.bitmap_probes += seed.len() as u64;
         for &v in seed {
             if space.contains(u, v) {
@@ -227,9 +235,7 @@ impl<'a> Enumerator<'a> {
             if buf.is_empty() {
                 return;
             }
-            let (_, bi) = self.bw_order[k];
-            let w = mapping[backward[bi].index()];
-            let adj = g.neighbors_with_label(w, label);
+            let (adj, bi) = self.bw_order[k];
             self.stats.intersections += 1;
             match self.kernel {
                 KernelConfig::Merge => intersect::retain_merge(buf, adj),
@@ -237,16 +243,26 @@ impl<'a> Enumerator<'a> {
                     intersect::retain_gallop(buf, adj);
                     self.stats.gallop_hits += 1;
                 }
+                KernelConfig::Simd => {
+                    if intersect::retain_simd(buf, adj, &mut self.simd_scratch) {
+                        self.stats.simd_hits += 1;
+                    }
+                }
                 // Auto (Baseline returned above): hub bitmap when the probed
                 // vertex has a row — every buffered candidate carries label
                 // L(u), so full-adjacency membership equals label-restricted
-                // membership — otherwise adaptive merge/gallop.
+                // membership — otherwise adaptive gallop/SIMD/merge.
                 _ => {
+                    let w = mapping[backward[bi].index()];
                     if let Some((h, row)) = hubs.and_then(|h| h.row(w).map(|r| (h, r))) {
                         self.stats.bitmap_probes += buf.len() as u64;
                         buf.retain(|&v| h.contains(row, v));
-                    } else if intersect::retain_adaptive(buf, adj) {
-                        self.stats.gallop_hits += 1;
+                    } else {
+                        match intersect::retain_auto(buf, adj, &mut self.simd_scratch) {
+                            intersect::AutoChoice::Gallop => self.stats.gallop_hits += 1,
+                            intersect::AutoChoice::Simd => self.stats.simd_hits += 1,
+                            intersect::AutoChoice::Merge | intersect::AutoChoice::Noop => {}
+                        }
                     }
                 }
             }
@@ -291,9 +307,9 @@ impl<'a> Enumerator<'a> {
             state.mapping[u.index()] = v;
             if depth + 1 == self.q.vertex_count() {
                 state.found += 1;
-                let e = Embedding::new(state.mapping.clone());
-                debug_assert!(e.is_valid(self.q, self.g));
-                on_match(&e);
+                state.report.copy_from(&state.mapping);
+                debug_assert!(state.report.is_valid(self.q, self.g));
+                on_match(&state.report);
             } else {
                 state.used[v.index()] = true;
                 self.descend(depth + 1, state, deadline, on_match)?;
@@ -311,6 +327,8 @@ impl<'a> Enumerator<'a> {
 struct SearchState {
     mapping: Vec<VertexId>,
     used: Vec<bool>,
+    /// Recycled match-report buffer: one allocation per run, not per match.
+    report: Embedding,
     found: u64,
     limit: u64,
     ticker: TickChecker,
@@ -432,10 +450,28 @@ mod tests {
                     KernelConfig::Baseline => {
                         assert_eq!(stats.intersections, 0);
                         assert_eq!(stats.bitmap_probes, 0);
+                        assert_eq!(stats.simd_hits, 0);
                     }
-                    KernelConfig::Gallop => assert_eq!(stats.gallop_hits, stats.intersections),
-                    KernelConfig::Merge => assert_eq!(stats.gallop_hits, 0),
-                    KernelConfig::Auto => {}
+                    KernelConfig::Gallop => {
+                        assert_eq!(stats.gallop_hits, stats.intersections);
+                        assert_eq!(stats.simd_hits, 0);
+                    }
+                    KernelConfig::Merge => {
+                        assert_eq!(stats.gallop_hits, 0);
+                        assert_eq!(stats.simd_hits, 0);
+                    }
+                    KernelConfig::Simd => {
+                        assert_eq!(stats.gallop_hits, 0);
+                        if sqp_graph::simd::available() {
+                            assert_eq!(stats.simd_hits, stats.intersections);
+                        } else {
+                            assert_eq!(stats.simd_hits, 0);
+                        }
+                    }
+                    KernelConfig::Auto => assert!(
+                        stats.gallop_hits + stats.simd_hits <= stats.intersections,
+                        "auto hit counters cannot exceed intersections: {stats:?}"
+                    ),
                 }
             }
         }

@@ -19,6 +19,8 @@ pub struct MatchingStats {
     pub intersections: u64,
     /// Pairwise intersections that ran the galloping kernel.
     pub gallop_hits: u64,
+    /// Pairwise intersections that ran a vectorized (SSE/AVX2) block kernel.
+    pub simd_hits: u64,
     /// Single-bit membership tests (candidate `Φ(u)` bitmap and hub
     /// adjacency bitmap probes).
     pub bitmap_probes: u64,
@@ -32,6 +34,7 @@ impl MatchingStats {
         self.embeddings += other.embeddings;
         self.intersections += other.intersections;
         self.gallop_hits += other.gallop_hits;
+        self.simd_hits += other.simd_hits;
         self.bitmap_probes += other.bitmap_probes;
     }
 
@@ -40,6 +43,7 @@ impl MatchingStats {
         KernelStats {
             intersections: self.intersections,
             gallop_hits: self.gallop_hits,
+            simd_hits: self.simd_hits,
             bitmap_probes: self.bitmap_probes,
         }
     }
@@ -56,6 +60,8 @@ pub struct KernelStats {
     pub intersections: u64,
     /// Pairwise intersections that ran the galloping kernel.
     pub gallop_hits: u64,
+    /// Pairwise intersections that ran a vectorized (SSE/AVX2) block kernel.
+    pub simd_hits: u64,
     /// Single-bit membership tests (`Φ(u)` and hub adjacency bitmaps).
     pub bitmap_probes: u64,
 }
@@ -65,6 +71,7 @@ impl KernelStats {
     pub fn merge(&mut self, other: &KernelStats) {
         self.intersections += other.intersections;
         self.gallop_hits += other.gallop_hits;
+        self.simd_hits += other.simd_hits;
         self.bitmap_probes += other.bitmap_probes;
     }
 
@@ -86,6 +93,7 @@ mod tests {
             embeddings: 3,
             intersections: 4,
             gallop_hits: 5,
+            simd_hits: 7,
             bitmap_probes: 6,
         };
         a.merge(&MatchingStats {
@@ -94,6 +102,7 @@ mod tests {
             embeddings: 30,
             intersections: 40,
             gallop_hits: 50,
+            simd_hits: 70,
             bitmap_probes: 60,
         });
         assert_eq!(
@@ -104,12 +113,13 @@ mod tests {
                 embeddings: 33,
                 intersections: 44,
                 gallop_hits: 55,
+                simd_hits: 77,
                 bitmap_probes: 66,
             }
         );
         assert_eq!(
             a.kernel(),
-            KernelStats { intersections: 44, gallop_hits: 55, bitmap_probes: 66 }
+            KernelStats { intersections: 44, gallop_hits: 55, simd_hits: 77, bitmap_probes: 66 }
         );
     }
 
@@ -117,9 +127,12 @@ mod tests {
     fn kernel_stats_merge_and_zero() {
         let mut k = KernelStats::default();
         assert!(k.is_zero());
-        k.merge(&KernelStats { intersections: 1, gallop_hits: 2, bitmap_probes: 3 });
-        k.merge(&KernelStats { intersections: 1, gallop_hits: 0, bitmap_probes: 1 });
-        assert_eq!(k, KernelStats { intersections: 2, gallop_hits: 2, bitmap_probes: 4 });
+        k.merge(&KernelStats { intersections: 1, gallop_hits: 2, simd_hits: 5, bitmap_probes: 3 });
+        k.merge(&KernelStats { intersections: 1, gallop_hits: 0, simd_hits: 1, bitmap_probes: 1 });
+        assert_eq!(
+            k,
+            KernelStats { intersections: 2, gallop_hits: 2, simd_hits: 6, bitmap_probes: 4 }
+        );
         assert!(!k.is_zero());
     }
 }

@@ -31,6 +31,12 @@ PROPTEST_CASES=32 cargo test -q --offline --test chaos
 echo "==> kernel equivalence (all kernels x 1/2/4/8 threads, bitmap memory accounting)"
 PROPTEST_CASES=16 cargo test -q --offline --test kernel_equivalence
 
+echo "==> kernel equivalence, forced scalar fallback (SQP_FORCE_SCALAR=1: simd kernel must degrade to merge, not diverge)"
+SQP_FORCE_SCALAR=1 PROPTEST_CASES=16 cargo test -q --offline --test kernel_equivalence
+
+echo "==> calibration bench smoke (writes results/BENCH_calibration_smoke.json)"
+SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench calibration
+
 echo "==> oracle equivalence sweep (all matchers + engines vs brute oracle, pool at 1/2/4/8 threads)"
 PROPTEST_CASES=256 cargo test -q --offline --test oracle_equivalence
 

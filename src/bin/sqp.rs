@@ -7,7 +7,7 @@
 //! sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
 //! sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
 //!              [--threads N] [--retries N] [--max-steps N]
-//!              [--kernel auto|merge|gallop|baseline] [--metrics-out <file>]
+//!              [--kernel auto|merge|gallop|simd|baseline] [--metrics-out <file>]
 //!              [--max-inflight N] [--shed] [--breaker-threshold N]
 //!              [--breaker-cooldown N] [--chaos-panics PM] [--chaos-seed N]
 //!              [--drain-after-ms N]
@@ -55,7 +55,7 @@ USAGE:
   sqp queries  --db <file> --edges N [--count N] [--dense] [--seed N] --out <file>
   sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
                [--threads N] [--retries N] [--max-steps N]
-               [--kernel auto|merge|gallop|baseline] [--metrics-out <file>]
+               [--kernel auto|merge|gallop|simd|baseline] [--metrics-out <file>]
   sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
                [--phases]
   sqp match    --db <file> --queries <file> [--limit N]
@@ -69,7 +69,8 @@ Engines: CT-Index Grapes GGSX CFL GraphQL CFQL vcGrapes vcGGSX
 --max-steps N bounds enumeration steps per query (0 = unlimited); a blown
 budget is reported as EXHAUSTED, not as a timeout
 --kernel picks the enumeration intersection kernel (default auto: adaptive
-merge/gallop with hub bitmaps; baseline = pre-kernel per-candidate probing)
+merge/gallop/SIMD with hub bitmaps; simd = forced SSE/AVX2 block kernel with
+scalar fallback; baseline = pre-kernel per-candidate probing)
 --metrics-out FILE writes the run's metrics (latency and per-phase
 histograms, status counts, kernel counters, service health when in service
 mode) in the Prometheus text exposition format
@@ -317,8 +318,8 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
     );
     let k = report.kernel_totals();
     println!(
-        "-- kernel {kernel} | intersections {} | gallop-hits {} | bitmap-probes {}",
-        k.intersections, k.gallop_hits, k.bitmap_probes,
+        "-- kernel {kernel} | intersections {} | gallop-hits {} | simd-hits {} | bitmap-probes {}",
+        k.intersections, k.gallop_hits, k.simd_hits, k.bitmap_probes,
     );
     let hist = report.latency_histogram();
     let ms = |n: Option<u64>| n.map(|v| v as f64 * 1e-6).unwrap_or(f64::NAN);

@@ -115,7 +115,7 @@ fn full_cli_workflow() {
     };
     let (base_answers, base_text) = kernel_run("baseline");
     assert!(base_text.contains("kernel baseline"), "{base_text}");
-    for kernel in ["auto", "merge", "gallop"] {
+    for kernel in ["auto", "merge", "gallop", "simd"] {
         let (a, text) = kernel_run(kernel);
         assert_eq!(a, base_answers, "kernel {kernel} changed answers");
         assert!(text.contains(&format!("kernel {kernel}")), "{text}");

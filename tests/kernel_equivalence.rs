@@ -1,8 +1,10 @@
 //! Kernel-equivalence properties (DESIGN.md "Enumeration kernels"):
 //!
-//! * every intersection kernel (baseline pivot scan, merge, gallop, and the
-//!   adaptive `auto`) produces the identical sorted embedding set and the
-//!   identical answer set / `QueryStatus` at 1, 2, 4 and 8 threads;
+//! * every intersection kernel (baseline pivot scan, merge, gallop, the
+//!   SIMD block kernel, and the adaptive `auto`) produces the identical
+//!   sorted embedding set and the identical answer set / `QueryStatus` at
+//!   1, 2, 4 and 8 threads — including on all-hub graphs where `auto`
+//!   routes every intersection through the compressed bitmap containers;
 //! * the adaptive kernel actually takes the hub-bitmap and galloping paths
 //!   on the workloads built to trigger them (the counters prove it);
 //! * the candidate-membership bitmaps are charged to the auxiliary-memory
@@ -122,7 +124,12 @@ proptest! {
     #[test]
     fn kernels_produce_identical_embeddings((g, q) in arb_pair()) {
         let baseline = embeddings_with(KernelConfig::Baseline, &q, &g);
-        for kernel in [KernelConfig::Merge, KernelConfig::Gallop, KernelConfig::Auto] {
+        for kernel in [
+            KernelConfig::Merge,
+            KernelConfig::Gallop,
+            KernelConfig::Simd,
+            KernelConfig::Auto,
+        ] {
             let got = embeddings_with(kernel, &q, &g);
             prop_assert_eq!(&got, &baseline, "kernel {} diverged", kernel);
         }
@@ -195,6 +202,125 @@ fn auto_kernel_reports_fast_path_counters() {
     assert_eq!(base_out.status, QueryStatus::Completed);
     assert!(base_out.kernel.is_zero(), "baseline touched a kernel: {:?}", base_out.kernel);
     assert_eq!(auto_out.answers, base_out.answers);
+}
+
+/// A complete tripartite graph over three label classes of `group` vertices,
+/// optionally with `pad` isolated filler vertices interleaved to stretch the
+/// id space. Every connected vertex has degree `2 * group`, so with
+/// `group >= 32` every probed vertex is a hub: the adaptive kernel routes
+/// every pairwise intersection through the compressed bitmap containers.
+/// Interleaved padding widens each chunk's dense footprint, flipping the
+/// containers from bitmap (compact ids) to array (sparse ids).
+fn all_hub_db(group: u32, pad: u32) -> (Arc<GraphDb>, Graph) {
+    let mut b = GraphBuilder::new();
+    let mut groups: Vec<Vec<VertexId>> = vec![Vec::new(); 3];
+    for i in 0..3 * group {
+        groups[(i % 3) as usize].push(b.add_vertex(Label(i % 3)));
+        for _ in 0..pad / (3 * group) {
+            b.add_vertex(Label(9));
+        }
+    }
+    for (la, ga) in groups.iter().enumerate() {
+        for (lb, gb) in groups.iter().enumerate().skip(la + 1) {
+            debug_assert!(la < lb);
+            for &u in ga {
+                for &v in gb {
+                    let _ = b.add_edge(u, v);
+                }
+            }
+        }
+    }
+    let g = b.build();
+    let mut qb = GraphBuilder::new();
+    qb.add_vertex(Label(0));
+    qb.add_vertex(Label(1));
+    qb.add_vertex(Label(2));
+    let _ = qb.add_edge(VertexId(0), VertexId(1));
+    let _ = qb.add_edge(VertexId(0), VertexId(2));
+    let _ = qb.add_edge(VertexId(1), VertexId(2));
+    (Arc::new(GraphDb::from_graphs(vec![g])), qb.build())
+}
+
+/// All-hub graphs (every probed vertex over the hub-degree threshold): every
+/// kernel agrees with the baseline at 1/2/4/8 threads while `auto` routes
+/// its intersections through the compressed bitmap containers — both the
+/// dense-bitmap-container regime (compact id space) and the
+/// array-container regime (padded id space).
+#[test]
+fn all_hub_graphs_agree_across_kernels_and_containers() {
+    use subgraph_query::graph::{NeighborBitmaps, HUB_DEGREE_THRESHOLD};
+
+    for pad in [0u32, 6000] {
+        let (db, q) = all_hub_db(32, pad);
+        let g = db.graph(subgraph_query::graph::database::GraphId(0));
+        let bm = NeighborBitmaps::build(g, HUB_DEGREE_THRESHOLD);
+        assert_eq!(bm.hub_count(), 96, "pad {pad}: every tripartite vertex is a hub");
+        let (array, bitmap) = bm.container_counts();
+        if pad == 0 {
+            assert!(bitmap > 0 && array == 0, "compact ids must take bitmap containers");
+        } else {
+            assert!(array > 0 && bitmap == 0, "padded ids must take array containers");
+        }
+
+        let baseline = {
+            let pool = QueryPool::new(1);
+            let m = GraphQl::new()
+                .with_matcher_config(MatcherConfig::with_kernel(KernelConfig::Baseline));
+            pool.query(Arc::new(m), &db, &q, Deadline::none()).outcome
+        };
+        assert_eq!(baseline.status, QueryStatus::Completed);
+        assert!(!baseline.answers.is_empty(), "pad {pad}: the tripartite graph matches");
+
+        for kernel in KernelConfig::ALL {
+            for threads in [1usize, 2, 4, 8] {
+                let pool = QueryPool::new(threads);
+                let m = GraphQl::new().with_matcher_config(MatcherConfig::with_kernel(kernel));
+                let got = pool.query(Arc::new(m), &db, &q, Deadline::none()).outcome;
+                assert_eq!(
+                    got.answers, baseline.answers,
+                    "pad {pad}, kernel {kernel} at {threads} threads: answer mismatch"
+                );
+                assert_eq!(
+                    got.status, baseline.status,
+                    "pad {pad}, kernel {kernel} at {threads} threads: status mismatch"
+                );
+                if kernel == KernelConfig::Auto {
+                    assert!(
+                        got.kernel.bitmap_probes > 0,
+                        "pad {pad}, {threads} threads: auto must probe the hub containers"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The forced SIMD kernel counts its vectorized steps (when the CPU has a
+/// vector implementation and it is not disabled) and agrees with baseline.
+#[test]
+fn simd_kernel_reports_vectorized_steps() {
+    let (db, q) = all_hub_db(32, 0);
+    let mut simd_engine =
+        GraphQlEngine::with_matcher_config(MatcherConfig::with_kernel(KernelConfig::Simd));
+    simd_engine.build(&db).unwrap();
+    let simd_out = simd_engine.query(&q);
+    assert_eq!(simd_out.status, QueryStatus::Completed);
+    assert!(simd_out.kernel.intersections > 0);
+    if subgraph_query::graph::simd::available() {
+        assert_eq!(
+            simd_out.kernel.simd_hits, simd_out.kernel.intersections,
+            "forced SIMD must vectorize every intersection: {:?}",
+            simd_out.kernel
+        );
+    } else {
+        assert_eq!(simd_out.kernel.simd_hits, 0, "scalar fallback must not count simd hits");
+    }
+
+    let mut base_engine =
+        GraphQlEngine::with_matcher_config(MatcherConfig::with_kernel(KernelConfig::Baseline));
+    base_engine.build(&db).unwrap();
+    let base_out = base_engine.query(&q);
+    assert_eq!(simd_out.answers, base_out.answers);
 }
 
 /// The pool's shared stats sink also surfaces kernel counters, at any

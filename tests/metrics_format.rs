@@ -38,7 +38,7 @@ fn fixed_report() -> QuerySetReport {
         verify_time: Duration::from_micros(500),
         candidates: 4,
         answers: 2,
-        kernel: KernelStats { intersections: 12, gallop_hits: 3, bitmap_probes: 40 },
+        kernel: KernelStats { intersections: 12, gallop_hits: 3, simd_hits: 5, bitmap_probes: 40 },
         phases: PhaseStats {
             nanos: [1_200_000, 300_000, 50_000, 400_000, 0],
             items: [4, 4, 8, 2, 0],
