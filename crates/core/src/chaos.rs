@@ -381,6 +381,94 @@ impl Matcher for SlowMatcher {
     }
 }
 
+/// The wedge scenario generator: a matcher that, on the single
+/// `(query, graph)` pair whose [`graph_fingerprint`]s match its targets,
+/// spins **without ever ticking the deadline** — the exact failure mode
+/// cooperative cancellation cannot handle and the supervisor exists for.
+/// Every other pair delegates to the wrapped matcher, so queries that do
+/// not hit the wedge pair are untouched (the I8 comparison relies on this).
+///
+/// The wedge holds until [`release`](StuckMatcher::release_handle) is set
+/// (tests flip it during teardown so abandoned threads can exit) or the
+/// process ends.
+pub struct StuckMatcher {
+    inner: Arc<dyn Matcher>,
+    q_target: u64,
+    g_target: u64,
+    release: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl StuckMatcher {
+    /// Wraps `inner`, wedging on the query fingerprinted `q_target` when it
+    /// filters the data graph fingerprinted `g_target`.
+    pub fn new(inner: Arc<dyn Matcher>, q_target: u64, g_target: u64) -> Self {
+        Self {
+            inner,
+            q_target,
+            g_target,
+            release: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+
+    /// The release latch: storing `true` lets every wedged call return
+    /// (as [`FilterResult::Pruned`]).
+    pub fn release_handle(&self) -> Arc<std::sync::atomic::AtomicBool> {
+        Arc::clone(&self.release)
+    }
+}
+
+impl Matcher for StuckMatcher {
+    fn name(&self) -> &'static str {
+        "Stuck"
+    }
+
+    fn filter(&self, q: &Graph, g: &Graph, deadline: Deadline) -> Result<FilterResult, Timeout> {
+        if graph_fingerprint(q) == self.q_target && graph_fingerprint(g) == self.g_target {
+            // Deliberately no deadline.check(): no heartbeat, no
+            // cancellation. Sleep in slices only to stay polite to the CPU.
+            while !self.release.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            return Ok(FilterResult::Pruned);
+        }
+        self.inner.filter(q, g, deadline)
+    }
+
+    fn find_first(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        deadline: Deadline,
+    ) -> Result<Option<Embedding>, Timeout> {
+        self.inner.find_first(q, g, space, deadline)
+    }
+
+    fn enumerate(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        space: &CandidateSpace,
+        limit: u64,
+        deadline: Deadline,
+        on_match: &mut dyn FnMut(&Embedding),
+    ) -> Result<u64, Timeout> {
+        self.inner.enumerate(q, g, space, limit, deadline, on_match)
+    }
+}
+
+/// Deterministic torn-write injection for journal chaos: returns `bytes`
+/// truncated to a seed-derived length in `[0, bytes.len()]`, simulating the
+/// arbitrary cut a crash mid-append leaves behind. Pure function of
+/// `(seed, bytes.len())`.
+pub fn torn_tail(bytes: &[u8], seed: u64) -> &[u8] {
+    let mut h = FxHasher::default();
+    seed.hash(&mut h);
+    bytes.len().hash(&mut h);
+    let cut = (h.finish() % (bytes.len() as u64 + 1)) as usize;
+    &bytes[..cut]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,7 +44,7 @@ pub struct BuildReport {
 /// Ordered by severity — [`absorb`](QueryStatus::absorb) keeps the most
 /// severe status when per-graph failures are merged into one outcome:
 /// `Completed < TimedOut < ResourceExhausted < Quarantined < Panicked <
-/// Shed`.
+/// Wedged < Shed`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum QueryStatus {
     /// The query ran to completion; `answers` is the exact answer set.
@@ -72,6 +72,13 @@ pub enum QueryStatus {
         /// The panic payload (downcast to a string where possible).
         message: String,
     },
+    /// The supervisor escalated a worker that stopped ticking its deadline
+    /// (stale heartbeat past `deadline + grace`): cooperative cancellation
+    /// could never reach it, so the worker thread was abandoned and
+    /// replaced. Answers gathered by other workers of the query are
+    /// preserved; the wedged (query, graph) pair is listed in
+    /// [`QueryOutcome::failures`].
+    Wedged,
     /// The query was rejected by admission control (queue full, predicted
     /// deadline miss, or service draining) and never executed. A shed query
     /// produces no answers and no per-graph work at all, but still receives
@@ -88,7 +95,8 @@ impl QueryStatus {
             QueryStatus::ResourceExhausted { .. } => 2,
             QueryStatus::Quarantined => 3,
             QueryStatus::Panicked { .. } => 4,
-            QueryStatus::Shed => 5,
+            QueryStatus::Wedged => 5,
+            QueryStatus::Shed => 6,
         }
     }
 
@@ -123,11 +131,17 @@ impl QueryStatus {
         matches!(self, QueryStatus::Shed)
     }
 
+    /// Whether the supervisor abandoned a wedged worker on this query.
+    pub fn is_wedged(&self) -> bool {
+        matches!(self, QueryStatus::Wedged)
+    }
+
     /// Whether this per-graph status counts as a breaker-relevant fault
-    /// (panics and resource exhaustion — the failure modes a sick graph
-    /// inflicts on the service, as opposed to a query-wide timeout).
+    /// (panics, resource exhaustion, and wedged workers — the failure modes
+    /// a sick graph inflicts on the service, as opposed to a query-wide
+    /// timeout).
     pub fn is_breaker_fault(&self) -> bool {
-        self.is_panicked() || self.is_exhausted()
+        self.is_panicked() || self.is_exhausted() || self.is_wedged()
     }
 
     /// Merges `other` in: replaces `self` when `other` is strictly more
@@ -158,6 +172,7 @@ impl std::fmt::Display for QueryStatus {
             QueryStatus::ResourceExhausted { kind } => write!(f, "exhausted {kind}"),
             QueryStatus::Quarantined => write!(f, "quarantined"),
             QueryStatus::Panicked { message } => write!(f, "panicked: {message}"),
+            QueryStatus::Wedged => write!(f, "wedged"),
             QueryStatus::Shed => write!(f, "shed"),
         }
     }
@@ -248,6 +263,13 @@ impl QueryOutcome {
     /// per-graph failure.
     pub fn record_quarantined(&mut self, graph: GraphId) {
         self.failures.push(GraphFailure { graph, status: QueryStatus::Quarantined });
+    }
+
+    /// Records a wedged worker abandoned on `graph`: the supervisor
+    /// escalated a stale heartbeat, so this (query, graph) pair never
+    /// produced a result and its worker thread is gone.
+    pub fn record_wedged(&mut self, graph: GraphId) {
+        self.failures.push(GraphFailure { graph, status: QueryStatus::Wedged });
     }
 
     /// Records an interrupted matcher call (timeout or resource exhaustion,
@@ -350,6 +372,21 @@ mod tests {
         // Equal severity keeps the first observed.
         s.absorb(QueryStatus::Panicked { message: "later".into() });
         assert_eq!(s, QueryStatus::Panicked { message: "boom".into() });
+        s.absorb(QueryStatus::Wedged);
+        assert!(s.is_wedged());
+        s.absorb(QueryStatus::Shed);
+        assert_eq!(s, QueryStatus::Shed);
+    }
+
+    #[test]
+    fn wedged_is_a_breaker_fault() {
+        assert!(QueryStatus::Wedged.is_breaker_fault());
+        assert!(!QueryStatus::TimedOut.is_breaker_fault());
+        let mut o = QueryOutcome::default();
+        o.record_wedged(GraphId(3));
+        o.finalize();
+        assert_eq!(o.status, QueryStatus::Wedged);
+        assert_eq!(o.failures[0].graph, GraphId(3));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::fmt::Write as _;
 use sqp_matching::Phase;
 
 use crate::engine::QueryStatus;
+use crate::journal::JournalStats;
 use crate::metrics::{LatencyHistogram, QuerySetReport, ServiceHealth, HISTOGRAM_BUCKETS};
 
 /// Stable exposition label for a query status.
@@ -24,12 +25,13 @@ pub fn status_label(status: &QueryStatus) -> &'static str {
         QueryStatus::ResourceExhausted { .. } => "resource_exhausted",
         QueryStatus::Quarantined => "quarantined",
         QueryStatus::Panicked { .. } => "panicked",
+        QueryStatus::Wedged => "wedged",
         QueryStatus::Shed => "shed",
     }
 }
 
-const STATUS_LABELS: [&str; 6] =
-    ["completed", "timed_out", "resource_exhausted", "quarantined", "panicked", "shed"];
+const STATUS_LABELS: [&str; 7] =
+    ["completed", "timed_out", "resource_exhausted", "quarantined", "panicked", "wedged", "shed"];
 
 fn escape_label(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
@@ -151,6 +153,16 @@ fn histogram_samples(
 /// Prometheus text exposition format. Families with no samples are omitted
 /// entirely (no orphan HELP/TYPE headers).
 pub fn render(reports: &[QuerySetReport], health: Option<&ServiceHealth>) -> String {
+    render_with_journal(reports, health, None)
+}
+
+/// [`render`] plus run-journal activity counters, for journaled runs
+/// (`sqp query --journal`).
+pub fn render_with_journal(
+    reports: &[QuerySetReport],
+    health: Option<&ServiceHealth>,
+    journal: Option<&JournalStats>,
+) -> String {
     let mut w = PromWriter::new();
     w.family("sqp_queries_total", "counter", "Queries by engine, query set, and terminal status.");
     w.family(
@@ -204,6 +216,27 @@ pub fn render(reports: &[QuerySetReport], health: Option<&ServiceHealth>) -> Str
         "counter",
         "Per-graph short-circuits served from open breakers.",
     );
+    w.family(
+        "sqp_queries_wedged_total",
+        "counter",
+        "Queries escalated by the supervisor (worker stopped ticking and was abandoned).",
+    );
+    w.family(
+        "sqp_workers_replaced_total",
+        "counter",
+        "Pool workers abandoned by the supervisor and replaced.",
+    );
+    w.family("sqp_journal_replayed_total", "counter", "Run-journal records recovered on resume.");
+    w.family(
+        "sqp_journal_appended_total",
+        "counter",
+        "Run-journal records appended by this process.",
+    );
+    w.family(
+        "sqp_journal_skipped_total",
+        "counter",
+        "Queries skipped because the run journal already held their outcome.",
+    );
 
     for report in reports {
         let base = vec![("engine", report.engine.clone()), ("query_set", report.query_set.clone())];
@@ -255,6 +288,14 @@ pub fn render(reports: &[QuerySetReport], health: Option<&ServiceHealth>) -> Str
             &[],
             h.quarantined_graph_results as f64,
         );
+        w.sample("sqp_queries_wedged_total", "", &[], h.wedged_queries as f64);
+        w.sample("sqp_workers_replaced_total", "", &[], h.workers_replaced as f64);
+    }
+
+    if let Some(j) = journal {
+        w.sample("sqp_journal_replayed_total", "", &[], j.replayed as f64);
+        w.sample("sqp_journal_appended_total", "", &[], j.appended as f64);
+        w.sample("sqp_journal_skipped_total", "", &[], j.skipped as f64);
     }
 
     w.finish()

@@ -1,0 +1,322 @@
+//! Crash-consistent run journal: append-only, checksummed, torn-tail
+//! tolerant.
+//!
+//! A SIGKILL'd multi-hour run used to lose every completed [`QueryRecord`];
+//! the journal makes query-set runs resumable. Each terminal outcome is one
+//! line, appended as the query finishes:
+//!
+//! ```text
+//! v1 <db_fp:016x> <q_fp:016x> <status> <answers> <fnv:016x>\n
+//! ```
+//!
+//! where `db_fp` is the [`db_fingerprint`] of the database the run is over,
+//! `q_fp` the [`graph_fingerprint`] of the query, `status` the terminal
+//! [`QueryStatus`] label, `answers` the answer count, and `fnv` the FNV-1a
+//! 64-bit checksum of everything before it on the line (the same FNV
+//! constants as the binio trailer).
+//!
+//! # Replay rules
+//!
+//! Replay ([`RunJournal::resume`]) scans from the top and stops at the
+//! **first** line that is malformed, fails its checksum, or names a
+//! different database — so a torn tail (a crash mid-append) always replays
+//! to a *prefix* of the recorded outcomes, never to a false completion. The
+//! torn tail is then truncated away so new appends never sit behind garbage
+//! (which a later replay would refuse to read past). Two further rules keep
+//! resume sound:
+//!
+//! * `shed` records never enter the done set — a shed query did no work and
+//!   must re-run;
+//! * query identity is structural ([`graph_fingerprint`]), so duplicate
+//!   queries in a set share one journal entry (they would produce the same
+//!   result anyway).
+//!
+//! [`QueryRecord`]: crate::metrics::QueryRecord
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::hash::{Hash, Hasher};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use sqp_graph::database::GraphId;
+use sqp_graph::hash::FxHasher;
+use sqp_graph::GraphDb;
+
+use crate::chaos::graph_fingerprint;
+use crate::engine::QueryStatus;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Structural fingerprint of a whole database: the journal's notion of
+/// "the same run". Hashes every graph's [`graph_fingerprint`] in order, so
+/// any edit to the database invalidates old journals instead of silently
+/// skipping queries against different data.
+pub fn db_fingerprint(db: &GraphDb) -> u64 {
+    let mut h = FxHasher::default();
+    db.len().hash(&mut h);
+    for i in 0..db.len() {
+        graph_fingerprint(db.graph(GraphId(i as u32))).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Journal activity counters, surfaced in the Prometheus exposition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Valid records recovered on [`RunJournal::resume`].
+    pub replayed: u64,
+    /// Records appended by this process.
+    pub appended: u64,
+    /// Queries skipped because the journal already held their outcome.
+    pub skipped: u64,
+}
+
+/// The status label written to (and parsed from) journal lines. Kept in
+/// sync with the Prometheus `status` label values.
+fn status_label(status: &QueryStatus) -> &'static str {
+    match status {
+        QueryStatus::Completed => "completed",
+        QueryStatus::TimedOut => "timed_out",
+        QueryStatus::ResourceExhausted { .. } => "resource_exhausted",
+        QueryStatus::Quarantined => "quarantined",
+        QueryStatus::Panicked { .. } => "panicked",
+        QueryStatus::Wedged => "wedged",
+        QueryStatus::Shed => "shed",
+    }
+}
+
+/// An open run journal: a replayed done-set plus an append handle.
+pub struct RunJournal {
+    file: File,
+    db_fp: u64,
+    done: HashSet<u64>,
+    stats: JournalStats,
+}
+
+impl RunJournal {
+    /// Starts a fresh journal at `path` (truncating any existing file) for
+    /// a run over the database fingerprinted `db_fp`.
+    pub fn create(path: &Path, db_fp: u64) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
+        Ok(Self { file, db_fp, done: HashSet::new(), stats: JournalStats::default() })
+    }
+
+    /// Opens `path` for resumption: replays the valid prefix (see the
+    /// module docs for the replay rules), truncates everything after it,
+    /// and positions for appending. A missing file starts an empty journal.
+    pub fn resume(path: &Path, db_fp: u64) -> std::io::Result<Self> {
+        // Deliberately NOT truncate-on-open: the existing records are the
+        // point. Only the invalid tail is truncated, after replay below.
+        #[allow(clippy::suspicious_open_options)]
+        let mut file = OpenOptions::new().create(true).read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut done = HashSet::new();
+        let mut replayed = 0u64;
+        let mut valid_len = 0usize;
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+                break; // torn tail: no newline
+            };
+            let line = &bytes[offset..offset + nl];
+            let Some((q_fp, label)) = parse_line(line, db_fp) else {
+                break; // malformed, bad checksum, or foreign database
+            };
+            if label != "shed" {
+                done.insert(q_fp);
+            }
+            replayed += 1;
+            offset += nl + 1;
+            valid_len = offset;
+        }
+        file.set_len(valid_len as u64)?;
+        file.seek(SeekFrom::Start(valid_len as u64))?;
+        Ok(Self { file, db_fp, done, stats: JournalStats { replayed, ..JournalStats::default() } })
+    }
+
+    /// Whether the journal already holds a terminal (non-shed) outcome for
+    /// the query fingerprinted `q_fp`.
+    pub fn is_done(&self, q_fp: u64) -> bool {
+        self.done.contains(&q_fp)
+    }
+
+    /// [`is_done`](RunJournal::is_done) plus skip accounting: the resume
+    /// paths call this once per query before running it.
+    pub fn should_skip(&mut self, q_fp: u64) -> bool {
+        let skip = self.done.contains(&q_fp);
+        if skip {
+            self.stats.skipped += 1;
+        }
+        skip
+    }
+
+    /// Appends one terminal outcome. The line is flushed to the OS before
+    /// returning, so a process kill right after a query completes cannot
+    /// lose it (a machine crash can still tear the tail — replay tolerates
+    /// that).
+    pub fn record(
+        &mut self,
+        q_fp: u64,
+        status: &QueryStatus,
+        answers: usize,
+    ) -> std::io::Result<()> {
+        let prefix =
+            format!("v1 {:016x} {:016x} {} {answers}", self.db_fp, q_fp, status_label(status));
+        let sum = fnv1a64(prefix.as_bytes());
+        self.file.write_all(format!("{prefix} {sum:016x}\n").as_bytes())?;
+        self.file.flush()?;
+        self.stats.appended += 1;
+        if !matches!(status, QueryStatus::Shed) {
+            self.done.insert(q_fp);
+        }
+        Ok(())
+    }
+
+    /// Activity counters for the exposition layer.
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// Queries with a recorded terminal (non-shed) outcome.
+    pub fn done_count(&self) -> usize {
+        self.done.len()
+    }
+}
+
+/// Parses one journal line; returns the query fingerprint and status label
+/// iff the line is well-formed, checksums cleanly, and belongs to `db_fp`.
+fn parse_line(line: &[u8], db_fp: u64) -> Option<(u64, &str)> {
+    let line = std::str::from_utf8(line).ok()?;
+    let (prefix, sum) = line.rsplit_once(' ')?;
+    if u64::from_str_radix(sum, 16).ok()? != fnv1a64(prefix.as_bytes()) {
+        return None;
+    }
+    let mut fields = prefix.split(' ');
+    if fields.next()? != "v1" {
+        return None;
+    }
+    if u64::from_str_radix(fields.next()?, 16).ok()? != db_fp {
+        return None;
+    }
+    let q_fp = u64::from_str_radix(fields.next()?, 16).ok()?;
+    let label = fields.next()?;
+    let _answers: u64 = fields.next()?.parse().ok()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    Some((q_fp, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_graph::{GraphBuilder, Label};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sqp-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_and_skips_done_queries() {
+        let path = tmp("roundtrip");
+        let mut j = RunJournal::create(&path, 42).unwrap();
+        j.record(1, &QueryStatus::Completed, 5).unwrap();
+        j.record(2, &QueryStatus::TimedOut, 0).unwrap();
+        j.record(3, &QueryStatus::Shed, 0).unwrap();
+        drop(j);
+
+        let mut j = RunJournal::resume(&path, 42).unwrap();
+        assert_eq!(j.stats().replayed, 3);
+        assert_eq!(j.done_count(), 2);
+        assert!(j.should_skip(1));
+        assert!(j.should_skip(2));
+        assert!(!j.should_skip(3), "shed queries must re-run");
+        assert_eq!(j.stats().skipped, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_database_journal_is_ignored() {
+        let path = tmp("foreign");
+        let mut j = RunJournal::create(&path, 42).unwrap();
+        j.record(1, &QueryStatus::Completed, 5).unwrap();
+        drop(j);
+        let j = RunJournal::resume(&path, 43).unwrap();
+        assert_eq!(j.stats().replayed, 0);
+        assert_eq!(j.done_count(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_replays_to_a_prefix_and_is_truncated() {
+        let path = tmp("torn");
+        let mut j = RunJournal::create(&path, 7).unwrap();
+        j.record(10, &QueryStatus::Completed, 1).unwrap();
+        j.record(11, &QueryStatus::Completed, 2).unwrap();
+        drop(j);
+        // Tear the last record in half.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+
+        let mut j = RunJournal::resume(&path, 7).unwrap();
+        assert_eq!(j.stats().replayed, 1);
+        assert!(j.is_done(10));
+        assert!(!j.is_done(11), "torn record must not count as done");
+        // The tail was truncated; appending and re-replaying is clean.
+        j.record(11, &QueryStatus::Completed, 2).unwrap();
+        drop(j);
+        let j = RunJournal::resume(&path, 7).unwrap();
+        assert_eq!(j.stats().replayed, 2);
+        assert!(j.is_done(11));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_invalidates_the_record_and_its_suffix() {
+        let path = tmp("corrupt");
+        let mut j = RunJournal::create(&path, 7).unwrap();
+        j.record(10, &QueryStatus::Completed, 1).unwrap();
+        j.record(11, &QueryStatus::Completed, 2).unwrap();
+        j.record(12, &QueryStatus::Completed, 3).unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let line_len = bytes.len() / 3;
+        bytes[line_len + 5] ^= 0x01; // flip a bit inside record 2
+        std::fs::write(&path, &bytes).unwrap();
+
+        let j = RunJournal::resume(&path, 7).unwrap();
+        assert_eq!(j.stats().replayed, 1, "replay stops at the corrupt line");
+        assert!(j.is_done(10));
+        assert!(!j.is_done(11));
+        assert!(!j.is_done(12));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn db_fingerprint_tracks_content() {
+        let g = |l: u32| {
+            let mut b = GraphBuilder::new();
+            b.add_vertex(Label(l));
+            b.build()
+        };
+        let a = GraphDb::from_graphs(vec![g(0), g(1)]);
+        let b = GraphDb::from_graphs(vec![g(0), g(1)]);
+        let c = GraphDb::from_graphs(vec![g(0), g(2)]);
+        assert_eq!(db_fingerprint(&a), db_fingerprint(&b));
+        assert_ne!(db_fingerprint(&a), db_fingerprint(&c));
+    }
+}

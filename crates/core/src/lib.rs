@@ -25,25 +25,33 @@ pub mod collection;
 pub mod engine;
 pub mod engines;
 pub mod exposition;
+pub mod journal;
 pub mod metrics;
 pub mod parallel;
 pub mod runner;
 pub mod service;
+pub mod supervisor;
 pub mod verifier;
 
 pub use breaker::{BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
 pub use chaos::{
     chaos_engine, ChaosConfig, ChaosMatcher, FaultKind, FlappyConfig, FlappyMatcher, SlowMatcher,
+    StuckMatcher,
 };
 pub use engine::{
     BuildReport, EngineCategory, GraphFailure, QueryEngine, QueryOutcome, QueryStatus,
 };
+pub use journal::{db_fingerprint, JournalStats, RunJournal};
 pub use metrics::{LatencyHistogram, QueryRecord, QuerySetReport, ServiceHealth};
 pub use parallel::{parallel_query, ParallelOutcome, QueryPool};
-pub use runner::{run_query_set, run_query_set_parallel, RunnerConfig};
+pub use runner::{
+    run_query_set, run_query_set_journaled, run_query_set_parallel,
+    run_query_set_parallel_journaled, RunnerConfig,
+};
 pub use service::{
     Admission, DrainReport, QueryService, QueryTicket, ServiceConfig, ShedPolicy, ShedReason,
 };
+pub use supervisor::SupervisorConfig;
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -51,7 +59,7 @@ pub mod prelude {
     pub use crate::cache::{CacheHit, CachedEngine};
     pub use crate::chaos::{
         chaos_engine, ChaosConfig, ChaosMatcher, FaultKind, FlappyConfig, FlappyMatcher,
-        SlowMatcher,
+        SlowMatcher, StuckMatcher,
     };
     pub use crate::collection::{CollectionMatcher, GraphMatches};
     pub use crate::engine::{
@@ -63,10 +71,16 @@ pub mod prelude {
         ServiceEngine, TurboIsoEngine, UllmannEngine, VcGgsxEngine, VcGrapesEngine,
     };
     pub use crate::exposition::render as render_prometheus;
+    pub use crate::exposition::render_with_journal as render_prometheus_with_journal;
+    pub use crate::journal::{db_fingerprint, JournalStats, RunJournal};
     pub use crate::metrics::{LatencyHistogram, QueryRecord, QuerySetReport, ServiceHealth};
     pub use crate::parallel::{parallel_query, ParallelOutcome, QueryPool};
-    pub use crate::runner::{run_query_set, run_query_set_parallel, RunnerConfig};
+    pub use crate::runner::{
+        run_query_set, run_query_set_journaled, run_query_set_parallel,
+        run_query_set_parallel_journaled, RunnerConfig,
+    };
     pub use crate::service::{
         Admission, DrainReport, QueryService, QueryTicket, ServiceConfig, ShedPolicy, ShedReason,
     };
+    pub use crate::supervisor::SupervisorConfig;
 }

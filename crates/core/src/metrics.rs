@@ -337,6 +337,12 @@ impl QuerySetReport {
         self.records.iter().filter(|r| r.status.is_quarantined()).count()
     }
 
+    /// Number of queries escalated by the supervisor (a worker stopped
+    /// ticking and was abandoned).
+    pub fn wedged_count(&self) -> usize {
+        self.records.iter().filter(|r| r.status.is_wedged()).count()
+    }
+
     /// Number of queries that ended in any non-completed state.
     pub fn failure_count(&self) -> usize {
         self.records.iter().filter(|r| !r.status.is_completed()).count()
@@ -380,7 +386,7 @@ impl QuerySetReport {
     /// to exactly the budget by `QueryRecord::from_outcome` and shed records
     /// never executed, so neither carries a real latency observation.
     fn is_censored(r: &QueryRecord) -> bool {
-        r.status.is_timed_out() || r.status.is_shed()
+        r.status.is_timed_out() || r.status.is_shed() || r.status.is_wedged()
     }
 
     /// Number of records excluded from the latency/phase histograms because
@@ -462,6 +468,11 @@ pub struct ServiceHealth {
     pub breaker_trips: u64,
     /// Total per-graph short-circuits served from open breakers.
     pub quarantined_graph_results: u64,
+    /// Queries escalated as wedged by the pool supervisor (a worker stopped
+    /// ticking past the deadline grace and was abandoned).
+    pub wedged_queries: u64,
+    /// Worker threads abandoned and replaced by the pool supervisor.
+    pub workers_replaced: u64,
 }
 
 impl ServiceHealth {

@@ -39,7 +39,7 @@
 //! [`TickChecker`]: sqp_matching::deadline::TickChecker
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -47,9 +47,10 @@ use std::time::{Duration, Instant};
 use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb, HeapSize};
 use sqp_matching::obs::{Phase, Span};
-use sqp_matching::{CancelToken, Deadline, FilterResult, Matcher, StatsSink};
+use sqp_matching::{CancelToken, Deadline, FilterResult, Heartbeat, Matcher, StatsSink};
 
 use crate::engine::{QueryOutcome, QueryStatus};
+use crate::supervisor::{supervisor_loop, SupervisorConfig};
 
 /// Locks a mutex, tolerating poisoning: a panicking worker must never deny
 /// the submitter (or its siblings) access to the partial results.
@@ -203,22 +204,45 @@ struct Job {
     /// own pool code, not a matcher); the submitter degrades the outcome
     /// instead of re-raising, and the worker's `parts` survive.
     panic_note: Mutex<Option<String>>,
+    /// Set once by the supervisor when it escalates a worker on this job, so
+    /// [`PoolShared::queries_wedged`] counts queries, not abandoned workers.
+    wedged: AtomicBool,
 }
 
 impl Job {
-    fn run_worker(&self) -> QueryOutcome {
+    /// Runs one worker shard. `deadline` is this worker's view of the job
+    /// deadline (with its slot heartbeat attached); `slot`/`my_gen` identify
+    /// the worker so it can publish the graph it is grinding on and notice
+    /// mid-job that the supervisor abandoned it.
+    fn run_worker(
+        &self,
+        deadline: Deadline,
+        slot: Option<&WorkerSlot>,
+        my_gen: u64,
+    ) -> QueryOutcome {
         let mut part = QueryOutcome::default();
         let n = self.db.len();
         loop {
+            // An abandoned worker's shard was already accounted for by the
+            // supervisor; stop promptly instead of burning budget that now
+            // belongs to a replacement.
+            if let Some(slot) = slot {
+                if slot.generation.load(Ordering::Acquire) != my_gen {
+                    break;
+                }
+            }
             // Re-check between graphs so cancellation raised by a sibling is
             // honored even when this worker's own matcher calls are short.
-            if self.deadline.check().is_err() {
-                part.status.absorb(QueryStatus::from_interrupt(self.deadline));
+            if deadline.check().is_err() {
+                part.status.absorb(QueryStatus::from_interrupt(deadline));
                 break;
             }
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
+            }
+            if let Some(slot) = slot {
+                slot.busy_graph.store(i, Ordering::Relaxed);
             }
             let gid = GraphId(i as u32);
             if self.mask.as_ref().is_some_and(|m| m[i]) {
@@ -228,9 +252,9 @@ impl Job {
                 part.record_quarantined(gid);
                 continue;
             }
-            if !process_graph(&*self.matcher, &self.db, &self.q, gid, self.deadline, &mut part) {
+            if !process_graph(&*self.matcher, &self.db, &self.q, gid, deadline, &mut part) {
                 // This worker hit the budget: tell every sibling to stop.
-                self.deadline.cancel_token().cancel();
+                deadline.cancel_token().cancel();
                 break;
             }
         }
@@ -238,11 +262,18 @@ impl Job {
     }
 
     /// Runs one worker shard with the infrastructure backstop: a panic that
-    /// escapes per-graph isolation is recorded in `panic_note`, siblings are
-    /// cancelled, and previously pushed parts are left intact.
-    fn run_worker_guarded(&self) {
-        match catch_unwind(AssertUnwindSafe(|| self.run_worker())) {
-            Ok(part) => lock(&self.parts).push(part),
+    /// escapes per-graph isolation is recorded in `panic_note` and siblings
+    /// are cancelled. Returns the completed part, if any; the caller commits
+    /// it (under the state lock, so an abandoned worker's part never leaks
+    /// into a job the submitter is merging).
+    fn run_worker_guarded(
+        &self,
+        deadline: Deadline,
+        slot: Option<&WorkerSlot>,
+        my_gen: u64,
+    ) -> Option<QueryOutcome> {
+        match catch_unwind(AssertUnwindSafe(|| self.run_worker(deadline, slot, my_gen))) {
+            Ok(part) => Some(part),
             Err(payload) => {
                 let mut note = lock(&self.panic_note);
                 if note.is_none() {
@@ -250,23 +281,165 @@ impl Job {
                 }
                 drop(note);
                 // Unblock siblings still grinding on their graphs.
-                self.deadline.cancel_token().cancel();
+                deadline.cancel_token().cancel();
+                None
             }
         }
     }
 }
 
-struct PoolState {
+/// Per-worker supervision state, indexed like the worker threads. Lives for
+/// the whole pool; replacement workers inherit the slot of the worker they
+/// replace (same index, same thread name, bumped generation).
+pub(crate) struct WorkerSlot {
+    /// Stamped by every `Deadline::check` the worker performs.
+    beat: Heartbeat,
+    /// Bumped when the supervisor abandons this slot's worker; a worker
+    /// whose generation no longer matches must not commit anything.
+    generation: AtomicU64,
+    /// Epoch of the job this slot's worker is currently running (0 = idle).
+    busy_epoch: AtomicU64,
+    /// Graph index the worker last claimed (`usize::MAX` = none yet).
+    busy_graph: AtomicUsize,
+}
+
+impl WorkerSlot {
+    fn new() -> Self {
+        Self {
+            beat: Heartbeat::new(),
+            generation: AtomicU64::new(0),
+            busy_epoch: AtomicU64::new(0),
+            busy_graph: AtomicUsize::new(usize::MAX),
+        }
+    }
+}
+
+pub(crate) struct PoolState {
     job: Option<Arc<Job>>,
     /// Bumped once per submitted job so each worker runs each job once.
     epoch: u64,
     shutdown: bool,
 }
 
-struct PoolShared {
+pub(crate) struct PoolShared {
     state: Mutex<PoolState>,
     work_ready: Condvar,
     job_done: Condvar,
+    /// One slot per worker index; `slots.len()` is the configured capacity.
+    slots: Vec<WorkerSlot>,
+    /// Live worker handles by slot. `None` when the slot's worker could not
+    /// be (re)spawned or its handle was detached after abandonment.
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// Workers currently serving jobs (spawn failures and failed
+    /// replacements shrink it); sizes `Job::remaining`.
+    live: AtomicUsize,
+    /// Worker-thread name prefix, kept for naming replacement workers.
+    prefix: String,
+    /// Queries that had at least one worker escalated as wedged.
+    queries_wedged: AtomicU64,
+    /// Worker threads abandoned and successfully replaced.
+    workers_replaced: AtomicU64,
+}
+
+impl PoolShared {
+    /// Spawns (or respawns) the worker for slot `idx`. Returns whether the
+    /// OS granted the thread; on success the handle is stored and the live
+    /// count incremented.
+    fn spawn_worker(self: &Arc<Self>, idx: usize, generation: u64, start_epoch: u64) -> bool {
+        let shared = Arc::clone(self);
+        match std::thread::Builder::new()
+            .name(format!("{}-{idx}", self.prefix))
+            .spawn(move || worker_loop(&shared, idx, generation, start_epoch))
+        {
+            Ok(handle) => {
+                lock(&self.handles)[idx] = Some(handle);
+                self.live.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Supervisor thread body: scan the slots, wait out the scan interval
+    /// (the shutdown notification on `work_ready` wakes it early), repeat.
+    pub(crate) fn run_supervisor(self: &Arc<Self>, config: &SupervisorConfig) {
+        let mut state = lock(&self.state);
+        loop {
+            if state.shutdown {
+                return;
+            }
+            self.scan_for_wedged(&state, config);
+            let (s, _) = self
+                .work_ready
+                .wait_timeout(state, config.scan_interval)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = s;
+        }
+    }
+
+    /// One supervisor scan. Runs under the state lock (witnessed by
+    /// `state`), so escalation is atomic with worker commits.
+    fn scan_for_wedged(self: &Arc<Self>, state: &PoolState, config: &SupervisorConfig) {
+        let Some(job) = state.job.as_ref() else { return };
+        // Unbudgeted jobs have no wall deadline and are never escalated:
+        // without a budget there is no "overdue".
+        let Some(at) = job.deadline.instant() else { return };
+        if Instant::now().saturating_duration_since(at) < config.grace {
+            return;
+        }
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if slot.busy_epoch.load(Ordering::Acquire) != state.epoch {
+                continue;
+            }
+            if slot.beat.elapsed() < config.stale_after {
+                continue;
+            }
+            self.escalate(state, job, idx, slot);
+        }
+    }
+
+    /// Escalates one wedged worker: see the module docs of
+    /// [`crate::supervisor`] for the ladder.
+    fn escalate(
+        self: &Arc<Self>,
+        state: &PoolState,
+        job: &Arc<Job>,
+        idx: usize,
+        slot: &WorkerSlot,
+    ) {
+        // Fire the cancel token first: if the worker revives it observes
+        // expiry at its next check and exits on its own (as an abandoned
+        // generation).
+        job.deadline.cancel_token().cancel();
+        // Attribute the wedge to the graph the worker was grinding on.
+        let mut part = QueryOutcome::default();
+        match slot.busy_graph.load(Ordering::Relaxed) {
+            usize::MAX => part.status.absorb(QueryStatus::Wedged),
+            g => part.record_wedged(GraphId(g as u32)),
+        }
+        lock(&job.parts).push(part);
+        if !job.wedged.swap(true, Ordering::AcqRel) {
+            self.queries_wedged.fetch_add(1, Ordering::Relaxed);
+        }
+        // Abandon the thread: bump the generation so its eventual commit (if
+        // it ever revives) is ignored, and detach the handle — a truly
+        // wedged thread can never be joined.
+        let generation = slot.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        slot.busy_epoch.store(0, Ordering::Release);
+        drop(lock(&self.handles)[idx].take());
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        // Replace it in the same slot (same thread name) so the pool keeps
+        // full capacity. The replacement starts at the current epoch: this
+        // job's shard accounting is settled below, on the wedged worker's
+        // behalf. If the OS refuses the thread, capacity degrades by one but
+        // the accounting stays correct.
+        if self.spawn_worker(idx, generation, state.epoch) {
+            self.workers_replaced.fetch_add(1, Ordering::Relaxed);
+        }
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.job_done.notify_all();
+        }
+    }
 }
 
 /// A persistent pool of query workers.
@@ -300,7 +473,8 @@ struct PoolShared {
 /// ```
 pub struct QueryPool {
     shared: Arc<PoolShared>,
-    workers: Vec<JoinHandle<()>>,
+    /// The watchdog thread; `None` for unsupervised pools.
+    supervisor: Option<JoinHandle<()>>,
     /// Serializes query submission (workers handle one job at a time).
     submit: Mutex<()>,
     cancel: CancelToken,
@@ -322,27 +496,47 @@ impl QueryPool {
     /// drain tests verify via `/proc/self/task` that shutdown leaks no
     /// worker threads even while other pools run concurrently.
     pub fn named(prefix: &str, threads: usize) -> Self {
+        Self::build(prefix, threads, None)
+    }
+
+    /// Like [`QueryPool::named`], but with a supervisor thread watching the
+    /// worker heartbeats: a worker stuck past `deadline + grace` without
+    /// ticking is escalated — its query degrades to
+    /// [`QueryStatus::Wedged`], the thread is abandoned, and a replacement
+    /// worker restores capacity. See [`crate::supervisor`] for the protocol.
+    pub fn supervised(prefix: &str, threads: usize, config: SupervisorConfig) -> Self {
+        Self::build(prefix, threads, Some(config))
+    }
+
+    fn build(prefix: &str, threads: usize, config: Option<SupervisorConfig>) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState { job: None, epoch: 0, shutdown: false }),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
+            slots: (0..threads).map(|_| WorkerSlot::new()).collect(),
+            handles: Mutex::new((0..threads).map(|_| None).collect()),
+            live: AtomicUsize::new(0),
+            prefix: prefix.to_string(),
+            queries_wedged: AtomicU64::new(0),
+            workers_replaced: AtomicU64::new(0),
         });
-        let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
-            let shared = Arc::clone(&shared);
-            match std::thread::Builder::new()
-                .name(format!("{prefix}-{i}"))
-                .spawn(move || worker_loop(&shared))
-            {
-                Ok(handle) => workers.push(handle),
-                // Out of threads: run with however many we got.
-                Err(_) => break,
+            // Out of threads: run with however many we got.
+            if !shared.spawn_worker(i, 0, 0) {
+                break;
             }
         }
+        let supervisor = config.and_then(|config| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("{prefix}-sup"))
+                .spawn(move || supervisor_loop(shared, config))
+                .ok()
+        });
         Self {
             shared,
-            workers,
+            supervisor,
             submit: Mutex::new(()),
             cancel: CancelToken::new(),
             stats: StatsSink::new(),
@@ -358,7 +552,17 @@ impl QueryPool {
     /// Number of worker threads (0 means queries run inline on the
     /// submitter; see [`QueryPool::new`]).
     pub fn threads(&self) -> usize {
-        self.workers.len()
+        self.shared.live.load(Ordering::Relaxed)
+    }
+
+    /// Queries that had a worker escalated as wedged by the supervisor.
+    pub fn wedged_queries(&self) -> u64 {
+        self.shared.queries_wedged.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads abandoned and replaced by the supervisor.
+    pub fn workers_replaced(&self) -> u64 {
+        self.shared.workers_replaced.load(Ordering::Relaxed)
     }
 
     /// Cancels the in-flight query (if any): all workers observe expiry at
@@ -418,7 +622,7 @@ impl QueryPool {
             deadline = deadline.with_stats(self.stats);
         }
         let t0 = Instant::now();
-        let threads = self.workers.len();
+        let threads = self.shared.live.load(Ordering::Relaxed);
         let job = Arc::new(Job {
             matcher,
             db: Arc::clone(db),
@@ -429,12 +633,15 @@ impl QueryPool {
             parts: Mutex::new(Vec::with_capacity(threads.max(1))),
             remaining: AtomicUsize::new(threads),
             panic_note: Mutex::new(None),
+            wedged: AtomicBool::new(false),
         });
 
         if threads == 0 {
             // Degraded pool (no worker threads spawned): run the single
             // shard inline on the submitter, with the same backstop.
-            job.run_worker_guarded();
+            if let Some(part) = job.run_worker_guarded(job.deadline, None, 0) {
+                lock(&job.parts).push(part);
+            }
         } else {
             let mut state = lock(&self.shared.state);
             state.job = Some(Arc::clone(&job));
@@ -467,16 +674,26 @@ impl Drop for QueryPool {
             state.shutdown = true;
             self.shared.work_ready.notify_all();
         }
-        for w in self.workers.drain(..) {
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        // Take the handles out first: joining must not hold the lock (a
+        // replacement spawn is impossible here — the supervisor is gone —
+        // but a still-committing worker takes the state lock, never this).
+        let handles: Vec<JoinHandle<()>> =
+            lock(&self.shared.handles).iter_mut().filter_map(Option::take).collect();
+        // Abandoned (wedged) workers were detached at escalation and are
+        // intentionally not joined: they may never exit.
+        for w in handles {
             let _ = w.join();
         }
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
-    let mut seen_epoch = 0u64;
+fn worker_loop(shared: &Arc<PoolShared>, idx: usize, my_gen: u64, start_epoch: u64) {
+    let mut seen_epoch = start_epoch;
     loop {
-        let job = {
+        let (job, deadline) = {
             let mut state = lock(&shared.state);
             loop {
                 if state.shutdown {
@@ -485,7 +702,15 @@ fn worker_loop(shared: &PoolShared) {
                 if state.epoch != seen_epoch {
                     seen_epoch = state.epoch;
                     match state.job.as_ref() {
-                        Some(job) => break Arc::clone(job),
+                        Some(job) => {
+                            // Mark the slot busy before releasing the lock
+                            // so the supervisor sees an up-to-date picture.
+                            let slot = &shared.slots[idx];
+                            slot.beat.reset();
+                            slot.busy_graph.store(usize::MAX, Ordering::Relaxed);
+                            slot.busy_epoch.store(state.epoch, Ordering::Release);
+                            break (Arc::clone(job), job.deadline.with_beat(slot.beat));
+                        }
                         // A new epoch always installs a job first; treat a
                         // missing one as a spurious wakeup rather than
                         // poisoning the whole pool.
@@ -495,10 +720,23 @@ fn worker_loop(shared: &PoolShared) {
                 state = shared.work_ready.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        job.run_worker_guarded();
-        // Decrement under the state lock so the submitter can't check the
-        // counter and sleep between our decrement and notify (missed wakeup).
+        let part = job.run_worker_guarded(deadline, Some(&shared.slots[idx]), my_gen);
+        // Commit under the state lock — both so the submitter can't check
+        // the counter and sleep between our decrement and notify (missed
+        // wakeup), and so the commit is atomic with supervisor escalation.
         let _state = lock(&shared.state);
+        let slot = &shared.slots[idx];
+        if slot.generation.load(Ordering::Acquire) != my_gen {
+            // Abandoned: the supervisor already settled this shard's
+            // accounting and a replacement owns the slot. Exit quietly;
+            // committing here would double-decrement `remaining` or leak a
+            // stale part into a merge.
+            return;
+        }
+        slot.busy_epoch.store(0, Ordering::Release);
+        if let Some(part) = part {
+            lock(&job.parts).push(part);
+        }
         if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             shared.job_done.notify_all();
         }

@@ -1,14 +1,19 @@
-//! Running query sets against engines, with per-query fault isolation and a
-//! bounded retry-with-backoff policy for transient panics.
+//! Running query sets against engines, with per-query fault isolation, a
+//! bounded retry-with-backoff policy for transient panics, and optional
+//! crash-consistent journaling for kill-and-resume runs.
 
+use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sqp_graph::hash::FxHasher;
 use sqp_graph::{Graph, GraphDb};
 use sqp_matching::{Deadline, Matcher, ResourceLimits};
 
+use crate::chaos::graph_fingerprint;
 use crate::engine::{QueryEngine, QueryOutcome};
+use crate::journal::RunJournal;
 use crate::metrics::{QueryRecord, QuerySetReport};
 use crate::parallel::{panic_message, QueryPool};
 
@@ -31,6 +36,12 @@ pub struct RunnerConfig {
     pub retry_backoff: Duration,
     /// Per-query resource budgets (enumeration steps / auxiliary bytes).
     pub limits: ResourceLimits,
+    /// Seed for deterministic backoff jitter (0 = no jitter). The runners
+    /// set it per query from the query's [`graph_fingerprint`], spreading a
+    /// pool of simultaneously retrying queries over up to +50% of the base
+    /// backoff instead of thundering-herding on the same instant, while
+    /// keeping every run bit-reproducible.
+    pub jitter_seed: u64,
 }
 
 impl Default for RunnerConfig {
@@ -41,6 +52,7 @@ impl Default for RunnerConfig {
             max_retries: 0,
             retry_backoff: Duration::from_millis(10),
             limits: ResourceLimits::unlimited(),
+            jitter_seed: 0,
         }
     }
 }
@@ -55,6 +67,27 @@ impl RunnerConfig {
     pub fn with_retries(max_retries: u32) -> Self {
         Self { max_retries, ..Self::default() }
     }
+
+    /// This configuration with the jitter seed set (typically a query
+    /// fingerprint; see [`RunnerConfig::jitter_seed`]).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+/// Deterministic backoff jitter: stretches `base` by up to +50%, as a pure
+/// function of `(seed, attempt)`. Seed 0 disables jitter.
+fn jittered(base: Duration, seed: u64, attempt: u32) -> Duration {
+    if seed == 0 || base.is_zero() {
+        return base;
+    }
+    let mut h = FxHasher::default();
+    seed.hash(&mut h);
+    attempt.hash(&mut h);
+    let frac = h.finish() % 1024; // extra = base/2 × frac/1024
+    let extra_nanos = (base.as_nanos() as u64 / 2048).saturating_mul(frac);
+    base + Duration::from_nanos(extra_nanos)
 }
 
 /// Runs one query through `attempt`, retrying panicked outcomes up to
@@ -77,16 +110,20 @@ pub(crate) fn run_with_retries(
     let mut retries = 0;
     let mut backoff = config.retry_backoff;
     while outcome.status.is_panicked() && retries < config.max_retries {
+        // Deterministic per-(query, attempt) jitter so a pool of queries
+        // retrying the same transient fault spreads out instead of
+        // thundering-herding on the same instant.
+        let sleep = jittered(backoff, config.jitter_seed, retries);
         match remaining(start) {
             Some(left) if left.is_zero() => break,
             Some(left) => {
-                if !backoff.is_zero() {
-                    std::thread::sleep(backoff.min(left));
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep.min(left));
                 }
             }
             None => {
-                if !backoff.is_zero() {
-                    std::thread::sleep(backoff);
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
                 }
             }
         }
@@ -109,9 +146,31 @@ pub fn run_query_set(
     queries: &[Graph],
     config: RunnerConfig,
 ) -> QuerySetReport {
+    run_query_set_journaled(engine, query_set_name, queries, config, None)
+}
+
+/// [`run_query_set`] with an optional crash-consistent [`RunJournal`]:
+/// queries the journal already holds a terminal (non-shed) outcome for are
+/// skipped (counted in the journal's stats, absent from the report), and
+/// every outcome produced here is appended to the journal as the query
+/// finishes — so a killed run resumes where it died.
+pub fn run_query_set_journaled(
+    engine: &mut dyn QueryEngine,
+    query_set_name: &str,
+    queries: &[Graph],
+    config: RunnerConfig,
+    mut journal: Option<&mut RunJournal>,
+) -> QuerySetReport {
     engine.set_resource_limits(config.limits);
     let mut report = QuerySetReport::new(engine.name(), query_set_name);
     for q in queries {
+        let q_fp = graph_fingerprint(q);
+        if let Some(j) = journal.as_deref_mut() {
+            if j.should_skip(q_fp) {
+                continue;
+            }
+        }
+        let config = config.with_jitter_seed(q_fp);
         let (outcome, retries) = run_with_retries(config, |remaining| {
             // Retry attempts see only the budget slice that is left.
             engine.set_query_budget(remaining);
@@ -120,6 +179,11 @@ pub fn run_query_set(
                 Err(payload) => QueryOutcome::panicked(panic_message(payload)),
             }
         });
+        if let Some(j) = journal.as_deref_mut() {
+            // Journal I/O failure must not kill the run; the worst case is
+            // re-running this query on resume.
+            let _ = j.record(q_fp, &outcome.status, outcome.answers.len());
+        }
         let mut record = QueryRecord::from_outcome(&outcome, config.query_budget);
         record.retries = retries;
         report.records.push(record);
@@ -151,14 +215,49 @@ pub fn run_query_set_parallel(
     queries: &[Graph],
     config: RunnerConfig,
 ) -> QuerySetReport {
+    run_query_set_parallel_journaled(
+        pool,
+        matcher,
+        db,
+        engine_name,
+        query_set_name,
+        queries,
+        config,
+        None,
+    )
+}
+
+/// [`run_query_set_parallel`] with an optional [`RunJournal`] — same skip and
+/// append-on-completion semantics as [`run_query_set_journaled`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_set_parallel_journaled(
+    pool: &QueryPool,
+    matcher: Arc<dyn Matcher>,
+    db: &Arc<GraphDb>,
+    engine_name: &str,
+    query_set_name: &str,
+    queries: &[Graph],
+    config: RunnerConfig,
+    mut journal: Option<&mut RunJournal>,
+) -> QuerySetReport {
     let mut report = QuerySetReport::new(engine_name, query_set_name);
     let guard = sqp_matching::ResourceGuard::new();
     for q in queries {
+        let q_fp = graph_fingerprint(q);
+        if let Some(j) = journal.as_deref_mut() {
+            if j.should_skip(q_fp) {
+                continue;
+            }
+        }
+        let config = config.with_jitter_seed(q_fp);
         let (outcome, retries) = run_with_retries(config, |remaining| {
             guard.reset(config.limits);
             let deadline = remaining.map_or(Deadline::none(), Deadline::after).with_guard(guard);
             pool.query(Arc::clone(&matcher), db, q, deadline).outcome
         });
+        if let Some(j) = journal.as_deref_mut() {
+            let _ = j.record(q_fp, &outcome.status, outcome.answers.len());
+        }
         let mut record = QueryRecord::from_outcome(&outcome, config.query_budget);
         record.retries = retries;
         report.records.push(record);

@@ -44,6 +44,7 @@ use crate::engine::QueryOutcome;
 use crate::metrics::{QueryRecord, QuerySetReport, ServiceHealth};
 use crate::parallel::{lock, QueryPool};
 use crate::runner::{run_with_retries, RunnerConfig};
+use crate::supervisor::SupervisorConfig;
 
 /// Why a submission was shed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,6 +130,15 @@ pub struct ServiceConfig {
     /// Thread-name prefix: the executor is `{prefix}-exec`, pool workers
     /// `{prefix}-{i}`. Distinct prefixes let tests assert thread cleanup.
     pub thread_prefix: String,
+    /// When set, the pool runs under a heartbeat supervisor
+    /// ([`crate::supervisor`]): workers stuck past `deadline + grace`
+    /// without ticking are abandoned (query degrades to
+    /// [`QueryStatus::Wedged`]) and replaced, so shutdown's drain guarantee
+    /// survives non-cooperative matchers. `None` keeps the pool purely
+    /// cooperative.
+    ///
+    /// [`QueryStatus::Wedged`]: crate::engine::QueryStatus::Wedged
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -141,6 +151,7 @@ impl Default for ServiceConfig {
             shed: None,
             drain_deadline: Duration::from_secs(5),
             thread_prefix: "sqp-svc".to_string(),
+            supervisor: None,
         }
     }
 }
@@ -295,7 +306,12 @@ impl QueryService {
             shed,
             drain_deadline,
             thread_prefix,
+            supervisor,
         } = config;
+        let pool = match supervisor {
+            Some(config) => QueryPool::supervised(&thread_prefix, threads, config),
+            None => QueryPool::named(&thread_prefix, threads),
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(SvcState {
                 queue: VecDeque::new(),
@@ -312,7 +328,7 @@ impl QueryService {
             progressed: Condvar::new(),
             breakers: Mutex::new(BreakerRegistry::new(breaker, db.len())),
             runner: Mutex::new(runner),
-            pool: QueryPool::named(&thread_prefix, threads),
+            pool,
             db,
         });
         let executor = {
@@ -464,6 +480,8 @@ impl QueryService {
             half_open_breakers: half_open,
             breaker_trips: trips,
             quarantined_graph_results: short_circuits,
+            wedged_queries: self.shared.pool.wedged_queries(),
+            workers_replaced: self.shared.pool.workers_replaced(),
         }
     }
 
@@ -579,7 +597,9 @@ fn executor_loop(shared: &Shared, matcher: Arc<dyn Matcher>) {
             }
         };
 
-        let runner = *lock(&shared.runner);
+        // Retry backoff jitter is keyed to the query so concurrent clients
+        // retrying the same transient fault don't thunder in lockstep.
+        let runner = lock(&shared.runner).with_jitter_seed(crate::chaos::graph_fingerprint(&q));
         // One logical tick per admitted query; the mask is fixed across
         // retry attempts (same tick).
         let mask = lock(&shared.breakers).begin_query();

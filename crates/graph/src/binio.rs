@@ -86,6 +86,58 @@ fn est_size(g: &Graph) -> usize {
     8 + 4 * g.vertex_count() + 8 * g.edge_count()
 }
 
+/// Writes a database to `path` crash-atomically.
+///
+/// The bytes go to a temporary sibling file first, which is fsynced and then
+/// renamed over `path`. A crash or kill at any point leaves either the old
+/// file or the new one — never a torn half-write — so a database that loaded
+/// yesterday cannot be destroyed by a failed save today.
+pub fn write_file(db: &GraphDb, path: &std::path::Path) -> std::io::Result<()> {
+    use std::io::Write;
+
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+    let tmp_name = format!(".{}.tmp-{}", file_name.as_deref().unwrap_or("db"), std::process::id());
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+
+    let bytes = to_bytes(db);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        // Data must be durable before the rename publishes it; otherwise a
+        // power cut could leave the new name pointing at unwritten blocks.
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself (directory entry) where the platform
+        // allows opening directories; failure here is not worth aborting the
+        // save over — the data file is already durable.
+        if let Some(d) = dir {
+            if let Ok(dirf) = std::fs::File::open(d) {
+                let _ = dirf.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Reads a database previously written by [`write_file`] (or any bytes from
+/// [`to_bytes`] stored at `path`).
+pub fn read_file(path: &std::path::Path) -> Result<GraphDb> {
+    let bytes = std::fs::read(path).map_err(|e| GraphError::Binary {
+        offset: 0,
+        message: format!("read {}: {e}", path.display()),
+    })?;
+    from_bytes(bytes.as_slice())
+}
+
 /// A bounds-checked little-endian reader that knows its byte offset, so
 /// every error can say *where* the file went bad.
 struct Reader<'a> {

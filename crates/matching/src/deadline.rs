@@ -276,6 +276,67 @@ fn monotonic_nanos() -> u64 {
     base.elapsed().as_nanos() as u64
 }
 
+/// A shared last-tick timestamp, carried inside [`Deadline`].
+///
+/// Every [`Deadline::check`] stamps the current monotonic time with a
+/// relaxed store — cheap enough for the amortized tick path. A supervisor
+/// thread can then read [`elapsed`](Heartbeat::elapsed) to distinguish a
+/// worker that is *slow* (ticking, budget simply large) from one that is
+/// *wedged* (looping without ever consulting its deadline): only the latter
+/// has a stale heartbeat and can never observe cooperative cancellation.
+///
+/// Like [`CancelToken`], the heartbeat is `Copy` and `new()` leaks one
+/// `AtomicU64` for the `'static` lifetime: create once per worker slot and
+/// re-arm per query via [`reset`](Heartbeat::reset).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Heartbeat {
+    state: Option<&'static AtomicU64>,
+}
+
+impl Heartbeat {
+    /// The inert heartbeat: never beats, never reads as stale.
+    pub const fn none() -> Self {
+        Self { state: None }
+    }
+
+    /// A fresh heartbeat, stamped with the current time. Leaks its state for
+    /// the `'static` lifetime — create once per worker slot.
+    pub fn new() -> Self {
+        Self { state: Some(Box::leak(Box::new(AtomicU64::new(monotonic_nanos())))) }
+    }
+
+    /// Stamps the current monotonic time. Relaxed: the supervisor only needs
+    /// an eventually-visible "recently alive" signal, not an ordering edge.
+    #[inline]
+    pub fn beat(&self) {
+        if let Some(s) = self.state {
+            s.store(monotonic_nanos(), Ordering::Relaxed);
+        }
+    }
+
+    /// Re-stamps the heartbeat at query start so staleness is measured
+    /// against this query, not the previous one.
+    pub fn reset(&self) {
+        self.beat();
+    }
+
+    /// Time since the last beat ([`Duration::ZERO`] for the inert
+    /// heartbeat, which therefore never escalates).
+    pub fn elapsed(&self) -> Duration {
+        match self.state {
+            Some(s) => {
+                Duration::from_nanos(monotonic_nanos().saturating_sub(s.load(Ordering::Relaxed)))
+            }
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Whether this heartbeat carries real state.
+    pub fn is_some(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
 #[derive(Debug)]
 struct SinkState {
     intersections: AtomicU64,
@@ -441,6 +502,7 @@ pub struct Deadline {
     cancel: CancelToken,
     guard: ResourceGuard,
     stats: StatsSink,
+    beat: Heartbeat,
 }
 
 impl Deadline {
@@ -451,6 +513,7 @@ impl Deadline {
             cancel: CancelToken::none(),
             guard: ResourceGuard::none(),
             stats: StatsSink::none(),
+            beat: Heartbeat::none(),
         }
     }
 
@@ -501,6 +564,24 @@ impl Deadline {
         self.stats
     }
 
+    /// Attaches a heartbeat: every [`check`](Deadline::check) stamps it, so
+    /// a supervisor can tell ticking workers from wedged ones.
+    pub fn with_beat(mut self, beat: Heartbeat) -> Self {
+        self.beat = beat;
+        self
+    }
+
+    /// The attached heartbeat ([`Heartbeat::none`] if absent).
+    pub fn heartbeat(&self) -> Heartbeat {
+        self.beat
+    }
+
+    /// The wall-clock instant at which the deadline expires, if one is set.
+    /// Supervisors use this to compute "overdue past deadline + grace".
+    pub fn instant(&self) -> Option<Instant> {
+        self.at
+    }
+
     /// Whether the deadline has passed, the token was cancelled, or the
     /// resource guard tripped.
     #[inline]
@@ -517,9 +598,12 @@ impl Deadline {
         }
     }
 
-    /// Errors with [`Timeout`] if expired.
+    /// Errors with [`Timeout`] if expired. Also stamps the attached
+    /// heartbeat: a worker that never reaches this point reads as stale to
+    /// the supervisor, which is exactly the wedge signal.
     #[inline]
     pub fn check(&self) -> Result<(), Timeout> {
+        self.beat.beat();
         if self.expired() {
             Err(Timeout)
         } else {
@@ -786,6 +870,30 @@ mod tests {
         let a = sink.now();
         let b = sink.now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn heartbeat_stamped_by_check() {
+        let beat = Heartbeat::new();
+        let d = Deadline::after(Duration::from_secs(3600)).with_beat(beat);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(beat.elapsed() >= Duration::from_millis(5));
+        assert!(d.check().is_ok());
+        assert!(beat.elapsed() < Duration::from_millis(5));
+        // An expired check still beats: ticking-but-late is not wedged.
+        let late = Deadline::at(Instant::now() - Duration::from_millis(1)).with_beat(beat);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(late.check(), Err(Timeout));
+        assert!(beat.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn none_heartbeat_is_inert() {
+        let beat = Heartbeat::none();
+        assert!(!beat.is_some());
+        beat.beat();
+        assert_eq!(beat.elapsed(), Duration::ZERO);
+        assert!(!Deadline::none().with_beat(beat).heartbeat().is_some());
     }
 
     #[test]

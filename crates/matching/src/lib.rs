@@ -42,7 +42,8 @@ pub mod vf2;
 pub use candidates::{CandidateSpace, FilterResult};
 pub use config::{KernelConfig, MatcherConfig};
 pub use deadline::{
-    CancelToken, Deadline, ResourceGuard, ResourceKind, ResourceLimits, StatsSink, Timeout,
+    CancelToken, Deadline, Heartbeat, ResourceGuard, ResourceKind, ResourceLimits, StatsSink,
+    Timeout,
 };
 pub use embedding::Embedding;
 pub use enumerate::Enumerator;

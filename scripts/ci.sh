@@ -43,6 +43,37 @@ PROPTEST_CASES=256 cargo test -q --offline --test oracle_equivalence
 echo "==> metrics format (golden exposition file, histogram properties, deterministic phase clocks)"
 cargo test -q --offline --test metrics_format
 
+echo "==> supervision suite (wedge escalation at 1/2/4/8 threads, journal torn-tail property, resume skip)"
+PROPTEST_CASES=32 cargo test -q --offline --test supervision
+
+echo "==> kill-then-resume smoke (journaled run killed mid-flight; --resume re-runs only the incomplete tail)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+sqp=target/release/sqp
+"$sqp" generate --kind synthetic --graphs 30 --vertices 12 --labels 4 --seed 5 \
+  --out "$smoke_dir/db.bin" >/dev/null
+"$sqp" queries --db "$smoke_dir/db.bin" --edges 4 --count 12 --seed 9 \
+  --out "$smoke_dir/q.txt" >/dev/null
+# First run: every matcher filter call is slowed so the run is guaranteed to
+# still be in flight when SIGKILL lands mid-set.
+timeout -s KILL 2 "$sqp" query --db "$smoke_dir/db.bin" --queries "$smoke_dir/q.txt" \
+  --threads 2 --chaos-slow-ms 40 --journal "$smoke_dir/run.journal" >/dev/null 2>&1 || true
+done_before=$(wc -l < "$smoke_dir/run.journal")
+if [[ "$done_before" -ge 12 ]]; then
+  echo "smoke error: first run finished all 12 queries before the kill; nothing to resume" >&2
+  exit 1
+fi
+# Resumed run (no slowdown) must finish the set, re-running only the tail.
+"$sqp" query --db "$smoke_dir/db.bin" --queries "$smoke_dir/q.txt" \
+  --threads 2 --journal "$smoke_dir/run.journal" --resume >/dev/null
+total=$(wc -l < "$smoke_dir/run.journal")
+uniq_fps=$(awk '{print $3}' "$smoke_dir/run.journal" | sort | uniq -d | wc -l)
+if [[ "$total" -ne 12 || "$uniq_fps" -ne 0 ]]; then
+  echo "smoke error: expected 12 unique journal records (got $total lines, $uniq_fps duplicated fingerprints) — resume re-ran completed work" >&2
+  exit 1
+fi
+echo "    kill-then-resume: $done_before completed before kill, $((12 - done_before)) resumed, no duplicates"
+
 echo "==> enumeration-kernel bench smoke (writes results/BENCH_kernels.json)"
 SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench enumeration
 

@@ -10,7 +10,8 @@
 //!              [--kernel auto|merge|gallop|simd|baseline] [--metrics-out <file>]
 //!              [--max-inflight N] [--shed] [--breaker-threshold N]
 //!              [--breaker-cooldown N] [--chaos-panics PM] [--chaos-seed N]
-//!              [--drain-after-ms N]
+//!              [--drain-after-ms N] [--journal <file>] [--resume]
+//!              [--supervise] [--chaos-slow-ms N]
 //! sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
 //!              [--phases]
 //! sqp match    --db <file> --queries <file> [--limit N]
@@ -56,6 +57,7 @@ USAGE:
   sqp query    --db <file> --queries <file> [--engine <name>] [--budget-ms N]
                [--threads N] [--retries N] [--max-steps N]
                [--kernel auto|merge|gallop|simd|baseline] [--metrics-out <file>]
+               [--journal <file>] [--resume] [--supervise] [--chaos-slow-ms N]
   sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
                [--phases]
   sqp match    --db <file> --queries <file> [--limit N]
@@ -90,11 +92,20 @@ by a tripped breaker QUARANTINED.
   --chaos-panics PM      inject panics on PM per-mille of (query,graph) pairs
   --chaos-seed N         seed for fault injection (default 42)
   --drain-after-ms N     start a graceful drain N ms after submission
-SIGINT (Ctrl-C) also starts a graceful drain instead of killing the run.
+SIGINT (Ctrl-C) starts a graceful drain instead of killing the run; a
+second Ctrl-C kills the process (the handler resets itself to default).
+
+Supervision & recovery:
+  --supervise         run workers under the heartbeat supervisor: a query
+                      wedged past its deadline + grace is cancelled, marked
+                      WEDGED, and its worker thread is abandoned + replaced
+  --journal FILE      append a checksummed record per finished query to FILE
+  --resume            replay FILE first and re-run only incomplete queries
+  --chaos-slow-ms N   slow every matcher filter call by N ms (CI/chaos use)
 
 Exit codes: 0 success (timeouts included), 2 degraded (a query panicked,
-exhausted its resource budget, was shed, or hit quarantined graphs),
-1 usage or I/O error";
+exhausted its resource budget, was shed, wedged, or hit quarantined
+graphs), 1 usage or I/O error";
 
 struct Opts {
     flags: Vec<(String, String)>,
@@ -108,7 +119,7 @@ impl Opts {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if matches!(name, "dense" | "shed" | "phases") {
+                if matches!(name, "dense" | "shed" | "phases" | "resume" | "supervise") {
                     switches.push(name.to_string());
                 } else {
                     let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -153,7 +164,9 @@ fn load_db(path: &str) -> Result<GraphDb, String> {
 
 fn save_db(db: &GraphDb, path: &str) -> Result<(), String> {
     if path.ends_with(".bin") {
-        return std::fs::write(path, binio::to_bytes(db))
+        // Atomic temp-file + fsync + rename write: a crash mid-save never
+        // leaves a torn database behind.
+        return binio::write_file(db, std::path::Path::new(path))
             .map_err(|e| format!("cannot write {path}: {e}"));
     }
     let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
@@ -235,6 +248,7 @@ fn status_tag(r: &QueryRecord) -> String {
         QueryStatus::Quarantined => " QUARANTINED".to_string(),
         QueryStatus::Panicked { .. } => " PANIC".to_string(),
         QueryStatus::ResourceExhausted { kind } => format!(" EXHAUSTED({kind})"),
+        QueryStatus::Wedged => " WEDGED".to_string(),
         QueryStatus::Shed => " SHED".to_string(),
     };
     if r.retries > 0 {
@@ -272,19 +286,66 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
             .iter()
             .any(|f| opts.get(f).is_some());
 
+    // Crash-consistent run journal: `--journal PATH` appends one checksummed
+    // record per finished query; `--resume` replays the journal first and
+    // re-runs only the queries without a terminal outcome.
+    let mut journal = match opts.get("journal") {
+        None => None,
+        Some(path) => {
+            let db_fp = db_fingerprint(&db);
+            let p = std::path::Path::new(path);
+            let j = if opts.has("resume") {
+                RunJournal::resume(p, db_fp)
+            } else {
+                RunJournal::create(p, db_fp)
+            }
+            .map_err(|e| format!("cannot open journal {path}: {e}"))?;
+            if j.done_count() > 0 {
+                eprintln!("journal: replayed {} completed queries from {path}", j.done_count());
+            }
+            Some(j)
+        }
+    };
+
     let mut health = None;
     let report = if service_mode {
-        let (report, h) =
-            run_service_query(opts, &db, &queries, engine_name, matcher_config, config, threads)?;
+        let (report, h) = run_service_query(
+            opts,
+            &db,
+            &queries,
+            engine_name,
+            matcher_config,
+            config,
+            threads,
+            journal.as_mut(),
+        )?;
         health = h;
         report
     } else if threads > 1 {
         let matcher = matcher_by_name_with(engine_name, matcher_config).ok_or_else(|| {
             format!("--threads requires a vcFV engine (matcher); '{engine_name}' is not one")
         })?;
-        let pool = QueryPool::new(threads);
-        eprintln!("engine {engine_name} on {} pooled workers", pool.threads());
-        run_query_set_parallel(&pool, matcher, &db, engine_name, "cli", &queries, config)
+        let matcher = apply_chaos_slow(opts, matcher)?;
+        let pool = if opts.has("supervise") {
+            QueryPool::supervised("sqp-worker", threads, SupervisorConfig::default())
+        } else {
+            QueryPool::new(threads)
+        };
+        eprintln!(
+            "engine {engine_name} on {} pooled workers{}",
+            pool.threads(),
+            if opts.has("supervise") { " (supervised)" } else { "" },
+        );
+        run_query_set_parallel_journaled(
+            &pool,
+            matcher,
+            &db,
+            engine_name,
+            "cli",
+            &queries,
+            config,
+            journal.as_mut(),
+        )
     } else {
         let mut engine = engine_by_name_with(engine_name, matcher_config)
             .ok_or_else(|| format!("unknown engine '{engine_name}'"))?;
@@ -292,7 +353,7 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         engine.build(&db).map_err(|e| format!("index construction failed: {e}"))?;
         let build = t0.elapsed();
         eprintln!("engine {} built in {:.2}s", engine.name(), build.as_secs_f64());
-        run_query_set(engine.as_mut(), "cli", &queries, config)
+        run_query_set_journaled(engine.as_mut(), "cli", &queries, config, journal.as_mut())
     };
     for (i, r) in report.records.iter().enumerate() {
         println!(
@@ -330,18 +391,30 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         ms(hist.p99()),
         report.censored_count(),
     );
+    let journal_stats = journal.as_ref().map(|j| j.stats());
+    if let Some(s) = &journal_stats {
+        println!(
+            "-- journal replayed {} | skipped {} | appended {}",
+            s.replayed, s.skipped, s.appended
+        );
+    }
     if let Some(path) = opts.get("metrics-out") {
-        let text = render_prometheus(std::slice::from_ref(&report), health.as_ref());
+        let text = render_prometheus_with_journal(
+            std::slice::from_ref(&report),
+            health.as_ref(),
+            journal_stats.as_ref(),
+        );
         std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote metrics to {path}");
     }
     // Timeouts alone are an expected outcome of a tight budget; panics,
-    // exhausted budgets, shed admissions, and quarantined graphs all mean
-    // degraded answers, so signal them to scripts.
+    // exhausted budgets, shed admissions, wedged workers, and quarantined
+    // graphs all mean degraded answers, so signal them to scripts.
     if report.panic_count() > 0
         || report.exhausted_count() > 0
         || report.shed_count() > 0
         || report.quarantined_count() > 0
+        || report.wedged_count() > 0
     {
         Ok(ExitCode::from(2))
     } else {
@@ -350,23 +423,30 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
 }
 
 /// SIGINT-equivalent drain trigger. On Unix the first Ctrl-C starts a
-/// graceful drain instead of killing the process (the second one kills it,
-/// since the handler is reset to default after firing on most setups is not
-/// guaranteed — we simply keep draining). Elsewhere only `--drain-after-ms`
-/// can trigger a drain.
+/// graceful drain instead of killing the process; the handler then restores
+/// the default SIGINT disposition, so a *second* Ctrl-C actually kills a run
+/// whose drain is stuck (a wedged worker, an unkillable matcher). Elsewhere
+/// only `--drain-after-ms` can trigger a drain.
 static DRAIN_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 #[cfg(unix)]
 fn install_drain_handler() {
     extern "C" fn on_sigint(_: i32) {
         DRAIN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+        // Hand SIGINT back to the kernel: the next Ctrl-C must terminate the
+        // process even if the drain never completes. `signal` is
+        // async-signal-safe, and SIG_DFL is handler value 0.
+        const SIG_DFL: usize = 0;
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
     }
     unsafe extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn signal(signum: i32, handler: usize) -> usize;
     }
     const SIGINT: i32 = 2;
     unsafe {
-        signal(SIGINT, on_sigint);
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
     }
 }
 
@@ -381,6 +461,21 @@ fn drain_requested() -> bool {
 /// the whole set is submitted as one burst (so `--max-inflight` and
 /// `--shed` actually shed), then tickets are awaited with the drain
 /// triggers armed (SIGINT, `--drain-after-ms`).
+/// Wraps `matcher` in a [`SlowMatcher`] when `--chaos-slow-ms` is given —
+/// a deterministic per-filter-call delay used by the kill/resume CI smoke
+/// to guarantee the run is still in flight when it is killed.
+fn apply_chaos_slow(
+    opts: &Opts,
+    matcher: Arc<dyn subgraph_query::matching::Matcher>,
+) -> Result<Arc<dyn subgraph_query::matching::Matcher>, String> {
+    let slow_ms: u64 = opts.parse_num("chaos-slow-ms", 0u64)?;
+    if slow_ms > 0 {
+        Ok(Arc::new(SlowMatcher::new(matcher, Duration::from_millis(slow_ms))))
+    } else {
+        Ok(matcher)
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_service_query(
     opts: &Opts,
@@ -390,6 +485,7 @@ fn run_service_query(
     matcher_config: MatcherConfig,
     runner: RunnerConfig,
     threads: usize,
+    mut journal: Option<&mut RunJournal>,
 ) -> Result<(QuerySetReport, Option<ServiceHealth>), String> {
     let matcher = matcher_by_name_with(engine_name, matcher_config).ok_or_else(|| {
         format!("service mode requires a vcFV engine (matcher); '{engine_name}' is not one")
@@ -402,6 +498,7 @@ fn run_service_query(
     } else {
         matcher
     };
+    let matcher = apply_chaos_slow(opts, matcher)?;
 
     let breaker = match opts.get("breaker-threshold") {
         None => BreakerConfig::default(),
@@ -412,8 +509,16 @@ fn run_service_query(
     };
     let shed = opts.has("shed").then(ShedPolicy::default);
     let queue_capacity: usize = opts.parse_num("max-inflight", 64usize)?;
-    let config =
-        ServiceConfig { threads, runner, breaker, queue_capacity, shed, ..Default::default() };
+    let supervisor = opts.has("supervise").then(SupervisorConfig::default);
+    let config = ServiceConfig {
+        threads,
+        runner,
+        breaker,
+        queue_capacity,
+        shed,
+        supervisor,
+        ..Default::default()
+    };
     let budget = config.runner.query_budget;
     let drain_after = match opts.get("drain-after-ms") {
         None => None,
@@ -426,15 +531,33 @@ fn run_service_query(
         "engine {engine_name} behind query service ({} pooled workers, queue {queue_capacity})",
         service.threads(),
     );
+    // With a journal, queries that already have a terminal outcome are not
+    // even admitted — resume re-runs only the incomplete tail.
+    let mut pending = Vec::with_capacity(queries.len());
+    let mut pending_fps = Vec::with_capacity(queries.len());
+    for q in queries {
+        let fp = subgraph_query::core::chaos::graph_fingerprint(q);
+        if let Some(j) = journal.as_deref_mut() {
+            if j.should_skip(fp) {
+                continue;
+            }
+        }
+        pending.push(q.clone());
+        pending_fps.push(fp);
+    }
+
     let t0 = Instant::now();
-    let tickets = service.submit_batch(queries);
+    let tickets = service.submit_batch(&pending);
 
     let mut service = Some(service);
     let mut drain: Option<DrainReport> = None;
     let mut results = Vec::with_capacity(tickets.len());
-    for (ticket, _admission) in &tickets {
+    for ((ticket, _admission), &q_fp) in tickets.iter().zip(&pending_fps) {
         loop {
             if let Some(r) = ticket.wait_timeout(Duration::from_millis(20)) {
+                if let Some(j) = journal.as_deref_mut() {
+                    let _ = j.record(q_fp, &r.0.status, r.0.answers.len());
+                }
                 results.push(r);
                 break;
             }
@@ -459,10 +582,13 @@ fn run_service_query(
     }
     if let Some(h) = &health {
         eprintln!(
-            "service: admitted {} finished {} shed {} breakers open={} half-open={} trips={}",
+            "service: admitted {} finished {} shed {} wedged {} replaced-workers {} \
+             breakers open={} half-open={} trips={}",
             h.admitted,
             h.finished,
             h.shed_total(),
+            h.wedged_queries,
+            h.workers_replaced,
             h.open_breakers,
             h.half_open_breakers,
             h.breaker_trips,

@@ -136,3 +136,77 @@ fn whole_corpus_never_panics() {
         let _ = io::read_graphs(input.as_slice(), &mut interner);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Atomic binary writes (`sqp_graph::binio::write_file`)
+// ---------------------------------------------------------------------------
+
+mod atomic_writes {
+    use subgraph_query::graph::{binio, GraphBuilder, GraphDb, Label, VertexId};
+
+    fn sample_db(tag: u32) -> GraphDb {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(Label(tag));
+        b.add_vertex(Label(tag + 1));
+        b.add_edge(VertexId(0), VertexId(1)).unwrap();
+        GraphDb::from_graphs(vec![b.build()])
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sqp-binio-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn write_file_round_trips() {
+        let path = tmp("roundtrip");
+        let db = sample_db(0);
+        binio::write_file(&db, &path).unwrap();
+        let back = binio::read_file(&path).unwrap();
+        assert_eq!(back.len(), db.len());
+        assert_eq!(binio::to_bytes(&back), binio::to_bytes(&db));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_file_replaces_existing_content_atomically() {
+        let path = tmp("replace");
+        binio::write_file(&sample_db(0), &path).unwrap();
+        binio::write_file(&sample_db(7), &path).unwrap();
+        let back = binio::read_file(&path).unwrap();
+        assert_eq!(
+            back.graph(subgraph_query::graph::database::GraphId(0)).label(VertexId(0)),
+            Label(7)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_file_leaves_no_temp_files_behind() {
+        let path = tmp("clean");
+        binio::write_file(&sample_db(0), &path).unwrap();
+        let dir = path.parent().unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&name) && n != &name)
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_write_preserves_the_old_file() {
+        // Writing to a path whose parent is a *file* must fail cleanly...
+        let blocker = tmp("blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let inside = blocker.join("db.bin");
+        assert!(binio::write_file(&sample_db(0), &inside).is_err());
+        // ...and a target that already exists survives a later failure
+        // untouched because the temp file takes the damage.
+        std::fs::remove_file(&blocker).ok();
+    }
+}

@@ -51,6 +51,7 @@ fn fixed_report() -> QuerySetReport {
         ..QueryRecord::default()
     });
     r.records.push(QueryRecord { status: QueryStatus::Shed, ..QueryRecord::default() });
+    r.records.push(QueryRecord { status: QueryStatus::Wedged, ..QueryRecord::default() });
     r
 }
 
@@ -68,7 +69,13 @@ fn fixed_health() -> ServiceHealth {
         half_open_breakers: 0,
         breaker_trips: 2,
         quarantined_graph_results: 17,
+        wedged_queries: 1,
+        workers_replaced: 1,
     }
+}
+
+fn fixed_journal() -> subgraph_query::core::JournalStats {
+    subgraph_query::core::JournalStats { replayed: 5, appended: 3, skipped: 5 }
 }
 
 /// The family a sample line belongs to (histogram suffixes stripped).
@@ -83,7 +90,11 @@ fn family_of(sample_name: &str) -> &str {
 
 #[test]
 fn rendering_matches_the_golden_file() {
-    let text = exposition::render(&[fixed_report()], Some(&fixed_health()));
+    let text = exposition::render_with_journal(
+        &[fixed_report()],
+        Some(&fixed_health()),
+        Some(&fixed_journal()),
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
     if std::env::var("REGEN_GOLDEN").is_ok() {
         std::fs::write(path, &text).unwrap();
@@ -168,11 +179,12 @@ fn histogram_buckets_are_cumulative_and_end_with_inf() {
 fn censored_records_appear_in_counts_but_not_histograms() {
     let report = fixed_report();
     let text = exposition::render(std::slice::from_ref(&report), None);
-    // 1 completed + 1 timed-out + 1 shed in the status counter...
+    // 1 completed + 1 timed-out + 1 shed + 1 wedged in the status counter...
     assert!(text.contains(r#"status="completed"} 1"#));
     assert!(text.contains(r#"status="timed_out"} 1"#));
     assert!(text.contains(r#"status="shed"} 1"#));
-    assert!(text.contains(r#"sqp_censored_queries_total{engine="CFQL",query_set="Q8S"} 2"#));
+    assert!(text.contains(r#"status="wedged"} 1"#));
+    assert!(text.contains(r#"sqp_censored_queries_total{engine="CFQL",query_set="Q8S"} 3"#));
     // ...but only the completed one in the latency histogram.
     assert!(text.contains(r#"sqp_query_seconds_count{engine="CFQL",query_set="Q8S"} 1"#));
 }
