@@ -44,7 +44,7 @@ pub struct BuildReport {
 /// Ordered by severity — [`absorb`](QueryStatus::absorb) keeps the most
 /// severe status when per-graph failures are merged into one outcome:
 /// `Completed < TimedOut < ResourceExhausted < Quarantined < Panicked <
-/// Wedged < Shed`.
+/// Wedged < Unavailable < Shed`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum QueryStatus {
     /// The query ran to completion; `answers` is the exact answer set.
@@ -79,6 +79,15 @@ pub enum QueryStatus {
     /// preserved; the wedged (query, graph) pair is listed in
     /// [`QueryOutcome::failures`].
     Wedged,
+    /// The shard holding this graph could not be reached (dead, over
+    /// budget, or returning garbage) after retries, so the graph was never
+    /// consulted for this query. Answers from reachable shards are
+    /// preserved; the unreachable graphs are listed in
+    /// [`QueryOutcome::failures`] — a partial result, never a silent drop.
+    /// Like [`Wedged`](QueryStatus::Wedged), unavailability is
+    /// breaker-charging (it opens the *peer's* breaker in the coordinator)
+    /// and censored from latency histograms (the query never ran there).
+    Unavailable,
     /// The query was rejected by admission control (queue full, predicted
     /// deadline miss, or service draining) and never executed. A shed query
     /// produces no answers and no per-graph work at all, but still receives
@@ -96,7 +105,8 @@ impl QueryStatus {
             QueryStatus::Quarantined => 3,
             QueryStatus::Panicked { .. } => 4,
             QueryStatus::Wedged => 5,
-            QueryStatus::Shed => 6,
+            QueryStatus::Unavailable => 6,
+            QueryStatus::Shed => 7,
         }
     }
 
@@ -136,12 +146,17 @@ impl QueryStatus {
         matches!(self, QueryStatus::Wedged)
     }
 
+    /// Whether the shard holding this graph was unreachable for this query.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, QueryStatus::Unavailable)
+    }
+
     /// Whether this per-graph status counts as a breaker-relevant fault
-    /// (panics, resource exhaustion, and wedged workers — the failure modes
-    /// a sick graph inflicts on the service, as opposed to a query-wide
-    /// timeout).
+    /// (panics, resource exhaustion, wedged workers, and unreachable
+    /// shards — the failure modes a sick graph or peer inflicts on the
+    /// service, as opposed to a query-wide timeout).
     pub fn is_breaker_fault(&self) -> bool {
-        self.is_panicked() || self.is_exhausted() || self.is_wedged()
+        self.is_panicked() || self.is_exhausted() || self.is_wedged() || self.is_unavailable()
     }
 
     /// Merges `other` in: replaces `self` when `other` is strictly more
@@ -173,6 +188,7 @@ impl std::fmt::Display for QueryStatus {
             QueryStatus::Quarantined => write!(f, "quarantined"),
             QueryStatus::Panicked { message } => write!(f, "panicked: {message}"),
             QueryStatus::Wedged => write!(f, "wedged"),
+            QueryStatus::Unavailable => write!(f, "unavailable"),
             QueryStatus::Shed => write!(f, "shed"),
         }
     }
@@ -270,6 +286,15 @@ impl QueryOutcome {
     /// produced a result and its worker thread is gone.
     pub fn record_wedged(&mut self, graph: GraphId) {
         self.failures.push(GraphFailure { graph, status: QueryStatus::Wedged });
+    }
+
+    /// Records a graph whose shard was unreachable (dead, over budget, or
+    /// corrupting) for this query: the graph was never consulted, and the
+    /// outcome-level status materializes in
+    /// [`finalize`](QueryOutcome::finalize) like every other per-graph
+    /// failure.
+    pub fn record_unavailable(&mut self, graph: GraphId) {
+        self.failures.push(GraphFailure { graph, status: QueryStatus::Unavailable });
     }
 
     /// Records an interrupted matcher call (timeout or resource exhaustion,
@@ -374,8 +399,22 @@ mod tests {
         assert_eq!(s, QueryStatus::Panicked { message: "boom".into() });
         s.absorb(QueryStatus::Wedged);
         assert!(s.is_wedged());
+        s.absorb(QueryStatus::Unavailable);
+        assert!(s.is_unavailable());
         s.absorb(QueryStatus::Shed);
         assert_eq!(s, QueryStatus::Shed);
+    }
+
+    #[test]
+    fn unavailable_is_a_breaker_fault() {
+        assert!(QueryStatus::Unavailable.is_breaker_fault());
+        let mut o = QueryOutcome::default();
+        o.record_unavailable(GraphId(7));
+        o.record_unavailable(GraphId(2));
+        o.finalize();
+        assert_eq!(o.status, QueryStatus::Unavailable);
+        assert_eq!(o.failures[0].graph, GraphId(2));
+        assert_eq!(o.failures[1].graph, GraphId(7));
     }
 
     #[test]

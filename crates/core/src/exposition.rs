@@ -13,6 +13,8 @@ use std::fmt::Write as _;
 
 use sqp_matching::Phase;
 
+use crate::breaker::BreakerState;
+use crate::coordinator::ShardPeerStats;
 use crate::engine::QueryStatus;
 use crate::journal::JournalStats;
 use crate::metrics::{LatencyHistogram, QuerySetReport, ServiceHealth, HISTOGRAM_BUCKETS};
@@ -26,12 +28,21 @@ pub fn status_label(status: &QueryStatus) -> &'static str {
         QueryStatus::Quarantined => "quarantined",
         QueryStatus::Panicked { .. } => "panicked",
         QueryStatus::Wedged => "wedged",
+        QueryStatus::Unavailable => "unavailable",
         QueryStatus::Shed => "shed",
     }
 }
 
-const STATUS_LABELS: [&str; 7] =
-    ["completed", "timed_out", "resource_exhausted", "quarantined", "panicked", "wedged", "shed"];
+const STATUS_LABELS: [&str; 8] = [
+    "completed",
+    "timed_out",
+    "resource_exhausted",
+    "quarantined",
+    "panicked",
+    "wedged",
+    "unavailable",
+    "shed",
+];
 
 fn escape_label(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
@@ -154,6 +165,44 @@ fn histogram_samples(
 /// entirely (no orphan HELP/TYPE headers).
 pub fn render(reports: &[QuerySetReport], health: Option<&ServiceHealth>) -> String {
     render_with_journal(reports, health, None)
+}
+
+/// Renders the coordinator's per-peer shard counters as their own
+/// `sqp_shard_*` families (appended after [`render`] output by the serve
+/// front end — family names are disjoint from the core exposition, so the
+/// "one HELP/TYPE header per name" invariant holds across the
+/// concatenation).
+pub fn render_shards(peers: &[ShardPeerStats]) -> String {
+    let mut w = PromWriter::new();
+    w.family(
+        "sqp_shard_queries_total",
+        "counter",
+        "Queries scattered to each shard peer (breaker short-circuits excluded).",
+    );
+    w.family("sqp_shard_retries_total", "counter", "Transport retries spent on each shard peer.");
+    w.family(
+        "sqp_shard_unavailable_total",
+        "counter",
+        "Queries on which a shard peer ended Unavailable (dead, over budget, or corrupting).",
+    );
+    w.family(
+        "sqp_shard_breaker_state",
+        "gauge",
+        "Per-peer circuit breaker state (0 = closed, 1 = half-open, 2 = open).",
+    );
+    for p in peers {
+        let labels = &[("peer", p.addr.clone()), ("shard", p.shard_index.to_string())];
+        w.sample("sqp_shard_queries_total", "", labels, p.queries as f64);
+        w.sample("sqp_shard_retries_total", "", labels, p.retries as f64);
+        w.sample("sqp_shard_unavailable_total", "", labels, p.unavailable as f64);
+        let state = match p.state {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        };
+        w.sample("sqp_shard_breaker_state", "", labels, state);
+    }
+    w.finish()
 }
 
 /// [`render`] plus run-journal activity counters, for journaled runs

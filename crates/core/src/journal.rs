@@ -92,6 +92,7 @@ fn status_label(status: &QueryStatus) -> &'static str {
         QueryStatus::Quarantined => "quarantined",
         QueryStatus::Panicked { .. } => "panicked",
         QueryStatus::Wedged => "wedged",
+        QueryStatus::Unavailable => "unavailable",
         QueryStatus::Shed => "shed",
     }
 }
@@ -182,6 +183,17 @@ impl RunJournal {
             self.done.insert(q_fp);
         }
         Ok(())
+    }
+
+    /// Forces every appended record down to durable storage
+    /// (`fdatasync`). [`record`](RunJournal::record) only flushes to the
+    /// OS — cheap, and enough to survive a process kill — so the drain
+    /// paths call this when a SIGINT starts the drain window: outcomes
+    /// already decided must survive even a machine crash between drain
+    /// start and process exit.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()
     }
 
     /// Activity counters for the exposition layer.

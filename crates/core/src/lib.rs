@@ -22,6 +22,8 @@ pub mod breaker;
 pub mod cache;
 pub mod chaos;
 pub mod collection;
+pub mod coordinator;
+pub mod dispatch;
 pub mod engine;
 pub mod engines;
 pub mod exposition;
@@ -30,14 +32,17 @@ pub mod metrics;
 pub mod parallel;
 pub mod runner;
 pub mod service;
+pub mod shard;
 pub mod supervisor;
 pub mod verifier;
+pub mod wire;
 
 pub use breaker::{BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
 pub use chaos::{
     chaos_engine, ChaosConfig, ChaosMatcher, FaultKind, FlappyConfig, FlappyMatcher, SlowMatcher,
     StuckMatcher,
 };
+pub use coordinator::{Coordinator, CoordinatorConfig, ShardPeerStats};
 pub use engine::{
     BuildReport, EngineCategory, GraphFailure, QueryEngine, QueryOutcome, QueryStatus,
 };
@@ -51,7 +56,9 @@ pub use runner::{
 pub use service::{
     Admission, DrainReport, QueryService, QueryTicket, ServiceConfig, ShedPolicy, ShedReason,
 };
+pub use shard::{shard_of, ShardPlacement, ShardServer, ShardServerConfig};
 pub use supervisor::SupervisorConfig;
+pub use wire::{Message, WireChaos, WireChaosConfig, WireConfig, WireError, WireFault};
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -62,6 +69,7 @@ pub mod prelude {
         SlowMatcher, StuckMatcher,
     };
     pub use crate::collection::{CollectionMatcher, GraphMatches};
+    pub use crate::coordinator::{Coordinator, CoordinatorConfig, ShardPeerStats};
     pub use crate::engine::{
         BuildReport, EngineCategory, GraphFailure, QueryEngine, QueryOutcome, QueryStatus,
     };
@@ -71,6 +79,7 @@ pub mod prelude {
         ServiceEngine, TurboIsoEngine, UllmannEngine, VcGgsxEngine, VcGrapesEngine,
     };
     pub use crate::exposition::render as render_prometheus;
+    pub use crate::exposition::render_shards as render_prometheus_shards;
     pub use crate::exposition::render_with_journal as render_prometheus_with_journal;
     pub use crate::journal::{db_fingerprint, JournalStats, RunJournal};
     pub use crate::metrics::{LatencyHistogram, QueryRecord, QuerySetReport, ServiceHealth};
@@ -82,5 +91,7 @@ pub mod prelude {
     pub use crate::service::{
         Admission, DrainReport, QueryService, QueryTicket, ServiceConfig, ShedPolicy, ShedReason,
     };
+    pub use crate::shard::{shard_of, ShardPlacement, ShardServer, ShardServerConfig};
     pub use crate::supervisor::SupervisorConfig;
+    pub use crate::wire::{Message, WireChaos, WireChaosConfig, WireConfig, WireError, WireFault};
 }

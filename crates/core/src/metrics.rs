@@ -343,6 +343,12 @@ impl QuerySetReport {
         self.records.iter().filter(|r| r.status.is_wedged()).count()
     }
 
+    /// Number of queries whose most severe failure was an unreachable shard
+    /// (partial results: graphs on dead/over-budget peers never consulted).
+    pub fn unavailable_count(&self) -> usize {
+        self.records.iter().filter(|r| r.status.is_unavailable()).count()
+    }
+
     /// Number of queries that ended in any non-completed state.
     pub fn failure_count(&self) -> usize {
         self.records.iter().filter(|r| !r.status.is_completed()).count()
@@ -386,7 +392,10 @@ impl QuerySetReport {
     /// to exactly the budget by `QueryRecord::from_outcome` and shed records
     /// never executed, so neither carries a real latency observation.
     fn is_censored(r: &QueryRecord) -> bool {
-        r.status.is_timed_out() || r.status.is_shed() || r.status.is_wedged()
+        r.status.is_timed_out()
+            || r.status.is_shed()
+            || r.status.is_wedged()
+            || r.status.is_unavailable()
     }
 
     /// Number of records excluded from the latency/phase histograms because
@@ -743,8 +752,10 @@ mod tests {
         timed_out.phases.nanos[Phase::Filter.index()] = 9999;
         r.records.push(timed_out);
         r.records.push(with_status(QueryStatus::Shed));
+        r.records.push(with_status(QueryStatus::Unavailable));
 
-        assert_eq!(r.censored_count(), 2);
+        assert_eq!(r.unavailable_count(), 1);
+        assert_eq!(r.censored_count(), 3);
         assert_eq!(r.latency_histogram().count(), 1);
         assert_eq!(r.phase_histogram(Phase::Filter).count(), 1);
         assert_eq!(r.phase_totals().nanos_of(Phase::Filter), 500);

@@ -78,7 +78,7 @@ impl RunnerConfig {
 
 /// Deterministic backoff jitter: stretches `base` by up to +50%, as a pure
 /// function of `(seed, attempt)`. Seed 0 disables jitter.
-fn jittered(base: Duration, seed: u64, attempt: u32) -> Duration {
+pub(crate) fn jittered(base: Duration, seed: u64, attempt: u32) -> Duration {
     if seed == 0 || base.is_zero() {
         return base;
     }

@@ -22,91 +22,39 @@
 //!   breaker occupancy, and shed/quarantine counters
 //!   ([`ServiceHealth`]).
 //!
+//! Since PR 8 the admission machinery itself lives in
+//! [`crate::dispatch`]: this module plugs a **local executor** (the query
+//! pool, per-graph breakers, budget-charged retries) into the
+//! transport-agnostic [`DispatchCore`], and the sharded coordinator
+//! ([`crate::coordinator`]) plugs a remote scatter–gather executor into
+//! the very same core.
+//!
 //! Determinism: breaker transitions and shed decisions are pure functions
 //! of the admitted-query sequence (the registry is clocked in logical
 //! ticks, and [`submit_batch`](QueryService::submit_batch) makes burst
 //! admission decisions under one lock hold), so the chaos suite can assert
 //! byte-identical serving behavior across 1/2/4/8 worker threads.
 //!
+//! [`QueryStatus::Shed`]: crate::engine::QueryStatus::Shed
+//! [`QueryStatus::Quarantined`]: crate::engine::QueryStatus::Quarantined
 //! [`CancelToken`]: sqp_matching::CancelToken
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb};
 use sqp_matching::{Deadline, Matcher, ResourceGuard};
 
 use crate::breaker::{BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
+use crate::dispatch::{DispatchConfig, DispatchCore, QueryExecutor};
 use crate::engine::QueryOutcome;
 use crate::metrics::{QueryRecord, QuerySetReport, ServiceHealth};
 use crate::parallel::{lock, QueryPool};
 use crate::runner::{run_with_retries, RunnerConfig};
 use crate::supervisor::SupervisorConfig;
 
-/// Why a submission was shed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ShedReason {
-    /// The bounded submission queue was at capacity.
-    QueueFull,
-    /// Predicted queue wait + service time exceeded the query budget.
-    DeadlineUnmeetable,
-    /// The service had stopped admitting (drain in progress), or the drain
-    /// deadline expired with the query still queued.
-    Draining,
-}
-
-impl std::fmt::Display for ShedReason {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ShedReason::QueueFull => write!(f, "queue full"),
-            ShedReason::DeadlineUnmeetable => write!(f, "deadline unmeetable"),
-            ShedReason::Draining => write!(f, "draining"),
-        }
-    }
-}
-
-/// Result of one admission decision.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Admission {
-    /// The query entered the submission queue.
-    Admitted,
-    /// The query was rejected; its ticket is already resolved with
-    /// [`QueryStatus::Shed`].
-    Shed(ShedReason),
-}
-
-impl Admission {
-    /// Whether the query entered the queue.
-    pub fn is_admitted(&self) -> bool {
-        matches!(self, Admission::Admitted)
-    }
-}
-
-/// Deadline-aware load-shedding policy.
-///
-/// The service predicts a submission's end-to-end latency as
-/// `est_cost_per_graph × live_graphs × (queued + in-flight + 1)` — service
-/// time for the query itself plus the backlog ahead of it, with quarantined
-/// graphs excluded from the per-query cost. When the prediction exceeds the
-/// configured query budget the submission is shed immediately: rejecting at
-/// admission is strictly cheaper than admitting work that is already doomed
-/// to time out. The estimate is a pure function of configuration and queue
-/// state, so shed decisions are deterministic for a deterministic admission
-/// sequence.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ShedPolicy {
-    /// Estimated filter+verify cost per live data graph.
-    pub est_cost_per_graph: Duration,
-}
-
-impl Default for ShedPolicy {
-    fn default() -> Self {
-        Self { est_cost_per_graph: Duration::from_micros(100) }
-    }
-}
+pub use crate::dispatch::{Admission, DrainReport, QueryTicket, ShedPolicy, ShedReason};
 
 /// Configuration of a [`QueryService`].
 #[derive(Clone, Debug)]
@@ -156,109 +104,59 @@ impl Default for ServiceConfig {
     }
 }
 
-struct TicketInner {
-    slot: Mutex<Option<(QueryOutcome, u32)>>,
-    ready: Condvar,
-}
-
-impl TicketInner {
-    fn new() -> Arc<Self> {
-        Arc::new(Self { slot: Mutex::new(None), ready: Condvar::new() })
-    }
-
-    fn resolve(&self, outcome: QueryOutcome, retries: u32) {
-        let mut slot = lock(&self.slot);
-        if slot.is_none() {
-            *slot = Some((outcome, retries));
-        }
-        drop(slot);
-        self.ready.notify_all();
-    }
-}
-
-/// A handle to one submitted query; resolves to its terminal
-/// [`QueryOutcome`] (plus the retries spent). Shed queries resolve
-/// immediately.
-#[derive(Clone)]
-pub struct QueryTicket {
-    inner: Arc<TicketInner>,
-}
-
-impl QueryTicket {
-    /// Blocks until the query reaches a terminal status.
-    pub fn wait(&self) -> (QueryOutcome, u32) {
-        let mut slot = lock(&self.inner.slot);
-        loop {
-            if let Some(r) = slot.as_ref() {
-                return r.clone();
-            }
-            slot = self.inner.ready.wait(slot).unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-    }
-
-    /// Waits up to `timeout` for a terminal status.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<(QueryOutcome, u32)> {
-        let deadline = Instant::now() + timeout;
-        let mut slot = lock(&self.inner.slot);
-        loop {
-            if let Some(r) = slot.as_ref() {
-                return Some(r.clone());
-            }
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
-                return None;
-            }
-            let (s, _) = self
-                .inner
-                .ready
-                .wait_timeout(slot, left)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            slot = s;
-        }
-    }
-
-    /// The terminal result, if already available (never blocks).
-    pub fn try_get(&self) -> Option<(QueryOutcome, u32)> {
-        lock(&self.inner.slot).clone()
-    }
-}
-
-/// What [`QueryService::shutdown`] observed.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DrainReport {
-    /// Whether all admitted work finished within the drain deadline
-    /// (`false` means the backlog was shed and/or in-flight work cancelled).
-    pub drained_within_deadline: bool,
-    /// Admitted queries that reached a terminal status through execution.
-    pub finished: u64,
-    /// Queued-but-unstarted queries resolved as [`QueryStatus::Shed`] when
-    /// the drain deadline expired.
-    pub shed_at_drain: u64,
-}
-
-struct SvcState {
-    queue: VecDeque<(Graph, Arc<TicketInner>)>,
-    draining: bool,
-    /// Drain deadline expired: the executor sheds the backlog and exits.
-    force_cancel: bool,
-    inflight: usize,
-    admitted: u64,
-    finished: u64,
-    shed_queue_full: u64,
-    shed_deadline: u64,
-    shed_draining: u64,
-}
-
-struct Shared {
-    state: Mutex<SvcState>,
-    /// Signals the executor: new submission or drain flag change.
-    submitted: Condvar,
-    /// Signals waiters: a query finished or the executor exited.
-    progressed: Condvar,
+/// The local execution strategy: one admitted query = one masked pool run
+/// with budget-charged retries, bracketed by the per-graph breaker
+/// registry. This is the [`QueryExecutor`] the in-process service plugs
+/// into the [`DispatchCore`].
+struct LocalExecutor {
+    pool: QueryPool,
+    matcher: Arc<dyn Matcher>,
+    db: Arc<GraphDb>,
     breakers: Mutex<BreakerRegistry>,
     runner: Mutex<RunnerConfig>,
-    pool: QueryPool,
-    db: Arc<GraphDb>,
+    guard: ResourceGuard,
+}
+
+impl QueryExecutor for LocalExecutor {
+    fn execute(&self, q: &Graph, budget_override: Option<Duration>) -> (QueryOutcome, u32) {
+        // Retry backoff jitter is keyed to the query so concurrent clients
+        // retrying the same transient fault don't thunder in lockstep.
+        let mut runner = lock(&self.runner).with_jitter_seed(crate::chaos::graph_fingerprint(q));
+        if let Some(budget) = budget_override {
+            // Deadline propagation: a remote caller's remaining budget
+            // bounds this query, configured budget notwithstanding.
+            runner.query_budget = Some(match runner.query_budget {
+                Some(own) => own.min(budget),
+                None => budget,
+            });
+        }
+        // One logical tick per admitted query; the mask is fixed across
+        // retry attempts (same tick).
+        let mask = lock(&self.breakers).begin_query();
+        let (outcome, retries) = run_with_retries(runner, |remaining| {
+            self.guard.reset(runner.limits);
+            let deadline =
+                remaining.map_or(Deadline::none(), Deadline::after).with_guard(self.guard);
+            self.pool
+                .query_masked(Arc::clone(&self.matcher), &self.db, q, deadline, mask.clone())
+                .outcome
+        });
+        lock(&self.breakers).observe(&outcome);
+        (outcome, retries)
+    }
+
+    fn cancel(&self) {
+        self.pool.cancel();
+    }
+
+    fn live_units(&self) -> usize {
+        let open = lock(&self.breakers).open_count();
+        self.db.len().saturating_sub(open).max(1)
+    }
+
+    fn query_budget(&self) -> Option<Duration> {
+        lock(&self.runner).query_budget
+    }
 }
 
 /// An admission-controlled, breaker-protected query service over one
@@ -288,11 +186,8 @@ struct Shared {
 /// assert!(report.drained_within_deadline);
 /// ```
 pub struct QueryService {
-    shared: Arc<Shared>,
-    executor: Option<JoinHandle<()>>,
-    queue_capacity: usize,
-    shed: Option<ShedPolicy>,
-    drain_deadline: Duration,
+    core: DispatchCore,
+    exec: Arc<LocalExecutor>,
 }
 
 impl QueryService {
@@ -312,90 +207,42 @@ impl QueryService {
             Some(config) => QueryPool::supervised(&thread_prefix, threads, config),
             None => QueryPool::named(&thread_prefix, threads),
         };
-        let shared = Arc::new(Shared {
-            state: Mutex::new(SvcState {
-                queue: VecDeque::new(),
-                draining: false,
-                force_cancel: false,
-                inflight: 0,
-                admitted: 0,
-                finished: 0,
-                shed_queue_full: 0,
-                shed_deadline: 0,
-                shed_draining: 0,
-            }),
-            submitted: Condvar::new(),
-            progressed: Condvar::new(),
+        let exec = Arc::new(LocalExecutor {
+            pool,
+            matcher,
             breakers: Mutex::new(BreakerRegistry::new(breaker, db.len())),
             runner: Mutex::new(runner),
-            pool,
             db,
+            guard: ResourceGuard::new(),
         });
-        let executor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("{thread_prefix}-exec"))
-                .spawn(move || executor_loop(&shared, matcher))
-                .ok()
-        };
-        // If the OS refused the executor thread the service still resolves
-        // every ticket: submissions are shed as draining.
-        if executor.is_none() {
-            lock(&shared.state).draining = true;
-        }
-        Self { shared, executor, queue_capacity, shed, drain_deadline }
-    }
-
-    fn shed_ticket(reason: ShedReason) -> (QueryTicket, Admission) {
-        let inner = TicketInner::new();
-        inner.resolve(QueryOutcome::shed(), 0);
-        (QueryTicket { inner }, Admission::Shed(reason))
-    }
-
-    /// Admission decision for one query under the state lock. Returns the
-    /// shed reason, or `None` to admit.
-    fn admission_decision(&self, st: &SvcState, open_breakers: usize) -> Option<ShedReason> {
-        if st.draining {
-            return Some(ShedReason::Draining);
-        }
-        if st.queue.len() >= self.queue_capacity {
-            return Some(ShedReason::QueueFull);
-        }
-        if let (Some(policy), Some(budget)) = (self.shed, lock(&self.shared.runner).query_budget) {
-            let live = self.shared.db.len().saturating_sub(open_breakers).max(1);
-            let est_service = policy.est_cost_per_graph.saturating_mul(live as u32);
-            let backlog = (st.queue.len() + st.inflight) as u32;
-            let est_total = est_service.saturating_mul(backlog + 1);
-            if est_total > budget {
-                return Some(ShedReason::DeadlineUnmeetable);
-            }
-        }
-        None
+        let core = DispatchCore::new(
+            Arc::clone(&exec) as Arc<dyn QueryExecutor>,
+            DispatchConfig {
+                queue_capacity,
+                shed,
+                drain_deadline,
+                thread_name: format!("{thread_prefix}-exec"),
+            },
+        );
+        Self { core, exec }
     }
 
     /// Submits one query. Always returns a ticket that will resolve to a
     /// terminal status; the [`Admission`] says whether it entered the queue
     /// or was shed on the spot.
     pub fn submit(&self, q: &Graph) -> (QueryTicket, Admission) {
-        // Snapshot breaker occupancy before taking the state lock (strict
-        // state→breakers order everywhere else; never hold both).
-        let open = lock(&self.shared.breakers).open_count();
-        let mut st = lock(&self.shared.state);
-        if let Some(reason) = self.admission_decision(&st, open) {
-            match reason {
-                ShedReason::QueueFull => st.shed_queue_full += 1,
-                ShedReason::DeadlineUnmeetable => st.shed_deadline += 1,
-                ShedReason::Draining => st.shed_draining += 1,
-            }
-            drop(st);
-            return Self::shed_ticket(reason);
-        }
-        let inner = TicketInner::new();
-        st.queue.push_back((q.clone(), Arc::clone(&inner)));
-        st.admitted += 1;
-        drop(st);
-        self.shared.submitted.notify_all();
-        (QueryTicket { inner }, Admission::Admitted)
+        self.core.submit(q)
+    }
+
+    /// [`submit`](QueryService::submit) with a per-query budget override:
+    /// the effective budget is the minimum of the configured budget and
+    /// `budget` (deadline propagation for queries arriving over the wire).
+    pub fn submit_with_budget(
+        &self,
+        q: &Graph,
+        budget: Option<Duration>,
+    ) -> (QueryTicket, Admission) {
+        self.core.submit_with_budget(q, budget)
     }
 
     /// Submits a burst of queries under **one** state-lock hold, so the
@@ -404,30 +251,7 @@ impl QueryService {
     /// executor cannot race the decisions apart. This is what makes shed
     /// decisions reproducible across worker thread counts.
     pub fn submit_batch(&self, queries: &[Graph]) -> Vec<(QueryTicket, Admission)> {
-        let open = lock(&self.shared.breakers).open_count();
-        let mut st = lock(&self.shared.state);
-        let mut out = Vec::with_capacity(queries.len());
-        for q in queries {
-            match self.admission_decision(&st, open) {
-                Some(reason) => {
-                    match reason {
-                        ShedReason::QueueFull => st.shed_queue_full += 1,
-                        ShedReason::DeadlineUnmeetable => st.shed_deadline += 1,
-                        ShedReason::Draining => st.shed_draining += 1,
-                    }
-                    out.push(Self::shed_ticket(reason));
-                }
-                None => {
-                    let inner = TicketInner::new();
-                    st.queue.push_back((q.clone(), Arc::clone(&inner)));
-                    st.admitted += 1;
-                    out.push((QueryTicket { inner }, Admission::Admitted));
-                }
-            }
-        }
-        drop(st);
-        self.shared.submitted.notify_all();
-        out
+        self.core.submit_batch(queries)
     }
 
     /// Runs a query set in lockstep (submit one, wait for it, record) and
@@ -436,7 +260,7 @@ impl QueryService {
     /// shed decisions, breaker transitions — is deterministic for a
     /// deterministic matcher at any worker thread count.
     pub fn run_query_set(&self, query_set_name: &str, queries: &[Graph]) -> QuerySetReport {
-        let budget = lock(&self.shared.runner).query_budget;
+        let budget = lock(&self.exec.runner).query_budget;
         let mut report = QuerySetReport::new("service", query_set_name);
         for q in queries {
             let (ticket, _) = self.submit(q);
@@ -450,64 +274,58 @@ impl QueryService {
 
     /// Point-in-time serving snapshot.
     pub fn health(&self) -> ServiceHealth {
-        let (queue_depth, inflight, draining, admitted, finished, qf, dl, dr) = {
-            let st = lock(&self.shared.state);
-            (
-                st.queue.len(),
-                st.inflight,
-                st.draining,
-                st.admitted,
-                st.finished,
-                st.shed_queue_full,
-                st.shed_deadline,
-                st.shed_draining,
-            )
-        };
+        let d = self.core.health();
         let (open, half_open, trips, short_circuits) = {
-            let br = lock(&self.shared.breakers);
+            let br = lock(&self.exec.breakers);
             (br.open_count(), br.half_open_count(), br.trip_count(), br.short_circuit_count())
         };
         ServiceHealth {
-            queue_depth,
-            inflight,
-            draining,
-            admitted,
-            finished,
-            shed_queue_full: qf,
-            shed_deadline: dl,
-            shed_draining: dr,
+            queue_depth: d.queue_depth,
+            inflight: d.inflight,
+            draining: d.draining,
+            admitted: d.admitted,
+            finished: d.finished,
+            shed_queue_full: d.shed_queue_full,
+            shed_deadline: d.shed_deadline,
+            shed_draining: d.shed_draining,
             open_breakers: open,
             half_open_breakers: half_open,
             breaker_trips: trips,
             quarantined_graph_results: short_circuits,
-            wedged_queries: self.shared.pool.wedged_queries(),
-            workers_replaced: self.shared.pool.workers_replaced(),
+            wedged_queries: self.exec.pool.wedged_queries(),
+            workers_replaced: self.exec.pool.workers_replaced(),
         }
     }
 
     /// Current breaker state for one graph.
     pub fn breaker_state(&self, graph: GraphId) -> BreakerState {
-        lock(&self.shared.breakers).state(graph)
+        lock(&self.exec.breakers).state(graph)
     }
 
     /// All breaker transitions so far, in order.
     pub fn breaker_transitions(&self) -> Vec<BreakerTransition> {
-        lock(&self.shared.breakers).transitions().to_vec()
+        lock(&self.exec.breakers).transitions().to_vec()
     }
 
     /// The current runner (budget/retry/limits) configuration.
     pub fn runner_config(&self) -> RunnerConfig {
-        *lock(&self.shared.runner)
+        *lock(&self.exec.runner)
     }
 
     /// Replaces the runner configuration for subsequently started queries.
     pub fn set_runner_config(&self, config: RunnerConfig) {
-        *lock(&self.shared.runner) = config;
+        *lock(&self.exec.runner) = config;
     }
 
     /// Worker threads in the underlying pool.
     pub fn threads(&self) -> usize {
-        self.shared.pool.threads()
+        self.exec.pool.threads()
+    }
+
+    /// Stops admissions at once without waiting for the backlog (the
+    /// SIGINT-drain entry point; `shutdown` still completes the drain).
+    pub fn begin_drain(&self) {
+        self.core.begin_drain();
     }
 
     /// Gracefully drains and stops the service: admissions stop at once,
@@ -517,109 +335,10 @@ impl QueryService {
     /// `TimedOut`/`ResourceExhausted`). Every admitted query is guaranteed
     /// a terminal status, and all service threads are joined before this
     /// returns.
+    ///
+    /// [`QueryStatus::Shed`]: crate::engine::QueryStatus::Shed
     pub fn shutdown(mut self) -> DrainReport {
-        self.shutdown_inner()
-    }
-
-    fn shutdown_inner(&mut self) -> DrainReport {
-        let drain_until = Instant::now() + self.drain_deadline;
-        {
-            let mut st = lock(&self.shared.state);
-            st.draining = true;
-            self.shared.submitted.notify_all();
-            // Give in-flight + queued work the drain window.
-            while (st.inflight > 0 || !st.queue.is_empty()) && Instant::now() < drain_until {
-                let left = drain_until.saturating_duration_since(Instant::now());
-                let (s, _) = self
-                    .shared
-                    .progressed
-                    .wait_timeout(st, left)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                st = s;
-            }
-            st.force_cancel = true;
-            self.shared.submitted.notify_all();
-        }
-        // Cancel-pump: `QueryPool::query` resets its token at query start,
-        // so a single cancel can race a just-starting attempt. Re-raise
-        // until the executor confirms exit.
-        if let Some(executor) = self.executor.take() {
-            while !executor.is_finished() {
-                self.shared.pool.cancel();
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            let _ = executor.join();
-        }
-        let st = lock(&self.shared.state);
-        DrainReport {
-            drained_within_deadline: st.shed_draining == 0 && Instant::now() <= drain_until,
-            finished: st.finished,
-            shed_at_drain: st.shed_draining,
-        }
-    }
-}
-
-impl Drop for QueryService {
-    fn drop(&mut self) {
-        if self.executor.is_some() {
-            // Implicit shutdown without the drain courtesy: resolve
-            // everything and join all threads (no leaks, no lost tickets).
-            self.drain_deadline = Duration::ZERO;
-            let _ = self.shutdown_inner();
-        }
-    }
-}
-
-fn executor_loop(shared: &Shared, matcher: Arc<dyn Matcher>) {
-    let guard = ResourceGuard::new();
-    loop {
-        let (q, ticket) = {
-            let mut st = lock(&shared.state);
-            loop {
-                if st.force_cancel {
-                    // Drain deadline expired: the backlog is shed, never
-                    // silently dropped.
-                    while let Some((_, t)) = st.queue.pop_front() {
-                        t.resolve(QueryOutcome::shed(), 0);
-                        st.shed_draining += 1;
-                    }
-                }
-                if let Some(item) = st.queue.pop_front() {
-                    st.inflight = 1;
-                    break item;
-                }
-                if st.draining {
-                    drop(st);
-                    shared.progressed.notify_all();
-                    return;
-                }
-                st = shared.submitted.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
-            }
-        };
-
-        // Retry backoff jitter is keyed to the query so concurrent clients
-        // retrying the same transient fault don't thunder in lockstep.
-        let runner = lock(&shared.runner).with_jitter_seed(crate::chaos::graph_fingerprint(&q));
-        // One logical tick per admitted query; the mask is fixed across
-        // retry attempts (same tick).
-        let mask = lock(&shared.breakers).begin_query();
-        let (outcome, retries) = run_with_retries(runner, |remaining| {
-            guard.reset(runner.limits);
-            let deadline = remaining.map_or(Deadline::none(), Deadline::after).with_guard(guard);
-            shared
-                .pool
-                .query_masked(Arc::clone(&matcher), &shared.db, &q, deadline, mask.clone())
-                .outcome
-        });
-        lock(&shared.breakers).observe(&outcome);
-        // Account before resolving: a caller returning from
-        // `QueryTicket::wait` must see this query in `health().finished`.
-        let mut st = lock(&shared.state);
-        st.inflight = 0;
-        st.finished += 1;
-        drop(st);
-        ticket.resolve(outcome, retries);
-        shared.progressed.notify_all();
+        self.core.shutdown_inner()
     }
 }
 
@@ -730,11 +449,36 @@ mod tests {
         let (t1, a1) = service.submit(&q);
         assert!(a1.is_admitted());
         t1.wait();
-        // Mark draining by hand (shutdown consumes the service).
-        lock(&service.shared.state).draining = true;
+        // Stop admissions by hand (shutdown consumes the service).
+        service.begin_drain();
         let (t2, a2) = service.submit(&q);
         assert_eq!(a2, Admission::Shed(ShedReason::Draining));
         assert!(t2.wait().0.status.is_shed());
+    }
+
+    #[test]
+    fn budget_override_caps_the_configured_budget() {
+        let db = edge_db(2);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let service = QueryService::new(
+            Arc::new(Cfql::new()),
+            db,
+            ServiceConfig {
+                runner: RunnerConfig::with_budget(Duration::from_secs(600)),
+                ..Default::default()
+            },
+        );
+        // A generous override on a fast query still completes.
+        let (t, a) = service.submit_with_budget(&q, Some(Duration::from_secs(1)));
+        assert!(a.is_admitted());
+        let (outcome, _) = t.wait();
+        assert!(outcome.status.is_completed());
+        assert_eq!(outcome.answers.len(), 2);
+        // A zero remaining budget must surface as a timeout, not hang.
+        let (t, a) = service.submit_with_budget(&q, Some(Duration::ZERO));
+        assert!(a.is_admitted());
+        let (outcome, _) = t.wait();
+        assert!(outcome.status.is_timed_out(), "{:?}", outcome.status);
     }
 
     /// A matcher that panics on every graph of every query.

@@ -2,7 +2,7 @@
 //!
 //! The standard library's SipHash is collision-resistant but slow for the
 //! short integer keys that dominate this workspace (vertex ids, label ids,
-//! small feature keys). The offline dependency policy (see DESIGN.md §7) does
+//! small feature keys). The offline dependency policy (see DESIGN.md §9) does
 //! not include `rustc-hash`, so we vendor the same multiply-xor construction
 //! (FxHash) here. HashDoS is not a concern: all keys come from graph data we
 //! generate or load ourselves.

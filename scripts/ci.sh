@@ -46,9 +46,15 @@ cargo test -q --offline --test metrics_format
 echo "==> supervision suite (wedge escalation at 1/2/4/8 threads, journal torn-tail property, resume skip)"
 PROPTEST_CASES=32 cargo test -q --offline --test supervision
 
+echo "==> wire protocol suite (frame round-trip; truncation/bit-flip/over-cap fail closed)"
+PROPTEST_CASES=32 cargo test -q --offline --test wire
+
+echo "==> distributed serving suite (loopback shard clusters: dead/slow/silent/corrupting shard matrix at 1/2/4/8 scatter threads)"
+cargo test -q --offline --test distributed
+
 echo "==> kill-then-resume smoke (journaled run killed mid-flight; --resume re-runs only the incomplete tail)"
 smoke_dir=$(mktemp -d)
-trap 'rm -rf "$smoke_dir"' EXIT
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
 sqp=target/release/sqp
 "$sqp" generate --kind synthetic --graphs 30 --vertices 12 --labels 4 --seed 5 \
   --out "$smoke_dir/db.bin" >/dev/null
@@ -73,6 +79,86 @@ if [[ "$total" -ne 12 || "$uniq_fps" -ne 0 ]]; then
   exit 1
 fi
 echo "    kill-then-resume: $done_before completed before kill, $((12 - done_before)) resumed, no duplicates"
+
+echo "==> sharded serving smoke (3-shard loopback cluster; one shard SIGKILLed -> exit 2, partial results, /metrics scrape)"
+wait_listening() { # file -> prints the ADDR from the first "listening ADDR" line
+  for _ in $(seq 1 200); do
+    if grep -q '^listening ' "$1" 2>/dev/null; then
+      awk '/^listening /{print $2; exit}' "$1"
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "smoke error: no 'listening' line in $1 after 10s" >&2
+  return 1
+}
+shard_pids=()
+for i in 0 1 2; do
+  target/release/sqp-shard --db "$smoke_dir/db.bin" --shard-index "$i" --shards 3 \
+    > "$smoke_dir/shard$i.out" 2> "$smoke_dir/shard$i.err" &
+  shard_pids+=($!)
+done
+shard_addrs=()
+for i in 0 1 2; do
+  shard_addrs+=("$(wait_listening "$smoke_dir/shard$i.out")")
+done
+# Fast retry/idle knobs so the dead-shard read deadline does not dominate the smoke.
+"$sqp" serve --db "$smoke_dir/db.bin" \
+  --shards "${shard_addrs[0]},${shard_addrs[1]},${shard_addrs[2]}" \
+  --retries 1 --retry-backoff-ms 5 --idle-timeout-ms 500 \
+  --metrics-addr 127.0.0.1:0 \
+  > "$smoke_dir/serve.out" 2> "$smoke_dir/serve.err" &
+serve_pid=$!
+serve_addr=$(wait_listening "$smoke_dir/serve.out")
+# Healthy cluster: every query completes, exit 0, nothing Unavailable.
+"$sqp" client --db "$smoke_dir/db.bin" --queries "$smoke_dir/q.txt" \
+  --addr "$serve_addr" > "$smoke_dir/client_healthy.out"
+if grep -q 'UNAVAILABLE' "$smoke_dir/client_healthy.out"; then
+  echo "smoke error: healthy cluster reported UNAVAILABLE results" >&2
+  exit 1
+fi
+# SIGKILL shard 1: the same query set must now degrade (exit 2) to partial
+# results with the dead shard's graphs attributed UNAVAILABLE — never a
+# whole-run failure.
+kill -9 "${shard_pids[1]}"
+wait "${shard_pids[1]}" 2>/dev/null || true
+set +e
+"$sqp" client --db "$smoke_dir/db.bin" --queries "$smoke_dir/q.txt" \
+  --addr "$serve_addr" > "$smoke_dir/client_degraded.out"
+degraded_rc=$?
+set -e
+if [[ "$degraded_rc" -ne 2 ]]; then
+  echo "smoke error: degraded client run must exit 2 (got $degraded_rc)" >&2
+  exit 1
+fi
+if ! grep -q 'UNAVAILABLE' "$smoke_dir/client_degraded.out"; then
+  echo "smoke error: degraded run did not attribute the dead shard UNAVAILABLE" >&2
+  exit 1
+fi
+# Scrape the coordinator's Prometheus endpoint: all four sqp_shard_* families
+# must be present, and the dead peer's breaker must have left Closed.
+metrics_hostport=$(sed -n 's#^metrics on http://\([^/]*\)/metrics$#\1#p' "$smoke_dir/serve.err" | head -n1)
+scrape=$(bash -c "exec 3<>/dev/tcp/${metrics_hostport%:*}/${metrics_hostport##*:} \
+  && printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && timeout 5 cat <&3")
+for family in sqp_shard_queries_total sqp_shard_retries_total \
+              sqp_shard_unavailable_total sqp_shard_breaker_state; do
+  if ! grep -q "^$family{" <<<"$scrape"; then
+    echo "smoke error: /metrics scrape is missing the $family family" >&2
+    exit 1
+  fi
+done
+tripped=$(grep -c '^sqp_shard_breaker_state{[^}]*} [12]$' <<<"$scrape" || true)
+if [[ "$tripped" -ne 1 ]]; then
+  echo "smoke error: expected exactly 1 tripped peer breaker, scrape shows $tripped" >&2
+  grep '^sqp_shard_breaker_state' <<<"$scrape" >&2 || true
+  exit 1
+fi
+# Orderly drain: coordinator first, then the surviving shards; all exit 0.
+kill -INT "$serve_pid"
+wait "$serve_pid"
+kill -INT "${shard_pids[0]}" "${shard_pids[2]}"
+wait "${shard_pids[0]}" "${shard_pids[2]}"
+echo "    sharded serving: healthy run clean, SIGKILL degraded to exit 2 + UNAVAILABLE, breaker open on 1 peer, drain clean"
 
 echo "==> enumeration-kernel bench smoke (writes results/BENCH_kernels.json)"
 SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench enumeration

@@ -1,0 +1,214 @@
+//! `sqp-shard` — one shard worker of the distributed query service.
+//!
+//! ```text
+//! sqp-shard --db <file> --shard-index N --shards N [--listen ADDR]
+//!           [--engine <name>] [--threads N] [--budget-ms N] [--retries N]
+//!           [--breaker-threshold N] [--breaker-cooldown N]
+//!           [--chaos-slow-ms N] [--chaos-seed N]
+//!           [--chaos-drop-pm PM] [--chaos-truncate-pm PM]
+//!           [--chaos-corrupt-pm PM] [--chaos-delay-pm PM] [--chaos-delay-ms N]
+//! ```
+//!
+//! Loads the **full** database, derives its own slice from the
+//! fingerprint-hash placement (`graph_fingerprint % shards`), and serves
+//! the wire protocol on `--listen` (port 0 lets the OS pick; the bound
+//! address is printed as `listening ADDR` for scripts). Each query runs
+//! through the same admission-controlled, breaker-protected
+//! `QueryService` the single-process CLI uses.
+//!
+//! The `--chaos-*-pm` flags arm the deterministic outbound frame chaos
+//! plan (per-mille of frames dropped / truncated / bit-flipped / delayed)
+//! used by the fault-tolerance suite to play the "corrupting shard".
+//! Ctrl-C drains the service (finish in-flight work, then exit 0).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use subgraph_query::core::engines::matcher_by_name_with;
+use subgraph_query::core::prelude::*;
+use subgraph_query::graph::{binio, io, GraphDb};
+use subgraph_query::matching::MatcherConfig;
+
+const HELP: &str = "\
+sqp-shard — one shard worker of the distributed query service
+
+USAGE:
+  sqp-shard --db <file> --shard-index N --shards N [--listen ADDR]
+            [--engine <name>] [--threads N] [--budget-ms N] [--retries N]
+            [--breaker-threshold N] [--breaker-cooldown N]
+            [--chaos-slow-ms N] [--chaos-seed N]
+            [--chaos-drop-pm PM] [--chaos-truncate-pm PM]
+            [--chaos-corrupt-pm PM] [--chaos-delay-pm PM] [--chaos-delay-ms N]
+
+Serves its fingerprint-hash slice of the database over the sqp wire
+protocol. Prints `listening ADDR` once ready; Ctrl-C drains and exits 0.";
+
+/// Minimal `--flag value` parser (every shard flag takes a value).
+struct Opts(Vec<(String, String)>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_string(), v.clone()));
+        }
+        Ok(Self(flags))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name} value '{v}'")),
+        }
+    }
+}
+
+fn load_db(path: &str) -> Result<GraphDb, String> {
+    if path.ends_with(".bin") {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        return binio::from_bytes(bytes.as_slice())
+            .map_err(|e| format!("cannot parse {path}: {e}"));
+    }
+    let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    io::read_database(std::io::BufReader::new(f)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+static STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_stop_handler() {
+    extern "C" fn on_signal(_: i32) {
+        STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+        const SIG_DFL: usize = 0;
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_stop_handler() {}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    let db = load_db(opts.require("db")?)?;
+    let shard_index: usize = opts.num("shard-index", 0usize)?;
+    let shards: usize = opts.num("shards", 1usize)?;
+    if shard_index >= shards {
+        return Err(format!("--shard-index {shard_index} out of range for --shards {shards}"));
+    }
+    let engine_name = opts.get("engine").unwrap_or("CFQL");
+    let matcher = matcher_by_name_with(engine_name, MatcherConfig::default())
+        .ok_or_else(|| format!("'{engine_name}' is not a matcher (vcFV) engine"))?;
+    let slow_ms: u64 = opts.num("chaos-slow-ms", 0u64)?;
+    let matcher: Arc<dyn subgraph_query::matching::Matcher> = if slow_ms > 0 {
+        Arc::new(SlowMatcher::new(matcher, Duration::from_millis(slow_ms)))
+    } else {
+        matcher
+    };
+
+    let mut runner =
+        RunnerConfig::with_budget(Duration::from_millis(opts.num("budget-ms", 600_000u64)?));
+    runner.max_retries = opts.num("retries", 0u32)?;
+    let breaker = match opts.get("breaker-threshold") {
+        None => BreakerConfig::default(),
+        Some(_) => BreakerConfig {
+            fault_threshold: opts.num("breaker-threshold", 0u32)?,
+            cooldown: opts.num("breaker-cooldown", BreakerConfig::default().cooldown)?,
+        },
+    };
+    let service = ServiceConfig {
+        threads: opts.num("threads", 1usize)?,
+        runner,
+        breaker,
+        thread_prefix: format!("sqp-shard-{shard_index}"),
+        ..Default::default()
+    };
+
+    let chaos_config = WireChaosConfig {
+        seed: opts.num("chaos-seed", 42u64)?,
+        drop_per_mille: opts.num("chaos-drop-pm", 0u16)?,
+        truncate_per_mille: opts.num("chaos-truncate-pm", 0u16)?,
+        corrupt_per_mille: opts.num("chaos-corrupt-pm", 0u16)?,
+        delay_per_mille: opts.num("chaos-delay-pm", 0u16)?,
+        delay_ms: opts.num("chaos-delay-ms", 0u64)?,
+    };
+    let chaos_armed = chaos_config.drop_per_mille > 0
+        || chaos_config.truncate_per_mille > 0
+        || chaos_config.corrupt_per_mille > 0
+        || chaos_config.delay_per_mille > 0;
+
+    let config = ShardServerConfig {
+        addr: opts.get("listen").unwrap_or("127.0.0.1:0").to_string(),
+        shard_index,
+        shards,
+        service,
+        wire: WireConfig::default(),
+        chaos: chaos_armed.then(|| WireChaos::new(chaos_config)),
+    };
+    let server = ShardServer::start(matcher, &db, config)
+        .map_err(|e| format!("cannot start shard server: {e}"))?;
+    println!("listening {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "shard {shard_index}/{shards}: {} of {} graphs, engine {engine_name}{}",
+        server.graphs(),
+        db.len(),
+        if chaos_armed { " (wire chaos armed)" } else { "" },
+    );
+
+    install_stop_handler();
+    while !STOP.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shard {shard_index}: draining");
+    let d = server.shutdown();
+    eprintln!(
+        "shard {shard_index}: finished {} shed-at-drain {} within-deadline {}",
+        d.finished, d.shed_at_drain, d.drained_within_deadline
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match Opts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}

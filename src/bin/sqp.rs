@@ -16,6 +16,11 @@
 //!              [--phases]
 //! sqp match    --db <file> --queries <file> [--limit N]
 //! sqp index    --db <file> --kind <grapes|ggsx|ct-index>
+//! sqp serve    --db <file> --shards addr1,addr2,... [--listen ADDR]
+//!              [--metrics-addr ADDR] [--budget-ms N] [--retries N]
+//!              [--scatter-threads N] [--breaker-threshold N]
+//!              [--breaker-cooldown N]
+//! sqp client   --db <file> --queries <file> --addr ADDR [--budget-ms N]
 //! ```
 //!
 //! `--threads N` (N > 1) runs a vcFV engine's matcher on a persistent
@@ -62,6 +67,11 @@ USAGE:
                [--phases]
   sqp match    --db <file> --queries <file> [--limit N]
   sqp index    --db <file> --kind <grapes|ggsx|ct-index>
+  sqp serve    --db <file> --shards addr1,addr2,... [--listen ADDR]
+               [--metrics-addr ADDR] [--budget-ms N] [--retries N]
+               [--scatter-threads N] [--breaker-threshold N]
+               [--breaker-cooldown N]
+  sqp client   --db <file> --queries <file> --addr ADDR [--budget-ms N]
 
 Engines: CT-Index Grapes GGSX CFL GraphQL CFQL vcGrapes vcGGSX
          Ullmann QuickSI TurboIso (default: CFQL)
@@ -103,9 +113,22 @@ Supervision & recovery:
   --resume            replay FILE first and re-run only incomplete queries
   --chaos-slow-ms N   slow every matcher filter call by N ms (CI/chaos use)
 
+Distributed serving (see sqp-shard for the per-shard worker):
+  sqp serve runs the scatter-gather coordinator: it hash-places the
+  database over the shard addresses (in order), routes each client query
+  to every shard with the remaining budget attached, and merges streamed
+  partial answers. A dead, slow, or corrupting shard degrades its graphs
+  to UNAVAILABLE in a *partial* result instead of failing the query; a
+  per-peer circuit breaker skips it while it stays sick.
+  --listen ADDR           client-facing wire address (default 127.0.0.1:0)
+  --metrics-addr ADDR     serve the Prometheus exposition at /metrics
+  --scatter-threads N     concurrent shard requests per query (default 4)
+  sqp client sends a query set to a coordinator and prints results like
+  `sqp query` does (exit 2 when any graph came back degraded).
+
 Exit codes: 0 success (timeouts included), 2 degraded (a query panicked,
-exhausted its resource budget, was shed, wedged, or hit quarantined
-graphs), 1 usage or I/O error";
+exhausted its resource budget, was shed, wedged, unavailable on a dead
+shard, or hit quarantined graphs), 1 usage or I/O error";
 
 struct Opts {
     flags: Vec<(String, String)>,
@@ -249,6 +272,7 @@ fn status_tag(r: &QueryRecord) -> String {
         QueryStatus::Panicked { .. } => " PANIC".to_string(),
         QueryStatus::ResourceExhausted { kind } => format!(" EXHAUSTED({kind})"),
         QueryStatus::Wedged => " WEDGED".to_string(),
+        QueryStatus::Unavailable => " UNAVAILABLE".to_string(),
         QueryStatus::Shed => " SHED".to_string(),
     };
     if r.retries > 0 {
@@ -408,17 +432,24 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         eprintln!("wrote metrics to {path}");
     }
     // Timeouts alone are an expected outcome of a tight budget; panics,
-    // exhausted budgets, shed admissions, wedged workers, and quarantined
-    // graphs all mean degraded answers, so signal them to scripts.
+    // exhausted budgets, shed admissions, wedged workers, unavailable
+    // shards, and quarantined graphs all mean degraded answers, so signal
+    // them to scripts.
+    Ok(degraded_exit_code(&report))
+}
+
+/// Exit 2 when any record means degraded (partial or missing) answers.
+fn degraded_exit_code(report: &QuerySetReport) -> ExitCode {
     if report.panic_count() > 0
         || report.exhausted_count() > 0
         || report.shed_count() > 0
         || report.quarantined_count() > 0
         || report.wedged_count() > 0
+        || report.unavailable_count() > 0
     {
-        Ok(ExitCode::from(2))
+        ExitCode::from(2)
     } else {
-        Ok(ExitCode::SUCCESS)
+        ExitCode::SUCCESS
     }
 }
 
@@ -500,13 +531,7 @@ fn run_service_query(
     };
     let matcher = apply_chaos_slow(opts, matcher)?;
 
-    let breaker = match opts.get("breaker-threshold") {
-        None => BreakerConfig::default(),
-        Some(_) => BreakerConfig {
-            fault_threshold: opts.parse_num("breaker-threshold", 0u32)?,
-            cooldown: opts.parse_num("breaker-cooldown", BreakerConfig::default().cooldown)?,
-        },
-    };
+    let breaker = breaker_from_opts(opts)?;
     let shed = opts.has("shed").then(ShedPolicy::default);
     let queue_capacity: usize = opts.parse_num("max-inflight", 64usize)?;
     let supervisor = opts.has("supervise").then(SupervisorConfig::default);
@@ -568,8 +593,26 @@ fn run_service_query(
                     // Shutdown resolves every admitted ticket (finish, shed,
                     // or cancel), so the waits below all return promptly.
                     drain = Some(s.shutdown());
+                    // A drain usually precedes process exit (SIGINT): force
+                    // the journal through the OS cache now, so every record
+                    // written so far survives even a power cut. Records
+                    // appended after this point (resolved tickets below)
+                    // ride on the journal's per-record flush.
+                    if let Some(j) = journal.as_deref_mut() {
+                        if let Err(e) = j.sync() {
+                            eprintln!("journal: sync failed during drain: {e}");
+                        }
+                    }
                 }
             }
+        }
+    }
+
+    // Settle the journal once the set is fully resolved (drain or not):
+    // flush + fdatasync so the terminal records are durable at exit.
+    if let Some(j) = journal {
+        if let Err(e) = j.sync() {
+            eprintln!("journal: final sync failed: {e}");
         }
     }
 
@@ -726,6 +769,347 @@ fn cmd_match(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the breaker flags shared by `query` (per-graph) and `serve`
+/// (per-peer).
+fn breaker_from_opts(opts: &Opts) -> Result<BreakerConfig, String> {
+    match opts.get("breaker-threshold") {
+        None => Ok(BreakerConfig::default()),
+        Some(_) => Ok(BreakerConfig {
+            fault_threshold: opts.parse_num("breaker-threshold", 0u32)?,
+            cooldown: opts.parse_num("breaker-cooldown", BreakerConfig::default().cooldown)?,
+        }),
+    }
+}
+
+/// `sqp serve` — the scatter–gather coordinator front end: accepts wire
+/// clients, routes each query over the shard peers, and (optionally)
+/// serves the Prometheus exposition over HTTP at `/metrics`.
+fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
+    use std::net::TcpListener;
+
+    let db = Arc::new(load_db(opts.require("db")?)?);
+    let shard_addrs: Vec<String> = opts.require("shards")?.split(',').map(str::to_string).collect();
+    if shard_addrs.is_empty() {
+        return Err("--shards needs at least one address".into());
+    }
+    let budget_ms: u64 = opts.parse_num("budget-ms", 600_000u64)?;
+    let mut runner = RunnerConfig::with_budget(Duration::from_millis(budget_ms));
+    runner.max_retries = opts.parse_num("retries", 2u32)?;
+    runner.retry_backoff = Duration::from_millis(opts.parse_num("retry-backoff-ms", 10u64)?);
+    let config = CoordinatorConfig {
+        shard_addrs: shard_addrs.clone(),
+        runner,
+        breaker: breaker_from_opts(opts)?,
+        scatter_threads: opts.parse_num("scatter-threads", 4usize)?,
+        queue_capacity: opts.parse_num("max-inflight", 64usize)?,
+        connect_timeout: Duration::from_millis(opts.parse_num("connect-timeout-ms", 2_000u64)?),
+        idle_read_timeout: Duration::from_millis(opts.parse_num("idle-timeout-ms", 30_000u64)?),
+        ..Default::default()
+    };
+    let db_fp = db_fingerprint(&db);
+    let graphs = db.len() as u32;
+    let coordinator = Arc::new(Coordinator::new(&db, config));
+    let report = Arc::new(std::sync::Mutex::new(QuerySetReport::new("coordinator", "serve")));
+
+    if let Some(maddr) = opts.get("metrics-addr") {
+        let listener = TcpListener::bind(maddr)
+            .map_err(|e| format!("cannot bind metrics address {maddr}: {e}"))?;
+        eprintln!(
+            "metrics on http://{}/metrics",
+            listener.local_addr().map_err(|e| e.to_string())?
+        );
+        // Weak references: the scrape loop must not keep the coordinator
+        // alive past drain, or `Arc::try_unwrap` below can never succeed.
+        let coordinator = Arc::downgrade(&coordinator);
+        let report = Arc::downgrade(&report);
+        std::thread::Builder::new()
+            .name("sqp-serve-metrics".to_string())
+            .spawn(move || serve_metrics_http(listener, &coordinator, &report))
+            .map_err(|e| e.to_string())?;
+    }
+
+    install_drain_handler();
+    let listen = opts.get("listen").unwrap_or("127.0.0.1:0");
+    let listener = TcpListener::bind(listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // The parseable line scripts wait for before starting clients.
+    println!("listening {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "coordinator over {} shards, db fingerprint {db_fp:016x}; Ctrl-C drains",
+        shard_addrs.len()
+    );
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+    let mut clients: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let conns: Arc<std::sync::Mutex<Vec<std::net::TcpStream>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    while !drain_requested() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                if let Ok(clone) = stream.try_clone() {
+                    if let Ok(mut c) = conns.lock() {
+                        c.push(clone);
+                    }
+                }
+                let coordinator = Arc::clone(&coordinator);
+                let report = Arc::clone(&report);
+                let handle = std::thread::Builder::new()
+                    .name("sqp-serve-client".to_string())
+                    .spawn(move || serve_client_conn(stream, &coordinator, db_fp, graphs, &report));
+                if let Ok(h) = handle {
+                    clients.push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("accept failed: {e}")),
+        }
+    }
+    eprintln!("drain: closing client connections and stopping the coordinator");
+    coordinator.begin_drain();
+    if let Ok(mut c) = conns.lock() {
+        for s in c.drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+    for h in clients {
+        let _ = h.join();
+    }
+    match Arc::try_unwrap(coordinator) {
+        Ok(c) => {
+            let d = c.shutdown();
+            eprintln!(
+                "drain: finished {} shed-at-drain {} within-deadline {}",
+                d.finished, d.shed_at_drain, d.drained_within_deadline
+            );
+        }
+        Err(_) => eprintln!("drain: coordinator still referenced; exiting without full drain"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One wire client connection on the coordinator: Hello/HelloAck, then a
+/// lockstep stream of Query → Answers* → Outcome exchanges.
+fn serve_client_conn(
+    mut stream: std::net::TcpStream,
+    coordinator: &Coordinator,
+    db_fp: u64,
+    graphs: u32,
+    report: &std::sync::Mutex<QuerySetReport>,
+) {
+    use subgraph_query::core::wire::{
+        read_frame, write_frame, Message, PeerRole, WireConfig, WireOutcome, ANSWER_CHUNK,
+        WIRE_VERSION,
+    };
+    let wire = WireConfig::default();
+    match read_frame(&mut stream, &wire) {
+        Ok(Message::Hello {
+            version: WIRE_VERSION, role: PeerRole::Client, db_fp: got, ..
+        }) if got == db_fp => {}
+        Ok(Message::Hello { db_fp: got, .. }) if got != db_fp => {
+            let _ = write_frame(
+                &mut stream,
+                &Message::Error {
+                    message: format!(
+                    "database fingerprint mismatch: client {got:016x}, coordinator {db_fp:016x}"
+                ),
+                },
+            );
+            return;
+        }
+        _ => {
+            let _ = write_frame(
+                &mut stream,
+                &Message::Error { message: "expected client Hello".to_string() },
+            );
+            return;
+        }
+    }
+    if write_frame(&mut stream, &Message::HelloAck { version: WIRE_VERSION, db_fp, graphs })
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        let msg = match read_frame(&mut stream, &wire) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        match msg {
+            Message::Query { id, budget_ms, graph } => {
+                let budget = (budget_ms > 0).then(|| Duration::from_millis(budget_ms));
+                let (ticket, _) = coordinator.submit_with_budget(&graph, budget);
+                let (outcome, retries) = ticket.wait();
+                if let Ok(mut r) = report.lock() {
+                    let mut record = QueryRecord::from_outcome(&outcome, budget);
+                    record.retries = retries;
+                    r.records.push(record);
+                }
+                let wire_outcome = WireOutcome::from_outcome(&outcome, retries);
+                for chunk in outcome.answers.chunks(ANSWER_CHUNK) {
+                    if write_frame(&mut stream, &Message::Answers { id, graphs: chunk.to_vec() })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                if write_frame(&mut stream, &Message::Outcome { id, outcome: wire_outcome })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Message::MetricsRequest => {
+                let text = coordinator_exposition(coordinator, report);
+                if write_frame(&mut stream, &Message::MetricsText { text }).is_err() {
+                    return;
+                }
+            }
+            Message::Bye => return,
+            _ => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Message::Error { message: "unexpected message".to_string() },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// The coordinator's full Prometheus exposition: core families over
+/// everything served so far, plus the per-peer `sqp_shard_*` families.
+fn coordinator_exposition(
+    coordinator: &Coordinator,
+    report: &std::sync::Mutex<QuerySetReport>,
+) -> String {
+    let snapshot = report.lock().map(|r| r.clone()).unwrap_or_default();
+    let health = coordinator.health();
+    let mut text = render_prometheus(std::slice::from_ref(&snapshot), Some(&health));
+    text.push_str(&render_prometheus_shards(&coordinator.peer_stats()));
+    text
+}
+
+/// A hand-rolled HTTP/1.1 responder for `GET /metrics` — enough for a
+/// Prometheus scrape or `curl`, with no HTTP dependency.
+fn serve_metrics_http(
+    listener: std::net::TcpListener,
+    coordinator: &std::sync::Weak<Coordinator>,
+    report: &std::sync::Weak<std::sync::Mutex<QuerySetReport>>,
+) {
+    use std::io::{BufRead, BufReader, Write};
+    for conn in listener.incoming() {
+        let Ok(mut stream) = conn else { continue };
+        // Upgrade per scrape so this thread never pins the coordinator
+        // past drain; once it is gone the scrape loop ends too.
+        let (Some(coordinator), Some(report)) = (coordinator.upgrade(), report.upgrade()) else {
+            return;
+        };
+        let mut line = String::new();
+        if BufReader::new(&mut stream).read_line(&mut line).is_err() {
+            continue;
+        }
+        let (status, body) = if line.starts_with("GET /metrics") {
+            ("200 OK", coordinator_exposition(&coordinator, &report))
+        } else {
+            ("404 Not Found", "only /metrics lives here\n".to_string())
+        };
+        let _ = write!(
+            stream,
+            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+    }
+}
+
+/// `sqp client` — sends a query set to a coordinator over the wire
+/// protocol and reports results exactly like a local `sqp query` run.
+fn cmd_client(opts: &Opts) -> Result<ExitCode, String> {
+    use subgraph_query::core::wire::{
+        read_frame, write_frame, Message, PeerRole, WireConfig, WIRE_VERSION,
+    };
+    let db = Arc::new(load_db(opts.require("db")?)?);
+    let qpath = opts.require("queries")?;
+    let mut interner = db.interner().clone();
+    let f = File::open(qpath).map_err(|e| format!("cannot open {qpath}: {e}"))?;
+    let queries = io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
+    let addr = opts.require("addr")?;
+    let budget_ms: u64 = opts.parse_num("budget-ms", 600_000u64)?;
+    let budget = (budget_ms > 0).then(|| Duration::from_millis(budget_ms));
+    let db_fp = db_fingerprint(&db);
+    let wire = WireConfig::default();
+
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(budget_ms.max(1_000) + 5_000)))
+        .map_err(|e| e.to_string())?;
+    write_frame(
+        &mut stream,
+        &Message::Hello {
+            version: WIRE_VERSION,
+            role: PeerRole::Client,
+            db_fp,
+            shards: 0,
+            shard_index: 0,
+        },
+    )
+    .map_err(|e| format!("handshake failed: {e}"))?;
+    match read_frame(&mut stream, &wire) {
+        Ok(Message::HelloAck { version: WIRE_VERSION, db_fp: got, .. }) if got == db_fp => {}
+        Ok(Message::Error { message }) => return Err(format!("coordinator refused: {message}")),
+        Ok(_) => return Err("handshake failed: unexpected reply".into()),
+        Err(e) => return Err(format!("handshake failed: {e}")),
+    }
+
+    let mut report = QuerySetReport::new("client", "cli-remote");
+    for (i, q) in queries.iter().enumerate() {
+        write_frame(&mut stream, &Message::Query { id: i as u64, budget_ms, graph: q.clone() })
+            .map_err(|e| format!("query {i}: send failed: {e}"))?;
+        let mut answers = Vec::new();
+        let (outcome, retries) = loop {
+            match read_frame(&mut stream, &wire) {
+                Ok(Message::Answers { id, graphs }) if id == i as u64 => answers.extend(graphs),
+                Ok(Message::Outcome { id, outcome }) if id == i as u64 => {
+                    break outcome.into_outcome(std::mem::take(&mut answers));
+                }
+                Ok(Message::Error { message }) => {
+                    return Err(format!("query {i}: coordinator error: {message}"))
+                }
+                Ok(_) => return Err(format!("query {i}: unexpected frame")),
+                Err(e) => return Err(format!("query {i}: receive failed: {e}")),
+            }
+        };
+        let mut record = QueryRecord::from_outcome(&outcome, budget);
+        record.retries = retries;
+        println!(
+            "query {i}: answers={} candidates={} filter={:.3}ms verify={:.3}ms{}",
+            record.answers,
+            record.candidates,
+            record.filter_time.as_secs_f64() * 1e3,
+            record.verify_time.as_secs_f64() * 1e3,
+            status_tag(&record),
+        );
+        report.records.push(record);
+    }
+    let _ = write_frame(&mut stream, &Message::Bye);
+    println!(
+        "-- {} queries | avg {:.3} ms | timeouts {} | unavailable {} | shed {} | retries {}",
+        report.records.len(),
+        report.avg_query_ms(),
+        report.timeout_count(),
+        report.unavailable_count(),
+        report.shed_count(),
+        report.total_retries(),
+    );
+    Ok(degraded_exit_code(&report))
+}
+
 fn cmd_index(opts: &Opts) -> Result<(), String> {
     let db = load_db(opts.require("db")?)?;
     let kind = opts.get("kind").unwrap_or("grapes");
@@ -777,6 +1161,8 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&opts).map(|()| ExitCode::SUCCESS),
         "match" => cmd_match(&opts).map(|()| ExitCode::SUCCESS),
         "index" => cmd_index(&opts).map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {

@@ -1,0 +1,305 @@
+//! Property-based tests of the wire protocol (DESIGN.md "Distributed
+//! serving"): every frame round-trips bit-exactly through encode/decode
+//! and through a byte stream, and every *damaged* frame — truncated at any
+//! byte, any single bit flipped, or mangled by the [`WireChaos`] plan —
+//! fails **closed** with a structured checksum/framing error. Nothing in
+//! this suite is allowed to panic or allocate for a hostile length.
+
+use proptest::prelude::*;
+
+use subgraph_query::core::engine::{GraphFailure, QueryStatus};
+use subgraph_query::core::wire::{
+    decode_frame, encode_frame, read_frame, write_frame, Message, PeerRole, WireChaos,
+    WireChaosConfig, WireConfig, WireError, WireOutcome, WIRE_VERSION,
+};
+use subgraph_query::graph::database::GraphId;
+use subgraph_query::graph::error::GraphError;
+use subgraph_query::graph::{Graph, GraphBuilder, Label, VertexId};
+use subgraph_query::matching::{KernelStats, PhaseStats, ResourceKind, PHASE_COUNT};
+
+fn arb_string(max: usize) -> impl Strategy<Value = String> {
+    collection::vec(32u8..127, 0..max)
+        .prop_map(|bytes| String::from_utf8(bytes).unwrap_or_default())
+}
+
+fn arb_status() -> BoxedStrategy<QueryStatus> {
+    (0u8..9, arb_string(24))
+        .prop_map(|(pick, message)| match pick {
+            0 => QueryStatus::Completed,
+            1 => QueryStatus::TimedOut,
+            2 => QueryStatus::ResourceExhausted { kind: ResourceKind::Steps },
+            3 => QueryStatus::ResourceExhausted { kind: ResourceKind::Memory },
+            4 => QueryStatus::Quarantined,
+            5 => QueryStatus::Panicked { message },
+            6 => QueryStatus::Wedged,
+            7 => QueryStatus::Unavailable,
+            _ => QueryStatus::Shed,
+        })
+        .boxed()
+}
+
+fn arb_graph() -> BoxedStrategy<Graph> {
+    (1usize..10)
+        .prop_flat_map(|n| {
+            let labels = collection::vec(0u32..5, n);
+            let edges = collection::vec((0..n, 0..n), 0..16);
+            (labels, edges).prop_map(|(ls, es)| {
+                let mut b = GraphBuilder::new();
+                for l in ls {
+                    b.add_vertex(Label(l));
+                }
+                for (u, v) in es {
+                    if u != v {
+                        let _ = b.add_edge(VertexId::from(u), VertexId::from(v));
+                    }
+                }
+                b.build()
+            })
+        })
+        .boxed()
+}
+
+fn arb_outcome() -> BoxedStrategy<WireOutcome> {
+    let failures = collection::vec(
+        (any::<u32>(), arb_status())
+            .prop_map(|(g, status)| GraphFailure { graph: GraphId(g), status }),
+        0..4,
+    );
+    let kernel = (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+        |(intersections, gallop_hits, simd_hits, bitmap_probes)| KernelStats {
+            intersections,
+            gallop_hits,
+            simd_hits,
+            bitmap_probes,
+        },
+    );
+    let phases =
+        (collection::vec(any::<u64>(), PHASE_COUNT), collection::vec(any::<u64>(), PHASE_COUNT))
+            .prop_map(|(nanos, items)| {
+                let mut p = PhaseStats::default();
+                p.nanos.copy_from_slice(&nanos);
+                p.items.copy_from_slice(&items);
+                p
+            });
+    let numbers = (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>());
+    (arb_status(), numbers, failures, kernel, phases)
+        .prop_map(
+            |(
+                status,
+                (candidates, filter_nanos, verify_nanos, aux_bytes, retries),
+                failures,
+                kernel,
+                phases,
+            )| {
+                WireOutcome {
+                    status,
+                    candidates,
+                    filter_nanos,
+                    verify_nanos,
+                    aux_bytes,
+                    retries,
+                    failures,
+                    kernel,
+                    phases,
+                }
+            },
+        )
+        .boxed()
+}
+
+fn arb_message() -> BoxedStrategy<Message> {
+    (0u8..9)
+        .prop_flat_map(|kind| -> BoxedStrategy<Message> {
+            match kind {
+                0 => (any::<u32>(), any::<bool>(), any::<u64>(), any::<u32>(), any::<u32>())
+                    .prop_map(|(version, client, db_fp, shards, shard_index)| Message::Hello {
+                        version,
+                        role: if client { PeerRole::Client } else { PeerRole::Coordinator },
+                        db_fp,
+                        shards,
+                        shard_index,
+                    })
+                    .boxed(),
+                1 => (any::<u32>(), any::<u64>(), any::<u32>())
+                    .prop_map(|(version, db_fp, graphs)| Message::HelloAck {
+                        version,
+                        db_fp,
+                        graphs,
+                    })
+                    .boxed(),
+                2 => (any::<u64>(), any::<u64>(), arb_graph())
+                    .prop_map(|(id, budget_ms, graph)| Message::Query { id, budget_ms, graph })
+                    .boxed(),
+                3 => (any::<u64>(), collection::vec(any::<u32>().prop_map(GraphId), 0..32))
+                    .prop_map(|(id, graphs)| Message::Answers { id, graphs })
+                    .boxed(),
+                4 => (any::<u64>(), arb_outcome())
+                    .prop_map(|(id, outcome)| Message::Outcome { id, outcome })
+                    .boxed(),
+                5 => arb_string(40).prop_map(|message| Message::Error { message }).boxed(),
+                6 => Just(Message::MetricsRequest).boxed(),
+                7 => arb_string(40).prop_map(|text| Message::MetricsText { text }).boxed(),
+                _ => Just(Message::Bye).boxed(),
+            }
+        })
+        .boxed()
+}
+
+/// A damaged frame must surface as a structured error: a framing/checksum
+/// [`GraphError::Binary`], a clean [`WireError::Closed`], or a transport
+/// error — never an `Ok` decode of garbage, and (enforced by the test
+/// harness) never a panic.
+fn assert_fails_closed(result: Result<Message, WireError>) -> Result<(), TestCaseError> {
+    match result {
+        Ok(m) => Err(TestCaseError::Fail(format!("damaged frame decoded as {m:?}"))),
+        Err(WireError::Frame(GraphError::Binary { .. }) | WireError::Closed) => Ok(()),
+        Err(WireError::Io(_)) => Ok(()),
+        Err(other) => Err(TestCaseError::Fail(format!("unexpected error shape: {other}"))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every message round-trips bit-exactly through one frame.
+    #[test]
+    fn frame_round_trips(msg in arb_message()) {
+        let frame = encode_frame(&msg);
+        let back = decode_frame(&frame, &WireConfig::default());
+        prop_assert!(back.is_ok(), "round trip failed: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), msg);
+    }
+
+    /// A concatenated stream of frames reads back in order, then reports a
+    /// clean close — framing never loses sync between messages.
+    #[test]
+    fn stream_round_trips_in_order(msgs in collection::vec(arb_message(), 0..5)) {
+        let config = WireConfig::default();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            write_frame(&mut stream, m).unwrap();
+        }
+        let mut r = &stream[..];
+        for m in &msgs {
+            let got = read_frame(&mut r, &config);
+            prop_assert!(got.is_ok(), "stream decode failed: {:?}", got.err());
+            prop_assert_eq!(&got.unwrap(), m);
+        }
+        prop_assert!(matches!(read_frame(&mut r, &config), Err(WireError::Closed)));
+    }
+
+    /// Truncating a frame at *any* byte fails closed, both as a slice and
+    /// as a torn stream.
+    #[test]
+    fn truncation_fails_closed(msg in arb_message(), cut in any::<usize>()) {
+        let config = WireConfig::default();
+        let frame = encode_frame(&msg);
+        let len = cut % frame.len(); // strictly < frame.len()
+        assert_fails_closed(decode_frame(&frame[..len], &config))?;
+        let mut r = &frame[..len];
+        assert_fails_closed(read_frame(&mut r, &config))?;
+    }
+
+    /// Flipping any single bit of a frame fails closed: the checksum (or,
+    /// for header bits, the magic/length validation) catches it.
+    #[test]
+    fn single_bit_flip_fails_closed(msg in arb_message(), pick in any::<usize>()) {
+        let config = WireConfig::default();
+        let mut frame = encode_frame(&msg);
+        let bit = pick % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        assert_fails_closed(decode_frame(&frame, &config))?;
+        // The stream path may also report the flip as a length mismatch —
+        // that shows up as Closed/Io/Frame, never a successful decode. A
+        // flipped *length* field can make read_frame wait for bytes that
+        // never come; the slice path above already proves the validation,
+        // so only exercise the stream when the declared length still
+        // matches the actual frame size.
+        let declared = u32::from_le_bytes([frame[5], frame[6], frame[7], frame[8]]) as usize;
+        if declared + 17 == frame.len() {
+            let mut r = &frame[..];
+            assert_fails_closed(read_frame(&mut r, &config))?;
+        }
+    }
+
+    /// A declared payload length over the cap is rejected before any
+    /// allocation, whatever the cap.
+    #[test]
+    fn over_cap_length_is_rejected(cap in 0u32..4096, excess in 1u32..1_000_000) {
+        let config = WireConfig { max_frame_len: cap };
+        let mut frame = Vec::new();
+        frame.extend_from_slice(b"SQPW");
+        frame.push(9); // Bye
+        frame.extend_from_slice(&(cap.saturating_add(excess)).to_le_bytes());
+        frame.extend_from_slice(&[0u8; 8]);
+        let mut r = &frame[..];
+        match read_frame(&mut r, &config) {
+            Err(WireError::Frame(GraphError::Binary { message, .. })) => {
+                prop_assert!(message.contains("exceeds cap"), "{}", message);
+            }
+            other => {
+                return Err(TestCaseError::Fail(format!("expected cap rejection, got {other:?}")));
+            }
+        }
+    }
+
+    /// Frames mangled by the chaos plan (truncate / corrupt at full rate)
+    /// never decode successfully — the fault is always *detected*.
+    #[test]
+    fn chaos_mangled_frames_never_decode(msg in arb_message(), seed in any::<u64>(), truncate in any::<bool>()) {
+        let config = WireChaosConfig {
+            seed,
+            truncate_per_mille: if truncate { 1000 } else { 0 },
+            corrupt_per_mille: if truncate { 0 } else { 1000 },
+            ..Default::default()
+        };
+        let chaos = WireChaos::new(config);
+        let frame = encode_frame(&msg);
+        let mangled = chaos.mangle(frame.clone()).expect("truncate/corrupt keep the frame");
+        prop_assert_ne!(&mangled, &frame);
+        assert_fails_closed(decode_frame(&mangled, &WireConfig::default()))?;
+    }
+}
+
+/// The deterministic chaos plan is a pure function of (seed, index):
+/// replaying the plan yields identical faults, and two *different* seeds
+/// produce different plans (with overwhelming likelihood over 1000 frames).
+#[test]
+fn chaos_plan_replays_identically() {
+    let config = WireChaosConfig {
+        seed: 0xfeed,
+        drop_per_mille: 80,
+        truncate_per_mille: 80,
+        corrupt_per_mille: 80,
+        delay_per_mille: 0,
+        delay_ms: 0,
+    };
+    let a = WireChaos::new(config);
+    let b = WireChaos::new(config);
+    let plan_a: Vec<_> = (0..1000).map(|i| a.planned_fault(i)).collect();
+    let plan_b: Vec<_> = (0..1000).map(|i| b.planned_fault(i)).collect();
+    assert_eq!(plan_a, plan_b);
+    let other = WireChaos::new(WireChaosConfig { seed: 0xbeef, ..config });
+    let plan_c: Vec<_> = (0..1000).map(|i| other.planned_fault(i)).collect();
+    assert_ne!(plan_a, plan_c, "distinct seeds must shape distinct plans");
+}
+
+/// Hello/HelloAck round-trip at the protocol's own version constant — the
+/// frames the handshake actually exchanges.
+#[test]
+fn handshake_frames_round_trip() {
+    let config = WireConfig::default();
+    for msg in [
+        Message::Hello {
+            version: WIRE_VERSION,
+            role: PeerRole::Coordinator,
+            db_fp: 0x1234_5678_9abc_def0,
+            shards: 8,
+            shard_index: 7,
+        },
+        Message::HelloAck { version: WIRE_VERSION, db_fp: 0x1234_5678_9abc_def0, graphs: 1000 },
+    ] {
+        let frame = encode_frame(&msg);
+        assert_eq!(decode_frame(&frame, &config).unwrap(), msg);
+    }
+}
