@@ -1080,6 +1080,12 @@ pub fn engine_by_name(name: &str) -> Option<Box<dyn QueryEngine>> {
 /// [`paper_engines_with`]).
 pub fn engine_by_name_with(name: &str, config: MatcherConfig) -> Option<Box<dyn QueryEngine>> {
     let lower = name.to_ascii_lowercase();
+    if lower == "adaptive" {
+        // The routing meta-engine lives outside the fixed lineup: it is not
+        // one of the paper's engines, so `all_engines` (and the comparisons
+        // built on it) never enumerate it.
+        return Some(Box::new(crate::adaptive::AdaptiveEngine::with_matcher_config(config)));
+    }
     all_engines_with(config).into_iter().find(|e| e.name().to_ascii_lowercase() == lower)
 }
 

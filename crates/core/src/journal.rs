@@ -6,14 +6,18 @@
 //! line, appended as the query finishes:
 //!
 //! ```text
-//! v1 <db_fp:016x> <q_fp:016x> <status> <answers> <fnv:016x>\n
+//! v2 <db_fp:016x> <q_fp:016x> <status> <answers> <engine> <fnv:016x>\n
 //! ```
 //!
 //! where `db_fp` is the [`db_fingerprint`] of the database the run is over,
 //! `q_fp` the [`graph_fingerprint`] of the query, `status` the terminal
-//! [`QueryStatus`] label, `answers` the answer count, and `fnv` the FNV-1a
-//! 64-bit checksum of everything before it on the line (the same FNV
-//! constants as the binio trailer).
+//! [`QueryStatus`] label, `answers` the answer count, `engine` the name of
+//! the engine that served the query (`-` when unknown; required for offline
+//! cost-model training and resume accounting under adaptive routing, which
+//! can serve different queries of one run with different engines), and
+//! `fnv` the FNV-1a 64-bit checksum of everything before it on the line
+//! (the same FNV constants as the binio trailer). Journals written before
+//! the engine field existed (`v1`, no engine token) still replay.
 //!
 //! # Replay rules
 //!
@@ -172,9 +176,15 @@ impl RunJournal {
         q_fp: u64,
         status: &QueryStatus,
         answers: usize,
+        engine: &str,
     ) -> std::io::Result<()> {
-        let prefix =
-            format!("v1 {:016x} {:016x} {} {answers}", self.db_fp, q_fp, status_label(status));
+        let engine = engine_token(engine);
+        let prefix = format!(
+            "v2 {:016x} {:016x} {} {answers} {engine}",
+            self.db_fp,
+            q_fp,
+            status_label(status)
+        );
         let sum = fnv1a64(prefix.as_bytes());
         self.file.write_all(format!("{prefix} {sum:016x}\n").as_bytes())?;
         self.file.flush()?;
@@ -207,8 +217,21 @@ impl RunJournal {
     }
 }
 
+/// The engine name as written to a journal line: space-free (space is the
+/// field separator) and never empty (`-` = unknown).
+fn engine_token(engine: &str) -> String {
+    let cleaned: String = engine.chars().map(|c| if c.is_whitespace() { '-' } else { c }).collect();
+    if cleaned.is_empty() {
+        "-".to_string()
+    } else {
+        cleaned
+    }
+}
+
 /// Parses one journal line; returns the query fingerprint and status label
 /// iff the line is well-formed, checksums cleanly, and belongs to `db_fp`.
+/// Accepts the current `v2` format (with an engine token) and the legacy
+/// `v1` format (without one) — old journals stay resumable.
 fn parse_line(line: &[u8], db_fp: u64) -> Option<(u64, &str)> {
     let line = std::str::from_utf8(line).ok()?;
     let (prefix, sum) = line.rsplit_once(' ')?;
@@ -216,7 +239,8 @@ fn parse_line(line: &[u8], db_fp: u64) -> Option<(u64, &str)> {
         return None;
     }
     let mut fields = prefix.split(' ');
-    if fields.next()? != "v1" {
+    let version = fields.next()?;
+    if version != "v1" && version != "v2" {
         return None;
     }
     if u64::from_str_radix(fields.next()?, 16).ok()? != db_fp {
@@ -225,6 +249,9 @@ fn parse_line(line: &[u8], db_fp: u64) -> Option<(u64, &str)> {
     let q_fp = u64::from_str_radix(fields.next()?, 16).ok()?;
     let label = fields.next()?;
     let _answers: u64 = fields.next()?.parse().ok()?;
+    if version == "v2" {
+        let _engine = fields.next()?;
+    }
     if fields.next().is_some() {
         return None;
     }
@@ -246,9 +273,9 @@ mod tests {
     fn round_trips_and_skips_done_queries() {
         let path = tmp("roundtrip");
         let mut j = RunJournal::create(&path, 42).unwrap();
-        j.record(1, &QueryStatus::Completed, 5).unwrap();
-        j.record(2, &QueryStatus::TimedOut, 0).unwrap();
-        j.record(3, &QueryStatus::Shed, 0).unwrap();
+        j.record(1, &QueryStatus::Completed, 5, "CFQL").unwrap();
+        j.record(2, &QueryStatus::TimedOut, 0, "GraphQL").unwrap();
+        j.record(3, &QueryStatus::Shed, 0, "CFQL").unwrap();
         drop(j);
 
         let mut j = RunJournal::resume(&path, 42).unwrap();
@@ -265,7 +292,7 @@ mod tests {
     fn foreign_database_journal_is_ignored() {
         let path = tmp("foreign");
         let mut j = RunJournal::create(&path, 42).unwrap();
-        j.record(1, &QueryStatus::Completed, 5).unwrap();
+        j.record(1, &QueryStatus::Completed, 5, "CFQL").unwrap();
         drop(j);
         let j = RunJournal::resume(&path, 43).unwrap();
         assert_eq!(j.stats().replayed, 0);
@@ -277,8 +304,8 @@ mod tests {
     fn torn_tail_replays_to_a_prefix_and_is_truncated() {
         let path = tmp("torn");
         let mut j = RunJournal::create(&path, 7).unwrap();
-        j.record(10, &QueryStatus::Completed, 1).unwrap();
-        j.record(11, &QueryStatus::Completed, 2).unwrap();
+        j.record(10, &QueryStatus::Completed, 1, "CFQL").unwrap();
+        j.record(11, &QueryStatus::Completed, 2, "CFQL").unwrap();
         drop(j);
         // Tear the last record in half.
         let bytes = std::fs::read(&path).unwrap();
@@ -289,7 +316,7 @@ mod tests {
         assert!(j.is_done(10));
         assert!(!j.is_done(11), "torn record must not count as done");
         // The tail was truncated; appending and re-replaying is clean.
-        j.record(11, &QueryStatus::Completed, 2).unwrap();
+        j.record(11, &QueryStatus::Completed, 2, "CFQL").unwrap();
         drop(j);
         let j = RunJournal::resume(&path, 7).unwrap();
         assert_eq!(j.stats().replayed, 2);
@@ -301,9 +328,9 @@ mod tests {
     fn corrupt_byte_invalidates_the_record_and_its_suffix() {
         let path = tmp("corrupt");
         let mut j = RunJournal::create(&path, 7).unwrap();
-        j.record(10, &QueryStatus::Completed, 1).unwrap();
-        j.record(11, &QueryStatus::Completed, 2).unwrap();
-        j.record(12, &QueryStatus::Completed, 3).unwrap();
+        j.record(10, &QueryStatus::Completed, 1, "CFQL").unwrap();
+        j.record(11, &QueryStatus::Completed, 2, "CFQL").unwrap();
+        j.record(12, &QueryStatus::Completed, 3, "CFQL").unwrap();
         drop(j);
         let mut bytes = std::fs::read(&path).unwrap();
         let line_len = bytes.len() / 3;
@@ -315,6 +342,60 @@ mod tests {
         assert!(j.is_done(10));
         assert!(!j.is_done(11));
         assert!(!j.is_done(12));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn records_carry_the_serving_engine() {
+        let path = tmp("engine");
+        let mut j = RunJournal::create(&path, 42).unwrap();
+        j.record(1, &QueryStatus::Completed, 5, "CFQL").unwrap();
+        // Spaces would break the field layout; they are mapped to dashes.
+        j.record(2, &QueryStatus::Completed, 0, "CT Index").unwrap();
+        // An unknown engine writes the placeholder token.
+        j.record(3, &QueryStatus::Completed, 0, "").unwrap();
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let engines: Vec<&str> = text.lines().map(|l| l.split(' ').nth(5).unwrap()).collect();
+        assert_eq!(engines, ["CFQL", "CT-Index", "-"]);
+        // And the lines still replay cleanly.
+        let j = RunJournal::resume(&path, 42).unwrap();
+        assert_eq!(j.stats().replayed, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_lines_still_replay() {
+        let path = tmp("v1compat");
+        // A pre-engine-field journal: v1 lines without an engine token.
+        let mut text = String::new();
+        for (q_fp, label, answers) in [(1u64, "completed", 5), (2, "timed_out", 0)] {
+            let prefix = format!("v1 {:016x} {q_fp:016x} {label} {answers}", 42u64);
+            let sum = fnv1a64(prefix.as_bytes());
+            text.push_str(&format!("{prefix} {sum:016x}\n"));
+        }
+        std::fs::write(&path, text).unwrap();
+        let mut j = RunJournal::resume(&path, 42).unwrap();
+        assert_eq!(j.stats().replayed, 2);
+        assert!(j.is_done(1));
+        assert!(j.is_done(2));
+        // Appending after a v1 replay writes v2 lines; both replay together.
+        j.record(3, &QueryStatus::Completed, 1, "GraphQL").unwrap();
+        drop(j);
+        let j = RunJournal::resume(&path, 42).unwrap();
+        assert_eq!(j.stats().replayed, 3);
+        assert!(j.is_done(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_line_with_extra_field_is_rejected() {
+        let path = tmp("extrafield");
+        let prefix = format!("v2 {:016x} {:016x} completed 1 CFQL extra", 42u64, 9u64);
+        let sum = fnv1a64(prefix.as_bytes());
+        std::fs::write(&path, format!("{prefix} {sum:016x}\n")).unwrap();
+        let j = RunJournal::resume(&path, 42).unwrap();
+        assert_eq!(j.stats().replayed, 0, "extra fields must not parse");
         std::fs::remove_file(&path).ok();
     }
 

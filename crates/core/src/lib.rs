@@ -18,6 +18,7 @@
 // Library code avoids unwrap/expect (CI denies them); tests may use them freely.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod adaptive;
 pub mod breaker;
 pub mod cache;
 pub mod chaos;
@@ -37,6 +38,7 @@ pub mod supervisor;
 pub mod verifier;
 pub mod wire;
 
+pub use adaptive::{AdaptiveEngine, CostModel, FitSample, MatcherRouter, RoutingStats};
 pub use breaker::{BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
 pub use chaos::{
     chaos_engine, ChaosConfig, ChaosMatcher, FaultKind, FlappyConfig, FlappyMatcher, SlowMatcher,
@@ -62,6 +64,7 @@ pub use wire::{Message, WireChaos, WireChaosConfig, WireConfig, WireError, WireF
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use crate::adaptive::{AdaptiveEngine, CostModel, FitSample, MatcherRouter, RoutingStats};
     pub use crate::breaker::{BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
     pub use crate::cache::{CacheHit, CachedEngine};
     pub use crate::chaos::{
@@ -79,6 +82,7 @@ pub mod prelude {
         ServiceEngine, TurboIsoEngine, UllmannEngine, VcGgsxEngine, VcGrapesEngine,
     };
     pub use crate::exposition::render as render_prometheus;
+    pub use crate::exposition::render_full as render_prometheus_full;
     pub use crate::exposition::render_shards as render_prometheus_shards;
     pub use crate::exposition::render_with_journal as render_prometheus_with_journal;
     pub use crate::journal::{db_fingerprint, JournalStats, RunJournal};

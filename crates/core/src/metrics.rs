@@ -170,6 +170,11 @@ pub struct QueryRecord {
     /// timeout — they stay raw so histograms can exclude censored records
     /// instead of mixing in synthetic values.
     pub phases: PhaseStats,
+    /// Name of the engine that served this query. The runners resolve it —
+    /// the outcome's stamped engine when a routing layer set one, otherwise
+    /// the invoked engine — so per-record attribution survives adaptive
+    /// routing (the report-level engine name only says who was *asked*).
+    pub engine: String,
 }
 
 impl Default for QueryRecord {
@@ -185,6 +190,7 @@ impl Default for QueryRecord {
             aux_bytes: 0,
             kernel: KernelStats::default(),
             phases: PhaseStats::default(),
+            engine: String::new(),
         }
     }
 }
@@ -228,7 +234,17 @@ impl QueryRecord {
             aux_bytes: outcome.aux_bytes,
             kernel: outcome.kernel,
             phases: outcome.phases,
+            engine: outcome.engine.clone(),
         }
+    }
+
+    /// Fills in the engine attribution when the outcome carried none (no
+    /// routing layer stamped it): the invoked engine served the query.
+    pub fn with_engine_fallback(mut self, engine: &str) -> Self {
+        if self.engine.is_empty() {
+            self.engine = engine.to_string();
+        }
+        self
     }
 
     /// Total query time.

@@ -179,12 +179,14 @@ pub fn run_query_set_journaled(
                 Err(payload) => QueryOutcome::panicked(panic_message(payload)),
             }
         });
+        let served_by = if outcome.engine.is_empty() { engine.name() } else { &outcome.engine };
         if let Some(j) = journal.as_deref_mut() {
             // Journal I/O failure must not kill the run; the worst case is
             // re-running this query on resume.
-            let _ = j.record(q_fp, &outcome.status, outcome.answers.len());
+            let _ = j.record(q_fp, &outcome.status, outcome.answers.len(), served_by);
         }
-        let mut record = QueryRecord::from_outcome(&outcome, config.query_budget);
+        let mut record = QueryRecord::from_outcome(&outcome, config.query_budget)
+            .with_engine_fallback(engine.name());
         record.retries = retries;
         report.records.push(record);
         if let Some(max) = config.abort_after_timeouts {
@@ -255,10 +257,12 @@ pub fn run_query_set_parallel_journaled(
             let deadline = remaining.map_or(Deadline::none(), Deadline::after).with_guard(guard);
             pool.query(Arc::clone(&matcher), db, q, deadline).outcome
         });
+        let served_by = if outcome.engine.is_empty() { engine_name } else { &outcome.engine };
         if let Some(j) = journal.as_deref_mut() {
-            let _ = j.record(q_fp, &outcome.status, outcome.answers.len());
+            let _ = j.record(q_fp, &outcome.status, outcome.answers.len(), served_by);
         }
-        let mut record = QueryRecord::from_outcome(&outcome, config.query_budget);
+        let mut record = QueryRecord::from_outcome(&outcome, config.query_budget)
+            .with_engine_fallback(engine_name);
         record.retries = retries;
         report.records.push(record);
         if let Some(max) = config.abort_after_timeouts {

@@ -46,6 +46,7 @@ use sqp_graph::database::GraphId;
 use sqp_graph::{Graph, GraphDb};
 use sqp_matching::{Deadline, Matcher, ResourceGuard};
 
+use crate::adaptive::{MatcherRouter, RoutingStats};
 use crate::breaker::{BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
 use crate::dispatch::{DispatchConfig, DispatchCore, QueryExecutor};
 use crate::engine::QueryOutcome;
@@ -87,6 +88,12 @@ pub struct ServiceConfig {
     ///
     /// [`QueryStatus::Wedged`]: crate::engine::QueryStatus::Wedged
     pub supervisor: Option<SupervisorConfig>,
+    /// Per-query adaptive routing: when set, each admitted query is routed
+    /// to the candidate matcher the router's (frozen) cost model predicts
+    /// fastest, instead of the service's fixed matcher. Routing is a pure
+    /// function of (model, query), so serving stays deterministic across
+    /// worker thread counts.
+    pub router: Option<Arc<MatcherRouter>>,
 }
 
 impl Default for ServiceConfig {
@@ -100,6 +107,7 @@ impl Default for ServiceConfig {
             drain_deadline: Duration::from_secs(5),
             thread_prefix: "sqp-svc".to_string(),
             supervisor: None,
+            router: None,
         }
     }
 }
@@ -115,6 +123,7 @@ struct LocalExecutor {
     breakers: Mutex<BreakerRegistry>,
     runner: Mutex<RunnerConfig>,
     guard: ResourceGuard,
+    router: Option<Arc<MatcherRouter>>,
 }
 
 impl QueryExecutor for LocalExecutor {
@@ -130,18 +139,32 @@ impl QueryExecutor for LocalExecutor {
                 None => budget,
             });
         }
+        // Adaptive routing: pick the matcher the cost model predicts
+        // fastest for this query (pure decision — deterministic for a
+        // fixed model regardless of worker threads).
+        let routed = self.router.as_ref().map(|r| (r, r.route(q)));
+        let matcher = match &routed {
+            Some((router, (idx, _))) => router.matcher(*idx),
+            None => Arc::clone(&self.matcher),
+        };
         // One logical tick per admitted query; the mask is fixed across
         // retry attempts (same tick).
         let mask = lock(&self.breakers).begin_query();
-        let (outcome, retries) = run_with_retries(runner, |remaining| {
+        let (mut outcome, retries) = run_with_retries(runner, |remaining| {
             self.guard.reset(runner.limits);
             let deadline =
                 remaining.map_or(Deadline::none(), Deadline::after).with_guard(self.guard);
             self.pool
-                .query_masked(Arc::clone(&self.matcher), &self.db, q, deadline, mask.clone())
+                .query_masked(Arc::clone(&matcher), &self.db, q, deadline, mask.clone())
                 .outcome
         });
         lock(&self.breakers).observe(&outcome);
+        if let Some((router, (idx, predicted))) = routed {
+            router.note(idx, predicted, &outcome, runner.query_budget);
+            if outcome.engine.is_empty() {
+                outcome.engine = router.name(idx).to_string();
+            }
+        }
         (outcome, retries)
     }
 
@@ -202,6 +225,7 @@ impl QueryService {
             drain_deadline,
             thread_prefix,
             supervisor,
+            router,
         } = config;
         let pool = match supervisor {
             Some(config) => QueryPool::supervised(&thread_prefix, threads, config),
@@ -214,6 +238,7 @@ impl QueryService {
             runner: Mutex::new(runner),
             db,
             guard: ResourceGuard::new(),
+            router,
         });
         let core = DispatchCore::new(
             Arc::clone(&exec) as Arc<dyn QueryExecutor>,
@@ -265,7 +290,8 @@ impl QueryService {
         for q in queries {
             let (ticket, _) = self.submit(q);
             let (outcome, retries) = ticket.wait();
-            let mut record = QueryRecord::from_outcome(&outcome, budget);
+            let mut record =
+                QueryRecord::from_outcome(&outcome, budget).with_engine_fallback("service");
             record.retries = retries;
             report.records.push(record);
         }
@@ -295,6 +321,12 @@ impl QueryService {
             wedged_queries: self.exec.pool.wedged_queries(),
             workers_replaced: self.exec.pool.workers_replaced(),
         }
+    }
+
+    /// Adaptive-routing telemetry, when the service was configured with a
+    /// [`MatcherRouter`]; `None` for fixed-matcher services.
+    pub fn routing_stats(&self) -> Option<RoutingStats> {
+        self.exec.router.as_ref().map(|r| r.stats())
     }
 
     /// Current breaker state for one graph.
@@ -536,6 +568,38 @@ mod tests {
         assert_eq!(h.open_breakers, 3);
         assert_eq!(h.breaker_trips, 3);
         assert_eq!(h.quarantined_graph_results, 3);
+    }
+
+    #[test]
+    fn adaptive_router_serves_and_stamps_engines() {
+        let db = edge_db(4);
+        let q = labeled(&[0, 1], &[(0, 1)]);
+        let router = Arc::new(
+            MatcherRouter::cold_start(
+                &db,
+                sqp_matching::MatcherConfig::default(),
+                &crate::adaptive::DEFAULT_CANDIDATES,
+            )
+            .unwrap(),
+        );
+        let service = QueryService::new(
+            Arc::new(Cfql::new()),
+            Arc::clone(&db),
+            ServiceConfig { router: Some(Arc::clone(&router)), ..Default::default() },
+        );
+        let report = service.run_query_set("routed", &vec![q.clone(); 3]);
+        let stats = service.routing_stats().expect("router configured");
+        assert_eq!(stats.total_routed(), 3);
+        // Identical queries route identically (frozen model).
+        let served: Vec<&(String, u64)> = stats.routed.iter().filter(|(_, n)| *n > 0).collect();
+        assert_eq!(served.len(), 1);
+        assert_eq!(served[0].1, 3);
+        for r in &report.records {
+            assert!(r.status.is_completed());
+            assert_eq!(r.engine, served[0].0, "records must carry the routed engine");
+            assert_eq!(r.answers, 4);
+        }
+        service.shutdown();
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod config;
 pub mod deadline;
 pub mod embedding;
 pub mod enumerate;
+pub mod features;
 pub mod graphql;
 pub mod obs;
 pub mod quicksi;
@@ -47,6 +48,7 @@ pub use deadline::{
 };
 pub use embedding::Embedding;
 pub use enumerate::Enumerator;
+pub use features::{LabelHistogram, QueryFeatures, FEATURE_DIM};
 pub use obs::{Phase, PhaseStats, Span, PHASE_COUNT};
 pub use stats::{KernelStats, MatchingStats};
 

@@ -166,6 +166,9 @@ SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench enumeration
 echo "==> phase-breakdown bench smoke (writes results/BENCH_phases_smoke.json, asserts span sum ~= wall)"
 SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench phases
 
+echo "==> adaptive routing regret smoke (writes results/BENCH_adaptive_smoke.json, asserts adaptive <= 1.5x best-in-hindsight)"
+SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench adaptive
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -63,6 +63,7 @@ USAGE:
                [--threads N] [--retries N] [--max-steps N]
                [--kernel auto|merge|gallop|simd|baseline] [--metrics-out <file>]
                [--journal <file>] [--resume] [--supervise] [--chaos-slow-ms N]
+               [--model-in <file>] [--model-out <file>]
   sqp compare  --db <file> --queries <file> [--engines a,b,c] [--budget-ms N]
                [--phases]
   sqp match    --db <file> --queries <file> [--limit N]
@@ -75,6 +76,16 @@ USAGE:
 
 Engines: CT-Index Grapes GGSX CFL GraphQL CFQL vcGrapes vcGGSX
          Ullmann QuickSI TurboIso (default: CFQL)
+         adaptive = per-query cost-model routing over CFQL GraphQL QuickSI
+         Ullmann: a feature vector (size, density, label selectivity, core/
+         leaf split, NLF sparsity) picks the predicted-fastest engine, and
+         the model learns online from each outcome (timeouts apply censored
+         penalty updates)
+--model-in FILE   load a frozen adaptive routing model (JSON): no warmup, no
+online updates — routing is a pure function of (model, query), byte-identical
+across runs and thread counts
+--model-out FILE  save the adaptive model after the run (cold-started
+deterministically from the database fingerprint when no --model-in)
 --threads N > 1 runs the engine's matcher on a persistent worker pool
 (vcFV engines only: CFL GraphQL CFQL Ullmann QuickSI TurboIso SPath)
 --retries N retries queries that panic inside the engine up to N times
@@ -290,6 +301,10 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
     let queries = io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
 
     let engine_name = opts.get("engine").unwrap_or("CFQL");
+    let adaptive_requested = engine_name.eq_ignore_ascii_case("adaptive");
+    if !adaptive_requested && (opts.get("model-in").is_some() || opts.get("model-out").is_some()) {
+        return Err("--model-in/--model-out require --engine adaptive".into());
+    }
     let budget_ms: u64 = opts.parse_num("budget-ms", 600_000u64)?;
     let threads: usize = opts.parse_num("threads", 1usize)?;
     let retries: u32 = opts.parse_num("retries", 0u32)?;
@@ -305,10 +320,14 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         config.limits = config.limits.with_max_steps(max_steps);
     }
 
+    // Adaptive routing at thread counts > 1 goes through the service path:
+    // the pool takes one matcher per query, and only the service's executor
+    // picks matchers per query (via the frozen MatcherRouter).
     let service_mode = opts.has("shed")
         || ["max-inflight", "breaker-threshold", "breaker-cooldown", "drain-after-ms"]
             .iter()
-            .any(|f| opts.get(f).is_some());
+            .any(|f| opts.get(f).is_some())
+        || (adaptive_requested && threads > 1);
 
     // Crash-consistent run journal: `--journal PATH` appends one checksummed
     // record per finished query; `--resume` replays the journal first and
@@ -332,8 +351,9 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
     };
 
     let mut health = None;
+    let mut adaptive_stats: Option<RoutingStats> = None;
     let report = if service_mode {
-        let (report, h) = run_service_query(
+        let (report, h, a) = run_service_query(
             opts,
             &db,
             &queries,
@@ -344,6 +364,31 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
             journal.as_mut(),
         )?;
         health = h;
+        adaptive_stats = a;
+        report
+    } else if adaptive_requested {
+        let mut engine = AdaptiveEngine::with_matcher_config(matcher_config);
+        if let Some(path) = opts.get("model-in") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read model {path}: {e}"))?;
+            engine.load_model(&text).map_err(|e| format!("bad model {path}: {e}"))?;
+        }
+        let t0 = Instant::now();
+        engine.build(&db).map_err(|e| format!("index construction failed: {e}"))?;
+        eprintln!(
+            "adaptive routing over [{}] ({}) built in {:.2}s",
+            engine.candidate_names().join(", "),
+            if engine.is_frozen() { "frozen model" } else { "learning online" },
+            t0.elapsed().as_secs_f64(),
+        );
+        let report =
+            run_query_set_journaled(&mut engine, "cli", &queries, config, journal.as_mut());
+        if let Some(path) = opts.get("model-out") {
+            std::fs::write(path, engine.model_json())
+                .map_err(|e| format!("cannot write model {path}: {e}"))?;
+            eprintln!("wrote adaptive model to {path}");
+        }
+        adaptive_stats = Some(engine.routing_stats());
         report
     } else if threads > 1 {
         let matcher = matcher_by_name_with(engine_name, matcher_config).ok_or_else(|| {
@@ -415,6 +460,15 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         ms(hist.p99()),
         report.censored_count(),
     );
+    if let Some(a) = &adaptive_stats {
+        let routed: Vec<String> = a.routed.iter().map(|(n, c)| format!("{n}={c}")).collect();
+        println!(
+            "-- adaptive routed {} | mispredicts {} | observed-regret {:.3}",
+            routed.join(" "),
+            a.mispredicts,
+            a.observed_regret(),
+        );
+    }
     let journal_stats = journal.as_ref().map(|j| j.stats());
     if let Some(s) = &journal_stats {
         println!(
@@ -423,10 +477,11 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         );
     }
     if let Some(path) = opts.get("metrics-out") {
-        let text = render_prometheus_with_journal(
+        let text = render_prometheus_full(
             std::slice::from_ref(&report),
             health.as_ref(),
             journal_stats.as_ref(),
+            adaptive_stats.as_ref(),
         );
         std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote metrics to {path}");
@@ -517,10 +572,38 @@ fn run_service_query(
     runner: RunnerConfig,
     threads: usize,
     mut journal: Option<&mut RunJournal>,
-) -> Result<(QuerySetReport, Option<ServiceHealth>), String> {
-    let matcher = matcher_by_name_with(engine_name, matcher_config).ok_or_else(|| {
-        format!("service mode requires a vcFV engine (matcher); '{engine_name}' is not one")
-    })?;
+) -> Result<(QuerySetReport, Option<ServiceHealth>, Option<RoutingStats>), String> {
+    // `--engine adaptive`: per-query routing via a frozen MatcherRouter —
+    // loaded from --model-in, or cold-started deterministically from the
+    // database fingerprint.
+    let router: Option<Arc<MatcherRouter>> = if engine_name.eq_ignore_ascii_case("adaptive") {
+        let r = match opts.get("model-in") {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read model {path}: {e}"))?;
+                let model =
+                    CostModel::from_json(&text).map_err(|e| format!("bad model {path}: {e}"))?;
+                MatcherRouter::new(model, db, matcher_config)
+            }
+            None => MatcherRouter::cold_start(
+                db,
+                matcher_config,
+                &subgraph_query::core::adaptive::DEFAULT_CANDIDATES,
+            ),
+        }
+        .map_err(|e| format!("adaptive routing: {e}"))?;
+        Some(Arc::new(r))
+    } else {
+        None
+    };
+    let matcher = match &router {
+        // The fixed matcher is unused when a router is set (the executor
+        // picks per query); hand it the first candidate to satisfy the API.
+        Some(r) => r.matcher(0),
+        None => matcher_by_name_with(engine_name, matcher_config).ok_or_else(|| {
+            format!("service mode requires a vcFV engine (matcher); '{engine_name}' is not one")
+        })?,
+    };
     let chaos_panics: u32 = opts.parse_num("chaos-panics", 0u32)?;
     let matcher: Arc<dyn subgraph_query::matching::Matcher> = if chaos_panics > 0 {
         let seed: u64 = opts.parse_num("chaos-seed", 42u64)?;
@@ -542,6 +625,7 @@ fn run_service_query(
         queue_capacity,
         shed,
         supervisor,
+        router: router.clone(),
         ..Default::default()
     };
     let budget = config.runner.query_budget;
@@ -552,10 +636,26 @@ fn run_service_query(
 
     install_drain_handler();
     let service = QueryService::new(matcher, Arc::clone(db), config);
-    eprintln!(
-        "engine {engine_name} behind query service ({} pooled workers, queue {queue_capacity})",
-        service.threads(),
-    );
+    match &router {
+        Some(r) => eprintln!(
+            "adaptive routing over [{}] behind query service ({} pooled workers, queue \
+             {queue_capacity})",
+            r.model().engine_names().join(", "),
+            service.threads(),
+        ),
+        None => eprintln!(
+            "engine {engine_name} behind query service ({} pooled workers, queue \
+             {queue_capacity})",
+            service.threads(),
+        ),
+    }
+    if let Some((r, path)) = router.as_ref().zip(opts.get("model-out")) {
+        // The service router is frozen, so the model can be persisted up
+        // front (this is how a cold-started model gets captured for replay).
+        std::fs::write(path, r.model().to_json())
+            .map_err(|e| format!("cannot write model {path}: {e}"))?;
+        eprintln!("wrote adaptive model to {path}");
+    }
     // With a journal, queries that already have a terminal outcome are not
     // even admitted — resume re-runs only the incomplete tail.
     let mut pending = Vec::with_capacity(queries.len());
@@ -581,7 +681,9 @@ fn run_service_query(
         loop {
             if let Some(r) = ticket.wait_timeout(Duration::from_millis(20)) {
                 if let Some(j) = journal.as_deref_mut() {
-                    let _ = j.record(q_fp, &r.0.status, r.0.answers.len());
+                    let served =
+                        if r.0.engine.is_empty() { engine_name } else { r.0.engine.as_str() };
+                    let _ = j.record(q_fp, &r.0.status, r.0.answers.len(), served);
                 }
                 results.push(r);
                 break;
@@ -619,7 +721,8 @@ fn run_service_query(
     let health = service.as_ref().map(QueryService::health);
     let mut report = QuerySetReport::new(engine_name, "cli-service");
     for (outcome, retries) in &results {
-        let mut record = QueryRecord::from_outcome(outcome, budget);
+        let mut record =
+            QueryRecord::from_outcome(outcome, budget).with_engine_fallback(engine_name);
         record.retries = *retries;
         report.records.push(record);
     }
@@ -643,7 +746,10 @@ fn run_service_query(
             d.finished, d.shed_at_drain, d.drained_within_deadline
         );
     }
-    Ok((report, health))
+    // Stats live on the router itself, so they survive a drain that
+    // consumed the service.
+    let adaptive_stats = router.as_ref().map(|r| r.stats());
+    Ok((report, health, adaptive_stats))
 }
 
 fn cmd_compare(opts: &Opts) -> Result<(), String> {
@@ -944,7 +1050,8 @@ fn serve_client_conn(
                 let (ticket, _) = coordinator.submit_with_budget(&graph, budget);
                 let (outcome, retries) = ticket.wait();
                 if let Ok(mut r) = report.lock() {
-                    let mut record = QueryRecord::from_outcome(&outcome, budget);
+                    let mut record = QueryRecord::from_outcome(&outcome, budget)
+                        .with_engine_fallback("coordinator");
                     record.retries = retries;
                     r.records.push(record);
                 }
@@ -1085,7 +1192,7 @@ fn cmd_client(opts: &Opts) -> Result<ExitCode, String> {
                 Err(e) => return Err(format!("query {i}: receive failed: {e}")),
             }
         };
-        let mut record = QueryRecord::from_outcome(&outcome, budget);
+        let mut record = QueryRecord::from_outcome(&outcome, budget).with_engine_fallback("client");
         record.retries = retries;
         println!(
             "query {i}: answers={} candidates={} filter={:.3}ms verify={:.3}ms{}",

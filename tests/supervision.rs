@@ -199,7 +199,7 @@ proptest! {
         let mut j = RunJournal::create(&path, db_fp).unwrap();
         let mut line_ends = Vec::new();
         for i in 0..n {
-            j.record(i as u64, &QueryStatus::Completed, i).unwrap();
+            j.record(i as u64, &QueryStatus::Completed, i, "CFQL").unwrap();
             line_ends.push(std::fs::metadata(&path).unwrap().len() as usize);
         }
         drop(j);
