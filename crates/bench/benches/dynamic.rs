@@ -1,0 +1,358 @@
+//! Dynamic-graph bench (DESIGN.md "Dynamic graphs & continuous matching"):
+//! three scenarios over one churning data graph.
+//!
+//! 1. **Update throughput** — a 1%-churn batch applied through the
+//!    [`DynamicGraph`] overlay vs replaying the whole history into a fresh
+//!    CSR (the cost an immutable-only engine pays per batch).
+//! 2. **Compaction amortization** — the same stream applied with and
+//!    without periodic compaction; reports the one-off compaction cost, the
+//!    per-query saving it buys on the overlay read path, and the break-even
+//!    query count that justifies the default policy.
+//! 3. **Continuous repair** — standing queries repaired incrementally per
+//!    batch vs re-run from scratch. This is the acceptance gate: repair must
+//!    be at least 5x faster than full re-query on 1%-churn batches (relaxed
+//!    on the smoke workload, where constant costs dominate).
+//!
+//! Writes `results/BENCH_dynamic.json`; `SQP_BENCH_SMOKE=1` shrinks the
+//! workload and writes `BENCH_dynamic_smoke.json` so CI never clobbers the
+//! recorded full run.
+
+mod common;
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sqp_core::chaos::{StreamProfile, UpdateStreamGen};
+use sqp_core::continuous::ContinuousMatcher;
+use sqp_datagen::graphgen;
+use sqp_graph::{CompactionPolicy, DynamicGraph, Graph};
+use sqp_matching::dynmatch::enumerate_overlay;
+use sqp_matching::Deadline;
+
+fn smoke() -> bool {
+    std::env::var("SQP_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+struct Workload {
+    base: Graph,
+    queries: Vec<Graph>,
+    /// Updates per batch: 1% of the base vertex count (the churn rate the
+    /// acceptance criterion is stated at).
+    ops: usize,
+    batches: usize,
+    threads: usize,
+}
+
+fn workload() -> Workload {
+    let (vertices, batches, threads, n_queries) =
+        if smoke() { (1_500, 4, 2, 2) } else { (10_000, 10, 4, 4) };
+    let db = graphgen::generate(1, vertices, 10, 6.0, 71);
+    let queries: Vec<Graph> =
+        (0..n_queries).map(|i| common::query_from(&db, 4 + i % 3, false, 700 + i as u64)).collect();
+    let base = db.graphs()[0].clone();
+    Workload { base, queries, ops: vertices / 100, batches, threads }
+}
+
+/// Scenario 1: per-batch overlay apply vs rebuilding the CSR by replaying
+/// the whole history. Returns (overlay_us, rebuild_us, ops_applied).
+fn bench_update_throughput(w: &Workload) -> (f64, f64, usize) {
+    let mut stream = UpdateStreamGen::new(&w.base, 731, StreamProfile::Mixed);
+    let mut overlay = DynamicGraph::new(w.base.clone());
+    let mut history: Vec<Vec<_>> = Vec::new();
+    let (mut overlay_us, mut rebuild_us, mut ops) = (0.0, 0.0, 0usize);
+    for _ in 0..w.batches {
+        let batch = stream.batch(w.ops);
+        ops += batch.len();
+
+        let t = Instant::now();
+        overlay.apply_batch(&batch).expect("generated batches are valid");
+        overlay_us += t.elapsed().as_secs_f64() * 1e6;
+
+        history.push(batch);
+        let t = Instant::now();
+        let mut scratch = DynamicGraph::new(w.base.clone());
+        for b in &history {
+            scratch.apply_batch(b).expect("replay");
+        }
+        let (rebuilt, _) = scratch.materialize();
+        rebuild_us += t.elapsed().as_secs_f64() * 1e6;
+
+        assert_eq!(overlay.live_vertex_count(), rebuilt.vertex_count());
+        assert_eq!(overlay.edge_count(), rebuilt.edge_count());
+    }
+    (overlay_us, rebuild_us, ops)
+}
+
+struct CompactionNumbers {
+    delta_ops: usize,
+    compact_us: f64,
+    /// Per-query enumeration time on the dirty overlay / after compaction.
+    dirty_query_us: f64,
+    compacted_query_us: f64,
+}
+
+/// Scenario 2: apply the whole stream into an uncompacted overlay, then
+/// measure what one compaction costs and what it buys on the read path.
+/// The break-even query count (cost / per-query saving) is the measured
+/// amortization threshold the default [`CompactionPolicy`] encodes.
+fn bench_compaction(w: &Workload) -> CompactionNumbers {
+    let reps = if smoke() { 2 } else { 4 };
+    let mut stream = UpdateStreamGen::new(&w.base, 733, StreamProfile::Mixed);
+    let mut g = DynamicGraph::new(w.base.clone());
+    for _ in 0..w.batches {
+        g.apply_batch(&stream.batch(w.ops)).expect("generated batches are valid");
+    }
+    let delta_ops = g.delta_ops();
+
+    let time_queries = |g: &DynamicGraph| -> (f64, usize) {
+        let mut found = 0;
+        let t = Instant::now();
+        for _ in 0..reps {
+            for q in &w.queries {
+                found = black_box(enumerate_overlay(q, g, Deadline::none()))
+                    .expect("no deadline")
+                    .len();
+            }
+        }
+        (t.elapsed().as_secs_f64() * 1e6 / (reps * w.queries.len()) as f64, found)
+    };
+
+    let (dirty_query_us, dirty_found) = time_queries(&g);
+    let t = Instant::now();
+    g.compact();
+    let compact_us = t.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(g.compactions(), 1);
+    assert_eq!(g.delta_ops(), 0, "compaction must drain the delta");
+    let (compacted_query_us, compacted_found) = time_queries(&g);
+    // Compaction renumbers vertices but must not change the answer set size.
+    assert_eq!(dirty_found, compacted_found, "compaction changed a query answer");
+
+    CompactionNumbers { delta_ops, compact_us, dirty_query_us, compacted_query_us }
+}
+
+struct RepairRun {
+    /// apply_batch with standing queries registered (apply + repair).
+    apply_repair_us: f64,
+    /// apply_batch on a control matcher with no standing queries: the pure
+    /// overlay-apply cost both serving strategies pay before answering.
+    apply_us: f64,
+    requery_us: f64,
+    batches: usize,
+    added: u64,
+    removed: u64,
+}
+
+impl RepairRun {
+    /// Pure incremental-repair cost: apply+repair minus the apply baseline.
+    fn repair_us(&self) -> f64 {
+        (self.apply_repair_us - self.apply_us).max(1.0)
+    }
+}
+
+/// Scenario 3: standing queries repaired per batch (parallel repair path,
+/// the one the service uses) vs full re-query of every standing query.
+/// A control matcher with *no* standing queries applies the same stream so
+/// the overlay-apply cost — paid identically by both serving strategies —
+/// can be subtracted out. I10 is asserted at every boundary, so the
+/// speedup is over an *equal* answer, not an approximate one.
+fn bench_repair(w: &Workload) -> RepairRun {
+    let mut matcher = ContinuousMatcher::new(w.base.clone(), CompactionPolicy::never());
+    let mut control = ContinuousMatcher::new(w.base.clone(), CompactionPolicy::never());
+    let ids: Vec<u64> = w
+        .queries
+        .iter()
+        .map(|q| matcher.register(q.clone(), Deadline::none()).expect("register"))
+        .collect();
+    let mut stream = UpdateStreamGen::new(&w.base, 737, StreamProfile::Mixed);
+    let mut run = RepairRun {
+        apply_repair_us: 0.0,
+        apply_us: 0.0,
+        requery_us: 0.0,
+        batches: w.batches,
+        added: 0,
+        removed: 0,
+    };
+    for _ in 0..w.batches {
+        let batch = stream.batch(w.ops);
+
+        let t = Instant::now();
+        let report = matcher.apply_batch(&batch, w.threads, Deadline::none()).expect("repair");
+        run.apply_repair_us += t.elapsed().as_secs_f64() * 1e6;
+        run.added += report.total_added() as u64;
+        run.removed += report.total_removed() as u64;
+
+        let t = Instant::now();
+        control.apply_batch(&batch, w.threads, Deadline::none()).expect("apply");
+        run.apply_us += t.elapsed().as_secs_f64() * 1e6;
+
+        let t = Instant::now();
+        let full: Vec<_> = w
+            .queries
+            .iter()
+            .map(|q| control.query(q, Deadline::none()).expect("re-query"))
+            .collect();
+        run.requery_us += t.elapsed().as_secs_f64() * 1e6;
+
+        for (id, fresh) in ids.iter().zip(&full) {
+            assert_eq!(
+                matcher.embeddings(*id).unwrap_or(&[]),
+                fresh.as_slice(),
+                "I10 violated: repaired set != recomputed set"
+            );
+        }
+    }
+    for (qi, id) in ids.iter().enumerate() {
+        println!(
+            "  standing query {qi}: {} edges, {} embeddings",
+            w.queries[qi].edge_count(),
+            matcher.embeddings(*id).map_or(0, <[_]>::len)
+        );
+    }
+    run
+}
+
+fn write_json(
+    w: &Workload,
+    throughput: &(f64, f64, usize),
+    compaction: &CompactionNumbers,
+    repair: &RepairRun,
+) {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let file = if smoke() { "BENCH_dynamic_smoke.json" } else { "BENCH_dynamic.json" };
+    let path = format!("{root}/{file}");
+    let (overlay_us, rebuild_us, ops) = *throughput;
+    let saved_per_query_us = compaction.dirty_query_us - compaction.compacted_query_us;
+    let break_even = if saved_per_query_us > 0.0 {
+        (compaction.compact_us / saved_per_query_us).ceil()
+    } else {
+        f64::INFINITY
+    };
+    let speedup = repair.requery_us / repair.repair_us();
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"dynamic\",\n");
+    out.push_str(&format!("  \"smoke\": {},\n", smoke()));
+    out.push_str(&format!(
+        "  \"workload\": {{ \"vertices\": {}, \"edges\": {}, \"batches\": {}, \
+         \"ops_per_batch\": {}, \"churn\": 0.01, \"standing_queries\": {}, \"threads\": {} }},\n",
+        w.base.vertex_count(),
+        w.base.edge_count(),
+        w.batches,
+        w.ops,
+        w.queries.len(),
+        w.threads
+    ));
+    out.push_str("  \"update_throughput\": {\n");
+    out.push_str(&format!("    \"ops\": {ops},\n"));
+    out.push_str(&format!("    \"overlay_us_per_op\": {:.3},\n", overlay_us / ops as f64));
+    out.push_str(&format!("    \"rebuild_us_per_op\": {:.3},\n", rebuild_us / ops as f64));
+    out.push_str(&format!("    \"overlay_speedup\": {:.2}\n", rebuild_us / overlay_us.max(1.0)));
+    out.push_str("  },\n");
+    out.push_str("  \"compaction\": {\n");
+    out.push_str(&format!("    \"delta_ops\": {},\n", compaction.delta_ops));
+    out.push_str(&format!("    \"compact_cost_us\": {:.0},\n", compaction.compact_us));
+    out.push_str(&format!("    \"query_us_overlay_only\": {:.0},\n", compaction.dirty_query_us));
+    out.push_str(&format!("    \"query_us_compacted\": {:.0},\n", compaction.compacted_query_us));
+    out.push_str(&format!("    \"saved_per_query_us\": {saved_per_query_us:.1},\n"));
+    if break_even.is_finite() {
+        out.push_str(&format!("    \"break_even_queries\": {break_even:.0}\n"));
+    } else {
+        out.push_str("    \"break_even_queries\": null\n");
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"continuous_repair\": {\n");
+    out.push_str(&format!("    \"batches\": {},\n", repair.batches));
+    out.push_str(&format!(
+        "    \"apply_us_per_batch\": {:.0},\n",
+        repair.apply_us / repair.batches as f64
+    ));
+    out.push_str(&format!(
+        "    \"repair_us_per_batch\": {:.0},\n",
+        repair.repair_us() / repair.batches as f64
+    ));
+    out.push_str(&format!(
+        "    \"requery_us_per_batch\": {:.0},\n",
+        repair.requery_us / repair.batches as f64
+    ));
+    out.push_str(&format!("    \"embeddings_added\": {},\n", repair.added));
+    out.push_str(&format!("    \"embeddings_removed\": {},\n", repair.removed));
+    out.push_str(&format!("    \"repair_speedup\": {speedup:.2}\n"));
+    out.push_str("  }\n}\n");
+    std::fs::create_dir_all(root).expect("create results dir");
+    std::fs::write(&path, out).expect("write BENCH_dynamic.json");
+    println!("dynamic report written to {path}");
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let w = workload();
+
+    let throughput = bench_update_throughput(&w);
+    println!(
+        "update throughput: overlay {:.2} us/op vs rebuild {:.2} us/op ({:.1}x)",
+        throughput.0 / throughput.2 as f64,
+        throughput.1 / throughput.2 as f64,
+        throughput.1 / throughput.0.max(1.0)
+    );
+
+    let compaction = bench_compaction(&w);
+    println!(
+        "compaction: {} delta ops drained in {:.0} us, query {:.0} -> {:.0} us",
+        compaction.delta_ops,
+        compaction.compact_us,
+        compaction.dirty_query_us,
+        compaction.compacted_query_us,
+    );
+
+    let repair = bench_repair(&w);
+    let speedup = repair.requery_us / repair.repair_us();
+    println!(
+        "continuous repair: apply {:.0} us/batch, repair {:.0} us/batch vs \
+         re-query {:.0} us/batch ({speedup:.1}x)",
+        repair.apply_us / repair.batches as f64,
+        repair.repair_us() / repair.batches as f64,
+        repair.requery_us / repair.batches as f64,
+    );
+
+    // Acceptance: incremental repair at least 5x faster than full re-query
+    // on 1%-churn batches (1.2x on the tiny smoke workload, where the
+    // per-batch overlay bookkeeping dominates the saved enumeration work).
+    let floor = if smoke() { 1.2 } else { 5.0 };
+    assert!(
+        speedup >= floor,
+        "continuous repair is only {speedup:.2}x faster than re-query; floor {floor}x"
+    );
+    assert!(
+        throughput.1 > throughput.0,
+        "overlay apply must beat rebuild-per-batch on every workload"
+    );
+
+    write_json(&w, &throughput, &compaction, &repair);
+
+    // Criterion view: one 1%-churn batch through the overlay — the hot
+    // serving-path cost of an update.
+    let mut stream = UpdateStreamGen::new(&w.base, 739, StreamProfile::Mixed);
+    let overlay = {
+        let mut g = DynamicGraph::new(w.base.clone());
+        g.apply_batch(&stream.batch(w.ops)).expect("warm-up batch");
+        g
+    };
+    let batch = stream.batch(w.ops);
+    let mut grp = c.benchmark_group("dynamic");
+    grp.bench_function("apply_1pct_batch", |b| {
+        b.iter(|| {
+            let mut g = overlay.clone();
+            g.apply_batch(black_box(&batch)).expect("valid batch");
+            g
+        })
+    });
+    grp.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench_dynamic
+}
+criterion_main!(benches);

@@ -469,6 +469,328 @@ pub fn torn_tail(bytes: &[u8], seed: u64) -> &[u8] {
     &bytes[..cut]
 }
 
+// ---------------------------------------------------------------------------
+// Update-stream scenario generator for the dynamic-graph layer
+// ---------------------------------------------------------------------------
+
+use std::collections::BTreeSet;
+
+use sqp_graph::{Label, Update, VertexId};
+
+/// Shape of a generated update stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamProfile {
+    /// Adds, removals and occasional duplicate-edge no-ops in balance.
+    Mixed,
+    /// Mostly vertex/edge additions (growth workload).
+    AddHeavy,
+    /// Mostly edge/vertex removals (shrink workload).
+    RemoveHeavy,
+    /// Add-then-remove of the *same* element inside one batch, plus
+    /// re-adds after tombstoning — the batch-simulation edge cases.
+    Churn,
+}
+
+/// Deterministic generator of *valid* update batches against a mirrored
+/// graph state, seeded like [`ChaosMatcher`] so the same
+/// `(seed, base graph, profile)` always yields the same stream at every
+/// thread count.
+///
+/// The generator maintains its own mirror of the overlay (labels, liveness,
+/// edge set, slot count) and advances it as it emits each op, so every batch
+/// it returns is accepted by
+/// [`DynamicGraph::apply_batch`](sqp_graph::DynamicGraph::apply_batch) —
+/// including intentionally tricky-but-legal cases: duplicate edge adds
+/// (no-ops), edges referencing vertices added earlier in the same batch, and
+/// re-adding a tombstoned slot's label as a fresh vertex.
+/// [`malformed_batches`](Self::malformed_batches) produces the complementary
+/// *invalid* cases, each of which must fail closed.
+#[derive(Clone, Debug)]
+pub struct UpdateStreamGen {
+    state: u64,
+    profile: StreamProfile,
+    labels: Vec<Label>,          // per slot; grows with AddVertex
+    alive: Vec<bool>,            // per slot
+    live: Vec<VertexId>,         // pickable list of live slots
+    dead_labels: Vec<Label>,     // labels of tombstoned slots, for re-adds
+    edges: BTreeSet<(u32, u32)>, // normalized u < v
+    label_pool: Vec<Label>,
+}
+
+fn norm(u: VertexId, v: VertexId) -> (u32, u32) {
+    if u.0 <= v.0 {
+        (u.0, v.0)
+    } else {
+        (v.0, u.0)
+    }
+}
+
+impl UpdateStreamGen {
+    /// Mirrors `base` (all vertices live, no delta) with the given seed and
+    /// profile. Seeding is mixed with the base graph's structural
+    /// [`graph_fingerprint`], so distinct bases get distinct streams even
+    /// under the same seed.
+    pub fn new(base: &Graph, seed: u64, profile: StreamProfile) -> Self {
+        let mut h = FxHasher::default();
+        seed.hash(&mut h);
+        graph_fingerprint(base).hash(&mut h);
+        let labels: Vec<Label> = base.vertices().map(|v| base.label(v)).collect();
+        let mut edges = BTreeSet::new();
+        for u in base.vertices() {
+            for &v in base.neighbors(u) {
+                edges.insert(norm(u, v));
+            }
+        }
+        let mut label_pool: Vec<Label> = labels.clone();
+        label_pool.sort_unstable();
+        label_pool.dedup();
+        let fresh = label_pool.last().map_or(0, |l| l.0 + 1);
+        label_pool.push(Label(fresh)); // one label unseen in the base
+        Self {
+            state: h.finish(),
+            profile,
+            live: base.vertices().collect(),
+            alive: vec![true; labels.len()],
+            labels,
+            dead_labels: Vec::new(),
+            edges,
+            label_pool,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // splitmix64: full-period, seed-stable, no external dependency.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn roll(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next() % n as u64) as usize
+    }
+
+    /// Live vertices in the mirror.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Edges in the mirror.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn mirror_add_vertex(&mut self, label: Label) -> VertexId {
+        let id = VertexId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.alive.push(true);
+        self.live.push(id);
+        id
+    }
+
+    fn mirror_remove_vertex(&mut self, v: VertexId) {
+        self.alive[v.index()] = false;
+        if let Some(pos) = self.live.iter().position(|&x| x == v) {
+            self.live.swap_remove(pos);
+        }
+        self.dead_labels.push(self.labels[v.index()]);
+        self.edges.retain(|&(a, b)| a != v.0 && b != v.0);
+    }
+
+    fn gen_add_vertex(&mut self, out: &mut Vec<Update>) -> VertexId {
+        // Prefer re-adding a tombstoned slot's label when one exists: the
+        // id is never reused but the label returns, the re-add-after-
+        // tombstone case the differential suite needs covered.
+        let label = if !self.dead_labels.is_empty() && self.next().is_multiple_of(2) {
+            let i = self.roll(self.dead_labels.len());
+            self.dead_labels[i]
+        } else {
+            let i = self.roll(self.label_pool.len());
+            self.label_pool[i]
+        };
+        out.push(Update::AddVertex { label });
+        self.mirror_add_vertex(label)
+    }
+
+    fn gen_add_edge(&mut self, out: &mut Vec<Update>) -> Option<(VertexId, VertexId)> {
+        if self.live.len() < 2 {
+            return None;
+        }
+        for _ in 0..8 {
+            let (i, j) = (self.roll(self.live.len()), self.roll(self.live.len()));
+            let (u, v) = (self.live[i], self.live[j]);
+            if u == v || self.edges.contains(&norm(u, v)) {
+                continue;
+            }
+            out.push(Update::AddEdge { u, v });
+            self.edges.insert(norm(u, v));
+            return Some((u, v));
+        }
+        None
+    }
+
+    fn gen_duplicate_edge(&mut self, out: &mut Vec<Update>) -> bool {
+        if self.edges.is_empty() {
+            return false;
+        }
+        let i = self.roll(self.edges.len());
+        let &(a, b) = match self.edges.iter().nth(i) {
+            Some(e) => e,
+            None => return false,
+        };
+        // A legal no-op: AddEdge over a present edge applies as Ok(false).
+        out.push(Update::AddEdge { u: VertexId(a), v: VertexId(b) });
+        true
+    }
+
+    fn gen_remove_edge(&mut self, out: &mut Vec<Update>) -> bool {
+        if self.edges.is_empty() {
+            return false;
+        }
+        let i = self.roll(self.edges.len());
+        let &(a, b) = match self.edges.iter().nth(i) {
+            Some(e) => e,
+            None => return false,
+        };
+        self.edges.remove(&(a, b));
+        out.push(Update::RemoveEdge { u: VertexId(a), v: VertexId(b) });
+        true
+    }
+
+    fn gen_remove_vertex(&mut self, out: &mut Vec<Update>) -> bool {
+        if self.live.is_empty() {
+            return false;
+        }
+        let i = self.roll(self.live.len());
+        let v = self.live[i];
+        self.mirror_remove_vertex(v);
+        out.push(Update::RemoveVertex { vertex: v });
+        true
+    }
+
+    /// Generates the next batch of at least `ops` updates (a paired churn
+    /// step may add one more), advancing the mirror as if the batch were
+    /// applied — which it must be, for the mirror to stay faithful.
+    pub fn batch(&mut self, ops: usize) -> Vec<Update> {
+        let mut out = Vec::with_capacity(ops);
+        while out.len() < ops {
+            match self.profile {
+                StreamProfile::Churn => self.churn_step(&mut out),
+                profile => {
+                    let die = self.roll(100);
+                    let (av, ae, re, dup) = match profile {
+                        StreamProfile::Mixed => (15, 60, 85, 90),
+                        StreamProfile::AddHeavy => (25, 90, 95, 100),
+                        StreamProfile::RemoveHeavy => (5, 20, 65, 70),
+                        StreamProfile::Churn => unreachable!(),
+                    };
+                    if die < av {
+                        self.gen_add_vertex(&mut out);
+                    } else if die < ae {
+                        if self.gen_add_edge(&mut out).is_none() {
+                            self.gen_add_vertex(&mut out);
+                        }
+                    } else if die < re {
+                        if !self.gen_remove_edge(&mut out) {
+                            self.gen_add_vertex(&mut out);
+                        }
+                    } else if die < dup {
+                        if !self.gen_duplicate_edge(&mut out) {
+                            self.gen_add_vertex(&mut out);
+                        }
+                    } else if !self.gen_remove_vertex(&mut out) {
+                        self.gen_add_vertex(&mut out);
+                    }
+                }
+            }
+        }
+        // A churn step may push two ops at the boundary; never truncate —
+        // the mirror has already applied everything in `out`.
+        out
+    }
+
+    /// One churn step: add-then-remove the same element within the batch.
+    fn churn_step(&mut self, out: &mut Vec<Update>) {
+        match self.roll(3) {
+            0 => {
+                // Add an edge and remove it again in the same batch.
+                if let Some((u, v)) = self.gen_add_edge(out) {
+                    self.edges.remove(&norm(u, v));
+                    out.push(Update::RemoveEdge { u, v });
+                } else {
+                    self.gen_add_vertex(out);
+                }
+            }
+            1 => {
+                // Add a vertex and tombstone it in the same batch.
+                let v = self.gen_add_vertex(out);
+                self.mirror_remove_vertex(v);
+                out.push(Update::RemoveVertex { vertex: v });
+            }
+            _ => {
+                // Remove an existing edge, then re-add it.
+                if self.gen_remove_edge(out) {
+                    if let Some(Update::RemoveEdge { u, v }) = out.last().copied() {
+                        self.edges.insert(norm(u, v));
+                        out.push(Update::AddEdge { u, v });
+                    }
+                } else {
+                    self.gen_add_vertex(out);
+                }
+            }
+        }
+    }
+
+    /// Malformed single-batch cases against the *current* mirror state.
+    /// Every returned batch must be rejected atomically by
+    /// `apply_batch` with a [`GraphError`](sqp_graph::GraphError) — never a
+    /// panic — leaving the overlay untouched. The mirror does not advance.
+    pub fn malformed_batches(&mut self) -> Vec<Vec<Update>> {
+        let mut cases = Vec::new();
+        let unknown = VertexId(self.labels.len() as u32 + 7);
+        // Removing an edge that does not exist (dangling remove).
+        if self.live.len() >= 2 {
+            for _ in 0..16 {
+                let (i, j) = (self.roll(self.live.len()), self.roll(self.live.len()));
+                let (u, v) = (self.live[i], self.live[j]);
+                if u != v && !self.edges.contains(&norm(u, v)) {
+                    cases.push(vec![Update::RemoveEdge { u, v }]);
+                    break;
+                }
+            }
+        }
+        if let Some(&v) = self.live.first() {
+            // Self loops are rejected.
+            cases.push(vec![Update::AddEdge { u: v, v }]);
+            // Unknown endpoint.
+            cases.push(vec![Update::AddEdge { u: v, v: unknown }]);
+            // Double-remove of the same vertex in one batch.
+            cases
+                .push(vec![Update::RemoveVertex { vertex: v }, Update::RemoveVertex { vertex: v }]);
+        }
+        // Unknown vertex removal.
+        cases.push(vec![Update::RemoveVertex { vertex: unknown }]);
+        // Operating on a tombstoned slot: ids are never reused.
+        if let Some(i) = self.alive.iter().position(|&a| !a) {
+            let dead = VertexId(i as u32);
+            if let Some(&live) = self.live.first() {
+                cases.push(vec![Update::AddEdge { u: dead, v: live }]);
+            }
+            cases.push(vec![Update::RemoveVertex { vertex: dead }]);
+        }
+        // Same-batch double-remove of one edge.
+        if let Some(&(a, b)) = self.edges.iter().next() {
+            cases.push(vec![
+                Update::RemoveEdge { u: VertexId(a), v: VertexId(b) },
+                Update::RemoveEdge { u: VertexId(a), v: VertexId(b) },
+            ]);
+        }
+        cases
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +881,65 @@ mod tests {
     #[should_panic(expected = "fault rates exceed")]
     fn over_1000_per_mille_rejected() {
         let _ = chaos(ChaosConfig::new(7).with_panics(600).with_timeouts(600));
+    }
+
+    #[test]
+    fn update_stream_is_deterministic_and_valid() {
+        use sqp_graph::DynamicGraph;
+        let base = labeled(&[0, 1, 0, 2, 1], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        for profile in [
+            StreamProfile::Mixed,
+            StreamProfile::AddHeavy,
+            StreamProfile::RemoveHeavy,
+            StreamProfile::Churn,
+        ] {
+            let mut a = UpdateStreamGen::new(&base, 99, profile);
+            let mut b = UpdateStreamGen::new(&base, 99, profile);
+            let mut g = DynamicGraph::new(base.clone());
+            for round in 0..20 {
+                let batch = a.batch(6);
+                assert_eq!(batch, b.batch(6), "stream not deterministic ({profile:?})");
+                let fx = g
+                    .apply_batch(&batch)
+                    .unwrap_or_else(|e| panic!("{profile:?} round {round}: {e}"));
+                assert!(fx.applied <= batch.len());
+                // Mirror stays faithful to the overlay.
+                assert_eq!(g.live_vertex_count(), a.live_count(), "{profile:?} round {round}");
+                assert_eq!(g.edge_count(), a.edge_count(), "{profile:?} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let base = labeled(&[0, 1, 0, 2], &[(0, 1), (1, 2), (2, 3)]);
+        let mut a = UpdateStreamGen::new(&base, 1, StreamProfile::Mixed);
+        let mut b = UpdateStreamGen::new(&base, 2, StreamProfile::Mixed);
+        let sa: Vec<Vec<Update>> = (0..8).map(|_| a.batch(5)).collect();
+        let sb: Vec<Vec<Update>> = (0..8).map(|_| b.batch(5)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn malformed_batches_fail_closed() {
+        use sqp_graph::DynamicGraph;
+        let base = labeled(&[0, 1, 0, 2, 1], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut gen = UpdateStreamGen::new(&base, 7, StreamProfile::Mixed);
+        let mut g = DynamicGraph::new(base);
+        // Advance a few rounds so tombstones exist, then try every
+        // malformed case against the same state.
+        for _ in 0..10 {
+            g.apply_batch(&gen.batch(5)).unwrap();
+        }
+        let cases = gen.malformed_batches();
+        assert!(cases.len() >= 5, "expected a full malformed case set, got {}", cases.len());
+        for case in cases {
+            let before = (g.live_vertex_count(), g.edge_count(), g.delta_ops());
+            let err = g.apply_batch(&case).expect_err("malformed batch accepted");
+            let _ = err.to_string(); // display must not panic
+            let after = (g.live_vertex_count(), g.edge_count(), g.delta_ops());
+            assert_eq!(before, after, "rejected batch mutated the overlay");
+        }
     }
 
     #[test]

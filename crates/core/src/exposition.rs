@@ -15,6 +15,7 @@ use sqp_matching::Phase;
 
 use crate::adaptive::RoutingStats;
 use crate::breaker::BreakerState;
+use crate::continuous::ContinuousStats;
 use crate::coordinator::ShardPeerStats;
 use crate::engine::QueryStatus;
 use crate::journal::JournalStats;
@@ -203,6 +204,59 @@ pub fn render_shards(peers: &[ShardPeerStats]) -> String {
         };
         w.sample("sqp_shard_breaker_state", "", labels, state);
     }
+    w.finish()
+}
+
+/// Continuous-query (dynamic graph) service counters, for `sqp update` and
+/// the serving layer's interleaved update/query mode.
+pub fn render_continuous(stats: &ContinuousStats) -> String {
+    let mut w = PromWriter::new();
+    w.family(
+        "sqp_updates_applied_total",
+        "counter",
+        "Graph updates applied to the overlay (duplicate-edge no-ops excluded).",
+    );
+    w.family("sqp_update_batches_total", "counter", "Update batches accepted atomically.");
+    w.family(
+        "sqp_update_batches_rejected_total",
+        "counter",
+        "Malformed update batches rejected atomically (overlay untouched).",
+    );
+    w.family(
+        "sqp_compactions_total",
+        "counter",
+        "Overlay-to-CSR compactions performed by the compaction policy.",
+    );
+    w.family(
+        "sqp_continuous_repairs_total",
+        "counter",
+        "Standing-query repair passes executed (one per query per batch).",
+    );
+    w.family(
+        "sqp_continuous_embeddings_added_total",
+        "counter",
+        "Embeddings added to standing sets by repair.",
+    );
+    w.family(
+        "sqp_continuous_embeddings_removed_total",
+        "counter",
+        "Embeddings invalidated from standing sets by repair.",
+    );
+    w.family("sqp_continuous_standing_queries", "gauge", "Currently-registered standing queries.");
+    w.family(
+        "sqp_continuous_queries_served_total",
+        "counter",
+        "One-shot snapshot queries served against the overlay.",
+    );
+    w.sample("sqp_updates_applied_total", "", &[], stats.updates_applied as f64);
+    w.sample("sqp_update_batches_total", "", &[], stats.update_batches as f64);
+    w.sample("sqp_update_batches_rejected_total", "", &[], stats.batches_rejected as f64);
+    w.sample("sqp_compactions_total", "", &[], stats.compactions as f64);
+    w.sample("sqp_continuous_repairs_total", "", &[], stats.repairs as f64);
+    w.sample("sqp_continuous_embeddings_added_total", "", &[], stats.embeddings_added as f64);
+    w.sample("sqp_continuous_embeddings_removed_total", "", &[], stats.embeddings_removed as f64);
+    w.sample("sqp_continuous_standing_queries", "", &[], stats.standing_queries as f64);
+    w.sample("sqp_continuous_queries_served_total", "", &[], stats.queries_served as f64);
     w.finish()
 }
 
@@ -460,6 +514,33 @@ mod tests {
         assert!(out.contains("sqp_adaptive_observed_regret 2"));
         // Without adaptive stats the families vanish entirely.
         assert!(!render_with_journal(&[], None, None).contains("sqp_adaptive"));
+    }
+
+    #[test]
+    fn continuous_families_render_counters_and_gauge() {
+        let stats = ContinuousStats {
+            updates_applied: 42,
+            update_batches: 7,
+            batches_rejected: 1,
+            compactions: 2,
+            repairs: 21,
+            embeddings_added: 5,
+            embeddings_removed: 3,
+            standing_queries: 3,
+            queries_served: 9,
+        };
+        let out = render_continuous(&stats);
+        assert!(out.contains("# TYPE sqp_updates_applied_total counter"));
+        assert!(out.contains("sqp_updates_applied_total 42"));
+        assert!(out.contains("sqp_update_batches_total 7"));
+        assert!(out.contains("sqp_update_batches_rejected_total 1"));
+        assert!(out.contains("sqp_compactions_total 2"));
+        assert!(out.contains("sqp_continuous_repairs_total 21"));
+        assert!(out.contains("sqp_continuous_embeddings_added_total 5"));
+        assert!(out.contains("sqp_continuous_embeddings_removed_total 3"));
+        assert!(out.contains("# TYPE sqp_continuous_standing_queries gauge"));
+        assert!(out.contains("sqp_continuous_standing_queries 3"));
+        assert!(out.contains("sqp_continuous_queries_served_total 9"));
     }
 
     #[test]

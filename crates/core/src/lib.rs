@@ -23,6 +23,7 @@ pub mod breaker;
 pub mod cache;
 pub mod chaos;
 pub mod collection;
+pub mod continuous;
 pub mod coordinator;
 pub mod dispatch;
 pub mod engine;
@@ -42,7 +43,11 @@ pub use adaptive::{AdaptiveEngine, CostModel, FitSample, MatcherRouter, RoutingS
 pub use breaker::{BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
 pub use chaos::{
     chaos_engine, ChaosConfig, ChaosMatcher, FaultKind, FlappyConfig, FlappyMatcher, SlowMatcher,
-    StuckMatcher,
+    StreamProfile, StuckMatcher, UpdateStreamGen,
+};
+pub use continuous::{
+    BatchError, BatchReport, ContinuousMatcher, ContinuousService, ContinuousStats, DynamicDb,
+    RepairDelta, StandingQuery,
 };
 pub use coordinator::{Coordinator, CoordinatorConfig, ShardPeerStats};
 pub use engine::{
@@ -69,9 +74,13 @@ pub mod prelude {
     pub use crate::cache::{CacheHit, CachedEngine};
     pub use crate::chaos::{
         chaos_engine, ChaosConfig, ChaosMatcher, FaultKind, FlappyConfig, FlappyMatcher,
-        SlowMatcher, StuckMatcher,
+        SlowMatcher, StreamProfile, StuckMatcher, UpdateStreamGen,
     };
     pub use crate::collection::{CollectionMatcher, GraphMatches};
+    pub use crate::continuous::{
+        BatchError, BatchReport, ContinuousMatcher, ContinuousService, ContinuousStats, DynamicDb,
+        RepairDelta, StandingQuery,
+    };
     pub use crate::coordinator::{Coordinator, CoordinatorConfig, ShardPeerStats};
     pub use crate::engine::{
         BuildReport, EngineCategory, GraphFailure, QueryEngine, QueryOutcome, QueryStatus,
@@ -82,6 +91,7 @@ pub mod prelude {
         ServiceEngine, TurboIsoEngine, UllmannEngine, VcGgsxEngine, VcGrapesEngine,
     };
     pub use crate::exposition::render as render_prometheus;
+    pub use crate::exposition::render_continuous as render_prometheus_continuous;
     pub use crate::exposition::render_full as render_prometheus_full;
     pub use crate::exposition::render_shards as render_prometheus_shards;
     pub use crate::exposition::render_with_journal as render_prometheus_with_journal;

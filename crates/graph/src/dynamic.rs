@@ -1,0 +1,840 @@
+//! Mutable overlay over the immutable CSR [`Graph`].
+//!
+//! The repo's matching stack is built on an immutable CSR whose adjacency
+//! lists are sorted by `(neighbor label, neighbor id)`. [`DynamicGraph`]
+//! keeps that contract under mutation with a *copy-on-write delta*: the
+//! first update touching a vertex copies its base adjacency into a patched,
+//! still-sorted list; untouched vertices keep reading the base CSR slices
+//! directly. Every neighbor/intersection path therefore sees the same
+//! contiguous sorted `&[VertexId]` slices the enumeration kernels were
+//! written against — the delta composes with the base instead of wrapping it
+//! in a merge iterator.
+//!
+//! Semantics:
+//!
+//! * Vertex ids are never reused. [`DynamicGraph::remove_vertex`] tombstones
+//!   the id and severs its edges; re-adding "the same" vertex is a fresh
+//!   [`DynamicGraph::add_vertex`] with a fresh id.
+//! * Live adjacency never references a tombstoned vertex (removal patches
+//!   every ex-neighbor), so readers need no liveness filtering on neighbor
+//!   slices.
+//! * Malformed updates **fail closed**: unknown ids, tombstoned endpoints,
+//!   self-loops and removals of absent edges all return a [`GraphError`]
+//!   and leave the overlay untouched. [`DynamicGraph::apply_batch`]
+//!   additionally pre-validates the whole batch against a lightweight
+//!   simulation, so a batch is applied atomically or not at all.
+//! * NLF signatures are maintained incrementally in an [`NlfTable`] so the
+//!   candidate filters stay exact without per-batch recomputation.
+//!
+//! When the delta grows past a [`CompactionPolicy`] threshold,
+//! [`DynamicGraph::compact`] folds it into a fresh densely-renumbered CSR
+//! and returns the old→new id mapping so callers (e.g. standing-query
+//! embedding stores) can remap.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::hash::FxHashMap;
+use crate::label::Label;
+use crate::nlf::{NeighborhoodLabelFrequency, NlfTable};
+use crate::vertex::VertexId;
+
+/// One mutation of a [`DynamicGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Add a fresh vertex carrying `label`; its id is the next unused slot.
+    AddVertex {
+        /// Label of the new vertex.
+        label: Label,
+    },
+    /// Add the undirected edge `e(u, v)`. Adding an existing edge is a
+    /// no-op, not an error (idempotent streams are common).
+    AddEdge {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// Remove the undirected edge `e(u, v)`; fails closed if absent.
+    RemoveEdge {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// Tombstone `vertex` and sever all its edges; fails closed if the id is
+    /// unknown or already removed.
+    RemoveVertex {
+        /// The vertex to remove.
+        vertex: VertexId,
+    },
+}
+
+/// What one applied [`Update`] did to the overlay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateEffect {
+    /// A vertex was created with this id.
+    VertexAdded(VertexId),
+    /// The edge became present.
+    EdgeAdded(VertexId, VertexId),
+    /// `AddEdge` of an already-present edge: nothing changed.
+    DuplicateEdge,
+    /// The edge became absent.
+    EdgeRemoved(VertexId, VertexId),
+    /// The vertex was tombstoned; `severed` are its ex-neighbors.
+    VertexRemoved {
+        /// The tombstoned vertex.
+        vertex: VertexId,
+        /// Neighbors whose adjacency lost `vertex`.
+        severed: Vec<VertexId>,
+    },
+}
+
+/// Aggregate outcome of an atomically-applied update batch, in the shape the
+/// continuous-query repair needs: the touched region and the additions to
+/// seed re-enumeration from.
+#[derive(Clone, Debug, Default)]
+pub struct BatchEffects {
+    /// Per-update effects, in input order.
+    pub effects: Vec<UpdateEffect>,
+    /// Updates that changed the graph (duplicate edge adds excluded).
+    pub applied: usize,
+    /// Every vertex whose adjacency, liveness or existence changed — sorted
+    /// and deduplicated.
+    pub touched: Vec<VertexId>,
+    /// Edges that transitioned absent → present during the batch.
+    pub added_edges: Vec<(VertexId, VertexId)>,
+    /// Vertices created during the batch.
+    pub added_vertices: Vec<VertexId>,
+}
+
+/// Result of folding the delta into a fresh CSR.
+#[derive(Clone, Debug)]
+pub struct CompactionReport {
+    /// Old slot → new dense id (`None` for tombstoned slots). Live vertices
+    /// keep their relative id order.
+    pub mapping: Vec<Option<VertexId>>,
+    /// Live vertices in the compacted graph.
+    pub live_vertices: usize,
+    /// Edges in the compacted graph.
+    pub edges: usize,
+    /// Delta operations folded away.
+    pub delta_ops: usize,
+}
+
+/// When to fold the delta back into the base CSR.
+///
+/// Compaction costs a full CSR rebuild (`O(V + E)`), while the delta costs
+/// every reader a hash probe per patched vertex and slowly grows tombstoned
+/// slots; `benches/dynamic.rs` measures the crossover and backs the default
+/// ratio. Compact when the delta has absorbed at least `min_delta_ops`
+/// operations **and** at least `delta_ratio` × base edges.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionPolicy {
+    /// Floor on delta operations before compaction is considered.
+    pub min_delta_ops: usize,
+    /// Delta ops as a fraction of base edge count that triggers compaction.
+    pub delta_ratio: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self { min_delta_ops: 1024, delta_ratio: 0.25 }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that never compacts (pure overlay).
+    pub fn never() -> Self {
+        Self { min_delta_ops: usize::MAX, delta_ratio: f64::INFINITY }
+    }
+
+    /// The delta-op count at which a graph with `base_edges` edges compacts.
+    pub fn threshold(&self, base_edges: usize) -> usize {
+        if self.min_delta_ops == usize::MAX {
+            return usize::MAX;
+        }
+        let by_ratio = (self.delta_ratio * base_edges as f64).ceil();
+        if by_ratio >= usize::MAX as f64 {
+            return usize::MAX;
+        }
+        self.min_delta_ops.max(by_ratio as usize)
+    }
+
+    /// Whether `g`'s delta has crossed the threshold.
+    pub fn should_compact(&self, g: &DynamicGraph) -> bool {
+        g.delta_ops() >= self.threshold(g.base().edge_count())
+    }
+}
+
+/// A mutable graph: immutable CSR base + copy-on-write adjacency delta +
+/// tombstones, with incrementally-maintained NLF signatures.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    base: Graph,
+    /// Labels for every slot (base + added); labels are immutable per slot.
+    labels: Vec<Label>,
+    /// Full sorted adjacency for every modified vertex. Added vertices are
+    /// always present here (possibly empty), so unpatched slots are
+    /// guaranteed to be base vertices.
+    patched: FxHashMap<u32, Vec<VertexId>>,
+    tombstoned: Vec<bool>,
+    /// Added (id ≥ base vertex count) vertices per label, ascending by id.
+    added_by_label: FxHashMap<Label, Vec<VertexId>>,
+    nlf: NlfTable,
+    edge_count: usize,
+    live_count: usize,
+    delta_ops: usize,
+    compactions: u64,
+}
+
+/// Inserts `w` into a `(label, id)`-sorted adjacency list. Caller guarantees
+/// absence.
+fn insert_sorted(adj: &mut Vec<VertexId>, labels: &[Label], w: VertexId) {
+    let key = (labels[w.index()], w);
+    let pos = adj.partition_point(|&x| (labels[x.index()], x) < key);
+    adj.insert(pos, w);
+}
+
+/// Removes `w` from a `(label, id)`-sorted adjacency list if present.
+fn remove_sorted(adj: &mut Vec<VertexId>, labels: &[Label], w: VertexId) {
+    let key = (labels[w.index()], w);
+    if let Ok(pos) = adj.binary_search_by(|&x| (labels[x.index()], x).cmp(&key)) {
+        adj.remove(pos);
+    }
+}
+
+fn edge_key(u: VertexId, v: VertexId) -> (u32, u32) {
+    if u <= v {
+        (u.id(), v.id())
+    } else {
+        (v.id(), u.id())
+    }
+}
+
+impl DynamicGraph {
+    /// Wraps an immutable base graph in a (initially empty) delta.
+    pub fn new(base: Graph) -> Self {
+        let labels = base.labels().to_vec();
+        let nlf = NlfTable::from_graph(&base);
+        let edge_count = base.edge_count();
+        let live_count = base.vertex_count();
+        Self {
+            base,
+            labels,
+            patched: FxHashMap::default(),
+            tombstoned: vec![false; live_count],
+            added_by_label: FxHashMap::default(),
+            nlf,
+            edge_count,
+            live_count,
+            delta_ops: 0,
+            compactions: 0,
+        }
+    }
+
+    /// The immutable CSR the delta is layered over (as of the last
+    /// compaction).
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// Total id slots, including tombstoned ones (one past the largest id).
+    pub fn vertex_slots(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Live (non-tombstoned) vertices.
+    pub fn live_vertex_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Current undirected edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether `v` is a known, live vertex.
+    pub fn is_live(&self, v: VertexId) -> bool {
+        v.index() < self.labels.len() && !self.tombstoned[v.index()]
+    }
+
+    /// Label of slot `v` (stable even after tombstoning).
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// Degree of `v` (0 for tombstoned slots).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Neighbors of `v`, sorted by `(label, id)` — the base CSR slice for
+    /// untouched vertices, the patched list otherwise. Never contains
+    /// tombstoned vertices.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        match self.patched.get(&v.id()) {
+            Some(adj) => adj,
+            None => self.base.neighbors(v),
+        }
+    }
+
+    /// Neighbors of `v` carrying label `l` (contiguous sorted slice), the
+    /// intersection-kernel input.
+    pub fn neighbors_with_label(&self, v: VertexId, l: Label) -> &[VertexId] {
+        match self.patched.get(&v.id()) {
+            Some(adj) => {
+                let start = adj.partition_point(|&w| self.labels[w.index()] < l);
+                let end = start + adj[start..].partition_point(|&w| self.labels[w.index()] == l);
+                &adj[start..end]
+            }
+            None => self.base.neighbors_with_label(v, l),
+        }
+    }
+
+    /// Whether the undirected edge `e(u, v)` exists (false for unknown or
+    /// tombstoned endpoints).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if !self.is_live(u) || !self.is_live(v) || u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors_with_label(a, self.labels[b.index()]).binary_search(&b).is_ok()
+    }
+
+    /// Appends every live vertex carrying label `l` to `out`, ascending by
+    /// id (base vertices first, then added ones — ids are monotone).
+    pub fn live_vertices_with_label(&self, l: Label, out: &mut Vec<VertexId>) {
+        out.extend(
+            self.base
+                .vertices_with_label(l)
+                .iter()
+                .copied()
+                .filter(|&v| !self.tombstoned[v.index()]),
+        );
+        if let Some(added) = self.added_by_label.get(&l) {
+            out.extend(added.iter().copied().filter(|&v| !self.tombstoned[v.index()]));
+        }
+    }
+
+    /// Iterator over all live vertex ids.
+    pub fn live_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.labels.len() as u32).map(VertexId).filter(|v| !self.tombstoned[v.index()])
+    }
+
+    /// The incrementally-maintained NLF table.
+    pub fn nlf_table(&self) -> &NlfTable {
+        &self.nlf
+    }
+
+    /// Whether `query ⊑ NLF(v)` per the maintained table.
+    pub fn nlf_dominates(&self, v: VertexId, query: &NeighborhoodLabelFrequency) -> bool {
+        self.nlf.dominates(v, query)
+    }
+
+    /// Delta operations absorbed since the last compaction.
+    pub fn delta_ops(&self) -> usize {
+        self.delta_ops
+    }
+
+    /// Vertices with a copy-on-write patched adjacency.
+    pub fn patched_vertices(&self) -> usize {
+        self.patched.len()
+    }
+
+    /// Compactions performed over this overlay's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    fn check_endpoint(&self, v: VertexId) -> Result<()> {
+        if v.index() >= self.labels.len() {
+            return Err(GraphError::UnknownVertex {
+                vertex: v.id(),
+                vertex_count: self.labels.len(),
+            });
+        }
+        if self.tombstoned[v.index()] {
+            return Err(GraphError::Tombstoned { vertex: v.id() });
+        }
+        Ok(())
+    }
+
+    /// Copies `v`'s base adjacency into the delta on first touch.
+    fn ensure_patched(&mut self, v: VertexId) {
+        if !self.patched.contains_key(&v.id()) {
+            let adj = self.base.neighbors(v).to_vec();
+            self.patched.insert(v.id(), adj);
+        }
+    }
+
+    /// Adds a fresh vertex; the new id is the next unused slot.
+    pub fn add_vertex(&mut self, label: Label) -> Result<VertexId> {
+        if self.labels.len() >= u32::MAX as usize {
+            return Err(GraphError::TooManyVertices(self.labels.len() + 1));
+        }
+        let id = VertexId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.tombstoned.push(false);
+        self.patched.insert(id.id(), Vec::new());
+        self.nlf.push_vertex();
+        self.added_by_label.entry(label).or_default().push(id);
+        self.live_count += 1;
+        self.delta_ops += 1;
+        Ok(id)
+    }
+
+    /// Adds the undirected edge `e(u, v)`. `Ok(false)` if already present.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool> {
+        self.check_endpoint(u)?;
+        self.check_endpoint(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u.id() });
+        }
+        if self.has_edge(u, v) {
+            return Ok(false);
+        }
+        self.ensure_patched(u);
+        self.ensure_patched(v);
+        let (lu, lv) = (self.labels[u.index()], self.labels[v.index()]);
+        let labels = &self.labels;
+        if let Some(adj) = self.patched.get_mut(&u.id()) {
+            insert_sorted(adj, labels, v);
+        }
+        if let Some(adj) = self.patched.get_mut(&v.id()) {
+            insert_sorted(adj, labels, u);
+        }
+        self.nlf.add_neighbor(u, lv);
+        self.nlf.add_neighbor(v, lu);
+        self.edge_count += 1;
+        self.delta_ops += 1;
+        Ok(true)
+    }
+
+    /// Removes the undirected edge `e(u, v)`; fails closed if absent.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        self.check_endpoint(u)?;
+        self.check_endpoint(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u.id() });
+        }
+        if !self.has_edge(u, v) {
+            return Err(GraphError::MissingEdge { u: u.id(), v: v.id() });
+        }
+        self.ensure_patched(u);
+        self.ensure_patched(v);
+        let (lu, lv) = (self.labels[u.index()], self.labels[v.index()]);
+        let labels = &self.labels;
+        if let Some(adj) = self.patched.get_mut(&u.id()) {
+            remove_sorted(adj, labels, v);
+        }
+        if let Some(adj) = self.patched.get_mut(&v.id()) {
+            remove_sorted(adj, labels, u);
+        }
+        self.nlf.remove_neighbor(u, lv);
+        self.nlf.remove_neighbor(v, lu);
+        self.edge_count -= 1;
+        self.delta_ops += 1;
+        Ok(())
+    }
+
+    /// Tombstones `vertex`, severing all its edges; returns the ex-neighbors.
+    pub fn remove_vertex(&mut self, vertex: VertexId) -> Result<Vec<VertexId>> {
+        self.check_endpoint(vertex)?;
+        let severed: Vec<VertexId> = self.neighbors(vertex).to_vec();
+        let lv = self.labels[vertex.index()];
+        for &w in &severed {
+            self.ensure_patched(w);
+            let labels = &self.labels;
+            if let Some(adj) = self.patched.get_mut(&w.id()) {
+                remove_sorted(adj, labels, vertex);
+            }
+            self.nlf.remove_neighbor(w, lv);
+        }
+        self.ensure_patched(vertex);
+        if let Some(adj) = self.patched.get_mut(&vertex.id()) {
+            adj.clear();
+        }
+        self.nlf.clear(vertex);
+        self.tombstoned[vertex.index()] = true;
+        self.edge_count -= severed.len();
+        self.live_count -= 1;
+        self.delta_ops += 1 + severed.len();
+        Ok(severed)
+    }
+
+    /// Applies one update, failing closed on malformed input.
+    pub fn apply(&mut self, update: &Update) -> Result<UpdateEffect> {
+        match *update {
+            Update::AddVertex { label } => Ok(UpdateEffect::VertexAdded(self.add_vertex(label)?)),
+            Update::AddEdge { u, v } => Ok(if self.add_edge(u, v)? {
+                UpdateEffect::EdgeAdded(u, v)
+            } else {
+                UpdateEffect::DuplicateEdge
+            }),
+            Update::RemoveEdge { u, v } => {
+                self.remove_edge(u, v)?;
+                Ok(UpdateEffect::EdgeRemoved(u, v))
+            }
+            Update::RemoveVertex { vertex } => {
+                Ok(UpdateEffect::VertexRemoved { vertex, severed: self.remove_vertex(vertex)? })
+            }
+        }
+    }
+
+    /// Validates a whole batch against a lightweight simulation without
+    /// touching the overlay, so [`apply_batch`](Self::apply_batch) is atomic:
+    /// the first malformed update rejects the entire batch.
+    pub fn validate_batch(&self, updates: &[Update]) -> Result<()> {
+        let slots = self.labels.len();
+        let mut next = slots as u64;
+        let mut live: FxHashMap<u32, bool> = FxHashMap::default();
+        let mut present: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+        let check_live = |live: &FxHashMap<u32, bool>, next: u64, x: VertexId| -> Result<()> {
+            if u64::from(x.id()) >= next {
+                return Err(GraphError::UnknownVertex {
+                    vertex: x.id(),
+                    vertex_count: next as usize,
+                });
+            }
+            let alive = match live.get(&x.id()) {
+                Some(&b) => b,
+                None => x.index() < slots && !self.tombstoned[x.index()],
+            };
+            if !alive {
+                return Err(GraphError::Tombstoned { vertex: x.id() });
+            }
+            Ok(())
+        };
+        for up in updates {
+            match *up {
+                Update::AddVertex { .. } => {
+                    if next >= u64::from(u32::MAX) {
+                        return Err(GraphError::TooManyVertices(next as usize + 1));
+                    }
+                    live.insert(next as u32, true);
+                    next += 1;
+                }
+                Update::AddEdge { u, v } => {
+                    check_live(&live, next, u)?;
+                    check_live(&live, next, v)?;
+                    if u == v {
+                        return Err(GraphError::SelfLoop { vertex: u.id() });
+                    }
+                    present.insert(edge_key(u, v), true);
+                }
+                Update::RemoveEdge { u, v } => {
+                    check_live(&live, next, u)?;
+                    check_live(&live, next, v)?;
+                    if u == v {
+                        return Err(GraphError::SelfLoop { vertex: u.id() });
+                    }
+                    let has = match present.get(&edge_key(u, v)) {
+                        Some(&b) => b,
+                        None => u.index() < slots && v.index() < slots && self.has_edge(u, v),
+                    };
+                    if !has {
+                        return Err(GraphError::MissingEdge { u: u.id(), v: v.id() });
+                    }
+                    present.insert(edge_key(u, v), false);
+                }
+                Update::RemoveVertex { vertex } => {
+                    check_live(&live, next, vertex)?;
+                    live.insert(vertex.id(), false);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically applies a batch: pre-validates every update, then applies
+    /// all of them, returning the aggregate effects the continuous-query
+    /// repair consumes. On `Err` the overlay is untouched.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchEffects> {
+        self.validate_batch(updates)?;
+        let mut fx = BatchEffects::default();
+        let mut touched: Vec<VertexId> = Vec::new();
+        for up in updates {
+            let effect = self.apply(up)?;
+            match &effect {
+                UpdateEffect::VertexAdded(v) => {
+                    touched.push(*v);
+                    fx.added_vertices.push(*v);
+                    fx.applied += 1;
+                }
+                UpdateEffect::EdgeAdded(u, v) => {
+                    touched.push(*u);
+                    touched.push(*v);
+                    fx.added_edges.push((*u, *v));
+                    fx.applied += 1;
+                }
+                UpdateEffect::DuplicateEdge => {}
+                UpdateEffect::EdgeRemoved(u, v) => {
+                    touched.push(*u);
+                    touched.push(*v);
+                    fx.applied += 1;
+                }
+                UpdateEffect::VertexRemoved { vertex, severed } => {
+                    touched.push(*vertex);
+                    touched.extend_from_slice(severed);
+                    fx.applied += 1;
+                }
+            }
+            fx.effects.push(effect);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        fx.touched = touched;
+        Ok(fx)
+    }
+
+    /// Materializes the current state as a fresh CSR with live vertices
+    /// densely renumbered in id order, plus the old→new mapping. Does not
+    /// mutate the overlay.
+    pub fn materialize(&self) -> (Graph, Vec<Option<VertexId>>) {
+        let mut mapping: Vec<Option<VertexId>> = vec![None; self.labels.len()];
+        let mut b = GraphBuilder::with_capacity(self.live_count);
+        for (i, &l) in self.labels.iter().enumerate() {
+            if !self.tombstoned[i] {
+                mapping[i] = Some(b.add_vertex(l));
+            }
+        }
+        for i in 0..self.labels.len() {
+            if let Some(nu) = mapping[i] {
+                let v = VertexId(i as u32);
+                for &w in self.neighbors(v) {
+                    if v < w {
+                        if let Some(nw) = mapping[w.index()] {
+                            // Live adjacency never references tombstones and
+                            // the overlay is simple, so this cannot fail.
+                            let _ = b.add_edge(nu, nw);
+                        }
+                    }
+                }
+            }
+        }
+        (b.build(), mapping)
+    }
+
+    /// Folds the delta into a fresh base CSR (dense renumbering, tombstones
+    /// dropped, NLF table rebuilt) and resets the delta.
+    pub fn compact(&mut self) -> CompactionReport {
+        let (g, mapping) = self.materialize();
+        let report = CompactionReport {
+            mapping,
+            live_vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            delta_ops: self.delta_ops,
+        };
+        self.labels = g.labels().to_vec();
+        self.nlf = NlfTable::from_graph(&g);
+        self.tombstoned = vec![false; g.vertex_count()];
+        self.patched.clear();
+        self.added_by_label.clear();
+        self.live_count = g.vertex_count();
+        self.edge_count = g.edge_count();
+        self.base = g;
+        self.delta_ops = 0;
+        self.compactions += 1;
+        report
+    }
+
+    /// Compacts iff `policy` says the delta has grown past its threshold.
+    pub fn maybe_compact(&mut self, policy: &CompactionPolicy) -> Option<CompactionReport> {
+        if policy.should_compact(self) {
+            Some(self.compact())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Graph {
+        // Path v0(L0) - v1(L1) - v2(L0) - v3(L2), plus edge v0-v3.
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Label(0));
+        let v1 = b.add_vertex(Label(1));
+        let v2 = b.add_vertex(Label(0));
+        let v3 = b.add_vertex(Label(2));
+        b.add_edge(v0, v1).unwrap();
+        b.add_edge(v1, v2).unwrap();
+        b.add_edge(v2, v3).unwrap();
+        b.add_edge(v0, v3).unwrap();
+        b.build()
+    }
+
+    fn assert_sorted(g: &DynamicGraph) {
+        for v in g.live_vertices() {
+            let adj = g.neighbors(v);
+            for w in adj.windows(2) {
+                assert!((g.label(w[0]), w[0]) < (g.label(w[1]), w[1]), "unsorted at {v:?}");
+            }
+            for &w in adj {
+                assert!(g.is_live(w), "live adjacency references tombstone {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_reads_compose_with_base() {
+        let mut g = DynamicGraph::new(base());
+        assert_eq!(g.edge_count(), 4);
+        // Untouched vertex reads the base slice.
+        assert_eq!(g.neighbors(VertexId(1)), &[VertexId(0), VertexId(2)]);
+        let nv = g.add_vertex(Label(1)).unwrap();
+        assert!(g.add_edge(nv, VertexId(0)).unwrap());
+        assert!(!g.add_edge(VertexId(0), nv).unwrap(), "duplicate add is a no-op");
+        assert!(g.has_edge(nv, VertexId(0)));
+        // v0 now patched: neighbors sorted by (label, id): v1(L1), v4(L1), v3(L2).
+        assert_eq!(g.neighbors(VertexId(0)), &[VertexId(1), nv, VertexId(3)]);
+        assert_eq!(g.neighbors_with_label(VertexId(0), Label(1)), &[VertexId(1), nv]);
+        assert_eq!(g.edge_count(), 5);
+        assert_sorted(&g);
+        let mut with_l1 = Vec::new();
+        g.live_vertices_with_label(Label(1), &mut with_l1);
+        assert_eq!(with_l1, vec![VertexId(1), nv]);
+    }
+
+    #[test]
+    fn removal_patches_every_neighbor() {
+        let mut g = DynamicGraph::new(base());
+        let severed = g.remove_vertex(VertexId(0)).unwrap();
+        assert_eq!(severed, vec![VertexId(1), VertexId(3)]);
+        assert!(!g.is_live(VertexId(0)));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.live_vertex_count(), 3);
+        assert_eq!(g.neighbors(VertexId(1)), &[VertexId(2)]);
+        assert_sorted(&g);
+        // Tombstoned ids fail closed everywhere.
+        assert!(matches!(
+            g.add_edge(VertexId(0), VertexId(1)),
+            Err(GraphError::Tombstoned { vertex: 0 })
+        ));
+        assert!(matches!(g.remove_vertex(VertexId(0)), Err(GraphError::Tombstoned { .. })));
+        // Re-add after tombstone gets a fresh id.
+        let nv = g.add_vertex(Label(0)).unwrap();
+        assert_eq!(nv, VertexId(4));
+    }
+
+    #[test]
+    fn malformed_updates_fail_closed() {
+        let mut g = DynamicGraph::new(base());
+        assert!(matches!(
+            g.add_edge(VertexId(0), VertexId(9)),
+            Err(GraphError::UnknownVertex { vertex: 9, .. })
+        ));
+        assert!(matches!(
+            g.add_edge(VertexId(2), VertexId(2)),
+            Err(GraphError::SelfLoop { vertex: 2 })
+        ));
+        assert!(matches!(
+            g.remove_edge(VertexId(0), VertexId(2)),
+            Err(GraphError::MissingEdge { u: 0, v: 2 })
+        ));
+        // Nothing changed.
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.delta_ops(), 0);
+    }
+
+    #[test]
+    fn nlf_maintained_matches_fresh() {
+        let mut g = DynamicGraph::new(base());
+        let nv = g.add_vertex(Label(1)).unwrap();
+        g.add_edge(nv, VertexId(2)).unwrap();
+        g.remove_edge(VertexId(0), VertexId(3)).unwrap();
+        g.remove_vertex(VertexId(1)).unwrap();
+        let (fresh, mapping) = g.materialize();
+        let fresh_table = NlfTable::from_graph(&fresh);
+        for v in g.live_vertices() {
+            let nv = mapping[v.index()].unwrap();
+            assert_eq!(g.nlf_table().runs(v), fresh_table.runs(nv), "stale NLF at {v:?}");
+        }
+    }
+
+    #[test]
+    fn batch_is_atomic() {
+        let mut g = DynamicGraph::new(base());
+        // Third op is malformed (edge 0-2 does not exist): whole batch rejected.
+        let bad = [
+            Update::AddVertex { label: Label(3) },
+            Update::AddEdge { u: VertexId(4), v: VertexId(0) },
+            Update::RemoveEdge { u: VertexId(0), v: VertexId(2) },
+        ];
+        assert!(matches!(g.apply_batch(&bad), Err(GraphError::MissingEdge { .. })));
+        assert_eq!(g.vertex_slots(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.delta_ops(), 0);
+        // In-batch dependencies validate: add a vertex then wire it up, and
+        // remove-then-re-add the same edge.
+        let good = [
+            Update::AddVertex { label: Label(3) },
+            Update::AddEdge { u: VertexId(4), v: VertexId(0) },
+            Update::RemoveEdge { u: VertexId(4), v: VertexId(0) },
+            Update::AddEdge { u: VertexId(4), v: VertexId(1) },
+            Update::RemoveVertex { vertex: VertexId(3) },
+        ];
+        let fx = g.apply_batch(&good).unwrap();
+        assert_eq!(fx.applied, 5);
+        assert_eq!(fx.added_vertices, vec![VertexId(4)]);
+        assert_eq!(fx.added_edges, vec![(VertexId(4), VertexId(0)), (VertexId(4), VertexId(1))]);
+        assert!(fx.touched.windows(2).all(|w| w[0] < w[1]));
+        assert!(fx.touched.contains(&VertexId(3)));
+        assert_sorted(&g);
+    }
+
+    #[test]
+    fn batch_rejects_ops_on_vertex_removed_earlier_in_batch() {
+        let mut g = DynamicGraph::new(base());
+        let bad = [
+            Update::RemoveVertex { vertex: VertexId(1) },
+            Update::AddEdge { u: VertexId(1), v: VertexId(3) },
+        ];
+        assert!(matches!(g.apply_batch(&bad), Err(GraphError::Tombstoned { vertex: 1 })));
+        assert!(g.is_live(VertexId(1)), "rejected batch must leave the overlay untouched");
+        // Double-remove of the same edge inside one batch fails closed too.
+        let bad = [
+            Update::RemoveEdge { u: VertexId(0), v: VertexId(1) },
+            Update::RemoveEdge { u: VertexId(1), v: VertexId(0) },
+        ];
+        assert!(matches!(g.apply_batch(&bad), Err(GraphError::MissingEdge { .. })));
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+    }
+
+    #[test]
+    fn compact_resets_delta_and_renumbers_densely() {
+        let mut g = DynamicGraph::new(base());
+        let nv = g.add_vertex(Label(2)).unwrap();
+        g.add_edge(nv, VertexId(1)).unwrap();
+        g.remove_vertex(VertexId(0)).unwrap();
+        let report = g.compact();
+        assert_eq!(report.live_vertices, 4);
+        assert_eq!(report.mapping[0], None);
+        assert_eq!(report.mapping[1], Some(VertexId(0)));
+        assert_eq!(report.mapping[4], Some(VertexId(3)));
+        assert_eq!(g.delta_ops(), 0);
+        assert_eq!(g.patched_vertices(), 0);
+        assert_eq!(g.compactions(), 1);
+        assert_eq!(g.vertex_slots(), 4);
+        assert_eq!(g.base().edge_count(), g.edge_count());
+        assert_sorted(&g);
+    }
+
+    #[test]
+    fn compaction_policy_thresholds() {
+        let p = CompactionPolicy { min_delta_ops: 4, delta_ratio: 0.5 };
+        assert_eq!(p.threshold(4), 4);
+        assert_eq!(p.threshold(100), 50);
+        let mut g = DynamicGraph::new(base());
+        assert!(g.maybe_compact(&p).is_none());
+        for i in 0..5u32 {
+            g.add_vertex(Label(i % 3)).unwrap();
+        }
+        // 5 ops >= max(4, ceil(0.5 * 4)) = 4: compacts.
+        assert!(g.maybe_compact(&p).is_some());
+        assert!(CompactionPolicy::never().threshold(1_000_000) == usize::MAX);
+    }
+}

@@ -23,6 +23,21 @@ pub enum GraphError {
     },
     /// The graph exceeds `u32` vertex capacity.
     TooManyVertices(usize),
+    /// A dynamic update referenced a vertex that has been removed.
+    ///
+    /// Tombstoned ids are never reused; re-adding a removed vertex means
+    /// `AddVertex`, which yields a fresh id.
+    Tombstoned {
+        /// The removed vertex id.
+        vertex: u32,
+    },
+    /// A dynamic update tried to remove an edge that does not exist.
+    MissingEdge {
+        /// One endpoint.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+    },
     /// A parse error in the `t/v/e` text format.
     Parse {
         /// 1-based line number.
@@ -53,6 +68,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::TooManyVertices(n) => {
                 write!(f, "{n} vertices exceed the u32 vertex-id capacity")
+            }
+            GraphError::Tombstoned { vertex } => {
+                write!(f, "vertex {vertex} has been removed; tombstoned ids are never reused")
+            }
+            GraphError::MissingEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) does not exist; removal fails closed")
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -95,6 +116,10 @@ mod tests {
         let e = GraphError::Binary { offset: 12, message: "checksum mismatch".into() };
         assert!(e.to_string().contains("byte 12"));
         assert!(e.to_string().contains("checksum"));
+        let e = GraphError::Tombstoned { vertex: 9 };
+        assert!(e.to_string().contains("vertex 9"));
+        let e = GraphError::MissingEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! * [`GraphBuilder`] — mutable construction, deduplication and validation.
 //! * [`GraphDb`] — a graph database `D = {G_1, ..., G_n}` with a shared label
 //!   interner and database-level statistics.
+//! * [`DynamicGraph`] — a mutable overlay (copy-on-write adjacency delta +
+//!   tombstones + incremental NLF maintenance) that composes with the base
+//!   CSR in every neighbor/intersection path, with policy-driven compaction
+//!   back into a fresh CSR.
 //! * [`io`] — the `t # id / v id label / e u v` text format used by the
 //!   subgraph-query literature.
 //! * [`algo`] — BFS trees (with tree/non-tree edge classification), k-core
@@ -36,6 +40,7 @@ pub mod binio;
 pub mod bitmap;
 pub mod builder;
 pub mod database;
+pub mod dynamic;
 pub mod error;
 pub mod graph;
 pub mod hash;
@@ -51,10 +56,13 @@ pub mod vertex;
 pub use bitmap::{NeighborBitmaps, HUB_DEGREE_THRESHOLD};
 pub use builder::GraphBuilder;
 pub use database::GraphDb;
+pub use dynamic::{
+    BatchEffects, CompactionPolicy, CompactionReport, DynamicGraph, Update, UpdateEffect,
+};
 pub use error::{GraphError, Result};
 pub use graph::Graph;
 pub use heap_size::HeapSize;
 pub use label::{Label, LabelInterner};
-pub use nlf::NeighborhoodLabelFrequency;
+pub use nlf::{NeighborhoodLabelFrequency, NlfTable};
 pub use stats::{DatabaseStats, GraphStats};
 pub use vertex::VertexId;

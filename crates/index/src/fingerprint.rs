@@ -77,6 +77,35 @@ impl FingerprintIndex {
     pub fn config(&self) -> CtIndexConfig {
         self.config
     }
+
+    /// Number of indexed graphs.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Whether the index covers no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// Recomputes the fingerprint of one (mutated) graph in place within
+    /// `budget`, leaving every other fingerprint untouched — the per-graph
+    /// unit of incremental index maintenance under update batches.
+    pub fn refresh_graph(
+        &mut self,
+        id: sqp_graph::database::GraphId,
+        g: &Graph,
+        budget: &BuildBudget,
+    ) -> Result<(), BuildError> {
+        self.fingerprints[id.index()] = fingerprint(g, self.config, budget)?;
+        Ok(())
+    }
+
+    /// Appends a fingerprint for a graph newly pushed onto the database.
+    pub fn push_graph(&mut self, g: &Graph, budget: &BuildBudget) -> Result<(), BuildError> {
+        self.fingerprints.push(fingerprint(g, self.config, budget)?);
+        Ok(())
+    }
 }
 
 impl GraphIndex for FingerprintIndex {
@@ -475,6 +504,31 @@ mod tests {
         // q = 4-cycle itself: contained in g0 only.
         let c = index.candidates(&g0).into_ids(db.len());
         assert!(c.contains(&GraphId(0)));
+    }
+
+    #[test]
+    fn refresh_one_graph_equals_fresh_build() {
+        let g0 = labeled(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let g1 = labeled(&[0, 1], &[(0, 1)]);
+        let mut db = GraphDb::from_graphs(vec![g0, g1]);
+        let mut index = FingerprintIndex::build_default(&db);
+        // Mutate graph 1: grow it into a triangle, then refresh only its row.
+        let g1b = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        db = GraphDb::from_graphs(vec![db.graphs()[0].clone(), g1b.clone()]);
+        index.refresh_graph(GraphId(1), &g1b, &BuildBudget::unlimited()).unwrap();
+        let fresh = FingerprintIndex::build_default(&db);
+        for q in db.graphs() {
+            assert_eq!(
+                index.candidates(q).into_ids(db.len()),
+                fresh.candidates(q).into_ids(db.len()),
+                "refreshed index diverges from fresh build"
+            );
+        }
+        // push_graph extends the index like a fresh build over the larger db.
+        let g2 = labeled(&[2, 2], &[(0, 1)]);
+        index.push_graph(&g2, &BuildBudget::unlimited()).unwrap();
+        assert_eq!(index.len(), 3);
+        assert!(!index.is_empty());
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod cfl;
 pub mod cfql;
 pub mod config;
 pub mod deadline;
+pub mod dynmatch;
 pub mod embedding;
 pub mod enumerate;
 pub mod features;

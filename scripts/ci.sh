@@ -169,6 +169,37 @@ SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench phases
 echo "==> adaptive routing regret smoke (writes results/BENCH_adaptive_smoke.json, asserts adaptive <= 1.5x best-in-hindsight)"
 SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench adaptive
 
+echo "==> dynamic equivalence suite (I10: repaired == recomputed at 1/2/4/8 threads; overlay/compaction vs independent rebuild; malformed streams fail closed)"
+PROPTEST_CASES=256 cargo test -q --offline --test dynamic_equivalence
+
+echo "==> dynamic bench smoke (writes results/BENCH_dynamic_smoke.json, asserts repair beats re-query and overlay beats rebuild)"
+SQP_BENCH_SMOKE=1 cargo bench --offline -p sqp-bench --bench dynamic
+
+echo "==> update-stream smoke (sqp update: mixed update/query traffic, metrics, materialized --out)"
+"$sqp" generate --kind synthetic --graphs 2 --vertices 40 --labels 6 --seed 11 \
+  --out "$smoke_dir/dyn.bin" >/dev/null
+"$sqp" queries --db "$smoke_dir/dyn.bin" --edges 2 --count 1 --seed 3 \
+  --out "$smoke_dir/dynq.txt" >/dev/null
+printf 'av 1\nae 40 0\n--\nquery 0\nrv 3\n--\n' > "$smoke_dir/updates.txt"
+"$sqp" update --db "$smoke_dir/dyn.bin" --queries "$smoke_dir/dynq.txt" --updates "$smoke_dir/updates.txt" \
+  --out "$smoke_dir/dyn2.bin" --metrics-out "$smoke_dir/dyn.prom" > "$smoke_dir/update.out"
+grep -q '^applied 3 updates in 2 batches' "$smoke_dir/update.out" || {
+  echo "smoke error: sqp update did not report 3 applied updates in 2 batches" >&2; exit 1; }
+grep -q '^sqp_updates_applied_total 3$' "$smoke_dir/dyn.prom" || {
+  echo "smoke error: sqp update metrics missing sqp_updates_applied_total 3" >&2; exit 1; }
+"$sqp" stats --db "$smoke_dir/dyn2.bin" >/dev/null || {
+  echo "smoke error: materialized --out database failed to load" >&2; exit 1; }
+# A malformed update line must fail closed with exit 1.
+set +e
+printf 'frob 1 2\n--\n' | "$sqp" update --db "$smoke_dir/dyn.bin" --watch >/dev/null 2>&1
+malformed_rc=$?
+set -e
+if [[ "$malformed_rc" -ne 1 ]]; then
+  echo "smoke error: malformed update stream must exit 1 (got $malformed_rc)" >&2
+  exit 1
+fi
+echo "    update stream: 2 batches applied, metrics written, materialized db loads, malformed line -> exit 1"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

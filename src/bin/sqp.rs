@@ -21,6 +21,10 @@
 //!              [--scatter-threads N] [--breaker-threshold N]
 //!              [--breaker-cooldown N]
 //! sqp client   --db <file> --queries <file> --addr ADDR [--budget-ms N]
+//! sqp update   --db <file> (--updates <file> | --watch) [--graph N]
+//!              [--queries <file>] [--threads N] [--budget-ms N]
+//!              [--compact-min N] [--compact-ratio F] [--out <file>]
+//!              [--metrics-out <file>]
 //! ```
 //!
 //! `--threads N` (N > 1) runs a vcFV engine's matcher on a persistent
@@ -44,12 +48,15 @@ use subgraph_query::datagen::query::{generate_query_set, QueryGenMethod, QuerySe
 use subgraph_query::datagen::GraphGen;
 use subgraph_query::graph::heap_size::format_mb;
 use subgraph_query::graph::{binio, io, GraphDb, HeapSize};
+use subgraph_query::graph::{
+    CompactionPolicy, Label as GraphLabel, Update as GraphUpdate, VertexId as GraphVertexId,
+};
 use subgraph_query::index::{
     BuildBudget, CtIndexConfig, FingerprintIndex, GgsxIndex, GrapesConfig, GraphIndex,
     PathTrieIndex,
 };
 use subgraph_query::matching::cfql::Cfql;
-use subgraph_query::matching::{KernelConfig, MatcherConfig};
+use subgraph_query::matching::{Deadline, KernelConfig, MatcherConfig};
 
 const HELP: &str = "\
 sqp — subgraph query processing toolkit
@@ -73,6 +80,10 @@ USAGE:
                [--scatter-threads N] [--breaker-threshold N]
                [--breaker-cooldown N]
   sqp client   --db <file> --queries <file> --addr ADDR [--budget-ms N]
+  sqp update   --db <file> (--updates <file> | --watch) [--graph N]
+               [--queries <file>] [--threads N] [--budget-ms N]
+               [--compact-min N] [--compact-ratio F] [--out <file>]
+               [--metrics-out <file>]
 
 Engines: CT-Index Grapes GGSX CFL GraphQL CFQL vcGrapes vcGGSX
          Ullmann QuickSI TurboIso (default: CFQL)
@@ -137,6 +148,20 @@ Distributed serving (see sqp-shard for the per-shard worker):
   sqp client sends a query set to a coordinator and prints results like
   `sqp query` does (exit 2 when any graph came back degraded).
 
+Dynamic graphs (`sqp update`): applies an update stream to database graph
+--graph N (default 0) through the mutable overlay, with batch-atomic
+validation, policy-driven CSR compaction (--compact-min ops and
+--compact-ratio of base edges, whichever is larger), and continuous-query
+repair of the --queries standing set per batch (deltas are printed as
++/- embedding lines). The stream format is one op per line: `av <label>`,
+`ae <u> <v>`, `re <u> <v>`, `rv <v>`; `--` ends a batch, `#` comments,
+`query <id>` serves a one-shot snapshot read of a standing query, and
+`quit` ends a --watch session (which reads the stream from stdin).
+--out saves the final compacted database; --metrics-out writes the
+sqp_updates_applied_total / sqp_compactions_total /
+sqp_continuous_repairs_total counter families. A malformed batch is
+rejected atomically and exits 1; a repair timeout degrades to exit 2.
+
 Exit codes: 0 success (timeouts included), 2 degraded (a query panicked,
 exhausted its resource budget, was shed, wedged, unavailable on a dead
 shard, or hit quarantined graphs), 1 usage or I/O error";
@@ -153,7 +178,7 @@ impl Opts {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if matches!(name, "dense" | "shed" | "phases" | "resume" | "supervise") {
+                if matches!(name, "dense" | "shed" | "phases" | "resume" | "supervise" | "watch") {
                     switches.push(name.to_string());
                 } else {
                     let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -875,6 +900,181 @@ fn cmd_match(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses one update-stream line (comments and blank lines are handled by
+/// the caller): `av <label>` / `ae <u> <v>` / `re <u> <v>` / `rv <v>`.
+fn parse_update(line: &str) -> Result<GraphUpdate, String> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let num = |s: &str| -> Result<u32, String> {
+        s.parse().map_err(|_| format!("invalid number '{s}' in update '{line}'"))
+    };
+    match toks.as_slice() {
+        ["av", l] => Ok(GraphUpdate::AddVertex { label: GraphLabel(num(l)?) }),
+        ["ae", u, v] => {
+            Ok(GraphUpdate::AddEdge { u: GraphVertexId(num(u)?), v: GraphVertexId(num(v)?) })
+        }
+        ["re", u, v] => {
+            Ok(GraphUpdate::RemoveEdge { u: GraphVertexId(num(u)?), v: GraphVertexId(num(v)?) })
+        }
+        ["rv", v] => Ok(GraphUpdate::RemoveVertex { vertex: GraphVertexId(num(v)?) }),
+        _ => Err(format!("unparseable update '{line}' (want av/ae/re/rv)")),
+    }
+}
+
+/// `sqp update` — dynamic-graph mode: applies an update stream to one
+/// database graph through the continuous-query service, repairing any
+/// registered standing queries per batch and emitting the delta stream.
+fn cmd_update(opts: &Opts) -> Result<ExitCode, String> {
+    use std::io::BufRead;
+
+    let db = load_db(opts.require("db")?)?;
+    let gi: usize = opts.parse_num("graph", 0usize)?;
+    if gi >= db.len() {
+        return Err(format!("--graph {gi} out of range (database has {} graphs)", db.len()));
+    }
+    let threads: usize = opts.parse_num("threads", 1usize)?;
+    let budget_ms: u64 = opts.parse_num("budget-ms", 600_000u64)?;
+    let default_policy = CompactionPolicy::default();
+    let policy = CompactionPolicy {
+        min_delta_ops: opts.parse_num("compact-min", default_policy.min_delta_ops)?,
+        delta_ratio: opts.parse_num("compact-ratio", default_policy.delta_ratio)?,
+    };
+    let watch = opts.has("watch");
+    if !watch && opts.get("updates").is_none() {
+        return Err("missing required --updates (or pass --watch to read stdin)".into());
+    }
+    let deadline = || Deadline::after(Duration::from_millis(budget_ms));
+
+    let svc = ContinuousService::new(
+        db.graph(subgraph_query::graph::database::GraphId(gi as u32)).clone(),
+        policy,
+    );
+    if let Some(qpath) = opts.get("queries") {
+        let mut interner = db.interner().clone();
+        let f = File::open(qpath).map_err(|e| format!("cannot open {qpath}: {e}"))?;
+        let queries =
+            io::read_graphs(BufReader::new(f), &mut interner).map_err(|e| e.to_string())?;
+        for (i, q) in queries.into_iter().enumerate() {
+            let id = svc
+                .register(q, deadline())
+                .map_err(|_| format!("standing query {i}: registration timed out"))?;
+            let n = svc.embeddings(id).map_or(0, |e| e.len());
+            println!("standing query {id}: {n} embeddings");
+        }
+    }
+
+    let reader: Box<dyn BufRead> = if watch {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        let path = opts.require("updates")?;
+        let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        Box::new(BufReader::new(f))
+    };
+
+    let mut degraded = false;
+    let mut batch: Vec<GraphUpdate> = Vec::new();
+    let mut batch_no = 0usize;
+    let mut flush = |batch: &mut Vec<GraphUpdate>, degraded: &mut bool| -> Result<(), String> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        batch_no += 1;
+        match svc.apply_batch(batch, threads, deadline()) {
+            Ok(report) => {
+                println!(
+                    "batch {batch_no}: applied {} touched {} +{} -{}{}",
+                    report.applied,
+                    report.touched,
+                    report.total_added(),
+                    report.total_removed(),
+                    if report.compacted { " (compacted)" } else { "" }
+                );
+                for d in &report.deltas {
+                    for e in &d.added {
+                        println!("  + q{} {:?}", d.query_id, e.as_slice());
+                    }
+                    for e in &d.removed {
+                        println!("  - q{} {:?}", d.query_id, e.as_slice());
+                    }
+                }
+            }
+            Err(BatchError::Graph(e)) => return Err(format!("batch {batch_no} rejected: {e}")),
+            Err(BatchError::Timeout) => {
+                eprintln!("batch {batch_no}: repair timed out");
+                *degraded = true;
+            }
+        }
+        batch.clear();
+        Ok(())
+    };
+
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "--" {
+            flush(&mut batch, &mut degraded)?;
+            continue;
+        }
+        if line == "quit" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("query") {
+            // Mixed traffic: `query <standing id>` serves a one-shot
+            // snapshot read of that standing query's pattern.
+            flush(&mut batch, &mut degraded)?;
+            let id: u64 =
+                rest.trim().parse().map_err(|_| format!("invalid query id in '{line}'"))?;
+            let q = svc
+                .with_snapshot(|m| {
+                    m.standing().iter().find(|s| s.id == id).map(|s| s.query.clone())
+                })
+                .ok_or_else(|| format!("no standing query {id}"))?;
+            match svc.query(&q, deadline()) {
+                Ok(es) => println!("query {id}: {} embeddings", es.len()),
+                Err(_) => {
+                    eprintln!("query {id}: timed out");
+                    degraded = true;
+                }
+            }
+            continue;
+        }
+        batch.push(parse_update(line)?);
+    }
+    flush(&mut batch, &mut degraded)?;
+
+    let stats = svc.stats();
+    println!(
+        "applied {} updates in {} batches ({} compactions, {} repairs, +{} -{} embeddings)",
+        stats.updates_applied,
+        stats.update_batches,
+        stats.compactions,
+        stats.repairs,
+        stats.embeddings_added,
+        stats.embeddings_removed
+    );
+    for sq in &svc.with_snapshot(|m| {
+        m.standing().iter().map(|s| (s.id, s.embeddings().len())).collect::<Vec<_>>()
+    }) {
+        println!("standing query {}: {} embeddings", sq.0, sq.1);
+    }
+
+    if let Some(out) = opts.get("out") {
+        let compacted = svc.with_snapshot(|m| m.graph().materialize().0);
+        let mut graphs: Vec<_> = db.graphs().to_vec();
+        graphs[gi] = compacted;
+        let updated = GraphDb::with_interner(graphs, db.interner().clone());
+        save_db(&updated, out)?;
+        println!("wrote updated database to {out}");
+    }
+    if let Some(path) = opts.get("metrics-out") {
+        std::fs::write(path, render_prometheus_continuous(&svc.stats()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(if degraded { ExitCode::from(2) } else { ExitCode::SUCCESS })
+}
+
 /// Parses the breaker flags shared by `query` (per-graph) and `serve`
 /// (per-peer).
 fn breaker_from_opts(opts: &Opts) -> Result<BreakerConfig, String> {
@@ -1270,6 +1470,7 @@ fn main() -> ExitCode {
         "index" => cmd_index(&opts).map(|()| ExitCode::SUCCESS),
         "serve" => cmd_serve(&opts),
         "client" => cmd_client(&opts),
+        "update" => cmd_update(&opts),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {

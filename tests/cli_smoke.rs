@@ -236,6 +236,126 @@ fn degraded_service_runs_exit_two_with_tags() {
     }
 }
 
+/// `sqp update` end to end: standing queries registered up front, mixed
+/// update/query traffic (batches interleaved with one-shot `query` reads),
+/// per-batch delta lines, a compacted `--out` database that stays loadable,
+/// Prometheus counters, and exit codes — 0 on success, 1 for malformed
+/// streams and rejected batches (atomically, graph untouched).
+#[test]
+fn update_stream_with_mixed_traffic() {
+    let db = tmp("upd_db.txt");
+    let queries = tmp("upd_q.txt");
+    let stream = tmp("upd_stream.txt");
+    let outdb = tmp("upd_out.txt");
+    let metrics = tmp("upd_metrics.txt");
+
+    let out = sqp(&[
+        "generate",
+        "--kind",
+        "synthetic",
+        "--graphs",
+        "2",
+        "--vertices",
+        "40",
+        "--labels",
+        "4",
+        "--degree",
+        "3",
+        "--seed",
+        "11",
+        "--out",
+        &db,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = sqp(&["queries", "--db", &db, "--edges", "2", "--count", "2", "--out", &queries]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Mixed traffic: two update batches with a one-shot standing-query read
+    // between them (`query 0` flushes the open batch first).
+    std::fs::write(
+        &stream,
+        "# add a fresh vertex and wire it into the graph\n\
+         av 1\nae 40 0\nae 40 2\n--\n\
+         query 0\n\
+         re 40 0\nrv 3\n--\n",
+    )
+    .expect("write stream");
+    let out = sqp(&[
+        "update",
+        "--db",
+        &db,
+        "--graph",
+        "0",
+        "--updates",
+        &stream,
+        "--queries",
+        &queries,
+        "--threads",
+        "2",
+        "--out",
+        &outdb,
+        "--metrics-out",
+        &metrics,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("standing query 0:"), "missing registration line:\n{text}");
+    assert!(text.contains("batch 1: applied 3"), "missing batch line:\n{text}");
+    assert!(text.lines().any(|l| l.starts_with("query 0:")), "missing one-shot read:\n{text}");
+    assert!(text.contains("applied 5 updates in 2 batches"), "missing summary:\n{text}");
+
+    // The compacted output database loads and reports the same graph count.
+    let out = sqp(&["stats", "--db", &outdb]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("#graphs              2"));
+
+    // Metrics carry the continuous counter families.
+    let m = std::fs::read_to_string(&metrics).expect("metrics file");
+    assert!(m.contains("sqp_updates_applied_total 5"), "bad metrics:\n{m}");
+    assert!(m.contains("sqp_update_batches_total 2"));
+    assert!(m.contains("sqp_continuous_repairs_total"));
+    assert!(m.contains("sqp_compactions_total"));
+
+    // A malformed line is a usage error: exit 1.
+    std::fs::write(&stream, "frob 1 2\n").expect("write stream");
+    let out = sqp(&["update", "--db", &db, "--updates", &stream]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unparseable update"));
+
+    // A well-formed but invalid batch (double-remove of one vertex, caught
+    // by the pre-validation simulation) is rejected atomically: exit 1.
+    std::fs::write(&stream, "rv 0\nrv 0\n--\n").expect("write stream");
+    let out = sqp(&["update", "--db", &db, "--updates", &stream]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("rejected"), "unexpected stderr:\n{err}");
+
+    // --watch reads the stream from stdin until `quit`.
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sqp"))
+        .args(["update", "--db", &db, "--queries", &queries, "--watch"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn sqp --watch");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"ae 0 5\n--\nquery 0\nquit\n")
+        .expect("feed watch stream");
+    let out = child.wait_with_output().expect("watch run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("batch 1:"), "watch mode missed the batch:\n{text}");
+    assert!(text.lines().any(|l| l.starts_with("query 0:")), "watch missed the read:\n{text}");
+
+    for f in [db, queries, stream, outdb, metrics] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
 #[test]
 fn unknown_arguments_fail_cleanly() {
     let out = sqp(&["stats"]);

@@ -1,0 +1,395 @@
+//! Differential tests of the dynamic-graph layer (invariant I10):
+//!
+//! * **(a)** enumeration over the mutable overlay is byte-identical to a
+//!   from-scratch rebuild at every batch boundary, with continuous repair
+//!   running at 1, 2, 4 and 8 threads;
+//! * **(b)** overlay-then-compact produces a CSR fingerprint-equal to the
+//!   rebuild of an independently-maintained reference model;
+//! * **(c)** the continuously-repaired standing set equals a full re-query
+//!   after every batch, including remove-heavy and add-remove-same-batch
+//!   (churn) streams;
+//! * maintained NLF signatures and the incrementally-refreshed fingerprint
+//!   index equal freshly-computed ones after arbitrary streams;
+//! * malformed update batches fail closed with a `GraphError` — atomically,
+//!   and never by panicking.
+//!
+//! The update streams come from the fingerprint-seeded
+//! [`UpdateStreamGen`](subgraph_query::core::chaos::UpdateStreamGen), whose
+//! batches deliberately include duplicate-edge no-ops, same-batch
+//! add-then-remove, and re-adds of tombstoned labels. The reference model
+//! here is an independent reimplementation (label vector + edge set +
+//! replay + `GraphBuilder` rebuild), so the overlay and the oracle share no
+//! code beyond the update enum.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use subgraph_query::core::chaos::{graph_fingerprint, StreamProfile, UpdateStreamGen};
+use subgraph_query::core::continuous::{BatchError, ContinuousMatcher, DynamicDb};
+use subgraph_query::graph::database::GraphId;
+use subgraph_query::graph::nlf::NeighborhoodLabelFrequency;
+use subgraph_query::graph::{
+    CompactionPolicy, DynamicGraph, Graph, GraphBuilder, GraphDb, Label, Update, VertexId,
+};
+use subgraph_query::index::{BuildBudget, FingerprintIndex, GraphIndex};
+use subgraph_query::matching::brute;
+use subgraph_query::matching::dynmatch::enumerate_overlay;
+use subgraph_query::matching::{Deadline, Embedding};
+
+// ---------------------------------------------------------------------------
+// Reference model: an independent replay of the update semantics
+// ---------------------------------------------------------------------------
+
+/// Labels + liveness + normalized edge set, rebuilt through `GraphBuilder`
+/// with the same dense-renumbering rule as `DynamicGraph::materialize`
+/// (live slots in ascending id order).
+struct RefModel {
+    labels: Vec<Label>,
+    alive: Vec<bool>,
+    edges: BTreeSet<(u32, u32)>,
+}
+
+fn norm(u: VertexId, v: VertexId) -> (u32, u32) {
+    if u.0 <= v.0 {
+        (u.0, v.0)
+    } else {
+        (v.0, u.0)
+    }
+}
+
+impl RefModel {
+    fn new(g: &Graph) -> Self {
+        let mut edges = BTreeSet::new();
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                edges.insert(norm(u, v));
+            }
+        }
+        Self {
+            labels: g.vertices().map(|v| g.label(v)).collect(),
+            alive: vec![true; g.vertex_count()],
+            edges,
+        }
+    }
+
+    fn apply(&mut self, batch: &[Update]) {
+        for up in batch {
+            match *up {
+                Update::AddVertex { label } => {
+                    self.labels.push(label);
+                    self.alive.push(true);
+                }
+                Update::AddEdge { u, v } => {
+                    self.edges.insert(norm(u, v)); // duplicate insert is the no-op
+                }
+                Update::RemoveEdge { u, v } => {
+                    assert!(self.edges.remove(&norm(u, v)), "oracle desync: missing edge");
+                }
+                Update::RemoveVertex { vertex } => {
+                    assert!(self.alive[vertex.index()], "oracle desync: dead vertex");
+                    self.alive[vertex.index()] = false;
+                    self.edges.retain(|&(a, b)| a != vertex.0 && b != vertex.0);
+                }
+            }
+        }
+    }
+
+    /// Dense rebuild; returns the graph and the slot → new-id mapping.
+    fn rebuild(&self) -> (Graph, Vec<Option<VertexId>>) {
+        let mut b = GraphBuilder::new();
+        let mut mapping = vec![None; self.labels.len()];
+        for (slot, (&label, &alive)) in self.labels.iter().zip(&self.alive).enumerate() {
+            if alive {
+                mapping[slot] = Some(b.add_vertex(label));
+            }
+        }
+        for &(u, v) in &self.edges {
+            let (Some(nu), Some(nv)) = (mapping[u as usize], mapping[v as usize]) else {
+                panic!("oracle desync: edge touches dead vertex");
+            };
+            b.add_edge(nu, nv).expect("oracle edge");
+        }
+        (b.build(), mapping)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn arb_base() -> impl Strategy<Value = Graph> {
+    (4usize..14).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..28);
+        (labels, edges).prop_map(|(ls, es)| {
+            let mut b = GraphBuilder::new();
+            for l in ls {
+                b.add_vertex(Label(l));
+            }
+            for (u, v) in es {
+                if u != v {
+                    let _ = b.add_edge(VertexId::from(u), VertexId::from(v));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn arb_profile() -> impl Strategy<Value = StreamProfile> {
+    (0u8..4).prop_map(|i| match i {
+        0 => StreamProfile::Mixed,
+        1 => StreamProfile::AddHeavy,
+        2 => StreamProfile::RemoveHeavy,
+        _ => StreamProfile::Churn,
+    })
+}
+
+/// Small connected-ish query shapes over the same label space.
+fn queries() -> Vec<Graph> {
+    let build = |labels: &[u32], edges: &[(u32, u32)]| {
+        let mut b = GraphBuilder::new();
+        for &l in labels {
+            b.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v)).expect("query edge");
+        }
+        b.build()
+    };
+    vec![
+        build(&[0, 1], &[(0, 1)]),
+        build(&[1, 2, 0], &[(0, 1), (1, 2)]),
+        build(&[0, 0, 1], &[(0, 1), (0, 2), (1, 2)]),
+        build(&[2], &[]),
+    ]
+}
+
+fn sorted(mut es: Vec<Embedding>) -> Vec<Embedding> {
+    es.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
+    es
+}
+
+/// Renumbers overlay-id embeddings through the rebuild mapping.
+fn renumber(es: &[Embedding], mapping: &[Option<VertexId>]) -> Vec<Embedding> {
+    es.iter()
+        .map(|e| {
+            Embedding::new(
+                e.as_slice()
+                    .iter()
+                    .map(|&v| mapping[v.index()].expect("live image maps"))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    // Case count comes from PROPTEST_CASES (CI pins the I10 suite at 256).
+    #![proptest_config(ProptestConfig::default())]
+
+    /// (a) + (c): at every batch boundary, for every thread count, the
+    /// repaired standing sets are identical across thread counts, equal to
+    /// overlay enumeration, and — renumbered through the oracle's rebuild
+    /// mapping — equal to brute-force enumeration on the rebuilt graph.
+    #[test]
+    fn repaired_equals_rebuild_at_every_boundary(
+        base in arb_base(),
+        seed in 0u64..1_000,
+        profile in arb_profile(),
+    ) {
+        let qs = queries();
+        let mut matchers: Vec<(usize, ContinuousMatcher)> = [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|t| {
+                let mut m = ContinuousMatcher::new(base.clone(), CompactionPolicy::never());
+                for q in &qs {
+                    m.register(q.clone(), Deadline::none()).expect("register");
+                }
+                (t, m)
+            })
+            .collect();
+        let mut stream = UpdateStreamGen::new(&base, seed, profile);
+        let mut oracle = RefModel::new(&base);
+        for _ in 0..4 {
+            let batch = stream.batch(6);
+            oracle.apply(&batch);
+            let (rebuilt, mapping) = oracle.rebuild();
+            let mut reference: Option<Vec<Vec<Embedding>>> = None;
+            for (threads, m) in &mut matchers {
+                m.apply_batch(&batch, *threads, Deadline::none()).expect("valid batch");
+                let sets: Vec<Vec<Embedding>> =
+                    m.standing().iter().map(|s| s.embeddings().to_vec()).collect();
+                match &reference {
+                    None => reference = Some(sets),
+                    Some(want) => prop_assert_eq!(
+                        &sets, want, "thread count {} diverged", threads
+                    ),
+                }
+            }
+            let (_, one) = &matchers[0];
+            for (qi, q) in qs.iter().enumerate() {
+                let repaired = one.standing()[qi].embeddings();
+                // I10: repaired set == recomputed overlay enumeration.
+                let requeried = enumerate_overlay(q, one.graph(), Deadline::none())
+                    .expect("overlay enumeration");
+                prop_assert_eq!(repaired, requeried.as_slice());
+                // Differential vs the independent rebuild.
+                let want = sorted(brute::enumerate_all(q, &rebuilt));
+                prop_assert_eq!(sorted(renumber(repaired, &mapping)), want);
+            }
+        }
+    }
+
+    /// (b): overlay-then-compact is fingerprint-equal to the oracle rebuild,
+    /// and enumeration is preserved through the compaction's renumbering.
+    #[test]
+    fn compaction_equals_rebuild(
+        base in arb_base(),
+        seed in 0u64..1_000,
+        profile in arb_profile(),
+    ) {
+        let mut g = DynamicGraph::new(base.clone());
+        let mut stream = UpdateStreamGen::new(&base, seed, profile);
+        let mut oracle = RefModel::new(&base);
+        for _ in 0..3 {
+            let batch = stream.batch(8);
+            oracle.apply(&batch);
+            g.apply_batch(&batch).expect("valid batch");
+        }
+        let before: Vec<Vec<Embedding>> = queries()
+            .iter()
+            .map(|q| enumerate_overlay(q, &g, Deadline::none()).expect("pre-compact"))
+            .collect();
+        let report = g.compact();
+        let (want, _) = oracle.rebuild();
+        let (compacted, identity) = g.materialize();
+        prop_assert_eq!(
+            graph_fingerprint(&compacted),
+            graph_fingerprint(&want),
+            "compacted CSR differs from oracle rebuild"
+        );
+        // After compaction the overlay is dense: materialize is the identity.
+        for (slot, m) in identity.iter().enumerate() {
+            prop_assert_eq!(*m, Some(VertexId(slot as u32)));
+        }
+        for (q, old) in queries().iter().zip(before) {
+            let now = enumerate_overlay(q, &g, Deadline::none()).expect("post-compact");
+            prop_assert_eq!(sorted(renumber(&old, &report.mapping)), now);
+        }
+    }
+
+    /// Maintained NLF signatures equal freshly-computed ones after any
+    /// stream, for every live vertex.
+    #[test]
+    fn maintained_nlf_equals_fresh(
+        base in arb_base(),
+        seed in 0u64..1_000,
+        profile in arb_profile(),
+    ) {
+        let mut g = DynamicGraph::new(base.clone());
+        let mut stream = UpdateStreamGen::new(&base, seed, profile);
+        for _ in 0..4 {
+            g.apply_batch(&stream.batch(6)).expect("valid batch");
+        }
+        let live: Vec<VertexId> = g.live_vertices().collect();
+        for &v in &live {
+            // Adjacency is sorted by (label, id): labels arrive in runs.
+            let mut runs: Vec<(Label, u32)> = Vec::new();
+            for &w in g.neighbors(v) {
+                let l = g.label(w);
+                match runs.last_mut() {
+                    Some((rl, n)) if *rl == l => *n += 1,
+                    _ => runs.push((l, 1)),
+                }
+            }
+            let fresh = NeighborhoodLabelFrequency::from_runs(runs);
+            prop_assert_eq!(
+                g.nlf_table().runs(v),
+                fresh.runs(),
+                "stale NLF for v{}", v.0
+            );
+        }
+    }
+
+    /// The incrementally-refreshed fingerprint index answers exactly like a
+    /// fresh build over the materialized database.
+    #[test]
+    fn refreshed_index_equals_fresh_build(
+        g0 in arb_base(),
+        g1 in arb_base(),
+        seed in 0u64..1_000,
+    ) {
+        let db = GraphDb::from_graphs(vec![g0, g1.clone()]);
+        let mut ddb = DynamicDb::new(&db);
+        let mut stream = UpdateStreamGen::new(&g1, seed, StreamProfile::Mixed);
+        for _ in 0..3 {
+            ddb.apply(GraphId(1), &stream.batch(5)).expect("valid batch");
+        }
+        ddb.refresh_index(&BuildBudget::unlimited()).expect("refresh");
+        let rebuilt = ddb.materialize();
+        let fresh = FingerprintIndex::build_default(&rebuilt);
+        for q in queries().iter().chain(rebuilt.graphs()) {
+            prop_assert_eq!(
+                ddb.candidates(q).into_ids(rebuilt.len()),
+                fresh.candidates(q).into_ids(rebuilt.len())
+            );
+        }
+    }
+
+    /// Malformed batches fail closed: a `GraphError`, atomically rejected,
+    /// never a panic — and the repaired standing sets are untouched.
+    #[test]
+    fn malformed_batches_fail_closed(
+        base in arb_base(),
+        seed in 0u64..1_000,
+    ) {
+        let mut m = ContinuousMatcher::new(base.clone(), CompactionPolicy::never());
+        let qid = m.register(queries().swap_remove(0), Deadline::none()).expect("register");
+        let mut stream = UpdateStreamGen::new(&base, seed, StreamProfile::Mixed);
+        // Advance so tombstones and edges exist, then attack the same state.
+        for _ in 0..3 {
+            m.apply_batch(&stream.batch(5), 2, Deadline::none()).expect("valid batch");
+        }
+        let embeddings = m.embeddings(qid).expect("standing set").to_vec();
+        let fingerprint = graph_fingerprint(&m.graph().materialize().0);
+        for case in stream.malformed_batches() {
+            let err = m.apply_batch(&case, 2, Deadline::none());
+            prop_assert!(
+                matches!(err, Err(BatchError::Graph(_))),
+                "malformed batch accepted: {:?}", case
+            );
+            prop_assert_eq!(m.embeddings(qid).expect("standing set"), embeddings.as_slice());
+            prop_assert_eq!(graph_fingerprint(&m.graph().materialize().0), fingerprint);
+        }
+    }
+}
+
+/// Compaction policy thresholds: `maybe_compact` fires exactly when the
+/// delta crosses max(min_ops, ratio × base edges), and the amortized
+/// overlay keeps answering identically right through the compaction point.
+#[test]
+fn compaction_policy_fires_at_threshold() {
+    let mut b = GraphBuilder::new();
+    for i in 0..6 {
+        b.add_vertex(Label(i % 3));
+    }
+    for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)] {
+        b.add_edge(VertexId(u), VertexId(v)).expect("edge");
+    }
+    let base = b.build();
+    let policy = CompactionPolicy { min_delta_ops: 4, delta_ratio: 0.0 };
+    let mut g = DynamicGraph::new(base.clone());
+    let mut stream = UpdateStreamGen::new(&base, 3, StreamProfile::AddHeavy);
+    let mut fired = 0;
+    for _ in 0..6 {
+        g.apply_batch(&stream.batch(2)).expect("valid");
+        if g.maybe_compact(&policy).is_some() {
+            fired += 1;
+            assert_eq!(g.delta_ops(), 0, "compaction must reset the delta");
+        }
+    }
+    assert!(fired >= 2, "threshold of 4 ops never crossed in 12 ops");
+    assert_eq!(g.compactions() as usize, fired);
+}
